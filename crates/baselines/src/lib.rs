@@ -1,0 +1,25 @@
+//! # slate-baselines
+//!
+//! The two baseline GPU multiprocessing runtimes the Slate paper compares
+//! against, implemented over the `slate-gpu-sim` substrate:
+//!
+//! * [`cuda::CudaRuntime`] — vanilla CUDA: one context per process, device
+//!   time-sliced between contexts at kernel-to-completion granularity;
+//! * [`mps::MpsRuntime`] — NVIDIA MPS: daemon-funnelled single context with
+//!   the hardware leftover policy (consecutive execution for large kernels,
+//!   no context-switch tax).
+//!
+//! Both implement the shared [`runtime::Runtime`] trait that `slate-core`'s
+//! Slate runtime also implements, so the harness can run the paper's
+//! three-way comparison uniformly.
+
+#![warn(missing_docs)]
+
+pub mod cuda;
+pub mod mps;
+pub mod runtime;
+pub mod serial;
+
+pub use cuda::CudaRuntime;
+pub use mps::MpsRuntime;
+pub use runtime::{AppResult, RunOutcome, Runtime};

@@ -1,0 +1,448 @@
+//! The serializing device driver shared by the vanilla CUDA and MPS
+//! baselines.
+//!
+//! Both baselines execute kernels *kernel-to-completion*, one launch on the
+//! device at a time, under hardware block scheduling. What differs is the
+//! overhead structure:
+//!
+//! * vanilla CUDA keeps one context per process; alternating between
+//!   processes costs a context switch plus time-slice scheduling waste;
+//! * MPS funnels all clients into one daemon context — no context switches,
+//!   but a small per-launch proxy cost and a session setup at first API
+//!   call. For the large kernels of the evaluation, MPS's *leftover* policy
+//!   yields no meaningful spatial overlap (paper §V-C), so consecutive
+//!   execution is the faithful model.
+//!
+//! Ready processes are served round-robin, which is how the driver's
+//! time-slicing arbitrates between contexts submitting back-to-back work.
+
+use crate::runtime::{AppResult, RunOutcome};
+use slate_gpu_sim::device::{DeviceConfig, SmRange};
+use slate_gpu_sim::engine::{Dir, Engine, Event, SliceId, SliceSpec, TimerId, TransferId};
+use slate_gpu_sim::metrics::KernelMetrics;
+use slate_gpu_sim::model;
+use slate_gpu_sim::trace::{Trace, TraceKind};
+use slate_gpu_sim::perf::ExecMode;
+use slate_kernels::workload::AppSpec;
+
+/// Overhead knobs distinguishing CUDA from MPS.
+#[derive(Debug, Clone)]
+pub struct SerialOverheads {
+    /// Runtime label.
+    pub label: String,
+    /// Cost of switching device contexts between processes (vanilla CUDA).
+    /// Paid once per *real* launch while contended (contexts alternate at
+    /// kernel-to-completion granularity).
+    pub ctx_switch_s: f64,
+    /// Fraction of kernel time wasted by time-slice arbitration while
+    /// another context is contending (vanilla CUDA driver scheduling gaps).
+    pub timeslice_waste: f64,
+    /// Fixed per-*real*-launch proxy cost (MPS daemon relay).
+    pub per_launch_s: f64,
+    /// Fraction of kernel time lost to leftover-policy tail interference
+    /// while another client is contending (MPS lets the next kernel's
+    /// blocks bleed into the current kernel's drain, contending for cache
+    /// and bandwidth — the interference the paper's §I/§V-C describes).
+    pub contended_penalty: f64,
+    /// One-time per-process session setup (MPS daemon connection).
+    pub session_setup_s: f64,
+    /// Model the hardware *leftover* policy: a waiting kernel may begin its
+    /// launch lead-in during the running kernel's drain tail (the only
+    /// overlap MPS achieves for the paper's large kernels, §V-C).
+    pub leftover_overlap: bool,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Phase {
+    Setup,
+    H2d,
+    Ready,
+    Running,
+    D2h,
+    Done,
+}
+
+struct Proc {
+    app: AppSpec,
+    phase: Phase,
+    launches_done: u32,
+    timer: Option<TimerId>,
+    tail_timer: Option<TimerId>,
+    tail_fired: bool,
+    transfer: Option<TransferId>,
+    slice: Option<SliceId>,
+    end_s: f64,
+    kernel_busy_s: f64,
+    kernel_start_s: f64,
+    kernel_end_s: f64,
+    metrics: KernelMetrics,
+}
+
+/// Runs `apps` under the serializing policy described by `ov`.
+pub fn run_serialized(cfg: &DeviceConfig, ov: &SerialOverheads, apps: &[AppSpec]) -> RunOutcome {
+    assert!(!apps.is_empty(), "need at least one app");
+    let mut engine = Engine::new(cfg.clone());
+    let mut procs: Vec<Proc> = apps
+        .iter()
+        .map(|app| Proc {
+            app: app.clone(),
+            phase: Phase::Setup,
+            launches_done: 0,
+            timer: None,
+            tail_timer: None,
+            tail_fired: false,
+            transfer: None,
+            slice: None,
+            end_s: 0.0,
+            kernel_busy_s: 0.0,
+            kernel_start_s: f64::INFINITY,
+            kernel_end_s: 0.0,
+            metrics: KernelMetrics::new(&app.perf.name),
+        })
+        .collect();
+    for p in &mut procs {
+        let session = ov.session_setup_s * p.app.fixed_cost_scale;
+        p.timer = Some(engine.set_timer(p.app.host_setup_s + session));
+    }
+
+    let mut last_launched: Option<usize> = None;
+    let mut rr = 0usize;
+    let mut trace = Trace::new();
+
+    // Dispatch the next ready process's launch if the device is free — or,
+    // under the leftover policy, if the single running launch has entered
+    // its drain tail.
+    let dispatch = |engine: &mut Engine,
+                    procs: &mut Vec<Proc>,
+                    last: &mut Option<usize>,
+                    rr: &mut usize,
+                    trace: &mut Trace| {
+        let active: Vec<usize> = (0..procs.len()).filter(|&j| procs[j].slice.is_some()).collect();
+        match active.len() {
+            0 => {}
+            1 if ov.leftover_overlap && procs[active[0]].tail_fired => {}
+            _ => return,
+        }
+        let n = procs.len();
+        // Round-robin scan for a ready process, starting after the cursor.
+        let pick = (0..n).map(|k| (*rr + k) % n).find(|&i| procs[i].phase == Phase::Ready);
+        let Some(i) = pick else { return };
+        let switching = last.is_some() && *last != Some(i);
+        let contended = procs
+            .iter()
+            .enumerate()
+            .any(|(j, q)| j != i && matches!(q.phase, Phase::Ready | Phase::Running));
+        let p = &mut procs[i];
+        // Per-launch costs scale with the number of real launches this
+        // simulated (batched) launch stands for.
+        let batch = p.app.batch as f64;
+        let mut extra = ov.per_launch_s * batch;
+        let est = model::estimate_duration(
+            engine.device(),
+            &p.app.perf,
+            p.app.blocks_per_launch,
+            engine.device().num_sms,
+            ExecMode::Hardware,
+        );
+        if contended {
+            // Contexts alternate at every real launch boundary.
+            extra += ov.ctx_switch_s * batch;
+            extra += (ov.timeslice_waste + ov.contended_penalty) * est;
+        } else if switching {
+            extra += ov.ctx_switch_s;
+        }
+        let id = engine
+            .add_slice(SliceSpec {
+                perf: p.app.perf.clone(),
+                sm_range: SmRange::all(engine.device().num_sms),
+                blocks: p.app.blocks_per_launch,
+                mode: ExecMode::Hardware,
+                extra_lead_s: extra,
+                batch: p.app.batch,
+                tag: i as u64,
+            })
+            .expect("baseline launch must be valid");
+        p.slice = Some(id);
+        p.phase = Phase::Running;
+        p.kernel_start_s = p.kernel_start_s.min(engine.now());
+        trace.record(
+            engine.now(),
+            TraceKind::Launch {
+                tag: i as u64,
+                range: SmRange::all(engine.device().num_sms),
+                blocks: p.app.blocks_per_launch,
+            },
+        );
+        if ov.leftover_overlap {
+            // The drain tail of the final real launch in the batch: the
+            // last wave of resident blocks. A waiting kernel's blocks may
+            // start claiming slots from this point (leftover policy).
+            let per_sm =
+                slate_gpu_sim::occupancy::blocks_per_sm(engine.device(), &p.app.perf) as u64;
+            let workers = per_sm * engine.device().num_sms as u64;
+            let real_blocks = (p.app.blocks_per_launch / p.app.batch as u64).max(1);
+            let tail_frac =
+                (workers as f64 / real_blocks as f64).min(1.0) / p.app.batch as f64;
+            let tail_at = engine.now() + extra + est * (1.0 - tail_frac);
+            procs[i].tail_fired = false;
+            procs[i].tail_timer = Some(engine.set_timer(tail_at));
+        }
+        *last = Some(i);
+        *rr = (i + 1) % n;
+    };
+
+    while let Some((now, ev)) = engine.step() {
+        match ev {
+            Event::Timer(tid) => {
+                if let Some(i) = procs.iter().position(|p| p.tail_timer == Some(tid)) {
+                    // The running launch entered its drain tail: leftover
+                    // slots may be claimed by a waiting kernel.
+                    procs[i].tail_timer = None;
+                    procs[i].tail_fired = true;
+                    dispatch(&mut engine, &mut procs, &mut last_launched, &mut rr, &mut trace);
+                    continue;
+                }
+                let i = procs
+                    .iter()
+                    .position(|p| p.timer == Some(tid))
+                    .expect("unknown timer");
+                procs[i].timer = None;
+                procs[i].phase = Phase::H2d;
+                trace.record(
+                    now,
+                    TraceKind::TransferStart {
+                        tag: i as u64,
+                        h2d: true,
+                        bytes: procs[i].app.h2d_bytes,
+                    },
+                );
+                procs[i].transfer =
+                    Some(engine.add_transfer(procs[i].app.h2d_bytes, Dir::H2D, i as u64));
+            }
+            Event::TransferDone(tid) => {
+                let i = procs
+                    .iter()
+                    .position(|p| p.transfer == Some(tid))
+                    .expect("unknown transfer");
+                procs[i].transfer = None;
+                trace.record(now, TraceKind::TransferEnd { tag: i as u64 });
+                match procs[i].phase {
+                    Phase::H2d => {
+                        procs[i].phase = Phase::Ready;
+                        dispatch(&mut engine, &mut procs, &mut last_launched, &mut rr, &mut trace);
+                    }
+                    Phase::D2h => {
+                        procs[i].phase = Phase::Done;
+                        procs[i].end_s = now;
+                    }
+                    // (trace already recorded the TransferEnd above)
+                    other => panic!("transfer completion in phase {other:?}"),
+                }
+            }
+            Event::SliceDrained(sid) => {
+                let i = procs
+                    .iter()
+                    .position(|p| p.slice == Some(sid))
+                    .expect("unknown slice");
+                let report = engine.remove_slice(sid);
+                procs[i].slice = None;
+                procs[i].kernel_busy_s += report.active_s;
+                procs[i].kernel_end_s = now;
+                trace.record(
+                    now,
+                    TraceKind::Stop {
+                        tag: i as u64,
+                        done: report.blocks_done,
+                    },
+                );
+                procs[i].metrics.merge(&report);
+                procs[i].launches_done += 1;
+                procs[i].tail_fired = false;
+                if let Some(t) = procs[i].tail_timer.take() {
+                    engine.cancel_timer(t);
+                }
+                if procs[i].launches_done < procs[i].app.launches {
+                    procs[i].phase = Phase::Ready;
+                } else {
+                    procs[i].phase = Phase::D2h;
+                    trace.record(
+                        now,
+                        TraceKind::TransferStart {
+                            tag: i as u64,
+                            h2d: false,
+                            bytes: procs[i].app.d2h_bytes,
+                        },
+                    );
+                    procs[i].transfer =
+                        Some(engine.add_transfer(procs[i].app.d2h_bytes, Dir::D2H, i as u64));
+                }
+                dispatch(&mut engine, &mut procs, &mut last_launched, &mut rr, &mut trace);
+            }
+            Event::SliceStarted(_) => {}
+        }
+    }
+
+    let makespan = procs.iter().map(|p| p.end_s).fold(0.0, f64::max);
+    debug_assert!(procs.iter().all(|p| p.phase == Phase::Done));
+    RunOutcome {
+        runtime: ov.label.clone(),
+        trace,
+        apps: procs
+            .into_iter()
+            .map(|p| AppResult {
+                bench: p.app.bench,
+                end_s: p.end_s,
+                app_time_s: p.end_s,
+                kernel_busy_s: p.kernel_busy_s,
+                kernel_start_s: if p.kernel_start_s.is_finite() {
+                    p.kernel_start_s
+                } else {
+                    0.0
+                },
+                kernel_end_s: p.kernel_end_s,
+                comm_s: if ov.per_launch_s > 0.0 {
+                    ov.per_launch_s * p.app.real_launches as f64 + ov.session_setup_s
+                } else {
+                    0.0
+                },
+                inject_s: 0.0,
+                metrics: p.metrics,
+            })
+            .collect(),
+        makespan_s: makespan,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slate_kernels::workload::Benchmark;
+
+    fn overheads_free() -> SerialOverheads {
+        SerialOverheads {
+            label: "free".into(),
+            ctx_switch_s: 0.0,
+            timeslice_waste: 0.0,
+            per_launch_s: 0.0,
+            contended_penalty: 0.0,
+            session_setup_s: 0.0,
+            leftover_overlap: false,
+        }
+    }
+
+    #[test]
+    fn solo_app_completes_with_all_launches() {
+        let cfg = DeviceConfig::titan_xp();
+        let app = Benchmark::BS.app().scaled_down(100);
+        let out = run_serialized(&cfg, &overheads_free(), &[app.clone()]);
+        assert_eq!(out.apps.len(), 1);
+        let r = &out.apps[0];
+        assert_eq!(r.metrics.slices, app.launches);
+        assert!(r.kernel_busy_s > 0.0);
+        assert!(r.app_time_s > r.kernel_busy_s, "host phases add time");
+        assert!((out.makespan_s - r.end_s).abs() < 1e-12);
+    }
+
+    #[test]
+    fn two_apps_serialize_on_the_device() {
+        let cfg = DeviceConfig::titan_xp();
+        let a = Benchmark::BS.app().scaled_down(200);
+        let b = Benchmark::TR.app().scaled_down(200);
+        let solo_a = run_serialized(&cfg, &overheads_free(), &[a.clone()]).apps[0].kernel_busy_s;
+        let solo_b = run_serialized(&cfg, &overheads_free(), &[b.clone()]).apps[0].kernel_busy_s;
+        let pair = run_serialized(&cfg, &overheads_free(), &[a, b]);
+        // Device work strictly serializes: makespan >= sum of kernel times.
+        assert!(
+            pair.makespan_s >= solo_a + solo_b,
+            "makespan {} vs {}",
+            pair.makespan_s,
+            solo_a + solo_b
+        );
+        // Each app's own kernel busy time is unchanged by the pairing.
+        assert!((pair.apps[0].kernel_busy_s - solo_a).abs() / solo_a < 0.01);
+        assert!((pair.apps[1].kernel_busy_s - solo_b).abs() / solo_b < 0.01);
+    }
+
+    #[test]
+    fn timeslice_waste_slows_contended_runs() {
+        // Two identical apps alternate on every launch, so every launch
+        // pays the switch tax while contended.
+        let cfg = DeviceConfig::titan_xp();
+        let a = Benchmark::BS.app().scaled_down(50);
+        let b = Benchmark::BS.app().scaled_down(50);
+        let free = run_serialized(&cfg, &overheads_free(), &[a.clone(), b.clone()]);
+        let mut taxed = overheads_free();
+        taxed.timeslice_waste = 0.06;
+        taxed.ctx_switch_s = 25e-6;
+        let slow = run_serialized(&cfg, &taxed, &[a.clone(), b.clone()]);
+        assert!(slow.makespan_s > free.makespan_s * 1.02);
+        // Solo runs are unaffected by the contention tax.
+        let solo_free = run_serialized(&cfg, &overheads_free(), &[a.clone()]);
+        let solo_taxed = run_serialized(&cfg, &taxed, &[a]);
+        assert!((solo_taxed.makespan_s - solo_free.makespan_s).abs() < 1e-9);
+    }
+
+    #[test]
+    fn round_robin_interleaves_processes() {
+        // With equal launch counts, neither process should finish all its
+        // kernels dramatically before the other starts: both end within a
+        // launch or two of the makespan.
+        let cfg = DeviceConfig::titan_xp();
+        let a = Benchmark::BS.app().scaled_down(300);
+        let b = Benchmark::BS.app().scaled_down(300);
+        let pair = run_serialized(&cfg, &overheads_free(), &[a, b]);
+        let gap = (pair.apps[0].end_s - pair.apps[1].end_s).abs();
+        assert!(
+            gap < pair.makespan_s * 0.2,
+            "ends {} and {} too far apart",
+            pair.apps[0].end_s,
+            pair.apps[1].end_s
+        );
+    }
+
+    #[test]
+    fn leftover_overlap_gives_a_small_gain() {
+        // Two processes under the leftover policy: the waiting kernel's
+        // lead-in overlaps the running kernel's drain tail, buying a small
+        // but strictly positive improvement — and only a small one (the
+        // paper: "the kernels run consecutively for most of the time").
+        let cfg = DeviceConfig::titan_xp();
+        let a = Benchmark::BS.app().scaled_down(50);
+        let b = Benchmark::BS.app().scaled_down(50);
+        let mut strict = overheads_free();
+        strict.per_launch_s = 50e-6;
+        let mut leftover = strict.clone();
+        leftover.leftover_overlap = true;
+        let t_strict = run_serialized(&cfg, &strict, &[a.clone(), b.clone()]);
+        let t_left = run_serialized(&cfg, &leftover, &[a, b]);
+        assert!(
+            t_left.makespan_s < t_strict.makespan_s,
+            "overlap must help: {} vs {}",
+            t_left.makespan_s,
+            t_strict.makespan_s
+        );
+        assert!(
+            t_left.makespan_s > t_strict.makespan_s * 0.97,
+            "but only slightly: {} vs {}",
+            t_left.makespan_s,
+            t_strict.makespan_s
+        );
+    }
+
+    #[test]
+    fn per_launch_overhead_accumulates() {
+        let cfg = DeviceConfig::titan_xp();
+        let a = Benchmark::BS.app().scaled_down(200);
+        let mut ov = overheads_free();
+        ov.per_launch_s = 1e-3;
+        let taxed = run_serialized(&cfg, &ov, &[a.clone()]);
+        let free = run_serialized(&cfg, &overheads_free(), &[a.clone()]);
+        let expect = a.launches as f64 * a.batch as f64 * 1e-3;
+        let delta = taxed.makespan_s - free.makespan_s;
+        assert!(
+            (delta - expect).abs() / expect < 0.05,
+            "delta {delta} vs {expect}"
+        );
+        assert!(taxed.apps[0].comm_s > 0.0);
+    }
+}

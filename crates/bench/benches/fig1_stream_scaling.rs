@@ -1,0 +1,32 @@
+//! Fig. 1 bench — stream bandwidth vs SM count.
+//!
+//! Benchmarks the simulated Stream run at the sweep points of the paper's
+//! Fig. 1 and reports the achieved bandwidth per point. `cargo bench` time
+//! here measures the *simulator's* cost to evaluate each point; the figure
+//! itself is regenerated (and checked) by the harness inside the setup.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use slate_gpu_sim::device::DeviceConfig;
+use slate_harness::fig1;
+
+fn bench(c: &mut Criterion) {
+    let cfg = DeviceConfig::titan_xp();
+
+    // Regenerate and print the figure once.
+    let (points, report) = fig1::run(&cfg, 10);
+    println!("{}", report.to_text());
+    assert!(report.all_pass(), "Fig. 1 shape regressed");
+    let _ = points;
+
+    let mut g = c.benchmark_group("fig1_stream_scaling");
+    g.sample_size(20);
+    for sms in [1u32, 4, 9, 15, 30] {
+        g.bench_with_input(BenchmarkId::from_parameter(sms), &sms, |b, &sms| {
+            b.iter(|| fig1::measure(&cfg, sms, 100_000));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

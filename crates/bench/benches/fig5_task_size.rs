@@ -1,0 +1,37 @@
+//! Fig. 5 bench — task-size sweep.
+//!
+//! Regenerates the paper's task-size sensitivity curve (the simulated
+//! kernel times are printed and shape-checked in the setup) and benchmarks
+//! the simulator's evaluation cost per (benchmark, task size) point.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use slate_gpu_sim::device::DeviceConfig;
+use slate_harness::fig5;
+use slate_kernels::workload::Benchmark;
+
+fn bench(c: &mut Criterion) {
+    let cfg = DeviceConfig::titan_xp();
+
+    let (curves, report) = fig5::run(&cfg);
+    println!("{}", report.to_text());
+    assert!(report.all_pass(), "Fig. 5 shape regressed");
+    let _ = curves;
+
+    let mut g = c.benchmark_group("fig5_kernel_time");
+    g.sample_size(30);
+    for bench in [Benchmark::BS, Benchmark::GS] {
+        for gsize in [1u32, 10, 50] {
+            g.bench_with_input(
+                BenchmarkId::new(bench.abbrev(), gsize),
+                &gsize,
+                |b, &gsize| {
+                    b.iter(|| fig5::kernel_time(&cfg, bench, gsize));
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Fig. 7 bench — multiprocess pairings under the three runtimes.
+//!
+//! Regenerates the full 15-pairing comparison (printed and shape-checked in
+//! the setup at a reduced repetition scale) and benchmarks the end-to-end
+//! simulation cost of representative pairings per runtime.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use slate_baselines::{CudaRuntime, MpsRuntime, Runtime};
+use slate_core::SlateRuntime;
+use slate_gpu_sim::device::DeviceConfig;
+use slate_harness::fig7;
+use slate_kernels::workload::Benchmark;
+
+fn bench(c: &mut Criterion) {
+    let cfg = DeviceConfig::titan_xp();
+
+    let (_, report) = fig7::run(&cfg, 8);
+    println!("{}", report.to_text());
+    assert!(report.all_pass(), "Fig. 7 shape regressed");
+
+    let cuda = CudaRuntime::new(cfg.clone());
+    let mps = MpsRuntime::new(cfg.clone());
+    let slate = SlateRuntime::new(cfg.clone());
+    let runtimes: [(&str, &dyn Runtime); 3] = [("cuda", &cuda), ("mps", &mps), ("slate", &slate)];
+
+    let mut g = c.benchmark_group("fig7_pair_simulation");
+    g.sample_size(20);
+    for (pa, pb) in [(Benchmark::BS, Benchmark::RG), (Benchmark::GS, Benchmark::GS)] {
+        let apps = [pa.app().scaled_down(16), pb.app().scaled_down(16)];
+        for (label, rt) in runtimes {
+            g.bench_with_input(
+                BenchmarkId::new(format!("{}-{}", pa.abbrev(), pb.abbrev()), label),
+                &apps,
+                |b, apps| {
+                    b.iter(|| rt.run(apps));
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

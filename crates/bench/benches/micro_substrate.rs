@@ -1,0 +1,129 @@
+//! Microbenchmarks of the framework's own hot paths.
+//!
+//! These are the operations whose cost the paper's §V-D worries about:
+//! task-queue atomic pulls (serialized, contended), the incremental
+//! blockIdx reconstruction in the injected loop, the source scanner, the
+//! engine's rate recomputation, and occupancy/bandwidth arithmetic.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use slate_core::injector::inject_source;
+use slate_core::queue::TaskQueue;
+use slate_core::scanner::scan_kernels;
+use slate_core::transform::TransformedKernel;
+use slate_gpu_sim::device::{DeviceConfig, SmRange};
+use slate_gpu_sim::engine::{Engine, SliceSpec};
+use slate_gpu_sim::membw::{allocate, BwDemand};
+use slate_gpu_sim::occupancy;
+use slate_gpu_sim::perf::{ExecMode, KernelPerf};
+use slate_kernels::grid::{BlockCoord, GridDim};
+use slate_kernels::kernel::GpuKernel;
+use std::sync::Arc;
+
+const SRC: &str = r#"
+__global__ void axpy(float* y, const float* x, float a, int n) {
+    int i = blockIdx.x * blockDim.x + threadIdx.x;
+    int stride = gridDim.x * blockDim.x;
+    for (; i < n; i += stride) y[i] += a * x[i];
+}
+__global__ void tile(float* a) {
+    a[blockIdx.y * gridDim.x + blockIdx.x] = 0.f;
+}
+"#;
+
+struct Nop {
+    grid: GridDim,
+}
+impl GpuKernel for Nop {
+    fn name(&self) -> &str {
+        "nop"
+    }
+    fn grid(&self) -> GridDim {
+        self.grid
+    }
+    fn perf(&self) -> KernelPerf {
+        KernelPerf::synthetic("nop", 100.0, 0.0)
+    }
+    fn run_block(&self, b: BlockCoord) {
+        std::hint::black_box(b);
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    // Task-queue pulls: uncontended throughput.
+    let mut g = c.benchmark_group("task_queue");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("pull_uncontended", |b| {
+        let q = TaskQueue::new(u64::MAX / 2, 10);
+        b.iter(|| q.pull());
+    });
+    g.bench_function("pull_contended_8_threads", |b| {
+        b.iter_custom(|iters| {
+            let q = Arc::new(TaskQueue::new(u64::MAX / 2, 10));
+            let start = std::time::Instant::now();
+            std::thread::scope(|s| {
+                for _ in 0..8 {
+                    let q = q.clone();
+                    s.spawn(move || {
+                        for _ in 0..iters {
+                            std::hint::black_box(q.pull());
+                        }
+                    });
+                }
+            });
+            start.elapsed() / 8
+        });
+    });
+    g.finish();
+
+    // Injected-loop index reconstruction: blocks per second through the
+    // incremental rollover path.
+    let mut g = c.benchmark_group("transform");
+    let k = TransformedKernel::new(Arc::new(Nop {
+        grid: GridDim::d2(1000, 1000),
+    }));
+    g.throughput(Throughput::Elements(1000));
+    g.bench_function("run_task_1000_blocks", |b| {
+        b.iter(|| k.run_task(slate_core::queue::Task { start: 12_345, len: 1000 }));
+    });
+    g.finish();
+
+    // Source pipeline.
+    let mut g = c.benchmark_group("injection");
+    g.bench_function("scan_kernels", |b| b.iter(|| scan_kernels(SRC)));
+    g.bench_function("inject_source", |b| b.iter(|| inject_source(SRC, 10)));
+    g.finish();
+
+    // Simulator arithmetic.
+    let cfg = DeviceConfig::titan_xp();
+    let perf = KernelPerf::synthetic("k", 5_000.0, 8_192.0);
+    let mut g = c.benchmark_group("simulator");
+    g.bench_function("occupancy", |b| {
+        b.iter(|| occupancy::blocks_per_sm(&cfg, &perf))
+    });
+    g.bench_function("bandwidth_allocate_8", |b| {
+        let demands: Vec<BwDemand> = (1..=8).map(|i| BwDemand { demand: i as f64 * 1e10 }).collect();
+        b.iter(|| allocate(480e9, &demands));
+    });
+    g.bench_function("engine_solo_run_100_events", |b| {
+        b.iter(|| {
+            let mut e = Engine::new(cfg.clone());
+            for i in 0..50u64 {
+                e.add_slice(SliceSpec {
+                    perf: perf.clone(),
+                    sm_range: SmRange::all(30),
+                    blocks: 10_000 + i,
+                    mode: ExecMode::SlateWorkers { task_size: 10 },
+                    extra_lead_s: 0.0,
+                    batch: 1,
+                    tag: i,
+                })
+                .unwrap();
+            }
+            while e.step().is_some() {}
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

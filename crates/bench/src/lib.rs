@@ -1,0 +1,12 @@
+//! # slate-bench
+//!
+//! Criterion benchmarks for the Slate reproduction. One bench target per
+//! regenerated paper artefact — `fig1_stream_scaling`, `table2_profiles`,
+//! `fig5_task_size`, `fig7_pairings` — each of which re-runs the
+//! corresponding experiment (asserting its shape checks) before measuring
+//! the simulator's evaluation cost, plus `micro_substrate` covering the
+//! framework's hot paths: task-queue atomics under contention, the injected
+//! index-reconstruction loop, the source scanner/injector, and the engine's
+//! event processing.
+//!
+//! Run with `cargo bench --workspace`.

@@ -1,0 +1,236 @@
+//! The Slate client API (paper §IV-A1).
+//!
+//! "The *Slate* API acts as a wrapper for basic CUDA functions" — this is
+//! the library an application links instead of the CUDA runtime. Every call
+//! round-trips the command pipe to the daemon except kernel launches, which
+//! are asynchronous exactly like CUDA launches; `synchronize` drains them.
+//!
+//! | CUDA | Slate |
+//! |------|-------|
+//! | `cudaMalloc` | [`SlateClient::malloc`] |
+//! | `cudaFree` | [`SlateClient::free`] |
+//! | `cudaMemcpy(H2D)` | [`SlateClient::memcpy_h2d`] |
+//! | `cudaMemcpy(D2H)` | [`SlateClient::memcpy_d2h`] |
+//! | `<<<grid, block>>>` | [`SlateClient::launch_with`] |
+//! | `cudaDeviceSynchronize` | [`SlateClient::synchronize`] |
+
+use crate::channel::{KernelFactory, LaunchCmd, Request, Response, SlatePtr};
+use crate::daemon::Connection;
+use crate::error::SlateError;
+use bytes::Bytes;
+use slate_gpu_sim::buffer::GpuBuffer;
+use slate_kernels::kernel::GpuKernel;
+use std::sync::Arc;
+
+/// A client connection to the Slate daemon, wrapping the command pipe with
+/// the CUDA-like API surface.
+pub struct SlateClient {
+    conn: Connection,
+    pending_launches: std::cell::Cell<u64>,
+}
+
+impl SlateClient {
+    /// Wraps a daemon connection.
+    pub fn new(conn: Connection) -> Self {
+        Self {
+            conn,
+            pending_launches: std::cell::Cell::new(0),
+        }
+    }
+
+    /// The daemon-assigned session id.
+    pub fn session(&self) -> u64 {
+        self.conn.session
+    }
+
+    fn call(&self, req: Request) -> Result<Response, SlateError> {
+        self.conn
+            .tx
+            .send(req)
+            .map_err(|_| SlateError::Disconnected)?;
+        self.conn
+            .rx
+            .recv()
+            .map_err(|_| SlateError::Disconnected)
+    }
+
+    /// Allocates `bytes` bytes of device memory (`cudaMalloc`).
+    pub fn malloc(&self, bytes: u64) -> Result<SlatePtr, SlateError> {
+        self.call(Request::Malloc(bytes))?.expect_ptr()
+    }
+
+    /// Frees a device allocation (`cudaFree`).
+    pub fn free(&self, ptr: SlatePtr) -> Result<(), SlateError> {
+        self.call(Request::Free(ptr))?.expect_ok()
+    }
+
+    /// Copies host bytes into device memory through a shared buffer.
+    /// `offset` must be word-aligned.
+    pub fn memcpy_h2d(&self, ptr: SlatePtr, offset: usize, data: Bytes) -> Result<(), SlateError> {
+        self.call(Request::MemcpyH2D { ptr, offset, data })?.expect_ok()
+    }
+
+    /// Convenience: uploads a slice of f32s.
+    pub fn upload_f32(&self, ptr: SlatePtr, data: &[f32]) -> Result<(), SlateError> {
+        let bytes: Vec<u8> = data.iter().flat_map(|f| f.to_le_bytes()).collect();
+        self.memcpy_h2d(ptr, 0, bytes.into())
+    }
+
+    /// Copies device memory back to the host. `offset` must be
+    /// word-aligned.
+    pub fn memcpy_d2h(&self, ptr: SlatePtr, offset: usize, len: usize) -> Result<Vec<u8>, SlateError> {
+        Ok(self
+            .call(Request::MemcpyD2H { ptr, offset, len })?
+            .expect_data()?
+            .to_vec())
+    }
+
+    /// Convenience: downloads `n` f32s.
+    pub fn download_f32(&self, ptr: SlatePtr, n: usize) -> Result<Vec<f32>, SlateError> {
+        let raw = self.memcpy_d2h(ptr, 0, n * 4)?;
+        Ok(raw
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+            .collect())
+    }
+
+    /// Launches a kernel asynchronously. `ptrs` are resolved daemon-side
+    /// and handed to `factory` in order; `source` optionally carries the
+    /// CUDA text through the injection pipeline.
+    pub fn launch_with<F>(
+        &self,
+        ptrs: Vec<SlatePtr>,
+        task_size: u32,
+        source: Option<String>,
+        factory: F,
+    ) -> Result<(), SlateError>
+    where
+        F: FnOnce(Vec<Arc<GpuBuffer>>) -> Arc<dyn GpuKernel> + Send + 'static,
+    {
+        self.launch_inner(ptrs, task_size, source, false, 0, Box::new(factory))
+    }
+
+    /// Launches a kernel on a CUDA stream. Launches on the same stream are
+    /// ordered; launches on different non-zero streams may run
+    /// concurrently. [`SlateClient::synchronize`] fences all streams.
+    pub fn launch_on_stream<F>(
+        &self,
+        stream: u32,
+        ptrs: Vec<SlatePtr>,
+        task_size: u32,
+        factory: F,
+    ) -> Result<(), SlateError>
+    where
+        F: FnOnce(Vec<Arc<GpuBuffer>>) -> Arc<dyn GpuKernel> + Send + 'static,
+    {
+        self.launch_inner(ptrs, task_size, None, false, stream, Box::new(factory))
+    }
+
+    /// Like [`SlateClient::launch_with`] but pins the kernel to solo
+    /// execution — for heavily optimized library kernels that should never
+    /// be co-scheduled (`#pragma slate solo`).
+    pub fn launch_solo_with<F>(
+        &self,
+        ptrs: Vec<SlatePtr>,
+        task_size: u32,
+        source: Option<String>,
+        factory: F,
+    ) -> Result<(), SlateError>
+    where
+        F: FnOnce(Vec<Arc<GpuBuffer>>) -> Arc<dyn GpuKernel> + Send + 'static,
+    {
+        self.launch_inner(ptrs, task_size, source, true, 0, Box::new(factory))
+    }
+
+    fn launch_inner(
+        &self,
+        ptrs: Vec<SlatePtr>,
+        task_size: u32,
+        source: Option<String>,
+        pinned_solo: bool,
+        stream: u32,
+        factory: KernelFactory,
+    ) -> Result<(), SlateError> {
+        let cmd = LaunchCmd {
+            ptrs,
+            factory,
+            task_size,
+            source,
+            pinned_solo,
+            stream,
+        };
+        self.conn
+            .tx
+            .send(Request::Launch(cmd))
+            .map_err(|_| SlateError::Disconnected)?;
+        self.pending_launches.set(self.pending_launches.get() + 1);
+        Ok(())
+    }
+
+    /// Blocks until every previously launched kernel has completed
+    /// (`cudaDeviceSynchronize`). Surfaces any launch error.
+    pub fn synchronize(&self) -> Result<(), SlateError> {
+        // The session thread serves requests in order, so one round trip
+        // fences all prior launches. Failed launches reply with their error
+        // ahead of the sync's Ok.
+        self.conn
+            .tx
+            .send(Request::Sync)
+            .map_err(|_| SlateError::Disconnected)?;
+        let mut result = Ok(());
+        loop {
+            match self
+                .conn
+                .rx
+                .recv()
+                .map_err(|_| SlateError::Disconnected)?
+            {
+                Response::Ok => break,
+                Response::Err(e) => result = Err(SlateError::from_wire(&e)),
+                other => {
+                    return Err(SlateError::Other(format!(
+                        "unexpected sync response {other:?}"
+                    )))
+                }
+            }
+        }
+        self.pending_launches.set(0);
+        result
+    }
+
+    /// Ends the session; the daemon frees any leaked allocations.
+    pub fn disconnect(self) -> Result<(), SlateError> {
+        self.call(Request::Disconnect)?.expect_ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::daemon::SlateDaemon;
+    use slate_gpu_sim::device::DeviceConfig;
+
+    #[test]
+    fn upload_download_roundtrip() {
+        let daemon = SlateDaemon::start(DeviceConfig::tiny(2), 1 << 20);
+        let c = SlateClient::new(daemon.connect("u"));
+        let p = c.malloc(64).unwrap();
+        c.upload_f32(p, &[1.5, -2.0, 3.25]).unwrap();
+        let back = c.download_f32(p, 3).unwrap();
+        assert_eq!(back, vec![1.5, -2.0, 3.25]);
+        c.disconnect().unwrap();
+        daemon.join();
+    }
+
+    #[test]
+    fn out_of_memory_is_reported() {
+        let daemon = SlateDaemon::start(DeviceConfig::tiny(2), 1024);
+        let c = SlateClient::new(daemon.connect("u"));
+        assert!(c.malloc(512).is_ok());
+        let err = c.malloc(4096).unwrap_err();
+        assert_eq!(err, SlateError::OutOfMemory { requested: 4096 });
+        assert!(err.to_string().contains("out of device memory"), "{err}");
+        c.disconnect().unwrap();
+        daemon.join();
+    }
+}

@@ -1,0 +1,156 @@
+//! Client–daemon protocol (paper §IV-A).
+//!
+//! Slate uses two communication channels per client: a *command pipe* for
+//! API instructions (modelled by a crossbeam channel pair) and *shared
+//! buffers* for bulk kernel IO (modelled by [`bytes::Bytes`], whose
+//! reference-counted storage moves between processes without copying —
+//! exactly the property the paper wants from shared memory for gigabyte
+//! payloads).
+//!
+//! Clients never see device pointers: they hold opaque [`SlatePtr`]s which
+//! the daemon maps to real device allocations in its per-session hash table
+//! ("records in a hash table the mapping between the shared buffer address
+//! and the GPU pointer").
+
+use crate::error::SlateError;
+use bytes::Bytes;
+use slate_gpu_sim::buffer::GpuBuffer;
+use slate_kernels::kernel::GpuKernel;
+use std::sync::Arc;
+
+/// Opaque client-side handle to a device allocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SlatePtr(pub u64);
+
+/// Builds the user kernel once the daemon has resolved the client's
+/// [`SlatePtr`]s to device buffers (in the same order they were passed).
+pub type KernelFactory =
+    Box<dyn FnOnce(Vec<Arc<GpuBuffer>>) -> Arc<dyn GpuKernel> + Send + 'static>;
+
+/// A kernel launch command.
+pub struct LaunchCmd {
+    /// Device allocations the kernel binds, in factory order.
+    pub ptrs: Vec<SlatePtr>,
+    /// Kernel constructor, invoked daemon-side after pointer resolution.
+    pub factory: KernelFactory,
+    /// `SLATE_ITERS` for this launch.
+    pub task_size: u32,
+    /// Optional CUDA source for the injection pipeline (exercises the
+    /// scanner/injector and populates the compilation cache).
+    pub source: Option<String>,
+    /// Run this kernel solo, never co-scheduled (`#pragma slate solo`).
+    pub pinned_solo: bool,
+    /// CUDA stream the launch is ordered on. Stream 0 is the default
+    /// stream; launches on distinct non-zero streams may execute
+    /// concurrently (the paper builds "a queue for each process and CUDA
+    /// stream").
+    pub stream: u32,
+}
+
+/// Requests a client sends over the command pipe.
+pub enum Request {
+    /// `slateMalloc(bytes)`.
+    Malloc(u64),
+    /// `slateFree(ptr)`.
+    Free(SlatePtr),
+    /// `slateMemcpy` host-to-device through a shared buffer.
+    MemcpyH2D {
+        /// Destination allocation.
+        ptr: SlatePtr,
+        /// Byte offset into the allocation (word-aligned).
+        offset: usize,
+        /// Payload, handed over without copying.
+        data: Bytes,
+    },
+    /// `slateMemcpy` device-to-host.
+    MemcpyD2H {
+        /// Source allocation.
+        ptr: SlatePtr,
+        /// Byte offset into the allocation (word-aligned).
+        offset: usize,
+        /// Bytes to read.
+        len: usize,
+    },
+    /// `slateLaunchKernel` — asynchronous, like CUDA launches.
+    Launch(LaunchCmd),
+    /// `slateDeviceSynchronize` — replies once all prior launches finished.
+    Sync,
+    /// Session teardown.
+    Disconnect,
+}
+
+/// Daemon replies.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// New allocation handle.
+    Ptr(SlatePtr),
+    /// Device-to-host payload.
+    Data(Bytes),
+    /// Success without payload.
+    Ok,
+    /// Failure description.
+    Err(String),
+}
+
+impl Response {
+    /// Unwraps an expected `Ptr` response.
+    pub fn expect_ptr(self) -> Result<SlatePtr, SlateError> {
+        match self {
+            Response::Ptr(p) => Ok(p),
+            Response::Err(e) => Err(SlateError::from_wire(&e)),
+            other => Err(SlateError::Other(format!("expected Ptr, got {other:?}"))),
+        }
+    }
+
+    /// Unwraps an expected `Data` response.
+    pub fn expect_data(self) -> Result<Bytes, SlateError> {
+        match self {
+            Response::Data(d) => Ok(d),
+            Response::Err(e) => Err(SlateError::from_wire(&e)),
+            other => Err(SlateError::Other(format!("expected Data, got {other:?}"))),
+        }
+    }
+
+    /// Unwraps an expected `Ok` response.
+    pub fn expect_ok(self) -> Result<(), SlateError> {
+        match self {
+            Response::Ok => Ok(()),
+            Response::Err(e) => Err(SlateError::from_wire(&e)),
+            other => Err(SlateError::Other(format!("expected Ok, got {other:?}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn response_unwrapping() {
+        assert_eq!(Response::Ptr(SlatePtr(3)).expect_ptr(), Ok(SlatePtr(3)));
+        assert!(Response::Ok.expect_ptr().is_err());
+        assert_eq!(
+            Response::Err("boom".into()).expect_ok().unwrap_err(),
+            SlateError::Other("boom".into())
+        );
+        assert_eq!(
+            Response::Err(SlateError::OutOfMemory { requested: 9 }.to_wire())
+                .expect_ok()
+                .unwrap_err(),
+            SlateError::OutOfMemory { requested: 9 }
+        );
+        assert_eq!(
+            Response::Data(Bytes::from_static(b"xy")).expect_data().unwrap(),
+            Bytes::from_static(b"xy")
+        );
+        assert!(Response::Ok.expect_ok().is_ok());
+    }
+
+    #[test]
+    fn bytes_are_shared_not_copied() {
+        let payload = Bytes::from(vec![1u8; 1 << 20]);
+        let clone = payload.clone();
+        // Same backing storage: cloning a Bytes is refcount-only.
+        assert_eq!(clone.as_ptr(), payload.as_ptr());
+    }
+}

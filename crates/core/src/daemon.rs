@@ -1,0 +1,776 @@
+//! The Slate daemon (paper §IV-A2, §IV-B).
+//!
+//! The daemon is the server half of Slate's client–server architecture: it
+//! funnels every client's operations into one device context, which is what
+//! makes cross-process co-running possible at all. Per client it keeps a
+//! *session*, served by its own thread, holding the hash table that maps
+//! the client's opaque pointers to device allocations.
+//!
+//! Kernel launches run the full Slate pipeline, functionally: the source
+//! injector (with its per-user compilation cache), first-run profiling and
+//! classification, the workload-aware arbiter (Table I policy +
+//! SM-demand partitioning), and the dispatch kernel with persistent
+//! workers — including *live resizing* of a running kernel when a
+//! complementary client arrives or departs.
+
+use crate::channel::{LaunchCmd, Request, Response, SlatePtr};
+use crate::classify::WorkloadClass;
+use crate::dispatch::{DispatchHandle, Dispatcher};
+use crate::error::SlateError;
+use crate::injector::InjectionCache;
+use crate::partition::partition;
+use crate::policy::should_corun;
+use crate::profile::ProfileTable;
+use crate::transform::TransformedKernel;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::{Condvar, Mutex};
+use slate_gpu_sim::buffer::{DeviceMemoryPool, DevicePtr, GpuBuffer};
+use slate_gpu_sim::device::{DeviceConfig, SmRange};
+use slate_gpu_sim::workqueue::HyperQ;
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// One kernel currently resident on the (functional) device.
+struct ArbResident {
+    session: u64,
+    class: WorkloadClass,
+    sm_demand: u32,
+    pinned_solo: bool,
+    range: SmRange,
+    handle: DispatchHandle,
+}
+
+/// The workload-aware device arbiter: admits at most two complementary
+/// kernels at a time and resizes residents on arrival and departure.
+struct Arbiter {
+    cfg: DeviceConfig,
+    state: Mutex<Vec<ArbResident>>,
+    freed: Condvar,
+}
+
+impl Arbiter {
+    fn new(cfg: DeviceConfig) -> Self {
+        Self {
+            cfg,
+            state: Mutex::new(Vec::new()),
+            freed: Condvar::new(),
+        }
+    }
+
+    /// Blocks until the kernel may run; returns its SM range. May shrink a
+    /// resident kernel live (through its dispatch handle) to make room for
+    /// a complementary newcomer.
+    fn acquire(
+        &self,
+        session: u64,
+        class: WorkloadClass,
+        sm_demand: u32,
+        pinned_solo: bool,
+        handle: DispatchHandle,
+    ) -> SmRange {
+        let mut st = self.state.lock();
+        loop {
+            if st.is_empty() {
+                let range = SmRange::all(self.cfg.num_sms);
+                st.push(ArbResident {
+                    session,
+                    class,
+                    sm_demand,
+                    pinned_solo,
+                    range,
+                    handle,
+                });
+                return range;
+            }
+            if st.len() == 1
+                && !pinned_solo
+                && !st[0].pinned_solo
+                && should_corun(st[0].class, class)
+            {
+                let part = partition(&self.cfg, st[0].sm_demand, sm_demand);
+                // Live-resize the resident onto its share.
+                st[0].handle.resize(part.a);
+                st[0].range = part.a;
+                st.push(ArbResident {
+                    session,
+                    class,
+                    sm_demand,
+                    pinned_solo,
+                    range: part.b,
+                    handle,
+                });
+                return part.b;
+            }
+            self.freed.wait(&mut st);
+        }
+    }
+
+    /// Releases the caller's residency; the surviving co-runner grows to
+    /// the whole device.
+    fn release(&self, session: u64) {
+        let mut st = self.state.lock();
+        st.retain(|r| r.session != session);
+        if let Some(surv) = st.first_mut() {
+            let full = SmRange::all(self.cfg.num_sms);
+            if surv.range != full {
+                surv.handle.resize(full);
+                surv.range = full;
+            }
+        }
+        self.freed.notify_all();
+    }
+}
+
+/// Shared daemon state.
+struct DaemonShared {
+    cfg: DeviceConfig,
+    pool: Mutex<DeviceMemoryPool>,
+    injector: Mutex<InjectionCache>,
+    profiles: Mutex<ProfileTable>,
+    arbiter: Arbiter,
+    launches: Mutex<u64>,
+    /// Hardware work-queue allocator for the funnelled server context.
+    hyperq: Mutex<HyperQ>,
+}
+
+/// A running Slate daemon. Dropping the handle after every client
+/// disconnected shuts the daemon down.
+pub struct SlateDaemon {
+    shared: Arc<DaemonShared>,
+    next_session: Mutex<u64>,
+    sessions: Mutex<Vec<JoinHandle<()>>>,
+}
+
+/// Client-side connection to the daemon — the transport `api::SlateClient`
+/// wraps.
+pub struct Connection {
+    /// Session id assigned by the daemon.
+    pub session: u64,
+    /// Command pipe, client-to-daemon.
+    pub tx: Sender<Request>,
+    /// Response pipe, daemon-to-client.
+    pub rx: Receiver<Response>,
+}
+
+impl SlateDaemon {
+    /// Starts a daemon managing a functional device of `cfg` geometry with
+    /// `mem_capacity` bytes of device memory.
+    pub fn start(cfg: DeviceConfig, mem_capacity: u64) -> Arc<Self> {
+        Self::start_with_profiles(cfg, mem_capacity, ProfileTable::new())
+    }
+
+    /// Starts a daemon seeded with a profile table from a previous run
+    /// (the paper's daemon "records kernel profiles obtained from its
+    /// previous runs").
+    pub fn start_with_profiles(
+        cfg: DeviceConfig,
+        mem_capacity: u64,
+        profiles: ProfileTable,
+    ) -> Arc<Self> {
+        Arc::new(Self {
+            shared: Arc::new(DaemonShared {
+                cfg: cfg.clone(),
+                pool: Mutex::new(DeviceMemoryPool::new(mem_capacity)),
+                injector: Mutex::new(InjectionCache::new()),
+                profiles: Mutex::new(profiles),
+                arbiter: Arbiter::new(cfg),
+                launches: Mutex::new(0),
+                hyperq: Mutex::new(HyperQ::with_default_connections()),
+            }),
+            next_session: Mutex::new(0),
+            sessions: Mutex::new(Vec::new()),
+        })
+    }
+
+    /// Snapshot of the kernel profile table (persist it with
+    /// [`ProfileTable::save`] and reload through
+    /// [`SlateDaemon::start_with_profiles`]).
+    pub fn profiles(&self) -> ProfileTable {
+        self.shared.profiles.lock().clone()
+    }
+
+    /// Accepts a new client; spawns its session thread (one per process,
+    /// kept alive until the process disconnects — §IV-A2).
+    pub fn connect(self: &Arc<Self>, user: &str) -> Connection {
+        let session = {
+            let mut n = self.next_session.lock();
+            *n += 1;
+            *n
+        };
+        let (tx_req, rx_req) = unbounded::<Request>();
+        let (tx_resp, rx_resp) = unbounded::<Response>();
+        let shared = self.shared.clone();
+        let user = user.to_string();
+        let handle = std::thread::Builder::new()
+            .name(format!("slate-session-{session}"))
+            .spawn(move || session_loop(shared, session, user, rx_req, tx_resp))
+            .expect("spawn session thread");
+        self.sessions.lock().push(handle);
+        Connection {
+            session,
+            tx: tx_req,
+            rx: rx_resp,
+        }
+    }
+
+    /// Total kernel launches served (daemon statistics).
+    pub fn launches_served(&self) -> u64 {
+        *self.shared.launches.lock()
+    }
+
+    /// Injection-cache statistics: (hits, misses).
+    pub fn injection_stats(&self) -> (u64, u64) {
+        self.shared.injector.lock().stats()
+    }
+
+    /// Live device allocations across all sessions.
+    pub fn live_allocations(&self) -> usize {
+        self.shared.pool.lock().live_allocations()
+    }
+
+    /// Hardware work-queue lanes registered on the funnelled context
+    /// (one per (session, stream) the daemon has served).
+    pub fn hyperq_lanes(&self) -> usize {
+        self.shared.hyperq.lock().lanes()
+    }
+
+    /// Waits for all session threads to finish (after clients disconnect).
+    pub fn join(&self) {
+        let handles: Vec<_> = std::mem::take(&mut *self.sessions.lock());
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Per-session state: the pointer-mapping hash table of §IV-A1.
+struct SessionState {
+    ptr_map: HashMap<SlatePtr, DevicePtr>,
+    next_ptr: u64,
+}
+
+/// A launch job forwarded to a stream worker thread.
+struct StreamJob {
+    kernel: Arc<dyn slate_kernels::kernel::GpuKernel>,
+    task_size: u32,
+    pinned_solo: bool,
+}
+
+/// One non-default CUDA stream of a session: its own in-order queue served
+/// by a dedicated thread (the paper's per-(process, stream) queues).
+struct StreamLane {
+    tx: Sender<StreamJob>,
+    barrier_tx: Sender<Sender<()>>,
+    handle: JoinHandle<()>,
+}
+
+fn spawn_stream_lane(
+    shared: Arc<DaemonShared>,
+    lease: u64,
+    errors: Arc<Mutex<Vec<String>>>,
+) -> StreamLane {
+    let (tx, rx) = unbounded::<StreamJob>();
+    let (barrier_tx, barrier_rx) = unbounded::<Sender<()>>();
+    let handle = std::thread::spawn(move || loop {
+        crossbeam::channel::select! {
+            recv(rx) -> job => match job {
+                Ok(job) => {
+                    if let Err(e) = execute_kernel(
+                        &shared, lease, job.kernel, job.task_size, job.pinned_solo,
+                    ) {
+                        errors.lock().push(e);
+                    }
+                }
+                Err(_) => break,
+            },
+            recv(barrier_rx) -> ack => match ack {
+                Ok(ack) => {
+                    // Drain any launches enqueued before the barrier.
+                    while let Ok(job) = rx.try_recv() {
+                        if let Err(e) = execute_kernel(
+                            &shared, lease, job.kernel, job.task_size, job.pinned_solo,
+                        ) {
+                            errors.lock().push(e);
+                        }
+                    }
+                    let _ = ack.send(());
+                }
+                Err(_) => break,
+            },
+        }
+    });
+    StreamLane {
+        tx,
+        barrier_tx,
+        handle,
+    }
+}
+
+fn session_loop(
+    shared: Arc<DaemonShared>,
+    session: u64,
+    user: String,
+    rx: Receiver<Request>,
+    tx: Sender<Response>,
+) {
+    let mut st = SessionState {
+        ptr_map: HashMap::new(),
+        next_ptr: session << 32,
+    };
+    let mut lanes: HashMap<u32, StreamLane> = HashMap::new();
+    let stream_errors: Arc<Mutex<Vec<String>>> = Arc::new(Mutex::new(Vec::new()));
+    let shutdown_lanes = |lanes: &mut HashMap<u32, StreamLane>| {
+        for (_, lane) in lanes.drain() {
+            drop(lane.tx);
+            drop(lane.barrier_tx);
+            let _ = lane.handle.join();
+        }
+    };
+    while let Ok(req) = rx.recv() {
+        let resp = match req {
+            Request::Malloc(bytes) => match shared.pool.lock().alloc(bytes) {
+                Ok(dev) => {
+                    st.next_ptr += 1;
+                    let p = SlatePtr(st.next_ptr);
+                    st.ptr_map.insert(p, dev);
+                    Response::Ptr(p)
+                }
+                Err(_) => {
+                    Response::Err(SlateError::OutOfMemory { requested: bytes }.to_wire())
+                }
+            },
+            Request::Free(p) => match st.ptr_map.remove(&p) {
+                Some(dev) => match shared.pool.lock().free(dev) {
+                    Ok(()) => Response::Ok,
+                    Err(e) => Response::Err(SlateError::Other(e).to_wire()),
+                },
+                None => {
+                    Response::Err(SlateError::InvalidPointer { ptr: p.0 }.to_wire())
+                }
+            },
+            Request::MemcpyH2D { ptr, offset, data } => {
+                match resolve(&shared, &st, ptr) {
+                    Ok(buf) => {
+                        buf.copy_from_host(offset, &data);
+                        Response::Ok
+                    }
+                    Err(e) => Response::Err(e),
+                }
+            }
+            Request::MemcpyD2H { ptr, offset, len } => match resolve(&shared, &st, ptr) {
+                Ok(buf) => {
+                    let mut out = vec![0u8; len];
+                    buf.copy_to_host(offset, &mut out);
+                    Response::Data(out.into())
+                }
+                Err(e) => Response::Err(e),
+            },
+            Request::Launch(cmd) => {
+                let stream = cmd.stream;
+                match prepare_launch(&shared, &user, &st, cmd) {
+                    Ok((kernel, task_size, pinned_solo)) => {
+                        if stream == 0 {
+                            // Default stream: in-order on the session thread.
+                            let lease = session << 16;
+                            match execute_kernel(&shared, lease, kernel, task_size, pinned_solo)
+                            {
+                                Ok(()) => continue,
+                                Err(e) => Response::Err(e),
+                            }
+                        } else {
+                            let lane = lanes.entry(stream).or_insert_with(|| {
+                                spawn_stream_lane(
+                                    shared.clone(),
+                                    (session << 16) | stream as u64,
+                                    stream_errors.clone(),
+                                )
+                            });
+                            let _ = lane.tx.send(StreamJob {
+                                kernel,
+                                task_size,
+                                pinned_solo,
+                            });
+                            continue; // asynchronous: no reply
+                        }
+                    }
+                    Err(e) => Response::Err(e),
+                }
+            }
+            Request::Sync => {
+                // Fence every stream lane, then surface collected errors.
+                for lane in lanes.values() {
+                    let (ack_tx, ack_rx) = unbounded::<()>();
+                    if lane.barrier_tx.send(ack_tx).is_ok() {
+                        let _ = ack_rx.recv();
+                    }
+                }
+                let errs: Vec<String> = std::mem::take(&mut *stream_errors.lock());
+                for e in errs {
+                    let _ = tx.send(Response::Err(e));
+                }
+                Response::Ok
+            }
+            Request::Disconnect => {
+                shutdown_lanes(&mut lanes);
+                // Free everything the client leaked (process teardown).
+                let mut pool = shared.pool.lock();
+                for (_, dev) in st.ptr_map.drain() {
+                    let _ = pool.free(dev);
+                }
+                let _ = tx.send(Response::Ok);
+                break;
+            }
+        };
+        if tx.send(resp).is_err() {
+            break;
+        }
+    }
+    // The client vanished (process died or dropped its connection without
+    // Disconnect): tear down its streams and reclaim its device memory.
+    shutdown_lanes(&mut lanes);
+    let mut pool = shared.pool.lock();
+    for (_, dev) in st.ptr_map.drain() {
+        let _ = pool.free(dev);
+    }
+}
+
+fn resolve(
+    shared: &DaemonShared,
+    st: &SessionState,
+    ptr: SlatePtr,
+) -> Result<Arc<GpuBuffer>, String> {
+    let dev = st
+        .ptr_map
+        .get(&ptr)
+        .ok_or_else(|| SlateError::InvalidPointer { ptr: ptr.0 }.to_wire())?;
+    shared.pool.lock().buffer(*dev)
+}
+
+/// Resolves pointers, runs the injection pipeline, and builds the kernel —
+/// everything that needs the session's state.
+fn prepare_launch(
+    shared: &Arc<DaemonShared>,
+    user: &str,
+    st: &SessionState,
+    cmd: LaunchCmd,
+) -> Result<(Arc<dyn slate_kernels::kernel::GpuKernel>, u32, bool), String> {
+    // Resolve the client's pointers through the session hash table.
+    let buffers = cmd
+        .ptrs
+        .iter()
+        .map(|&p| resolve(shared, st, p))
+        .collect::<Result<Vec<_>, _>>()?;
+    let kernel = (cmd.factory)(buffers);
+
+    // Source injection through the per-user cache (the NVRTC stage).
+    if let Some(src) = &cmd.source {
+        shared
+            .injector
+            .lock()
+            .get_or_inject(user, src, cmd.task_size);
+    }
+    Ok((kernel, cmd.task_size, cmd.pinned_solo))
+}
+
+/// Profiles, transforms and dispatches a prepared kernel under the
+/// workload-aware arbiter. `lease` identifies the (session, stream) queue.
+fn execute_kernel(
+    shared: &Arc<DaemonShared>,
+    lease: u64,
+    kernel: Arc<dyn slate_kernels::kernel::GpuKernel>,
+    task_size: u32,
+    pinned_solo: bool,
+) -> Result<(), String> {
+    // All sessions share the daemon's single device context; each
+    // (session, stream) lane gets a Hyper-Q connection on it.
+    const SERVER_CONTEXT: u64 = 0;
+    shared
+        .hyperq
+        .lock()
+        .assign(SERVER_CONTEXT, (lease & 0xffff_ffff) as u32);
+
+    // First-run profiling and classification.
+    let perf = kernel.perf();
+    let grid_blocks = kernel.grid().total_blocks();
+    let (class, demand) = {
+        let mut table = shared.profiles.lock();
+        let p = table.get_or_profile(&shared.cfg, &perf, grid_blocks.max(10_000));
+        (p.class, p.sm_demand)
+    };
+
+    // Transform and dispatch under the workload-aware arbiter.
+    let transformed = TransformedKernel::new(kernel);
+    let dispatcher = Dispatcher::new(
+        shared.cfg.clone(),
+        transformed,
+        task_size,
+        SmRange::all(shared.cfg.num_sms),
+    );
+    let handle = dispatcher.handle();
+    let range = shared
+        .arbiter
+        .acquire(lease, class, demand, pinned_solo, handle.clone());
+    if range != SmRange::all(shared.cfg.num_sms) {
+        // Bind the first worker launch onto the acquired partition (the
+        // raced retreat at worst costs one immediate relaunch).
+        handle.resize(range);
+    }
+    let out = dispatcher.run();
+    debug_assert!(out.blocks == grid_blocks);
+    shared.arbiter.release(lease);
+    *shared.launches.lock() += 1;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::SlateClient;
+    use slate_kernels::grid::{BlockCoord, GridDim};
+    use slate_kernels::kernel::GpuKernel;
+    use slate_gpu_sim::perf::KernelPerf;
+
+    /// out[i] = in[i] * 2 over a 1-D grid of 128-wide blocks.
+    struct Double {
+        n: usize,
+        input: Arc<GpuBuffer>,
+        out: Arc<GpuBuffer>,
+    }
+    impl GpuKernel for Double {
+        fn name(&self) -> &str {
+            "double"
+        }
+        fn grid(&self) -> GridDim {
+            GridDim::d1((self.n as u32).div_ceil(128).max(1))
+        }
+        fn perf(&self) -> KernelPerf {
+            KernelPerf::synthetic("double", 500.0, 1024.0)
+        }
+        fn run_block(&self, b: BlockCoord) {
+            let lo = b.x as usize * 128;
+            for i in lo..(lo + 128).min(self.n) {
+                self.out.store_f32(i, self.input.load_f32(i) * 2.0);
+            }
+        }
+    }
+
+    #[test]
+    fn end_to_end_malloc_copy_launch_sync_readback() {
+        let daemon = SlateDaemon::start(DeviceConfig::tiny(4), 1 << 24);
+        let client = SlateClient::new(daemon.connect("tester"));
+        let n = 1000usize;
+        let input: Vec<f32> = (0..n).map(|i| i as f32).collect();
+        let in_ptr = client.malloc((n * 4) as u64).unwrap();
+        let out_ptr = client.malloc((n * 4) as u64).unwrap();
+        let bytes: Vec<u8> = input.iter().flat_map(|f| f.to_le_bytes()).collect();
+        client.memcpy_h2d(in_ptr, 0, bytes.into()).unwrap();
+        client
+            .launch_with(
+                vec![in_ptr, out_ptr],
+                10,
+                None,
+                move |bufs| -> Arc<dyn GpuKernel> {
+                    Arc::new(Double {
+                        n,
+                        input: bufs[0].clone(),
+                        out: bufs[1].clone(),
+                    })
+                },
+            )
+            .unwrap();
+        client.synchronize().unwrap();
+        let back = client.memcpy_d2h(out_ptr, 0, n * 4).unwrap();
+        for i in 0..n {
+            let v = f32::from_le_bytes(back[i * 4..i * 4 + 4].try_into().unwrap());
+            assert_eq!(v, i as f32 * 2.0, "element {i}");
+        }
+        client.free(in_ptr).unwrap();
+        client.free(out_ptr).unwrap();
+        assert_eq!(daemon.live_allocations(), 0);
+        assert_eq!(daemon.launches_served(), 1);
+        client.disconnect().unwrap();
+        daemon.join();
+    }
+
+    #[test]
+    fn streams_execute_concurrently_and_sync_fences_all() {
+        let daemon = SlateDaemon::start(DeviceConfig::tiny(4), 1 << 24);
+        let client = SlateClient::new(daemon.connect("streamer"));
+        let n = 4_000usize;
+        // Four streams, each doubling its own buffer; plus the default
+        // stream touching a fifth buffer.
+        let mut ptrs = Vec::new();
+        for s in 0..5u32 {
+            let p = client.malloc((n * 4) as u64).unwrap();
+            let init: Vec<f32> = (0..n).map(|i| (i + s as usize) as f32).collect();
+            client.upload_f32(p, &init).unwrap();
+            ptrs.push(p);
+        }
+        for (s, &p) in ptrs.iter().enumerate() {
+            let launch = move |bufs: Vec<Arc<GpuBuffer>>| -> Arc<dyn GpuKernel> {
+                Arc::new(Double {
+                    n,
+                    input: bufs[0].clone(),
+                    out: bufs[0].clone(),
+                })
+            };
+            if s == 0 {
+                client.launch_with(vec![p], 10, None, launch).unwrap();
+            } else {
+                client
+                    .launch_on_stream(s as u32, vec![p], 10, launch)
+                    .unwrap();
+            }
+        }
+        client.synchronize().unwrap();
+        for (s, &p) in ptrs.iter().enumerate() {
+            let out = client.download_f32(p, n).unwrap();
+            for i in (0..n).step_by(397) {
+                assert_eq!(out[i], 2.0 * (i + s) as f32, "stream {s} element {i}");
+            }
+        }
+        assert_eq!(daemon.launches_served(), 5);
+        client.disconnect().unwrap();
+        daemon.join();
+    }
+
+    #[test]
+    fn same_stream_launches_are_ordered() {
+        // Two doublings on one stream: must observe x4, proving in-order
+        // execution within a stream.
+        let daemon = SlateDaemon::start(DeviceConfig::tiny(4), 1 << 22);
+        let client = SlateClient::new(daemon.connect("ordered"));
+        let n = 2_000usize;
+        let p = client.malloc((n * 4) as u64).unwrap();
+        client.upload_f32(p, &vec![1.0f32; n]).unwrap();
+        for _ in 0..2 {
+            client
+                .launch_on_stream(3, vec![p], 10, move |bufs| -> Arc<dyn GpuKernel> {
+                    Arc::new(Double {
+                        n,
+                        input: bufs[0].clone(),
+                        out: bufs[0].clone(),
+                    })
+                })
+                .unwrap();
+        }
+        client.synchronize().unwrap();
+        let out = client.download_f32(p, n).unwrap();
+        assert!(out.iter().step_by(101).all(|&v| v == 4.0));
+        client.disconnect().unwrap();
+        daemon.join();
+    }
+
+    #[test]
+    fn stream_launch_error_surfaces_at_sync() {
+        let daemon = SlateDaemon::start(DeviceConfig::tiny(2), 1 << 20);
+        let client = SlateClient::new(daemon.connect("oops"));
+        let good = client.malloc(1024).unwrap();
+        // Bad pointer on a non-zero stream: prepare fails synchronously in
+        // the session, so the error is queued ahead of the sync Ok.
+        client
+            .launch_on_stream(7, vec![SlatePtr(0xbad)], 10, move |bufs| -> Arc<dyn GpuKernel> {
+                Arc::new(Double {
+                    n: 16,
+                    input: bufs[0].clone(),
+                    out: bufs[0].clone(),
+                })
+            })
+            .unwrap();
+        assert!(client.synchronize().is_err());
+        // Session remains healthy.
+        client.upload_f32(good, &[9.0]).unwrap();
+        assert_eq!(client.download_f32(good, 1).unwrap(), vec![9.0]);
+        client.disconnect().unwrap();
+        daemon.join();
+    }
+
+    #[test]
+    fn invalid_pointer_is_rejected() {
+        let daemon = SlateDaemon::start(DeviceConfig::tiny(2), 1 << 20);
+        let client = SlateClient::new(daemon.connect("tester"));
+        assert!(client.memcpy_d2h(SlatePtr(0xdead), 0, 4).is_err());
+        assert!(client.free(SlatePtr(0xdead)).is_err());
+        client.disconnect().unwrap();
+        daemon.join();
+    }
+
+    #[test]
+    fn sessions_are_isolated() {
+        let daemon = SlateDaemon::start(DeviceConfig::tiny(2), 1 << 20);
+        let a = SlateClient::new(daemon.connect("alice"));
+        let b = SlateClient::new(daemon.connect("bob"));
+        let pa = a.malloc(64).unwrap();
+        // Bob cannot touch Alice's allocation handle.
+        assert!(b.memcpy_d2h(pa, 0, 4).is_err());
+        a.disconnect().unwrap();
+        b.disconnect().unwrap();
+        daemon.join();
+    }
+
+    #[test]
+    fn dropped_client_reclaims_allocations() {
+        // No Disconnect: the client's process "dies"; the session thread
+        // must still reclaim its device memory.
+        let daemon = SlateDaemon::start(DeviceConfig::tiny(2), 1 << 20);
+        {
+            let client = SlateClient::new(daemon.connect("vanishing"));
+            let _a = client.malloc(256).unwrap();
+            let _b = client.malloc(256).unwrap();
+            assert_eq!(daemon.live_allocations(), 2);
+            drop(client); // Connection dropped, no Disconnect request
+        }
+        daemon.join();
+        assert_eq!(daemon.live_allocations(), 0);
+    }
+
+    #[test]
+    fn profile_table_survives_daemon_restarts() {
+        let dir = std::env::temp_dir().join("slate-daemon-profiles");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("profiles.json");
+        let n = 2_000usize;
+        let run_once = |profiles| {
+            let daemon =
+                SlateDaemon::start_with_profiles(DeviceConfig::tiny(4), 1 << 22, profiles);
+            let client = SlateClient::new(daemon.connect("persist"));
+            let input = client.malloc((n * 4) as u64).unwrap();
+            let out = client.malloc((n * 4) as u64).unwrap();
+            client
+                .launch_with(vec![input, out], 10, None, move |bufs| {
+                    Arc::new(Double {
+                        n,
+                        input: bufs[0].clone(),
+                        out: bufs[1].clone(),
+                    }) as Arc<dyn GpuKernel>
+                })
+                .unwrap();
+            client.synchronize().unwrap();
+            client.disconnect().unwrap();
+            daemon.join();
+            daemon.profiles()
+        };
+        let table = run_once(crate::profile::ProfileTable::new());
+        assert_eq!(table.len(), 1);
+        table.save(&path).unwrap();
+        // Second daemon run: seeded table, kernel is already profiled.
+        let reloaded = crate::profile::ProfileTable::load(&path).unwrap();
+        assert!(reloaded.get("double").is_some());
+        let table2 = run_once(reloaded);
+        assert_eq!(table2.len(), 1);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn disconnect_frees_leaked_allocations() {
+        let daemon = SlateDaemon::start(DeviceConfig::tiny(2), 1 << 20);
+        let client = SlateClient::new(daemon.connect("leaky"));
+        let _p1 = client.malloc(512).unwrap();
+        let _p2 = client.malloc(512).unwrap();
+        assert_eq!(daemon.live_allocations(), 2);
+        client.disconnect().unwrap();
+        daemon.join();
+        assert_eq!(daemon.live_allocations(), 0);
+    }
+}

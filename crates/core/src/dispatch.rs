@@ -1,0 +1,255 @@
+//! The dispatch kernel (paper §IV-C, Listing 3) — dynamic kernel resizing.
+//!
+//! To resize a running kernel, Slate does not launch user kernels directly:
+//! it launches a *dispatch kernel* that (1) clears the retreat flag,
+//! (2) launches the user kernel's persistent workers onto the currently
+//! designated SM range, (3) waits for them, and (4) if the task queue is
+//! not yet drained — i.e. the workers retreated because the partition
+//! changed — loops and relaunches onto the updated range. The scheduling
+//! index `slateIdx` carries progress across relaunches.
+//!
+//! [`Dispatcher::run`] is that loop, executing the user kernel functionally
+//! with real worker threads; [`DispatchHandle::resize`] is the runtime-side
+//! signal that adjusts the SM range mid-flight.
+
+use crate::queue::TaskQueue;
+use crate::transform::TransformedKernel;
+use crate::workers::{launch_workers, WorkerRunStats};
+use parking_lot::Mutex;
+use slate_gpu_sim::device::{DeviceConfig, SmRange};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Shared state between the dispatch loop and the runtime.
+#[derive(Debug)]
+struct DispatchState {
+    queue: TaskQueue,
+    range: Mutex<SmRange>,
+    /// Bumped on every resize; lets the loop detect a resize that raced
+    /// with a relaunch boundary.
+    generation: AtomicU64,
+}
+
+/// Handle the runtime uses to resize a dispatched kernel while it runs.
+#[derive(Debug, Clone)]
+pub struct DispatchHandle {
+    state: Arc<DispatchState>,
+}
+
+impl DispatchHandle {
+    /// Adjusts the designated SM range: signals retreat so the current
+    /// worker set exits at the next task boundary, after which the dispatch
+    /// loop relaunches onto `new_range`.
+    pub fn resize(&self, new_range: SmRange) {
+        *self.state.range.lock() = new_range;
+        self.state.generation.fetch_add(1, Ordering::Release);
+        self.state.queue.signal_retreat();
+    }
+
+    /// Current progress in blocks (the carried `slateIdx`).
+    pub fn progress(&self) -> u64 {
+        self.state.queue.progress()
+    }
+
+    /// Whether the user kernel has completed all blocks.
+    pub fn done(&self) -> bool {
+        self.state.queue.drained()
+    }
+}
+
+/// Summary of a completed dispatch (the user kernel ran to completion).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DispatchOutcome {
+    /// Worker launches performed (1 = never resized mid-run).
+    pub launches: u32,
+    /// Per-launch worker statistics.
+    pub runs: Vec<WorkerRunStats>,
+    /// Total blocks executed (= the grid size).
+    pub blocks: u64,
+    /// Total queue pulls across all launches.
+    pub queue_pulls: u64,
+}
+
+/// The dispatch kernel for one user kernel execution.
+pub struct Dispatcher {
+    kernel: TransformedKernel,
+    device: DeviceConfig,
+    state: Arc<DispatchState>,
+}
+
+impl Dispatcher {
+    /// Prepares a dispatch of `kernel` with the given task size, initially
+    /// bound to `range`.
+    pub fn new(
+        device: DeviceConfig,
+        kernel: TransformedKernel,
+        task_size: u32,
+        range: SmRange,
+    ) -> Self {
+        let state = Arc::new(DispatchState {
+            queue: TaskQueue::new(kernel.slate_max(), task_size),
+            range: Mutex::new(range),
+            generation: AtomicU64::new(0),
+        });
+        Self {
+            kernel,
+            device,
+            state,
+        }
+    }
+
+    /// The resize handle to give to the runtime.
+    pub fn handle(&self) -> DispatchHandle {
+        DispatchHandle {
+            state: self.state.clone(),
+        }
+    }
+
+    /// Listing 3: launch workers, wait, relaunch onto the adjusted range
+    /// until the job completes. Blocks the calling thread (the paper's
+    /// dispatch kernel persists on-device through the user kernel's whole
+    /// execution).
+    pub fn run(self) -> DispatchOutcome {
+        let mut runs = Vec::new();
+        loop {
+            let gen_before = self.state.generation.load(Ordering::Acquire);
+            let range = *self.state.range.lock();
+            self.state.queue.clear_retreat();
+            // A resize may have slipped between the generation read and the
+            // clear; re-raise the retreat so this launch exits promptly and
+            // picks up the new range on the next iteration.
+            if self.state.generation.load(Ordering::Acquire) != gen_before {
+                self.state.queue.signal_retreat();
+            }
+            let stats = launch_workers(&self.device, &self.kernel, &self.state.queue, range);
+            runs.push(stats);
+            // "if job is incomplete, start over"
+            if self.state.queue.drained() {
+                break;
+            }
+        }
+        DispatchOutcome {
+            launches: runs.len() as u32,
+            blocks: self.state.queue.progress(),
+            queue_pulls: self.state.queue.pull_count(),
+            runs,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slate_gpu_sim::buffer::GpuBuffer;
+    use slate_gpu_sim::perf::KernelPerf;
+    use slate_kernels::grid::{BlockCoord, GridDim};
+    use slate_kernels::kernel::GpuKernel;
+
+    struct Counter {
+        grid: GridDim,
+        hits: Arc<GpuBuffer>,
+    }
+
+    impl GpuKernel for Counter {
+        fn name(&self) -> &str {
+            "counter"
+        }
+        fn grid(&self) -> GridDim {
+            self.grid
+        }
+        fn perf(&self) -> KernelPerf {
+            KernelPerf::synthetic("counter", 100.0, 4.0)
+        }
+        fn run_block(&self, b: BlockCoord) {
+            self.hits.fetch_add_u32(self.grid.flat_of(b) as usize, 1);
+        }
+    }
+
+    fn counter(grid: GridDim) -> (TransformedKernel, Arc<GpuBuffer>) {
+        let hits = Arc::new(GpuBuffer::new(grid.total_blocks() as usize * 4));
+        (
+            TransformedKernel::new(Arc::new(Counter {
+                grid,
+                hits: hits.clone(),
+            })),
+            hits,
+        )
+    }
+
+    fn assert_each_block_once(hits: &GpuBuffer, total: u64) {
+        for i in 0..total {
+            assert_eq!(hits.load_u32(i as usize), 1, "block {i}");
+        }
+    }
+
+    #[test]
+    fn undisturbed_dispatch_launches_once() {
+        let device = DeviceConfig::tiny(4);
+        let grid = GridDim::d2(40, 10);
+        let (k, hits) = counter(grid);
+        let d = Dispatcher::new(device, k, 10, SmRange::all(4));
+        let out = d.run();
+        assert_eq!(out.launches, 1);
+        assert_eq!(out.blocks, 400);
+        assert_each_block_once(&hits, 400);
+    }
+
+    #[test]
+    fn resize_before_run_starts_on_the_new_range() {
+        let device = DeviceConfig::tiny(4);
+        let grid = GridDim::d1(5_000);
+        let (k, hits) = counter(grid);
+        let d = Dispatcher::new(device.clone(), k, 10, SmRange::all(4));
+        let h = d.handle();
+        // Resize before running: the dispatch loop picks up the new range
+        // immediately (the raced retreat at worst forces one relaunch).
+        h.resize(SmRange::new(0, 1));
+        let out = d.run();
+        assert_eq!(out.blocks, 5_000);
+        assert_each_block_once(&hits, 5_000);
+        assert!(h.done());
+        // The final launch ran on the shrunken range: half the dispatched
+        // workers were gated off SMs 2 and 3.
+        let last = out.runs.last().unwrap();
+        assert!(last.gated_workers > 0, "gate must have fired: {last:?}");
+    }
+
+    #[test]
+    fn concurrent_resizes_never_lose_or_duplicate_blocks() {
+        let device = DeviceConfig::tiny(4);
+        let grid = GridDim::d2(200, 50); // 10k blocks
+        let (k, hits) = counter(grid);
+        let d = Dispatcher::new(device, k, 5, SmRange::all(4));
+        let h = d.handle();
+        let resizer = std::thread::spawn(move || {
+            let ranges = [
+                SmRange::new(0, 0),
+                SmRange::new(1, 3),
+                SmRange::new(2, 2),
+                SmRange::all(4),
+            ];
+            for r in ranges {
+                std::thread::sleep(std::time::Duration::from_micros(200));
+                h.resize(r);
+            }
+        });
+        let out = d.run();
+        resizer.join().unwrap();
+        assert_eq!(out.blocks, 10_000);
+        assert_each_block_once(&hits, 10_000);
+    }
+
+    #[test]
+    fn progress_is_monotonic_and_reaches_total() {
+        let device = DeviceConfig::tiny(2);
+        let (k, _) = counter(GridDim::d1(1_000));
+        let d = Dispatcher::new(device, k, 10, SmRange::all(2));
+        let h = d.handle();
+        assert_eq!(h.progress(), 0);
+        assert!(!h.done());
+        let out = d.run();
+        assert_eq!(h.progress(), 1_000);
+        assert!(h.done());
+        assert!(out.queue_pulls >= 100);
+    }
+}

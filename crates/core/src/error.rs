@@ -1,0 +1,147 @@
+//! Error types for the Slate client/daemon API.
+//!
+//! Mirrors the CUDA error model: allocation failures, invalid handles,
+//! launch failures, and lost connections are distinct, matchable
+//! conditions. The daemon transports errors as strings over the command
+//! pipe (they cross the "process" boundary); [`SlateError::from_wire`]
+//! restores the structured form on the client side.
+
+use std::fmt;
+
+/// Errors surfaced by the Slate API.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SlateError {
+    /// Device memory exhausted (`cudaErrorMemoryAllocation`).
+    OutOfMemory {
+        /// Bytes requested by the failing allocation.
+        requested: u64,
+    },
+    /// A pointer handle that is not live in this session
+    /// (`cudaErrorInvalidDevicePointer`).
+    InvalidPointer {
+        /// The offending handle value.
+        ptr: u64,
+    },
+    /// A kernel launch was rejected or failed (`cudaErrorLaunchFailure`).
+    Launch(String),
+    /// A `#pragma slate` directive could not be parsed.
+    Pragma(String),
+    /// The daemon connection is gone (process teardown).
+    Disconnected,
+    /// Anything else, with the daemon's description.
+    Other(String),
+}
+
+impl SlateError {
+    /// Serializes for the command pipe. The prefix encodes the variant so
+    /// the client can restore it.
+    pub fn to_wire(&self) -> String {
+        match self {
+            SlateError::OutOfMemory { requested } => format!("E_OOM:{requested}"),
+            SlateError::InvalidPointer { ptr } => format!("E_PTR:{ptr}"),
+            SlateError::Launch(m) => format!("E_LAUNCH:{m}"),
+            SlateError::Pragma(m) => format!("E_PRAGMA:{m}"),
+            SlateError::Disconnected => "E_DISCONNECTED".to_string(),
+            SlateError::Other(m) => format!("E_OTHER:{m}"),
+        }
+    }
+
+    /// Restores a structured error from its wire form; unknown strings
+    /// become [`SlateError::Other`].
+    pub fn from_wire(s: &str) -> SlateError {
+        if let Some(rest) = s.strip_prefix("E_OOM:") {
+            if let Ok(requested) = rest.parse() {
+                return SlateError::OutOfMemory { requested };
+            }
+        }
+        if let Some(rest) = s.strip_prefix("E_PTR:") {
+            if let Ok(ptr) = rest.parse() {
+                return SlateError::InvalidPointer { ptr };
+            }
+        }
+        if let Some(rest) = s.strip_prefix("E_LAUNCH:") {
+            return SlateError::Launch(rest.to_string());
+        }
+        if let Some(rest) = s.strip_prefix("E_PRAGMA:") {
+            return SlateError::Pragma(rest.to_string());
+        }
+        if s == "E_DISCONNECTED" {
+            return SlateError::Disconnected;
+        }
+        SlateError::Other(
+            s.strip_prefix("E_OTHER:").unwrap_or(s).to_string(),
+        )
+    }
+}
+
+impl fmt::Display for SlateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SlateError::OutOfMemory { requested } => {
+                write!(f, "out of device memory ({requested} bytes requested)")
+            }
+            SlateError::InvalidPointer { ptr } => {
+                write!(f, "invalid slate pointer 0x{ptr:x}")
+            }
+            SlateError::Launch(m) => write!(f, "kernel launch failed: {m}"),
+            SlateError::Pragma(m) => write!(f, "pragma error: {m}"),
+            SlateError::Disconnected => write!(f, "daemon disconnected"),
+            SlateError::Other(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+impl std::error::Error for SlateError {}
+
+impl From<String> for SlateError {
+    fn from(s: String) -> Self {
+        SlateError::from_wire(&s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_roundtrip_preserves_variants() {
+        let cases = [
+            SlateError::OutOfMemory { requested: 4096 },
+            SlateError::InvalidPointer { ptr: 0xdead },
+            SlateError::Launch("bad grid".into()),
+            SlateError::Pragma("unknown directive".into()),
+            SlateError::Disconnected,
+            SlateError::Other("misc".into()),
+        ];
+        for e in cases {
+            assert_eq!(SlateError::from_wire(&e.to_wire()), e, "{e}");
+        }
+    }
+
+    #[test]
+    fn unknown_wire_strings_become_other() {
+        assert_eq!(
+            SlateError::from_wire("something odd"),
+            SlateError::Other("something odd".into())
+        );
+        // Malformed payloads degrade gracefully.
+        assert_eq!(
+            SlateError::from_wire("E_OOM:not-a-number"),
+            SlateError::Other("E_OOM:not-a-number".into())
+        );
+    }
+
+    #[test]
+    fn display_is_human_readable() {
+        let e = SlateError::OutOfMemory { requested: 1024 };
+        assert!(e.to_string().contains("1024 bytes"));
+        let e = SlateError::InvalidPointer { ptr: 255 };
+        assert!(e.to_string().contains("0xff"));
+    }
+
+    #[test]
+    fn implements_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&SlateError::Disconnected);
+    }
+}

@@ -1,0 +1,52 @@
+//! # slate-core
+//!
+//! Rust implementation of **Slate** — the workload-aware GPU
+//! multiprocessing framework of Allen, Feng & Ge (IPDPS 2019) — over the
+//! `slate-gpu-sim` substrate.
+//!
+//! The crate has two coupled layers:
+//!
+//! **Functional layer** (real threads, real atomics) — demonstrates and
+//! tests the mechanisms themselves:
+//! [`transform`] (grid flattening `K(B,T) → K*(B*,T)`), [`queue`] (the
+//! `slateIdx` task queue), [`workers`] (persistent workers with the SM-range
+//! gate of Listing 1), [`dispatch`] (the resizing dispatch kernel of
+//! Listing 3), [`scanner`]/[`injector`] (the FLEX + NVRTC source-injection
+//! pipeline), and the client/daemon runtime in [`daemon`] and [`api`].
+//!
+//! **Scheduling layer** (simulated time) — reproduces the paper's
+//! performance results: [`profile`] (first-run profiling + profile table),
+//! [`classify`]/[`policy`]/[`select`] (workload classes, Table I, the Fig. 4
+//! selection algorithm), [`partition`] (SM-demand-driven spatial splits) and
+//! [`runtime`] (the Slate scheduler with co-running and dynamic resizing,
+//! implementing the common `Runtime` trait next to the CUDA and MPS
+//! baselines).
+
+#![warn(missing_docs)]
+
+pub mod api;
+pub mod channel;
+pub mod classify;
+pub mod daemon;
+pub mod dispatch;
+pub mod error;
+pub mod injector;
+pub mod partition;
+pub mod policy;
+pub mod pragma;
+pub mod profile;
+pub mod queue;
+pub mod runtime;
+pub mod scanner;
+pub mod select;
+pub mod transform;
+pub mod workers;
+
+pub use api::SlateClient;
+pub use channel::SlatePtr;
+pub use classify::WorkloadClass;
+pub use error::SlateError;
+pub use daemon::SlateDaemon;
+pub use policy::{should_corun, Verdict};
+pub use profile::{KernelProfile, ProfileTable};
+pub use runtime::{SlateOptions, SlateRuntime};

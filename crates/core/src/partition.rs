@@ -1,0 +1,119 @@
+//! SM partitioning for co-running kernels (paper §III-C).
+//!
+//! When Slate decides to co-run a pair, it must split the device's SMs
+//! between them. The guiding observation (Fig. 1) is that many kernels
+//! saturate well before the full device: a memory-bound kernel stops
+//! scaling at the bandwidth knee, and a parallelism-limited kernel (RG)
+//! stops at its resident-block cap. The partitioner therefore grants the
+//! kernel with the *smaller* SM demand its full demand — those SMs are all
+//! it can use — and hands everything else to its partner. Surplus beyond
+//! both demands goes to the larger-demand kernel, which is the one still
+//! scaling.
+
+use slate_gpu_sim::device::{DeviceConfig, SmRange};
+
+/// A split of the device between two co-running kernels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Partition {
+    /// SM range for the first (already running) kernel.
+    pub a: SmRange,
+    /// SM range for the second (incoming) kernel.
+    pub b: SmRange,
+}
+
+/// Splits `cfg.num_sms` SMs between kernels with SM demands `demand_a` and
+/// `demand_b`. Both sides always receive at least one SM.
+pub fn partition(cfg: &DeviceConfig, demand_a: u32, demand_b: u32) -> Partition {
+    let n = cfg.num_sms;
+    assert!(n >= 2, "cannot partition a device with fewer than 2 SMs");
+    let da = demand_a.clamp(1, n - 1);
+    let db = demand_b.clamp(1, n - 1);
+    let a_sms = if da + db <= n {
+        // Both demands fit: surplus goes to the kernel still scaling.
+        let surplus = n - da - db;
+        if da >= db {
+            da + surplus
+        } else {
+            da
+        }
+    } else {
+        // Oversubscribed. A kernel demanding less than half the device is
+        // granted in full (it cannot use more); otherwise both are hungry
+        // and the split is proportional.
+        let half = n / 2;
+        if da < half && da <= db {
+            da
+        } else if db < half && db < da {
+            n - db
+        } else {
+            ((n as f64 * da as f64 / (da + db) as f64).round() as u32).clamp(1, n - 1)
+        }
+    };
+    let a_sms = a_sms.clamp(1, n - 1);
+    Partition {
+        a: SmRange::new(0, a_sms - 1),
+        b: SmRange::new(a_sms, n - 1),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slate_gpu_sim::device::DeviceConfig;
+
+    fn cfg() -> DeviceConfig {
+        DeviceConfig::titan_xp()
+    }
+
+    #[test]
+    fn ranges_are_disjoint_and_cover_the_device() {
+        for da in [1u32, 5, 14, 29, 30, 60] {
+            for db in [1u32, 5, 14, 29, 30, 60] {
+                let p = partition(&cfg(), da, db);
+                assert!(!p.a.overlaps(&p.b), "da={da} db={db}: {p:?}");
+                assert_eq!(p.a.len() + p.b.len(), 30, "da={da} db={db}");
+                assert_eq!(p.a.lo, 0);
+                assert_eq!(p.b.hi, 29);
+            }
+        }
+    }
+
+    #[test]
+    fn small_demand_kernel_gets_its_demand_when_oversubscribed() {
+        // RG (demand ~14) joining BS (demand 30): RG keeps 14, BS gets 16.
+        let p = partition(&cfg(), 30, 14);
+        assert_eq!(p.b.len(), 14);
+        assert_eq!(p.a.len(), 16);
+        // Same the other way round.
+        let p = partition(&cfg(), 14, 30);
+        assert_eq!(p.a.len(), 14);
+        assert_eq!(p.b.len(), 16);
+    }
+
+    #[test]
+    fn surplus_goes_to_the_scaling_kernel() {
+        // Demands 9 + 14 = 23 < 30: the 14-demand kernel takes the extra 7.
+        let p = partition(&cfg(), 9, 14);
+        assert_eq!(p.a.len(), 9);
+        assert_eq!(p.b.len(), 21);
+        let p = partition(&cfg(), 14, 9);
+        assert_eq!(p.a.len(), 21);
+        assert_eq!(p.b.len(), 9);
+    }
+
+    #[test]
+    fn equal_full_demands_split_evenly() {
+        let p = partition(&cfg(), 30, 30);
+        assert_eq!(p.a.len(), 15);
+        assert_eq!(p.b.len(), 15);
+    }
+
+    #[test]
+    fn degenerate_demands_still_leave_one_sm_each() {
+        let p = partition(&cfg(), 0, 0);
+        assert!(p.a.len() >= 1 && p.b.len() >= 1);
+        let p = partition(&cfg(), 100, 1);
+        assert_eq!(p.b.len(), 1);
+        assert_eq!(p.a.len(), 29);
+    }
+}

@@ -1,0 +1,234 @@
+//! Pragma-directed static injection (paper §IV-B).
+//!
+//! "Alternatively, *Slate* can perform code injection statically using an
+//! OMP-like pragma method, which is less transparent." This module parses
+//! that pragma dialect from kernel sources:
+//!
+//! ```c
+//! #pragma slate transform task_size(4)
+//! __global__ void my_kernel(...) { ... }
+//!
+//! #pragma slate solo            // heavily optimized library kernel:
+//! __global__ void cublas_like(...) { ... }   // never co-run (§IV-A1)
+//! ```
+//!
+//! * `transform [task_size(N)]` — transform this kernel, optionally with a
+//!   per-kernel task size overriding the daemon default;
+//! * `solo` — transform, but pin the kernel to solo execution: the paper
+//!   expects Slate to "recognize the heavily optimized implementations and
+//!   run them solo" instead of co-scheduling them;
+//! * `skip` — leave the kernel untouched (launch it as plain CUDA).
+
+use crate::injector::{inject_kernel, InjectedKernel};
+use crate::scanner::scan_kernels;
+
+/// Per-kernel directive parsed from a `#pragma slate` line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Directive {
+    /// Transform with an optional task-size override.
+    Transform {
+        /// `task_size(N)` if present.
+        task_size: Option<u32>,
+    },
+    /// Transform but never co-run with other kernels.
+    Solo,
+    /// Do not transform this kernel.
+    Skip,
+}
+
+/// A kernel's pragma-resolved injection plan.
+#[derive(Debug)]
+pub struct PragmaKernel {
+    /// Kernel name.
+    pub name: String,
+    /// The directive applied (explicit or the default `Transform`).
+    pub directive: Directive,
+    /// The injected source, unless the directive was `Skip`.
+    pub injected: Option<InjectedKernel>,
+}
+
+/// Parses one pragma body (the text after `#pragma slate`).
+fn parse_directive(body: &str) -> Result<Directive, String> {
+    let body = body.trim();
+    let (head, rest) = match body.find(|c: char| c.is_whitespace()) {
+        Some(i) => (&body[..i], body[i..].trim()),
+        None => (body, ""),
+    };
+    match head {
+        "solo" => {
+            if rest.is_empty() {
+                Ok(Directive::Solo)
+            } else {
+                Err(format!("unexpected arguments after `solo`: {rest}"))
+            }
+        }
+        "skip" => {
+            if rest.is_empty() {
+                Ok(Directive::Skip)
+            } else {
+                Err(format!("unexpected arguments after `skip`: {rest}"))
+            }
+        }
+        "transform" => {
+            if rest.is_empty() {
+                return Ok(Directive::Transform { task_size: None });
+            }
+            let inner = rest
+                .strip_prefix("task_size(")
+                .and_then(|r| r.strip_suffix(')'))
+                .ok_or_else(|| format!("expected task_size(N), got: {rest}"))?;
+            let n: u32 = inner
+                .trim()
+                .parse()
+                .map_err(|_| format!("task_size must be an integer, got: {inner}"))?;
+            if n == 0 {
+                return Err("task_size must be at least 1".into());
+            }
+            Ok(Directive::Transform { task_size: Some(n) })
+        }
+        other => Err(format!("unknown slate pragma `{other}`")),
+    }
+}
+
+/// Finds `#pragma slate ...` lines and the byte offset of the line end, so
+/// each can be associated with the next kernel definition after it.
+fn find_pragmas(src: &str) -> Result<Vec<(usize, Directive)>, String> {
+    let mut out = Vec::new();
+    let mut offset = 0;
+    for line in src.lines() {
+        let trimmed = line.trim_start();
+        if let Some(rest) = trimmed.strip_prefix("#pragma") {
+            let rest = rest.trim_start();
+            if let Some(body) = rest.strip_prefix("slate") {
+                let d = parse_directive(body)
+                    .map_err(|e| format!("line `{}`: {e}", line.trim()))?;
+                out.push((offset + line.len(), d));
+            }
+        }
+        offset += line.len() + 1;
+    }
+    Ok(out)
+}
+
+/// Statically injects a source according to its pragmas. Kernels without a
+/// preceding pragma get the default transform with `default_task_size`.
+pub fn inject_with_pragmas(
+    src: &str,
+    default_task_size: u32,
+) -> Result<Vec<PragmaKernel>, String> {
+    let pragmas = find_pragmas(src)?;
+    let kernels = scan_kernels(src);
+    let mut out = Vec::with_capacity(kernels.len());
+    for k in &kernels {
+        // The governing pragma is the closest one above the kernel name
+        // that is not already past another kernel.
+        let prev_kernel_end = kernels
+            .iter()
+            .filter(|other| other.name_span.start < k.name_span.start)
+            .map(|other| other.body_span.end)
+            .max()
+            .unwrap_or(0);
+        let directive = pragmas
+            .iter()
+            .filter(|(pos, _)| *pos < k.name_span.start && *pos >= prev_kernel_end)
+            .next_back()
+            .map(|(_, d)| d.clone())
+            .unwrap_or(Directive::Transform { task_size: None });
+        let injected = match &directive {
+            Directive::Skip => None,
+            Directive::Solo => Some(inject_kernel(src, k, default_task_size)),
+            Directive::Transform { task_size } => Some(inject_kernel(
+                src,
+                k,
+                task_size.unwrap_or(default_task_size),
+            )),
+        };
+        out.push(PragmaKernel {
+            name: k.name.clone(),
+            directive,
+            injected,
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SRC: &str = r#"
+#pragma slate transform task_size(4)
+__global__ void tuned(float* a) { a[blockIdx.x] = 1.f; }
+
+#pragma slate solo
+__global__ void library_gemm(float* c) { c[blockIdx.x] = 2.f; }
+
+#pragma slate skip
+__global__ void untouched(float* d) { d[blockIdx.x] = 3.f; }
+
+__global__ void defaulted(float* e) { e[blockIdx.x] = 4.f; }
+"#;
+
+    #[test]
+    fn pragmas_bind_to_the_following_kernel() {
+        let ks = inject_with_pragmas(SRC, 10).unwrap();
+        assert_eq!(ks.len(), 4);
+        assert_eq!(ks[0].directive, Directive::Transform { task_size: Some(4) });
+        assert_eq!(ks[1].directive, Directive::Solo);
+        assert_eq!(ks[2].directive, Directive::Skip);
+        assert_eq!(
+            ks[3].directive,
+            Directive::Transform { task_size: None },
+            "no pragma -> default transform"
+        );
+    }
+
+    #[test]
+    fn task_size_override_lands_in_the_source() {
+        let ks = inject_with_pragmas(SRC, 10).unwrap();
+        let tuned = ks[0].injected.as_ref().unwrap();
+        assert!(tuned.source.contains("#define SLATE_ITERS 4"));
+        let defaulted = ks[3].injected.as_ref().unwrap();
+        assert!(defaulted.source.contains("#define SLATE_ITERS 10"));
+    }
+
+    #[test]
+    fn skip_leaves_kernel_untouched() {
+        let ks = inject_with_pragmas(SRC, 10).unwrap();
+        assert!(ks[2].injected.is_none());
+        // Solo kernels are still transformed (they run through Slate, just
+        // never co-scheduled).
+        assert!(ks[1].injected.is_some());
+    }
+
+    #[test]
+    fn a_pragma_does_not_leak_past_a_kernel() {
+        let src = r#"
+#pragma slate solo
+__global__ void first(float* a) { a[0] = 1.f; }
+__global__ void second(float* b) { b[0] = 2.f; }
+"#;
+        let ks = inject_with_pragmas(src, 10).unwrap();
+        assert_eq!(ks[0].directive, Directive::Solo);
+        assert_eq!(ks[1].directive, Directive::Transform { task_size: None });
+    }
+
+    #[test]
+    fn malformed_pragmas_are_rejected() {
+        for bad in [
+            "#pragma slate frobnicate\n__global__ void k(int a) { }",
+            "#pragma slate transform task_size(zero)\n__global__ void k(int a) { }",
+            "#pragma slate transform task_size(0)\n__global__ void k(int a) { }",
+            "#pragma slate solo extra\n__global__ void k(int a) { }",
+        ] {
+            assert!(inject_with_pragmas(bad, 10).is_err(), "{bad}");
+        }
+    }
+
+    #[test]
+    fn non_slate_pragmas_are_ignored() {
+        let src = "#pragma once\n#pragma unroll 4\n__global__ void k(float* a) { a[0] = 1.f; }";
+        let ks = inject_with_pragmas(src, 10).unwrap();
+        assert_eq!(ks[0].directive, Directive::Transform { task_size: None });
+    }
+}

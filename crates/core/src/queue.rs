@@ -1,0 +1,207 @@
+//! The device task queue (paper Listings 2 and 3).
+//!
+//! Slate flattens a user grid into `slateMax` blocks and drives execution
+//! through a single scheduling index `slateIdx`: every persistent worker
+//! pulls the next `SLATE_ITERS` blocks with one `atomicAdd` and executes
+//! them in order. A `retreat` flag — raised when the SM partition must
+//! change — makes workers finish their current task and exit; because
+//! `slateIdx` counts *pulled* tasks and pulled tasks are always completed
+//! before exit, the index is exactly the carry-over point for a relaunch.
+//!
+//! This is a faithful host-side implementation with the same atomics
+//! (`fetch_add` on the index, acquire/release on the flag).
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+/// A group of consecutive user blocks pulled from the queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Task {
+    /// First flat block index of the task.
+    pub start: u64,
+    /// Number of blocks in the task (clamped at the queue end, so the last
+    /// task may be shorter than `SLATE_ITERS`).
+    pub len: u32,
+}
+
+/// The shared task queue of one kernel execution.
+#[derive(Debug)]
+pub struct TaskQueue {
+    slate_idx: AtomicU64,
+    slate_max: u64,
+    task_size: u32,
+    retreat: AtomicBool,
+    pulls: AtomicU64,
+}
+
+impl TaskQueue {
+    /// Creates a queue over `total` blocks with the given task size
+    /// (`SLATE_ITERS`; the paper's default is 10).
+    pub fn new(total: u64, task_size: u32) -> Self {
+        Self::with_progress(0, total, task_size)
+    }
+
+    /// Creates a queue that resumes from block `start` — what the dispatch
+    /// kernel does on a relaunch after a resize.
+    pub fn with_progress(start: u64, total: u64, task_size: u32) -> Self {
+        assert!(task_size >= 1, "task size must be at least 1");
+        assert!(start <= total, "start {start} beyond total {total}");
+        Self {
+            slate_idx: AtomicU64::new(start),
+            slate_max: total,
+            task_size,
+            retreat: AtomicBool::new(false),
+            pulls: AtomicU64::new(0),
+        }
+    }
+
+    /// Total blocks (`slateMax`).
+    pub fn total(&self) -> u64 {
+        self.slate_max
+    }
+
+    /// Task size (`SLATE_ITERS`).
+    pub fn task_size(&self) -> u32 {
+        self.task_size
+    }
+
+    /// Atomically pulls the next task. Returns `None` once the queue is
+    /// exhausted. Never returns an empty task.
+    pub fn pull(&self) -> Option<Task> {
+        let start = self
+            .slate_idx
+            .fetch_add(self.task_size as u64, Ordering::AcqRel);
+        if start >= self.slate_max {
+            return None;
+        }
+        self.pulls.fetch_add(1, Ordering::Relaxed);
+        let len = (self.slate_max - start).min(self.task_size as u64) as u32;
+        Some(Task { start, len })
+    }
+
+    /// Raises the retreat flag: workers finish their current task and exit.
+    pub fn signal_retreat(&self) {
+        self.retreat.store(true, Ordering::Release);
+    }
+
+    /// Clears the retreat flag before a relaunch.
+    pub fn clear_retreat(&self) {
+        self.retreat.store(false, Ordering::Release);
+    }
+
+    /// Whether workers should retreat (checked after each task).
+    pub fn retreating(&self) -> bool {
+        self.retreat.load(Ordering::Acquire)
+    }
+
+    /// Progress: blocks pulled (and therefore completed, since workers
+    /// always finish a pulled task). Clamped to `total` because the
+    /// `fetch_add` race lets the raw index overshoot.
+    pub fn progress(&self) -> u64 {
+        self.slate_idx.load(Ordering::Acquire).min(self.slate_max)
+    }
+
+    /// Blocks not yet pulled.
+    pub fn remaining(&self) -> u64 {
+        self.slate_max - self.progress()
+    }
+
+    /// Whether every block has been pulled.
+    pub fn drained(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    /// Number of atomic task pulls performed (the overhead Slate's task
+    /// grouping amortises, Table V).
+    pub fn pull_count(&self) -> u64 {
+        self.pulls.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn sequential_pulls_cover_exactly_once() {
+        let q = TaskQueue::new(25, 10);
+        let t1 = q.pull().unwrap();
+        let t2 = q.pull().unwrap();
+        let t3 = q.pull().unwrap();
+        assert_eq!((t1.start, t1.len), (0, 10));
+        assert_eq!((t2.start, t2.len), (10, 10));
+        assert_eq!((t3.start, t3.len), (20, 5), "tail task clamped");
+        assert!(q.pull().is_none());
+        assert!(q.drained());
+        assert_eq!(q.pull_count(), 3);
+    }
+
+    #[test]
+    fn resume_from_progress() {
+        let q = TaskQueue::with_progress(40, 100, 10);
+        assert_eq!(q.progress(), 40);
+        assert_eq!(q.remaining(), 60);
+        let t = q.pull().unwrap();
+        assert_eq!(t.start, 40);
+    }
+
+    #[test]
+    fn retreat_flag_roundtrip() {
+        let q = TaskQueue::new(10, 1);
+        assert!(!q.retreating());
+        q.signal_retreat();
+        assert!(q.retreating());
+        q.clear_retreat();
+        assert!(!q.retreating());
+    }
+
+    #[test]
+    fn progress_clamped_after_overshoot() {
+        let q = TaskQueue::new(5, 10);
+        assert!(q.pull().is_some());
+        assert!(q.pull().is_none()); // overshoots the raw index
+        assert_eq!(q.progress(), 5);
+        assert!(q.drained());
+    }
+
+    #[test]
+    fn concurrent_pulls_partition_the_range() {
+        let q = Arc::new(TaskQueue::new(10_000, 7));
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let q = q.clone();
+            handles.push(std::thread::spawn(move || {
+                let mut seen = Vec::new();
+                while let Some(t) = q.pull() {
+                    seen.push(t);
+                }
+                seen
+            }));
+        }
+        let mut all: Vec<Task> = handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect();
+        all.sort_by_key(|t| t.start);
+        // Tasks tile [0, 10000) exactly, no gaps, no overlaps.
+        let mut next = 0u64;
+        for t in &all {
+            assert_eq!(t.start, next, "gap or overlap at {next}");
+            next += t.len as u64;
+        }
+        assert_eq!(next, 10_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "task size")]
+    fn rejects_zero_task_size() {
+        TaskQueue::new(10, 0);
+    }
+
+    #[test]
+    fn zero_block_queue_is_born_drained() {
+        let q = TaskQueue::new(0, 10);
+        assert!(q.drained());
+        assert!(q.pull().is_none());
+    }
+}

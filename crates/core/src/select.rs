@@ -1,0 +1,98 @@
+//! Concurrent kernel selection (paper §III-B, Fig. 4).
+//!
+//! When kernel `J_k` is active and others wait, Slate examines the waiting
+//! queue in order for a kernel whose workload class is complementary to the
+//! active one under the heuristic policy (Table I); if none is found, `J_k`
+//! runs solo on the whole device. The complementarity criterion is ANTT:
+//! co-running wins when `max(T'_k, T'_{k+1}) < T_k + T_{k+1}`.
+
+use crate::classify::WorkloadClass;
+use crate::policy::should_corun;
+
+/// ANTT of consecutive solo executions (the CUDA default): `T_k + T_{k+1}`.
+pub fn antt_consecutive(t_a: f64, t_b: f64) -> f64 {
+    t_a + t_b
+}
+
+/// ANTT of concurrent execution: `max(T'_k, T'_{k+1})`.
+pub fn antt_concurrent(t_a_corun: f64, t_b_corun: f64) -> f64 {
+    t_a_corun.max(t_b_corun)
+}
+
+/// The paper's complementarity criterion: concurrent execution must beat
+/// consecutive execution.
+pub fn corun_is_profitable(t_a: f64, t_b: f64, t_a_corun: f64, t_b_corun: f64) -> bool {
+    antt_concurrent(t_a_corun, t_b_corun) < antt_consecutive(t_a, t_b)
+}
+
+/// Margin used when deriving a policy from measurements: a co-run must beat
+/// consecutive execution by at least this fraction to be worth the
+/// scheduling risk (break-even pairs default to solo).
+pub const PROFIT_MARGIN: f64 = 0.02;
+
+/// The policy-derivation criterion: concurrent execution must clearly beat
+/// consecutive execution (by [`PROFIT_MARGIN`]).
+pub fn corun_clearly_profitable(t_a: f64, t_b: f64, t_a_corun: f64, t_b_corun: f64) -> bool {
+    antt_concurrent(t_a_corun, t_b_corun) < antt_consecutive(t_a, t_b) * (1.0 - PROFIT_MARGIN)
+}
+
+/// Scans `waiting` (in queue order, starting at `cursor` for round-robin
+/// fairness) for the first kernel complementary to `active`; returns its
+/// index into `waiting`.
+pub fn find_partner(
+    active: WorkloadClass,
+    waiting: &[WorkloadClass],
+    cursor: usize,
+) -> Option<usize> {
+    let n = waiting.len();
+    (0..n)
+        .map(|k| (cursor + k) % n.max(1))
+        .find(|&i| should_corun(active, waiting[i]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classify::WorkloadClass::*;
+
+    #[test]
+    fn antt_criterion_matches_paper_definition() {
+        // Solo 10s each; corun stretches both to 12s: 12 < 20 -> profitable.
+        assert!(corun_is_profitable(10.0, 10.0, 12.0, 12.0));
+        // Corun doubles both: 20 == 20 -> not profitable (strict).
+        assert!(!corun_is_profitable(10.0, 10.0, 20.0, 20.0));
+        // Asymmetric: the slower co-runner decides.
+        assert!(!corun_is_profitable(10.0, 10.0, 21.0, 5.0));
+        assert!(corun_is_profitable(10.0, 10.0, 19.0, 5.0));
+    }
+
+    #[test]
+    fn margin_criterion_rejects_break_even() {
+        assert!(corun_is_profitable(10.0, 10.0, 19.9, 19.9));
+        assert!(!corun_clearly_profitable(10.0, 10.0, 19.9, 19.9));
+        assert!(corun_clearly_profitable(10.0, 10.0, 15.0, 15.0));
+    }
+
+    #[test]
+    fn finds_first_complementary_in_queue_order() {
+        // Active M_M: M_M no, H_M no, L_C yes.
+        let waiting = [MM, HM, LC];
+        assert_eq!(find_partner(MM, &waiting, 0), Some(2));
+    }
+
+    #[test]
+    fn returns_none_when_nothing_complementary() {
+        let waiting = [MM, HM, HM];
+        assert_eq!(find_partner(MM, &waiting, 0), None);
+        assert_eq!(find_partner(MM, &[], 0), None);
+    }
+
+    #[test]
+    fn cursor_rotates_the_scan() {
+        // Two complementary candidates; the cursor picks fairly.
+        let waiting = [LC, MM, LC];
+        assert_eq!(find_partner(MM, &waiting, 0), Some(0));
+        assert_eq!(find_partner(MM, &waiting, 1), Some(2));
+        assert_eq!(find_partner(MM, &waiting, 2), Some(2));
+    }
+}

@@ -1,0 +1,221 @@
+//! Persistent workers with SM-range gating (paper §III-A3, Listing 1).
+//!
+//! Slate sizes the worker set to the maximum number of thread blocks the
+//! *designated* SMs can hold resident, launches one grid of workers, and
+//! gates each worker on its SM id: workers landing outside
+//! `[sm_low, sm_high]` return immediately; survivors loop pulling tasks
+//! from the queue until it drains or the retreat flag rises.
+//!
+//! This module is the functional counterpart: simulated workers (backed by
+//! OS threads through rayon) carry an SM id assigned round-robin the way
+//! the hardware distributes blocks, run the same gate, and drive a real
+//! [`TaskQueue`] with real atomics. The timing counterpart lives in the
+//! fluid engine (`ExecMode::SlateWorkers`).
+
+use crate::queue::TaskQueue;
+use crate::transform::TransformedKernel;
+use slate_gpu_sim::device::{DeviceConfig, SmRange};
+use slate_gpu_sim::occupancy;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Outcome of one persistent-worker launch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkerRunStats {
+    /// Workers that passed the SM gate and executed tasks.
+    pub live_workers: u64,
+    /// Workers that landed on undesignated SMs and exited immediately.
+    pub gated_workers: u64,
+    /// Blocks executed during this launch.
+    pub blocks_executed: u64,
+    /// Whether the launch ended because of a retreat signal (vs drain).
+    pub retreated: bool,
+}
+
+/// Sizes the worker grid for a kernel on the designated SM range: the
+/// maximum resident blocks those SMs support (paper: "*Slate* always sets
+/// the size of workers as the maximum number of thread blocks that the
+/// designated SMs can support").
+pub fn worker_count(device: &DeviceConfig, kernel: &TransformedKernel, range: SmRange) -> u64 {
+    let per_sm = occupancy::blocks_per_sm(device, &kernel.inner().perf()) as u64;
+    per_sm * range.len() as u64
+}
+
+/// Launches one set of persistent workers bound to `range` and runs until
+/// the queue drains or retreats.
+///
+/// The launch models the hardware flow: `device.num_sms * blocks_per_sm`
+/// worker blocks are dispatched round-robin over all SMs (the hardware
+/// scheduler does not know about the partition), and the injected Listing 1
+/// gate kills the ones outside the range.
+pub fn launch_workers(
+    device: &DeviceConfig,
+    kernel: &TransformedKernel,
+    queue: &TaskQueue,
+    range: SmRange,
+) -> WorkerRunStats {
+    assert!(
+        range.hi < device.num_sms,
+        "range {range:?} outside device with {} SMs",
+        device.num_sms
+    );
+    let per_sm = occupancy::blocks_per_sm(device, &kernel.inner().perf()) as u64;
+    assert!(per_sm > 0, "kernel cannot launch (occupancy 0)");
+    let total_workers = per_sm * device.num_sms as u64;
+
+    let live = AtomicU64::new(0);
+    let gated = AtomicU64::new(0);
+    let blocks = AtomicU64::new(0);
+    let retreated = AtomicU64::new(0);
+
+    rayon::scope(|s| {
+        for w in 0..total_workers {
+            let (live, gated, blocks, retreated) = (&live, &gated, &blocks, &retreated);
+            s.spawn(move |_| {
+                // Hardware distributes blocks round-robin over SMs.
+                let sm = (w % device.num_sms as u64) as u32;
+                // Listing 1: the whole block quits on an undesignated SM.
+                if !range.contains(sm) {
+                    gated.fetch_add(1, Ordering::Relaxed);
+                    return;
+                }
+                live.fetch_add(1, Ordering::Relaxed);
+                // Listing 2: pull tasks until drained or retreating.
+                loop {
+                    let Some(task) = queue.pull() else { break };
+                    kernel.run_task(task);
+                    blocks.fetch_add(task.len as u64, Ordering::Relaxed);
+                    if queue.retreating() {
+                        retreated.fetch_add(1, Ordering::Relaxed);
+                        break;
+                    }
+                }
+            });
+        }
+    });
+
+    WorkerRunStats {
+        live_workers: live.load(Ordering::Relaxed),
+        gated_workers: gated.load(Ordering::Relaxed),
+        blocks_executed: blocks.load(Ordering::Relaxed),
+        retreated: retreated.load(Ordering::Relaxed) > 0 && !queue.drained(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slate_gpu_sim::buffer::GpuBuffer;
+    use slate_gpu_sim::perf::KernelPerf;
+    use slate_kernels::grid::{BlockCoord, GridDim};
+    use slate_kernels::kernel::GpuKernel;
+    use std::sync::Arc;
+
+    struct Counter {
+        grid: GridDim,
+        hits: Arc<GpuBuffer>,
+    }
+
+    impl GpuKernel for Counter {
+        fn name(&self) -> &str {
+            "counter"
+        }
+        fn grid(&self) -> GridDim {
+            self.grid
+        }
+        fn perf(&self) -> KernelPerf {
+            KernelPerf::synthetic("counter", 100.0, 4.0)
+        }
+        fn run_block(&self, b: BlockCoord) {
+            self.hits.fetch_add_u32(self.grid.flat_of(b) as usize, 1);
+        }
+    }
+
+    fn counter(grid: GridDim) -> (TransformedKernel, Arc<GpuBuffer>) {
+        let hits = Arc::new(GpuBuffer::new(grid.total_blocks() as usize * 4));
+        (
+            TransformedKernel::new(Arc::new(Counter {
+                grid,
+                hits: hits.clone(),
+            })),
+            hits,
+        )
+    }
+
+    #[test]
+    fn drains_queue_and_executes_every_block_once() {
+        let device = DeviceConfig::tiny(4);
+        let grid = GridDim::d2(33, 7);
+        let (k, hits) = counter(grid);
+        let q = TaskQueue::new(k.slate_max(), 5);
+        let stats = launch_workers(&device, &k, &q, SmRange::all(4));
+        assert!(q.drained());
+        assert!(!stats.retreated);
+        assert_eq!(stats.blocks_executed, grid.total_blocks());
+        assert_eq!(stats.gated_workers, 0);
+        for i in 0..grid.total_blocks() {
+            assert_eq!(hits.load_u32(i as usize), 1, "block {i}");
+        }
+    }
+
+    #[test]
+    fn gate_kills_workers_outside_the_range() {
+        let device = DeviceConfig::tiny(4);
+        let (k, _) = counter(GridDim::d1(100));
+        let q = TaskQueue::new(k.slate_max(), 10);
+        // Only SMs 0..=1 designated: half the workers gate out.
+        let stats = launch_workers(&device, &k, &q, SmRange::new(0, 1));
+        assert!(q.drained());
+        assert_eq!(
+            stats.live_workers + stats.gated_workers,
+            worker_count(&device, &k, SmRange::all(4))
+        );
+        assert_eq!(stats.gated_workers, stats.live_workers, "half gated");
+    }
+
+    #[test]
+    fn worker_count_follows_occupancy_and_range() {
+        let device = DeviceConfig::titan_xp();
+        let (k, _) = counter(GridDim::d1(10));
+        // synthetic kernel: 256 threads, 32 regs -> 8 blocks/SM.
+        assert_eq!(worker_count(&device, &k, SmRange::all(30)), 240);
+        assert_eq!(worker_count(&device, &k, SmRange::new(0, 9)), 80);
+    }
+
+    #[test]
+    fn pre_signalled_retreat_stops_after_one_task_each() {
+        let device = DeviceConfig::tiny(2);
+        let (k, _) = counter(GridDim::d1(10_000));
+        let q = TaskQueue::new(k.slate_max(), 10);
+        q.signal_retreat();
+        let stats = launch_workers(&device, &k, &q, SmRange::all(2));
+        assert!(stats.retreated);
+        assert!(!q.drained());
+        // Each live worker executed at most one task before seeing the flag.
+        assert!(stats.blocks_executed <= stats.live_workers * 10);
+        assert_eq!(stats.blocks_executed, q.progress());
+    }
+
+    #[test]
+    fn progress_equals_blocks_executed_under_retreat() {
+        // The carry-over invariant: whatever was pulled was executed, so a
+        // relaunch from `progress()` misses nothing and repeats nothing.
+        let device = DeviceConfig::tiny(4);
+        let grid = GridDim::d2(50, 40); // 2000 blocks
+        let (k, hits) = counter(grid);
+        let q = TaskQueue::new(k.slate_max(), 7);
+        q.signal_retreat();
+        let first = launch_workers(&device, &k, &q, SmRange::all(4));
+        assert_eq!(first.blocks_executed, q.progress());
+        // Relaunch from the carried progress on a different range.
+        let q2 = TaskQueue::with_progress(q.progress(), k.slate_max(), 7);
+        let second = launch_workers(&device, &k, &q2, SmRange::new(1, 2));
+        assert!(q2.drained());
+        assert_eq!(
+            first.blocks_executed + second.blocks_executed,
+            grid.total_blocks()
+        );
+        for i in 0..grid.total_blocks() {
+            assert_eq!(hits.load_u32(i as usize), 1, "block {i} executed once");
+        }
+    }
+}

@@ -1,0 +1,121 @@
+//! Property tests for the source pipeline: the scanner, injector and
+//! pragma parser must be total over arbitrary byte soup (the daemon feeds
+//! them untrusted client sources), and structure-preserving over
+//! well-formed kernels.
+
+use proptest::prelude::*;
+use slate_core::injector::{inject_source, source_hash};
+use slate_core::pragma::inject_with_pragmas;
+use slate_core::scanner::scan_kernels;
+
+/// Generates a syntactically plausible kernel source.
+fn arb_kernel_source() -> impl Strategy<Value = String> {
+    (
+        "[a-z_][a-z0-9_]{0,15}",                 // kernel name
+        prop::collection::vec("[a-z][a-z0-9_]{0,8}", 0..4), // param names
+        0usize..4,                                // blockIdx uses
+        0usize..3,                                // gridDim uses
+        any::<bool>(),                            // trailing comment
+    )
+        .prop_map(|(name, params, bi, gd, comment)| {
+            let params: Vec<String> = params
+                .iter()
+                .enumerate()
+                .map(|(i, p)| format!("float* {p}{i}"))
+                .collect();
+            let mut body = String::new();
+            for i in 0..bi {
+                body.push_str(&format!("int b{i} = blockIdx.x + {i};\n"));
+            }
+            for i in 0..gd {
+                body.push_str(&format!("int g{i} = gridDim.x * {i};\n"));
+            }
+            body.push_str("if (1) { int nested = threadIdx.x; }\n");
+            let tail = if comment { "// blockIdx in a comment\n" } else { "" };
+            format!(
+                "__global__ void {name}({}) {{\n{body}}}\n{tail}",
+                params.join(", ")
+            )
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The scanner never panics on arbitrary input.
+    #[test]
+    fn scanner_is_total(src in ".{0,400}") {
+        let _ = scan_kernels(&src);
+    }
+
+    /// The injector never panics on arbitrary input and produces one
+    /// injected kernel per scanned kernel.
+    #[test]
+    fn injector_is_total(src in ".{0,400}", task in 1u32..100) {
+        let kernels = scan_kernels(&src);
+        let injected = inject_source(&src, task);
+        prop_assert_eq!(injected.len(), kernels.len());
+    }
+
+    /// The pragma front-end never panics; it errors only on malformed
+    /// `#pragma slate` lines.
+    #[test]
+    fn pragma_is_total(src in ".{0,400}", task in 1u32..100) {
+        let _ = inject_with_pragmas(&src, task);
+    }
+
+    /// For well-formed kernels: every `blockIdx`/`gridDim` use is replaced,
+    /// the worker and dispatcher are both emitted, and the user identifiers
+    /// survive.
+    #[test]
+    fn injection_preserves_structure(src in arb_kernel_source(), task in 1u32..64) {
+        let scanned = scan_kernels(&src);
+        prop_assert_eq!(scanned.len(), 1, "{}", src);
+        let k = &scanned[0];
+        let injected = inject_source(&src, task);
+        prop_assert_eq!(injected.len(), 1);
+        let inj = &injected[0];
+        prop_assert_eq!(inj.block_idx_replaced, k.block_idx_uses.len());
+        prop_assert_eq!(inj.grid_dim_replaced, k.grid_dim_uses.len());
+        let expect = format!("#define SLATE_ITERS {task}");
+        prop_assert!(inj.source.contains(&expect));
+        prop_assert!(inj.source.contains(&inj.worker_name));
+        prop_assert!(inj.source.contains(&inj.dispatch_name));
+        prop_assert!(inj.source.contains("%%smid"), "SM gate present");
+        // The generated worker body must carry no raw built-in uses.
+        let after_marker = inj
+            .source
+            .split("ORIGINAL USER CODE")
+            .nth(1)
+            .unwrap()
+            .split("slate_dispatch")
+            .next()
+            .unwrap();
+        prop_assert!(!after_marker.contains(" blockIdx"), "{}", inj.source);
+        prop_assert!(!after_marker.contains(" gridDim"), "{}", inj.source);
+    }
+
+    /// Injection is deterministic: same source, same output, same hash.
+    #[test]
+    fn injection_is_deterministic(src in arb_kernel_source(), task in 1u32..64) {
+        let a = inject_source(&src, task);
+        let b = inject_source(&src, task);
+        prop_assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b.iter()) {
+            prop_assert_eq!(&x.source, &y.source);
+        }
+        prop_assert_eq!(source_hash(&src), source_hash(&src));
+    }
+
+    /// A `#pragma slate transform task_size(N)` before a generated kernel
+    /// always overrides the default task size.
+    #[test]
+    fn pragma_overrides_task_size(src in arb_kernel_source(), n in 1u32..200) {
+        let pragma_src = format!("#pragma slate transform task_size({n})\n{src}");
+        let plans = inject_with_pragmas(&pragma_src, 10).unwrap();
+        prop_assert_eq!(plans.len(), 1);
+        let inj = plans[0].injected.as_ref().unwrap();
+        let expect = format!("#define SLATE_ITERS {n}");
+        prop_assert!(inj.source.contains(&expect));
+    }
+}

@@ -1,0 +1,107 @@
+//! L2 cache interference model.
+//!
+//! Each kernel profile carries two DRAM-traffic figures per block: the
+//! *in-order* figure (blocks executed in grid order reuse their neighbours'
+//! cached lines) and the *scattered* figure (hardware issue order destroys
+//! inter-block reuse). The gap between them is the kernel's cache-captured
+//! locality.
+//!
+//! When several kernels are resident at once they share the L2. We model the
+//! interference with a *pressure* term: the sum of the live working sets
+//! divided by the L2 capacity. At pressure ≤ 1 every kernel keeps its
+//! order-implied figure; as pressure grows past 1, each kernel's effective
+//! DRAM traffic degrades linearly from its order-implied figure toward its
+//! scattered figure (full eviction of inter-block reuse by pressure 2).
+//! This is deliberately first-order: the paper's effects only need the
+//! qualitative behaviour that co-running cache-hungry kernels lose locality
+//! while streaming kernels are unaffected.
+
+use crate::perf::{BlockOrder, KernelPerf};
+
+/// Combined L2 pressure of a set of live working sets, relative to capacity.
+///
+/// `1.0` means the working sets exactly fill the L2.
+pub fn pressure(l2_bytes: u64, footprints: impl IntoIterator<Item = f64>) -> f64 {
+    let total: f64 = footprints.into_iter().map(|f| f.max(0.0)).sum();
+    if l2_bytes == 0 {
+        if total > 0.0 {
+            f64::INFINITY
+        } else {
+            0.0
+        }
+    } else {
+        total / l2_bytes as f64
+    }
+}
+
+/// Effective DRAM bytes per block for `kernel` executing with `order` under
+/// the given L2 `pressure` (see module docs).
+pub fn effective_dram_bytes(kernel: &KernelPerf, order: BlockOrder, pressure: f64) -> f64 {
+    let base = kernel.dram_bytes(order);
+    let scattered = kernel.dram_bytes_scattered;
+    if scattered <= base {
+        return base;
+    }
+    let degrade = (pressure - 1.0).clamp(0.0, 1.0);
+    base + (scattered - base) * degrade
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kernel_with_locality(inorder: f64, scattered: f64, footprint: f64) -> KernelPerf {
+        let mut p = KernelPerf::synthetic("k", 1000.0, scattered);
+        p.dram_bytes_inorder = inorder;
+        p.dram_bytes_scattered = scattered;
+        p.l2_footprint_bytes = footprint;
+        p
+    }
+
+    #[test]
+    fn pressure_sums_footprints() {
+        assert!((pressure(1024, [512.0, 256.0]) - 0.75).abs() < 1e-12);
+        assert_eq!(pressure(1024, []), 0.0);
+    }
+
+    #[test]
+    fn pressure_zero_capacity() {
+        assert_eq!(pressure(0, [0.0]), 0.0);
+        assert!(pressure(0, [1.0]).is_infinite());
+    }
+
+    #[test]
+    fn no_degradation_below_capacity() {
+        let k = kernel_with_locality(100.0, 200.0, 0.0);
+        assert_eq!(effective_dram_bytes(&k, BlockOrder::InOrder, 0.5), 100.0);
+        assert_eq!(effective_dram_bytes(&k, BlockOrder::InOrder, 1.0), 100.0);
+    }
+
+    #[test]
+    fn full_degradation_at_double_pressure() {
+        let k = kernel_with_locality(100.0, 200.0, 0.0);
+        assert_eq!(effective_dram_bytes(&k, BlockOrder::InOrder, 2.0), 200.0);
+        assert_eq!(effective_dram_bytes(&k, BlockOrder::InOrder, 5.0), 200.0);
+    }
+
+    #[test]
+    fn linear_between() {
+        let k = kernel_with_locality(100.0, 200.0, 0.0);
+        let mid = effective_dram_bytes(&k, BlockOrder::InOrder, 1.5);
+        assert!((mid - 150.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scattered_order_already_worst_case() {
+        let k = kernel_with_locality(100.0, 200.0, 0.0);
+        assert_eq!(effective_dram_bytes(&k, BlockOrder::Scattered, 0.0), 200.0);
+        assert_eq!(effective_dram_bytes(&k, BlockOrder::Scattered, 3.0), 200.0);
+    }
+
+    #[test]
+    fn streaming_kernel_unaffected() {
+        // No locality gap: pressure changes nothing.
+        let k = kernel_with_locality(300.0, 300.0, 0.0);
+        assert_eq!(effective_dram_bytes(&k, BlockOrder::InOrder, 4.0), 300.0);
+    }
+}

@@ -1,0 +1,278 @@
+//! GPU device description.
+//!
+//! [`DeviceConfig`] captures the architectural parameters the fluid-rate
+//! simulator needs: SM count and clock, compute issue width, the DRAM
+//! bandwidth envelope (aggregate and per-SM), the L2 capacity used by the
+//! cache-interference model, PCIe bandwidth for host transfers, occupancy
+//! limits, and the cost constants for block setup, context switches and
+//! global atomics.
+//!
+//! The [`DeviceConfig::titan_xp`] preset is calibrated to the NVIDIA Titan Xp
+//! (GP102, Pascal) card used in the Slate paper: 30 SMs, ~11.4 SP TFLOP/s,
+//! ~480 GB/s effective DRAM bandwidth that saturates at roughly nine SMs
+//! (paper Fig. 1), and a 3 MiB L2.
+
+use serde::{Deserialize, Serialize};
+
+/// An inclusive range of streaming multiprocessor (SM) ids, `lo..=hi`.
+///
+/// Slate binds persistent workers to such a range (`sm_low`/`sm_high` in the
+/// paper's Listing 1); the hardware scheduler uses the full device range.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct SmRange {
+    /// Lowest SM id in the range (inclusive).
+    pub lo: u32,
+    /// Highest SM id in the range (inclusive).
+    pub hi: u32,
+}
+
+impl SmRange {
+    /// Creates a range covering `lo..=hi`. Panics if `lo > hi`.
+    pub fn new(lo: u32, hi: u32) -> Self {
+        assert!(lo <= hi, "SmRange requires lo <= hi, got {lo}..={hi}");
+        Self { lo, hi }
+    }
+
+    /// The full device: `0..=num_sms-1`.
+    pub fn all(num_sms: u32) -> Self {
+        assert!(num_sms > 0, "device must have at least one SM");
+        Self::new(0, num_sms - 1)
+    }
+
+    /// Number of SMs in the range.
+    pub fn len(&self) -> u32 {
+        self.hi - self.lo + 1
+    }
+
+    /// Always false; a range holds at least one SM by construction.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Whether `sm` falls inside the range (the Listing 1 gate).
+    pub fn contains(&self, sm: u32) -> bool {
+        sm >= self.lo && sm <= self.hi
+    }
+
+    /// Whether two ranges share any SM.
+    pub fn overlaps(&self, other: &SmRange) -> bool {
+        self.lo <= other.hi && other.lo <= self.hi
+    }
+}
+
+/// Architectural parameters of a simulated GPU.
+///
+/// All rates are in base SI units (Hz, bytes/s, seconds); work quantities are
+/// cycles, bytes, flops. See module docs for the calibration rationale.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeviceConfig {
+    /// Human-readable device name.
+    pub name: String,
+    /// Number of streaming multiprocessors.
+    pub num_sms: u32,
+    /// SM clock in Hz.
+    pub clock_hz: f64,
+    /// Peak single-precision flops retired per cycle per SM (FMA = 2 flops).
+    pub flops_per_cycle_per_sm: f64,
+    /// Effective aggregate DRAM bandwidth in bytes/s.
+    pub dram_bw: f64,
+    /// Maximum DRAM bandwidth a single SM can draw, in bytes/s.
+    ///
+    /// This produces the paper's Fig. 1 shape: stream bandwidth grows
+    /// linearly with SM count and saturates at `dram_bw / per_sm_mem_bw`
+    /// (~9) SMs.
+    pub per_sm_mem_bw: f64,
+    /// Fraction of DRAM bandwidth lost to row-buffer and scheduling
+    /// interference when two or more kernels contend for a saturated
+    /// memory system (interleaved streams destroy row locality). Applied
+    /// only while the pipe is oversubscribed by multiple demanders.
+    pub dram_mix_penalty: f64,
+    /// L2 cache capacity in bytes (shared by all SMs).
+    pub l2_bytes: u64,
+    /// Host-device interconnect bandwidth in bytes/s (PCIe 3.0 x16).
+    pub pcie_bw: f64,
+    /// Maximum resident threads per SM.
+    pub max_threads_per_sm: u32,
+    /// Maximum resident thread blocks per SM.
+    pub max_blocks_per_sm: u32,
+    /// 32-bit registers per SM.
+    pub regs_per_sm: u32,
+    /// Shared memory per SM in bytes.
+    pub smem_per_sm: u32,
+    /// Resident threads per SM needed to reach full issue throughput
+    /// (latency hiding). Below this the SM's effective rate scales down
+    /// linearly.
+    pub threads_for_peak_per_sm: u32,
+    /// Hardware block dispatch/setup cost in cycles, paid once per thread
+    /// block under hardware scheduling. Slate's persistent workers pay it
+    /// only once per worker (re)launch.
+    pub block_setup_cycles: f64,
+    /// Serialized cost of one global-memory atomic RMW on a contended
+    /// address, in seconds. Bounds the global task-queue pull rate.
+    pub atomic_serial_s: f64,
+    /// Context-switch cost between processes under vanilla CUDA
+    /// time-slicing, in seconds.
+    pub ctx_switch_s: f64,
+    /// Kernel launch latency (driver + hardware) in seconds.
+    pub launch_latency_s: f64,
+}
+
+impl DeviceConfig {
+    /// NVIDIA Titan Xp (GP102, Pascal), the card used in the paper.
+    ///
+    /// 30 SMs @ 1.48 GHz, 128 FMA lanes per SM (≈11.4 SP TFLOP/s), 12 GB
+    /// GDDR5X with ≈480 GB/s effective bandwidth saturating at ~9 SMs,
+    /// 3 MiB L2, PCIe 3.0 x16.
+    pub fn titan_xp() -> Self {
+        Self {
+            name: "NVIDIA Titan Xp (GP102)".to_string(),
+            num_sms: 30,
+            clock_hz: 1.48e9,
+            flops_per_cycle_per_sm: 256.0, // 128 FMA lanes x 2 flops
+            dram_bw: 480.0e9,
+            per_sm_mem_bw: 54.0e9, // saturation at ~8.9 SMs (paper Fig. 1: 9)
+            dram_mix_penalty: 0.18,
+            l2_bytes: 3 * 1024 * 1024,
+            pcie_bw: 12.0e9,
+            max_threads_per_sm: 2048,
+            max_blocks_per_sm: 32,
+            regs_per_sm: 65536,
+            smem_per_sm: 96 * 1024,
+            threads_for_peak_per_sm: 1024,
+            block_setup_cycles: 60.0,
+            atomic_serial_s: 40e-9,
+            ctx_switch_s: 25e-6,
+            launch_latency_s: 6e-6,
+        }
+    }
+
+    /// NVIDIA Tesla V100 (GV100, Volta) — the architecture whose white
+    /// paper the Slate paper cites for the 7x sharing speedup claim.
+    ///
+    /// 80 SMs @ 1.38 GHz, 64 FMA lanes per SM (≈14.1 SP TFLOP/s), 16 GB
+    /// HBM2 with ≈810 GB/s effective bandwidth, 6 MiB L2. Used by the
+    /// portability experiment to check that Slate's advantages are not an
+    /// artefact of the Titan Xp calibration.
+    pub fn tesla_v100() -> Self {
+        Self {
+            name: "NVIDIA Tesla V100 (GV100)".to_string(),
+            num_sms: 80,
+            clock_hz: 1.38e9,
+            flops_per_cycle_per_sm: 128.0, // 64 FMA lanes x 2 flops
+            dram_bw: 810.0e9,
+            per_sm_mem_bw: 54.0e9, // knee at ~15 SMs
+            dram_mix_penalty: 0.15, // HBM2 tolerates interleaving better
+            l2_bytes: 6 * 1024 * 1024,
+            pcie_bw: 12.0e9,
+            max_threads_per_sm: 2048,
+            max_blocks_per_sm: 32,
+            regs_per_sm: 65536,
+            smem_per_sm: 96 * 1024,
+            threads_for_peak_per_sm: 1024,
+            block_setup_cycles: 60.0,
+            atomic_serial_s: 30e-9,
+            ctx_switch_s: 25e-6,
+            launch_latency_s: 5e-6,
+        }
+    }
+
+    /// A small 4-SM device, convenient for fast unit tests.
+    pub fn tiny(num_sms: u32) -> Self {
+        Self {
+            name: format!("tiny-{num_sms}"),
+            num_sms,
+            clock_hz: 1.0e9,
+            flops_per_cycle_per_sm: 64.0,
+            dram_bw: 100.0e9,
+            per_sm_mem_bw: 50.0e9,
+            dram_mix_penalty: 0.18,
+            l2_bytes: 1024 * 1024,
+            pcie_bw: 10.0e9,
+            max_threads_per_sm: 1024,
+            max_blocks_per_sm: 16,
+            regs_per_sm: 32768,
+            smem_per_sm: 48 * 1024,
+            threads_for_peak_per_sm: 512,
+            block_setup_cycles: 500.0,
+            atomic_serial_s: 100e-9,
+            ctx_switch_s: 20e-6,
+            launch_latency_s: 5e-6,
+        }
+    }
+
+    /// Peak single-precision compute rate of the whole device, flops/s.
+    pub fn peak_flops(&self) -> f64 {
+        self.num_sms as f64 * self.clock_hz * self.flops_per_cycle_per_sm
+    }
+
+    /// Number of SMs needed to saturate DRAM bandwidth (Fig. 1 knee).
+    pub fn bw_saturation_sms(&self) -> f64 {
+        self.dram_bw / self.per_sm_mem_bw
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sm_range_basics() {
+        let r = SmRange::new(3, 7);
+        assert_eq!(r.len(), 5);
+        assert!(r.contains(3) && r.contains(7) && !r.contains(8) && !r.contains(2));
+        assert!(!r.is_empty());
+    }
+
+    #[test]
+    fn sm_range_all_covers_device() {
+        let r = SmRange::all(30);
+        assert_eq!(r.len(), 30);
+        assert!(r.contains(0) && r.contains(29));
+    }
+
+    #[test]
+    #[should_panic(expected = "lo <= hi")]
+    fn sm_range_rejects_inverted() {
+        SmRange::new(5, 4);
+    }
+
+    #[test]
+    fn sm_range_overlap() {
+        let a = SmRange::new(0, 9);
+        let b = SmRange::new(10, 29);
+        let c = SmRange::new(5, 15);
+        assert!(!a.overlaps(&b));
+        assert!(a.overlaps(&c) && c.overlaps(&a));
+        assert!(b.overlaps(&c) && c.overlaps(&b));
+        assert!(a.overlaps(&a));
+    }
+
+    #[test]
+    fn titan_xp_calibration() {
+        let d = DeviceConfig::titan_xp();
+        // ~11.4 SP TFLOP/s
+        let tflops = d.peak_flops() / 1e12;
+        assert!((10.0..13.0).contains(&tflops), "peak = {tflops} TFLOP/s");
+        // Fig. 1: memory bandwidth saturates at ~9 SMs.
+        let knee = d.bw_saturation_sms();
+        assert!((8.0..10.0).contains(&knee), "knee = {knee} SMs");
+    }
+
+    #[test]
+    fn v100_calibration() {
+        let d = DeviceConfig::tesla_v100();
+        let tflops = d.peak_flops() / 1e12;
+        assert!((13.0..16.0).contains(&tflops), "peak = {tflops} TFLOP/s");
+        let knee = d.bw_saturation_sms();
+        assert!((13.0..17.0).contains(&knee), "knee = {knee} SMs");
+        assert!(d.num_sms > DeviceConfig::titan_xp().num_sms);
+    }
+
+    #[test]
+    fn config_serde_roundtrip() {
+        let d = DeviceConfig::titan_xp();
+        let s = serde_json::to_string(&d).unwrap();
+        let d2: DeviceConfig = serde_json::from_str(&s).unwrap();
+        assert_eq!(d, d2);
+    }
+}

@@ -1,0 +1,169 @@
+//! Closed-form steady-state rate model.
+//!
+//! The same arithmetic the engine uses for a *solo, uncontended* slice,
+//! exposed as pure functions. Consumers:
+//!
+//! * Slate's SM partitioner needs each kernel's rate-vs-SMs curve to decide
+//!   how many SMs a kernel actually profits from (its *SM demand*);
+//! * the baseline runtimes need a launch-duration estimate to model vanilla
+//!   CUDA's time-slicing overhead;
+//! * tests validate engine behaviour against these closed forms.
+
+use crate::device::DeviceConfig;
+use crate::occupancy;
+use crate::perf::{ExecMode, KernelPerf};
+
+/// Steady-state block completion rate (blocks/s) of a kernel running alone
+/// on `sms` SMs under `mode`, ignoring launch lead-in and tail imbalance.
+pub fn steady_rate(cfg: &DeviceConfig, perf: &KernelPerf, sms: u32, mode: ExecMode) -> f64 {
+    let per_sm = occupancy::blocks_per_sm(cfg, perf) as f64;
+    if per_sm == 0.0 || sms == 0 {
+        return 0.0;
+    }
+    let useful_sms = match perf.max_concurrent_blocks {
+        Some(cap) => (cap as f64 / per_sm).min(sms as f64),
+        None => sms as f64,
+    };
+    let resident_threads = per_sm * perf.threads_per_block as f64;
+    let util = (resident_threads / cfg.threads_for_peak_per_sm as f64).min(1.0);
+    let (cycles, atomic_cap) = match mode {
+        ExecMode::Hardware => (
+            perf.compute_cycles_per_block + cfg.block_setup_cycles,
+            f64::INFINITY,
+        ),
+        ExecMode::SlateWorkers { task_size } => (
+            perf.compute_cycles_per_block + perf.inject_cycles_per_block,
+            task_size as f64 / cfg.atomic_serial_s,
+        ),
+    };
+    let r_comp = (useful_sms * cfg.clock_hz * util / cycles).min(atomic_cap);
+    let dram = perf.dram_bytes(mode.order());
+    if dram <= 0.0 {
+        return r_comp;
+    }
+    let bw = (useful_sms * cfg.per_sm_mem_bw).min(cfg.dram_bw);
+    r_comp.min(bw / dram)
+}
+
+/// Estimated solo execution time of `blocks` blocks on `sms` SMs.
+pub fn estimate_duration(
+    cfg: &DeviceConfig,
+    perf: &KernelPerf,
+    blocks: u64,
+    sms: u32,
+    mode: ExecMode,
+) -> f64 {
+    let r = steady_rate(cfg, perf, sms, mode);
+    if r <= 0.0 {
+        f64::INFINITY
+    } else {
+        blocks as f64 / r + cfg.launch_latency_s
+    }
+}
+
+/// The kernel's *SM demand*: the smallest SM count achieving at least
+/// `frac` (e.g. 0.95) of its full-device solo rate. This is what Slate's
+/// partitioner uses to size spatial shares — a kernel past its saturation
+/// knee (memory-bound, or parallelism-capped like RG) cedes the surplus SMs
+/// to its co-runner for free.
+pub fn sm_demand(cfg: &DeviceConfig, perf: &KernelPerf, mode: ExecMode, frac: f64) -> u32 {
+    assert!((0.0..=1.0).contains(&frac), "frac must be in [0,1]");
+    let full = steady_rate(cfg, perf, cfg.num_sms, mode);
+    if full <= 0.0 {
+        return 1;
+    }
+    for sms in 1..=cfg.num_sms {
+        if steady_rate(cfg, perf, sms, mode) >= frac * full {
+            return sms;
+        }
+    }
+    cfg.num_sms
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> DeviceConfig {
+        DeviceConfig::titan_xp()
+    }
+
+    #[test]
+    fn compute_bound_rate_scales_linearly() {
+        let mut p = KernelPerf::synthetic("c", 10_000.0, 0.0);
+        p.dram_bytes_inorder = 0.0;
+        p.dram_bytes_scattered = 0.0;
+        let r10 = steady_rate(&cfg(), &p, 10, ExecMode::Hardware);
+        let r30 = steady_rate(&cfg(), &p, 30, ExecMode::Hardware);
+        assert!((r30 / r10 - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn memory_bound_rate_saturates_at_fig1_knee() {
+        let p = KernelPerf::synthetic("stream", 100.0, 100_000.0);
+        let r9 = steady_rate(&cfg(), &p, 9, ExecMode::Hardware);
+        let r30 = steady_rate(&cfg(), &p, 30, ExecMode::Hardware);
+        assert!((r30 - r9).abs() / r9 < 1e-9, "flat past the knee");
+        let d = sm_demand(&cfg(), &p, ExecMode::Hardware, 0.95);
+        assert!((8..=9).contains(&d), "demand {d}");
+    }
+
+    #[test]
+    fn parallelism_capped_kernel_has_small_demand() {
+        let mut p = KernelPerf::synthetic("rg", 10_000.0, 0.0);
+        p.dram_bytes_inorder = 0.0;
+        p.dram_bytes_scattered = 0.0;
+        p.max_concurrent_blocks = Some(32); // 8/SM -> 4 SMs
+        assert_eq!(sm_demand(&cfg(), &p, ExecMode::Hardware, 0.99), 4);
+    }
+
+    #[test]
+    fn unbounded_kernel_demands_whole_device() {
+        let mut p = KernelPerf::synthetic("c", 10_000.0, 0.0);
+        p.dram_bytes_inorder = 0.0;
+        p.dram_bytes_scattered = 0.0;
+        assert_eq!(sm_demand(&cfg(), &p, ExecMode::Hardware, 0.95), 29);
+        assert_eq!(sm_demand(&cfg(), &p, ExecMode::Hardware, 1.0), 30);
+    }
+
+    #[test]
+    fn duration_inverse_to_rate() {
+        let p = KernelPerf::synthetic("k", 5_000.0, 1_000.0);
+        let d = estimate_duration(&cfg(), &p, 1_000_000, 30, ExecMode::Hardware);
+        let r = steady_rate(&cfg(), &p, 30, ExecMode::Hardware);
+        assert!((d - (1e6 / r + cfg().launch_latency_s)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_occupancy_yields_zero_rate() {
+        let mut p = KernelPerf::synthetic("fat", 1_000.0, 0.0);
+        p.smem_per_block = 10 * 1024 * 1024;
+        assert_eq!(steady_rate(&cfg(), &p, 30, ExecMode::Hardware), 0.0);
+        assert!(estimate_duration(&cfg(), &p, 100, 30, ExecMode::Hardware).is_infinite());
+    }
+
+    #[test]
+    fn engine_matches_closed_form_for_solo_run() {
+        use crate::device::SmRange;
+        use crate::engine::{Engine, Event, SliceSpec};
+        let p = KernelPerf::synthetic("k", 8_000.0, 2_000.0);
+        let blocks = 2_000_000u64;
+        let mut e = Engine::new(cfg());
+        let id = e
+            .add_slice(SliceSpec {
+                perf: p.clone(),
+                sm_range: SmRange::all(30),
+                blocks,
+                mode: ExecMode::Hardware,
+                extra_lead_s: 0.0,
+                batch: 1,
+                tag: 0,
+            })
+            .unwrap();
+        let (t, _) = e.run_until(|ev| matches!(ev, Event::SliceDrained(_))).unwrap();
+        let _ = e.remove_slice(id);
+        let est = estimate_duration(&cfg(), &p, blocks, 30, ExecMode::Hardware);
+        // Engine adds tail imbalance; for 2M blocks it is well under 1%.
+        assert!((t - est).abs() / est < 0.01, "engine {t} vs model {est}");
+    }
+}

@@ -1,0 +1,215 @@
+//! Ablation study: which of Slate's mechanisms buys what.
+//!
+//! The paper attributes its gains to two techniques (§V-E): workload-aware
+//! concurrent execution (selection + partitioning + resizing) and the basic
+//! software scheduling (in-order tasks from persistent workers). This
+//! experiment disables each mechanism in turn and measures the damage on a
+//! representative pairing set:
+//!
+//! * `full` — Slate as published;
+//! * `no-corun` — selection disabled, every pair runs consecutively;
+//! * `no-resize` — partitions are never grown after a co-runner departs;
+//! * `task-size-1` — no task grouping (one atomic per block);
+//! * `hw-exec` — hardware block scheduling instead of transformed workers
+//!   (keeps selection/partitioning, drops locality and setup amortisation).
+
+use crate::report::{pct, Report, Table};
+use slate_baselines::{MpsRuntime, Runtime};
+use slate_core::runtime::{SlateOptions, SlateRuntime};
+use slate_gpu_sim::device::DeviceConfig;
+use slate_kernels::workload::Benchmark;
+
+/// The pairing set the ablation averages over: the two mechanisms' flagship
+/// pairs plus the adversarial one.
+pub const PAIRS: [(Benchmark, Benchmark); 5] = [
+    (Benchmark::BS, Benchmark::RG), // corun + resize flagship
+    (Benchmark::GS, Benchmark::RG), // corun + locality
+    (Benchmark::GS, Benchmark::GS), // software scheduling alone
+    (Benchmark::MM, Benchmark::BS), // the paper's losing pair
+    (Benchmark::RG, Benchmark::TR), // corun with a streaming partner
+];
+
+/// One ablation configuration's results.
+#[derive(Debug, Clone)]
+pub struct AblationRow {
+    /// Configuration label.
+    pub config: &'static str,
+    /// Per-pair gain over MPS (same order as [`PAIRS`]).
+    pub gains: Vec<f64>,
+    /// Mean gain over MPS across the pairing set.
+    pub mean_gain: f64,
+}
+
+fn configs() -> Vec<(&'static str, SlateOptions)> {
+    let base = SlateOptions::default();
+    vec![
+        ("full", base.clone()),
+        (
+            "no-corun",
+            SlateOptions {
+                enable_corun: false,
+                ..base.clone()
+            },
+        ),
+        (
+            "no-resize",
+            SlateOptions {
+                enable_resize: false,
+                ..base.clone()
+            },
+        ),
+        (
+            "task-size-1",
+            SlateOptions {
+                force_task_size: Some(1),
+                ..base.clone()
+            },
+        ),
+        (
+            "hw-exec",
+            SlateOptions {
+                use_hardware_exec: true,
+                ..base.clone()
+            },
+        ),
+        (
+            "autotune",
+            SlateOptions {
+                autotune_task_size: true,
+                ..base
+            },
+        ),
+    ]
+}
+
+/// Runs the ablation grid.
+pub fn run(cfg: &DeviceConfig, scale: u32) -> (Vec<AblationRow>, Report) {
+    let mps = MpsRuntime::new(cfg.clone());
+    let mut report = Report::new(
+        "ablation",
+        "Mechanism ablation: Slate variants vs MPS",
+        "Two techniques contribute most of the gain (§V-E): workload-aware \
+         concurrent kernel execution (RG pairings) and the basic \
+         software-based scheduling (GS pairings). Disabling either must \
+         surrender the corresponding gains.",
+    );
+
+    // MPS reference ANTT per pair. The BS-RG pair uses a *monolithic* BS
+    // launch (the whole loop as one kernel) so that dynamic resizing has a
+    // structural effect: without it, BS is stranded on its partition for
+    // the remainder of the launch once RG departs.
+    let pair_apps: Vec<[slate_kernels::AppSpec; 2]> = PAIRS
+        .iter()
+        .enumerate()
+        .map(|(i, (a, b))| {
+            let mut app_a = a.app().scaled_down(scale);
+            if i == 0 {
+                app_a.blocks_per_launch *= app_a.launches as u64;
+                app_a.batch *= app_a.launches;
+                app_a.launches = 1;
+            }
+            [app_a, b.app().scaled_down(scale)]
+        })
+        .collect();
+    let mps_antts: Vec<f64> = pair_apps
+        .iter()
+        .map(|apps| {
+            let solos = [mps.solo_time(&apps[0]), mps.solo_time(&apps[1])];
+            mps.run(apps).antt(&solos)
+        })
+        .collect();
+
+    let mut t = Table::new(
+        "Gain over MPS by configuration (ANTT, MPS solo baselines)",
+        &["Config", "BS-RG", "GS-RG", "GS-GS", "MM-BS", "RG-TR", "mean"],
+    );
+    let mut rows = Vec::new();
+    for (label, opts) in configs() {
+        let rt = SlateRuntime::with_options(cfg.clone(), opts);
+        let gains: Vec<f64> = pair_apps
+            .iter()
+            .zip(&mps_antts)
+            .map(|(apps, &mps_antt)| {
+                let solos = [mps.solo_time(&apps[0]), mps.solo_time(&apps[1])];
+                let antt = rt.run(apps).antt(&solos);
+                mps_antt / antt - 1.0
+            })
+            .collect();
+        let mean = gains.iter().sum::<f64>() / gains.len() as f64;
+        let mut cells = vec![label.to_string()];
+        cells.extend(gains.iter().map(|&g| pct(g)));
+        cells.push(pct(mean));
+        t.row(&cells);
+        rows.push(AblationRow {
+            config: label,
+            gains,
+            mean_gain: mean,
+        });
+    }
+    report.tables.push(t);
+
+    let by = |label: &str| rows.iter().find(|r| r.config == label).unwrap();
+    let full = by("full");
+    report.check(
+        "the full configuration beats every *ablated* configuration on mean \
+         gain (autotune, an extension, may exceed it)",
+        rows.iter()
+            .filter(|r| r.config != "autotune")
+            .all(|r| r.mean_gain <= full.mean_gain + 1e-9),
+    );
+    report.check(
+        "disabling co-running surrenders most of the BS-RG gain and a large \
+         part of the GS-RG gain",
+        by("no-corun").gains[0] < full.gains[0] * 0.4
+            && by("no-corun").gains[1] < full.gains[1] - 0.08,
+    );
+    report.check(
+        "disabling resizing costs a chunk of the corun gain on the \
+         monolithic BS-RG pair",
+        by("no-resize").gains[0] < full.gains[0] - 0.03,
+    );
+    report.check(
+        "task size 1 hurts the atomic-bound kernels (GS-GS collapses)",
+        by("task-size-1").gains[2] < full.gains[2] - 0.10,
+    );
+    report.check(
+        "hardware execution surrenders the software-scheduling gains (GS-GS)",
+        by("hw-exec").gains[2] < full.gains[2] * 0.4,
+    );
+    report.check(
+        "autotuned task sizes improve the MM-BS pair (BS prefers task size 1)",
+        by("autotune").gains[3] > full.gains[3] + 0.005,
+    );
+    report.note(format!(
+        "mean gains: full {}, no-corun {}, no-resize {}, task-size-1 {}, \
+         hw-exec {}, autotune {}",
+        pct(full.mean_gain),
+        pct(by("no-corun").mean_gain),
+        pct(by("no-resize").mean_gain),
+        pct(by("task-size-1").mean_gain),
+        pct(by("hw-exec").mean_gain),
+        pct(by("autotune").mean_gain),
+    ));
+    (rows, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ablation_attributes_the_gains() {
+        let (rows, report) = run(&DeviceConfig::titan_xp(), 10);
+        assert_eq!(rows.len(), 6);
+        assert!(report.all_pass(), "{}", report.to_text());
+    }
+
+    #[test]
+    fn pair_antt_table_is_complete() {
+        let (rows, _) = run(&DeviceConfig::titan_xp(), 20);
+        for r in rows {
+            assert_eq!(r.gains.len(), PAIRS.len(), "{}", r.config);
+            assert!(r.gains.iter().all(|g| g.is_finite()));
+        }
+    }
+}

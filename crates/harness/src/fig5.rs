@@ -1,0 +1,106 @@
+//! Fig. 5 — effect of task size (`SLATE_ITERS`) on kernel execution time.
+//!
+//! Small tasks pay one serialized global atomic per block, throttling
+//! kernels with tiny blocks (Gaussian's time nearly halves moving from task
+//! size 1 to 10). Oversized tasks cause load imbalance among the persistent
+//! workers (BlackScholes is ~5% worse at the default 10 than at 1).
+
+use crate::report::{f, BarChart, Report, Table};
+use slate_gpu_sim::device::{DeviceConfig, SmRange};
+use slate_gpu_sim::engine::{Engine, Event, SliceSpec};
+use slate_gpu_sim::perf::ExecMode;
+use slate_kernels::workload::Benchmark;
+
+/// Task sizes swept, as in the paper's figure.
+pub const TASK_SIZES: [u32; 6] = [1, 2, 5, 10, 20, 50];
+
+/// Kernel time of one launch of `bench` under Slate with task size `g`.
+pub fn kernel_time(cfg: &DeviceConfig, bench: Benchmark, g: u32) -> f64 {
+    let app = bench.app();
+    // One *real* launch (the app batches several per simulated launch).
+    let blocks = (app.blocks_per_launch / app.batch as u64).max(1);
+    let mut e = Engine::new(cfg.clone());
+    let id = e
+        .add_slice(SliceSpec {
+            perf: app.perf.clone(),
+            sm_range: SmRange::all(cfg.num_sms),
+            blocks,
+            mode: ExecMode::SlateWorkers { task_size: g },
+            extra_lead_s: 0.0,
+            batch: 1,
+            tag: 0,
+        })
+        .expect("launch");
+    let (t, _) = e
+        .run_until(|ev| matches!(ev, Event::SliceDrained(_)))
+        .expect("completes");
+    let _ = e.remove_slice(id);
+    t
+}
+
+/// Sweep results: `times[bench][task_size_index]` in seconds.
+pub fn run(cfg: &DeviceConfig) -> (Vec<(Benchmark, Vec<f64>)>, Report) {
+    let benches = [Benchmark::BS, Benchmark::GS, Benchmark::MM, Benchmark::TR];
+    let mut report = Report::new(
+        "fig5",
+        "Kernel execution time vs task size",
+        "GS kernel time almost halves from task size 1 to 10; a very large \
+         task size causes imbalance — task size 10 is worse than 1 for BS.",
+    );
+    let mut t = Table::new(
+        "Kernel time per launch (s), Slate, by task size",
+        &["Benchmark", "G=1", "G=2", "G=5", "G=10", "G=20", "G=50"],
+    );
+    let mut all = Vec::new();
+    for b in benches {
+        let times: Vec<f64> = TASK_SIZES.iter().map(|&g| kernel_time(cfg, b, g)).collect();
+        let mut cells = vec![b.abbrev().to_string()];
+        cells.extend(times.iter().map(|&x| f(x, 4)));
+        t.row(&cells);
+        all.push((b, times));
+    }
+    report.tables.push(t);
+    for (b, times) in &all {
+        let base = times[3]; // normalize to the default task size 10
+        let mut chart = BarChart::new(
+            &format!("{}: kernel time by task size (relative to G=10)", b.abbrev()),
+            "x",
+        );
+        for (g, t) in TASK_SIZES.iter().zip(times) {
+            chart.row(&format!("G={g:<2}"), t / base);
+        }
+        report.charts.push(chart);
+    }
+
+    let gs = &all.iter().find(|(b, _)| *b == Benchmark::GS).unwrap().1;
+    let bs = &all.iter().find(|(b, _)| *b == Benchmark::BS).unwrap().1;
+    // Indices: 0 -> G=1, 3 -> G=10, 5 -> G=50.
+    report.check(
+        "GS at task size 1 is much slower than at 10 (paper: ~2x)",
+        gs[0] / gs[3] > 1.5,
+    );
+    report.check(
+        "BS at task size 10 is a few percent worse than at 1 (imbalance)",
+        bs[3] > bs[0] * 1.01 && bs[3] < bs[0] * 1.15,
+    );
+    report.check(
+        "very large tasks (G=50) hurt BS further",
+        bs[5] > bs[3],
+    );
+    report.check(
+        "GS is roughly flat between 10 and 50 (within 10%)",
+        (gs[5] / gs[3] - 1.0).abs() < 0.10,
+    );
+    (all, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn task_size_sweep_has_paper_shape() {
+        let (_, report) = run(&DeviceConfig::titan_xp());
+        assert!(report.all_pass(), "{}", report.to_text());
+    }
+}

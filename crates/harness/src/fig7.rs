@@ -1,0 +1,195 @@
+//! Fig. 7 — overall multiprocessing performance: all 15 application
+//! pairings under vanilla CUDA, MPS and Slate.
+//!
+//! The paper's headline result: normalized application execution time
+//! (ANTT against the CUDA solo baseline) for every pairing of the five
+//! benchmarks. MPS beats CUDA by ~6%; Slate beats CUDA on every pairing and
+//! MPS on all but MM-BS (−2%), with +11% average and +35% best (RG-GS).
+
+use crate::report::{f, pct, BarChart, Report, Table};
+use slate_baselines::{CudaRuntime, MpsRuntime, Runtime};
+use slate_core::SlateRuntime;
+use slate_gpu_sim::device::DeviceConfig;
+use slate_kernels::workload::Benchmark;
+
+/// Results for one pairing.
+#[derive(Debug, Clone)]
+pub struct Pairing {
+    /// The two benchmarks.
+    pub pair: (Benchmark, Benchmark),
+    /// ANTT under each runtime (CUDA, MPS, Slate), normalized to CUDA solo.
+    pub antt: [f64; 3],
+    /// Slate's throughput gain over MPS (ANTT ratio − 1).
+    pub slate_vs_mps: f64,
+    /// Slate's throughput gain over CUDA.
+    pub slate_vs_cuda: f64,
+}
+
+/// Runs all 15 pairings. `scale` shrinks every app's repetition loop.
+pub fn run(cfg: &DeviceConfig, scale: u32) -> (Vec<Pairing>, Report) {
+    let cuda = CudaRuntime::new(cfg.clone());
+    let mps = MpsRuntime::new(cfg.clone());
+    let slate = SlateRuntime::new(cfg.clone());
+
+    // CUDA solo baselines per benchmark.
+    let solo: Vec<f64> = Benchmark::ALL
+        .iter()
+        .map(|b| cuda.solo_time(&b.app().scaled_down(scale)))
+        .collect();
+    let solo_of = |b: Benchmark| solo[Benchmark::ALL.iter().position(|&x| x == b).unwrap()];
+
+    let mut report = Report::new(
+        "fig7",
+        "All 15 pairings: normalized execution time (lower is better)",
+        "MPS ≈ 6% better than CUDA; Slate beats CUDA on all pairings and MPS \
+         on all but MM-BS (−2%); average +11% over MPS, +18% over CUDA; best \
+         case RG-GS +35% over MPS; GS-GS gains 24% from in-order scheduling \
+         alone.",
+    );
+    let mut t = Table::new(
+        "Pairing ANTT normalized to CUDA solo",
+        &["Pair", "CUDA", "MPS", "Slate", "Slate vs MPS", "Slate vs CUDA"],
+    );
+
+    let mut pairings = Vec::new();
+    for (a, b) in Benchmark::all_pairings() {
+        let apps = [a.app().scaled_down(scale), b.app().scaled_down(scale)];
+        let solos = [solo_of(a), solo_of(b)];
+        let antt_c = cuda.run(&apps).antt(&solos);
+        let antt_m = mps.run(&apps).antt(&solos);
+        let antt_s = slate.run(&apps).antt(&solos);
+        let p = Pairing {
+            pair: (a, b),
+            antt: [antt_c, antt_m, antt_s],
+            slate_vs_mps: antt_m / antt_s - 1.0,
+            slate_vs_cuda: antt_c / antt_s - 1.0,
+        };
+        t.row(&[
+            format!("{}-{}", a.abbrev(), b.abbrev()),
+            f(antt_c, 3),
+            f(antt_m, 3),
+            f(antt_s, 3),
+            pct(p.slate_vs_mps),
+            pct(p.slate_vs_cuda),
+        ]);
+        pairings.push(p);
+    }
+    report.tables.push(t);
+    let mut chart = BarChart::new("Slate gain over MPS by pairing", "%");
+    for p in &pairings {
+        chart.row(
+            &format!("{}-{}", p.pair.0.abbrev(), p.pair.1.abbrev()),
+            p.slate_vs_mps * 100.0,
+        );
+    }
+    report.charts.push(chart);
+
+    let mean = |f: &dyn Fn(&Pairing) -> f64| {
+        pairings.iter().map(f).sum::<f64>() / pairings.len() as f64
+    };
+    let avg_vs_mps = mean(&|p| p.slate_vs_mps);
+    let avg_vs_cuda = mean(&|p| p.slate_vs_cuda);
+    let avg_mps_vs_cuda =
+        mean(&|p| p.antt[0] / p.antt[1] - 1.0);
+    let find = |a: Benchmark, b: Benchmark| {
+        pairings
+            .iter()
+            .find(|p| p.pair == (a, b) || p.pair == (b, a))
+            .unwrap()
+    };
+    report.note(format!(
+        "averages: Slate vs MPS {}, Slate vs CUDA {}, MPS vs CUDA {}",
+        pct(avg_vs_mps),
+        pct(avg_vs_cuda),
+        pct(avg_mps_vs_cuda)
+    ));
+
+    report.check(
+        "Slate beats CUDA on every pairing",
+        pairings.iter().all(|p| p.slate_vs_cuda > 0.0),
+    );
+    report.check(
+        "Slate beats or matches MPS on all pairings except possibly MM-BS",
+        pairings
+            .iter()
+            .filter(|p| p.pair != (Benchmark::BS, Benchmark::MM) && p.pair != (Benchmark::MM, Benchmark::BS))
+            .all(|p| p.slate_vs_mps > -0.005),
+    );
+    report.check(
+        "MM-BS: Slate within a few percent of MPS (paper: −2%)",
+        (-0.06..0.06).contains(&find(Benchmark::MM, Benchmark::BS).slate_vs_mps),
+    );
+    report.note(
+        "our RG pairings gain more than the paper's (the parallelism-cap \
+         model lets RG keep full speed on its partition; see DESIGN.md §7)",
+    );
+    report.check(
+        "average Slate gain over MPS is positive and sizable (paper: 11%; \
+         ours runs higher, driven by the RG pairings)",
+        (0.08..0.30).contains(&avg_vs_mps),
+    );
+    report.check(
+        "average Slate gain over CUDA exceeds the MPS gain (paper: 18% vs 11%)",
+        avg_vs_cuda > avg_vs_mps && (0.10..0.35).contains(&avg_vs_cuda),
+    );
+    report.check(
+        "MPS is a few percent better than CUDA on average (paper: 6%)",
+        (0.02..0.12).contains(&avg_mps_vs_cuda),
+    );
+    report.check(
+        "the best pairing is an RG pairing, and RG-GS gains 20-50% \
+         (bracketing the paper's +35% best case)",
+        {
+            let best = pairings
+                .iter()
+                .max_by(|x, y| x.slate_vs_mps.total_cmp(&y.slate_vs_mps))
+                .unwrap();
+            let best_is_rg =
+                best.pair.0 == Benchmark::RG || best.pair.1 == Benchmark::RG;
+            let rg_gs = find(Benchmark::GS, Benchmark::RG);
+            best_is_rg && (0.20..0.50).contains(&rg_gs.slate_vs_mps)
+        },
+    );
+    report.check(
+        "the weakest pairing is in the solo-alternate set containing MM-BS, \
+         and MM-BS sits within a few percent of MPS (paper: -2%)",
+        {
+            let worst = pairings
+                .iter()
+                .min_by(|x, y| x.slate_vs_mps.total_cmp(&y.slate_vs_mps))
+                .unwrap();
+            let solo_set = [
+                (Benchmark::BS, Benchmark::MM),
+                (Benchmark::BS, Benchmark::BS),
+                (Benchmark::MM, Benchmark::MM),
+            ];
+            solo_set.contains(&worst.pair)
+                && (-0.04..0.04)
+                    .contains(&find(Benchmark::MM, Benchmark::BS).slate_vs_mps)
+        },
+    );
+    report.check(
+        "every RG pairing coruns with a clear gain over MPS (paper: RG coruns with all)",
+        pairings
+            .iter()
+            .filter(|p| p.pair.0 == Benchmark::RG || p.pair.1 == Benchmark::RG)
+            .all(|p| p.slate_vs_mps > 0.05),
+    );
+    report.check(
+        "GS-GS gains ~15-35% from software scheduling alone (paper: 24%)",
+        (0.15..0.35).contains(&find(Benchmark::GS, Benchmark::GS).slate_vs_mps),
+    );
+    (pairings, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig7_reproduces() {
+        let (pairings, report) = run(&DeviceConfig::titan_xp(), 8);
+        assert_eq!(pairings.len(), 15);
+        assert!(report.all_pass(), "{}", report.to_text());
+    }
+}

@@ -1,0 +1,25 @@
+//! # slate-harness
+//!
+//! Experiment drivers that regenerate every table and figure of the Slate
+//! paper's evaluation (§V) on the simulated Titan Xp, each returning both
+//! structured data and a [`report::Report`] with paper-vs-measured tables
+//! and qualitative shape checks. The `slate-repro` binary runs them all and
+//! emits the material for `EXPERIMENTS.md`.
+
+#![warn(missing_docs)]
+
+pub mod ablation;
+pub mod fig1;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod oracle;
+pub mod portability;
+pub mod report;
+pub mod table1;
+pub mod table2;
+pub mod table3;
+pub mod table4;
+pub mod table5;
+
+pub use report::Report;

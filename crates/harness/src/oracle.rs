@@ -1,0 +1,122 @@
+//! Policy quality: the Table I heuristic vs an oracle selector.
+//!
+//! The paper chooses a simple lookup table over exhaustive measurement to
+//! keep scheduling cheap (§II: "balance between accuracy and simplicity for
+//! runtime employment"). This experiment quantifies what that simplicity
+//! costs: an *oracle* Slate that, for every pairing, measures both the
+//! corun and the consecutive schedule and picks the better one. If the
+//! heuristic is good, the oracle's advantage is small.
+
+use crate::report::{f, pct, Report, Table};
+use slate_baselines::{MpsRuntime, Runtime};
+use slate_core::runtime::{SlateOptions, SlateRuntime};
+use slate_gpu_sim::device::DeviceConfig;
+use slate_kernels::workload::Benchmark;
+
+/// One pairing's heuristic-vs-oracle outcome.
+#[derive(Debug, Clone)]
+pub struct OracleRow {
+    /// The pairing.
+    pub pair: (Benchmark, Benchmark),
+    /// ANTT under the published heuristic.
+    pub antt_heuristic: f64,
+    /// ANTT under the oracle (min of corun-allowed and corun-forbidden).
+    pub antt_oracle: f64,
+    /// Whether the oracle's choice differed from the heuristic's outcome.
+    pub oracle_disagrees: bool,
+}
+
+/// Runs the comparison over all 15 pairings.
+pub fn run(cfg: &DeviceConfig, scale: u32) -> (Vec<OracleRow>, Report) {
+    let mps = MpsRuntime::new(cfg.clone());
+    let heuristic = SlateRuntime::new(cfg.clone());
+    let no_corun = SlateRuntime::with_options(
+        cfg.clone(),
+        SlateOptions {
+            enable_corun: false,
+            ..SlateOptions::default()
+        },
+    );
+
+    let mut report = Report::new(
+        "oracle",
+        "Heuristic policy vs oracle selection",
+        "Slate's table-driven selection balances accuracy and simplicity; an \
+         oracle that measures both schedules per pairing should gain little, \
+         showing the heuristic captures almost all of the opportunity.",
+    );
+    let mut t = Table::new(
+        "ANTT per pairing (lower is better)",
+        &["Pair", "Heuristic", "Oracle", "Oracle edge", "Choices differ"],
+    );
+
+    let mut rows = Vec::new();
+    for (a, b) in Benchmark::all_pairings() {
+        let apps = [a.app().scaled_down(scale), b.app().scaled_down(scale)];
+        let solos = [mps.solo_time(&apps[0]), mps.solo_time(&apps[1])];
+        let antt_h = heuristic.run(&apps).antt(&solos);
+        let antt_forbidden = no_corun.run(&apps).antt(&solos);
+        // The heuristic run either co-ran (then `antt_h` is the corun
+        // figure) or didn't (then both runs serialize and agree); the
+        // oracle picks the min of the two schedules.
+        let antt_o = antt_h.min(antt_forbidden);
+        let disagrees = antt_forbidden < antt_h * 0.999;
+        t.row(&[
+            format!("{}-{}", a.abbrev(), b.abbrev()),
+            f(antt_h, 3),
+            f(antt_o, 3),
+            pct(antt_h / antt_o - 1.0),
+            if disagrees { "yes" } else { "no" }.to_string(),
+        ]);
+        rows.push(OracleRow {
+            pair: (a, b),
+            antt_heuristic: antt_h,
+            antt_oracle: antt_o,
+            oracle_disagrees: disagrees,
+        });
+    }
+    report.tables.push(t);
+
+    let worst_regret = rows
+        .iter()
+        .map(|r| r.antt_heuristic / r.antt_oracle - 1.0)
+        .fold(0.0f64, f64::max);
+    let mean_regret = rows
+        .iter()
+        .map(|r| r.antt_heuristic / r.antt_oracle - 1.0)
+        .sum::<f64>()
+        / rows.len() as f64;
+    let disagreements = rows.iter().filter(|r| r.oracle_disagrees).count();
+    report.note(format!(
+        "mean regret {}, worst regret {}, oracle overrides the heuristic on \
+         {disagreements}/15 pairings",
+        pct(mean_regret),
+        pct(worst_regret)
+    ));
+
+    report.check(
+        "the heuristic's mean regret vs the oracle is small (< 2%)",
+        mean_regret < 0.02,
+    );
+    report.check(
+        "no pairing loses more than 5% to the oracle",
+        worst_regret < 0.05,
+    );
+    report.check(
+        "the oracle overrides the heuristic on at most a few pairings",
+        disagreements <= 3,
+    );
+    (rows, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn heuristic_is_near_oracle() {
+        let (rows, report) = run(&DeviceConfig::titan_xp(), 12);
+        assert_eq!(rows.len(), 15);
+        assert!(report.all_pass(), "{}", report.to_text());
+    }
+}

@@ -1,0 +1,322 @@
+//! Experiment report structures and rendering.
+//!
+//! Every experiment driver returns a [`Report`]: tables of
+//! paper-vs-measured figures, free-form notes, and *shape checks* — the
+//! qualitative assertions that make the reproduction falsifiable (who wins,
+//! by roughly what factor, where the crossovers fall). Reports render to
+//! terminal text and to the markdown used to build `EXPERIMENTS.md`.
+
+use serde::{Deserialize, Serialize};
+
+/// A rendered table.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Table {
+    /// Table caption.
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Rows of cells (same arity as `headers`).
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(title: &str, headers: &[&str]) -> Self {
+        Self {
+            title: title.to_string(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row; panics if the arity mismatches the headers.
+    pub fn row(&mut self, cells: &[String]) {
+        assert_eq!(cells.len(), self.headers.len(), "row arity");
+        self.rows.push(cells.to_vec());
+    }
+
+    /// Renders as a markdown table.
+    pub fn to_markdown(&self) -> String {
+        let mut s = format!("**{}**\n\n", self.title);
+        s.push_str(&format!("| {} |\n", self.headers.join(" | ")));
+        s.push_str(&format!(
+            "|{}\n",
+            self.headers.iter().map(|_| "---|").collect::<String>()
+        ));
+        for r in &self.rows {
+            s.push_str(&format!("| {} |\n", r.join(" | ")));
+        }
+        s
+    }
+
+    /// Renders as aligned plain text.
+    pub fn to_text(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for r in &self.rows {
+            for (i, c) in r.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let fmt_row = |cells: &[String]| {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:w$}", c, w = widths[i]))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        let mut s = format!("{}\n", self.title);
+        s.push_str(&fmt_row(&self.headers));
+        s.push('\n');
+        s.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        s.push('\n');
+        for r in &self.rows {
+            s.push_str(&fmt_row(r));
+            s.push('\n');
+        }
+        s
+    }
+}
+
+/// A horizontal text bar chart (for figure-style data in terminal and
+/// markdown reports).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BarChart {
+    /// Chart caption.
+    pub title: String,
+    /// `(label, value)` rows.
+    pub rows: Vec<(String, f64)>,
+    /// Unit suffix printed after each value (e.g. `"%"`).
+    pub unit: String,
+}
+
+impl BarChart {
+    /// Creates an empty chart.
+    pub fn new(title: &str, unit: &str) -> Self {
+        Self {
+            title: title.to_string(),
+            rows: Vec::new(),
+            unit: unit.to_string(),
+        }
+    }
+
+    /// Appends a row.
+    pub fn row(&mut self, label: &str, value: f64) {
+        self.rows.push((label.to_string(), value));
+    }
+
+    /// Renders with `width` characters for the largest magnitude. Negative
+    /// values draw to the left of the axis.
+    pub fn to_text(&self, width: usize) -> String {
+        let max_mag = self
+            .rows
+            .iter()
+            .map(|(_, v)| v.abs())
+            .fold(0.0f64, f64::max)
+            .max(1e-12);
+        let label_w = self.rows.iter().map(|(l, _)| l.len()).max().unwrap_or(0);
+        let mut s = format!("{}
+", self.title);
+        for (label, v) in &self.rows {
+            let n = ((v.abs() / max_mag) * width as f64).round() as usize;
+            let bar: String = std::iter::repeat(if *v >= 0.0 { '#' } else { '-' })
+                .take(n.max(usize::from(v.abs() > 0.0)))
+                .collect();
+            s.push_str(&format!(
+                "{label:label_w$} |{bar:<width$} {v:+.1}{}
+",
+                self.unit
+            ));
+        }
+        s
+    }
+
+    /// Renders as a fenced code block for markdown.
+    pub fn to_markdown(&self, width: usize) -> String {
+        format!("```text
+{}```
+", self.to_text(width))
+    }
+}
+
+/// A qualitative shape check.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Check {
+    /// What is being checked (phrased as the expected property).
+    pub desc: String,
+    /// Whether the measured data satisfies it.
+    pub pass: bool,
+}
+
+/// One experiment's full report.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Report {
+    /// Experiment id (e.g. "fig7").
+    pub id: String,
+    /// Human title.
+    pub title: String,
+    /// What the paper reports (one paragraph).
+    pub paper_claim: String,
+    /// Result tables.
+    pub tables: Vec<Table>,
+    /// Figure-style bar charts.
+    pub charts: Vec<BarChart>,
+    /// Free-form observations.
+    pub notes: Vec<String>,
+    /// Shape checks.
+    pub checks: Vec<Check>,
+}
+
+impl Report {
+    /// Creates an empty report.
+    pub fn new(id: &str, title: &str, paper_claim: &str) -> Self {
+        Self {
+            id: id.to_string(),
+            title: title.to_string(),
+            paper_claim: paper_claim.to_string(),
+            tables: Vec::new(),
+            charts: Vec::new(),
+            notes: Vec::new(),
+            checks: Vec::new(),
+        }
+    }
+
+    /// Adds a shape check.
+    pub fn check(&mut self, desc: &str, pass: bool) {
+        self.checks.push(Check {
+            desc: desc.to_string(),
+            pass,
+        });
+    }
+
+    /// Adds a note.
+    pub fn note(&mut self, s: impl Into<String>) {
+        self.notes.push(s.into());
+    }
+
+    /// True when every shape check passed.
+    pub fn all_pass(&self) -> bool {
+        self.checks.iter().all(|c| c.pass)
+    }
+
+    /// Renders for the terminal.
+    pub fn to_text(&self) -> String {
+        let mut s = format!("=== {} — {} ===\n", self.id, self.title);
+        s.push_str(&format!("Paper: {}\n\n", self.paper_claim));
+        for t in &self.tables {
+            s.push_str(&t.to_text());
+            s.push('\n');
+        }
+        for c in &self.charts {
+            s.push_str(&c.to_text(50));
+            s.push('\n');
+        }
+        for n in &self.notes {
+            s.push_str(&format!("note: {n}\n"));
+        }
+        for c in &self.checks {
+            s.push_str(&format!(
+                "[{}] {}\n",
+                if c.pass { "PASS" } else { "FAIL" },
+                c.desc
+            ));
+        }
+        s
+    }
+
+    /// Renders as a markdown section for `EXPERIMENTS.md`.
+    pub fn to_markdown(&self) -> String {
+        let mut s = format!("## {} — {}\n\n", self.id, self.title);
+        s.push_str(&format!("*Paper:* {}\n\n", self.paper_claim));
+        for t in &self.tables {
+            s.push_str(&t.to_markdown());
+            s.push('\n');
+        }
+        for c in &self.charts {
+            s.push_str(&c.to_markdown(50));
+            s.push('\n');
+        }
+        for n in &self.notes {
+            s.push_str(&format!("> {n}\n\n"));
+        }
+        if !self.checks.is_empty() {
+            s.push_str("Shape checks:\n\n");
+            for c in &self.checks {
+                s.push_str(&format!(
+                    "- {} **{}**\n",
+                    c.desc,
+                    if c.pass { "PASS" } else { "FAIL" }
+                ));
+            }
+            s.push('\n');
+        }
+        s
+    }
+}
+
+/// Formats a ratio as a signed percentage.
+pub fn pct(x: f64) -> String {
+    format!("{:+.1}%", x * 100.0)
+}
+
+/// Formats a float with `d` decimals.
+pub fn f(x: f64, d: usize) -> String {
+    format!("{x:.d$}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_both_formats() {
+        let mut t = Table::new("T", &["a", "bb"]);
+        t.row(&["1".into(), "2".into()]);
+        let md = t.to_markdown();
+        assert!(md.contains("| a | bb |"));
+        assert!(md.contains("| 1 | 2 |"));
+        let txt = t.to_text();
+        assert!(txt.contains("a  bb"), "{txt}");
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity")]
+    fn table_rejects_bad_arity() {
+        let mut t = Table::new("T", &["a", "b"]);
+        t.row(&["1".into()]);
+    }
+
+    #[test]
+    fn report_tracks_checks() {
+        let mut r = Report::new("figX", "Title", "claim");
+        r.check("holds", true);
+        assert!(r.all_pass());
+        r.check("fails", false);
+        assert!(!r.all_pass());
+        let md = r.to_markdown();
+        assert!(md.contains("**PASS**") && md.contains("**FAIL**"));
+        assert!(r.to_text().contains("[FAIL] fails"));
+    }
+
+    #[test]
+    fn bar_chart_renders_scaled_bars() {
+        let mut b = BarChart::new("gains", "%");
+        b.row("big", 50.0);
+        b.row("half", 25.0);
+        b.row("loss", -5.0);
+        let txt = b.to_text(40);
+        let lines: Vec<&str> = txt.lines().collect();
+        assert!(lines[1].matches('#').count() == 40, "{txt}");
+        assert!(lines[2].matches('#').count() == 20, "{txt}");
+        assert!(lines[3].contains('-') && lines[3].contains("-5.0%"), "{txt}");
+        let md = b.to_markdown(40);
+        assert!(md.starts_with("```text") && md.ends_with("```\n"));
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(pct(0.305), "+30.5%");
+        assert_eq!(pct(-0.02), "-2.0%");
+        assert_eq!(f(1.23456, 2), "1.23");
+    }
+}

@@ -1,0 +1,120 @@
+//! Table V — Slate-introduced operations and their measured cost.
+//!
+//! The paper's overhead taxonomy, quantified on our reproduction:
+//!
+//! * inside kernel execution — injected instructions (~3% extra for
+//!   BlackScholes: 4M on 157.5M per launch) and the serialized task-queue
+//!   atomics (one per `SLATE_ITERS` blocks);
+//! * outside kernel execution — dynamic code injection + compilation
+//!   (~1.5% of application time, cached per user) and client-daemon
+//!   communication (~4% of application time);
+//! * offline — first-run kernel profiling into the lookup table.
+
+use crate::report::{f, pct, Report, Table};
+use slate_baselines::Runtime;
+use slate_core::SlateRuntime;
+use slate_gpu_sim::device::DeviceConfig;
+use slate_kernels::workload::Benchmark;
+
+/// Measured overhead summary.
+#[derive(Debug, Clone)]
+pub struct Overheads {
+    /// Injected-instruction overhead for BS (fraction of its own count).
+    pub inject_inst_frac: f64,
+    /// Queue pulls per launch for BS at the default task size.
+    pub pulls_per_launch: f64,
+    /// Slate communication as a fraction of application time (BS solo).
+    pub comm_frac: f64,
+    /// Injection + compilation as a fraction of application time (BS solo).
+    pub inject_frac: f64,
+}
+
+/// Measures Table V's quantities.
+pub fn run(cfg: &DeviceConfig, scale: u32) -> (Overheads, Report) {
+    let app = Benchmark::BS.app().scaled_down(scale);
+    let p = &app.perf;
+    let inject_inst_frac = p.inject_insts_per_block / p.insts_per_block;
+    let real_blocks = app.blocks_per_launch / app.batch as u64;
+    let pulls_per_launch = real_blocks as f64 / app.task_size as f64;
+
+    let out = SlateRuntime::new(cfg.clone()).run(std::slice::from_ref(&app));
+    let r = &out.apps[0];
+    let comm_frac = r.comm_s / r.app_time_s;
+    let inject_frac = r.inject_s / r.app_time_s;
+
+    let mut report = Report::new(
+        "table5",
+        "Slate-introduced operations and their scope",
+        "Inside kernel execution: injected instructions (~3% more for BS) \
+         and atomic task-queue pulls. Outside kernel execution: dynamic code \
+         injection and compilation (~1.5% of app time) and client-daemon \
+         communication (~4%). Offline: first-run kernel profiling.",
+    );
+    let mut t = Table::new(
+        "Measured overheads (BlackScholes)",
+        &["Scope", "Operation", "Measured"],
+    );
+    t.row(&[
+        "Inside kernel exec".into(),
+        "Injected instructions".into(),
+        format!("{} of kernel instructions", pct(inject_inst_frac)),
+    ]);
+    t.row(&[
+        "Inside kernel exec".into(),
+        "Atomic ops on the task queue".into(),
+        format!("{} pulls per launch (task size {})", f(pulls_per_launch, 0), app.task_size),
+    ]);
+    t.row(&[
+        "Outside kernel exec".into(),
+        "Code injection & compilation".into(),
+        format!("{} of application time", pct(inject_frac)),
+    ]);
+    t.row(&[
+        "Outside kernel exec".into(),
+        "Client-daemon communication".into(),
+        format!("{} of application time", pct(comm_frac)),
+    ]);
+    t.row(&[
+        "Offline".into(),
+        "Kernel profiling to build lookup table".into(),
+        "first run only, cached in the profile table".into(),
+    ]);
+    report.tables.push(t);
+
+    report.check(
+        "injected instructions are ~2-4% of BS's own count (paper: ~3%)",
+        (0.02..0.04).contains(&inject_inst_frac),
+    );
+    report.check(
+        "one atomic pull per task (blocks / task size)",
+        (pulls_per_launch - real_blocks as f64 / 10.0).abs() < 1.0,
+    );
+    report.check(
+        "communication costs a few percent of application time (paper: ~4%)",
+        (0.005..0.08).contains(&comm_frac),
+    );
+    report.check(
+        "injection + compilation cost ~0.5-3% of application time (paper: ~1.5%)",
+        (0.002..0.04).contains(&inject_frac),
+    );
+    (
+        Overheads {
+            inject_inst_frac,
+            pulls_per_launch,
+            comm_frac,
+            inject_frac,
+        },
+        report,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table5_reproduces() {
+        let (_, report) = run(&DeviceConfig::titan_xp(), 8);
+        assert!(report.all_pass(), "{}", report.to_text());
+    }
+}

@@ -1,0 +1,113 @@
+//! Grid geometry types.
+//!
+//! CUDA kernels are launched over a 1-D or 2-D grid of thread blocks
+//! (`gridDim`) with a fixed inner block geometry. Slate's transformation
+//! flattens the grid to 1-D and reconstructs the user-visible 2-D block
+//! coordinate from a flat index (paper Fig. 3 / Listing 2); the helpers here
+//! define that mapping in one place so the transformation, the functional
+//! executor and the tests all agree on it.
+
+use serde::{Deserialize, Serialize};
+
+/// A 1-D or 2-D kernel grid (`z` is always 1 in the paper and here).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct GridDim {
+    /// Blocks along x.
+    pub x: u32,
+    /// Blocks along y (1 for a 1-D grid).
+    pub y: u32,
+}
+
+impl GridDim {
+    /// A 1-D grid of `x` blocks.
+    pub fn d1(x: u32) -> Self {
+        assert!(x > 0, "grid must have at least one block");
+        Self { x, y: 1 }
+    }
+
+    /// A 2-D grid of `x` by `y` blocks.
+    pub fn d2(x: u32, y: u32) -> Self {
+        assert!(x > 0 && y > 0, "grid must have at least one block");
+        Self { x, y }
+    }
+
+    /// Total number of blocks — `slateMax` after flattening.
+    pub fn total_blocks(&self) -> u64 {
+        self.x as u64 * self.y as u64
+    }
+
+    /// Whether the grid is 1-D.
+    pub fn is_1d(&self) -> bool {
+        self.y == 1
+    }
+
+    /// Maps a flat block index (Slate's `globIdx`) back to the user-visible
+    /// 2-D block coordinate, row-major as in the paper's Listing 2
+    /// (`x = globIdx % gridDim.x`, `y = globIdx / gridDim.x`).
+    pub fn coord_of(&self, flat: u64) -> BlockCoord {
+        debug_assert!(flat < self.total_blocks(), "flat {flat} out of grid");
+        BlockCoord {
+            x: (flat % self.x as u64) as u32,
+            y: (flat / self.x as u64) as u32,
+        }
+    }
+
+    /// Maps a user block coordinate to its flat index (inverse of
+    /// [`GridDim::coord_of`]).
+    pub fn flat_of(&self, coord: BlockCoord) -> u64 {
+        debug_assert!(coord.x < self.x && coord.y < self.y);
+        coord.y as u64 * self.x as u64 + coord.x as u64
+    }
+}
+
+/// A user-visible block coordinate (`blockIdx` in the original kernel).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct BlockCoord {
+    /// `blockIdx.x`.
+    pub x: u32,
+    /// `blockIdx.y`.
+    pub y: u32,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn total_blocks() {
+        assert_eq!(GridDim::d1(7).total_blocks(), 7);
+        assert_eq!(GridDim::d2(3, 5).total_blocks(), 15);
+    }
+
+    #[test]
+    fn coord_flat_roundtrip() {
+        let g = GridDim::d2(7, 5);
+        for flat in 0..g.total_blocks() {
+            let c = g.coord_of(flat);
+            assert!(c.x < 7 && c.y < 5);
+            assert_eq!(g.flat_of(c), flat);
+        }
+    }
+
+    #[test]
+    fn row_major_order() {
+        let g = GridDim::d2(4, 2);
+        assert_eq!(g.coord_of(0), BlockCoord { x: 0, y: 0 });
+        assert_eq!(g.coord_of(3), BlockCoord { x: 3, y: 0 });
+        assert_eq!(g.coord_of(4), BlockCoord { x: 0, y: 1 });
+        assert_eq!(g.coord_of(7), BlockCoord { x: 3, y: 1 });
+    }
+
+    #[test]
+    fn one_d_grid() {
+        let g = GridDim::d1(10);
+        assert!(g.is_1d());
+        assert_eq!(g.coord_of(9), BlockCoord { x: 9, y: 0 });
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one block")]
+    fn rejects_empty_grid() {
+        GridDim::d2(0, 3);
+    }
+}

@@ -1,0 +1,116 @@
+//! The kernel abstraction shared by the functional executor, the Slate
+//! transformation, and the runtimes.
+//!
+//! A [`GpuKernel`] is the Rust stand-in for a compiled CUDA `__global__`
+//! function: it has a launch geometry (grid and block), a calibrated
+//! performance profile for the simulator, and a *functional body* —
+//! [`GpuKernel::run_block`] — that performs one thread block's computation
+//! against [`GpuBuffer`] device memory. The functional body is what makes
+//! transformation-correctness testable: however Slate reorders, groups, or
+//! relaunches blocks, running every block coordinate exactly once must
+//! produce the same memory contents as the untransformed grid.
+
+use crate::grid::{BlockCoord, GridDim};
+use slate_gpu_sim::perf::KernelPerf;
+use std::sync::Arc;
+
+/// A launchable GPU kernel: geometry, profile, and functional body.
+pub trait GpuKernel: Send + Sync {
+    /// Kernel name (matches the profile name).
+    fn name(&self) -> &str;
+
+    /// The user launch grid.
+    fn grid(&self) -> GridDim;
+
+    /// Calibrated performance profile for the simulator.
+    fn perf(&self) -> KernelPerf;
+
+    /// Executes the computation of the thread block at `block`, i.e. the
+    /// work of all `threads_per_block` threads of that block. Must be safe
+    /// to call concurrently for distinct blocks (block-disjoint writes).
+    fn run_block(&self, block: BlockCoord);
+}
+
+/// Executes an entire kernel sequentially in grid order — the reference
+/// execution that every scheduled execution must match.
+pub fn run_reference(kernel: &dyn GpuKernel) {
+    let grid = kernel.grid();
+    for flat in 0..grid.total_blocks() {
+        kernel.run_block(grid.coord_of(flat));
+    }
+}
+
+/// Executes an entire kernel with rayon, blocks in parallel — valid because
+/// well-formed kernels write block-disjoint data.
+pub fn run_parallel(kernel: &(dyn GpuKernel + '_)) {
+    use rayon::prelude::*;
+    let grid = kernel.grid();
+    (0..grid.total_blocks())
+        .into_par_iter()
+        .for_each(|flat| kernel.run_block(grid.coord_of(flat)));
+}
+
+/// A boxed kernel handle, as passed through launch queues.
+pub type KernelHandle = Arc<dyn GpuKernel>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slate_gpu_sim::buffer::GpuBuffer;
+
+    /// Toy kernel: out[b] = b.x + 100 * b.y for every block.
+    struct Stamp {
+        grid: GridDim,
+        out: Arc<GpuBuffer>,
+    }
+
+    impl GpuKernel for Stamp {
+        fn name(&self) -> &str {
+            "stamp"
+        }
+        fn grid(&self) -> GridDim {
+            self.grid
+        }
+        fn perf(&self) -> KernelPerf {
+            KernelPerf::synthetic("stamp", 100.0, 4.0)
+        }
+        fn run_block(&self, block: BlockCoord) {
+            let flat = self.grid.flat_of(block) as usize;
+            self.out.store_u32(flat, block.x + 100 * block.y);
+        }
+    }
+
+    fn make(grid: GridDim) -> (Stamp, Arc<GpuBuffer>) {
+        let out = Arc::new(GpuBuffer::new(grid.total_blocks() as usize * 4));
+        (
+            Stamp {
+                grid,
+                out: out.clone(),
+            },
+            out,
+        )
+    }
+
+    #[test]
+    fn reference_covers_every_block() {
+        let (k, out) = make(GridDim::d2(5, 3));
+        run_reference(&k);
+        for y in 0..3u32 {
+            for x in 0..5u32 {
+                assert_eq!(out.load_u32((y * 5 + x) as usize), x + 100 * y);
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_matches_reference() {
+        let (k, out) = make(GridDim::d2(16, 16));
+        run_parallel(&k);
+        let (k2, out2) = make(GridDim::d2(16, 16));
+        run_reference(&k2);
+        assert_eq!(out.to_f32_vec().len(), out2.to_f32_vec().len());
+        for i in 0..256 {
+            assert_eq!(out.load_u32(i), out2.load_u32(i));
+        }
+    }
+}

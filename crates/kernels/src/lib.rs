@@ -1,0 +1,38 @@
+//! # slate-kernels
+//!
+//! The benchmark kernels of the Slate paper's evaluation (Table II), each
+//! provided in two coupled forms:
+//!
+//! 1. a **functional Rust body** ([`kernel::GpuKernel::run_block`]) that
+//!    computes real results against simulated device memory — this is what
+//!    makes Slate's transformation-correctness claims testable; and
+//! 2. a **calibrated performance profile**
+//!    ([`slate_gpu_sim::perf::KernelPerf`]) that drives the fluid-rate
+//!    simulator so solo runs reproduce the paper's Table II figures
+//!    (GFLOP/s, request bandwidth, intensity class).
+//!
+//! | Benchmark | Source | Compute | Memory | GFLOP/s | GB/s |
+//! |-----------|--------|---------|--------|---------|------|
+//! | BlackScholes (BS) | CUDA samples | Med | Med | 161.3 | 401.5 |
+//! | Gaussian (GS) | Rodinia | Low | Med | 19.6 | 340.9 |
+//! | SGEMM (MM) | CUDA samples | High | Med | 1525 | 403.5 |
+//! | QuasiRandom (RG) | CUDA samples | Low | Low | 4.2 | 71.6 |
+//! | Transpose (TR) | CUDA samples | Low | High | 0.0 | 568.6 |
+//!
+//! plus the `stream` read benchmark behind Fig. 1.
+
+#![warn(missing_docs)]
+
+pub mod blackscholes;
+pub mod gaussian;
+pub mod grid;
+pub mod kernel;
+pub mod quasirandom;
+pub mod sgemm;
+pub mod stream;
+pub mod transpose;
+pub mod workload;
+
+pub use grid::{BlockCoord, GridDim};
+pub use kernel::{run_parallel, run_reference, GpuKernel, KernelHandle};
+pub use workload::{AppSpec, Benchmark, Intensity};

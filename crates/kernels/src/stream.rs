@@ -1,0 +1,147 @@
+//! Stream — the global-memory read benchmark behind the paper's Fig. 1.
+//!
+//! Each thread streams a contiguous chunk of the input and folds it into a
+//! per-block sum (one output word per block). Fig. 1 runs it with a fixed
+//! 6 GB problem while varying the number of SMs the kernel may use: the
+//! achieved bandwidth climbs linearly and saturates at nine SMs on the
+//! Titan Xp — the motivating observation for SM partitioning.
+
+use crate::grid::{BlockCoord, GridDim};
+use crate::kernel::GpuKernel;
+use slate_gpu_sim::buffer::GpuBuffer;
+use slate_gpu_sim::perf::KernelPerf;
+use std::sync::Arc;
+
+/// Threads per block.
+pub const THREADS: u32 = 256;
+/// f32 elements read per thread.
+pub const ELEMS_PER_THREAD: u32 = 16;
+/// Elements covered by one block.
+pub const ELEMS_PER_BLOCK: u32 = THREADS * ELEMS_PER_THREAD;
+
+/// Paper problem size: 6 GB of f32 input.
+pub const PAPER_BYTES: u64 = 6_000_000_000;
+
+/// The streaming-read kernel: `sums[b] = Σ input[b*chunk .. (b+1)*chunk)`.
+pub struct StreamKernel {
+    n: u64,
+    input: Arc<GpuBuffer>,
+    sums: Arc<GpuBuffer>,
+}
+
+impl StreamKernel {
+    /// Binds the kernel to `n` input elements and a per-block sum output
+    /// (one word per block).
+    pub fn new(n: u64, input: Arc<GpuBuffer>, sums: Arc<GpuBuffer>) -> Self {
+        assert!(input.len_words() as u64 >= n);
+        let blocks = n.div_ceil(ELEMS_PER_BLOCK as u64).max(1);
+        assert!(sums.len_words() as u64 >= blocks);
+        Self { n, input, sums }
+    }
+}
+
+impl GpuKernel for StreamKernel {
+    fn name(&self) -> &str {
+        "Stream"
+    }
+
+    fn grid(&self) -> GridDim {
+        GridDim::d1(self.n.div_ceil(ELEMS_PER_BLOCK as u64).max(1) as u32)
+    }
+
+    fn perf(&self) -> KernelPerf {
+        paper_perf()
+    }
+
+    fn run_block(&self, block: BlockCoord) {
+        let base = block.x as u64 * ELEMS_PER_BLOCK as u64;
+        let end = (base + ELEMS_PER_BLOCK as u64).min(self.n);
+        let mut acc = 0.0f32;
+        for i in base..end {
+            acc += self.input.load_f32(i as usize);
+        }
+        self.sums.store_f32(block.x as usize, acc);
+    }
+}
+
+/// Calibrated profile: pure streaming reads, memory-limited on even a
+/// single SM so the achieved bandwidth is exactly the Fig. 1 envelope
+/// `min(sms * per_sm_bw, dram_bw)`.
+pub fn paper_perf() -> KernelPerf {
+    KernelPerf {
+        name: "Stream".into(),
+        threads_per_block: THREADS,
+        regs_per_thread: 24,
+        smem_per_block: 0,
+        compute_cycles_per_block: 300.0,
+        insts_per_block: 250.0,
+        flops_per_block: ELEMS_PER_BLOCK as f64, // one add per element
+        mem_request_bytes_per_block: ELEMS_PER_BLOCK as f64 * 4.0,
+        dram_bytes_inorder: ELEMS_PER_BLOCK as f64 * 4.0,
+        dram_bytes_scattered: ELEMS_PER_BLOCK as f64 * 4.0,
+        l2_footprint_bytes: 0.1e6,
+        inject_insts_per_block: 15.0,
+        inject_cycles_per_block: 12.0,
+        max_concurrent_blocks: None,
+    }
+}
+
+/// Blocks covering the paper's 6 GB problem.
+pub fn paper_blocks() -> u64 {
+    (PAPER_BYTES / 4).div_ceil(ELEMS_PER_BLOCK as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::{run_parallel, run_reference};
+
+    #[test]
+    fn sums_each_chunk() {
+        let n = ELEMS_PER_BLOCK as u64 * 2 + 37;
+        let input = Arc::new(GpuBuffer::new(n as usize * 4));
+        for i in 0..n as usize {
+            input.store_f32(i, 1.0);
+        }
+        let sums = Arc::new(GpuBuffer::new(3 * 4));
+        let k = StreamKernel::new(n, input, sums.clone());
+        run_reference(&k);
+        assert_eq!(sums.load_f32(0), ELEMS_PER_BLOCK as f32);
+        assert_eq!(sums.load_f32(1), ELEMS_PER_BLOCK as f32);
+        assert_eq!(sums.load_f32(2), 37.0, "ragged tail block");
+    }
+
+    #[test]
+    fn parallel_matches_reference() {
+        let n = 100_000u64;
+        let mk = || {
+            let input = Arc::new(GpuBuffer::new(n as usize * 4));
+            for i in 0..n as usize {
+                input.store_f32(i, (i % 97) as f32 * 0.5);
+            }
+            let blocks = n.div_ceil(ELEMS_PER_BLOCK as u64);
+            let sums = Arc::new(GpuBuffer::new(blocks as usize * 4));
+            (StreamKernel::new(n, input, sums.clone()), sums)
+        };
+        let (k1, s1) = mk();
+        run_reference(&k1);
+        let (k2, s2) = mk();
+        run_parallel(&k2);
+        for i in 0..s1.len_words() {
+            assert_eq!(s1.load_f32(i), s2.load_f32(i));
+        }
+    }
+
+    #[test]
+    fn paper_profile_memory_limited_on_one_sm() {
+        use slate_gpu_sim::device::DeviceConfig;
+        let p = paper_perf();
+        p.validate().unwrap();
+        let d = DeviceConfig::titan_xp();
+        // Compute rate on one SM exceeds what one SM's memory port allows,
+        // so bandwidth scales with SMs from the start.
+        let r_comp = d.clock_hz / p.compute_cycles_per_block;
+        let r_mem = d.per_sm_mem_bw / p.dram_bytes_inorder;
+        assert!(r_comp > r_mem, "must be memory-limited per SM");
+    }
+}

@@ -1,0 +1,344 @@
+//! The paper's benchmark suite and application workload descriptions.
+//!
+//! [`Benchmark`] enumerates the five Table II applications; [`AppSpec`]
+//! describes one application *process* the way the evaluation runs it: a
+//! host setup phase, input transfer, a repetition loop of kernel launches
+//! sized so the solo CUDA run takes ~30 seconds (paper §V-A3), and an
+//! output transfer. All three runtimes (CUDA, MPS, Slate) consume the same
+//! [`AppSpec`]s.
+
+use crate::{blackscholes, gaussian, quasirandom, sgemm, transpose};
+use serde::{Deserialize, Serialize};
+use slate_gpu_sim::perf::KernelPerf;
+
+/// Workload intensity level, as used by Table II's profile labels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Intensity {
+    /// Low intensity.
+    Low,
+    /// Medium intensity.
+    Med,
+    /// High intensity.
+    High,
+}
+
+impl std::fmt::Display for Intensity {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Intensity::Low => "Low",
+            Intensity::Med => "Med",
+            Intensity::High => "High",
+        })
+    }
+}
+
+/// The five applications of the paper's evaluation (Table II).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Benchmark {
+    /// BlackScholes (BS) — Med compute / Med memory.
+    BS,
+    /// Gaussian elimination (GS) — Low compute / Med memory.
+    GS,
+    /// SGEMM (MM) — High compute / Med memory.
+    MM,
+    /// QuasiRandomGenerator (RG) — Low compute / Low memory.
+    RG,
+    /// Transpose (TR) — Low compute / High memory.
+    TR,
+}
+
+impl Benchmark {
+    /// All five benchmarks, in Table II order.
+    pub const ALL: [Benchmark; 5] = [
+        Benchmark::BS,
+        Benchmark::GS,
+        Benchmark::MM,
+        Benchmark::RG,
+        Benchmark::TR,
+    ];
+
+    /// Two-letter abbreviation used throughout the paper.
+    pub fn abbrev(&self) -> &'static str {
+        match self {
+            Benchmark::BS => "BS",
+            Benchmark::GS => "GS",
+            Benchmark::MM => "MM",
+            Benchmark::RG => "RG",
+            Benchmark::TR => "TR",
+        }
+    }
+
+    /// Full benchmark name.
+    pub fn full_name(&self) -> &'static str {
+        match self {
+            Benchmark::BS => "BlackScholes",
+            Benchmark::GS => "Gaussian",
+            Benchmark::MM => "SGEMM",
+            Benchmark::RG => "QuasiRandomGenerator",
+            Benchmark::TR => "Transpose",
+        }
+    }
+
+    /// Table II intensity labels: (compute, memory).
+    pub fn intensity(&self) -> (Intensity, Intensity) {
+        match self {
+            Benchmark::BS => (Intensity::Med, Intensity::Med),
+            Benchmark::GS => (Intensity::Low, Intensity::Med),
+            Benchmark::MM => (Intensity::High, Intensity::Med),
+            Benchmark::RG => (Intensity::Low, Intensity::Low),
+            Benchmark::TR => (Intensity::Low, Intensity::High),
+        }
+    }
+
+    /// Table II reference figures from the paper: (GFLOP/s, GB/s) measured
+    /// solo under CUDA on the authors' Titan Xp.
+    pub fn paper_reference(&self) -> (f64, f64) {
+        match self {
+            Benchmark::BS => (161.3, 401.49),
+            Benchmark::GS => (19.6, 340.9),
+            Benchmark::MM => (1525.0, 403.5),
+            Benchmark::RG => (4.2, 71.6),
+            Benchmark::TR => (0.0, 568.6),
+        }
+    }
+
+    /// Calibrated performance profile at the paper problem size.
+    pub fn perf(&self) -> KernelPerf {
+        match self {
+            Benchmark::BS => blackscholes::paper_perf(),
+            Benchmark::GS => gaussian::paper_perf(),
+            Benchmark::MM => sgemm::paper_perf(),
+            Benchmark::RG => quasirandom::paper_perf(),
+            Benchmark::TR => transpose::paper_perf(),
+        }
+    }
+
+    /// The application workload the evaluation runs: a ~30-second solo-CUDA
+    /// repetition loop at the paper problem size.
+    pub fn app(&self) -> AppSpec {
+        match self {
+            // BlackScholes: 40M options, 2 ms per launch under CUDA; 15000
+            // real launches batched 10x for simulation granularity.
+            Benchmark::BS => AppSpec {
+                bench: *self,
+                perf: self.perf(),
+                launches: 1500,
+                blocks_per_launch: blackscholes::paper_blocks() * 10,
+                batch: 10,
+                real_launches: 15_000,
+                task_size: 10,
+                h2d_bytes: 480_000_000,
+                d2h_bytes: 320_000_000,
+                host_setup_s: 2.0,
+                kernel_sources: 1,
+                fixed_cost_scale: 1.0,
+                pinned_solo: false,
+            },
+            // Gaussian: 112 solves of a 2048x2048 system; each solve is
+            // 2*(n-1) = 4094 real launches dominated by Fan2 blocks.
+            Benchmark::GS => AppSpec {
+                bench: *self,
+                perf: self.perf(),
+                launches: 112,
+                blocks_per_launch: gaussian::paper_blocks(),
+                batch: 1,
+                real_launches: 112 * 4094,
+                task_size: 10,
+                h2d_bytes: 112 * 2 * 2048 * 2048 * 4,
+                d2h_bytes: 112 * 2048 * 4,
+                host_setup_s: 2.5,
+                kernel_sources: 2,
+                fixed_cost_scale: 1.0,
+                pinned_solo: false,
+            },
+            // SGEMM: 2048^3, ~11 ms per launch; 2660 real launches batched.
+            Benchmark::MM => AppSpec {
+                bench: *self,
+                perf: self.perf(),
+                launches: 665,
+                blocks_per_launch: sgemm::paper_blocks() * 4,
+                batch: 4,
+                real_launches: 2660,
+                task_size: 10,
+                h2d_bytes: 3 * 2048 * 2048 * 4,
+                d2h_bytes: 2048 * 2048 * 4,
+                host_setup_s: 1.5,
+                kernel_sources: 1,
+                fixed_cost_scale: 1.0,
+                pinned_solo: false,
+            },
+            // QuasiRandom: 40M points per launch across 3 dimensions;
+            // 13450 real launches batched 10x.
+            Benchmark::RG => AppSpec {
+                bench: *self,
+                perf: self.perf(),
+                launches: 1345,
+                blocks_per_launch: quasirandom::paper_blocks() * 10,
+                batch: 10,
+                real_launches: 13_450,
+                task_size: 10,
+                h2d_bytes: 1_000_000,
+                d2h_bytes: 160_000_000,
+                host_setup_s: 1.0,
+                kernel_sources: 1,
+                fixed_cost_scale: 1.0,
+                pinned_solo: false,
+            },
+            // Transpose: 16384^2 floats, ~3.8 ms per launch; 7940 real
+            // launches batched 8x.
+            Benchmark::TR => AppSpec {
+                bench: *self,
+                perf: self.perf(),
+                launches: 992,
+                blocks_per_launch: transpose::paper_blocks() * 8,
+                batch: 8,
+                real_launches: 7_940,
+                task_size: 10,
+                h2d_bytes: 16_384 * 16_384 * 4,
+                d2h_bytes: 16_384 * 16_384 * 4,
+                host_setup_s: 2.0,
+                kernel_sources: 1,
+                fixed_cost_scale: 1.0,
+                pinned_solo: false,
+            },
+        }
+    }
+
+    /// All 15 pairings the paper evaluates (10 distinct pairs + 5 self
+    /// pairs), in a stable order.
+    pub fn all_pairings() -> Vec<(Benchmark, Benchmark)> {
+        let mut v = Vec::with_capacity(15);
+        for (i, &a) in Self::ALL.iter().enumerate() {
+            for &b in &Self::ALL[i..] {
+                v.push((a, b));
+            }
+        }
+        v
+    }
+}
+
+/// One application process as the evaluation runs it.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AppSpec {
+    /// Which benchmark this is.
+    pub bench: Benchmark,
+    /// Kernel performance profile.
+    pub perf: KernelPerf,
+    /// Simulated launches (repetitions may be batched into one simulated
+    /// launch for event-count economy; timing is unaffected apart from the
+    /// negligible per-launch latency).
+    pub launches: u32,
+    /// Thread blocks per simulated launch.
+    pub blocks_per_launch: u64,
+    /// Real launches collapsed into one simulated launch
+    /// (`blocks_per_launch` covers `batch` real launches).
+    pub batch: u32,
+    /// Real API-level kernel launches the application performs (drives
+    /// client-daemon communication accounting).
+    pub real_launches: u64,
+    /// Slate task size (`SLATE_ITERS`) for this application.
+    pub task_size: u32,
+    /// Input bytes transferred host-to-device over the app lifetime.
+    pub h2d_bytes: u64,
+    /// Output bytes transferred device-to-host.
+    pub d2h_bytes: u64,
+    /// Host-side setup time (allocation, input generation) in seconds.
+    pub host_setup_s: f64,
+    /// Distinct kernel sources Slate must inject and compile.
+    pub kernel_sources: u32,
+    /// Scale factor applied to one-time fixed costs (session setup,
+    /// injection/compilation). 1.0 for real runs; `scaled_down` divides it
+    /// so that scaled test workloads keep the full run's proportions.
+    pub fixed_cost_scale: f64,
+    /// Marks a heavily optimized (library) kernel that Slate must run solo
+    /// and never co-schedule (paper §IV-A1 future work; `#pragma slate
+    /// solo`).
+    pub pinned_solo: bool,
+}
+
+impl AppSpec {
+    /// Total thread blocks the app executes.
+    pub fn total_blocks(&self) -> u64 {
+        self.launches as u64 * self.blocks_per_launch
+    }
+
+    /// A scaled-down copy (launches, transfers and host setup all divided by
+    /// `factor`) for fast tests. Per-launch shape is preserved, so paired
+    /// scaled apps still contend for the device the way full apps do.
+    pub fn scaled_down(&self, factor: u32) -> AppSpec {
+        let mut s = self.clone();
+        s.launches = (s.launches / factor).max(1);
+        s.real_launches = (s.real_launches / factor as u64).max(1);
+        s.h2d_bytes /= factor as u64;
+        s.d2h_bytes /= factor as u64;
+        s.host_setup_s /= factor as f64;
+        s.fixed_cost_scale /= factor as f64;
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slate_gpu_sim::device::DeviceConfig;
+
+    #[test]
+    fn all_pairings_count_is_15() {
+        let p = Benchmark::all_pairings();
+        assert_eq!(p.len(), 15);
+        // 5 self-pairs.
+        assert_eq!(p.iter().filter(|(a, b)| a == b).count(), 5);
+    }
+
+    #[test]
+    fn profiles_validate() {
+        for b in Benchmark::ALL {
+            b.perf().validate().unwrap_or_else(|e| panic!("{b:?}: {e}"));
+        }
+    }
+
+    #[test]
+    fn intensity_labels_match_table2() {
+        use Intensity::*;
+        assert_eq!(Benchmark::BS.intensity(), (Med, Med));
+        assert_eq!(Benchmark::GS.intensity(), (Low, Med));
+        assert_eq!(Benchmark::MM.intensity(), (High, Med));
+        assert_eq!(Benchmark::RG.intensity(), (Low, Low));
+        assert_eq!(Benchmark::TR.intensity(), (Low, High));
+    }
+
+    /// Each app's solo kernel time under the simulated hardware scheduler
+    /// should be in the vicinity of the paper's ~30 s looping target.
+    #[test]
+    fn solo_cuda_kernel_time_near_30s() {
+        let d = DeviceConfig::titan_xp();
+        for b in Benchmark::ALL {
+            let app = b.app();
+            let p = &app.perf;
+            let per_sm = slate_gpu_sim::occupancy::blocks_per_sm(&d, p) as f64;
+            let useful = match p.max_concurrent_blocks {
+                Some(c) => (c as f64 / per_sm).min(d.num_sms as f64),
+                None => d.num_sms as f64,
+            };
+            let util =
+                (per_sm * p.threads_per_block as f64 / d.threads_for_peak_per_sm as f64).min(1.0);
+            let r_comp =
+                useful * d.clock_hz * util / (p.compute_cycles_per_block + d.block_setup_cycles);
+            let r_mem = d.dram_bw.min(useful * d.per_sm_mem_bw) / p.dram_bytes_scattered.max(1e-9);
+            let r = r_comp.min(r_mem);
+            let t = app.total_blocks() as f64 / r;
+            assert!(
+                (24.0..40.0).contains(&t),
+                "{b:?}: solo kernel time {t:.1}s out of range"
+            );
+        }
+    }
+
+    #[test]
+    fn scaled_down_reduces_work() {
+        let app = Benchmark::BS.app();
+        let s = app.scaled_down(100);
+        assert!(s.launches >= 1 && s.launches < app.launches);
+        assert!(s.total_blocks() < app.total_blocks());
+    }
+}

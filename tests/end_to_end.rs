@@ -1,0 +1,187 @@
+//! End-to-end integration: every benchmark kernel runs functionally through
+//! the full Slate pipeline (client API → daemon → injection → profiling →
+//! transformation → persistent workers) and produces results identical to
+//! the untransformed reference execution.
+
+use slate_core::api::SlateClient;
+use slate_core::daemon::SlateDaemon;
+use slate_core::dispatch::Dispatcher;
+use slate_core::transform::TransformedKernel;
+use slate_gpu_sim::buffer::GpuBuffer;
+use slate_gpu_sim::device::{DeviceConfig, SmRange};
+use slate_kernels::gaussian::GaussianSolver;
+use slate_kernels::kernel::{run_reference, GpuKernel};
+use slate_kernels::sgemm::SgemmKernel;
+use slate_kernels::stream::StreamKernel;
+use slate_kernels::transpose::TransposeKernel;
+use std::sync::Arc;
+
+fn device() -> DeviceConfig {
+    DeviceConfig::tiny(4)
+}
+
+/// Runs a kernel through Slate's transformation + dispatch and through the
+/// plain reference path, then compares the given output buffers.
+fn assert_transform_preserves<K, F>(make: F, outputs: usize)
+where
+    K: GpuKernel + 'static,
+    F: Fn() -> (K, Vec<Arc<GpuBuffer>>),
+{
+    let (k_ref, out_ref) = make();
+    run_reference(&k_ref);
+
+    let (k_slate, out_slate) = make();
+    let d = Dispatcher::new(
+        device(),
+        TransformedKernel::new(Arc::new(k_slate)),
+        7,
+        SmRange::all(4),
+    );
+    let res = d.run();
+    assert!(res.blocks > 0);
+
+    assert_eq!(out_ref.len(), outputs);
+    for (b_ref, b_slate) in out_ref.iter().zip(out_slate.iter()) {
+        assert_eq!(b_ref.len_words(), b_slate.len_words());
+        for i in 0..b_ref.len_words() {
+            assert_eq!(
+                b_ref.load_u32(i),
+                b_slate.load_u32(i),
+                "divergence at word {i}"
+            );
+        }
+    }
+}
+
+#[test]
+fn sgemm_transform_preserves_semantics() {
+    assert_transform_preserves(
+        || {
+            let n = 96usize;
+            let a = Arc::new(GpuBuffer::new(n * n * 4));
+            let b = Arc::new(GpuBuffer::new(n * n * 4));
+            let c = Arc::new(GpuBuffer::new(n * n * 4));
+            for i in 0..n * n {
+                a.store_f32(i, ((i * 31) % 19) as f32 * 0.5 - 4.0);
+                b.store_f32(i, ((i * 17) % 13) as f32 * 0.25 - 1.5);
+            }
+            (
+                SgemmKernel::new(n as u32, n as u32, n as u32, a, b, c.clone()),
+                vec![c],
+            )
+        },
+        1,
+    );
+}
+
+#[test]
+fn transpose_transform_preserves_semantics() {
+    assert_transform_preserves(
+        || {
+            let (rows, cols) = (130u32, 67u32); // ragged tiles
+            let n = (rows * cols) as usize;
+            let input = Arc::new(GpuBuffer::new(n * 4));
+            let output = Arc::new(GpuBuffer::new(n * 4));
+            for i in 0..n {
+                input.store_f32(i, (i as f32).sin());
+            }
+            (
+                TransposeKernel::new(rows, cols, input, output.clone()),
+                vec![output],
+            )
+        },
+        1,
+    );
+}
+
+#[test]
+fn stream_transform_preserves_semantics() {
+    assert_transform_preserves(
+        || {
+            let n = 50_000u64;
+            let input = Arc::new(GpuBuffer::new(n as usize * 4));
+            for i in 0..n as usize {
+                input.store_f32(i, ((i % 101) as f32) * 0.125);
+            }
+            let blocks = n.div_ceil(slate_kernels::stream::ELEMS_PER_BLOCK as u64);
+            let sums = Arc::new(GpuBuffer::new(blocks as usize * 4));
+            (StreamKernel::new(n, input, sums.clone()), vec![sums])
+        },
+        1,
+    );
+}
+
+/// Gaussian's launch *sequence* (2(n-1) dependent kernels) under Slate
+/// dispatch must solve the system correctly.
+#[test]
+fn gaussian_sequence_solves_under_slate_dispatch() {
+    let n = 64u32;
+    let nn = n as usize;
+    let mut a = vec![0.0f32; nn * nn];
+    let x_true: Vec<f32> = (0..nn).map(|i| 1.0 + (i % 5) as f32 * 0.25).collect();
+    for i in 0..nn {
+        for j in 0..nn {
+            a[i * nn + j] = if i == j {
+                nn as f32 + 3.0
+            } else {
+                0.2 + ((i * 7 + j * 3) % 11) as f32 * 0.05
+            };
+        }
+    }
+    let b: Vec<f32> = (0..nn)
+        .map(|i| (0..nn).map(|j| a[i * nn + j] * x_true[j]).sum())
+        .collect();
+    let solver = GaussianSolver::new(n, &a, &b);
+    // Run every launch of the sequence through the real transformation and
+    // task queue (the launches are Arc-owned kernels).
+    for kernel in solver.launches() {
+        let t = TransformedKernel::new(kernel);
+        let q = slate_core::queue::TaskQueue::new(t.slate_max(), 5);
+        while let Some(task) = q.pull() {
+            t.run_task(task);
+        }
+    }
+    let x = solver.back_substitute();
+    for i in 0..nn {
+        assert!(
+            (x[i] - x_true[i]).abs() < 2e-2,
+            "x[{i}] = {} vs {}",
+            x[i],
+            x_true[i]
+        );
+    }
+}
+
+/// The daemon path exercised with the injection pipeline attached.
+#[test]
+fn daemon_launch_with_source_populates_injection_cache() {
+    let daemon = SlateDaemon::start(device(), 1 << 24);
+    let client = SlateClient::new(daemon.connect("sourcey"));
+    let n = 20_000u64;
+    let src = r#"__global__ void stream_sum(float* sums, const float* in, int n) {
+        int i = blockIdx.x; sums[i] = in[i];
+    }"#;
+    let input = client.malloc(n * 4).unwrap();
+    let blocks = n.div_ceil(slate_kernels::stream::ELEMS_PER_BLOCK as u64);
+    let sums = client.malloc(blocks * 4).unwrap();
+    for rep in 0..3 {
+        client
+            .launch_with(
+                vec![input, sums],
+                10,
+                Some(src.to_string()),
+                move |bufs| {
+                    Arc::new(StreamKernel::new(n, bufs[0].clone(), bufs[1].clone()))
+                        as Arc<dyn GpuKernel>
+                },
+            )
+            .unwrap();
+        let _ = rep;
+    }
+    client.synchronize().unwrap();
+    let (hits, misses) = daemon.injection_stats();
+    assert_eq!(misses, 1, "source compiled once");
+    assert_eq!(hits, 2, "subsequent launches hit the cache");
+    client.disconnect().unwrap();
+    daemon.join();
+}

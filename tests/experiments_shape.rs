@@ -1,0 +1,92 @@
+//! The reproduction gate: every experiment driver runs (at reduced scale)
+//! and every qualitative shape check against the paper passes.
+
+use slate_gpu_sim::device::DeviceConfig;
+use slate_harness::{
+    ablation, fig1, fig5, fig6, fig7, oracle, portability, table1, table2, table3, table4,
+    table5,
+};
+
+fn titan() -> DeviceConfig {
+    DeviceConfig::titan_xp()
+}
+
+#[test]
+fn fig1_shape() {
+    let (_, r) = fig1::run(&titan(), 20);
+    assert!(r.all_pass(), "{}", r.to_text());
+}
+
+#[test]
+fn table1_shape() {
+    let (_, r) = table1::run(&titan());
+    assert!(r.all_pass(), "{}", r.to_text());
+}
+
+#[test]
+fn table2_shape() {
+    let (_, r) = table2::run(&titan());
+    assert!(r.all_pass(), "{}", r.to_text());
+}
+
+#[test]
+fn table3_shape() {
+    let (_, r) = table3::run(&titan(), 12);
+    assert!(r.all_pass(), "{}", r.to_text());
+}
+
+#[test]
+fn table4_shape() {
+    let (_, r) = table4::run(&titan(), 12);
+    assert!(r.all_pass(), "{}", r.to_text());
+}
+
+#[test]
+fn fig5_shape() {
+    let (_, r) = fig5::run(&titan());
+    assert!(r.all_pass(), "{}", r.to_text());
+}
+
+#[test]
+fn fig6_shape() {
+    let (_, r) = fig6::run(&titan(), 12);
+    assert!(r.all_pass(), "{}", r.to_text());
+}
+
+#[test]
+fn fig7_shape() {
+    let (_, r) = fig7::run(&titan(), 12);
+    assert!(r.all_pass(), "{}", r.to_text());
+}
+
+#[test]
+fn table5_shape() {
+    let (_, r) = table5::run(&titan(), 12);
+    assert!(r.all_pass(), "{}", r.to_text());
+}
+
+#[test]
+fn ablation_shape() {
+    let (_, r) = ablation::run(&titan(), 15);
+    assert!(r.all_pass(), "{}", r.to_text());
+}
+
+#[test]
+fn portability_shape() {
+    let (_, r) = portability::run(15);
+    assert!(r.all_pass(), "{}", r.to_text());
+}
+
+#[test]
+fn oracle_shape() {
+    let (_, r) = oracle::run(&titan(), 15);
+    assert!(r.all_pass(), "{}", r.to_text());
+}
+
+/// The experiments must also hold at a different scale — the shapes are
+/// properties of the model, not of one repetition count.
+#[test]
+fn fig7_shape_is_scale_stable() {
+    let (_, r) = fig7::run(&titan(), 5);
+    assert!(r.all_pass(), "{}", r.to_text());
+}
