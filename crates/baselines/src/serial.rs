@@ -334,7 +334,7 @@ mod tests {
     fn solo_app_completes_with_all_launches() {
         let cfg = DeviceConfig::titan_xp();
         let app = Benchmark::BS.app().scaled_down(100);
-        let out = run_serialized(&cfg, &overheads_free(), &[app.clone()]);
+        let out = run_serialized(&cfg, &overheads_free(), std::slice::from_ref(&app));
         assert_eq!(out.apps.len(), 1);
         let r = &out.apps[0];
         assert_eq!(r.metrics.slices, app.launches);
@@ -348,8 +348,8 @@ mod tests {
         let cfg = DeviceConfig::titan_xp();
         let a = Benchmark::BS.app().scaled_down(200);
         let b = Benchmark::TR.app().scaled_down(200);
-        let solo_a = run_serialized(&cfg, &overheads_free(), &[a.clone()]).apps[0].kernel_busy_s;
-        let solo_b = run_serialized(&cfg, &overheads_free(), &[b.clone()]).apps[0].kernel_busy_s;
+        let solo_a = run_serialized(&cfg, &overheads_free(), std::slice::from_ref(&a)).apps[0].kernel_busy_s;
+        let solo_b = run_serialized(&cfg, &overheads_free(), std::slice::from_ref(&b)).apps[0].kernel_busy_s;
         let pair = run_serialized(&cfg, &overheads_free(), &[a, b]);
         // Device work strictly serializes: makespan >= sum of kernel times.
         assert!(
@@ -377,7 +377,7 @@ mod tests {
         let slow = run_serialized(&cfg, &taxed, &[a.clone(), b.clone()]);
         assert!(slow.makespan_s > free.makespan_s * 1.02);
         // Solo runs are unaffected by the contention tax.
-        let solo_free = run_serialized(&cfg, &overheads_free(), &[a.clone()]);
+        let solo_free = run_serialized(&cfg, &overheads_free(), std::slice::from_ref(&a));
         let solo_taxed = run_serialized(&cfg, &taxed, &[a]);
         assert!((solo_taxed.makespan_s - solo_free.makespan_s).abs() < 1e-9);
     }
@@ -435,8 +435,8 @@ mod tests {
         let a = Benchmark::BS.app().scaled_down(200);
         let mut ov = overheads_free();
         ov.per_launch_s = 1e-3;
-        let taxed = run_serialized(&cfg, &ov, &[a.clone()]);
-        let free = run_serialized(&cfg, &overheads_free(), &[a.clone()]);
+        let taxed = run_serialized(&cfg, &ov, std::slice::from_ref(&a));
+        let free = run_serialized(&cfg, &overheads_free(), std::slice::from_ref(&a));
         let expect = a.launches as f64 * a.batch as f64 * 1e-3;
         let delta = taxed.makespan_s - free.makespan_s;
         assert!(

@@ -21,12 +21,66 @@ use bytes::Bytes;
 use slate_gpu_sim::buffer::GpuBuffer;
 use slate_kernels::kernel::GpuKernel;
 use std::sync::Arc;
+use std::time::Duration;
+
+/// Opt-in bounded retry with exponential backoff for transient daemon
+/// rejections (see [`SlateError::is_transient`]). Retries sleep
+/// `base_delay * 2^attempt`, capped at `max_delay`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts, including the first (1 = no retry).
+    pub max_attempts: u32,
+    /// Backoff before the first retry.
+    pub base_delay: Duration,
+    /// Ceiling for the exponential backoff.
+    pub max_delay: Duration,
+}
+
+impl RetryPolicy {
+    /// `max_attempts` tries with backoff doubling from 1 ms up to 100 ms.
+    pub fn with_attempts(max_attempts: u32) -> Self {
+        Self {
+            max_attempts: max_attempts.max(1),
+            base_delay: Duration::from_millis(1),
+            max_delay: Duration::from_millis(100),
+        }
+    }
+
+    /// Backoff to sleep before retry number `retry` (0-based).
+    pub fn delay_for(&self, retry: u32) -> Duration {
+        let factor = 1u32 << retry.min(16);
+        self.base_delay.saturating_mul(factor).min(self.max_delay)
+    }
+
+    /// Runs `op` up to `max_attempts` times, sleeping the backoff between
+    /// attempts, retrying only while the error is transient.
+    pub fn run<T>(
+        &self,
+        mut op: impl FnMut() -> Result<T, SlateError>,
+    ) -> Result<T, SlateError> {
+        let mut retry = 0;
+        loop {
+            match op() {
+                Ok(v) => return Ok(v),
+                Err(e) if e.is_transient() && retry + 1 < self.max_attempts => {
+                    std::thread::sleep(self.delay_for(retry));
+                    retry += 1;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
 
 /// A client connection to the Slate daemon, wrapping the command pipe with
 /// the CUDA-like API surface.
 pub struct SlateClient {
     conn: Connection,
     pending_launches: std::cell::Cell<u64>,
+    retry: Option<RetryPolicy>,
+    /// Errors surfaced by the most recent `synchronize` (first one is
+    /// returned; the rest are counted here).
+    last_sync_failures: std::cell::Cell<u64>,
 }
 
 impl SlateClient {
@@ -35,7 +89,16 @@ impl SlateClient {
         Self {
             conn,
             pending_launches: std::cell::Cell::new(0),
+            retry: None,
+            last_sync_failures: std::cell::Cell::new(0),
         }
+    }
+
+    /// Enables bounded retry with exponential backoff for transient
+    /// errors on `synchronize` (builder style; off by default).
+    pub fn with_retry(mut self, policy: RetryPolicy) -> Self {
+        self.retry = Some(policy);
+        self
     }
 
     /// The daemon-assigned session id.
@@ -54,20 +117,37 @@ impl SlateClient {
             .map_err(|_| SlateError::Disconnected)
     }
 
+    /// Runs `op` under the configured retry policy, if any. Only applied
+    /// to operations that are safe to re-issue: a transient rejection
+    /// means the daemon did not perform them.
+    fn retrying<T>(
+        &self,
+        mut op: impl FnMut() -> Result<T, SlateError>,
+    ) -> Result<T, SlateError> {
+        match &self.retry {
+            Some(policy) => policy.run(&mut op),
+            None => op(),
+        }
+    }
+
     /// Allocates `bytes` bytes of device memory (`cudaMalloc`).
     pub fn malloc(&self, bytes: u64) -> Result<SlatePtr, SlateError> {
-        self.call(Request::Malloc(bytes))?.expect_ptr()
+        self.retrying(|| self.call(Request::Malloc(bytes))?.expect_ptr())
     }
 
     /// Frees a device allocation (`cudaFree`).
     pub fn free(&self, ptr: SlatePtr) -> Result<(), SlateError> {
-        self.call(Request::Free(ptr))?.expect_ok()
+        self.retrying(|| self.call(Request::Free(ptr))?.expect_ok())
     }
 
     /// Copies host bytes into device memory through a shared buffer.
     /// `offset` must be word-aligned.
     pub fn memcpy_h2d(&self, ptr: SlatePtr, offset: usize, data: Bytes) -> Result<(), SlateError> {
-        self.call(Request::MemcpyH2D { ptr, offset, data })?.expect_ok()
+        self.retrying(|| {
+            // Bytes clones are refcount-only; re-sending is cheap.
+            let data = data.clone();
+            self.call(Request::MemcpyH2D { ptr, offset, data })?.expect_ok()
+        })
     }
 
     /// Convenience: uploads a slice of f32s.
@@ -79,10 +159,12 @@ impl SlateClient {
     /// Copies device memory back to the host. `offset` must be
     /// word-aligned.
     pub fn memcpy_d2h(&self, ptr: SlatePtr, offset: usize, len: usize) -> Result<Vec<u8>, SlateError> {
-        Ok(self
-            .call(Request::MemcpyD2H { ptr, offset, len })?
-            .expect_data()?
-            .to_vec())
+        self.retrying(|| {
+            Ok(self
+                .call(Request::MemcpyD2H { ptr, offset, len })?
+                .expect_data()?
+                .to_vec())
+        })
     }
 
     /// Convenience: downloads `n` f32s.
@@ -107,7 +189,33 @@ impl SlateClient {
     where
         F: FnOnce(Vec<Arc<GpuBuffer>>) -> Arc<dyn GpuKernel> + Send + 'static,
     {
-        self.launch_inner(ptrs, task_size, source, false, 0, Box::new(factory))
+        self.launch_inner(ptrs, task_size, source, false, 0, None, Box::new(factory))
+    }
+
+    /// Like [`SlateClient::launch_with`] but arms the daemon's watchdog
+    /// with a per-kernel deadline: if the kernel runs longer than
+    /// `deadline_ms` milliseconds it is evicted from the device and the
+    /// next [`SlateClient::synchronize`] surfaces
+    /// [`SlateError::Timeout`]. Co-runners are unaffected.
+    pub fn launch_with_deadline<F>(
+        &self,
+        ptrs: Vec<SlatePtr>,
+        task_size: u32,
+        deadline_ms: u64,
+        factory: F,
+    ) -> Result<(), SlateError>
+    where
+        F: FnOnce(Vec<Arc<GpuBuffer>>) -> Arc<dyn GpuKernel> + Send + 'static,
+    {
+        self.launch_inner(
+            ptrs,
+            task_size,
+            None,
+            false,
+            0,
+            Some(deadline_ms),
+            Box::new(factory),
+        )
     }
 
     /// Launches a kernel on a CUDA stream. Launches on the same stream are
@@ -123,7 +231,7 @@ impl SlateClient {
     where
         F: FnOnce(Vec<Arc<GpuBuffer>>) -> Arc<dyn GpuKernel> + Send + 'static,
     {
-        self.launch_inner(ptrs, task_size, None, false, stream, Box::new(factory))
+        self.launch_inner(ptrs, task_size, None, false, stream, None, Box::new(factory))
     }
 
     /// Like [`SlateClient::launch_with`] but pins the kernel to solo
@@ -139,9 +247,10 @@ impl SlateClient {
     where
         F: FnOnce(Vec<Arc<GpuBuffer>>) -> Arc<dyn GpuKernel> + Send + 'static,
     {
-        self.launch_inner(ptrs, task_size, source, true, 0, Box::new(factory))
+        self.launch_inner(ptrs, task_size, source, true, 0, None, Box::new(factory))
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn launch_inner(
         &self,
         ptrs: Vec<SlatePtr>,
@@ -149,6 +258,7 @@ impl SlateClient {
         source: Option<String>,
         pinned_solo: bool,
         stream: u32,
+        deadline_ms: Option<u64>,
         factory: KernelFactory,
     ) -> Result<(), SlateError> {
         let cmd = LaunchCmd {
@@ -158,6 +268,7 @@ impl SlateClient {
             source,
             pinned_solo,
             stream,
+            deadline_ms,
         };
         self.conn
             .tx
@@ -168,7 +279,9 @@ impl SlateClient {
     }
 
     /// Blocks until every previously launched kernel has completed
-    /// (`cudaDeviceSynchronize`). Surfaces any launch error.
+    /// (`cudaDeviceSynchronize`). Surfaces the *first* launch error;
+    /// additional failures from the same batch are counted in
+    /// [`SlateClient::last_sync_failures`].
     pub fn synchronize(&self) -> Result<(), SlateError> {
         // The session thread serves requests in order, so one round trip
         // fences all prior launches. Failed launches reply with their error
@@ -177,7 +290,8 @@ impl SlateClient {
             .tx
             .send(Request::Sync)
             .map_err(|_| SlateError::Disconnected)?;
-        let mut result = Ok(());
+        let mut first: Option<SlateError> = None;
+        let mut failures: u64 = 0;
         loop {
             match self
                 .conn
@@ -186,7 +300,12 @@ impl SlateClient {
                 .map_err(|_| SlateError::Disconnected)?
             {
                 Response::Ok => break,
-                Response::Err(e) => result = Err(SlateError::from_wire(&e)),
+                Response::Err(e) => {
+                    failures += 1;
+                    if first.is_none() {
+                        first = Some(SlateError::from_wire(&e));
+                    }
+                }
                 other => {
                     return Err(SlateError::Other(format!(
                         "unexpected sync response {other:?}"
@@ -195,13 +314,49 @@ impl SlateClient {
             }
         }
         self.pending_launches.set(0);
-        result
+        self.last_sync_failures.set(failures);
+        match first {
+            None => Ok(()),
+            Some(e) => Err(e),
+        }
+    }
+
+    /// Launch errors surfaced by the most recent
+    /// [`SlateClient::synchronize`] (0 if it succeeded). When several
+    /// launches of one batch fail, `synchronize` returns the first error
+    /// and this reports how many there were in total.
+    pub fn last_sync_failures(&self) -> u64 {
+        self.last_sync_failures.get()
     }
 
     /// Ends the session; the daemon frees any leaked allocations.
+    ///
+    /// Pending launches are fenced first (a `Sync` round trip), so an
+    /// in-flight launch error is surfaced here instead of being silently
+    /// dropped with the session.
     pub fn disconnect(self) -> Result<(), SlateError> {
-        self.call(Request::Disconnect)?.expect_ok()
+        let pending = if self.pending_launches.get() > 0 {
+            self.synchronize().err()
+        } else {
+            None
+        };
+        let bye = self.call(Request::Disconnect)?.expect_ok();
+        match pending {
+            Some(e) => Err(e),
+            None => bye,
+        }
     }
+}
+
+/// Connects to `daemon` under `policy`: transient rejections (e.g.
+/// [`SlateError::ShuttingDown`] during a drain that may be superseded by a
+/// restart) are retried with exponential backoff.
+pub fn connect_with_retry(
+    daemon: &Arc<crate::daemon::SlateDaemon>,
+    user: &str,
+    policy: RetryPolicy,
+) -> Result<SlateClient, SlateError> {
+    policy.run(|| daemon.connect(user).map(SlateClient::new))
 }
 
 #[cfg(test)]
@@ -213,7 +368,7 @@ mod tests {
     #[test]
     fn upload_download_roundtrip() {
         let daemon = SlateDaemon::start(DeviceConfig::tiny(2), 1 << 20);
-        let c = SlateClient::new(daemon.connect("u"));
+        let c = SlateClient::new(daemon.connect("u").unwrap());
         let p = c.malloc(64).unwrap();
         c.upload_f32(p, &[1.5, -2.0, 3.25]).unwrap();
         let back = c.download_f32(p, 3).unwrap();
@@ -225,12 +380,78 @@ mod tests {
     #[test]
     fn out_of_memory_is_reported() {
         let daemon = SlateDaemon::start(DeviceConfig::tiny(2), 1024);
-        let c = SlateClient::new(daemon.connect("u"));
+        let c = SlateClient::new(daemon.connect("u").unwrap());
         assert!(c.malloc(512).is_ok());
         let err = c.malloc(4096).unwrap_err();
         assert_eq!(err, SlateError::OutOfMemory { requested: 4096 });
         assert!(err.to_string().contains("out of device memory"), "{err}");
         c.disconnect().unwrap();
         daemon.join();
+    }
+
+    #[test]
+    fn retry_policy_backoff_doubles_and_caps() {
+        let p = RetryPolicy {
+            max_attempts: 8,
+            base_delay: Duration::from_millis(2),
+            max_delay: Duration::from_millis(10),
+        };
+        assert_eq!(p.delay_for(0), Duration::from_millis(2));
+        assert_eq!(p.delay_for(1), Duration::from_millis(4));
+        assert_eq!(p.delay_for(2), Duration::from_millis(8));
+        assert_eq!(p.delay_for(3), Duration::from_millis(10), "capped");
+        assert_eq!(p.delay_for(30), Duration::from_millis(10), "no overflow");
+    }
+
+    #[test]
+    fn retry_policy_retries_transient_until_success() {
+        let p = RetryPolicy::with_attempts(5);
+        let mut calls = 0;
+        let out: Result<u32, _> = p.run(|| {
+            calls += 1;
+            if calls < 3 {
+                Err(SlateError::ShuttingDown)
+            } else {
+                Ok(7)
+            }
+        });
+        assert_eq!(out, Ok(7));
+        assert_eq!(calls, 3);
+    }
+
+    #[test]
+    fn retry_policy_gives_up_after_max_attempts() {
+        let p = RetryPolicy::with_attempts(3);
+        let mut calls = 0;
+        let out: Result<(), _> = p.run(|| {
+            calls += 1;
+            Err(SlateError::Timeout { elapsed_ms: 1 })
+        });
+        assert_eq!(out, Err(SlateError::Timeout { elapsed_ms: 1 }));
+        assert_eq!(calls, 3);
+    }
+
+    #[test]
+    fn retry_policy_never_retries_permanent_errors() {
+        let p = RetryPolicy::with_attempts(5);
+        let mut calls = 0;
+        let out: Result<(), _> = p.run(|| {
+            calls += 1;
+            Err(SlateError::InvalidPointer { ptr: 9 })
+        });
+        assert!(out.is_err());
+        assert_eq!(calls, 1, "permanent errors fail fast");
+    }
+
+    #[test]
+    fn connect_with_retry_fails_fast_once_shut_down() {
+        let daemon = SlateDaemon::start(DeviceConfig::tiny(2), 1 << 20);
+        assert!(daemon.shutdown(Duration::from_millis(100)));
+        // ShuttingDown is transient (a restarted daemon could accept), but
+        // this daemon never comes back: the policy must exhaust attempts.
+        let err = connect_with_retry(&daemon, "late", RetryPolicy::with_attempts(2))
+            .err()
+            .unwrap();
+        assert_eq!(err, SlateError::ShuttingDown);
     }
 }

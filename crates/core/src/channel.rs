@@ -45,6 +45,11 @@ pub struct LaunchCmd {
     /// concurrently (the paper builds "a queue for each process and CUDA
     /// stream").
     pub stream: u32,
+    /// Watchdog deadline for this kernel, in milliseconds. Past it the
+    /// daemon evicts the kernel through the retreat flag and replies
+    /// `SlateError::Timeout`. `None` defers to the daemon's default
+    /// deadline (which may also be unset — no watchdog).
+    pub deadline_ms: Option<u64>,
 }
 
 /// Requests a client sends over the command pipe.

@@ -12,6 +12,31 @@
 //! SM-demand partitioning), and the dispatch kernel with persistent
 //! workers — including *live resizing* of a running kernel when a
 //! complementary client arrives or departs.
+//!
+//! # Fault tolerance
+//!
+//! Because every client shares one device context, the daemon contains
+//! failures instead of letting them spread to co-runners:
+//!
+//! * **session reaping** — a client that vanishes without `Disconnect`
+//!   (its channel sender drops) is detected by its session thread, which
+//!   frees the session's allocations, releases any arbiter residency and
+//!   Hyper-Q lanes, and lets the surviving co-runner regrow to the full
+//!   device — exactly the `Disconnect` path;
+//! * a **kernel watchdog** — launches carry an optional deadline (or
+//!   inherit [`DaemonOptions::default_deadline_ms`]); a scanner thread
+//!   evicts over-deadline kernels through the paper's own retreat flag and
+//!   the client receives [`SlateError::Timeout`] while co-runners keep
+//!   running;
+//! * **graceful shutdown** — [`SlateDaemon::shutdown`] refuses new
+//!   connections with [`SlateError::ShuttingDown`] and drains in-flight
+//!   sessions under a deadline; during the drain the arbiter stops
+//!   co-scheduling and serializes remaining kernels solo, with a bounded
+//!   condvar wait so nothing can wedge in `acquire`;
+//! * deterministic **fault injection** — a [`FaultPlan`]
+//!   (`slate_gpu_sim::fault`) passed through [`DaemonOptions`] makes
+//!   kernels hang, launches fault, memcpys stall, or channels drop at
+//!   scripted points, so all of the above is testable and replayable.
 
 use crate::channel::{LaunchCmd, Request, Response, SlatePtr};
 use crate::classify::WorkloadClass;
@@ -26,10 +51,13 @@ use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::{Condvar, Mutex};
 use slate_gpu_sim::buffer::{DeviceMemoryPool, DevicePtr, GpuBuffer};
 use slate_gpu_sim::device::{DeviceConfig, SmRange};
+use slate_gpu_sim::fault::{FaultKind, FaultPlan, FaultSite, FaultToken};
 use slate_gpu_sim::workqueue::HyperQ;
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Weak};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 /// One kernel currently resident on the (functional) device.
 struct ArbResident {
@@ -47,6 +75,9 @@ struct Arbiter {
     cfg: DeviceConfig,
     state: Mutex<Vec<ArbResident>>,
     freed: Condvar,
+    /// Shutdown drain mode: no new co-scheduling, bounded condvar waits —
+    /// remaining kernels serialize solo instead of wedging in `acquire`.
+    draining: AtomicBool,
 }
 
 impl Arbiter {
@@ -55,7 +86,16 @@ impl Arbiter {
             cfg,
             state: Mutex::new(Vec::new()),
             freed: Condvar::new(),
+            draining: AtomicBool::new(false),
         }
+    }
+
+    /// Enters drain mode (one-way): wakes every waiter so it re-evaluates
+    /// under the new policy.
+    fn begin_drain(&self) {
+        self.draining.store(true, Ordering::Release);
+        let _guard = self.state.lock();
+        self.freed.notify_all();
     }
 
     /// Blocks until the kernel may run; returns its SM range. May shrink a
@@ -83,7 +123,9 @@ impl Arbiter {
                 });
                 return range;
             }
-            if st.len() == 1
+            let draining = self.draining.load(Ordering::Acquire);
+            if !draining
+                && st.len() == 1
                 && !pinned_solo
                 && !st[0].pinned_solo
                 && should_corun(st[0].class, class)
@@ -102,15 +144,30 @@ impl Arbiter {
                 });
                 return part.b;
             }
-            self.freed.wait(&mut st);
+            if draining {
+                // Serialized solo fallback: poll with a bounded wait so a
+                // lost wakeup during teardown cannot wedge this thread.
+                let _ = self
+                    .freed
+                    .wait_for(&mut st, Duration::from_millis(20));
+            } else {
+                self.freed.wait(&mut st);
+            }
         }
     }
 
     /// Releases the caller's residency; the surviving co-runner grows to
     /// the whole device.
     fn release(&self, session: u64) {
+        self.release_matching(|lease| lease == session);
+    }
+
+    /// Releases every residency whose lease satisfies `pred` (session
+    /// reaping releases all of a session's stream leases at once); any
+    /// survivor regrows to the whole device.
+    fn release_matching(&self, pred: impl Fn(u64) -> bool) {
         let mut st = self.state.lock();
-        st.retain(|r| r.session != session);
+        st.retain(|r| !pred(r.session));
         if let Some(surv) = st.first_mut() {
             let full = SmRange::all(self.cfg.num_sms);
             if surv.range != full {
@@ -119,6 +176,78 @@ impl Arbiter {
             }
         }
         self.freed.notify_all();
+    }
+
+    /// Number of kernels currently resident on the device.
+    fn residents(&self) -> usize {
+        self.state.lock().len()
+    }
+}
+
+/// One watched dispatch: evict through `handle` once `deadline` passes.
+struct WatchEntry {
+    deadline: Instant,
+    handle: DispatchHandle,
+    /// Injected-hang token to cancel on eviction, so cooperatively hung
+    /// workers actually come back.
+    token: Option<FaultToken>,
+}
+
+/// The kernel watchdog: a registry of in-flight dispatches with deadlines,
+/// scanned by a daemon-lifetime thread.
+struct Watchdog {
+    entries: Mutex<HashMap<u64, WatchEntry>>,
+    next_ticket: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl Watchdog {
+    fn new() -> Self {
+        Self {
+            entries: Mutex::new(HashMap::new()),
+            next_ticket: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    fn register(
+        &self,
+        deadline_ms: u64,
+        handle: DispatchHandle,
+        token: Option<FaultToken>,
+    ) -> u64 {
+        let ticket = self.next_ticket.fetch_add(1, Ordering::Relaxed);
+        self.entries.lock().insert(
+            ticket,
+            WatchEntry {
+                deadline: Instant::now() + Duration::from_millis(deadline_ms),
+                handle,
+                token,
+            },
+        );
+        ticket
+    }
+
+    fn deregister(&self, ticket: u64) {
+        self.entries.lock().remove(&ticket);
+    }
+
+    /// Evicts every over-deadline dispatch. Called from the scanner thread.
+    fn scan(&self, now: Instant) {
+        let mut entries = self.entries.lock();
+        let expired: Vec<u64> = entries
+            .iter()
+            .filter(|(_, e)| now >= e.deadline)
+            .map(|(&t, _)| t)
+            .collect();
+        for ticket in expired {
+            let entry = entries.remove(&ticket).expect("ticket collected above");
+            entry.handle.evict();
+            if let Some(token) = entry.token {
+                token.cancel();
+            }
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
     }
 }
 
@@ -132,6 +261,40 @@ struct DaemonShared {
     launches: Mutex<u64>,
     /// Hardware work-queue allocator for the funnelled server context.
     hyperq: Mutex<HyperQ>,
+    /// Scripted fault schedule (empty outside fault-injection tests).
+    faults: Mutex<FaultPlan>,
+    /// Deadline registry for in-flight dispatches.
+    watchdog: Watchdog,
+    /// Deadline applied to launches that don't carry their own.
+    default_deadline_ms: Option<u64>,
+    /// Raised by [`SlateDaemon::shutdown`]; refuses new connections.
+    shutting_down: AtomicBool,
+    /// Sessions torn down because the client vanished without Disconnect.
+    reaped_sessions: AtomicU64,
+    /// Live session count + condvar for the shutdown drain.
+    active_sessions: Mutex<usize>,
+    session_drained: Condvar,
+}
+
+/// Construction-time daemon configuration beyond device geometry.
+pub struct DaemonOptions {
+    /// Kernel profile table seeded from a previous run.
+    pub profiles: ProfileTable,
+    /// Deterministic fault schedule (for tests; empty injects nothing).
+    pub fault_plan: FaultPlan,
+    /// Watchdog deadline, in milliseconds, for launches that don't set
+    /// their own. `None` leaves unmarked launches unwatched.
+    pub default_deadline_ms: Option<u64>,
+}
+
+impl Default for DaemonOptions {
+    fn default() -> Self {
+        Self {
+            profiles: ProfileTable::new(),
+            fault_plan: FaultPlan::new(),
+            default_deadline_ms: None,
+        }
+    }
 }
 
 /// A running Slate daemon. Dropping the handle after every client
@@ -157,7 +320,7 @@ impl SlateDaemon {
     /// Starts a daemon managing a functional device of `cfg` geometry with
     /// `mem_capacity` bytes of device memory.
     pub fn start(cfg: DeviceConfig, mem_capacity: u64) -> Arc<Self> {
-        Self::start_with_profiles(cfg, mem_capacity, ProfileTable::new())
+        Self::start_with_options(cfg, mem_capacity, DaemonOptions::default())
     }
 
     /// Starts a daemon seeded with a profile table from a previous run
@@ -168,16 +331,42 @@ impl SlateDaemon {
         mem_capacity: u64,
         profiles: ProfileTable,
     ) -> Arc<Self> {
+        Self::start_with_options(
+            cfg,
+            mem_capacity,
+            DaemonOptions {
+                profiles,
+                ..DaemonOptions::default()
+            },
+        )
+    }
+
+    /// Starts a daemon with full [`DaemonOptions`] — profile seeding, a
+    /// fault-injection plan, and the default watchdog deadline.
+    pub fn start_with_options(
+        cfg: DeviceConfig,
+        mem_capacity: u64,
+        options: DaemonOptions,
+    ) -> Arc<Self> {
+        let shared = Arc::new(DaemonShared {
+            cfg: cfg.clone(),
+            pool: Mutex::new(DeviceMemoryPool::new(mem_capacity)),
+            injector: Mutex::new(InjectionCache::new()),
+            profiles: Mutex::new(options.profiles),
+            arbiter: Arbiter::new(cfg),
+            launches: Mutex::new(0),
+            hyperq: Mutex::new(HyperQ::with_default_connections()),
+            faults: Mutex::new(options.fault_plan),
+            watchdog: Watchdog::new(),
+            default_deadline_ms: options.default_deadline_ms,
+            shutting_down: AtomicBool::new(false),
+            reaped_sessions: AtomicU64::new(0),
+            active_sessions: Mutex::new(0),
+            session_drained: Condvar::new(),
+        });
+        spawn_watchdog_scanner(Arc::downgrade(&shared));
         Arc::new(Self {
-            shared: Arc::new(DaemonShared {
-                cfg: cfg.clone(),
-                pool: Mutex::new(DeviceMemoryPool::new(mem_capacity)),
-                injector: Mutex::new(InjectionCache::new()),
-                profiles: Mutex::new(profiles),
-                arbiter: Arbiter::new(cfg),
-                launches: Mutex::new(0),
-                hyperq: Mutex::new(HyperQ::with_default_connections()),
-            }),
+            shared,
             next_session: Mutex::new(0),
             sessions: Mutex::new(Vec::new()),
         })
@@ -191,8 +380,12 @@ impl SlateDaemon {
     }
 
     /// Accepts a new client; spawns its session thread (one per process,
-    /// kept alive until the process disconnects — §IV-A2).
-    pub fn connect(self: &Arc<Self>, user: &str) -> Connection {
+    /// kept alive until the process disconnects — §IV-A2). Refused with
+    /// [`SlateError::ShuttingDown`] once [`SlateDaemon::shutdown`] ran.
+    pub fn connect(self: &Arc<Self>, user: &str) -> Result<Connection, SlateError> {
+        if self.shared.shutting_down.load(Ordering::Acquire) {
+            return Err(SlateError::ShuttingDown);
+        }
         let session = {
             let mut n = self.next_session.lock();
             *n += 1;
@@ -202,16 +395,51 @@ impl SlateDaemon {
         let (tx_resp, rx_resp) = unbounded::<Response>();
         let shared = self.shared.clone();
         let user = user.to_string();
+        *self.shared.active_sessions.lock() += 1;
         let handle = std::thread::Builder::new()
             .name(format!("slate-session-{session}"))
-            .spawn(move || session_loop(shared, session, user, rx_req, tx_resp))
+            .spawn(move || {
+                session_loop(shared.clone(), session, user, rx_req, tx_resp);
+                let mut active = shared.active_sessions.lock();
+                *active -= 1;
+                shared.session_drained.notify_all();
+            })
             .expect("spawn session thread");
         self.sessions.lock().push(handle);
-        Connection {
+        Ok(Connection {
             session,
             tx: tx_req,
             rx: rx_resp,
+        })
+    }
+
+    /// Begins a graceful shutdown: new connections are refused with
+    /// [`SlateError::ShuttingDown`], the arbiter stops co-scheduling and
+    /// serializes the remaining kernels solo, and the call blocks until
+    /// every in-flight session has drained or `drain_deadline` elapsed.
+    /// Returns `true` when fully drained; `false` if sessions remain (the
+    /// drain keeps progressing in the background either way).
+    pub fn shutdown(&self, drain_deadline: Duration) -> bool {
+        self.shared.shutting_down.store(true, Ordering::Release);
+        self.shared.arbiter.begin_drain();
+        let deadline = Instant::now() + drain_deadline;
+        let mut active = self.shared.active_sessions.lock();
+        while *active > 0 {
+            if self
+                .shared
+                .session_drained
+                .wait_until(&mut active, deadline)
+                .timed_out()
+            {
+                return *active == 0;
+            }
         }
+        true
+    }
+
+    /// Whether [`SlateDaemon::shutdown`] has been called.
+    pub fn is_shutting_down(&self) -> bool {
+        self.shared.shutting_down.load(Ordering::Acquire)
     }
 
     /// Total kernel launches served (daemon statistics).
@@ -235,6 +463,26 @@ impl SlateDaemon {
         self.shared.hyperq.lock().lanes()
     }
 
+    /// Kernels evicted by the watchdog since the daemon started.
+    pub fn watchdog_evictions(&self) -> u64 {
+        self.shared.watchdog.evictions.load(Ordering::Relaxed)
+    }
+
+    /// Sessions torn down because the client vanished without Disconnect.
+    pub fn reaped_sessions(&self) -> u64 {
+        self.shared.reaped_sessions.load(Ordering::Relaxed)
+    }
+
+    /// Kernels currently resident on the device (0, 1, or 2).
+    pub fn arbiter_residents(&self) -> usize {
+        self.shared.arbiter.residents()
+    }
+
+    /// Fault-plan rules that have fired so far (0 without injection).
+    pub fn faults_fired(&self) -> usize {
+        self.shared.faults.lock().fired()
+    }
+
     /// Waits for all session threads to finish (after clients disconnect).
     pub fn join(&self) {
         let handles: Vec<_> = std::mem::take(&mut *self.sessions.lock());
@@ -242,6 +490,22 @@ impl SlateDaemon {
             let _ = h.join();
         }
     }
+}
+
+/// Spawns the watchdog scanner: a daemon-lifetime thread that evicts
+/// over-deadline dispatches. Holds only a weak reference, so it exits once
+/// the daemon (and its sessions) are gone.
+fn spawn_watchdog_scanner(shared: Weak<DaemonShared>) {
+    std::thread::Builder::new()
+        .name("slate-watchdog".to_string())
+        .spawn(move || loop {
+            std::thread::sleep(Duration::from_millis(1));
+            match shared.upgrade() {
+                Some(sh) => sh.watchdog.scan(Instant::now()),
+                None => break,
+            }
+        })
+        .expect("spawn watchdog thread");
 }
 
 /// Per-session state: the pointer-mapping hash table of §IV-A1.
@@ -255,13 +519,22 @@ struct StreamJob {
     kernel: Arc<dyn slate_kernels::kernel::GpuKernel>,
     task_size: u32,
     pinned_solo: bool,
+    deadline_ms: Option<u64>,
+}
+
+/// A message for a stream lane's in-order queue: either a kernel launch or
+/// a sync barrier carrying the channel to acknowledge on.
+enum LaneMsg {
+    Job(StreamJob),
+    Barrier(Sender<()>),
 }
 
 /// One non-default CUDA stream of a session: its own in-order queue served
 /// by a dedicated thread (the paper's per-(process, stream) queues).
+/// Launches and barriers share a single FIFO, so a barrier acknowledges
+/// only after every launch enqueued before it has executed.
 struct StreamLane {
-    tx: Sender<StreamJob>,
-    barrier_tx: Sender<Sender<()>>,
+    tx: Sender<LaneMsg>,
     handle: JoinHandle<()>,
 }
 
@@ -270,41 +543,29 @@ fn spawn_stream_lane(
     lease: u64,
     errors: Arc<Mutex<Vec<String>>>,
 ) -> StreamLane {
-    let (tx, rx) = unbounded::<StreamJob>();
-    let (barrier_tx, barrier_rx) = unbounded::<Sender<()>>();
-    let handle = std::thread::spawn(move || loop {
-        crossbeam::channel::select! {
-            recv(rx) -> job => match job {
-                Ok(job) => {
+    let (tx, rx) = unbounded::<LaneMsg>();
+    let handle = std::thread::spawn(move || {
+        while let Ok(msg) = rx.recv() {
+            match msg {
+                LaneMsg::Job(job) => {
                     if let Err(e) = execute_kernel(
-                        &shared, lease, job.kernel, job.task_size, job.pinned_solo,
+                        &shared,
+                        lease,
+                        job.kernel,
+                        job.task_size,
+                        job.pinned_solo,
+                        job.deadline_ms,
                     ) {
                         errors.lock().push(e);
                     }
                 }
-                Err(_) => break,
-            },
-            recv(barrier_rx) -> ack => match ack {
-                Ok(ack) => {
-                    // Drain any launches enqueued before the barrier.
-                    while let Ok(job) = rx.try_recv() {
-                        if let Err(e) = execute_kernel(
-                            &shared, lease, job.kernel, job.task_size, job.pinned_solo,
-                        ) {
-                            errors.lock().push(e);
-                        }
-                    }
+                LaneMsg::Barrier(ack) => {
                     let _ = ack.send(());
                 }
-                Err(_) => break,
-            },
+            }
         }
     });
-    StreamLane {
-        tx,
-        barrier_tx,
-        handle,
-    }
+    StreamLane { tx, handle }
 }
 
 fn session_loop(
@@ -323,11 +584,19 @@ fn session_loop(
     let shutdown_lanes = |lanes: &mut HashMap<u32, StreamLane>| {
         for (_, lane) in lanes.drain() {
             drop(lane.tx);
-            drop(lane.barrier_tx);
             let _ = lane.handle.join();
         }
     };
+    // Whether the client said goodbye; anything else is a reap.
+    let mut clean_exit = false;
     while let Ok(req) = rx.recv() {
+        // Injected channel drop: sever both pipes mid-request, as if the
+        // client process died. The reap path below cleans up.
+        if let Some(FaultKind::ChannelDrop) =
+            shared.faults.lock().fire(FaultSite::Request, None)
+        {
+            break;
+        }
         let resp = match req {
             Request::Malloc(bytes) => match shared.pool.lock().alloc(bytes) {
                 Ok(dev) => {
@@ -350,6 +619,7 @@ fn session_loop(
                 }
             },
             Request::MemcpyH2D { ptr, offset, data } => {
+                stall_if_injected(&shared);
                 match resolve(&shared, &st, ptr) {
                     Ok(buf) => {
                         buf.copy_from_host(offset, &data);
@@ -358,23 +628,28 @@ fn session_loop(
                     Err(e) => Response::Err(e),
                 }
             }
-            Request::MemcpyD2H { ptr, offset, len } => match resolve(&shared, &st, ptr) {
-                Ok(buf) => {
-                    let mut out = vec![0u8; len];
-                    buf.copy_to_host(offset, &mut out);
-                    Response::Data(out.into())
+            Request::MemcpyD2H { ptr, offset, len } => {
+                stall_if_injected(&shared);
+                match resolve(&shared, &st, ptr) {
+                    Ok(buf) => {
+                        let mut out = vec![0u8; len];
+                        buf.copy_to_host(offset, &mut out);
+                        Response::Data(out.into())
+                    }
+                    Err(e) => Response::Err(e),
                 }
-                Err(e) => Response::Err(e),
-            },
+            }
             Request::Launch(cmd) => {
                 let stream = cmd.stream;
+                let deadline_ms = cmd.deadline_ms;
                 match prepare_launch(&shared, &user, &st, cmd) {
                     Ok((kernel, task_size, pinned_solo)) => {
                         if stream == 0 {
                             // Default stream: in-order on the session thread.
                             let lease = session << 16;
-                            match execute_kernel(&shared, lease, kernel, task_size, pinned_solo)
-                            {
+                            match execute_kernel(
+                                &shared, lease, kernel, task_size, pinned_solo, deadline_ms,
+                            ) {
                                 Ok(()) => continue,
                                 Err(e) => Response::Err(e),
                             }
@@ -386,11 +661,12 @@ fn session_loop(
                                     stream_errors.clone(),
                                 )
                             });
-                            let _ = lane.tx.send(StreamJob {
+                            let _ = lane.tx.send(LaneMsg::Job(StreamJob {
                                 kernel,
                                 task_size,
                                 pinned_solo,
-                            });
+                                deadline_ms,
+                            }));
                             continue; // asynchronous: no reply
                         }
                     }
@@ -401,7 +677,7 @@ fn session_loop(
                 // Fence every stream lane, then surface collected errors.
                 for lane in lanes.values() {
                     let (ack_tx, ack_rx) = unbounded::<()>();
-                    if lane.barrier_tx.send(ack_tx).is_ok() {
+                    if lane.tx.send(LaneMsg::Barrier(ack_tx)).is_ok() {
                         let _ = ack_rx.recv();
                     }
                 }
@@ -419,19 +695,46 @@ fn session_loop(
                     let _ = pool.free(dev);
                 }
                 let _ = tx.send(Response::Ok);
+                clean_exit = true;
                 break;
             }
         };
         if tx.send(resp).is_err() {
+            // The client's receiver is gone: reap below.
             break;
         }
     }
-    // The client vanished (process died or dropped its connection without
-    // Disconnect): tear down its streams and reclaim its device memory.
+    // Either a clean Disconnect (cleanup already ran, the drains below are
+    // no-ops) or the client vanished — process died, dropped its sender, or
+    // an injected ChannelDrop severed the pipe. Reap the session exactly
+    // like a Disconnect: drain stream lanes, reclaim device memory, release
+    // any arbiter residency (the surviving co-runner regrows to the full
+    // device) and the session's Hyper-Q lanes.
     shutdown_lanes(&mut lanes);
-    let mut pool = shared.pool.lock();
-    for (_, dev) in st.ptr_map.drain() {
-        let _ = pool.free(dev);
+    {
+        let mut pool = shared.pool.lock();
+        for (_, dev) in st.ptr_map.drain() {
+            let _ = pool.free(dev);
+        }
+    }
+    shared
+        .arbiter
+        .release_matching(|lease| lease >> 16 == session);
+    shared
+        .hyperq
+        .lock()
+        .retire_lanes(|_, stream| stream >> 16 == session as u32);
+    if !clean_exit {
+        shared.reaped_sessions.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Applies an injected memcpy stall, if the plan has one armed.
+fn stall_if_injected(shared: &DaemonShared) {
+    if let Some(FaultKind::MemcpyStall { millis }) =
+        shared.faults.lock().fire(FaultSite::Memcpy, None)
+    {
+        std::thread::sleep(Duration::from_millis(millis));
     }
 }
 
@@ -473,14 +776,42 @@ fn prepare_launch(
     Ok((kernel, cmd.task_size, cmd.pinned_solo))
 }
 
+/// A kernel whose every block parks on a [`FaultToken`] until the watchdog
+/// cancels it — the functional model of a kernel that never terminates.
+struct HungKernel {
+    inner: Arc<dyn slate_kernels::kernel::GpuKernel>,
+    token: FaultToken,
+}
+
+impl slate_kernels::kernel::GpuKernel for HungKernel {
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+    fn grid(&self) -> slate_kernels::grid::GridDim {
+        self.inner.grid()
+    }
+    fn perf(&self) -> slate_gpu_sim::perf::KernelPerf {
+        self.inner.perf()
+    }
+    fn run_block(&self, _block: slate_kernels::grid::BlockCoord) {
+        // Block until evicted; the worker then observes the retreat flag
+        // at its next task boundary and exits.
+        self.token.block_until_cancelled();
+    }
+}
+
 /// Profiles, transforms and dispatches a prepared kernel under the
 /// workload-aware arbiter. `lease` identifies the (session, stream) queue.
+/// `deadline_ms` (or the daemon default) arms the watchdog for this
+/// dispatch; past it the kernel is evicted and `SlateError::Timeout`
+/// returned.
 fn execute_kernel(
     shared: &Arc<DaemonShared>,
     lease: u64,
     kernel: Arc<dyn slate_kernels::kernel::GpuKernel>,
     task_size: u32,
     pinned_solo: bool,
+    deadline_ms: Option<u64>,
 ) -> Result<(), String> {
     // All sessions share the daemon's single device context; each
     // (session, stream) lane gets a Hyper-Q connection on it.
@@ -489,6 +820,33 @@ fn execute_kernel(
         .hyperq
         .lock()
         .assign(SERVER_CONTEXT, (lease & 0xffff_ffff) as u32);
+
+    // Launch-site fault injection: an armed LaunchFault rejects the launch
+    // outright; an armed KernelHang swaps in a kernel that parks every
+    // block on a token only the watchdog's eviction cancels.
+    let mut hang_token = None;
+    match shared
+        .faults
+        .lock()
+        .fire(FaultSite::Launch, Some(kernel.name()))
+    {
+        Some(FaultKind::LaunchFault) => {
+            return Err(SlateError::KernelFault(format!(
+                "injected device fault in '{}'",
+                kernel.name()
+            ))
+            .to_wire());
+        }
+        Some(FaultKind::KernelHang) => hang_token = Some(FaultToken::new()),
+        _ => {}
+    }
+    let kernel: Arc<dyn slate_kernels::kernel::GpuKernel> = match &hang_token {
+        Some(token) => Arc::new(HungKernel {
+            inner: kernel,
+            token: token.clone(),
+        }),
+        None => kernel,
+    };
 
     // First-run profiling and classification.
     let perf = kernel.perf();
@@ -516,10 +874,25 @@ fn execute_kernel(
         // raced retreat at worst costs one immediate relaunch).
         handle.resize(range);
     }
+    // Arm the watchdog for the execution (not the arbiter wait: queueing
+    // behind a long co-runner is not the kernel's fault).
+    let started = Instant::now();
+    let ticket = deadline_ms
+        .or(shared.default_deadline_ms)
+        .map(|ms| shared.watchdog.register(ms, handle.clone(), hang_token.clone()));
     let out = dispatcher.run();
-    debug_assert!(out.blocks == grid_blocks);
+    if let Some(ticket) = ticket {
+        shared.watchdog.deregister(ticket);
+    }
     shared.arbiter.release(lease);
     *shared.launches.lock() += 1;
+    if out.evicted {
+        return Err(SlateError::Timeout {
+            elapsed_ms: started.elapsed().as_millis() as u64,
+        }
+        .to_wire());
+    }
+    debug_assert!(out.blocks == grid_blocks);
     Ok(())
 }
 
@@ -558,7 +931,7 @@ mod tests {
     #[test]
     fn end_to_end_malloc_copy_launch_sync_readback() {
         let daemon = SlateDaemon::start(DeviceConfig::tiny(4), 1 << 24);
-        let client = SlateClient::new(daemon.connect("tester"));
+        let client = SlateClient::new(daemon.connect("tester").unwrap());
         let n = 1000usize;
         let input: Vec<f32> = (0..n).map(|i| i as f32).collect();
         let in_ptr = client.malloc((n * 4) as u64).unwrap();
@@ -596,7 +969,7 @@ mod tests {
     #[test]
     fn streams_execute_concurrently_and_sync_fences_all() {
         let daemon = SlateDaemon::start(DeviceConfig::tiny(4), 1 << 24);
-        let client = SlateClient::new(daemon.connect("streamer"));
+        let client = SlateClient::new(daemon.connect("streamer").unwrap());
         let n = 4_000usize;
         // Four streams, each doubling its own buffer; plus the default
         // stream touching a fifth buffer.
@@ -640,7 +1013,7 @@ mod tests {
         // Two doublings on one stream: must observe x4, proving in-order
         // execution within a stream.
         let daemon = SlateDaemon::start(DeviceConfig::tiny(4), 1 << 22);
-        let client = SlateClient::new(daemon.connect("ordered"));
+        let client = SlateClient::new(daemon.connect("ordered").unwrap());
         let n = 2_000usize;
         let p = client.malloc((n * 4) as u64).unwrap();
         client.upload_f32(p, &vec![1.0f32; n]).unwrap();
@@ -665,7 +1038,7 @@ mod tests {
     #[test]
     fn stream_launch_error_surfaces_at_sync() {
         let daemon = SlateDaemon::start(DeviceConfig::tiny(2), 1 << 20);
-        let client = SlateClient::new(daemon.connect("oops"));
+        let client = SlateClient::new(daemon.connect("oops").unwrap());
         let good = client.malloc(1024).unwrap();
         // Bad pointer on a non-zero stream: prepare fails synchronously in
         // the session, so the error is queued ahead of the sync Ok.
@@ -689,7 +1062,7 @@ mod tests {
     #[test]
     fn invalid_pointer_is_rejected() {
         let daemon = SlateDaemon::start(DeviceConfig::tiny(2), 1 << 20);
-        let client = SlateClient::new(daemon.connect("tester"));
+        let client = SlateClient::new(daemon.connect("tester").unwrap());
         assert!(client.memcpy_d2h(SlatePtr(0xdead), 0, 4).is_err());
         assert!(client.free(SlatePtr(0xdead)).is_err());
         client.disconnect().unwrap();
@@ -699,8 +1072,8 @@ mod tests {
     #[test]
     fn sessions_are_isolated() {
         let daemon = SlateDaemon::start(DeviceConfig::tiny(2), 1 << 20);
-        let a = SlateClient::new(daemon.connect("alice"));
-        let b = SlateClient::new(daemon.connect("bob"));
+        let a = SlateClient::new(daemon.connect("alice").unwrap());
+        let b = SlateClient::new(daemon.connect("bob").unwrap());
         let pa = a.malloc(64).unwrap();
         // Bob cannot touch Alice's allocation handle.
         assert!(b.memcpy_d2h(pa, 0, 4).is_err());
@@ -715,7 +1088,7 @@ mod tests {
         // must still reclaim its device memory.
         let daemon = SlateDaemon::start(DeviceConfig::tiny(2), 1 << 20);
         {
-            let client = SlateClient::new(daemon.connect("vanishing"));
+            let client = SlateClient::new(daemon.connect("vanishing").unwrap());
             let _a = client.malloc(256).unwrap();
             let _b = client.malloc(256).unwrap();
             assert_eq!(daemon.live_allocations(), 2);
@@ -734,7 +1107,7 @@ mod tests {
         let run_once = |profiles| {
             let daemon =
                 SlateDaemon::start_with_profiles(DeviceConfig::tiny(4), 1 << 22, profiles);
-            let client = SlateClient::new(daemon.connect("persist"));
+            let client = SlateClient::new(daemon.connect("persist").unwrap());
             let input = client.malloc((n * 4) as u64).unwrap();
             let out = client.malloc((n * 4) as u64).unwrap();
             client
@@ -765,12 +1138,192 @@ mod tests {
     #[test]
     fn disconnect_frees_leaked_allocations() {
         let daemon = SlateDaemon::start(DeviceConfig::tiny(2), 1 << 20);
-        let client = SlateClient::new(daemon.connect("leaky"));
+        let client = SlateClient::new(daemon.connect("leaky").unwrap());
         let _p1 = client.malloc(512).unwrap();
         let _p2 = client.malloc(512).unwrap();
         assert_eq!(daemon.live_allocations(), 2);
         client.disconnect().unwrap();
         daemon.join();
         assert_eq!(daemon.live_allocations(), 0);
+    }
+
+    fn double_factory(n: usize) -> impl FnOnce(Vec<Arc<GpuBuffer>>) -> Arc<dyn GpuKernel> {
+        move |bufs| {
+            Arc::new(Double {
+                n,
+                input: bufs[0].clone(),
+                out: bufs[0].clone(),
+            }) as Arc<dyn GpuKernel>
+        }
+    }
+
+    #[test]
+    fn watchdog_evicts_hung_kernel_and_surfaces_timeout() {
+        let daemon = SlateDaemon::start_with_options(
+            DeviceConfig::tiny(4),
+            1 << 22,
+            crate::daemon::DaemonOptions {
+                fault_plan: slate_gpu_sim::fault::FaultPlan::new().hang_kernel("double", 1),
+                ..Default::default()
+            },
+        );
+        let client = SlateClient::new(daemon.connect("hangs").unwrap());
+        let n = 2_000usize;
+        let p = client.malloc((n * 4) as u64).unwrap();
+        client.upload_f32(p, &vec![1.0f32; n]).unwrap();
+        client
+            .launch_with_deadline(vec![p], 10, 50, double_factory(n))
+            .unwrap();
+        let err = client.synchronize().unwrap_err();
+        assert!(
+            matches!(err, SlateError::Timeout { elapsed_ms } if elapsed_ms >= 40),
+            "expected watchdog timeout, got {err}"
+        );
+        assert_eq!(daemon.watchdog_evictions(), 1);
+        assert_eq!(daemon.arbiter_residents(), 0, "SM range reclaimed");
+        // The session stays healthy: the hang rule fired, a relaunch runs.
+        client
+            .launch_with_deadline(vec![p], 10, 5_000, double_factory(n))
+            .unwrap();
+        client.synchronize().unwrap();
+        assert_eq!(client.download_f32(p, 1).unwrap(), vec![2.0]);
+        client.disconnect().unwrap();
+        daemon.join();
+    }
+
+    #[test]
+    fn injected_launch_fault_is_structured() {
+        let daemon = SlateDaemon::start_with_options(
+            DeviceConfig::tiny(2),
+            1 << 20,
+            crate::daemon::DaemonOptions {
+                fault_plan: slate_gpu_sim::fault::FaultPlan::new().fault_launch("double", 1),
+                ..Default::default()
+            },
+        );
+        let client = SlateClient::new(daemon.connect("faulty").unwrap());
+        let p = client.malloc(1024).unwrap();
+        client.launch_with(vec![p], 10, None, double_factory(16)).unwrap();
+        let err = client.synchronize().unwrap_err();
+        assert!(matches!(err, SlateError::KernelFault(_)), "{err}");
+        assert_eq!(daemon.faults_fired(), 1);
+        client.disconnect().unwrap();
+        daemon.join();
+    }
+
+    #[test]
+    fn sync_reports_first_error_and_counts_the_rest() {
+        let daemon = SlateDaemon::start(DeviceConfig::tiny(2), 1 << 20);
+        let client = SlateClient::new(daemon.connect("multi-oops").unwrap());
+        // Two bad launches; prepare fails in request order on the session
+        // thread, so the replies are ordered too.
+        for bad in [0xbad1u64, 0xbad2] {
+            client
+                .launch_on_stream(5, vec![SlatePtr(bad)], 10, double_factory(16))
+                .unwrap();
+        }
+        let err = client.synchronize().unwrap_err();
+        assert_eq!(err, SlateError::InvalidPointer { ptr: 0xbad1 }, "first error wins");
+        assert_eq!(client.last_sync_failures(), 2);
+        // A clean sync resets the count.
+        client.synchronize().unwrap();
+        assert_eq!(client.last_sync_failures(), 0);
+        client.disconnect().unwrap();
+        daemon.join();
+    }
+
+    #[test]
+    fn injected_channel_drop_reaps_the_session() {
+        let daemon = SlateDaemon::start_with_options(
+            DeviceConfig::tiny(2),
+            1 << 20,
+            crate::daemon::DaemonOptions {
+                fault_plan: slate_gpu_sim::fault::FaultPlan::new().drop_channel(2),
+                ..Default::default()
+            },
+        );
+        let client = SlateClient::new(daemon.connect("doomed").unwrap());
+        let _p = client.malloc(256).unwrap();
+        assert_eq!(daemon.live_allocations(), 1);
+        // Second request hits the injected drop: the daemon severs the
+        // channel as if the process died.
+        let err = client.malloc(256).unwrap_err();
+        assert_eq!(err, SlateError::Disconnected);
+        daemon.join();
+        assert_eq!(daemon.live_allocations(), 0, "allocations reaped");
+        assert_eq!(daemon.reaped_sessions(), 1);
+    }
+
+    #[test]
+    fn dropped_client_counts_as_reaped() {
+        let daemon = SlateDaemon::start(DeviceConfig::tiny(2), 1 << 20);
+        drop(SlateClient::new(daemon.connect("ghost").unwrap()));
+        daemon.join();
+        assert_eq!(daemon.reaped_sessions(), 1);
+        // A clean disconnect is not a reap.
+        let c = SlateClient::new(daemon.connect("polite").unwrap());
+        c.disconnect().unwrap();
+        daemon.join();
+        assert_eq!(daemon.reaped_sessions(), 1);
+    }
+
+    #[test]
+    fn injected_memcpy_stall_delays_the_copy() {
+        let daemon = SlateDaemon::start_with_options(
+            DeviceConfig::tiny(2),
+            1 << 20,
+            crate::daemon::DaemonOptions {
+                fault_plan: slate_gpu_sim::fault::FaultPlan::new().stall_memcpy(1, 40),
+                ..Default::default()
+            },
+        );
+        let client = SlateClient::new(daemon.connect("stalled").unwrap());
+        let p = client.malloc(64).unwrap();
+        let t0 = Instant::now();
+        client.upload_f32(p, &[1.0, 2.0]).unwrap();
+        assert!(
+            t0.elapsed() >= Duration::from_millis(30),
+            "stall was injected: {:?}",
+            t0.elapsed()
+        );
+        // Copies still land correctly after the stall.
+        assert_eq!(client.download_f32(p, 2).unwrap(), vec![1.0, 2.0]);
+        client.disconnect().unwrap();
+        daemon.join();
+    }
+
+    #[test]
+    fn shutdown_refuses_new_connections_and_drains() {
+        let daemon = SlateDaemon::start(DeviceConfig::tiny(2), 1 << 20);
+        let client = SlateClient::new(daemon.connect("last-tenant").unwrap());
+        assert!(!daemon.is_shutting_down());
+        let d2 = daemon.clone();
+        let drainer = std::thread::spawn(move || d2.shutdown(Duration::from_secs(5)));
+        // Existing sessions keep being served during the drain.
+        while !daemon.is_shutting_down() {
+            std::thread::yield_now();
+        }
+        let p = client.malloc(64).unwrap();
+        client.upload_f32(p, &[3.0]).unwrap();
+        match daemon.connect("too-late") {
+            Err(SlateError::ShuttingDown) => {}
+            Err(e) => panic!("expected ShuttingDown, got {e}"),
+            Ok(_) => panic!("connect must be refused during shutdown"),
+        }
+        client.disconnect().unwrap();
+        assert!(drainer.join().unwrap(), "drain completed");
+        daemon.join();
+        assert_eq!(daemon.live_allocations(), 0);
+    }
+
+    #[test]
+    fn shutdown_drain_deadline_expires_with_sessions_left() {
+        let daemon = SlateDaemon::start(DeviceConfig::tiny(2), 1 << 20);
+        let client = SlateClient::new(daemon.connect("lingerer").unwrap());
+        // The client never disconnects within the deadline.
+        assert!(!daemon.shutdown(Duration::from_millis(30)));
+        // The drain keeps progressing afterwards.
+        client.disconnect().unwrap();
+        daemon.join();
     }
 }

@@ -17,7 +17,7 @@ use crate::transform::TransformedKernel;
 use crate::workers::{launch_workers, WorkerRunStats};
 use parking_lot::Mutex;
 use slate_gpu_sim::device::{DeviceConfig, SmRange};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Shared state between the dispatch loop and the runtime.
@@ -28,6 +28,9 @@ struct DispatchState {
     /// Bumped on every resize; lets the loop detect a resize that raced
     /// with a relaunch boundary.
     generation: AtomicU64,
+    /// Raised by the watchdog: the dispatch loop must stop relaunching and
+    /// return with the queue undrained.
+    evicted: AtomicBool,
 }
 
 /// Handle the runtime uses to resize a dispatched kernel while it runs.
@@ -44,6 +47,21 @@ impl DispatchHandle {
         *self.state.range.lock() = new_range;
         self.state.generation.fetch_add(1, Ordering::Release);
         self.state.queue.signal_retreat();
+    }
+
+    /// Evicts the kernel from the device: the retreat flag is raised like
+    /// for a resize, but instead of relaunching the dispatch loop exits
+    /// with whatever progress was made. This is the watchdog's remedy for
+    /// a kernel that exceeded its deadline — the paper's own resize
+    /// mechanism (§IV-C) repurposed as bounded preemption.
+    pub fn evict(&self) {
+        self.state.evicted.store(true, Ordering::Release);
+        self.state.queue.signal_retreat();
+    }
+
+    /// Whether [`DispatchHandle::evict`] has been called.
+    pub fn is_evicted(&self) -> bool {
+        self.state.evicted.load(Ordering::Acquire)
     }
 
     /// Current progress in blocks (the carried `slateIdx`).
@@ -64,10 +82,13 @@ pub struct DispatchOutcome {
     pub launches: u32,
     /// Per-launch worker statistics.
     pub runs: Vec<WorkerRunStats>,
-    /// Total blocks executed (= the grid size).
+    /// Total blocks executed (= the grid size, unless evicted).
     pub blocks: u64,
     /// Total queue pulls across all launches.
     pub queue_pulls: u64,
+    /// The dispatch was evicted before the queue drained; `blocks` is
+    /// partial and the kernel's results are incomplete.
+    pub evicted: bool,
 }
 
 /// The dispatch kernel for one user kernel execution.
@@ -90,6 +111,7 @@ impl Dispatcher {
             queue: TaskQueue::new(kernel.slate_max(), task_size),
             range: Mutex::new(range),
             generation: AtomicU64::new(0),
+            evicted: AtomicBool::new(false),
         });
         Self {
             kernel,
@@ -117,12 +139,19 @@ impl Dispatcher {
             self.state.queue.clear_retreat();
             // A resize may have slipped between the generation read and the
             // clear; re-raise the retreat so this launch exits promptly and
-            // picks up the new range on the next iteration.
-            if self.state.generation.load(Ordering::Acquire) != gen_before {
+            // picks up the new range on the next iteration. An eviction
+            // must never be un-signalled by the clear either.
+            if self.state.generation.load(Ordering::Acquire) != gen_before
+                || self.state.evicted.load(Ordering::Acquire)
+            {
                 self.state.queue.signal_retreat();
             }
             let stats = launch_workers(&self.device, &self.kernel, &self.state.queue, range);
             runs.push(stats);
+            // Evicted: do NOT start over — give the SMs back undrained.
+            if self.state.evicted.load(Ordering::Acquire) {
+                break;
+            }
             // "if job is incomplete, start over"
             if self.state.queue.drained() {
                 break;
@@ -132,6 +161,7 @@ impl Dispatcher {
             launches: runs.len() as u32,
             blocks: self.state.queue.progress(),
             queue_pulls: self.state.queue.pull_count(),
+            evicted: self.state.evicted.load(Ordering::Acquire),
             runs,
         }
     }
@@ -237,6 +267,54 @@ mod tests {
         resizer.join().unwrap();
         assert_eq!(out.blocks, 10_000);
         assert_each_block_once(&hits, 10_000);
+    }
+
+    /// A kernel whose blocks take real wall time, so an eviction can land
+    /// mid-flight deterministically.
+    struct Slow {
+        grid: GridDim,
+    }
+
+    impl GpuKernel for Slow {
+        fn name(&self) -> &str {
+            "slow"
+        }
+        fn grid(&self) -> GridDim {
+            self.grid
+        }
+        fn perf(&self) -> KernelPerf {
+            KernelPerf::synthetic("slow", 100.0, 4.0)
+        }
+        fn run_block(&self, _b: BlockCoord) {
+            std::thread::sleep(std::time::Duration::from_micros(200));
+        }
+    }
+
+    #[test]
+    fn eviction_stops_the_relaunch_loop_with_partial_progress() {
+        let device = DeviceConfig::tiny(2);
+        let grid = GridDim::d1(100_000);
+        let k = TransformedKernel::new(Arc::new(Slow { grid }));
+        let d = Dispatcher::new(device, k, 1, SmRange::all(2));
+        let h = d.handle();
+        let evictor = std::thread::spawn({
+            let h = h.clone();
+            move || {
+                std::thread::sleep(std::time::Duration::from_millis(5));
+                h.evict();
+            }
+        });
+        let out = d.run();
+        evictor.join().unwrap();
+        assert!(out.evicted);
+        assert!(h.is_evicted());
+        assert!(!h.done(), "queue must not be drained after eviction");
+        assert!(
+            out.blocks < grid.total_blocks(),
+            "eviction landed mid-flight: {} blocks",
+            out.blocks
+        );
+        assert!(out.runs.last().unwrap().retreated);
     }
 
     #[test]

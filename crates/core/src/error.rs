@@ -28,6 +28,17 @@ pub enum SlateError {
     Pragma(String),
     /// The daemon connection is gone (process teardown).
     Disconnected,
+    /// The kernel exceeded its watchdog deadline and was evicted from the
+    /// device through the retreat flag.
+    Timeout {
+        /// Wall-clock milliseconds the kernel ran before eviction.
+        elapsed_ms: u64,
+    },
+    /// The kernel faulted on-device mid-execution
+    /// (`cudaErrorLaunchFailure` observed after launch).
+    KernelFault(String),
+    /// The daemon is shutting down and refuses new work.
+    ShuttingDown,
     /// Anything else, with the daemon's description.
     Other(String),
 }
@@ -42,6 +53,9 @@ impl SlateError {
             SlateError::Launch(m) => format!("E_LAUNCH:{m}"),
             SlateError::Pragma(m) => format!("E_PRAGMA:{m}"),
             SlateError::Disconnected => "E_DISCONNECTED".to_string(),
+            SlateError::Timeout { elapsed_ms } => format!("E_TIMEOUT:{elapsed_ms}"),
+            SlateError::KernelFault(m) => format!("E_KFAULT:{m}"),
+            SlateError::ShuttingDown => "E_SHUTDOWN".to_string(),
             SlateError::Other(m) => format!("E_OTHER:{m}"),
         }
     }
@@ -68,8 +82,31 @@ impl SlateError {
         if s == "E_DISCONNECTED" {
             return SlateError::Disconnected;
         }
+        if let Some(rest) = s.strip_prefix("E_TIMEOUT:") {
+            if let Ok(elapsed_ms) = rest.parse() {
+                return SlateError::Timeout { elapsed_ms };
+            }
+        }
+        if let Some(rest) = s.strip_prefix("E_KFAULT:") {
+            return SlateError::KernelFault(rest.to_string());
+        }
+        if s == "E_SHUTDOWN" {
+            return SlateError::ShuttingDown;
+        }
         SlateError::Other(
             s.strip_prefix("E_OTHER:").unwrap_or(s).to_string(),
+        )
+    }
+
+    /// Whether retrying the same operation later could succeed: the daemon
+    /// refused or aborted the work without corrupting session state.
+    /// Watchdog evictions and shutdown rejections qualify; memory-safety
+    /// errors (bad pointer, OOM for the same size) and severed connections
+    /// do not.
+    pub fn is_transient(&self) -> bool {
+        matches!(
+            self,
+            SlateError::Timeout { .. } | SlateError::ShuttingDown
         )
     }
 }
@@ -86,6 +123,11 @@ impl fmt::Display for SlateError {
             SlateError::Launch(m) => write!(f, "kernel launch failed: {m}"),
             SlateError::Pragma(m) => write!(f, "pragma error: {m}"),
             SlateError::Disconnected => write!(f, "daemon disconnected"),
+            SlateError::Timeout { elapsed_ms } => {
+                write!(f, "kernel evicted by watchdog after {elapsed_ms} ms")
+            }
+            SlateError::KernelFault(m) => write!(f, "kernel fault: {m}"),
+            SlateError::ShuttingDown => write!(f, "daemon is shutting down"),
             SlateError::Other(m) => write!(f, "{m}"),
         }
     }
@@ -111,11 +153,24 @@ mod tests {
             SlateError::Launch("bad grid".into()),
             SlateError::Pragma("unknown directive".into()),
             SlateError::Disconnected,
+            SlateError::Timeout { elapsed_ms: 1500 },
+            SlateError::KernelFault("device fault at block 7".into()),
+            SlateError::ShuttingDown,
             SlateError::Other("misc".into()),
         ];
         for e in cases {
             assert_eq!(SlateError::from_wire(&e.to_wire()), e, "{e}");
         }
+    }
+
+    #[test]
+    fn transience_classification() {
+        assert!(SlateError::Timeout { elapsed_ms: 10 }.is_transient());
+        assert!(SlateError::ShuttingDown.is_transient());
+        assert!(!SlateError::Disconnected.is_transient());
+        assert!(!SlateError::OutOfMemory { requested: 1 }.is_transient());
+        assert!(!SlateError::InvalidPointer { ptr: 1 }.is_transient());
+        assert!(!SlateError::KernelFault("x".into()).is_transient());
     }
 
     #[test]
@@ -128,6 +183,10 @@ mod tests {
         assert_eq!(
             SlateError::from_wire("E_OOM:not-a-number"),
             SlateError::Other("E_OOM:not-a-number".into())
+        );
+        assert_eq!(
+            SlateError::from_wire("E_TIMEOUT:soon"),
+            SlateError::Other("E_TIMEOUT:soon".into())
         );
     }
 

@@ -111,7 +111,7 @@ mod tests {
     #[test]
     fn degenerate_demands_still_leave_one_sm_each() {
         let p = partition(&cfg(), 0, 0);
-        assert!(p.a.len() >= 1 && p.b.len() >= 1);
+        assert!(!p.a.is_empty() && !p.b.is_empty());
         let p = partition(&cfg(), 100, 1);
         assert_eq!(p.b.len(), 1);
         assert_eq!(p.a.len(), 29);

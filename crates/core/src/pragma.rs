@@ -129,9 +129,7 @@ pub fn inject_with_pragmas(
             .max()
             .unwrap_or(0);
         let directive = pragmas
-            .iter()
-            .filter(|(pos, _)| *pos < k.name_span.start && *pos >= prev_kernel_end)
-            .next_back()
+            .iter().rfind(|(pos, _)| *pos < k.name_span.start && *pos >= prev_kernel_end)
             .map(|(_, d)| d.clone())
             .unwrap_or(Directive::Transform { task_size: None });
         let injected = match &directive {

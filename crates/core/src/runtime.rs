@@ -659,8 +659,10 @@ mod tests {
 
     #[test]
     fn corun_disabled_ablation_still_completes() {
-        let mut opts = SlateOptions::default();
-        opts.enable_corun = false;
+        let opts = SlateOptions {
+            enable_corun: false,
+            ..Default::default()
+        };
         let slate = SlateRuntime::with_options(titan(), opts);
         let a = Benchmark::BS.app().scaled_down(30);
         let b = Benchmark::RG.app().scaled_down(30);

@@ -80,8 +80,7 @@ pub fn launch_workers(
                 }
                 live.fetch_add(1, Ordering::Relaxed);
                 // Listing 2: pull tasks until drained or retreating.
-                loop {
-                    let Some(task) = queue.pull() else { break };
+                while let Some(task) = queue.pull() {
                     kernel.run_task(task);
                     blocks.fetch_add(task.len as u64, Ordering::Relaxed);
                     if queue.retreating() {

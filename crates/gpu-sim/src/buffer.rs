@@ -85,7 +85,7 @@ impl GpuBuffer {
     /// Copies host bytes into the buffer at a *word-aligned* byte offset
     /// (`offset % 4 == 0`). Trailing partial word is zero-padded.
     pub fn copy_from_host(&self, offset: usize, src: &[u8]) {
-        assert!(offset % 4 == 0, "offset must be word-aligned");
+        assert!(offset.is_multiple_of(4), "offset must be word-aligned");
         assert!(
             offset + src.len() <= self.words.len() * 4,
             "copy_from_host out of bounds: offset {offset} + {} > {}",
@@ -108,7 +108,7 @@ impl GpuBuffer {
 
     /// Copies buffer contents out to host bytes from a word-aligned offset.
     pub fn copy_to_host(&self, offset: usize, dst: &mut [u8]) {
-        assert!(offset % 4 == 0, "offset must be word-aligned");
+        assert!(offset.is_multiple_of(4), "offset must be word-aligned");
         assert!(
             offset + dst.len() <= self.words.len() * 4,
             "copy_to_host out of bounds"
@@ -172,7 +172,9 @@ impl DeviceMemoryPool {
     /// Allocates `bytes` bytes; fails (like `cudaErrorMemoryAllocation`)
     /// when the pool is exhausted.
     pub fn alloc(&mut self, bytes: u64) -> Result<DevicePtr, String> {
-        if self.used + bytes > self.capacity {
+        // checked_add: an absurd request must be a clean OOM, not a wrap
+        // past the capacity check (and a panic allocating the backing).
+        if self.used.checked_add(bytes).is_none_or(|n| n > self.capacity) {
             return Err(format!(
                 "out of device memory: {} used + {} requested > {} capacity",
                 self.used, bytes, self.capacity
@@ -215,6 +217,16 @@ impl DeviceMemoryPool {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn absurd_alloc_is_a_clean_oom_not_an_overflow() {
+        let mut pool = DeviceMemoryPool::new(1 << 20);
+        pool.alloc(512).unwrap();
+        // used + u64::MAX would wrap past the capacity check.
+        assert!(pool.alloc(u64::MAX).is_err());
+        assert!(pool.alloc(u64::MAX - 256).is_err());
+        assert_eq!(pool.live_allocations(), 1);
+    }
 
     #[test]
     fn f32_roundtrip() {

@@ -56,6 +56,7 @@ pub mod buffer;
 pub mod cache;
 pub mod device;
 pub mod engine;
+pub mod fault;
 pub mod membw;
 pub mod metrics;
 pub mod model;
@@ -69,6 +70,7 @@ pub mod prelude {
     pub use crate::buffer::{DeviceMemoryPool, DevicePtr, GpuBuffer};
     pub use crate::device::{DeviceConfig, SmRange};
     pub use crate::engine::{Dir, Engine, Event, SliceId, SliceSpec, TimerId, TransferId};
+    pub use crate::fault::{FaultKind, FaultPlan, FaultRule, FaultSite, FaultToken};
     pub use crate::metrics::{KernelMetrics, SliceReport};
     pub use crate::trace::{Trace, TraceEvent, TraceKind};
     pub use crate::perf::{BlockOrder, ExecMode, KernelPerf};

@@ -85,7 +85,7 @@ impl Trace {
     /// Appends an event at time `t`.
     pub fn record(&mut self, t: f64, kind: TraceKind) {
         debug_assert!(
-            self.events.last().map_or(true, |e| e.t <= t + 1e-12),
+            self.events.last().is_none_or(|e| e.t <= t + 1e-12),
             "trace must be recorded in time order"
         );
         self.events.push(TraceEvent { t, kind });

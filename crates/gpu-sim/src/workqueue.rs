@@ -93,6 +93,16 @@ impl HyperQ {
         self.assignments.len()
     }
 
+    /// Retires every lane whose `(context, stream)` key satisfies `pred`,
+    /// returning its hardware queue to the pool. The daemon calls this when
+    /// reaping a dead session so its lanes stop aliasing live streams.
+    /// Returns the number of lanes retired.
+    pub fn retire_lanes(&mut self, mut pred: impl FnMut(u64, u32) -> bool) -> usize {
+        let before = self.assignments.len();
+        self.assignments.retain(|&(ctx, stream), _| !pred(ctx, stream));
+        before - self.assignments.len()
+    }
+
     /// Concurrency verdict for launches from two (context, stream) lanes.
     /// Both lanes are assigned if not yet seen.
     pub fn concurrency(
@@ -187,6 +197,23 @@ mod tests {
         assert_eq!(HyperQ::new(0).connections(), 1);
         assert_eq!(HyperQ::new(1000).connections(), MAX_CONNECTIONS);
         assert_eq!(HyperQ::default().connections(), DEFAULT_CONNECTIONS);
+    }
+
+    #[test]
+    fn retired_lanes_free_their_queues() {
+        let mut hq = HyperQ::new(8);
+        hq.assign(1, 10);
+        hq.assign(1, 11);
+        hq.assign(1, 20);
+        assert_eq!(hq.lanes(), 3);
+        // Reap "session" whose streams are 10..19.
+        let retired = hq.retire_lanes(|ctx, stream| ctx == 1 && (10..20).contains(&stream));
+        assert_eq!(retired, 2);
+        assert_eq!(hq.lanes(), 1);
+        // Surviving lane keeps its assignment.
+        let q = hq.assign(1, 20);
+        assert_eq!(hq.lanes(), 1);
+        let _ = q;
     }
 
     #[test]

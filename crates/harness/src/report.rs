@@ -119,8 +119,7 @@ impl BarChart {
 ", self.title);
         for (label, v) in &self.rows {
             let n = ((v.abs() / max_mag) * width as f64).round() as usize;
-            let bar: String = std::iter::repeat(if *v >= 0.0 { '#' } else { '-' })
-                .take(n.max(usize::from(v.abs() > 0.0)))
+            let bar: String = std::iter::repeat_n(if *v >= 0.0 { '#' } else { '-' }, n.max(usize::from(v.abs() > 0.0)))
                 .collect();
             s.push_str(&format!(
                 "{label:label_w$} |{bar:<width$} {v:+.1}{}

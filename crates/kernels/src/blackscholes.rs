@@ -30,11 +30,11 @@ pub const PAPER_OPTIONS: u64 = 40_000_000;
 /// CUDA sample (Hull).
 fn cnd(d: f32) -> f32 {
     const A1: f32 = 0.319_381_53;
-    const A2: f32 = -0.356_563_782;
-    const A3: f32 = 1.781_477_937;
-    const A4: f32 = -1.821_255_978;
-    const A5: f32 = 1.330_274_429;
-    const RSQRT2PI: f32 = 0.398_942_280_401_432_7;
+    const A2: f32 = -0.356_563_78;
+    const A3: f32 = 1.781_477_9;
+    const A4: f32 = -1.821_255_9;
+    const A5: f32 = 1.330_274_5;
+    const RSQRT2PI: f32 = 0.398_942_3;
     let k = 1.0 / (1.0 + 0.231_641_9 * d.abs());
     let poly = k * (A1 + k * (A2 + k * (A3 + k * (A4 + k * A5))));
     let cnd = RSQRT2PI * (-0.5 * d * d).exp() * poly;
@@ -73,6 +73,7 @@ pub struct BlackScholesKernel {
 impl BlackScholesKernel {
     /// Binds the kernel to buffers holding `n` options each (f32 elements).
     /// Buffers must hold at least `n` words.
+    #[allow(clippy::too_many_arguments)]
     pub fn new(
         n: usize,
         riskfree: f32,

@@ -35,7 +35,7 @@ impl SgemmKernel {
     /// [`TILE`] (as the CUDA sample requires).
     pub fn new(m: u32, n: u32, k: u32, a: Arc<GpuBuffer>, b: Arc<GpuBuffer>, c: Arc<GpuBuffer>) -> Self {
         assert!(
-            m % TILE == 0 && n % TILE == 0 && k % TILE == 0,
+            m.is_multiple_of(TILE) && n.is_multiple_of(TILE) && k.is_multiple_of(TILE),
             "dimensions must be multiples of {TILE}"
         );
         assert!(a.len_words() >= (m * k) as usize);

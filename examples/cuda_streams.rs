@@ -41,7 +41,7 @@ fn main() {
     );
 
     let daemon = SlateDaemon::start(DeviceConfig::titan_xp(), 4 << 30);
-    let client = SlateClient::new(daemon.connect("stream-demo"));
+    let client = SlateClient::new(daemon.connect("stream-demo").unwrap());
 
     // Four independent transpose pipelines, one per stream. Each stream
     // transposes twice (involution): the result must equal the input, which

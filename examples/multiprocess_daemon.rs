@@ -25,7 +25,7 @@ fn main() {
     // Process A: tiled transposes.
     let daemon_a = daemon.clone();
     let proc_a = std::thread::spawn(move || {
-        let client = SlateClient::new(daemon_a.connect("transpose-app"));
+        let client = SlateClient::new(daemon_a.connect("transpose-app").unwrap());
         let (rows, cols) = (512u32, 384u32);
         let n = (rows * cols) as usize;
         let input: Vec<f32> = (0..n).map(|i| i as f32).collect();
@@ -62,7 +62,7 @@ fn main() {
     // Process B: quasirandom sequence generation.
     let daemon_b = daemon.clone();
     let proc_b = std::thread::spawn(move || {
-        let client = SlateClient::new(daemon_b.connect("quasirandom-app"));
+        let client = SlateClient::new(daemon_b.connect("quasirandom-app").unwrap());
         let n = 50_000u64;
         let d_out = client.malloc(n * DIMENSIONS as u64 * 4).unwrap();
         for _rep in 0..4 {

@@ -19,7 +19,7 @@ use std::sync::Arc;
 fn main() {
     // Start the Slate daemon over the simulated Titan Xp with 12 GB.
     let daemon = SlateDaemon::start(DeviceConfig::titan_xp(), 12 << 30);
-    let client = SlateClient::new(daemon.connect("quickstart"));
+    let client = SlateClient::new(daemon.connect("quickstart").unwrap());
 
     // Generate options on the host.
     let n = 100_000usize;

@@ -72,7 +72,7 @@ fn run_client(
     n: usize,
     delta: f32,
 ) -> Vec<f32> {
-    let client = SlateClient::new(daemon.connect(user));
+    let client = SlateClient::new(daemon.connect(user).unwrap());
     let ptr = client.malloc((n * 4) as u64).unwrap();
     client.upload_f32(ptr, &vec![0.0f32; n]).unwrap();
     for _ in 0..reps {
@@ -174,7 +174,7 @@ fn many_clients_stress_the_arbiter() {
 #[test]
 fn launch_error_surfaces_at_synchronize() {
     let daemon = SlateDaemon::start(DeviceConfig::tiny(2), 1 << 20);
-    let client = SlateClient::new(daemon.connect("bad"));
+    let client = SlateClient::new(daemon.connect("bad").unwrap());
     let good = client.malloc(4096).unwrap();
     // Launch referencing a bogus pointer: the daemon rejects it; the error
     // arrives at the synchronize fence.

@@ -156,7 +156,7 @@ fn gaussian_sequence_solves_under_slate_dispatch() {
 #[test]
 fn daemon_launch_with_source_populates_injection_cache() {
     let daemon = SlateDaemon::start(device(), 1 << 24);
-    let client = SlateClient::new(daemon.connect("sourcey"));
+    let client = SlateClient::new(daemon.connect("sourcey").unwrap());
     let n = 20_000u64;
     let src = r#"__global__ void stream_sum(float* sums, const float* in, int n) {
         int i = blockIdx.x; sums[i] = in[i];

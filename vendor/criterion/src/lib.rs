@@ -1,0 +1,182 @@
+//! Offline stand-in for `criterion`: the same entry points
+//! (`criterion_group!` / `criterion_main!` / `Criterion` /
+//! `BenchmarkId` / `Throughput`), backed by a minimal wall-clock runner.
+//! No statistics, no HTML reports — each benchmark runs a short measured
+//! loop and prints a mean time per iteration.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Iterations per measured sample; small so `cargo bench` stays quick on
+/// simulator-heavy workloads.
+const ITERS_PER_SAMPLE: u64 = 3;
+
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        BenchmarkGroup {
+            name: name.into(),
+            samples: 10,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function: impl Display, parameter: impl Display) -> Self {
+        Self {
+            label: format!("{function}/{parameter}"),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+pub struct BenchmarkGroup {
+    name: String,
+    samples: usize,
+}
+
+impl BenchmarkGroup {
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        // Criterion enforces >= 10; we just take whatever fits.
+        self.samples = samples.max(1);
+        self
+    }
+
+    pub fn throughput(&mut self, _throughput: Throughput) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function(&mut self, id: impl Display, mut f: impl FnMut(&mut Bencher)) {
+        let mut b = Bencher {
+            samples: self.samples,
+            total: Duration::ZERO,
+            iters: 0,
+        };
+        f(&mut b);
+        b.report(&self.name, &id.to_string());
+    }
+
+    pub fn bench_with_input<I>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) {
+        let mut b = Bencher {
+            samples: self.samples,
+            total: Duration::ZERO,
+            iters: 0,
+        };
+        f(&mut b, input);
+        b.report(&self.name, &id.label);
+    }
+
+    pub fn finish(self) {}
+}
+
+pub struct Bencher {
+    samples: usize,
+    total: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    pub fn iter<R>(&mut self, mut f: impl FnMut() -> R) {
+        // Warmup once outside the measurement.
+        std::hint::black_box(f());
+        let start = Instant::now();
+        let iters = self.samples as u64 * ITERS_PER_SAMPLE;
+        for _ in 0..iters {
+            std::hint::black_box(f());
+        }
+        self.total = start.elapsed();
+        self.iters = iters;
+    }
+
+    pub fn iter_custom(&mut self, mut f: impl FnMut(u64) -> Duration) {
+        let iters = self.samples as u64 * ITERS_PER_SAMPLE;
+        self.total = f(iters);
+        self.iters = iters;
+    }
+
+    fn report(&self, group: &str, id: &str) {
+        if self.iters == 0 {
+            println!("{group}/{id}: no measurement");
+            return;
+        }
+        let per_iter = self.total.as_nanos() / self.iters as u128;
+        println!("{group}/{id}: {per_iter} ns/iter ({} iters)", self.iters);
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_measures() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(2);
+        let mut ran = 0u32;
+        g.bench_function("f", |b| b.iter(|| ran += 1));
+        assert!(ran > 0);
+        g.finish();
+    }
+
+    #[test]
+    fn bench_with_input_passes_input() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(1);
+        g.bench_with_input(BenchmarkId::new("f", 7), &7u32, |b, &x| {
+            b.iter(|| x * 2);
+        });
+        g.bench_with_input(BenchmarkId::from_parameter("p"), &1u32, |b, _| {
+            b.iter_custom(|iters| {
+                let start = std::time::Instant::now();
+                for _ in 0..iters {
+                    std::hint::black_box(0u64);
+                }
+                start.elapsed()
+            });
+        });
+        g.finish();
+    }
+}

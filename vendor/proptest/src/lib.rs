@@ -1,0 +1,552 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the subset of the proptest API this workspace uses, with a
+//! deterministic per-test RNG (seeded from the test name) so failures are
+//! reproducible without a persistence file:
+//!
+//! * `proptest! { #![proptest_config(..)] #[test] fn f(x in strat) {..} }`
+//! * strategies: integer/float ranges, tuples (2..=6), `prop::collection::vec`,
+//!   regex-lite string patterns (`".{0,400}"`, `"[a-z_][a-z0-9_]{0,15}"`),
+//!   `any::<bool>()`, and `.prop_map`
+//! * `prop_assert!` / `prop_assert_eq!`, bodies may `return Ok(())`
+
+pub mod test_runner {
+    use std::fmt;
+
+    /// Deterministic xorshift64* generator.
+    pub struct TestRng(u64);
+
+    impl TestRng {
+        pub fn new(seed: u64) -> Self {
+            Self(seed | 1)
+        }
+
+        pub fn next_u64(&mut self) -> u64 {
+            let mut x = self.0;
+            x ^= x >> 12;
+            x ^= x << 25;
+            x ^= x >> 27;
+            self.0 = x;
+            x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+        }
+
+        /// Uniform value in `[0, span)`; `span` must be nonzero.
+        pub fn below(&mut self, span: u64) -> u64 {
+            self.next_u64() % span
+        }
+
+        /// Uniform value in `[0, 1)`.
+        pub fn unit(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+        }
+    }
+
+    #[derive(Debug)]
+    pub struct TestCaseError(String);
+
+    impl TestCaseError {
+        pub fn fail(msg: String) -> Self {
+            Self(msg)
+        }
+    }
+
+    impl fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str(&self.0)
+        }
+    }
+
+    pub struct TestRunner {
+        cases: u32,
+        rng: TestRng,
+    }
+
+    impl TestRunner {
+        pub fn new(config: crate::ProptestConfig, name: &str) -> Self {
+            // FNV-1a over the test name: stable across runs and platforms.
+            let mut h = 0xcbf2_9ce4_8422_2325u64;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x1000_0000_01b3);
+            }
+            Self {
+                cases: config.cases,
+                rng: TestRng::new(h),
+            }
+        }
+
+        pub fn cases(&self) -> u32 {
+            self.cases
+        }
+
+        pub fn sample<S: crate::Strategy>(&mut self, strategy: &S) -> S::Value {
+            strategy.sample(&mut self.rng)
+        }
+    }
+}
+
+use test_runner::TestRng;
+
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 64 }
+    }
+}
+
+/// A generator of values of one type. Unlike real proptest there is no
+/// shrinking; failures report the deterministic seed context instead.
+pub trait Strategy {
+    type Value;
+
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn sample(&self, rng: &mut TestRng) -> S::Value {
+        (**self).sample(rng)
+    }
+}
+
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn sample(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+macro_rules! impl_int_strategy {
+    ($($t:ty),+) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end - self.start) as u64;
+                self.start + rng.below(span) as $t
+            }
+        }
+
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi - lo) as u64 + 1;
+                lo + rng.below(span) as $t
+            }
+        }
+    )+};
+}
+
+impl_int_strategy!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_float_strategy {
+    ($($t:ty),+) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                self.start + rng.unit() as $t * (self.end - self.start)
+            }
+        }
+    )+};
+}
+
+impl_float_strategy!(f32, f64);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident . $idx:tt),+))+) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    )+};
+}
+
+impl_tuple_strategy! {
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+    (A.0, B.1, C.2, D.3, E.4, F.5)
+}
+
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+pub fn any<T>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+impl Strategy for Any<bool> {
+    type Value = bool;
+    fn sample(&self, rng: &mut TestRng) -> bool {
+        rng.below(2) == 1
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Regex-lite string strategies: `&str` patterns sample random strings.
+// ---------------------------------------------------------------------------
+
+enum Atom {
+    /// `.` — any printable character (plus occasional whitespace/multibyte).
+    Dot,
+    /// `[a-z0-9_]` — explicit ranges and singletons.
+    Class(Vec<(char, char)>),
+    /// A literal character.
+    Lit(char),
+}
+
+struct PatternAtom {
+    atom: Atom,
+    min: u32,
+    max: u32,
+}
+
+/// Parses the regex subset used as string strategies: atoms `.`,
+/// `[ranges/chars]` and literals, each optionally followed by `{m}` or
+/// `{m,n}`. Anything else is rejected loudly.
+fn parse_pattern(pattern: &str) -> Vec<PatternAtom> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut atoms = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let atom = match chars[i] {
+            '.' => {
+                i += 1;
+                Atom::Dot
+            }
+            '[' => {
+                i += 1;
+                let mut set = Vec::new();
+                while i < chars.len() && chars[i] != ']' {
+                    let c = chars[i];
+                    assert!(
+                        c != '^' && c != '\\',
+                        "proptest stub: unsupported char-class token in {pattern:?}"
+                    );
+                    if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+                        set.push((c, chars[i + 2]));
+                        i += 3;
+                    } else {
+                        set.push((c, c));
+                        i += 1;
+                    }
+                }
+                assert!(i < chars.len(), "proptest stub: unterminated class in {pattern:?}");
+                i += 1; // ']'
+                Atom::Class(set)
+            }
+            '{' | '}' | '*' | '+' | '?' | '(' | ')' | '|' | '\\' => {
+                panic!("proptest stub: unsupported pattern construct in {pattern:?}")
+            }
+            c => {
+                i += 1;
+                Atom::Lit(c)
+            }
+        };
+        let (min, max) = if i < chars.len() && chars[i] == '{' {
+            i += 1;
+            let start = i;
+            while i < chars.len() && chars[i] != '}' {
+                i += 1;
+            }
+            assert!(i < chars.len(), "proptest stub: unterminated quantifier in {pattern:?}");
+            let spec: String = chars[start..i].iter().collect();
+            i += 1; // '}'
+            match spec.split_once(',') {
+                Some((m, n)) => (
+                    m.trim().parse().expect("quantifier min"),
+                    n.trim().parse().expect("quantifier max"),
+                ),
+                None => {
+                    let m: u32 = spec.trim().parse().expect("quantifier count");
+                    (m, m)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        atoms.push(PatternAtom { atom, min, max });
+    }
+    atoms
+}
+
+/// Palette for `.`: mostly printable ASCII with occasional whitespace and
+/// multibyte characters, to stress text pipelines the way real proptest's
+/// arbitrary strings do.
+fn sample_dot(rng: &mut TestRng) -> char {
+    match rng.below(20) {
+        0 => '\n',
+        1 => '\t',
+        2 => '"',
+        3 => '\u{e9}',     // é
+        4 => '\u{2192}',   // →
+        _ => (0x20 + rng.below(0x5f) as u32) as u8 as char,
+    }
+}
+
+fn sample_atom(atom: &Atom, rng: &mut TestRng, out: &mut String) {
+    match atom {
+        Atom::Dot => out.push(sample_dot(rng)),
+        Atom::Lit(c) => out.push(*c),
+        Atom::Class(set) => {
+            let total: u64 = set.iter().map(|(a, b)| (*b as u64) - (*a as u64) + 1).sum();
+            let mut pick = rng.below(total);
+            for (a, b) in set {
+                let span = (*b as u64) - (*a as u64) + 1;
+                if pick < span {
+                    out.push(char::from_u32(*a as u32 + pick as u32).expect("class char"));
+                    return;
+                }
+                pick -= span;
+            }
+            unreachable!("class pick in range");
+        }
+    }
+}
+
+impl Strategy for str {
+    type Value = String;
+    fn sample(&self, rng: &mut TestRng) -> String {
+        let atoms = parse_pattern(self);
+        let mut out = String::new();
+        for pa in &atoms {
+            let n = pa.min + rng.below((pa.max - pa.min + 1) as u64) as u32;
+            for _ in 0..n {
+                sample_atom(&pa.atom, rng, &mut out);
+            }
+        }
+        out
+    }
+}
+
+pub mod prop {
+    pub mod collection {
+        use crate::test_runner::TestRng;
+        use crate::Strategy;
+
+        pub struct SizeRange {
+            pub lo: usize,
+            pub hi: usize,
+        }
+
+        impl From<std::ops::Range<usize>> for SizeRange {
+            fn from(r: std::ops::Range<usize>) -> Self {
+                assert!(r.start < r.end, "empty vec size range");
+                Self {
+                    lo: r.start,
+                    hi: r.end - 1,
+                }
+            }
+        }
+
+        impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+            fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+                Self {
+                    lo: *r.start(),
+                    hi: *r.end(),
+                }
+            }
+        }
+
+        impl From<usize> for SizeRange {
+            fn from(n: usize) -> Self {
+                Self { lo: n, hi: n }
+            }
+        }
+
+        pub struct VecStrategy<S> {
+            elem: S,
+            size: SizeRange,
+        }
+
+        pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+            VecStrategy {
+                elem,
+                size: size.into(),
+            }
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+            fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+                let span = (self.size.hi - self.size.lo + 1) as u64;
+                let n = self.size.lo + rng.below(span) as usize;
+                (0..n).map(|_| self.elem.sample(rng)).collect()
+            }
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::{any, prop, prop_assert, prop_assert_eq, proptest};
+    pub use crate::{ProptestConfig, Strategy};
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (__a, __b) = (&$a, &$b);
+        if !(*__a == *__b) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: {:?} != {:?}", __a, __b),
+            ));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (__a, __b) = (&$a, &$b);
+        if !(*__a == *__b) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: {:?} != {:?}: {}", __a, __b, format!($($fmt)+)),
+            ));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*) => {
+        $(#[$meta])*
+        #[allow(unreachable_code)]
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let mut runner =
+                $crate::test_runner::TestRunner::new(config, stringify!($name));
+            for __case in 0..runner.cases() {
+                $(let $arg = runner.sample(&$strat);)+
+                let __result: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                if let ::std::result::Result::Err(e) = __result {
+                    panic!(
+                        "proptest case {}/{} of {} failed: {}",
+                        __case + 1,
+                        runner.cases(),
+                        stringify!($name),
+                        e
+                    );
+                }
+            }
+        }
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn pattern_sampling_matches_shape() {
+        let mut rng = crate::test_runner::TestRng::new(7);
+        for _ in 0..200 {
+            let s = Strategy::sample("[a-z_][a-z0-9_]{0,15}", &mut rng);
+            assert!(!s.is_empty() && s.len() <= 16);
+            let first = s.chars().next().unwrap();
+            assert!(first == '_' || first.is_ascii_lowercase());
+            for c in s.chars().skip(1) {
+                assert!(c == '_' || c.is_ascii_lowercase() || c.is_ascii_digit());
+            }
+        }
+    }
+
+    #[test]
+    fn dot_pattern_bounds_length() {
+        let mut rng = crate::test_runner::TestRng::new(9);
+        for _ in 0..100 {
+            let s = Strategy::sample(".{0,40}", &mut rng);
+            assert!(s.chars().count() <= 40);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_name() {
+        let cfg = ProptestConfig::with_cases(4);
+        let mut a = crate::test_runner::TestRunner::new(cfg, "t");
+        let mut b = crate::test_runner::TestRunner::new(cfg, "t");
+        for _ in 0..4 {
+            assert_eq!(a.sample(&(0u64..1000)), b.sample(&(0u64..1000)));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// The macro front-end compiles and enforces ranges.
+        #[test]
+        fn macro_smoke(x in 1u32..=8, y in 0.0..1.0f64,
+                       v in prop::collection::vec(0u32..5, 0..6),
+                       flag in any::<bool>(),
+                       name in "[a-z]{1,4}") {
+            prop_assert!((1..=8).contains(&x));
+            prop_assert!((0.0..1.0).contains(&y));
+            prop_assert!(v.len() < 6, "len {}", v.len());
+            if flag && name.is_empty() {
+                return Ok(());
+            }
+            prop_assert_eq!(name.len(), name.chars().count());
+        }
+    }
+}

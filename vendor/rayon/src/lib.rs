@@ -1,0 +1,208 @@
+//! Offline stand-in for `rayon`, covering the subset this workspace uses:
+//! `rayon::scope` with `Scope::spawn`, and `into_par_iter().for_each(..)`
+//! over integer ranges. Tasks run on a bounded pool of std threads, so a
+//! scope spawning hundreds of logical workers (one per simulated GPU
+//! worker block) does not create hundreds of OS threads.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+type Task<'s> = Box<dyn FnOnce(&Scope<'s>) + Send + 's>;
+
+pub struct Scope<'s> {
+    /// Pending tasks plus the number currently executing; workers exit only
+    /// when both are zero (a running task may spawn more).
+    state: Mutex<(VecDeque<Task<'s>>, usize)>,
+    ready: Condvar,
+}
+
+impl<'s> Scope<'s> {
+    fn new() -> Self {
+        Self {
+            state: Mutex::new((VecDeque::new(), 0)),
+            ready: Condvar::new(),
+        }
+    }
+
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce(&Scope<'s>) + Send + 's,
+    {
+        self.state
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .0
+            .push_back(Box::new(f));
+        self.ready.notify_one();
+    }
+
+    fn work(&self) {
+        loop {
+            let task = {
+                let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+                loop {
+                    if let Some(t) = st.0.pop_front() {
+                        st.1 += 1;
+                        break t;
+                    }
+                    if st.1 == 0 {
+                        return;
+                    }
+                    st = self.ready.wait(st).unwrap_or_else(|e| e.into_inner());
+                }
+            };
+            task(self);
+            let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+            st.1 -= 1;
+            if st.1 == 0 && st.0.is_empty() {
+                drop(st);
+                self.ready.notify_all();
+            }
+        }
+    }
+}
+
+fn pool_size() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+}
+
+/// Runs `op`, then executes every task it (transitively) spawned on a
+/// bounded thread pool; returns once all tasks have finished.
+pub fn scope<'s, R>(op: impl FnOnce(&Scope<'s>) -> R) -> R {
+    let sc = Scope::new();
+    let result = op(&sc);
+    let workers = {
+        let st = sc.state.lock().unwrap_or_else(|e| e.into_inner());
+        pool_size().min(st.0.len())
+    };
+    if workers > 0 {
+        std::thread::scope(|ts| {
+            for _ in 0..workers {
+                ts.spawn(|| sc.work());
+            }
+        });
+    }
+    result
+}
+
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, ParallelIterator};
+}
+
+pub trait ParallelIterator: Sized {
+    type Item: Send;
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Send + Sync;
+}
+
+pub trait IntoParallelIterator {
+    type Item: Send;
+    type Iter: ParallelIterator<Item = Self::Item>;
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+pub struct RangePar<T> {
+    start: u64,
+    end: u64,
+    _marker: std::marker::PhantomData<T>,
+}
+
+macro_rules! impl_range_par {
+    ($t:ty) => {
+        impl IntoParallelIterator for std::ops::Range<$t> {
+            type Item = $t;
+            type Iter = RangePar<$t>;
+            fn into_par_iter(self) -> RangePar<$t> {
+                RangePar {
+                    start: self.start as u64,
+                    end: self.end as u64,
+                    _marker: std::marker::PhantomData,
+                }
+            }
+        }
+
+        impl ParallelIterator for RangePar<$t> {
+            type Item = $t;
+            fn for_each<F>(self, f: F)
+            where
+                F: Fn($t) + Send + Sync,
+            {
+                let len = self.end.saturating_sub(self.start);
+                if len == 0 {
+                    return;
+                }
+                let threads = crate::pool_size().min(len as usize).max(1) as u64;
+                let chunk = len.div_ceil(threads);
+                let f = &f;
+                std::thread::scope(|ts| {
+                    for w in 0..threads {
+                        let lo = self.start + w * chunk;
+                        let hi = (lo + chunk).min(self.end);
+                        ts.spawn(move || {
+                            for i in lo..hi {
+                                f(i as $t);
+                            }
+                        });
+                    }
+                });
+            }
+        }
+    };
+}
+
+impl_range_par!(u32);
+impl_range_par!(u64);
+impl_range_par!(usize);
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn par_range_visits_each_index_once() {
+        let n = 10_000usize;
+        let hits: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+        (0..n).into_par_iter().for_each(|i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn scope_runs_many_spawns_bounded() {
+        let count = AtomicU64::new(0);
+        super::scope(|s| {
+            for _ in 0..500 {
+                let count = &count;
+                s.spawn(move |_| {
+                    count.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 500);
+    }
+
+    #[test]
+    fn nested_spawns_complete() {
+        let count = AtomicU64::new(0);
+        super::scope(|s| {
+            let count = &count;
+            s.spawn(move |inner| {
+                count.fetch_add(1, Ordering::Relaxed);
+                inner.spawn(move |_| {
+                    count.fetch_add(1, Ordering::Relaxed);
+                });
+            });
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn empty_range_is_noop() {
+        (5u64..5).into_par_iter().for_each(|_| panic!("no items"));
+    }
+}

@@ -1,0 +1,513 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment has no crates.io access, so this crate provides a
+//! reduced, source-compatible subset of the serde surface the workspace
+//! uses: `#[derive(Serialize, Deserialize)]` on plain structs and enums,
+//! serialized through a single JSON data model. The `serde_json` stub in
+//! `vendor/serde_json` exposes the familiar `to_string` / `to_string_pretty`
+//! / `from_str` entry points over these traits.
+//!
+//! Numbers are kept as their original text (`JsonValue::Num(String)`), so
+//! `u64` values round-trip exactly instead of being squeezed through `f64`.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// A parsed JSON document.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number, kept as raw text for lossless integer round-trips.
+    Num(String),
+    /// A string (unescaped).
+    Str(String),
+    /// An array.
+    Arr(Vec<JsonValue>),
+    /// An object, in insertion order.
+    Obj(Vec<(String, JsonValue)>),
+}
+
+/// Error raised by deserialization or parsing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JsonError(pub String);
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "json error: {}", self.0)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+/// Serialization half of the reduced serde pair.
+pub trait Serialize {
+    /// Appends `self` as JSON text.
+    fn serialize_json(&self, out: &mut String);
+}
+
+/// Deserialization half of the reduced serde pair.
+pub trait Deserialize: Sized {
+    /// Rebuilds `Self` from a parsed JSON value.
+    fn deserialize_json(v: &JsonValue) -> Result<Self, JsonError>;
+}
+
+/// Appends a quoted, escaped JSON string.
+pub fn ser_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Appends `"key":`.
+pub fn ser_key(out: &mut String, key: &str) {
+    ser_str(out, key);
+    out.push(':');
+}
+
+/// Looks up and deserializes an object field (derive helper).
+pub fn field<T: Deserialize>(v: &JsonValue, name: &str) -> Result<T, JsonError> {
+    match v {
+        JsonValue::Obj(entries) => match entries.iter().find(|(k, _)| k == name) {
+            Some((_, fv)) => T::deserialize_json(fv),
+            None => Err(JsonError(format!("missing field {name}"))),
+        },
+        other => Err(JsonError(format!(
+            "expected object with field {name}, found {other:?}"
+        ))),
+    }
+}
+
+/// Splits an externally tagged enum value `{"Variant": {...}}` (derive helper).
+pub fn variant(v: &JsonValue) -> Result<(&str, &JsonValue), JsonError> {
+    match v {
+        JsonValue::Obj(entries) if entries.len() == 1 => {
+            Ok((entries[0].0.as_str(), &entries[0].1))
+        }
+        other => Err(JsonError(format!(
+            "expected single-key enum object, found {other:?}"
+        ))),
+    }
+}
+
+macro_rules! impl_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_json(&self, out: &mut String) {
+                out.push_str(&self.to_string());
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize_json(v: &JsonValue) -> Result<Self, JsonError> {
+                match v {
+                    JsonValue::Num(raw) => raw.parse().map_err(|e| {
+                        JsonError(format!("bad {} literal {raw}: {e}", stringify!($t)))
+                    }),
+                    other => Err(JsonError(format!(
+                        "expected number, found {other:?}"
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_int!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize);
+
+macro_rules! impl_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_json(&self, out: &mut String) {
+                if self.is_finite() {
+                    // `{:?}` is Rust's shortest round-trip float form.
+                    out.push_str(&format!("{self:?}"));
+                } else {
+                    out.push_str("null");
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize_json(v: &JsonValue) -> Result<Self, JsonError> {
+                match v {
+                    JsonValue::Num(raw) => raw.parse().map_err(|e| {
+                        JsonError(format!("bad {} literal {raw}: {e}", stringify!($t)))
+                    }),
+                    JsonValue::Null => Ok(<$t>::NAN),
+                    other => Err(JsonError(format!(
+                        "expected number, found {other:?}"
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_float!(f32, f64);
+
+impl Serialize for bool {
+    fn serialize_json(&self, out: &mut String) {
+        out.push_str(if *self { "true" } else { "false" });
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize_json(v: &JsonValue) -> Result<Self, JsonError> {
+        match v {
+            JsonValue::Bool(b) => Ok(*b),
+            other => Err(JsonError(format!("expected bool, found {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn serialize_json(&self, out: &mut String) {
+        ser_str(out, self);
+    }
+}
+
+impl Serialize for &str {
+    fn serialize_json(&self, out: &mut String) {
+        ser_str(out, self);
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize_json(v: &JsonValue) -> Result<Self, JsonError> {
+        match v {
+            JsonValue::Str(s) => Ok(s.clone()),
+            other => Err(JsonError(format!("expected string, found {other:?}"))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize_json(&self, out: &mut String) {
+        out.push('[');
+        for (i, item) in self.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            item.serialize_json(out);
+        }
+        out.push(']');
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize_json(v: &JsonValue) -> Result<Self, JsonError> {
+        match v {
+            JsonValue::Arr(items) => items.iter().map(T::deserialize_json).collect(),
+            other => Err(JsonError(format!("expected array, found {other:?}"))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize_json(&self, out: &mut String) {
+        match self {
+            Some(x) => x.serialize_json(out),
+            None => out.push_str("null"),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize_json(v: &JsonValue) -> Result<Self, JsonError> {
+        match v {
+            JsonValue::Null => Ok(None),
+            other => Ok(Some(T::deserialize_json(other)?)),
+        }
+    }
+}
+
+impl<V: Serialize> Serialize for HashMap<String, V> {
+    fn serialize_json(&self, out: &mut String) {
+        // Sort keys so serialized tables are deterministic.
+        let mut keys: Vec<&String> = self.keys().collect();
+        keys.sort();
+        out.push('{');
+        for (i, k) in keys.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            ser_key(out, k);
+            self[*k].serialize_json(out);
+        }
+        out.push('}');
+    }
+}
+
+impl<V: Deserialize> Deserialize for HashMap<String, V> {
+    fn deserialize_json(v: &JsonValue) -> Result<Self, JsonError> {
+        match v {
+            JsonValue::Obj(entries) => entries
+                .iter()
+                .map(|(k, fv)| Ok((k.clone(), V::deserialize_json(fv)?)))
+                .collect(),
+            other => Err(JsonError(format!("expected object, found {other:?}"))),
+        }
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn serialize_json(&self, out: &mut String) {
+                out.push('[');
+                let mut first = true;
+                $(
+                    if !first { out.push(','); }
+                    first = false;
+                    self.$n.serialize_json(out);
+                )+
+                let _ = first;
+                out.push(']');
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn deserialize_json(v: &JsonValue) -> Result<Self, JsonError> {
+                match v {
+                    JsonValue::Arr(items) => {
+                        let expect = [$($n,)+].len();
+                        if items.len() != expect {
+                            return Err(JsonError(format!(
+                                "expected {expect}-tuple, found {} items", items.len()
+                            )));
+                        }
+                        Ok(($($t::deserialize_json(&items[$n])?,)+))
+                    }
+                    other => Err(JsonError(format!("expected array, found {other:?}"))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_tuple! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+}
+
+/// Parses JSON text into a [`JsonValue`].
+pub fn parse(input: &str) -> Result<JsonValue, JsonError> {
+    let bytes = input.as_bytes();
+    let mut pos = 0usize;
+    let v = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(JsonError(format!("trailing garbage at byte {pos}")));
+    }
+    Ok(v)
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<JsonValue, JsonError> {
+    skip_ws(b, pos);
+    let Some(&c) = b.get(*pos) else {
+        return Err(JsonError("unexpected end of input".into()));
+    };
+    match c {
+        b'{' => {
+            *pos += 1;
+            let mut entries = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(JsonValue::Obj(entries));
+            }
+            loop {
+                skip_ws(b, pos);
+                let key = parse_string(b, pos)?;
+                skip_ws(b, pos);
+                if b.get(*pos) != Some(&b':') {
+                    return Err(JsonError(format!("expected ':' at byte {pos}")));
+                }
+                *pos += 1;
+                let val = parse_value(b, pos)?;
+                entries.push((key, val));
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(&b',') => *pos += 1,
+                    Some(&b'}') => {
+                        *pos += 1;
+                        return Ok(JsonValue::Obj(entries));
+                    }
+                    _ => return Err(JsonError(format!("expected ',' or '}}' at byte {pos}"))),
+                }
+            }
+        }
+        b'[' => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(JsonValue::Arr(items));
+            }
+            loop {
+                items.push(parse_value(b, pos)?);
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(&b',') => *pos += 1,
+                    Some(&b']') => {
+                        *pos += 1;
+                        return Ok(JsonValue::Arr(items));
+                    }
+                    _ => return Err(JsonError(format!("expected ',' or ']' at byte {pos}"))),
+                }
+            }
+        }
+        b'"' => Ok(JsonValue::Str(parse_string(b, pos)?)),
+        b't' => expect_lit(b, pos, "true", JsonValue::Bool(true)),
+        b'f' => expect_lit(b, pos, "false", JsonValue::Bool(false)),
+        b'n' => expect_lit(b, pos, "null", JsonValue::Null),
+        _ => {
+            let start = *pos;
+            while *pos < b.len()
+                && matches!(b[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+            {
+                *pos += 1;
+            }
+            if start == *pos {
+                return Err(JsonError(format!("unexpected byte {c} at {pos}")));
+            }
+            Ok(JsonValue::Num(
+                std::str::from_utf8(&b[start..*pos]).unwrap().to_string(),
+            ))
+        }
+    }
+}
+
+fn expect_lit(
+    b: &[u8],
+    pos: &mut usize,
+    lit: &str,
+    val: JsonValue,
+) -> Result<JsonValue, JsonError> {
+    if b[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(val)
+    } else {
+        Err(JsonError(format!("bad literal at byte {pos}")))
+    }
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, JsonError> {
+    if b.get(*pos) != Some(&b'"') {
+        return Err(JsonError(format!("expected string at byte {pos}")));
+    }
+    *pos += 1;
+    let mut out = Vec::new();
+    while *pos < b.len() {
+        match b[*pos] {
+            b'"' => {
+                *pos += 1;
+                return String::from_utf8(out)
+                    .map_err(|e| JsonError(format!("invalid utf8 in string: {e}")));
+            }
+            b'\\' => {
+                *pos += 1;
+                match b.get(*pos) {
+                    Some(b'"') => out.push(b'"'),
+                    Some(b'\\') => out.push(b'\\'),
+                    Some(b'/') => out.push(b'/'),
+                    Some(b'n') => out.push(b'\n'),
+                    Some(b'r') => out.push(b'\r'),
+                    Some(b't') => out.push(b'\t'),
+                    Some(b'b') => out.push(0x08),
+                    Some(b'f') => out.push(0x0c),
+                    Some(b'u') => {
+                        let hex = b
+                            .get(*pos + 1..*pos + 5)
+                            .ok_or_else(|| JsonError("truncated \\u escape".into()))?;
+                        let code = u32::from_str_radix(
+                            std::str::from_utf8(hex)
+                                .map_err(|_| JsonError("bad \\u escape".into()))?,
+                            16,
+                        )
+                        .map_err(|_| JsonError("bad \\u escape".into()))?;
+                        let c = char::from_u32(code)
+                            .ok_or_else(|| JsonError("bad \\u code point".into()))?;
+                        let mut buf = [0u8; 4];
+                        out.extend_from_slice(c.encode_utf8(&mut buf).as_bytes());
+                        *pos += 4;
+                    }
+                    _ => return Err(JsonError(format!("bad escape at byte {pos}"))),
+                }
+                *pos += 1;
+            }
+            c => {
+                out.push(c);
+                *pos += 1;
+            }
+        }
+    }
+    Err(JsonError("unterminated string".into()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_roundtrips() {
+        let mut s = String::new();
+        18446744073709551615u64.serialize_json(&mut s);
+        assert_eq!(s, "18446744073709551615");
+        let v = parse(&s).unwrap();
+        assert_eq!(u64::deserialize_json(&v).unwrap(), u64::MAX);
+    }
+
+    #[test]
+    fn string_escapes_roundtrip() {
+        let original = "line1\nline2\t\"quoted\" \\ slash \u{1}".to_string();
+        let mut s = String::new();
+        original.serialize_json(&mut s);
+        let v = parse(&s).unwrap();
+        assert_eq!(String::deserialize_json(&v).unwrap(), original);
+    }
+
+    #[test]
+    fn map_is_deterministic_and_roundtrips() {
+        let mut m = HashMap::new();
+        m.insert("b".to_string(), 2u32);
+        m.insert("a".to_string(), 1u32);
+        let mut s = String::new();
+        m.serialize_json(&mut s);
+        assert_eq!(s, r#"{"a":1,"b":2}"#);
+        let v = parse(&s).unwrap();
+        assert_eq!(HashMap::<String, u32>::deserialize_json(&v).unwrap(), m);
+    }
+
+    #[test]
+    fn tuple_and_float_roundtrip() {
+        let t = ("bw".to_string(), 12.5f64);
+        let mut s = String::new();
+        t.serialize_json(&mut s);
+        assert_eq!(s, r#"["bw",12.5]"#);
+        let v = parse(&s).unwrap();
+        let back: (String, f64) = Deserialize::deserialize_json(&v).unwrap();
+        assert_eq!(back, t);
+    }
+}

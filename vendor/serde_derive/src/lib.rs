@@ -1,0 +1,267 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The build environment for this repository has no access to crates.io, so
+//! the real serde stack is replaced by a reduced, API-compatible subset (see
+//! `vendor/serde`). This proc macro derives that subset's `Serialize` /
+//! `Deserialize` traits for the shapes the workspace actually uses:
+//!
+//! * structs with named fields,
+//! * enums with unit variants and struct variants.
+//!
+//! Anything else (tuple structs, tuple variants, generics) is rejected with
+//! a compile error naming the limitation, so a future use of an unsupported
+//! shape fails loudly instead of silently misbehaving.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+struct Field {
+    name: String,
+}
+
+enum Shape {
+    Struct { name: String, fields: Vec<Field> },
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+struct Variant {
+    name: String,
+    fields: Option<Vec<Field>>,
+}
+
+/// Skips attributes (`#[...]`, including doc comments) at the cursor.
+fn skip_attrs(toks: &[TokenTree], mut i: usize) -> usize {
+    while i + 1 < toks.len() {
+        let is_pound = matches!(&toks[i], TokenTree::Punct(p) if p.as_char() == '#');
+        let is_bracket =
+            matches!(&toks[i + 1], TokenTree::Group(g) if g.delimiter() == Delimiter::Bracket);
+        if is_pound && is_bracket {
+            i += 2;
+        } else {
+            break;
+        }
+    }
+    i
+}
+
+/// Skips a visibility qualifier (`pub`, `pub(crate)`, ...) at the cursor.
+fn skip_vis(toks: &[TokenTree], mut i: usize) -> usize {
+    if matches!(&toks[i], TokenTree::Ident(id) if id.to_string() == "pub") {
+        i += 1;
+        if i < toks.len() {
+            if let TokenTree::Group(g) = &toks[i] {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    i += 1;
+                }
+            }
+        }
+    }
+    i
+}
+
+/// Parses the named fields of a brace-delimited body: `a: T, b: U, ...`.
+fn parse_named_fields(body: &proc_macro::Group) -> Vec<Field> {
+    let toks: Vec<TokenTree> = body.stream().into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        i = skip_attrs(&toks, i);
+        if i >= toks.len() {
+            break;
+        }
+        i = skip_vis(&toks, i);
+        let name = match &toks[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde stub derive: expected field name, found {other}"),
+        };
+        i += 1;
+        match &toks[i] {
+            TokenTree::Punct(p) if p.as_char() == ':' => i += 1,
+            other => panic!("serde stub derive: expected ':' after field {name}, found {other}"),
+        }
+        // Skip the type: consume until a comma at angle-bracket depth 0.
+        let mut angle: i32 = 0;
+        while i < toks.len() {
+            match &toks[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        fields.push(Field { name });
+    }
+    fields
+}
+
+fn parse_shape(input: TokenStream) -> Shape {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attrs(&toks, 0);
+    i = skip_vis(&toks, i);
+    let kind = match &toks[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde stub derive: expected struct/enum, found {other}"),
+    };
+    i += 1;
+    let name = match &toks[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde stub derive: expected type name, found {other}"),
+    };
+    i += 1;
+    if matches!(&toks[i], TokenTree::Punct(p) if p.as_char() == '<') {
+        panic!("serde stub derive: generic type {name} is not supported");
+    }
+    let body = match &toks[i] {
+        TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => g,
+        _ => panic!("serde stub derive: {name}: only brace-bodied types are supported"),
+    };
+    if kind == "struct" {
+        Shape::Struct {
+            name,
+            fields: parse_named_fields(body),
+        }
+    } else {
+        let toks: Vec<TokenTree> = body.stream().into_iter().collect();
+        let mut variants = Vec::new();
+        let mut i = 0;
+        while i < toks.len() {
+            i = skip_attrs(&toks, i);
+            if i >= toks.len() {
+                break;
+            }
+            let vname = match &toks[i] {
+                TokenTree::Ident(id) => id.to_string(),
+                other => panic!("serde stub derive: expected variant name, found {other}"),
+            };
+            i += 1;
+            let mut fields = None;
+            if i < toks.len() {
+                match &toks[i] {
+                    TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => {
+                        fields = Some(parse_named_fields(g));
+                        i += 1;
+                    }
+                    TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis => {
+                        panic!(
+                            "serde stub derive: tuple variant {name}::{vname} is not supported"
+                        );
+                    }
+                    _ => {}
+                }
+            }
+            // Skip a discriminant (`= expr`) and the trailing comma.
+            while i < toks.len() {
+                if matches!(&toks[i], TokenTree::Punct(p) if p.as_char() == ',') {
+                    i += 1;
+                    break;
+                }
+                i += 1;
+            }
+            variants.push(Variant {
+                name: vname,
+                fields,
+            });
+        }
+        Shape::Enum { name, variants }
+    }
+}
+
+fn emit_struct_body(out: &mut String, path: &str, fields: &[Field]) {
+    out.push_str("out.push('{');\n");
+    for (idx, f) in fields.iter().enumerate() {
+        if idx > 0 {
+            out.push_str("out.push(',');\n");
+        }
+        out.push_str(&format!(
+            "serde::ser_key(out, \"{0}\"); serde::Serialize::serialize_json({path}{0}, out);\n",
+            f.name
+        ));
+    }
+    out.push_str("out.push('}');\n");
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let shape = parse_shape(input);
+    let mut body = String::new();
+    let name = match &shape {
+        Shape::Struct { name, fields } => {
+            emit_struct_body(&mut body, "&self.", fields);
+            name.clone()
+        }
+        Shape::Enum { name, variants } => {
+            body.push_str("match self {\n");
+            for v in variants {
+                match &v.fields {
+                    None => body.push_str(&format!(
+                        "{name}::{vn} => serde::ser_str(out, \"{vn}\"),\n",
+                        vn = v.name
+                    )),
+                    Some(fields) => {
+                        let pat: Vec<&str> = fields.iter().map(|f| f.name.as_str()).collect();
+                        body.push_str(&format!(
+                            "{name}::{vn} {{ {pat} }} => {{\nout.push('{{');\nserde::ser_key(out, \"{vn}\");\n",
+                            vn = v.name,
+                            pat = pat.join(", ")
+                        ));
+                        emit_struct_body(&mut body, "", fields);
+                        body.push_str("out.push('}');\n}\n");
+                    }
+                }
+            }
+            body.push_str("}\n");
+            name.clone()
+        }
+    };
+    let imp = format!(
+        "impl serde::Serialize for {name} {{\n\
+         fn serialize_json(&self, out: &mut String) {{\n{body}\n}}\n}}\n"
+    );
+    imp.parse().expect("serde stub derive: generated impl parses")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let shape = parse_shape(input);
+    let (name, body) = match &shape {
+        Shape::Struct { name, fields } => {
+            let mut b = String::from("Ok(Self {\n");
+            for f in fields {
+                b.push_str(&format!("{0}: serde::field(v, \"{0}\")?,\n", f.name));
+            }
+            b.push_str("})\n");
+            (name.clone(), b)
+        }
+        Shape::Enum { name, variants } => {
+            let mut b = String::new();
+            b.push_str("if let serde::JsonValue::Str(s) = v {\nreturn match s.as_str() {\n");
+            for v in variants.iter().filter(|v| v.fields.is_none()) {
+                b.push_str(&format!("\"{vn}\" => Ok({name}::{vn}),\n", vn = v.name));
+            }
+            b.push_str(&format!(
+                "other => Err(serde::JsonError(format!(\"unknown {name} variant {{other}}\"))),\n}};\n}}\n"
+            ));
+            b.push_str("let (tag, _inner) = serde::variant(v)?;\nmatch tag {\n");
+            for vr in variants.iter().filter(|v| v.fields.is_some()) {
+                let fields = vr.fields.as_ref().unwrap();
+                b.push_str(&format!("\"{vn}\" => Ok({name}::{vn} {{\n", vn = vr.name));
+                for f in fields {
+                    b.push_str(&format!("{0}: serde::field(_inner, \"{0}\")?,\n", f.name));
+                }
+                b.push_str("}),\n");
+            }
+            b.push_str(&format!(
+                "other => Err(serde::JsonError(format!(\"unknown {name} variant {{other}}\"))),\n}}\n"
+            ));
+            (name.clone(), b)
+        }
+    };
+    let imp = format!(
+        "impl serde::Deserialize for {name} {{\n\
+         fn deserialize_json(v: &serde::JsonValue) -> Result<Self, serde::JsonError> {{\n{body}\n}}\n}}\n"
+    );
+    imp.parse().expect("serde stub derive: generated impl parses")
+}

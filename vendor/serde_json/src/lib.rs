@@ -1,0 +1,89 @@
+//! Offline stand-in for `serde_json` over the vendored `serde` stub.
+//!
+//! Provides the `to_string` / `to_string_pretty` / `from_str` entry points
+//! the workspace uses, backed by the reduced JSON data model in the
+//! vendored `serde` crate.
+
+pub use serde::{JsonError as Error, JsonValue as Value};
+
+/// Serializes a value to compact JSON.
+pub fn to_string<T: serde::Serialize>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    value.serialize_json(&mut out);
+    Ok(out)
+}
+
+/// Serializes a value to indented JSON.
+pub fn to_string_pretty<T: serde::Serialize>(value: &T) -> Result<String, Error> {
+    let compact = to_string(value)?;
+    let v = serde::parse(&compact)?;
+    let mut out = String::new();
+    pretty(&v, 0, &mut out);
+    Ok(out)
+}
+
+/// Parses JSON text into a value of type `T`.
+pub fn from_str<T: serde::Deserialize>(s: &str) -> Result<T, Error> {
+    let v = serde::parse(s)?;
+    T::deserialize_json(&v)
+}
+
+fn indent(out: &mut String, depth: usize) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+}
+
+fn pretty(v: &Value, depth: usize, out: &mut String) {
+    match v {
+        Value::Obj(entries) if !entries.is_empty() => {
+            out.push_str("{\n");
+            for (i, (k, fv)) in entries.iter().enumerate() {
+                indent(out, depth + 1);
+                serde::ser_key(out, k);
+                out.push(' ');
+                pretty(fv, depth + 1, out);
+                if i + 1 < entries.len() {
+                    out.push(',');
+                }
+                out.push('\n');
+            }
+            indent(out, depth);
+            out.push('}');
+        }
+        Value::Arr(items) if !items.is_empty() => {
+            out.push_str("[\n");
+            for (i, item) in items.iter().enumerate() {
+                indent(out, depth + 1);
+                pretty(item, depth + 1, out);
+                if i + 1 < items.len() {
+                    out.push(',');
+                }
+                out.push('\n');
+            }
+            indent(out, depth);
+            out.push(']');
+        }
+        Value::Obj(_) => out.push_str("{}"),
+        Value::Arr(_) => out.push_str("[]"),
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Num(n) => out.push_str(n),
+        Value::Str(s) => serde::ser_str(out, s),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+
+    #[test]
+    fn pretty_output_reparses() {
+        let mut m = HashMap::new();
+        m.insert("alpha".to_string(), vec![1u32, 2, 3]);
+        let pretty = super::to_string_pretty(&m).unwrap();
+        assert!(pretty.contains('\n'));
+        let back: HashMap<String, Vec<u32>> = super::from_str(&pretty).unwrap();
+        assert_eq!(back, m);
+    }
+}
