@@ -20,12 +20,49 @@ use crate::error::SlateError;
 use bytes::Bytes;
 use slate_gpu_sim::buffer::GpuBuffer;
 use slate_kernels::kernel::GpuKernel;
+use std::cell::Cell;
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-/// Opt-in bounded retry with exponential backoff for transient daemon
-/// rejections (see [`SlateError::is_transient`]). Retries sleep
-/// `base_delay * 2^attempt`, capped at `max_delay`.
+/// Draws the next decorrelated-jitter backoff: uniformly random in
+/// `[base, 3 * prev]`, clamped to `[base, cap]`. Unlike full jitter this
+/// keeps a memory of the previous sleep (`prev`), so the expected backoff
+/// still grows geometrically while synchronized clients spread out —
+/// the cure for the thundering herd after a shed or daemon restart.
+///
+/// `rng_state` is a caller-held xorshift64* state; seed it once (any
+/// value) and pass it back for each draw. Deterministic for a fixed seed.
+pub fn decorrelated_jitter(
+    base: Duration,
+    prev: Duration,
+    cap: Duration,
+    rng_state: &mut u64,
+) -> Duration {
+    fn xorshift64star(state: &mut u64) -> u64 {
+        let mut x = *state | 1; // the all-zero state is a fixpoint; avoid it
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        *state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+    let base_n = base.as_nanos().min(u128::from(u64::MAX)) as u64;
+    let prev_n = prev.as_nanos().min(u128::from(u64::MAX)) as u64;
+    let cap_n = cap.as_nanos().min(u128::from(u64::MAX)) as u64;
+    let span = prev_n
+        .saturating_mul(3)
+        .saturating_sub(base_n)
+        .saturating_add(1);
+    let drawn = base_n.saturating_add(xorshift64star(rng_state) % span);
+    Duration::from_nanos(drawn.clamp(base_n.min(cap_n), cap_n))
+}
+
+/// Opt-in bounded retry for transient daemon rejections (see
+/// [`SlateError::is_transient`]). Without a jitter seed, retries sleep
+/// `base_delay * 2^attempt`, capped at `max_delay`; with one, sleeps are
+/// drawn by [`decorrelated_jitter`] instead. Either way, a
+/// [`SlateError::Overloaded`] rejection's `retry_after_ms` hint is honored
+/// as a floor on the sleep.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RetryPolicy {
     /// Total attempts, including the first (1 = no retry).
@@ -34,6 +71,9 @@ pub struct RetryPolicy {
     pub base_delay: Duration,
     /// Ceiling for the exponential backoff.
     pub max_delay: Duration,
+    /// Seed for decorrelated-jitter backoff; `None` keeps the plain
+    /// deterministic exponential schedule.
+    pub jitter_seed: Option<u64>,
 }
 
 impl RetryPolicy {
@@ -43,30 +83,164 @@ impl RetryPolicy {
             max_attempts: max_attempts.max(1),
             base_delay: Duration::from_millis(1),
             max_delay: Duration::from_millis(100),
+            jitter_seed: None,
         }
     }
 
-    /// Backoff to sleep before retry number `retry` (0-based).
+    /// Enables decorrelated-jitter backoff under `seed` (builder style).
+    /// Different clients should use different seeds — that is the point.
+    pub fn with_jitter(mut self, seed: u64) -> Self {
+        self.jitter_seed = Some(seed);
+        self
+    }
+
+    /// Backoff to sleep before retry number `retry` (0-based) on the
+    /// plain exponential schedule (ignores the jitter seed).
     pub fn delay_for(&self, retry: u32) -> Duration {
         let factor = 1u32 << retry.min(16);
         self.base_delay.saturating_mul(factor).min(self.max_delay)
     }
 
     /// Runs `op` up to `max_attempts` times, sleeping the backoff between
-    /// attempts, retrying only while the error is transient.
+    /// attempts, retrying only while the error is transient. An
+    /// [`SlateError::Overloaded`] rejection's `retry_after_ms` floors the
+    /// sleep: the daemon knows its backlog better than the client does.
     pub fn run<T>(
         &self,
         mut op: impl FnMut() -> Result<T, SlateError>,
     ) -> Result<T, SlateError> {
         let mut retry = 0;
+        let mut rng = self.jitter_seed.map(|s| s ^ 0x9e37_79b9_7f4a_7c15);
+        let mut prev = self.base_delay;
         loop {
             match op() {
                 Ok(v) => return Ok(v),
                 Err(e) if e.is_transient() && retry + 1 < self.max_attempts => {
-                    std::thread::sleep(self.delay_for(retry));
+                    let mut delay = match rng.as_mut() {
+                        Some(state) => {
+                            let d = decorrelated_jitter(
+                                self.base_delay,
+                                prev,
+                                self.max_delay,
+                                state,
+                            );
+                            prev = d;
+                            d
+                        }
+                        None => self.delay_for(retry),
+                    };
+                    if let SlateError::Overloaded { retry_after_ms } = e {
+                        delay = delay.max(Duration::from_millis(retry_after_ms));
+                    }
+                    std::thread::sleep(delay);
                     retry += 1;
                 }
                 Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
+/// Circuit-breaker observable states.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Requests flow normally.
+    Closed,
+    /// The breaker tripped; requests fail fast with
+    /// [`SlateError::Overloaded`] until the cooldown elapses.
+    Open,
+    /// Cooldown elapsed: the next request probes the daemon. Success
+    /// closes the breaker; another overload reopens it for a full
+    /// cooldown.
+    HalfOpen,
+}
+
+/// Circuit-breaker tuning.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BreakerConfig {
+    /// Consecutive overload-class errors ([`SlateError::is_overload`]:
+    /// `Overloaded` or `Timeout`) that trip the breaker open.
+    pub failure_threshold: u32,
+    /// How long the breaker stays open before the half-open probe.
+    pub cooldown: Duration,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        Self {
+            failure_threshold: 3,
+            cooldown: Duration::from_millis(100),
+        }
+    }
+}
+
+/// A client-side circuit breaker: after `failure_threshold` consecutive
+/// overload-class errors it opens and fails fast — the kindest thing a
+/// client can do for a saturated daemon is stop hammering it. Single
+/// threaded (`Cell`-based), like [`SlateClient`] itself.
+#[derive(Debug)]
+pub struct CircuitBreaker {
+    config: BreakerConfig,
+    consecutive: Cell<u32>,
+    opened_at: Cell<Option<Instant>>,
+}
+
+impl CircuitBreaker {
+    /// A closed breaker under `config`.
+    pub fn new(config: BreakerConfig) -> Self {
+        Self {
+            config,
+            consecutive: Cell::new(0),
+            opened_at: Cell::new(None),
+        }
+    }
+
+    /// The current state (time-dependent: an open breaker becomes
+    /// half-open once the cooldown elapses).
+    pub fn state(&self) -> BreakerState {
+        match self.opened_at.get() {
+            None => BreakerState::Closed,
+            Some(t) if t.elapsed() < self.config.cooldown => BreakerState::Open,
+            Some(_) => BreakerState::HalfOpen,
+        }
+    }
+
+    /// Gate for an outgoing request: `Err` (fail fast, with the remaining
+    /// cooldown as the retry hint) while open, `Ok` when closed or
+    /// half-open (the probe is allowed through).
+    pub fn check(&self) -> Result<(), SlateError> {
+        match self.state() {
+            BreakerState::Open => {
+                let opened = self.opened_at.get().expect("open implies opened_at");
+                let remaining = self.config.cooldown.saturating_sub(opened.elapsed());
+                Err(SlateError::Overloaded {
+                    retry_after_ms: (remaining.as_millis() as u64).max(1),
+                })
+            }
+            BreakerState::Closed | BreakerState::HalfOpen => Ok(()),
+        }
+    }
+
+    /// Feeds a request outcome into the state machine. Successes close
+    /// the breaker; overload-class errors count toward the threshold (and
+    /// immediately reopen a half-open breaker); other errors reset the
+    /// streak — the daemon answered, it is not saturated.
+    pub fn record<T>(&self, outcome: &Result<T, SlateError>) {
+        match outcome {
+            Ok(_) => {
+                self.consecutive.set(0);
+                self.opened_at.set(None);
+            }
+            Err(e) if e.is_overload() => {
+                let n = self.consecutive.get() + 1;
+                self.consecutive.set(n);
+                let reopen = matches!(self.state(), BreakerState::HalfOpen);
+                if reopen || n >= self.config.failure_threshold {
+                    self.opened_at.set(Some(Instant::now()));
+                }
+            }
+            Err(_) => {
+                self.consecutive.set(0);
             }
         }
     }
@@ -78,6 +252,7 @@ pub struct SlateClient {
     conn: Connection,
     pending_launches: std::cell::Cell<u64>,
     retry: Option<RetryPolicy>,
+    breaker: Option<CircuitBreaker>,
     /// Errors surfaced by the most recent `synchronize` (first one is
     /// returned; the rest are counted here).
     last_sync_failures: std::cell::Cell<u64>,
@@ -90,6 +265,7 @@ impl SlateClient {
             conn,
             pending_launches: std::cell::Cell::new(0),
             retry: None,
+            breaker: None,
             last_sync_failures: std::cell::Cell::new(0),
         }
     }
@@ -99,6 +275,20 @@ impl SlateClient {
     pub fn with_retry(mut self, policy: RetryPolicy) -> Self {
         self.retry = Some(policy);
         self
+    }
+
+    /// Installs a client-side circuit breaker (builder style; off by
+    /// default): consecutive `Overloaded`/`Timeout` outcomes open it and
+    /// subsequent requests fail fast with [`SlateError::Overloaded`]
+    /// without touching the daemon, until the cooldown's half-open probe.
+    pub fn with_circuit_breaker(mut self, config: BreakerConfig) -> Self {
+        self.breaker = Some(CircuitBreaker::new(config));
+        self
+    }
+
+    /// The circuit breaker's current state, if one is installed.
+    pub fn breaker_state(&self) -> Option<BreakerState> {
+        self.breaker.as_ref().map(|b| b.state())
     }
 
     /// The daemon-assigned session id.
@@ -130,20 +320,37 @@ impl SlateClient {
         }
     }
 
+    /// Runs `op` behind the circuit breaker (if installed) and under the
+    /// retry policy (if configured): an open breaker fails fast without
+    /// touching the daemon; the final outcome feeds the breaker.
+    fn guarded<T>(
+        &self,
+        op: impl FnMut() -> Result<T, SlateError>,
+    ) -> Result<T, SlateError> {
+        if let Some(b) = &self.breaker {
+            b.check()?;
+        }
+        let out = self.retrying(op);
+        if let Some(b) = &self.breaker {
+            b.record(&out);
+        }
+        out
+    }
+
     /// Allocates `bytes` bytes of device memory (`cudaMalloc`).
     pub fn malloc(&self, bytes: u64) -> Result<SlatePtr, SlateError> {
-        self.retrying(|| self.call(Request::Malloc(bytes))?.expect_ptr())
+        self.guarded(|| self.call(Request::Malloc(bytes))?.expect_ptr())
     }
 
     /// Frees a device allocation (`cudaFree`).
     pub fn free(&self, ptr: SlatePtr) -> Result<(), SlateError> {
-        self.retrying(|| self.call(Request::Free(ptr))?.expect_ok())
+        self.guarded(|| self.call(Request::Free(ptr))?.expect_ok())
     }
 
     /// Copies host bytes into device memory through a shared buffer.
     /// `offset` must be word-aligned.
     pub fn memcpy_h2d(&self, ptr: SlatePtr, offset: usize, data: Bytes) -> Result<(), SlateError> {
-        self.retrying(|| {
+        self.guarded(|| {
             // Bytes clones are refcount-only; re-sending is cheap.
             let data = data.clone();
             self.call(Request::MemcpyH2D { ptr, offset, data })?.expect_ok()
@@ -159,7 +366,7 @@ impl SlateClient {
     /// Copies device memory back to the host. `offset` must be
     /// word-aligned.
     pub fn memcpy_d2h(&self, ptr: SlatePtr, offset: usize, len: usize) -> Result<Vec<u8>, SlateError> {
-        self.retrying(|| {
+        self.guarded(|| {
             Ok(self
                 .call(Request::MemcpyD2H { ptr, offset, len })?
                 .expect_data()?
@@ -261,6 +468,12 @@ impl SlateClient {
         deadline_ms: Option<u64>,
         factory: KernelFactory,
     ) -> Result<(), SlateError> {
+        // Launches are asynchronous (no reply to feed back), but an open
+        // breaker still fails them fast instead of piling work onto a
+        // daemon that is already shedding.
+        if let Some(b) = &self.breaker {
+            b.check()?;
+        }
         let cmd = LaunchCmd {
             ptrs,
             factory,
@@ -281,8 +494,18 @@ impl SlateClient {
     /// Blocks until every previously launched kernel has completed
     /// (`cudaDeviceSynchronize`). Surfaces the *first* launch error;
     /// additional failures from the same batch are counted in
-    /// [`SlateClient::last_sync_failures`].
+    /// [`SlateClient::last_sync_failures`]. The outcome feeds the circuit
+    /// breaker (if installed): this is where `Overloaded` sheds and
+    /// watchdog `Timeout`s from asynchronous launches surface.
     pub fn synchronize(&self) -> Result<(), SlateError> {
+        let out = self.synchronize_inner();
+        if let Some(b) = &self.breaker {
+            b.record(&out);
+        }
+        out
+    }
+
+    fn synchronize_inner(&self) -> Result<(), SlateError> {
         // The session thread serves requests in order, so one round trip
         // fences all prior launches. Failed launches reply with their error
         // ahead of the sync's Ok.
@@ -395,6 +618,7 @@ mod tests {
             max_attempts: 8,
             base_delay: Duration::from_millis(2),
             max_delay: Duration::from_millis(10),
+            jitter_seed: None,
         };
         assert_eq!(p.delay_for(0), Duration::from_millis(2));
         assert_eq!(p.delay_for(1), Duration::from_millis(4));
@@ -441,6 +665,170 @@ mod tests {
         });
         assert!(out.is_err());
         assert_eq!(calls, 1, "permanent errors fail fast");
+    }
+
+    #[test]
+    fn decorrelated_jitter_stays_within_bounds_and_varies() {
+        let base = Duration::from_millis(2);
+        let cap = Duration::from_millis(50);
+        let mut state = 42u64;
+        let mut prev = base;
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..200 {
+            let d = decorrelated_jitter(base, prev, cap, &mut state);
+            assert!(d >= base, "below base: {d:?}");
+            assert!(d <= cap, "above cap: {d:?}");
+            seen.insert(d.as_nanos());
+            prev = d;
+        }
+        assert!(seen.len() > 10, "jitter must actually vary, saw {}", seen.len());
+        // Deterministic for a fixed seed.
+        let run = |seed: u64| {
+            let mut st = seed;
+            let mut p = base;
+            (0..20)
+                .map(|_| {
+                    p = decorrelated_jitter(base, p, cap, &mut st);
+                    p
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8), "different seeds decorrelate");
+    }
+
+    #[test]
+    fn decorrelated_jitter_degenerate_bounds() {
+        // base == cap pins the draw.
+        let mut st = 1u64;
+        let d = decorrelated_jitter(
+            Duration::from_millis(5),
+            Duration::from_millis(5),
+            Duration::from_millis(5),
+            &mut st,
+        );
+        assert_eq!(d, Duration::from_millis(5));
+        // cap below base clamps to cap rather than panicking.
+        let d = decorrelated_jitter(
+            Duration::from_millis(10),
+            Duration::from_millis(10),
+            Duration::from_millis(3),
+            &mut st,
+        );
+        assert_eq!(d, Duration::from_millis(3));
+    }
+
+    #[test]
+    fn retry_honors_overloaded_retry_after_floor() {
+        let p = RetryPolicy {
+            max_attempts: 2,
+            base_delay: Duration::from_millis(1),
+            max_delay: Duration::from_millis(2),
+            jitter_seed: Some(3),
+        };
+        let t0 = Instant::now();
+        let mut calls = 0;
+        let out: Result<(), _> = p.run(|| {
+            calls += 1;
+            Err(SlateError::Overloaded { retry_after_ms: 40 })
+        });
+        assert!(out.is_err());
+        assert_eq!(calls, 2);
+        assert!(
+            t0.elapsed() >= Duration::from_millis(40),
+            "the daemon's hint floors the backoff: {:?}",
+            t0.elapsed()
+        );
+    }
+
+    #[test]
+    fn breaker_opens_after_threshold_and_fails_fast() {
+        let b = CircuitBreaker::new(BreakerConfig {
+            failure_threshold: 2,
+            cooldown: Duration::from_millis(50),
+        });
+        assert_eq!(b.state(), BreakerState::Closed);
+        b.record::<()>(&Err(SlateError::Overloaded { retry_after_ms: 5 }));
+        assert_eq!(b.state(), BreakerState::Closed, "below threshold");
+        b.record::<()>(&Err(SlateError::Timeout { elapsed_ms: 9 }));
+        assert_eq!(b.state(), BreakerState::Open);
+        match b.check().unwrap_err() {
+            SlateError::Overloaded { retry_after_ms } => {
+                assert!((1..=50).contains(&retry_after_ms));
+            }
+            other => panic!("expected Overloaded, got {other}"),
+        }
+    }
+
+    #[test]
+    fn breaker_half_open_probe_closes_on_success_reopens_on_failure() {
+        let cfg = BreakerConfig {
+            failure_threshold: 1,
+            cooldown: Duration::from_millis(20),
+        };
+        let b = CircuitBreaker::new(cfg);
+        b.record::<()>(&Err(SlateError::Overloaded { retry_after_ms: 1 }));
+        assert_eq!(b.state(), BreakerState::Open);
+        std::thread::sleep(Duration::from_millis(25));
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        assert!(b.check().is_ok(), "the probe is allowed through");
+        // Probe fails: reopen for a full cooldown.
+        b.record::<()>(&Err(SlateError::Overloaded { retry_after_ms: 1 }));
+        assert_eq!(b.state(), BreakerState::Open);
+        std::thread::sleep(Duration::from_millis(25));
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        // Probe succeeds: fully closed, streak reset.
+        b.record::<()>(&Ok(()));
+        assert_eq!(b.state(), BreakerState::Closed);
+    }
+
+    #[test]
+    fn breaker_ignores_non_overload_errors() {
+        let b = CircuitBreaker::new(BreakerConfig {
+            failure_threshold: 2,
+            cooldown: Duration::from_millis(50),
+        });
+        b.record::<()>(&Err(SlateError::Overloaded { retry_after_ms: 1 }));
+        // A structured non-overload error resets the streak.
+        b.record::<()>(&Err(SlateError::InvalidPointer { ptr: 1 }));
+        b.record::<()>(&Err(SlateError::Overloaded { retry_after_ms: 1 }));
+        assert_eq!(b.state(), BreakerState::Closed, "streak was reset");
+    }
+
+    #[test]
+    fn client_breaker_stops_hammering_a_saturated_daemon() {
+        use crate::daemon::DaemonOptions;
+        // Watermark 0: every malloc is shed with Overloaded.
+        let opts = DaemonOptions {
+            admission: crate::admission::AdmissionLimits {
+                mem_watermark: Some(0.0),
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let daemon = SlateDaemon::start_with_options(DeviceConfig::tiny(2), 1 << 20, opts);
+        let c = SlateClient::new(daemon.connect("breaker").unwrap())
+            .with_circuit_breaker(BreakerConfig {
+                failure_threshold: 2,
+                cooldown: Duration::from_secs(60),
+            });
+        assert!(c.malloc(64).is_err());
+        assert!(c.malloc(64).is_err());
+        assert_eq!(c.breaker_state(), Some(BreakerState::Open));
+        let shed_before = daemon.admission_stats().mallocs_shed;
+        // Open breaker: the next calls fail fast client-side.
+        assert!(matches!(
+            c.malloc(64).unwrap_err(),
+            SlateError::Overloaded { .. }
+        ));
+        assert!(c.launch_with(vec![], 10, None, |_| unreachable!()).is_err());
+        assert_eq!(
+            daemon.admission_stats().mallocs_shed,
+            shed_before,
+            "the daemon never saw the failed-fast requests"
+        );
+        drop(c);
+        daemon.join();
     }
 
     #[test]

@@ -11,6 +11,13 @@
 //! the daemon maps to real device allocations in its per-session hash table
 //! ("records in a hash table the mapping between the shared buffer address
 //! and the GPU pointer").
+//!
+//! Under overload the daemon sheds requests instead of queueing them
+//! unboundedly: the reply is a [`Response::Err`] wiring
+//! [`SlateError::Overloaded`] with a `retry_after_ms` hint
+//! ([`Response::is_overloaded`] spots these without unwrapping). For
+//! asynchronous launches the shed reply is delivered, like any launch
+//! error, at the client's next `Sync`.
 
 use crate::error::SlateError;
 use bytes::Bytes;
@@ -116,6 +123,14 @@ impl Response {
         }
     }
 
+    /// Whether this reply is an admission shed
+    /// ([`SlateError::Overloaded`]) — the signal backpressure-aware
+    /// clients branch on without consuming the response.
+    pub fn is_overloaded(&self) -> bool {
+        matches!(self, Response::Err(e)
+            if matches!(SlateError::from_wire(e), SlateError::Overloaded { .. }))
+    }
+
     /// Unwraps an expected `Ok` response.
     pub fn expect_ok(self) -> Result<(), SlateError> {
         match self {
@@ -149,6 +164,20 @@ mod tests {
             Bytes::from_static(b"xy")
         );
         assert!(Response::Ok.expect_ok().is_ok());
+    }
+
+    #[test]
+    fn overload_replies_are_recognizable() {
+        let shed = Response::Err(
+            SlateError::Overloaded { retry_after_ms: 7 }.to_wire(),
+        );
+        assert!(shed.is_overloaded());
+        assert!(!Response::Ok.is_overloaded());
+        assert!(!Response::Err("E_SHUTDOWN".into()).is_overloaded());
+        assert_eq!(
+            shed.expect_ok().unwrap_err(),
+            SlateError::Overloaded { retry_after_ms: 7 }
+        );
     }
 
     #[test]

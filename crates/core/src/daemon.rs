@@ -37,15 +37,37 @@
 //!   (`slate_gpu_sim::fault`) passed through [`DaemonOptions`] makes
 //!   kernels hang, launches fault, memcpys stall, or channels drop at
 //!   scripted points, so all of the above is testable and replayable.
+//!
+//! # Overload protection
+//!
+//! PR 1 made the daemon survive faults; this layer makes it survive load:
+//!
+//! * **admission control** — [`DaemonOptions::admission`] bounds
+//!   concurrent sessions, pending launches (per session and daemon-wide)
+//!   and memory pressure; over-limit requests are shed with
+//!   [`SlateError::Overloaded`] carrying a `retry_after_ms` hint computed
+//!   from the queued work, and deadline-carrying launches are rejected up
+//!   front when the estimated queue wait already exceeds their deadline;
+//! * **backpressure** — per-session and global [`LaunchGauge`]s implement
+//!   a drop-newest shed policy; [`SlateDaemon::queue_stats`] and
+//!   [`SlateDaemon::metrics`] expose the backlog;
+//! * **starvation-free arbitration** — with
+//!   [`DaemonOptions::starvation_bound_ms`] set, a kernel waiting past the
+//!   bound refuses co-running and is dispatched pinned-solo as soon as the
+//!   device frees ([`SlateDaemon::starvation_promotions`] counts these);
+//!   waiters are served longest-wait-first with arrival order as the
+//!   deterministic tie-break.
 
+use crate::admission::{AdmissionController, AdmissionLimits, AdmissionStats, DaemonMetrics, LaunchTicket};
 use crate::channel::{LaunchCmd, Request, Response, SlatePtr};
 use crate::classify::WorkloadClass;
 use crate::dispatch::{DispatchHandle, Dispatcher};
 use crate::error::SlateError;
 use crate::injector::InjectionCache;
 use crate::partition::partition;
-use crate::policy::should_corun;
+use crate::policy::should_corun_aged;
 use crate::profile::ProfileTable;
+use crate::queue::{LaunchGauge, QueueStats};
 use crate::transform::TransformedKernel;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::{Condvar, Mutex};
@@ -69,24 +91,59 @@ struct ArbResident {
     handle: DispatchHandle,
 }
 
+/// A queued arbiter waiter: arrival time plus a stable sequence number —
+/// the (wait, arrival) priority that makes head selection deterministic.
+struct Waiter {
+    seq: u64,
+    since: Instant,
+}
+
+/// Arbiter state under one lock: device residents and the waiter queue.
+struct ArbState {
+    residents: Vec<ArbResident>,
+    waiters: Vec<Waiter>,
+}
+
 /// The workload-aware device arbiter: admits at most two complementary
 /// kernels at a time and resizes residents on arrival and departure.
+///
+/// # Starvation freedom
+///
+/// Without a bound, a kernel whose class co-runs with nothing can wait
+/// behind an endless chain of profitable pairs. With
+/// `starvation_bound` set, a waiter past the bound refuses co-running
+/// ([`should_corun_aged`]) *and* blocks further co-run joins by younger
+/// waiters, so the device drains; when it empties, the longest-waiting
+/// waiter (ties broken by arrival sequence) takes the whole device — and
+/// if it starved, it is dispatched *pinned solo* and counted in
+/// `promotions`.
 struct Arbiter {
     cfg: DeviceConfig,
-    state: Mutex<Vec<ArbResident>>,
+    state: Mutex<ArbState>,
     freed: Condvar,
     /// Shutdown drain mode: no new co-scheduling, bounded condvar waits —
     /// remaining kernels serialize solo instead of wedging in `acquire`.
     draining: AtomicBool,
+    /// Wait bound past which a waiter is promoted to solo dispatch.
+    starvation_bound: Option<Duration>,
+    /// Starved waiters promoted to solo dispatch so far.
+    promotions: AtomicU64,
+    next_waiter: AtomicU64,
 }
 
 impl Arbiter {
-    fn new(cfg: DeviceConfig) -> Self {
+    fn new(cfg: DeviceConfig, starvation_bound: Option<Duration>) -> Self {
         Self {
             cfg,
-            state: Mutex::new(Vec::new()),
+            state: Mutex::new(ArbState {
+                residents: Vec::new(),
+                waiters: Vec::new(),
+            }),
             freed: Condvar::new(),
             draining: AtomicBool::new(false),
+            starvation_bound,
+            promotions: AtomicU64::new(0),
+            next_waiter: AtomicU64::new(0),
         }
     }
 
@@ -109,32 +166,59 @@ impl Arbiter {
         pinned_solo: bool,
         handle: DispatchHandle,
     ) -> SmRange {
+        let seq = self.next_waiter.fetch_add(1, Ordering::Relaxed);
+        let since = Instant::now();
         let mut st = self.state.lock();
+        st.waiters.push(Waiter { seq, since });
         loop {
-            if st.is_empty() {
+            let draining = self.draining.load(Ordering::Acquire);
+            let now = Instant::now();
+            let my_starved = self
+                .starvation_bound
+                .is_some_and(|b| now.duration_since(since) >= b);
+            let any_starved = self.starvation_bound.is_some_and(|b| {
+                st.waiters
+                    .iter()
+                    .any(|w| now.duration_since(w.since) >= b)
+            });
+            let i_am_head = st
+                .waiters
+                .iter()
+                .min_by_key(|w| (w.since, w.seq))
+                .map(|w| w.seq)
+                == Some(seq);
+            if st.residents.is_empty() && i_am_head {
+                st.waiters.retain(|w| w.seq != seq);
+                if my_starved {
+                    self.promotions.fetch_add(1, Ordering::Relaxed);
+                }
                 let range = SmRange::all(self.cfg.num_sms);
-                st.push(ArbResident {
+                st.residents.push(ArbResident {
                     session,
                     class,
                     sm_demand,
-                    pinned_solo,
+                    // A promoted waiter runs pinned solo: it already paid
+                    // its wait, no one may squeeze in beside it.
+                    pinned_solo: pinned_solo || my_starved,
                     range,
                     handle,
                 });
+                // A complementary waiter may now join the new resident.
+                self.freed.notify_all();
                 return range;
             }
-            let draining = self.draining.load(Ordering::Acquire);
-            if !draining
-                && st.len() == 1
+            if st.residents.len() == 1
+                && !draining
                 && !pinned_solo
-                && !st[0].pinned_solo
-                && should_corun(st[0].class, class)
+                && !st.residents[0].pinned_solo
+                && should_corun_aged(st.residents[0].class, class, any_starved)
             {
-                let part = partition(&self.cfg, st[0].sm_demand, sm_demand);
+                st.waiters.retain(|w| w.seq != seq);
+                let part = partition(&self.cfg, st.residents[0].sm_demand, sm_demand);
                 // Live-resize the resident onto its share.
-                st[0].handle.resize(part.a);
-                st[0].range = part.a;
-                st.push(ArbResident {
+                st.residents[0].handle.resize(part.a);
+                st.residents[0].range = part.a;
+                st.residents.push(ArbResident {
                     session,
                     class,
                     sm_demand,
@@ -144,12 +228,13 @@ impl Arbiter {
                 });
                 return part.b;
             }
-            if draining {
-                // Serialized solo fallback: poll with a bounded wait so a
-                // lost wakeup during teardown cannot wedge this thread.
+            if draining || self.starvation_bound.is_some() {
+                // Bounded wait: re-evaluate periodically so a bound
+                // crossing (or a lost wakeup during teardown) cannot
+                // wedge this thread.
                 let _ = self
                     .freed
-                    .wait_for(&mut st, Duration::from_millis(20));
+                    .wait_for(&mut st, Duration::from_millis(5));
             } else {
                 self.freed.wait(&mut st);
             }
@@ -167,8 +252,8 @@ impl Arbiter {
     /// survivor regrows to the whole device.
     fn release_matching(&self, pred: impl Fn(u64) -> bool) {
         let mut st = self.state.lock();
-        st.retain(|r| !pred(r.session));
-        if let Some(surv) = st.first_mut() {
+        st.residents.retain(|r| !pred(r.session));
+        if let Some(surv) = st.residents.first_mut() {
             let full = SmRange::all(self.cfg.num_sms);
             if surv.range != full {
                 surv.handle.resize(full);
@@ -180,7 +265,7 @@ impl Arbiter {
 
     /// Number of kernels currently resident on the device.
     fn residents(&self) -> usize {
-        self.state.lock().len()
+        self.state.lock().residents.len()
     }
 }
 
@@ -267,6 +352,8 @@ struct DaemonShared {
     watchdog: Watchdog,
     /// Deadline applied to launches that don't carry their own.
     default_deadline_ms: Option<u64>,
+    /// Admission gatekeeper: session/launch/memory limits and counters.
+    admission: AdmissionController,
     /// Raised by [`SlateDaemon::shutdown`]; refuses new connections.
     shutting_down: AtomicBool,
     /// Sessions torn down because the client vanished without Disconnect.
@@ -285,6 +372,14 @@ pub struct DaemonOptions {
     /// Watchdog deadline, in milliseconds, for launches that don't set
     /// their own. `None` leaves unmarked launches unwatched.
     pub default_deadline_ms: Option<u64>,
+    /// Admission limits (sessions, pending launches, memory watermark).
+    /// The default admits everything — admission control is opt-in.
+    pub admission: AdmissionLimits,
+    /// Arbiter aging bound, in milliseconds: a kernel waiting longer for
+    /// the device is dispatched solo (policy table notwithstanding) and
+    /// counted in [`SlateDaemon::starvation_promotions`]. `None` disables
+    /// aging.
+    pub starvation_bound_ms: Option<u64>,
 }
 
 impl Default for DaemonOptions {
@@ -293,6 +388,8 @@ impl Default for DaemonOptions {
             profiles: ProfileTable::new(),
             fault_plan: FaultPlan::new(),
             default_deadline_ms: None,
+            admission: AdmissionLimits::default(),
+            starvation_bound_ms: None,
         }
     }
 }
@@ -353,12 +450,16 @@ impl SlateDaemon {
             pool: Mutex::new(DeviceMemoryPool::new(mem_capacity)),
             injector: Mutex::new(InjectionCache::new()),
             profiles: Mutex::new(options.profiles),
-            arbiter: Arbiter::new(cfg),
+            arbiter: Arbiter::new(
+                cfg,
+                options.starvation_bound_ms.map(Duration::from_millis),
+            ),
             launches: Mutex::new(0),
             hyperq: Mutex::new(HyperQ::with_default_connections()),
             faults: Mutex::new(options.fault_plan),
             watchdog: Watchdog::new(),
             default_deadline_ms: options.default_deadline_ms,
+            admission: AdmissionController::new(options.admission),
             shutting_down: AtomicBool::new(false),
             reaped_sessions: AtomicU64::new(0),
             active_sessions: Mutex::new(0),
@@ -381,11 +482,14 @@ impl SlateDaemon {
 
     /// Accepts a new client; spawns its session thread (one per process,
     /// kept alive until the process disconnects — §IV-A2). Refused with
-    /// [`SlateError::ShuttingDown`] once [`SlateDaemon::shutdown`] ran.
+    /// [`SlateError::ShuttingDown`] once [`SlateDaemon::shutdown`] ran,
+    /// and shed with [`SlateError::Overloaded`] at the
+    /// [`AdmissionLimits::max_sessions`] bound.
     pub fn connect(self: &Arc<Self>, user: &str) -> Result<Connection, SlateError> {
         if self.shared.shutting_down.load(Ordering::Acquire) {
             return Err(SlateError::ShuttingDown);
         }
+        self.shared.admission.admit_session()?;
         let session = {
             let mut n = self.next_session.lock();
             *n += 1;
@@ -400,6 +504,7 @@ impl SlateDaemon {
             .name(format!("slate-session-{session}"))
             .spawn(move || {
                 session_loop(shared.clone(), session, user, rx_req, tx_resp);
+                shared.admission.end_session();
                 let mut active = shared.active_sessions.lock();
                 *active -= 1;
                 shared.session_drained.notify_all();
@@ -483,6 +588,42 @@ impl SlateDaemon {
         self.shared.faults.lock().fired()
     }
 
+    /// Snapshot of the daemon-wide launch queue: depth, high-water mark,
+    /// admitted and shed counts.
+    pub fn queue_stats(&self) -> QueueStats {
+        self.shared.admission.queue_stats()
+    }
+
+    /// Snapshot of the admission counters (sessions, launches, deadline
+    /// rejections, memory sheds).
+    pub fn admission_stats(&self) -> AdmissionStats {
+        self.shared.admission.stats()
+    }
+
+    /// Starved arbiter waiters promoted to solo dispatch (0 unless
+    /// [`DaemonOptions::starvation_bound_ms`] is set).
+    pub fn starvation_promotions(&self) -> u64 {
+        self.shared.arbiter.promotions.load(Ordering::Relaxed)
+    }
+
+    /// One consistent-enough snapshot of everything the daemon reports:
+    /// queue backlog, admission counters, and the fault-tolerance
+    /// counters. The single stable observability surface.
+    pub fn metrics(&self) -> DaemonMetrics {
+        DaemonMetrics {
+            queue: self.queue_stats(),
+            admission: self.admission_stats(),
+            launches_served: self.launches_served(),
+            live_allocations: self.live_allocations(),
+            hyperq_lanes: self.hyperq_lanes(),
+            arbiter_residents: self.arbiter_residents(),
+            watchdog_evictions: self.watchdog_evictions(),
+            reaped_sessions: self.reaped_sessions(),
+            starvation_promotions: self.starvation_promotions(),
+            faults_fired: self.faults_fired(),
+        }
+    }
+
     /// Waits for all session threads to finish (after clients disconnect).
     pub fn join(&self) {
         let handles: Vec<_> = std::mem::take(&mut *self.sessions.lock());
@@ -514,12 +655,15 @@ struct SessionState {
     next_ptr: u64,
 }
 
-/// A launch job forwarded to a stream worker thread.
+/// A launch job forwarded to a stream worker thread. Carries its
+/// [`LaunchTicket`]: the lane completes the admission when the kernel
+/// finishes, so queue depth covers lane backlog too.
 struct StreamJob {
     kernel: Arc<dyn slate_kernels::kernel::GpuKernel>,
     task_size: u32,
     pinned_solo: bool,
     deadline_ms: Option<u64>,
+    ticket: LaunchTicket,
 }
 
 /// A message for a stream lane's in-order queue: either a kernel launch or
@@ -542,20 +686,25 @@ fn spawn_stream_lane(
     shared: Arc<DaemonShared>,
     lease: u64,
     errors: Arc<Mutex<Vec<String>>>,
+    gauge: Arc<LaunchGauge>,
 ) -> StreamLane {
     let (tx, rx) = unbounded::<LaneMsg>();
     let handle = std::thread::spawn(move || {
         while let Ok(msg) = rx.recv() {
             match msg {
                 LaneMsg::Job(job) => {
-                    if let Err(e) = execute_kernel(
+                    let out = execute_kernel(
                         &shared,
                         lease,
                         job.kernel,
                         job.task_size,
                         job.pinned_solo,
                         job.deadline_ms,
-                    ) {
+                    );
+                    shared
+                        .admission
+                        .complete_launch(&gauge, job.ticket, out.is_ok());
+                    if let Err(e) = out {
                         errors.lock().push(e);
                     }
                 }
@@ -579,6 +728,8 @@ fn session_loop(
         ptr_map: HashMap::new(),
         next_ptr: session << 32,
     };
+    // Per-session bounded launch queue (admission-control backpressure).
+    let gauge = shared.admission.new_session_gauge();
     let mut lanes: HashMap<u32, StreamLane> = HashMap::new();
     let stream_errors: Arc<Mutex<Vec<String>>> = Arc::new(Mutex::new(Vec::new()));
     let shutdown_lanes = |lanes: &mut HashMap<u32, StreamLane>| {
@@ -598,17 +749,28 @@ fn session_loop(
             break;
         }
         let resp = match req {
-            Request::Malloc(bytes) => match shared.pool.lock().alloc(bytes) {
-                Ok(dev) => {
-                    st.next_ptr += 1;
-                    let p = SlatePtr(st.next_ptr);
-                    st.ptr_map.insert(p, dev);
-                    Response::Ptr(p)
+            Request::Malloc(bytes) => {
+                let admit = {
+                    let pool = shared.pool.lock();
+                    shared
+                        .admission
+                        .admit_malloc(pool.used(), pool.capacity(), bytes)
+                };
+                match admit {
+                    Err(e) => Response::Err(e.to_wire()),
+                    Ok(()) => match shared.pool.lock().alloc(bytes) {
+                        Ok(dev) => {
+                            st.next_ptr += 1;
+                            let p = SlatePtr(st.next_ptr);
+                            st.ptr_map.insert(p, dev);
+                            Response::Ptr(p)
+                        }
+                        Err(_) => Response::Err(
+                            SlateError::OutOfMemory { requested: bytes }.to_wire(),
+                        ),
+                    },
                 }
-                Err(_) => {
-                    Response::Err(SlateError::OutOfMemory { requested: bytes }.to_wire())
-                }
-            },
+            }
             Request::Free(p) => match st.ptr_map.remove(&p) {
                 Some(dev) => match shared.pool.lock().free(dev) {
                     Ok(()) => Response::Ok,
@@ -644,30 +806,54 @@ fn session_loop(
                 let deadline_ms = cmd.deadline_ms;
                 match prepare_launch(&shared, &user, &st, cmd) {
                     Ok((kernel, task_size, pinned_solo)) => {
-                        if stream == 0 {
-                            // Default stream: in-order on the session thread.
-                            let lease = session << 16;
-                            match execute_kernel(
-                                &shared, lease, kernel, task_size, pinned_solo, deadline_ms,
-                            ) {
-                                Ok(()) => continue,
-                                Err(e) => Response::Err(e),
+                        // Admission: bounded pending-launch queues (per
+                        // session and global) plus an up-front deadline
+                        // feasibility check against the estimated queue
+                        // wait. Shed launches reply Overloaded, surfaced
+                        // at the client's next synchronize.
+                        let est_ms = shared.profiles.lock().estimate_solo_ms(
+                            kernel.name(),
+                            kernel.grid().total_blocks(),
+                        );
+                        match shared.admission.admit_launch(&gauge, est_ms, deadline_ms) {
+                            Err(e) => Response::Err(e.to_wire()),
+                            Ok(ticket) => {
+                                if stream == 0 {
+                                    // Default stream: in-order on the
+                                    // session thread.
+                                    let lease = session << 16;
+                                    let out = execute_kernel(
+                                        &shared, lease, kernel, task_size, pinned_solo,
+                                        deadline_ms,
+                                    );
+                                    shared.admission.complete_launch(
+                                        &gauge,
+                                        ticket,
+                                        out.is_ok(),
+                                    );
+                                    match out {
+                                        Ok(()) => continue,
+                                        Err(e) => Response::Err(e),
+                                    }
+                                } else {
+                                    let lane = lanes.entry(stream).or_insert_with(|| {
+                                        spawn_stream_lane(
+                                            shared.clone(),
+                                            (session << 16) | stream as u64,
+                                            stream_errors.clone(),
+                                            gauge.clone(),
+                                        )
+                                    });
+                                    let _ = lane.tx.send(LaneMsg::Job(StreamJob {
+                                        kernel,
+                                        task_size,
+                                        pinned_solo,
+                                        deadline_ms,
+                                        ticket,
+                                    }));
+                                    continue; // asynchronous: no reply
+                                }
                             }
-                        } else {
-                            let lane = lanes.entry(stream).or_insert_with(|| {
-                                spawn_stream_lane(
-                                    shared.clone(),
-                                    (session << 16) | stream as u64,
-                                    stream_errors.clone(),
-                                )
-                            });
-                            let _ = lane.tx.send(LaneMsg::Job(StreamJob {
-                                kernel,
-                                task_size,
-                                pinned_solo,
-                                deadline_ms,
-                            }));
-                            continue; // asynchronous: no reply
                         }
                     }
                     Err(e) => Response::Err(e),

@@ -39,6 +39,15 @@ pub enum SlateError {
     KernelFault(String),
     /// The daemon is shutting down and refuses new work.
     ShuttingDown,
+    /// The daemon shed the request because an admission limit (sessions,
+    /// pending launches, memory watermark) or a deadline-feasibility check
+    /// tripped. The request was *not* performed; retry after roughly
+    /// `retry_after_ms` milliseconds (clients should add jitter).
+    Overloaded {
+        /// Daemon's estimate of when retrying is worthwhile, derived from
+        /// the current queue depth and pending-work estimates. Always ≥ 1.
+        retry_after_ms: u64,
+    },
     /// Anything else, with the daemon's description.
     Other(String),
 }
@@ -56,6 +65,9 @@ impl SlateError {
             SlateError::Timeout { elapsed_ms } => format!("E_TIMEOUT:{elapsed_ms}"),
             SlateError::KernelFault(m) => format!("E_KFAULT:{m}"),
             SlateError::ShuttingDown => "E_SHUTDOWN".to_string(),
+            SlateError::Overloaded { retry_after_ms } => {
+                format!("E_OVERLOADED:{retry_after_ms}")
+            }
             SlateError::Other(m) => format!("E_OTHER:{m}"),
         }
     }
@@ -93,6 +105,11 @@ impl SlateError {
         if s == "E_SHUTDOWN" {
             return SlateError::ShuttingDown;
         }
+        if let Some(rest) = s.strip_prefix("E_OVERLOADED:") {
+            if let Ok(retry_after_ms) = rest.parse() {
+                return SlateError::Overloaded { retry_after_ms };
+            }
+        }
         SlateError::Other(
             s.strip_prefix("E_OTHER:").unwrap_or(s).to_string(),
         )
@@ -100,13 +117,25 @@ impl SlateError {
 
     /// Whether retrying the same operation later could succeed: the daemon
     /// refused or aborted the work without corrupting session state.
-    /// Watchdog evictions and shutdown rejections qualify; memory-safety
-    /// errors (bad pointer, OOM for the same size) and severed connections
-    /// do not.
+    /// Watchdog evictions, shutdown rejections and admission sheds qualify;
+    /// memory-safety errors (bad pointer, OOM for the same size) and
+    /// severed connections do not.
     pub fn is_transient(&self) -> bool {
         matches!(
             self,
-            SlateError::Timeout { .. } | SlateError::ShuttingDown
+            SlateError::Timeout { .. }
+                | SlateError::ShuttingDown
+                | SlateError::Overloaded { .. }
+        )
+    }
+
+    /// Whether the error signals daemon saturation (an admission shed or a
+    /// watchdog eviction under load) — the conditions a client-side circuit
+    /// breaker counts toward opening.
+    pub fn is_overload(&self) -> bool {
+        matches!(
+            self,
+            SlateError::Overloaded { .. } | SlateError::Timeout { .. }
         )
     }
 }
@@ -128,6 +157,9 @@ impl fmt::Display for SlateError {
             }
             SlateError::KernelFault(m) => write!(f, "kernel fault: {m}"),
             SlateError::ShuttingDown => write!(f, "daemon is shutting down"),
+            SlateError::Overloaded { retry_after_ms } => {
+                write!(f, "daemon overloaded, retry after {retry_after_ms} ms")
+            }
             SlateError::Other(m) => write!(f, "{m}"),
         }
     }
@@ -156,6 +188,7 @@ mod tests {
             SlateError::Timeout { elapsed_ms: 1500 },
             SlateError::KernelFault("device fault at block 7".into()),
             SlateError::ShuttingDown,
+            SlateError::Overloaded { retry_after_ms: 42 },
             SlateError::Other("misc".into()),
         ];
         for e in cases {
@@ -167,10 +200,20 @@ mod tests {
     fn transience_classification() {
         assert!(SlateError::Timeout { elapsed_ms: 10 }.is_transient());
         assert!(SlateError::ShuttingDown.is_transient());
+        assert!(SlateError::Overloaded { retry_after_ms: 5 }.is_transient());
         assert!(!SlateError::Disconnected.is_transient());
         assert!(!SlateError::OutOfMemory { requested: 1 }.is_transient());
         assert!(!SlateError::InvalidPointer { ptr: 1 }.is_transient());
         assert!(!SlateError::KernelFault("x".into()).is_transient());
+    }
+
+    #[test]
+    fn overload_classification() {
+        assert!(SlateError::Overloaded { retry_after_ms: 1 }.is_overload());
+        assert!(SlateError::Timeout { elapsed_ms: 9 }.is_overload());
+        assert!(!SlateError::ShuttingDown.is_overload());
+        assert!(!SlateError::Disconnected.is_overload());
+        assert!(!SlateError::OutOfMemory { requested: 8 }.is_overload());
     }
 
     #[test]
@@ -187,6 +230,10 @@ mod tests {
         assert_eq!(
             SlateError::from_wire("E_TIMEOUT:soon"),
             SlateError::Other("E_TIMEOUT:soon".into())
+        );
+        assert_eq!(
+            SlateError::from_wire("E_OVERLOADED:later"),
+            SlateError::Other("E_OVERLOADED:later".into())
         );
     }
 

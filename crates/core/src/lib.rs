@@ -24,6 +24,7 @@
 
 #![warn(missing_docs)]
 
+pub mod admission;
 pub mod api;
 pub mod channel;
 pub mod classify;
@@ -42,6 +43,7 @@ pub mod select;
 pub mod transform;
 pub mod workers;
 
+pub use admission::{AdmissionLimits, AdmissionStats, DaemonMetrics};
 pub use api::SlateClient;
 pub use channel::SlatePtr;
 pub use classify::WorkloadClass;

@@ -151,6 +151,22 @@ impl ProfileTable {
         &self.entries[&perf.name]
     }
 
+    /// Estimates the solo execution time of `blocks` blocks of a kernel in
+    /// whole milliseconds (rounded up, minimum 1) from its measured solo
+    /// block-completion rate. Returns `None` for unprofiled kernels or
+    /// degenerate rates — callers must then admit optimistically. Admission
+    /// control uses this to compute `retry_after_ms` hints and to reject
+    /// deadline-carrying launches whose queue wait already exceeds the
+    /// deadline.
+    pub fn estimate_solo_ms(&self, name: &str, blocks: u64) -> Option<u64> {
+        let p = self.entries.get(name)?;
+        if !(p.block_rate.is_finite() && p.block_rate > 0.0) {
+            return None;
+        }
+        let ms = (blocks as f64 / p.block_rate * 1e3).ceil();
+        Some((ms as u64).max(1))
+    }
+
     /// Number of stored profiles.
     pub fn len(&self) -> usize {
         self.entries.len()

@@ -1,4 +1,5 @@
-//! The device task queue (paper Listings 2 and 3).
+//! The device task queue (paper Listings 2 and 3) and the daemon's
+//! launch-queue accounting.
 //!
 //! Slate flattens a user grid into `slateMax` blocks and drives execution
 //! through a single scheduling index `slateIdx`: every persistent worker
@@ -10,6 +11,13 @@
 //!
 //! This is a faithful host-side implementation with the same atomics
 //! (`fetch_add` on the index, acquire/release on the flag).
+//!
+//! Alongside the device-side [`TaskQueue`], this module hosts the
+//! *host-side* launch-queue primitive the daemon's overload protection is
+//! built on: a [`LaunchGauge`] bounds the number of in-flight launches in a
+//! queue (per session or daemon-wide) with a drop-newest shed policy, and a
+//! [`QueueStats`] snapshot reports depth, high-water mark and shed/admit
+//! counters for observability.
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
@@ -117,6 +125,108 @@ impl TaskQueue {
     }
 }
 
+/// Point-in-time snapshot of a bounded launch queue ([`LaunchGauge`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct QueueStats {
+    /// Launches currently admitted and not yet completed.
+    pub depth: u64,
+    /// Highest depth ever observed.
+    pub high_water: u64,
+    /// Depth bound; `None` means unbounded.
+    pub capacity: Option<u64>,
+    /// Launches admitted into the queue since creation.
+    pub admitted: u64,
+    /// Launches shed (refused at the bound) since creation — the
+    /// drop-newest policy: the *arriving* launch is the one rejected.
+    pub shed: u64,
+}
+
+/// A bounded in-flight launch counter with drop-newest shedding.
+///
+/// The daemon keeps one gauge per session and one daemon-wide: a launch is
+/// admitted only if [`LaunchGauge::try_push`] succeeds on both, and popped
+/// when its execution finishes (successfully or not). The gauge never
+/// blocks — over-bound arrivals are shed immediately, which is what turns
+/// an unbounded queue under overload into backpressure the client can see.
+#[derive(Debug)]
+pub struct LaunchGauge {
+    capacity: Option<u64>,
+    depth: AtomicU64,
+    high_water: AtomicU64,
+    admitted: AtomicU64,
+    shed: AtomicU64,
+}
+
+impl LaunchGauge {
+    /// A gauge bounded at `capacity` in-flight launches (`None` =
+    /// unbounded, counting only).
+    pub fn new(capacity: Option<u64>) -> Self {
+        Self {
+            capacity,
+            depth: AtomicU64::new(0),
+            high_water: AtomicU64::new(0),
+            admitted: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+        }
+    }
+
+    /// Tries to admit one launch. Returns `false` (and counts a shed) if
+    /// the queue is at capacity; the arriving launch is the one dropped.
+    pub fn try_push(&self) -> bool {
+        let prev = self.depth.fetch_add(1, Ordering::AcqRel);
+        if let Some(cap) = self.capacity {
+            if prev >= cap {
+                self.depth.fetch_sub(1, Ordering::AcqRel);
+                self.shed.fetch_add(1, Ordering::Relaxed);
+                return false;
+            }
+        }
+        self.admitted.fetch_add(1, Ordering::Relaxed);
+        self.high_water.fetch_max(prev + 1, Ordering::AcqRel);
+        true
+    }
+
+    /// Records a shed that happened before the depth check (e.g. an
+    /// up-front deadline-feasibility rejection).
+    pub fn record_shed(&self) {
+        self.shed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Releases one admitted launch.
+    pub fn pop(&self) {
+        let prev = self.depth.fetch_sub(1, Ordering::AcqRel);
+        debug_assert!(prev > 0, "pop without matching push");
+    }
+
+    /// Rolls back a successful [`LaunchGauge::try_push`] whose launch was
+    /// ultimately shed elsewhere (e.g. this gauge admitted but the global
+    /// gauge refused): the admission is undone and recounted as a shed, so
+    /// `admitted` still equals completions and `admitted + shed` still
+    /// equals attempts.
+    pub fn cancel(&self) {
+        let prev = self.depth.fetch_sub(1, Ordering::AcqRel);
+        debug_assert!(prev > 0, "cancel without matching push");
+        self.admitted.fetch_sub(1, Ordering::Relaxed);
+        self.shed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Current number of admitted, uncompleted launches.
+    pub fn depth(&self) -> u64 {
+        self.depth.load(Ordering::Acquire)
+    }
+
+    /// Snapshot of the gauge.
+    pub fn stats(&self) -> QueueStats {
+        QueueStats {
+            depth: self.depth.load(Ordering::Acquire),
+            high_water: self.high_water.load(Ordering::Acquire),
+            capacity: self.capacity,
+            admitted: self.admitted.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -203,5 +313,78 @@ mod tests {
         let q = TaskQueue::new(0, 10);
         assert!(q.drained());
         assert!(q.pull().is_none());
+    }
+
+    #[test]
+    fn gauge_sheds_newest_at_capacity_and_tracks_high_water() {
+        let g = LaunchGauge::new(Some(2));
+        assert!(g.try_push());
+        assert!(g.try_push());
+        assert!(!g.try_push(), "third launch is shed, drop-newest");
+        assert!(!g.try_push());
+        let s = g.stats();
+        assert_eq!(s.depth, 2);
+        assert_eq!(s.high_water, 2);
+        assert_eq!(s.admitted, 2);
+        assert_eq!(s.shed, 2);
+        assert_eq!(s.capacity, Some(2));
+        g.pop();
+        assert!(g.try_push(), "capacity freed by a pop");
+        g.pop();
+        g.pop();
+        let s = g.stats();
+        assert_eq!(s.depth, 0);
+        assert_eq!(s.high_water, 2, "high-water mark persists");
+        assert_eq!(s.admitted, 3);
+    }
+
+    #[test]
+    fn gauge_cancel_rolls_back_an_admission() {
+        let g = LaunchGauge::new(Some(4));
+        assert!(g.try_push());
+        assert!(g.try_push());
+        g.cancel();
+        let s = g.stats();
+        assert_eq!(s.depth, 1);
+        assert_eq!(s.admitted, 1);
+        assert_eq!(s.shed, 1);
+        assert_eq!(s.admitted + s.shed, 2, "attempts are conserved");
+    }
+
+    #[test]
+    fn unbounded_gauge_only_counts() {
+        let g = LaunchGauge::new(None);
+        for _ in 0..100 {
+            assert!(g.try_push());
+        }
+        assert_eq!(g.depth(), 100);
+        assert_eq!(g.stats().shed, 0);
+        g.record_shed();
+        assert_eq!(g.stats().shed, 1, "explicit sheds are recorded");
+    }
+
+    #[test]
+    fn gauge_is_consistent_under_concurrent_push_pop() {
+        let g = Arc::new(LaunchGauge::new(Some(8)));
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let g = g.clone();
+            handles.push(std::thread::spawn(move || {
+                let mut admitted = 0u64;
+                for _ in 0..1_000 {
+                    if g.try_push() {
+                        admitted += 1;
+                        g.pop();
+                    }
+                }
+                admitted
+            }));
+        }
+        let total: u64 = handles.into_iter().map(|h| h.join().unwrap()).sum();
+        let s = g.stats();
+        assert_eq!(s.depth, 0, "all pushes were popped");
+        assert_eq!(s.admitted, total);
+        assert_eq!(s.admitted + s.shed, 4_000);
+        assert!(s.high_water <= 8, "bound never exceeded: {}", s.high_water);
     }
 }

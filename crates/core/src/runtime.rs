@@ -22,7 +22,7 @@
 
 use crate::partition::partition;
 use crate::profile::ProfileTable;
-use crate::select::find_partner;
+use crate::select::{select_partner_aged, PartnerCandidate, PartnerChoice};
 use slate_baselines::runtime::{AppResult, RunOutcome, Runtime};
 use slate_gpu_sim::device::{DeviceConfig, SmRange};
 use slate_gpu_sim::engine::{Dir, Engine, Event, SliceId, SliceSpec, TimerId, TransferId};
@@ -60,6 +60,11 @@ pub struct SlateOptions {
     /// the application default (extension: the profiler already sweeps
     /// Fig. 5's candidates on the first run).
     pub autotune_task_size: bool,
+    /// Starvation bound for the wait-aware selector, in simulated seconds.
+    /// A process that has been ready longer than this refuses co-running
+    /// and is dispatched solo ahead of round-robin order as soon as the
+    /// device frees. `None` (the default) disables aging.
+    pub starvation_bound_s: Option<f64>,
 }
 
 impl Default for SlateOptions {
@@ -73,6 +78,7 @@ impl Default for SlateOptions {
             force_task_size: None,
             use_hardware_exec: false,
             autotune_task_size: false,
+            starvation_bound_s: None,
         }
     }
 }
@@ -128,6 +134,9 @@ enum Phase {
 struct Proc {
     app: AppSpec,
     phase: Phase,
+    /// Simulated time at which the process last became `Ready` — feeds the
+    /// wait-aware selector and the starvation bound.
+    ready_since: f64,
     launches_done: u32,
     timer: Option<TimerId>,
     transfer: Option<TransferId>,
@@ -192,6 +201,7 @@ impl Sim {
                 Proc {
                     app: app.clone(),
                     phase: Phase::Setup,
+                    ready_since: 0.0,
                     launches_done: 0,
                     timer: None,
                     transfer: None,
@@ -346,10 +356,12 @@ impl Sim {
 
     /// Bookkeeping when a launch of `proc` completes (drain or resize race).
     fn finish_launch(&mut self, proc: usize) {
+        let now = self.engine.now();
         let p = &mut self.procs[proc];
         p.launches_done += 1;
         if p.launches_done < p.app.launches {
             p.phase = Phase::Ready;
+            p.ready_since = now;
         } else {
             p.phase = Phase::D2h;
             let bytes = p.app.d2h_bytes;
@@ -380,12 +392,51 @@ impl Sim {
             .collect()
     }
 
+    /// The `ready` set as wait-aware selection candidates. `order` is the
+    /// process index — stable across the whole run, so equal waits always
+    /// break the same way regardless of round-robin cursor state.
+    fn partner_candidates(&self, ready: &[usize]) -> Vec<PartnerCandidate> {
+        let now = self.engine.now();
+        ready
+            .iter()
+            .map(|&i| PartnerCandidate {
+                class: self.procs[i].class,
+                waited_s: (now - self.procs[i].ready_since).max(0.0),
+                order: i as u64,
+            })
+            .collect()
+    }
+
+    /// Picks the process to take the empty device: the longest-starved
+    /// ready process if the aging bound is set and crossed (ties to the
+    /// lower index), otherwise the round-robin head.
+    fn next_solo(&self, ready: &[usize]) -> Option<usize> {
+        let &first = ready.first()?;
+        let Some(bound) = self.opts.starvation_bound_s else {
+            return Some(first);
+        };
+        let now = self.engine.now();
+        Some(
+            ready
+                .iter()
+                .copied()
+                .filter(|&i| now - self.procs[i].ready_since >= bound)
+                .max_by(|&a, &b| {
+                    (now - self.procs[a].ready_since)
+                        .total_cmp(&(now - self.procs[b].ready_since))
+                        .then_with(|| b.cmp(&a))
+                })
+                .unwrap_or(first),
+        )
+    }
+
     /// The scheduling decision procedure (Fig. 4): fill the device with a
     /// solo kernel, then try to admit a complementary partner.
     fn schedule(&mut self) {
-        // Admit a solo kernel if the device is empty.
+        // Admit a solo kernel if the device is empty. Starved processes
+        // (past `starvation_bound_s`) jump the round-robin order.
         if self.residents.is_empty() {
-            let Some(&next) = self.ready_procs().first() else {
+            let Some(next) = self.next_solo(&self.ready_procs()) else {
                 return;
             };
             self.rr = (next + 1) % self.procs.len();
@@ -406,8 +457,10 @@ impl Sim {
             if ready.is_empty() {
                 return;
             }
-            let classes: Vec<_> = ready.iter().map(|&i| self.procs[i].class).collect();
-            if let Some(k) = find_partner(self.procs[active].class, &classes, 0) {
+            let cands = self.partner_candidates(&ready);
+            if let PartnerChoice::Corun(k) =
+                select_partner_aged(self.procs[active].class, &cands, self.opts.starvation_bound_s)
+            {
                 let partner = ready[k];
                 let part = partition(
                     &self.cfg,
@@ -424,6 +477,9 @@ impl Sim {
                     self.schedule();
                 }
             }
+            // `PromoteSolo` and `NoPartner` both leave the resident alone:
+            // a starved process refuses co-running and instead takes the
+            // device solo (via `next_solo`) at the next drain.
         }
     }
 
@@ -469,14 +525,18 @@ impl Sim {
                     .into_iter()
                     .filter(|&i| !self.procs[i].app.pinned_solo)
                     .collect();
-                let classes: Vec<_> = ready.iter().map(|&i| self.procs[i].class).collect();
-                let partner = if self.opts.enable_corun && !self.procs[surv.proc].app.pinned_solo {
-                    find_partner(self.procs[surv.proc].class, &classes, 0)
+                let choice = if self.opts.enable_corun && !self.procs[surv.proc].app.pinned_solo {
+                    let cands = self.partner_candidates(&ready);
+                    select_partner_aged(
+                        self.procs[surv.proc].class,
+                        &cands,
+                        self.opts.starvation_bound_s,
+                    )
                 } else {
-                    None
+                    PartnerChoice::NoPartner
                 };
-                match partner {
-                    Some(k) => {
+                match choice {
+                    PartnerChoice::Corun(k) => {
                         let partner = ready[k];
                         let part = partition(
                             &self.cfg,
@@ -490,7 +550,10 @@ impl Sim {
                             self.schedule();
                         }
                     }
-                    None => {
+                    // A starved waiter refuses co-running; the survivor
+                    // keeps the device (and grows) until it drains, then
+                    // `next_solo` hands the device to the starved process.
+                    PartnerChoice::PromoteSolo(_) | PartnerChoice::NoPartner => {
                         if self.opts.enable_resize {
                             // Grow the survivor to the full device.
                             self.resize(0, SmRange::all(self.cfg.num_sms));
@@ -540,6 +603,7 @@ impl Sim {
                     match self.procs[i].phase {
                         Phase::H2d => {
                             self.procs[i].phase = Phase::Ready;
+                            self.procs[i].ready_since = now;
                             self.schedule();
                         }
                         Phase::D2h => {
@@ -730,6 +794,61 @@ mod tests {
             solo.makespan_s
         );
         assert_eq!(solo.trace.resizes(0) + solo.trace.resizes(1), 0, "no resizes when solo-pinned");
+    }
+
+    #[test]
+    fn zero_starvation_bound_forfeits_all_coruns() {
+        // With a zero aging bound every ready process is instantly starved:
+        // the selector never pairs kernels, so the profitable BS-RG corun
+        // is forfeited and the pair degenerates to solo alternation.
+        let corun = SlateRuntime::new(titan());
+        let aged = SlateRuntime::with_options(
+            titan(),
+            SlateOptions {
+                starvation_bound_s: Some(0.0),
+                ..SlateOptions::default()
+            },
+        );
+        let apps = [
+            Benchmark::BS.app().scaled_down(20),
+            Benchmark::RG.app().scaled_down(20),
+        ];
+        let paired = corun.run(&apps);
+        let solo = aged.run(&apps);
+        assert_eq!(
+            solo.trace.resizes(0) + solo.trace.resizes(1),
+            0,
+            "a starved waiter must never join a corun"
+        );
+        assert!(solo.apps.iter().all(|r| r.end_s > 0.0));
+        assert!(
+            solo.makespan_s > paired.makespan_s * 1.15,
+            "aging past the bound must forfeit the corun gain: {} vs {}",
+            paired.makespan_s,
+            solo.makespan_s
+        );
+    }
+
+    #[test]
+    fn generous_starvation_bound_leaves_schedule_unchanged() {
+        // A bound far beyond the run's duration never trips, so the aged
+        // selector reduces to the deterministic wait-aware choice and the
+        // schedule (hence the makespan) is identical to the default.
+        let default_rt = SlateRuntime::new(titan());
+        let aged = SlateRuntime::with_options(
+            titan(),
+            SlateOptions {
+                starvation_bound_s: Some(1e9),
+                ..SlateOptions::default()
+            },
+        );
+        let apps = [
+            Benchmark::BS.app().scaled_down(20),
+            Benchmark::RG.app().scaled_down(20),
+        ];
+        let a = default_rt.run(&apps);
+        let b = aged.run(&apps);
+        assert_eq!(a.makespan_s, b.makespan_s);
     }
 
     #[test]

@@ -7,7 +7,8 @@
 //! co-running wins when `max(T'_k, T'_{k+1}) < T_k + T_{k+1}`.
 
 use crate::classify::WorkloadClass;
-use crate::policy::should_corun;
+use crate::policy::{should_corun, should_corun_aged};
+use std::cmp::Reverse;
 
 /// ANTT of consecutive solo executions (the CUDA default): `T_k + T_{k+1}`.
 pub fn antt_consecutive(t_a: f64, t_b: f64) -> f64 {
@@ -48,6 +49,84 @@ pub fn find_partner(
     (0..n)
         .map(|k| (cursor + k) % n.max(1))
         .find(|&i| should_corun(active, waiting[i]))
+}
+
+/// A waiting kernel as seen by the wait-aware selector.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PartnerCandidate {
+    /// The candidate's workload class.
+    pub class: WorkloadClass,
+    /// How long the candidate has waited in the queue, in seconds.
+    pub waited_s: f64,
+    /// Stable arrival order (lower = arrived earlier). This is the
+    /// deterministic tie-break when wait times compare equal.
+    pub order: u64,
+}
+
+/// Deterministic, wait-aware partner choice: among candidates complementary
+/// to `active` (Table I symmetric closure), pick the one that has waited
+/// longest; break exact wait-time ties by stable arrival order. Returns the
+/// index into `candidates`.
+///
+/// This replaces the round-robin-cursor scan of [`find_partner`] for
+/// callers that track per-kernel wait times — the cursor scan picks
+/// whichever complementary candidate the cursor happens to land on, which
+/// is nondeterministic across runs when the cursor state differs.
+pub fn select_partner(active: WorkloadClass, candidates: &[PartnerCandidate]) -> Option<usize> {
+    candidates
+        .iter()
+        .enumerate()
+        .filter(|(_, c)| should_corun(active, c.class))
+        .max_by(|(_, a), (_, b)| {
+            a.waited_s
+                .total_cmp(&b.waited_s)
+                .then_with(|| Reverse(a.order).cmp(&Reverse(b.order)))
+        })
+        .map(|(i, _)| i)
+}
+
+/// Outcome of an aging-aware selection round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PartnerChoice {
+    /// Co-run the candidate at this index with the active kernel.
+    Corun(usize),
+    /// The candidate at this index has starved past the bound: dispatch it
+    /// solo as soon as the device frees, ahead of any co-run pairing.
+    PromoteSolo(usize),
+    /// No candidate is eligible; the active kernel keeps the device.
+    NoPartner,
+}
+
+/// Wait-aware selection with starvation aging. A candidate whose wait
+/// meets or exceeds `bound_s` is *starved*: it refuses co-running
+/// ([`should_corun_aged`]) and is promoted to a solo dispatch instead —
+/// the longest-starved first, ties broken by arrival order. Without
+/// starved candidates this reduces to [`select_partner`]. `bound_s = None`
+/// disables aging entirely.
+pub fn select_partner_aged(
+    active: WorkloadClass,
+    candidates: &[PartnerCandidate],
+    bound_s: Option<f64>,
+) -> PartnerChoice {
+    if let Some(bound) = bound_s {
+        let starved = candidates
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.waited_s >= bound)
+            .max_by(|(_, a), (_, b)| {
+                a.waited_s
+                    .total_cmp(&b.waited_s)
+                    .then_with(|| Reverse(a.order).cmp(&Reverse(b.order)))
+            });
+        if let Some((i, c)) = starved {
+            debug_assert!(!should_corun_aged(active, c.class, true));
+            return PartnerChoice::PromoteSolo(i);
+        }
+    }
+    match select_partner(active, candidates) {
+        Some(i) => PartnerChoice::Corun(i),
+        None => PartnerChoice::NoPartner,
+    }
 }
 
 #[cfg(test)]
@@ -94,5 +173,71 @@ mod tests {
         assert_eq!(find_partner(MM, &waiting, 0), Some(0));
         assert_eq!(find_partner(MM, &waiting, 1), Some(2));
         assert_eq!(find_partner(MM, &waiting, 2), Some(2));
+    }
+
+    fn cand(class: WorkloadClass, waited_s: f64, order: u64) -> PartnerCandidate {
+        PartnerCandidate { class, waited_s, order }
+    }
+
+    #[test]
+    fn select_partner_prefers_longest_wait() {
+        let cands = [cand(LC, 0.5, 0), cand(MM, 9.0, 1), cand(LC, 2.0, 2)];
+        // Active MM: MM candidate is not complementary despite its wait.
+        assert_eq!(select_partner(MM, &cands), Some(2));
+    }
+
+    #[test]
+    fn equal_scores_tie_break_deterministically_by_arrival_order() {
+        // Regression: the cursor scan returned whichever complementary
+        // candidate the rotating cursor landed on. With identical waits the
+        // earliest arrival must win, every time.
+        let cands = [cand(LC, 1.0, 7), cand(LC, 1.0, 3), cand(LC, 1.0, 5)];
+        for _ in 0..16 {
+            assert_eq!(select_partner(MM, &cands), Some(1));
+        }
+        // Reordering the slice cannot change which *kernel* wins.
+        let swapped = [cands[2], cands[0], cands[1]];
+        assert_eq!(select_partner(MM, &swapped), Some(2));
+        assert_eq!(swapped[2].order, 3);
+    }
+
+    #[test]
+    fn select_partner_none_when_nothing_complementary() {
+        assert_eq!(select_partner(MM, &[cand(MM, 4.0, 0), cand(HM, 2.0, 1)]), None);
+        assert_eq!(select_partner(MM, &[]), None);
+    }
+
+    #[test]
+    fn aging_promotes_starved_candidate_over_profitable_corun() {
+        // A fresh LC would be a profitable partner for the active MM, but
+        // the MM candidate has starved past the bound: it is promoted solo.
+        let cands = [cand(LC, 0.1, 0), cand(MM, 5.0, 1)];
+        assert_eq!(
+            select_partner_aged(MM, &cands, Some(3.0)),
+            PartnerChoice::PromoteSolo(1)
+        );
+        // Below the bound the normal policy applies.
+        assert_eq!(
+            select_partner_aged(MM, &cands, Some(10.0)),
+            PartnerChoice::Corun(0)
+        );
+        // Aging disabled: identical to select_partner.
+        assert_eq!(
+            select_partner_aged(MM, &cands, None),
+            PartnerChoice::Corun(0)
+        );
+    }
+
+    #[test]
+    fn aging_ties_break_by_arrival_and_fall_through_to_no_partner() {
+        let cands = [cand(HM, 4.0, 9), cand(MM, 4.0, 2)];
+        assert_eq!(
+            select_partner_aged(LC, &cands, Some(4.0)),
+            PartnerChoice::PromoteSolo(1)
+        );
+        assert_eq!(
+            select_partner_aged(MM, &[cand(MM, 0.5, 0)], Some(4.0)),
+            PartnerChoice::NoPartner
+        );
     }
 }

@@ -121,6 +121,65 @@ fn vanished_client_is_reaped_and_corunner_finishes() {
 }
 
 #[test]
+fn reap_races_queued_lane_launches_without_leaking() {
+    // The client vanishes while several launches are still queued on a
+    // stream lane. The reap must drain the lane (completing every
+    // admitted launch so the admission counters balance), free the
+    // session's allocations, release arbiter residency, and leave the
+    // co-runner untouched.
+    let daemon = SlateDaemon::start(DeviceConfig::tiny(8), 1 << 24);
+    let n = 4_000usize;
+
+    let a = SlateClient::new(daemon.connect("vanishes-mid-queue").unwrap());
+    let pa = a.malloc((n * 4) as u64).unwrap();
+    a.upload_f32(pa, &vec![0.0f32; n]).unwrap();
+    for _ in 0..4 {
+        let perf = hm_perf("queued-hm");
+        a.launch_on_stream(1, vec![pa], 5, move |bufs| {
+            Arc::new(AddKernel {
+                n,
+                delta: 1.0,
+                perf,
+                buf: bufs[0].clone(),
+            }) as Arc<dyn GpuKernel>
+        })
+        .unwrap();
+    }
+    // Channel severed with the lane mid-burst: the race under test.
+    drop(a);
+
+    // The co-runner is served correctly throughout the reap.
+    let b = SlateClient::new(daemon.connect("bystander").unwrap());
+    let pb = b.malloc((n * 4) as u64).unwrap();
+    b.upload_f32(pb, &vec![0.0f32; n]).unwrap();
+    for _ in 0..3 {
+        launch_add(&b, pb, n, 2.0, lc_perf("bystander-lc"));
+    }
+    b.synchronize().unwrap();
+    assert_eq!(b.download_f32(pb, n).unwrap(), vec![6.0f32; n]);
+
+    wait_for("session reap", || daemon.reaped_sessions() == 1);
+    wait_for("allocation reclaim", || daemon.live_allocations() == 1);
+    // The lane drained every queued launch before the reap finished:
+    // nothing left pending, and every admission was completed.
+    wait_for("queue drain", || daemon.queue_stats().depth == 0);
+    let m = daemon.metrics();
+    assert_eq!(
+        m.queue.admitted,
+        m.admission.launches_completed + m.admission.launches_failed,
+        "{m:?}"
+    );
+    assert_eq!(m.queue.admitted, 7, "4 queued + 3 co-runner launches");
+    assert_eq!(m.arbiter_residents, 0);
+
+    b.free(pb).unwrap();
+    b.disconnect().unwrap();
+    daemon.join();
+    assert_eq!(daemon.live_allocations(), 0);
+    assert_eq!(daemon.hyperq_lanes(), 0);
+}
+
+#[test]
 fn watchdog_evicts_hung_kernel_while_corunner_completes() {
     // The first launch of "hm-hang" never returns from its blocks; the
     // watchdog must evict it via the retreat flag without disturbing the
