@@ -1,38 +1,32 @@
-//! Admission control and overload protection for the Slate daemon.
+//! Admission-control configuration and observability types.
 //!
 //! The daemon serves kernels from many independent host processes (paper
 //! §III); without limits a burst of clients grows unbounded pending-launch
-//! queues and wedges the arbiter. The [`AdmissionController`] is the
-//! daemon-wide gatekeeper: it enforces configurable bounds on concurrent
-//! sessions, pending launches (per session and globally, through
-//! [`LaunchGauge`]s), and device-memory pressure, shedding over-limit
-//! requests with [`SlateError::Overloaded`] whose `retry_after_ms` hint is
-//! computed from the work currently queued. Deadline-carrying launches are
-//! rejected up front when the estimated queue wait (from
-//! [`ProfileTable`](crate::profile::ProfileTable) solo times) already
-//! exceeds the deadline — the kernel could only ever time out, so running
-//! it would waste device time that on-time work needs.
+//! queues and wedges the scheduler. [`AdmissionLimits`] configures the
+//! bounds — concurrent sessions, pending launches (per session and
+//! globally, through [`LaunchGauge`](crate::queue::LaunchGauge)s), and
+//! device-memory pressure. The *enforcement* lives in the shared
+//! arbitration core ([`crate::arbiter::ArbiterCore`]): over-limit requests
+//! are answered with
+//! [`Command::RejectOverloaded`](crate::arbiter::Command::RejectOverloaded),
+//! which the daemon translates to
+//! [`SlateError::Overloaded`](crate::error::SlateError::Overloaded) on the
+//! wire.
 //!
-//! The controller also aggregates the daemon's observable counters into a
-//! single [`DaemonMetrics`] snapshot, the one stable surface future
-//! observability work builds on.
+//! This module keeps the configuration and the stable observability
+//! surface: [`AdmissionStats`] and the aggregate [`DaemonMetrics`]
+//! snapshot future observability work builds on.
 
-use crate::error::SlateError;
-use crate::queue::{LaunchGauge, QueueStats};
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::Arc;
-
-/// Fallback per-launch estimate (milliseconds) used for retry hints when
-/// pending kernels are unprofiled.
-const DEFAULT_LAUNCH_EST_MS: u64 = 10;
+use crate::queue::QueueStats;
+use serde::{Deserialize, Serialize};
 
 /// Configurable admission limits. The default is fully permissive —
 /// admission control is opt-in and the daemon behaves exactly as before
 /// unless a bound is set.
-#[derive(Debug, Clone, Copy, PartialEq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
 pub struct AdmissionLimits {
     /// Maximum concurrently connected sessions; further `connect`s are
-    /// shed with [`SlateError::Overloaded`].
+    /// shed with [`SlateError::Overloaded`](crate::error::SlateError).
     pub max_sessions: Option<usize>,
     /// Maximum pending (admitted, uncompleted) launches per session.
     pub max_pending_per_session: Option<u64>,
@@ -41,18 +35,9 @@ pub struct AdmissionLimits {
     /// Memory-pressure watermark as a fraction of pool capacity in
     /// `(0, 1]`: an allocation that would push usage past
     /// `watermark * capacity` is shed (distinct from a hard
-    /// [`SlateError::OutOfMemory`], which means the pool itself refused).
+    /// [`SlateError::OutOfMemory`](crate::error::SlateError), which means
+    /// the pool itself refused).
     pub mem_watermark: Option<f64>,
-}
-
-/// Proof that a launch passed admission; consumed by
-/// [`AdmissionController::complete_launch`] when the launch finishes. Not
-/// `Copy`/`Clone` on purpose: exactly one completion per admission keeps
-/// the counters balanced.
-#[derive(Debug)]
-#[must_use = "an admitted launch must be completed or the counters drift"]
-pub struct LaunchTicket {
-    est_ms: u64,
 }
 
 /// Point-in-time snapshot of the admission counters.
@@ -82,7 +67,7 @@ pub struct AdmissionStats {
 /// that already existed as individual accessors.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DaemonMetrics {
-    /// Daemon-wide launch-queue snapshot (the global [`LaunchGauge`]).
+    /// Daemon-wide launch-queue snapshot (the global launch gauge).
     pub queue: QueueStats,
     /// Admission counters.
     pub admission: AdmissionStats,
@@ -102,331 +87,8 @@ pub struct DaemonMetrics {
     pub starvation_promotions: u64,
     /// Fault-plan rules that have fired (0 outside injection tests).
     pub faults_fired: usize,
-}
-
-/// The daemon-wide admission gatekeeper. All methods are lock-free and
-/// callable from any session or lane thread.
-#[derive(Debug)]
-pub struct AdmissionController {
-    limits: AdmissionLimits,
-    /// Daemon-wide pending-launch gauge (bounded by
-    /// [`AdmissionLimits::max_pending_global`]).
-    global: LaunchGauge,
-    active_sessions: AtomicUsize,
-    sessions_admitted: AtomicU64,
-    sessions_rejected: AtomicU64,
-    launches_completed: AtomicU64,
-    launches_failed: AtomicU64,
-    deadline_rejections: AtomicU64,
-    mallocs_shed: AtomicU64,
-    /// Sum of the solo-time estimates of every pending launch — the
-    /// daemon's best guess at the current queue wait.
-    pending_est_ms: AtomicU64,
-}
-
-impl AdmissionController {
-    /// A controller enforcing `limits`.
-    pub fn new(limits: AdmissionLimits) -> Self {
-        Self {
-            limits,
-            global: LaunchGauge::new(limits.max_pending_global),
-            active_sessions: AtomicUsize::new(0),
-            sessions_admitted: AtomicU64::new(0),
-            sessions_rejected: AtomicU64::new(0),
-            launches_completed: AtomicU64::new(0),
-            launches_failed: AtomicU64::new(0),
-            deadline_rejections: AtomicU64::new(0),
-            mallocs_shed: AtomicU64::new(0),
-            pending_est_ms: AtomicU64::new(0),
-        }
-    }
-
-    /// The limits this controller enforces.
-    pub fn limits(&self) -> AdmissionLimits {
-        self.limits
-    }
-
-    /// A fresh per-session launch gauge bounded by
-    /// [`AdmissionLimits::max_pending_per_session`].
-    pub fn new_session_gauge(&self) -> Arc<LaunchGauge> {
-        Arc::new(LaunchGauge::new(self.limits.max_pending_per_session))
-    }
-
-    /// The daemon's retry hint, in milliseconds: the estimated pending
-    /// work if any kernel is profiled, otherwise a default per-launch
-    /// estimate times the queue depth. Always ≥ 1 so a shed is
-    /// distinguishable from "retry immediately".
-    fn retry_after_ms(&self) -> u64 {
-        let est = self.pending_est_ms.load(Ordering::Relaxed);
-        if est > 0 {
-            est
-        } else {
-            (self.global.depth().saturating_mul(DEFAULT_LAUNCH_EST_MS)).max(1)
-        }
-    }
-
-    fn overloaded(&self) -> SlateError {
-        SlateError::Overloaded {
-            retry_after_ms: self.retry_after_ms(),
-        }
-    }
-
-    /// Admits a new session, or sheds it at the `max_sessions` bound.
-    pub fn admit_session(&self) -> Result<(), SlateError> {
-        if let Some(max) = self.limits.max_sessions {
-            let raced = self
-                .active_sessions
-                .fetch_update(Ordering::AcqRel, Ordering::Acquire, |n| {
-                    (n < max).then_some(n + 1)
-                })
-                .is_err();
-            if raced {
-                self.sessions_rejected.fetch_add(1, Ordering::Relaxed);
-                return Err(self.overloaded());
-            }
-        } else {
-            self.active_sessions.fetch_add(1, Ordering::AcqRel);
-        }
-        self.sessions_admitted.fetch_add(1, Ordering::Relaxed);
-        Ok(())
-    }
-
-    /// Releases an admitted session (clean disconnect and reap alike).
-    pub fn end_session(&self) {
-        let prev = self.active_sessions.fetch_sub(1, Ordering::AcqRel);
-        debug_assert!(prev > 0, "end_session without matching admit");
-    }
-
-    /// Admits one launch against the session's gauge and the global gauge,
-    /// with an up-front deadline-feasibility check. `est_ms` is the
-    /// kernel's estimated solo time (from the profile table; `None` on
-    /// first run — unprofiled kernels are admitted optimistically).
-    /// `deadline_ms` is the launch's watchdog deadline, if it carries one.
-    pub fn admit_launch(
-        &self,
-        session: &LaunchGauge,
-        est_ms: Option<u64>,
-        deadline_ms: Option<u64>,
-    ) -> Result<LaunchTicket, SlateError> {
-        if let Some(deadline) = deadline_ms {
-            let queue_wait = self.pending_est_ms.load(Ordering::Relaxed);
-            if queue_wait > deadline {
-                // The kernel could only ever be evicted; shed it now
-                // instead of wasting device time the queue needs.
-                self.deadline_rejections.fetch_add(1, Ordering::Relaxed);
-                session.record_shed();
-                self.global.record_shed();
-                return Err(SlateError::Overloaded {
-                    retry_after_ms: queue_wait.max(1),
-                });
-            }
-        }
-        if !session.try_push() {
-            self.global.record_shed();
-            return Err(self.overloaded());
-        }
-        if !self.global.try_push() {
-            session.cancel();
-            return Err(self.overloaded());
-        }
-        let est_ms = est_ms.unwrap_or(0);
-        self.pending_est_ms.fetch_add(est_ms, Ordering::Relaxed);
-        Ok(LaunchTicket { est_ms })
-    }
-
-    /// Completes an admitted launch: releases both gauges and counts the
-    /// outcome.
-    pub fn complete_launch(&self, session: &LaunchGauge, ticket: LaunchTicket, ok: bool) {
-        session.pop();
-        self.global.pop();
-        // Saturating: concurrent completions can interleave with loads,
-        // but the counter can never go negative.
-        let _ = self.pending_est_ms.fetch_update(
-            Ordering::Relaxed,
-            Ordering::Relaxed,
-            |v| Some(v.saturating_sub(ticket.est_ms)),
-        );
-        if ok {
-            self.launches_completed.fetch_add(1, Ordering::Relaxed);
-        } else {
-            self.launches_failed.fetch_add(1, Ordering::Relaxed);
-        }
-    }
-
-    /// Applies the memory-pressure watermark to an allocation request:
-    /// `used + requested` may not exceed `watermark * capacity`. Without a
-    /// watermark every request passes (the pool itself still enforces
-    /// capacity with a hard [`SlateError::OutOfMemory`]).
-    pub fn admit_malloc(
-        &self,
-        used: u64,
-        capacity: u64,
-        requested: u64,
-    ) -> Result<(), SlateError> {
-        if let Some(w) = self.limits.mem_watermark {
-            let limit = (w.clamp(0.0, 1.0) * capacity as f64) as u64;
-            if used.saturating_add(requested) > limit {
-                self.mallocs_shed.fetch_add(1, Ordering::Relaxed);
-                return Err(self.overloaded());
-            }
-        }
-        Ok(())
-    }
-
-    /// Snapshot of the daemon-wide launch queue.
-    pub fn queue_stats(&self) -> QueueStats {
-        self.global.stats()
-    }
-
-    /// Snapshot of the admission counters.
-    pub fn stats(&self) -> AdmissionStats {
-        AdmissionStats {
-            active_sessions: self.active_sessions.load(Ordering::Acquire),
-            sessions_admitted: self.sessions_admitted.load(Ordering::Relaxed),
-            sessions_rejected: self.sessions_rejected.load(Ordering::Relaxed),
-            launches_completed: self.launches_completed.load(Ordering::Relaxed),
-            launches_failed: self.launches_failed.load(Ordering::Relaxed),
-            deadline_rejections: self.deadline_rejections.load(Ordering::Relaxed),
-            mallocs_shed: self.mallocs_shed.load(Ordering::Relaxed),
-            pending_est_ms: self.pending_est_ms.load(Ordering::Relaxed),
-        }
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    fn bounded(limits: AdmissionLimits) -> AdmissionController {
-        AdmissionController::new(limits)
-    }
-
-    #[test]
-    fn session_limit_sheds_with_positive_hint() {
-        let ac = bounded(AdmissionLimits {
-            max_sessions: Some(2),
-            ..Default::default()
-        });
-        ac.admit_session().unwrap();
-        ac.admit_session().unwrap();
-        let err = ac.admit_session().unwrap_err();
-        match err {
-            SlateError::Overloaded { retry_after_ms } => assert!(retry_after_ms >= 1),
-            other => panic!("expected Overloaded, got {other}"),
-        }
-        ac.end_session();
-        ac.admit_session().unwrap();
-        let s = ac.stats();
-        assert_eq!(s.active_sessions, 2);
-        assert_eq!(s.sessions_admitted, 3);
-        assert_eq!(s.sessions_rejected, 1);
-    }
-
-    #[test]
-    fn per_session_bound_sheds_before_the_global_bound() {
-        let ac = bounded(AdmissionLimits {
-            max_pending_per_session: Some(1),
-            max_pending_global: Some(10),
-            ..Default::default()
-        });
-        let g = ac.new_session_gauge();
-        let t = ac.admit_launch(&g, Some(5), None).unwrap();
-        assert!(ac.admit_launch(&g, Some(5), None).is_err());
-        assert_eq!(g.stats().shed, 1);
-        assert_eq!(ac.queue_stats().shed, 1, "global gauge counts the shed too");
-        ac.complete_launch(&g, t, true);
-        assert_eq!(ac.stats().launches_completed, 1);
-        assert_eq!(ac.stats().pending_est_ms, 0);
-    }
-
-    #[test]
-    fn global_bound_rolls_back_the_session_admission() {
-        let ac = bounded(AdmissionLimits {
-            max_pending_global: Some(1),
-            ..Default::default()
-        });
-        let ga = ac.new_session_gauge();
-        let gb = ac.new_session_gauge();
-        let t = ac.admit_launch(&ga, None, None).unwrap();
-        let err = ac.admit_launch(&gb, None, None).unwrap_err();
-        assert!(matches!(err, SlateError::Overloaded { .. }));
-        let sb = gb.stats();
-        assert_eq!(sb.depth, 0, "session admission rolled back");
-        assert_eq!(sb.admitted, 0);
-        assert_eq!(sb.shed, 1);
-        ac.complete_launch(&ga, t, false);
-        assert_eq!(ac.stats().launches_failed, 1);
-        assert_eq!(ac.queue_stats().depth, 0);
-    }
-
-    #[test]
-    fn infeasible_deadline_is_rejected_up_front() {
-        let ac = bounded(AdmissionLimits::default());
-        let g = ac.new_session_gauge();
-        // 500 ms of profiled work is already pending.
-        let t = ac.admit_launch(&g, Some(500), None).unwrap();
-        // A 100 ms deadline can never be met behind that queue.
-        let err = ac.admit_launch(&g, Some(1), Some(100)).unwrap_err();
-        assert_eq!(err, SlateError::Overloaded { retry_after_ms: 500 });
-        assert_eq!(ac.stats().deadline_rejections, 1);
-        // A 1000 ms deadline is feasible.
-        let t2 = ac.admit_launch(&g, Some(1), Some(1000)).unwrap();
-        ac.complete_launch(&g, t, true);
-        ac.complete_launch(&g, t2, true);
-        assert_eq!(ac.stats().pending_est_ms, 0);
-    }
-
-    #[test]
-    fn memory_watermark_sheds_above_the_line() {
-        let ac = bounded(AdmissionLimits {
-            mem_watermark: Some(0.5),
-            ..Default::default()
-        });
-        // Capacity 1000, watermark 500.
-        ac.admit_malloc(0, 1000, 400).unwrap();
-        let err = ac.admit_malloc(400, 1000, 200).unwrap_err();
-        assert!(matches!(err, SlateError::Overloaded { .. }));
-        assert_eq!(ac.stats().mallocs_shed, 1);
-        // Without a watermark everything passes.
-        let open = bounded(AdmissionLimits::default());
-        open.admit_malloc(999, 1000, 10_000).unwrap();
-    }
-
-    #[test]
-    fn retry_hint_tracks_pending_estimates() {
-        let ac = bounded(AdmissionLimits {
-            max_pending_global: Some(2),
-            ..Default::default()
-        });
-        let g = ac.new_session_gauge();
-        let t1 = ac.admit_launch(&g, Some(30), None).unwrap();
-        let t2 = ac.admit_launch(&g, Some(40), None).unwrap();
-        match ac.admit_launch(&g, Some(5), None).unwrap_err() {
-            SlateError::Overloaded { retry_after_ms } => {
-                assert_eq!(retry_after_ms, 70, "hint is the pending estimate");
-            }
-            other => panic!("expected Overloaded, got {other}"),
-        }
-        ac.complete_launch(&g, t1, true);
-        ac.complete_launch(&g, t2, true);
-    }
-
-    #[test]
-    fn default_limits_admit_everything() {
-        let ac = bounded(AdmissionLimits::default());
-        let g = ac.new_session_gauge();
-        for _ in 0..1_000 {
-            ac.admit_session().unwrap();
-        }
-        let tickets: Vec<_> = (0..1_000)
-            .map(|_| ac.admit_launch(&g, None, None).unwrap())
-            .collect();
-        for t in tickets {
-            ac.complete_launch(&g, t, true);
-        }
-        let s = ac.stats();
-        assert_eq!(s.sessions_rejected, 0);
-        assert_eq!(s.launches_completed, 1_000);
-        assert_eq!(ac.queue_stats().shed, 0);
-    }
+    /// Poisoned-mutex recoveries across the daemon's shared state: each
+    /// count is a lock some thread panicked under that a later locker
+    /// recovered instead of cascading the panic.
+    pub lock_recoveries: u64,
 }

@@ -1,0 +1,232 @@
+//! The event and command vocabulary of the arbitration core.
+//!
+//! Frontends translate whatever happens in their world — an engine event in
+//! the simulator, a wire request or a watchdog tick in the daemon — into
+//! [`Event`]s with logical timestamps, and translate the returned
+//! [`Command`]s back into launches, retreats and wire errors. The
+//! vocabulary is the *entire* interface: the core never reads a clock,
+//! takes a lock or touches a device, which is what makes its decisions
+//! replayable (see [`super::replay`]).
+
+use crate::classify::WorkloadClass;
+use serde::{Deserialize, Serialize};
+use slate_gpu_sim::device::SmRange;
+use std::fmt;
+
+/// Logical time in microseconds. The simulator derives it from engine
+/// time, the daemon from a monotonic epoch; the core only compares and
+/// subtracts ticks, never interprets them as wall-clock.
+pub type Tick = u64;
+
+/// An input to the arbitration core.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Event {
+    /// A client asked to connect. Subject to the `max_sessions` bound.
+    SessionOpened {
+        /// Frontend-assigned session id.
+        session: u64,
+    },
+    /// An admitted session disconnected cleanly.
+    SessionClosed {
+        /// The session that disconnected.
+        session: u64,
+    },
+    /// An admitted session's client vanished (channel severed); the core
+    /// answers with [`Command::Reap`] after cleaning up its leases.
+    SessionSevered {
+        /// The session whose client vanished.
+        session: u64,
+    },
+    /// A session asked to launch a kernel. Subject to admission control:
+    /// deadline feasibility, the per-session bound and the global bound,
+    /// in that order.
+    LaunchRequested {
+        /// The requesting session.
+        session: u64,
+        /// Frontend-assigned launch queue identity (one per stream); the
+        /// later [`Event::KernelReady`] / [`Event::KernelFinished`] for
+        /// this launch carry the same lease.
+        lease: u64,
+        /// Estimated solo runtime in milliseconds (`None` when the kernel
+        /// is unprofiled; unprofiled launches are admitted optimistically).
+        est_ms: Option<u64>,
+        /// The launch's completion deadline, if it carries one.
+        deadline_ms: Option<u64>,
+    },
+    /// An admitted kernel is staged and ready for SM assignment. The core
+    /// will answer — now or in a later batch — with [`Command::Dispatch`].
+    KernelReady {
+        /// The owning session.
+        session: u64,
+        /// Launch queue identity (see [`Event::LaunchRequested`]).
+        lease: u64,
+        /// The kernel's workload class (paper Table I row/column).
+        class: WorkloadClass,
+        /// SMs the kernel can productively use (its saturation point).
+        sm_demand: u32,
+        /// `true` pins the kernel to solo execution: it never co-runs.
+        pinned_solo: bool,
+        /// Effective watchdog deadline; armed when the kernel dispatches.
+        deadline_ms: Option<u64>,
+    },
+    /// A dispatched kernel left the device (drained, faulted or evicted).
+    KernelFinished {
+        /// The finished launch's lease.
+        lease: u64,
+        /// `false` when the kernel faulted or was evicted.
+        ok: bool,
+    },
+    /// A session asked for device memory; the core applies the
+    /// memory-pressure watermark (the pool itself still enforces hard
+    /// capacity).
+    MallocRequested {
+        /// The requesting session.
+        session: u64,
+        /// Bytes currently allocated from the pool.
+        used: u64,
+        /// Total pool capacity in bytes.
+        capacity: u64,
+        /// Bytes requested.
+        bytes: u64,
+    },
+    /// Time passed. Carries no payload — the batch timestamp advances the
+    /// core's clock — but guarantees a fresh scheduling pass, which is how
+    /// watchdog deadlines fire and starvation bounds are noticed.
+    DeadlineTick,
+    /// The frontend began shutting down: no new co-run pairings; resident
+    /// and queued work drains.
+    DrainBegan,
+}
+
+/// Why a request was shed with [`Command::RejectOverloaded`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RejectScope {
+    /// `max_sessions` bound hit: the connecting session was refused.
+    Session,
+    /// Per-session or global pending-launch bound hit (drop-newest).
+    Launch,
+    /// The estimated queue wait already exceeds the launch's deadline.
+    Deadline,
+    /// The allocation would cross the memory-pressure watermark.
+    Malloc,
+}
+
+/// An output of the arbitration core. Commands are instructions to the
+/// frontend; the core assumes they are carried out (it updates its own
+/// state as if they were).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Command {
+    /// Start the ready kernel on `range`.
+    Dispatch {
+        /// The lease from the kernel's [`Event::KernelReady`].
+        lease: u64,
+        /// The SM partition granted to it.
+        range: SmRange,
+    },
+    /// Move a *resident* kernel to `range` (retreat + relaunch): shrink to
+    /// make room for a co-runner, or regrow when one departs.
+    Resize {
+        /// The resident kernel's lease.
+        lease: u64,
+        /// Its new SM partition.
+        range: SmRange,
+    },
+    /// Shed the triggering request; the client should retry after the
+    /// hinted backoff.
+    RejectOverloaded {
+        /// The session whose request was shed.
+        session: u64,
+        /// The shed launch's lease ([`RejectScope::Launch`] /
+        /// [`RejectScope::Deadline`]); `None` for session- and
+        /// malloc-scoped sheds.
+        lease: Option<u64>,
+        /// What was shed.
+        scope: RejectScope,
+        /// Suggested client backoff, always ≥ 1 ms.
+        retry_after_ms: u64,
+    },
+    /// The named waiter starved past the bound and is being dispatched
+    /// solo ahead of any co-run pairing (informational; a
+    /// [`Command::Dispatch`] for the same lease follows).
+    PromoteStarved {
+        /// The promoted waiter's lease.
+        lease: u64,
+    },
+    /// The resident kernel blew its deadline: retreat it off the device.
+    /// The frontend feeds [`Event::KernelFinished`] `{ok: false}` once the
+    /// eviction lands.
+    Evict {
+        /// The overdue kernel's lease.
+        lease: u64,
+    },
+    /// A severed session's state is gone from the core; the frontend
+    /// should free its allocations and retire its lanes.
+    Reap {
+        /// The reaped session.
+        session: u64,
+    },
+}
+
+fn opt(v: &Option<u64>) -> String {
+    match v {
+        Some(x) => x.to_string(),
+        None => "-".to_string(),
+    }
+}
+
+impl fmt::Display for Event {
+    /// Stable one-line rendering used by replay transcripts; changing it
+    /// invalidates checked-in goldens.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Event::SessionOpened { session } => write!(f, "session-opened s{session}"),
+            Event::SessionClosed { session } => write!(f, "session-closed s{session}"),
+            Event::SessionSevered { session } => write!(f, "session-severed s{session}"),
+            Event::LaunchRequested { session, lease, est_ms, deadline_ms } => write!(
+                f,
+                "launch-requested s{session} l{lease} est={} deadline={}",
+                opt(est_ms),
+                opt(deadline_ms)
+            ),
+            Event::KernelReady { session, lease, class, sm_demand, pinned_solo, deadline_ms } => {
+                write!(
+                    f,
+                    "kernel-ready s{session} l{lease} {class:?} demand={sm_demand} pinned={pinned_solo} deadline={}",
+                    opt(deadline_ms)
+                )
+            }
+            Event::KernelFinished { lease, ok } => {
+                write!(f, "kernel-finished l{lease} ok={ok}")
+            }
+            Event::MallocRequested { session, used, capacity, bytes } => write!(
+                f,
+                "malloc-requested s{session} used={used}/{capacity} bytes={bytes}"
+            ),
+            Event::DeadlineTick => f.write_str("deadline-tick"),
+            Event::DrainBegan => f.write_str("drain-began"),
+        }
+    }
+}
+
+impl fmt::Display for Command {
+    /// Stable one-line rendering used by replay transcripts; changing it
+    /// invalidates checked-in goldens.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Command::Dispatch { lease, range } => {
+                write!(f, "dispatch l{lease} sm[{}..{}]", range.lo, range.hi)
+            }
+            Command::Resize { lease, range } => {
+                write!(f, "resize l{lease} sm[{}..{}]", range.lo, range.hi)
+            }
+            Command::RejectOverloaded { session, lease, scope, retry_after_ms } => write!(
+                f,
+                "reject s{session} l{} scope={scope:?} retry={retry_after_ms}ms",
+                opt(lease)
+            ),
+            Command::PromoteStarved { lease } => write!(f, "promote-starved l{lease}"),
+            Command::Evict { lease } => write!(f, "evict l{lease}"),
+            Command::Reap { session } => write!(f, "reap s{session}"),
+        }
+    }
+}

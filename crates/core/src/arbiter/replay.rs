@@ -1,0 +1,98 @@
+//! Record and replay of arbitration decisions.
+//!
+//! Because [`ArbiterCore`] is deterministic and
+//! I/O-free, a recording of its inputs is a complete specification of its
+//! outputs: replaying an [`EventLog`] through a fresh core must reproduce
+//! the logged commands exactly, batch by batch. The golden replay test
+//! checks a committed log's [`transcript`] byte-for-byte, which turns any
+//! unintended policy drift into a test failure with a readable diff.
+
+use super::events::{Event, Tick};
+use super::state::ArbiterConfig;
+use super::ArbiterCore;
+use crate::arbiter::Command;
+use serde::{Deserialize, Serialize};
+use slate_gpu_sim::device::DeviceConfig;
+use std::fmt::Write as _;
+
+/// One recorded [`ArbiterCore::feed`] call: the batch timestamp, the
+/// events fed, and the commands the core returned.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LoggedBatch {
+    /// The core's (clamped) logical clock when the batch was absorbed.
+    pub at: Tick,
+    /// The events fed, in order.
+    pub events: Vec<Event>,
+    /// The commands returned, in order.
+    pub commands: Vec<Command>,
+}
+
+/// A self-contained recording of an arbitration run: the device and
+/// configuration plus every decision-relevant batch, in feed order.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EventLog {
+    /// The device that was arbitrated.
+    pub device: DeviceConfig,
+    /// The configuration the core ran under.
+    pub config: ArbiterConfig,
+    /// The recorded batches.
+    pub batches: Vec<LoggedBatch>,
+}
+
+/// Replays `log` through a fresh core, returning each batch with the
+/// commands the *replay* produced (the logged commands are ignored).
+pub fn replay(log: &EventLog) -> Vec<LoggedBatch> {
+    let mut core = ArbiterCore::new(log.device.clone(), log.config.clone());
+    log.batches
+        .iter()
+        .map(|b| LoggedBatch {
+            at: b.at,
+            events: b.events.clone(),
+            commands: core.feed(b.at, &b.events),
+        })
+        .collect()
+}
+
+/// Replays `log` and checks the produced commands against the logged ones,
+/// reporting the first divergence (batch index, expected and actual
+/// commands) as a human-readable error.
+pub fn verify(log: &EventLog) -> Result<(), String> {
+    let replayed = replay(log);
+    for (i, (want, got)) in log.batches.iter().zip(&replayed).enumerate() {
+        if want.commands != got.commands {
+            return Err(format!(
+                "batch {i} (at {}) diverged:\n  logged:\n{}  replayed:\n{}",
+                want.at,
+                render_commands(&want.commands),
+                render_commands(&got.commands),
+            ));
+        }
+    }
+    Ok(())
+}
+
+fn render_commands(commands: &[Command]) -> String {
+    let mut s = String::new();
+    for c in commands {
+        let _ = writeln!(s, "    ! {c}");
+    }
+    s
+}
+
+/// Renders batches as a stable, line-oriented transcript: one `@tick`
+/// header per batch, `>` lines for events, `!` lines for commands. The
+/// format is hand-written (not `Debug`-derived) so the checked-in golden
+/// only changes when the *decisions* change.
+pub fn transcript(batches: &[LoggedBatch]) -> String {
+    let mut s = String::new();
+    for b in batches {
+        let _ = writeln!(s, "@{}", b.at);
+        for e in &b.events {
+            let _ = writeln!(s, "  > {e}");
+        }
+        for c in &b.commands {
+            let _ = writeln!(s, "  ! {c}");
+        }
+    }
+    s
+}

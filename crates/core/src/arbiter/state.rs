@@ -1,0 +1,464 @@
+//! The arbitration core's state machine: configuration, per-event state
+//! updates, and the counters both frontends report from.
+//!
+//! Everything here is deterministic and I/O-free. The only collections are
+//! `Vec`s and `BTreeMap`s — never a `HashMap` — so that iteration order,
+//! and therefore emitted command order, is identical across runs; this is
+//! what makes the golden replay test byte-stable.
+
+use super::events::{Command, Event, RejectScope, Tick};
+use super::replay::{EventLog, LoggedBatch};
+use crate::admission::{AdmissionLimits, AdmissionStats};
+use crate::classify::WorkloadClass;
+use crate::queue::{LaunchGauge, QueueStats};
+use serde::{Deserialize, Serialize};
+use slate_gpu_sim::device::{DeviceConfig, SmRange};
+use std::collections::{BTreeMap, VecDeque};
+
+/// Fallback per-launch estimate (milliseconds) used for retry hints when
+/// pending kernels are unprofiled.
+pub(super) const DEFAULT_LAUNCH_EST_MS: u64 = 10;
+
+/// Static policy knobs of the arbitration core. Serialized into every
+/// [`EventLog`] so a replay runs under the exact configuration that
+/// produced the recording.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ArbiterConfig {
+    /// Allow complementary kernels to co-run on disjoint SM partitions
+    /// (paper Table I). Off = every kernel runs solo, CUDA-style.
+    pub enable_corun: bool,
+    /// Allow resizing a resident kernel's partition (retreat + relaunch,
+    /// paper §III-D): shrink to admit a co-runner, regrow when it leaves.
+    pub enable_resize: bool,
+    /// Starvation bound in logical microseconds: a waiter older than this
+    /// refuses co-run pairings device-wide and is promoted to a solo
+    /// dispatch. `None` disables aging.
+    pub starvation_bound_us: Option<u64>,
+    /// Admission-control bounds (sessions, pending launches, memory
+    /// watermark). Fully permissive by default.
+    pub limits: AdmissionLimits,
+}
+
+impl Default for ArbiterConfig {
+    fn default() -> Self {
+        Self {
+            enable_corun: true,
+            enable_resize: true,
+            starvation_bound_us: None,
+            limits: AdmissionLimits::default(),
+        }
+    }
+}
+
+/// A kernel currently holding SMs.
+#[derive(Debug, Clone)]
+pub(super) struct Resident {
+    pub(super) lease: u64,
+    #[allow(dead_code)]
+    pub(super) session: u64,
+    pub(super) class: WorkloadClass,
+    pub(super) sm_demand: u32,
+    /// Pinned residents never accept co-runners (pinned-solo launches and
+    /// starvation promotions).
+    pub(super) pinned: bool,
+    pub(super) range: SmRange,
+}
+
+/// A ready kernel waiting for SMs.
+#[derive(Debug, Clone)]
+pub(super) struct Waiter {
+    pub(super) lease: u64,
+    pub(super) session: u64,
+    pub(super) class: WorkloadClass,
+    pub(super) sm_demand: u32,
+    pub(super) pinned: bool,
+    pub(super) deadline_ms: Option<u64>,
+    /// When the kernel became ready (queue-wait start).
+    pub(super) since: Tick,
+    /// Stable arrival order; the deterministic tie-break everywhere.
+    pub(super) seq: u64,
+}
+
+/// The deterministic, I/O-free arbitration core shared by the simulated
+/// runtime and the live daemon.
+///
+/// Feed it batches of [`Event`]s with a monotonic logical timestamp; it
+/// returns the [`Command`]s the frontend must carry out. All scheduling
+/// policy — Table-I partner selection, SM partitioning, dynamic resizing,
+/// starvation aging, admission shedding and watchdog eviction — lives
+/// behind [`ArbiterCore::feed`]; the frontends only translate events in
+/// and commands out.
+#[derive(Debug)]
+pub struct ArbiterCore {
+    pub(super) device: DeviceConfig,
+    pub(super) config: ArbiterConfig,
+    /// Logical clock: the max batch timestamp seen so far.
+    pub(super) now: Tick,
+    pub(super) next_seq: u64,
+    pub(super) draining: bool,
+    pub(super) residents: Vec<Resident>,
+    pub(super) waiters: Vec<Waiter>,
+    /// Last SM range each lease held when it finished — the in-place
+    /// continuation hint (a re-ready kernel resumes its old partition
+    /// without a resize).
+    pub(super) last_range: BTreeMap<u64, SmRange>,
+    /// Armed watchdog deadlines: lease → eviction tick.
+    pub(super) deadlines: BTreeMap<u64, Tick>,
+    /// Per-session pending-launch gauges.
+    sessions: BTreeMap<u64, LaunchGauge>,
+    lease_session: BTreeMap<u64, u64>,
+    /// Per-lease FIFO of admitted solo-time estimates; popped as the
+    /// lease's launches finish.
+    pending: BTreeMap<u64, VecDeque<u64>>,
+    /// Daemon-wide pending-launch gauge.
+    global: LaunchGauge,
+    active_sessions: usize,
+    sessions_admitted: u64,
+    sessions_rejected: u64,
+    launches_completed: u64,
+    launches_failed: u64,
+    deadline_rejections: u64,
+    mallocs_shed: u64,
+    /// Sum of the solo-time estimates of every pending launch.
+    pending_est_ms: u64,
+    pub(super) promotions: u64,
+    pub(super) evictions: u64,
+    reaped: u64,
+    record: Option<Vec<LoggedBatch>>,
+}
+
+impl ArbiterCore {
+    /// A fresh core arbitrating `device` under `config`.
+    pub fn new(device: DeviceConfig, config: ArbiterConfig) -> Self {
+        let global = LaunchGauge::new(config.limits.max_pending_global);
+        Self {
+            device,
+            config,
+            now: 0,
+            next_seq: 0,
+            draining: false,
+            residents: Vec::new(),
+            waiters: Vec::new(),
+            last_range: BTreeMap::new(),
+            deadlines: BTreeMap::new(),
+            sessions: BTreeMap::new(),
+            lease_session: BTreeMap::new(),
+            pending: BTreeMap::new(),
+            global,
+            active_sessions: 0,
+            sessions_admitted: 0,
+            sessions_rejected: 0,
+            launches_completed: 0,
+            launches_failed: 0,
+            deadline_rejections: 0,
+            mallocs_shed: 0,
+            pending_est_ms: 0,
+            promotions: 0,
+            evictions: 0,
+            reaped: 0,
+            record: None,
+        }
+    }
+
+    /// The device being arbitrated.
+    pub fn device(&self) -> &DeviceConfig {
+        &self.device
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &ArbiterConfig {
+        &self.config
+    }
+
+    /// The core's logical clock (max batch timestamp seen).
+    pub fn now(&self) -> Tick {
+        self.now
+    }
+
+    /// Kernels currently holding SMs.
+    pub fn residents(&self) -> usize {
+        self.residents.len()
+    }
+
+    /// Ready kernels waiting for SMs.
+    pub fn waiting(&self) -> usize {
+        self.waiters.len()
+    }
+
+    /// Whether [`Event::DrainBegan`] has been fed.
+    pub fn draining(&self) -> bool {
+        self.draining
+    }
+
+    /// Kernels evicted for blowing their deadline.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// Starved waiters promoted to solo dispatch.
+    pub fn promotions(&self) -> u64 {
+        self.promotions
+    }
+
+    /// Severed sessions cleaned up ([`Command::Reap`]s emitted).
+    pub fn reaped(&self) -> u64 {
+        self.reaped
+    }
+
+    /// Snapshot of the global pending-launch gauge.
+    pub fn queue_stats(&self) -> QueueStats {
+        self.global.stats()
+    }
+
+    /// Snapshot of the admission counters.
+    pub fn admission_stats(&self) -> AdmissionStats {
+        AdmissionStats {
+            active_sessions: self.active_sessions,
+            sessions_admitted: self.sessions_admitted,
+            sessions_rejected: self.sessions_rejected,
+            launches_completed: self.launches_completed,
+            launches_failed: self.launches_failed,
+            deadline_rejections: self.deadline_rejections,
+            mallocs_shed: self.mallocs_shed,
+            pending_est_ms: self.pending_est_ms,
+        }
+    }
+
+    /// Starts recording fed batches for later [`super::replay`]. Batches
+    /// that carry nothing but [`Event::DeadlineTick`]s and produce no
+    /// commands are skipped (the daemon's 1 ms heartbeat would otherwise
+    /// swamp the log without affecting any decision).
+    pub fn start_recording(&mut self) {
+        self.record = Some(Vec::new());
+    }
+
+    /// Takes the recorded log (if recording was started), packaged with
+    /// the device and configuration needed to replay it.
+    pub fn take_log(&mut self) -> Option<EventLog> {
+        self.record.take().map(|batches| EventLog {
+            device: self.device.clone(),
+            config: self.config.clone(),
+            batches,
+        })
+    }
+
+    /// Feeds one batch of events at logical time `now` and returns the
+    /// commands the frontend must carry out, in order. The clock is
+    /// clamped monotonic; decisions are made once, after the whole batch
+    /// is absorbed.
+    pub fn feed(&mut self, now: Tick, events: &[Event]) -> Vec<Command> {
+        self.now = self.now.max(now);
+        let mut out = Vec::new();
+        for ev in events {
+            self.intake(ev, &mut out);
+        }
+        self.decide(&mut out);
+        if let Some(batches) = &mut self.record {
+            let heartbeat_only = events.iter().all(|e| matches!(e, Event::DeadlineTick));
+            if !(heartbeat_only && out.is_empty()) {
+                batches.push(LoggedBatch {
+                    at: self.now,
+                    events: events.to_vec(),
+                    commands: out.clone(),
+                });
+            }
+        }
+        out
+    }
+
+    /// The retry hint for a shed request: the estimated pending work if
+    /// any queued kernel is profiled, otherwise a default per-launch
+    /// estimate times the queue depth. Always ≥ 1 ms.
+    fn retry_after_ms(&self) -> u64 {
+        if self.pending_est_ms > 0 {
+            self.pending_est_ms
+        } else {
+            self.global
+                .depth()
+                .saturating_mul(DEFAULT_LAUNCH_EST_MS)
+                .max(1)
+        }
+    }
+
+    fn intake(&mut self, ev: &Event, out: &mut Vec<Command>) {
+        match *ev {
+            Event::SessionOpened { session } => self.open_session(session, out),
+            Event::SessionClosed { session } => self.end_session(session, false, out),
+            Event::SessionSevered { session } => self.end_session(session, true, out),
+            Event::LaunchRequested { session, lease, est_ms, deadline_ms } => {
+                self.admit_launch(session, lease, est_ms, deadline_ms, out)
+            }
+            Event::KernelReady { session, lease, class, sm_demand, pinned_solo, deadline_ms } => {
+                self.lease_session.insert(lease, session);
+                let seq = self.next_seq;
+                self.next_seq += 1;
+                self.waiters.push(Waiter {
+                    lease,
+                    session,
+                    class,
+                    sm_demand,
+                    pinned: pinned_solo,
+                    deadline_ms,
+                    since: self.now,
+                    seq,
+                });
+            }
+            Event::KernelFinished { lease, ok } => self.finish_launch(lease, ok),
+            Event::MallocRequested { session, used, capacity, bytes } => {
+                if let Some(w) = self.config.limits.mem_watermark {
+                    let limit = (w.clamp(0.0, 1.0) * capacity as f64) as u64;
+                    if used.saturating_add(bytes) > limit {
+                        self.mallocs_shed += 1;
+                        out.push(Command::RejectOverloaded {
+                            session,
+                            lease: None,
+                            scope: RejectScope::Malloc,
+                            retry_after_ms: self.retry_after_ms(),
+                        });
+                    }
+                }
+            }
+            Event::DeadlineTick => {}
+            Event::DrainBegan => self.draining = true,
+        }
+    }
+
+    fn open_session(&mut self, session: u64, out: &mut Vec<Command>) {
+        if let Some(max) = self.config.limits.max_sessions {
+            if self.active_sessions >= max {
+                self.sessions_rejected += 1;
+                out.push(Command::RejectOverloaded {
+                    session,
+                    lease: None,
+                    scope: RejectScope::Session,
+                    retry_after_ms: self.retry_after_ms(),
+                });
+                return;
+            }
+        }
+        self.active_sessions += 1;
+        self.sessions_admitted += 1;
+        self.sessions
+            .insert(session, LaunchGauge::new(self.config.limits.max_pending_per_session));
+    }
+
+    fn end_session(&mut self, session: u64, severed: bool, out: &mut Vec<Command>) {
+        if self.sessions.remove(&session).is_none() {
+            // Never admitted (the connect was shed): nothing to clean up.
+            return;
+        }
+        self.active_sessions -= 1;
+        // Defensive sweep: a well-behaved frontend finishes every launch
+        // before closing the session, but a severed client can leave
+        // leases behind — drain them so the global gauge stays balanced.
+        self.residents.retain(|r| r.session != session);
+        self.waiters.retain(|w| w.session != session);
+        let leases: Vec<u64> = self
+            .lease_session
+            .iter()
+            .filter(|&(_, &s)| s == session)
+            .map(|(&l, _)| l)
+            .collect();
+        for lease in leases {
+            self.lease_session.remove(&lease);
+            self.last_range.remove(&lease);
+            self.deadlines.remove(&lease);
+            if let Some(mut fifo) = self.pending.remove(&lease) {
+                while let Some(est) = fifo.pop_front() {
+                    self.pending_est_ms = self.pending_est_ms.saturating_sub(est);
+                    self.global.pop();
+                    self.launches_failed += 1;
+                }
+            }
+        }
+        if severed {
+            self.reaped += 1;
+            out.push(Command::Reap { session });
+        }
+    }
+
+    fn admit_launch(
+        &mut self,
+        session: u64,
+        lease: u64,
+        est_ms: Option<u64>,
+        deadline_ms: Option<u64>,
+        out: &mut Vec<Command>,
+    ) {
+        if !self.sessions.contains_key(&session) {
+            // Lazily admit sessions the frontend never announced, so the
+            // core stays usable with partial event streams.
+            self.sessions
+                .insert(session, LaunchGauge::new(self.config.limits.max_pending_per_session));
+        }
+        if let Some(deadline) = deadline_ms {
+            let queue_wait = self.pending_est_ms;
+            if queue_wait > deadline {
+                // The kernel could only ever be evicted; shed it now
+                // instead of wasting device time the queue needs.
+                self.deadline_rejections += 1;
+                self.sessions[&session].record_shed();
+                self.global.record_shed();
+                out.push(Command::RejectOverloaded {
+                    session,
+                    lease: Some(lease),
+                    scope: RejectScope::Deadline,
+                    retry_after_ms: queue_wait.max(1),
+                });
+                return;
+            }
+        }
+        if !self.sessions[&session].try_push() {
+            self.global.record_shed();
+            out.push(Command::RejectOverloaded {
+                session,
+                lease: Some(lease),
+                scope: RejectScope::Launch,
+                retry_after_ms: self.retry_after_ms(),
+            });
+            return;
+        }
+        if !self.global.try_push() {
+            self.sessions[&session].cancel();
+            out.push(Command::RejectOverloaded {
+                session,
+                lease: Some(lease),
+                scope: RejectScope::Launch,
+                retry_after_ms: self.retry_after_ms(),
+            });
+            return;
+        }
+        let est = est_ms.unwrap_or(0);
+        self.pending_est_ms += est;
+        self.pending.entry(lease).or_default().push_back(est);
+        self.lease_session.insert(lease, session);
+    }
+
+    fn finish_launch(&mut self, lease: u64, ok: bool) {
+        if let Some(pos) = self.residents.iter().position(|r| r.lease == lease) {
+            let r = self.residents.remove(pos);
+            self.last_range.insert(lease, r.range);
+        }
+        self.deadlines.remove(&lease);
+        self.waiters.retain(|w| w.lease != lease);
+        if let Some(fifo) = self.pending.get_mut(&lease) {
+            if let Some(est) = fifo.pop_front() {
+                self.pending_est_ms = self.pending_est_ms.saturating_sub(est);
+                self.global.pop();
+                if let Some(s) = self.lease_session.get(&lease) {
+                    if let Some(g) = self.sessions.get(s) {
+                        g.pop();
+                    }
+                }
+                if ok {
+                    self.launches_completed += 1;
+                } else {
+                    self.launches_failed += 1;
+                }
+            }
+            if self.pending[&lease].is_empty() {
+                self.pending.remove(&lease);
+            }
+        }
+    }
+}

@@ -13,6 +13,23 @@
 //! workers — including *live resizing* of a running kernel when a
 //! complementary client arrives or departs.
 //!
+//! # The arbitration core
+//!
+//! Every scheduling decision — co-run selection, SM partitioning, dynamic
+//! resizing, admission shedding, starvation promotion, watchdog eviction,
+//! session reaping — is made by the shared, deterministic
+//! [`ArbiterCore`]. The daemon is a thin
+//! driver: wire requests and a 1 ms heartbeat become
+//! [`Event`](crate::arbiter::Event)s stamped with a monotonic logical
+//! clock, and the returned [`Command`]s are
+//! carried out against dispatch handles, the memory pool, and client
+//! replies. With [`DaemonOptions::record_arbiter`] set, every fed batch is
+//! recorded; the resulting [`EventLog`] replays to the byte-identical
+//! command sequence (see [`crate::arbiter::replay`]) — the simulated
+//! [`SlateRuntime`](crate::runtime::SlateRuntime) drives the very same
+//! core, so both frontends make identical decisions for identical event
+//! streams.
+//!
 //! # Fault tolerance
 //!
 //! Because every client shares one device context, the daemon contains
@@ -24,7 +41,7 @@
 //!   Hyper-Q lanes, and lets the surviving co-runner regrow to the full
 //!   device — exactly the `Disconnect` path;
 //! * a **kernel watchdog** — launches carry an optional deadline (or
-//!   inherit [`DaemonOptions::default_deadline_ms`]); a scanner thread
+//!   inherit [`DaemonOptions::default_deadline_ms`]); the heartbeat
 //!   evicts over-deadline kernels through the paper's own retreat flag and
 //!   the client receives [`SlateError::Timeout`] while co-runners keep
 //!   running;
@@ -32,15 +49,17 @@
 //!   connections with [`SlateError::ShuttingDown`] and drains in-flight
 //!   sessions under a deadline; during the drain the arbiter stops
 //!   co-scheduling and serializes remaining kernels solo, with a bounded
-//!   condvar wait so nothing can wedge in `acquire`;
+//!   condvar wait so nothing can wedge waiting for a grant;
 //! * deterministic **fault injection** — a [`FaultPlan`]
 //!   (`slate_gpu_sim::fault`) passed through [`DaemonOptions`] makes
 //!   kernels hang, launches fault, memcpys stall, or channels drop at
-//!   scripted points, so all of the above is testable and replayable.
+//!   scripted points, so all of the above is testable and replayable;
+//! * **poison tolerance** — all daemon-shared state lives behind
+//!   [`crate::sync::Mutex`], which recovers a lock some thread panicked
+//!   under instead of cascading the panic;
+//!   [`DaemonMetrics::lock_recoveries`] counts the recoveries.
 //!
 //! # Overload protection
-//!
-//! PR 1 made the daemon survive faults; this layer makes it survive load:
 //!
 //! * **admission control** — [`DaemonOptions::admission`] bounds
 //!   concurrent sessions, pending launches (per session and daemon-wide)
@@ -48,7 +67,7 @@
 //!   [`SlateError::Overloaded`] carrying a `retry_after_ms` hint computed
 //!   from the queued work, and deadline-carrying launches are rejected up
 //!   front when the estimated queue wait already exceeds their deadline;
-//! * **backpressure** — per-session and global [`LaunchGauge`]s implement
+//! * **backpressure** — per-session and global launch gauges implement
 //!   a drop-newest shed policy; [`SlateDaemon::queue_stats`] and
 //!   [`SlateDaemon::metrics`] expose the backlog;
 //! * **starvation-free arbitration** — with
@@ -58,282 +77,160 @@
 //!   waiters are served longest-wait-first with arrival order as the
 //!   deterministic tie-break.
 
-use crate::admission::{AdmissionController, AdmissionLimits, AdmissionStats, DaemonMetrics, LaunchTicket};
+use crate::admission::{AdmissionLimits, AdmissionStats, DaemonMetrics};
+use crate::arbiter::{ArbiterConfig, ArbiterCore, Command, Event as ArbEvent, EventLog};
 use crate::channel::{LaunchCmd, Request, Response, SlatePtr};
-use crate::classify::WorkloadClass;
 use crate::dispatch::{DispatchHandle, Dispatcher};
 use crate::error::SlateError;
 use crate::injector::InjectionCache;
-use crate::partition::partition;
-use crate::policy::should_corun_aged;
 use crate::profile::ProfileTable;
-use crate::queue::{LaunchGauge, QueueStats};
+use crate::queue::QueueStats;
+use crate::sync::{Condvar, Mutex};
 use crate::transform::TransformedKernel;
 use crossbeam::channel::{unbounded, Receiver, Sender};
-use parking_lot::{Condvar, Mutex};
 use slate_gpu_sim::buffer::{DeviceMemoryPool, DevicePtr, GpuBuffer};
 use slate_gpu_sim::device::{DeviceConfig, SmRange};
 use slate_gpu_sim::fault::{FaultKind, FaultPlan, FaultSite, FaultToken};
 use slate_gpu_sim::workqueue::HyperQ;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Weak};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-/// One kernel currently resident on the (functional) device.
-struct ArbResident {
-    session: u64,
-    class: WorkloadClass,
-    sm_demand: u32,
-    pinned_solo: bool,
-    range: SmRange,
+/// The execution-side state of an in-flight dispatch: the handle the
+/// arbiter's `Resize`/`Evict` commands act on, plus the injected-hang token
+/// to cancel on eviction so cooperatively hung workers actually come back.
+struct HandleEntry {
     handle: DispatchHandle,
-}
-
-/// A queued arbiter waiter: arrival time plus a stable sequence number —
-/// the (wait, arrival) priority that makes head selection deterministic.
-struct Waiter {
-    seq: u64,
-    since: Instant,
-}
-
-/// Arbiter state under one lock: device residents and the waiter queue.
-struct ArbState {
-    residents: Vec<ArbResident>,
-    waiters: Vec<Waiter>,
-}
-
-/// The workload-aware device arbiter: admits at most two complementary
-/// kernels at a time and resizes residents on arrival and departure.
-///
-/// # Starvation freedom
-///
-/// Without a bound, a kernel whose class co-runs with nothing can wait
-/// behind an endless chain of profitable pairs. With
-/// `starvation_bound` set, a waiter past the bound refuses co-running
-/// ([`should_corun_aged`]) *and* blocks further co-run joins by younger
-/// waiters, so the device drains; when it empties, the longest-waiting
-/// waiter (ties broken by arrival sequence) takes the whole device — and
-/// if it starved, it is dispatched *pinned solo* and counted in
-/// `promotions`.
-struct Arbiter {
-    cfg: DeviceConfig,
-    state: Mutex<ArbState>,
-    freed: Condvar,
-    /// Shutdown drain mode: no new co-scheduling, bounded condvar waits —
-    /// remaining kernels serialize solo instead of wedging in `acquire`.
-    draining: AtomicBool,
-    /// Wait bound past which a waiter is promoted to solo dispatch.
-    starvation_bound: Option<Duration>,
-    /// Starved waiters promoted to solo dispatch so far.
-    promotions: AtomicU64,
-    next_waiter: AtomicU64,
-}
-
-impl Arbiter {
-    fn new(cfg: DeviceConfig, starvation_bound: Option<Duration>) -> Self {
-        Self {
-            cfg,
-            state: Mutex::new(ArbState {
-                residents: Vec::new(),
-                waiters: Vec::new(),
-            }),
-            freed: Condvar::new(),
-            draining: AtomicBool::new(false),
-            starvation_bound,
-            promotions: AtomicU64::new(0),
-            next_waiter: AtomicU64::new(0),
-        }
-    }
-
-    /// Enters drain mode (one-way): wakes every waiter so it re-evaluates
-    /// under the new policy.
-    fn begin_drain(&self) {
-        self.draining.store(true, Ordering::Release);
-        let _guard = self.state.lock();
-        self.freed.notify_all();
-    }
-
-    /// Blocks until the kernel may run; returns its SM range. May shrink a
-    /// resident kernel live (through its dispatch handle) to make room for
-    /// a complementary newcomer.
-    fn acquire(
-        &self,
-        session: u64,
-        class: WorkloadClass,
-        sm_demand: u32,
-        pinned_solo: bool,
-        handle: DispatchHandle,
-    ) -> SmRange {
-        let seq = self.next_waiter.fetch_add(1, Ordering::Relaxed);
-        let since = Instant::now();
-        let mut st = self.state.lock();
-        st.waiters.push(Waiter { seq, since });
-        loop {
-            let draining = self.draining.load(Ordering::Acquire);
-            let now = Instant::now();
-            let my_starved = self
-                .starvation_bound
-                .is_some_and(|b| now.duration_since(since) >= b);
-            let any_starved = self.starvation_bound.is_some_and(|b| {
-                st.waiters
-                    .iter()
-                    .any(|w| now.duration_since(w.since) >= b)
-            });
-            let i_am_head = st
-                .waiters
-                .iter()
-                .min_by_key(|w| (w.since, w.seq))
-                .map(|w| w.seq)
-                == Some(seq);
-            if st.residents.is_empty() && i_am_head {
-                st.waiters.retain(|w| w.seq != seq);
-                if my_starved {
-                    self.promotions.fetch_add(1, Ordering::Relaxed);
-                }
-                let range = SmRange::all(self.cfg.num_sms);
-                st.residents.push(ArbResident {
-                    session,
-                    class,
-                    sm_demand,
-                    // A promoted waiter runs pinned solo: it already paid
-                    // its wait, no one may squeeze in beside it.
-                    pinned_solo: pinned_solo || my_starved,
-                    range,
-                    handle,
-                });
-                // A complementary waiter may now join the new resident.
-                self.freed.notify_all();
-                return range;
-            }
-            if st.residents.len() == 1
-                && !draining
-                && !pinned_solo
-                && !st.residents[0].pinned_solo
-                && should_corun_aged(st.residents[0].class, class, any_starved)
-            {
-                st.waiters.retain(|w| w.seq != seq);
-                let part = partition(&self.cfg, st.residents[0].sm_demand, sm_demand);
-                // Live-resize the resident onto its share.
-                st.residents[0].handle.resize(part.a);
-                st.residents[0].range = part.a;
-                st.residents.push(ArbResident {
-                    session,
-                    class,
-                    sm_demand,
-                    pinned_solo,
-                    range: part.b,
-                    handle,
-                });
-                return part.b;
-            }
-            if draining || self.starvation_bound.is_some() {
-                // Bounded wait: re-evaluate periodically so a bound
-                // crossing (or a lost wakeup during teardown) cannot
-                // wedge this thread.
-                let _ = self
-                    .freed
-                    .wait_for(&mut st, Duration::from_millis(5));
-            } else {
-                self.freed.wait(&mut st);
-            }
-        }
-    }
-
-    /// Releases the caller's residency; the surviving co-runner grows to
-    /// the whole device.
-    fn release(&self, session: u64) {
-        self.release_matching(|lease| lease == session);
-    }
-
-    /// Releases every residency whose lease satisfies `pred` (session
-    /// reaping releases all of a session's stream leases at once); any
-    /// survivor regrows to the whole device.
-    fn release_matching(&self, pred: impl Fn(u64) -> bool) {
-        let mut st = self.state.lock();
-        st.residents.retain(|r| !pred(r.session));
-        if let Some(surv) = st.residents.first_mut() {
-            let full = SmRange::all(self.cfg.num_sms);
-            if surv.range != full {
-                surv.handle.resize(full);
-                surv.range = full;
-            }
-        }
-        self.freed.notify_all();
-    }
-
-    /// Number of kernels currently resident on the device.
-    fn residents(&self) -> usize {
-        self.state.lock().residents.len()
-    }
-}
-
-/// One watched dispatch: evict through `handle` once `deadline` passes.
-struct WatchEntry {
-    deadline: Instant,
-    handle: DispatchHandle,
-    /// Injected-hang token to cancel on eviction, so cooperatively hung
-    /// workers actually come back.
     token: Option<FaultToken>,
 }
 
-/// The kernel watchdog: a registry of in-flight dispatches with deadlines,
-/// scanned by a daemon-lifetime thread.
-struct Watchdog {
-    entries: Mutex<HashMap<u64, WatchEntry>>,
-    next_ticket: AtomicU64,
-    evictions: AtomicU64,
+/// Mutable state of the daemon's arbiter frontend, under one lock.
+struct ArbInner {
+    core: ArbiterCore,
+    /// Dispatch grants awaiting pickup by their `execute_kernel` thread.
+    grants: HashMap<u64, SmRange>,
+    /// Dispatch handles of waiting/resident leases.
+    handles: HashMap<u64, HandleEntry>,
 }
 
-impl Watchdog {
-    fn new() -> Self {
+/// The daemon's driver for the shared [`ArbiterCore`]: stamps events with
+/// a monotonic microsecond clock, carries out the returned commands
+/// (resize and evict act on dispatch handles immediately; dispatch grants
+/// are parked for the waiting kernel thread), and wakes grant waiters.
+struct ArbFrontend {
+    /// Epoch of the logical clock ([`crate::arbiter::Tick`]s are
+    /// microseconds since this instant).
+    epoch: Instant,
+    inner: Mutex<ArbInner>,
+    /// Signalled after every feed; `wait_grant` blocks on it.
+    granted: Condvar,
+}
+
+impl ArbFrontend {
+    fn new(core: ArbiterCore) -> Self {
         Self {
-            entries: Mutex::new(HashMap::new()),
-            next_ticket: AtomicU64::new(0),
-            evictions: AtomicU64::new(0),
+            epoch: Instant::now(),
+            inner: Mutex::new(ArbInner {
+                core,
+                grants: HashMap::new(),
+                handles: HashMap::new(),
+            }),
+            granted: Condvar::new(),
         }
     }
 
-    fn register(
+    fn now_us(&self) -> u64 {
+        self.epoch.elapsed().as_micros() as u64
+    }
+
+    /// Feeds one batch to the core and carries out the returned commands.
+    fn feed(&self, events: &[ArbEvent]) -> Vec<Command> {
+        let mut inner = self.inner.lock();
+        self.feed_locked(&mut inner, events)
+    }
+
+    fn feed_locked(
         &self,
-        deadline_ms: u64,
+        inner: &mut crate::sync::MutexGuard<'_, ArbInner>,
+        events: &[ArbEvent],
+    ) -> Vec<Command> {
+        let now = self.now_us();
+        let cmds = inner.core.feed(now, events);
+        for cmd in &cmds {
+            match cmd {
+                Command::Dispatch { lease, range } => {
+                    inner.grants.insert(*lease, *range);
+                }
+                Command::Resize { lease, range } => {
+                    if let Some(e) = inner.handles.get(lease) {
+                        e.handle.resize(*range);
+                    }
+                }
+                Command::Evict { lease } => {
+                    if let Some(e) = inner.handles.get(lease) {
+                        e.handle.evict();
+                        if let Some(t) = &e.token {
+                            t.cancel();
+                        }
+                    }
+                }
+                // Rejections are returned to the feeding call site;
+                // promotion and reaping are informational here.
+                Command::PromoteStarved { .. }
+                | Command::Reap { .. }
+                | Command::RejectOverloaded { .. } => {}
+            }
+        }
+        self.granted.notify_all();
+        cmds
+    }
+
+    /// Registers the kernel's dispatch handle, announces it ready, and
+    /// blocks until the core grants it an SM range. The wait is bounded
+    /// (the 1 ms heartbeat re-runs scheduling anyway), so a lost wakeup
+    /// during teardown cannot wedge the thread.
+    fn wait_grant(
+        &self,
+        lease: u64,
+        ready: ArbEvent,
         handle: DispatchHandle,
         token: Option<FaultToken>,
-    ) -> u64 {
-        let ticket = self.next_ticket.fetch_add(1, Ordering::Relaxed);
-        self.entries.lock().insert(
-            ticket,
-            WatchEntry {
-                deadline: Instant::now() + Duration::from_millis(deadline_ms),
-                handle,
-                token,
-            },
-        );
-        ticket
-    }
-
-    fn deregister(&self, ticket: u64) {
-        self.entries.lock().remove(&ticket);
-    }
-
-    /// Evicts every over-deadline dispatch. Called from the scanner thread.
-    fn scan(&self, now: Instant) {
-        let mut entries = self.entries.lock();
-        let expired: Vec<u64> = entries
-            .iter()
-            .filter(|(_, e)| now >= e.deadline)
-            .map(|(&t, _)| t)
-            .collect();
-        for ticket in expired {
-            let entry = entries.remove(&ticket).expect("ticket collected above");
-            entry.handle.evict();
-            if let Some(token) = entry.token {
-                token.cancel();
+    ) -> SmRange {
+        let mut inner = self.inner.lock();
+        inner.handles.insert(lease, HandleEntry { handle, token });
+        self.feed_locked(&mut inner, std::slice::from_ref(&ready));
+        loop {
+            if let Some(range) = inner.grants.remove(&lease) {
+                return range;
             }
-            self.evictions.fetch_add(1, Ordering::Relaxed);
+            let _ = self.granted.wait_for(&mut inner, Duration::from_millis(5));
         }
     }
+
+    /// Reports the dispatch finished (drained, faulted or evicted) and
+    /// drops its handle; the core re-schedules (survivor regrow, next
+    /// waiter dispatch) in the same feed.
+    fn finish(&self, lease: u64, ok: bool) {
+        let mut inner = self.inner.lock();
+        inner.handles.remove(&lease);
+        self.feed_locked(&mut inner, &[ArbEvent::KernelFinished { lease, ok }]);
+    }
+}
+
+/// The retry hint if `cmds` shed the request just fed for `session`. Each
+/// daemon feed carries a single request event, so any rejection in the
+/// answer belongs to it.
+fn shed_retry(cmds: &[Command], session: u64) -> Option<u64> {
+    cmds.iter().find_map(|c| match c {
+        Command::RejectOverloaded {
+            session: s,
+            retry_after_ms,
+            ..
+        } if *s == session => Some(*retry_after_ms),
+        _ => None,
+    })
 }
 
 /// Shared daemon state.
@@ -342,22 +239,17 @@ struct DaemonShared {
     pool: Mutex<DeviceMemoryPool>,
     injector: Mutex<InjectionCache>,
     profiles: Mutex<ProfileTable>,
-    arbiter: Arbiter,
+    /// Driver of the shared arbitration core.
+    arb: ArbFrontend,
     launches: Mutex<u64>,
     /// Hardware work-queue allocator for the funnelled server context.
     hyperq: Mutex<HyperQ>,
     /// Scripted fault schedule (empty outside fault-injection tests).
     faults: Mutex<FaultPlan>,
-    /// Deadline registry for in-flight dispatches.
-    watchdog: Watchdog,
     /// Deadline applied to launches that don't carry their own.
     default_deadline_ms: Option<u64>,
-    /// Admission gatekeeper: session/launch/memory limits and counters.
-    admission: AdmissionController,
     /// Raised by [`SlateDaemon::shutdown`]; refuses new connections.
     shutting_down: AtomicBool,
-    /// Sessions torn down because the client vanished without Disconnect.
-    reaped_sessions: AtomicU64,
     /// Live session count + condvar for the shutdown drain.
     active_sessions: Mutex<usize>,
     session_drained: Condvar,
@@ -380,6 +272,10 @@ pub struct DaemonOptions {
     /// counted in [`SlateDaemon::starvation_promotions`]. `None` disables
     /// aging.
     pub starvation_bound_ms: Option<u64>,
+    /// Record every arbitration event batch; [`SlateDaemon::arbiter_log`]
+    /// returns the [`EventLog`], which replays to the identical command
+    /// sequence.
+    pub record_arbiter: bool,
 }
 
 impl Default for DaemonOptions {
@@ -390,6 +286,7 @@ impl Default for DaemonOptions {
             default_deadline_ms: None,
             admission: AdmissionLimits::default(),
             starvation_bound_ms: None,
+            record_arbiter: false,
         }
     }
 }
@@ -445,27 +342,33 @@ impl SlateDaemon {
         mem_capacity: u64,
         options: DaemonOptions,
     ) -> Arc<Self> {
+        let mut core = ArbiterCore::new(
+            cfg.clone(),
+            ArbiterConfig {
+                enable_corun: true,
+                enable_resize: true,
+                starvation_bound_us: options.starvation_bound_ms.map(|ms| ms * 1000),
+                limits: options.admission,
+            },
+        );
+        if options.record_arbiter {
+            core.start_recording();
+        }
         let shared = Arc::new(DaemonShared {
-            cfg: cfg.clone(),
+            cfg,
             pool: Mutex::new(DeviceMemoryPool::new(mem_capacity)),
             injector: Mutex::new(InjectionCache::new()),
             profiles: Mutex::new(options.profiles),
-            arbiter: Arbiter::new(
-                cfg,
-                options.starvation_bound_ms.map(Duration::from_millis),
-            ),
+            arb: ArbFrontend::new(core),
             launches: Mutex::new(0),
             hyperq: Mutex::new(HyperQ::with_default_connections()),
             faults: Mutex::new(options.fault_plan),
-            watchdog: Watchdog::new(),
             default_deadline_ms: options.default_deadline_ms,
-            admission: AdmissionController::new(options.admission),
             shutting_down: AtomicBool::new(false),
-            reaped_sessions: AtomicU64::new(0),
             active_sessions: Mutex::new(0),
             session_drained: Condvar::new(),
         });
-        spawn_watchdog_scanner(Arc::downgrade(&shared));
+        spawn_heartbeat(Arc::downgrade(&shared));
         Arc::new(Self {
             shared,
             next_session: Mutex::new(0),
@@ -489,12 +392,20 @@ impl SlateDaemon {
         if self.shared.shutting_down.load(Ordering::Acquire) {
             return Err(SlateError::ShuttingDown);
         }
-        self.shared.admission.admit_session()?;
         let session = {
             let mut n = self.next_session.lock();
             *n += 1;
             *n
         };
+        let cmds = self
+            .shared
+            .arb
+            .feed(&[ArbEvent::SessionOpened { session }]);
+        if let Some(retry) = shed_retry(&cmds, session) {
+            return Err(SlateError::Overloaded {
+                retry_after_ms: retry,
+            });
+        }
         let (tx_req, rx_req) = unbounded::<Request>();
         let (tx_resp, rx_resp) = unbounded::<Response>();
         let shared = self.shared.clone();
@@ -504,7 +415,6 @@ impl SlateDaemon {
             .name(format!("slate-session-{session}"))
             .spawn(move || {
                 session_loop(shared.clone(), session, user, rx_req, tx_resp);
-                shared.admission.end_session();
                 let mut active = shared.active_sessions.lock();
                 *active -= 1;
                 shared.session_drained.notify_all();
@@ -526,7 +436,7 @@ impl SlateDaemon {
     /// drain keeps progressing in the background either way).
     pub fn shutdown(&self, drain_deadline: Duration) -> bool {
         self.shared.shutting_down.store(true, Ordering::Release);
-        self.shared.arbiter.begin_drain();
+        self.shared.arb.feed(&[ArbEvent::DrainBegan]);
         let deadline = Instant::now() + drain_deadline;
         let mut active = self.shared.active_sessions.lock();
         while *active > 0 {
@@ -570,17 +480,17 @@ impl SlateDaemon {
 
     /// Kernels evicted by the watchdog since the daemon started.
     pub fn watchdog_evictions(&self) -> u64 {
-        self.shared.watchdog.evictions.load(Ordering::Relaxed)
+        self.shared.arb.inner.lock().core.evictions()
     }
 
     /// Sessions torn down because the client vanished without Disconnect.
     pub fn reaped_sessions(&self) -> u64 {
-        self.shared.reaped_sessions.load(Ordering::Relaxed)
+        self.shared.arb.inner.lock().core.reaped()
     }
 
     /// Kernels currently resident on the device (0, 1, or 2).
     pub fn arbiter_residents(&self) -> usize {
-        self.shared.arbiter.residents()
+        self.shared.arb.inner.lock().core.residents()
     }
 
     /// Fault-plan rules that have fired so far (0 without injection).
@@ -591,25 +501,42 @@ impl SlateDaemon {
     /// Snapshot of the daemon-wide launch queue: depth, high-water mark,
     /// admitted and shed counts.
     pub fn queue_stats(&self) -> QueueStats {
-        self.shared.admission.queue_stats()
+        self.shared.arb.inner.lock().core.queue_stats()
     }
 
     /// Snapshot of the admission counters (sessions, launches, deadline
     /// rejections, memory sheds).
     pub fn admission_stats(&self) -> AdmissionStats {
-        self.shared.admission.stats()
+        self.shared.arb.inner.lock().core.admission_stats()
     }
 
     /// Starved arbiter waiters promoted to solo dispatch (0 unless
     /// [`DaemonOptions::starvation_bound_ms`] is set).
     pub fn starvation_promotions(&self) -> u64 {
-        self.shared.arbiter.promotions.load(Ordering::Relaxed)
+        self.shared.arb.inner.lock().core.promotions()
+    }
+
+    /// Takes the recorded arbitration [`EventLog`] (present only when the
+    /// daemon was started with [`DaemonOptions::record_arbiter`]).
+    pub fn arbiter_log(&self) -> Option<EventLog> {
+        self.shared.arb.inner.lock().core.take_log()
     }
 
     /// One consistent-enough snapshot of everything the daemon reports:
     /// queue backlog, admission counters, and the fault-tolerance
     /// counters. The single stable observability surface.
     pub fn metrics(&self) -> DaemonMetrics {
+        let sh = &self.shared;
+        let lock_recoveries = sh.pool.recoveries()
+            + sh.injector.recoveries()
+            + sh.profiles.recoveries()
+            + sh.launches.recoveries()
+            + sh.hyperq.recoveries()
+            + sh.faults.recoveries()
+            + sh.active_sessions.recoveries()
+            + sh.arb.inner.recoveries()
+            + self.next_session.recoveries()
+            + self.sessions.recoveries();
         DaemonMetrics {
             queue: self.queue_stats(),
             admission: self.admission_stats(),
@@ -621,6 +548,7 @@ impl SlateDaemon {
             reaped_sessions: self.reaped_sessions(),
             starvation_promotions: self.starvation_promotions(),
             faults_fired: self.faults_fired(),
+            lock_recoveries,
         }
     }
 
@@ -633,20 +561,23 @@ impl SlateDaemon {
     }
 }
 
-/// Spawns the watchdog scanner: a daemon-lifetime thread that evicts
-/// over-deadline dispatches. Holds only a weak reference, so it exits once
-/// the daemon (and its sessions) are gone.
-fn spawn_watchdog_scanner(shared: Weak<DaemonShared>) {
+/// Spawns the arbiter heartbeat: a daemon-lifetime thread that feeds
+/// [`ArbEvent::DeadlineTick`] every millisecond, which is what fires
+/// watchdog evictions and starvation promotions. Holds only a weak
+/// reference, so it exits once the daemon (and its sessions) are gone.
+fn spawn_heartbeat(shared: Weak<DaemonShared>) {
     std::thread::Builder::new()
-        .name("slate-watchdog".to_string())
+        .name("slate-heartbeat".to_string())
         .spawn(move || loop {
             std::thread::sleep(Duration::from_millis(1));
             match shared.upgrade() {
-                Some(sh) => sh.watchdog.scan(Instant::now()),
+                Some(sh) => {
+                    sh.arb.feed(&[ArbEvent::DeadlineTick]);
+                }
                 None => break,
             }
         })
-        .expect("spawn watchdog thread");
+        .expect("spawn heartbeat thread");
 }
 
 /// Per-session state: the pointer-mapping hash table of §IV-A1.
@@ -655,15 +586,15 @@ struct SessionState {
     next_ptr: u64,
 }
 
-/// A launch job forwarded to a stream worker thread. Carries its
-/// [`LaunchTicket`]: the lane completes the admission when the kernel
-/// finishes, so queue depth covers lane backlog too.
+/// A launch job forwarded to a stream worker thread. Admission already
+/// happened at request time ([`ArbEvent::LaunchRequested`]); the lane's
+/// `execute_kernel` completes it by feeding
+/// [`ArbEvent::KernelFinished`].
 struct StreamJob {
     kernel: Arc<dyn slate_kernels::kernel::GpuKernel>,
     task_size: u32,
     pinned_solo: bool,
     deadline_ms: Option<u64>,
-    ticket: LaunchTicket,
 }
 
 /// A message for a stream lane's in-order queue: either a kernel launch or
@@ -686,7 +617,6 @@ fn spawn_stream_lane(
     shared: Arc<DaemonShared>,
     lease: u64,
     errors: Arc<Mutex<Vec<String>>>,
-    gauge: Arc<LaunchGauge>,
 ) -> StreamLane {
     let (tx, rx) = unbounded::<LaneMsg>();
     let handle = std::thread::spawn(move || {
@@ -701,9 +631,6 @@ fn spawn_stream_lane(
                         job.pinned_solo,
                         job.deadline_ms,
                     );
-                    shared
-                        .admission
-                        .complete_launch(&gauge, job.ticket, out.is_ok());
                     if let Err(e) = out {
                         errors.lock().push(e);
                     }
@@ -728,8 +655,6 @@ fn session_loop(
         ptr_map: HashMap::new(),
         next_ptr: session << 32,
     };
-    // Per-session bounded launch queue (admission-control backpressure).
-    let gauge = shared.admission.new_session_gauge();
     let mut lanes: HashMap<u32, StreamLane> = HashMap::new();
     let stream_errors: Arc<Mutex<Vec<String>>> = Arc::new(Mutex::new(Vec::new()));
     let shutdown_lanes = |lanes: &mut HashMap<u32, StreamLane>| {
@@ -750,15 +675,24 @@ fn session_loop(
         }
         let resp = match req {
             Request::Malloc(bytes) => {
-                let admit = {
+                let (used, capacity) = {
                     let pool = shared.pool.lock();
-                    shared
-                        .admission
-                        .admit_malloc(pool.used(), pool.capacity(), bytes)
+                    (pool.used(), pool.capacity())
                 };
-                match admit {
-                    Err(e) => Response::Err(e.to_wire()),
-                    Ok(()) => match shared.pool.lock().alloc(bytes) {
+                let cmds = shared.arb.feed(&[ArbEvent::MallocRequested {
+                    session,
+                    used,
+                    capacity,
+                    bytes,
+                }]);
+                match shed_retry(&cmds, session) {
+                    Some(retry) => Response::Err(
+                        SlateError::Overloaded {
+                            retry_after_ms: retry,
+                        }
+                        .to_wire(),
+                    ),
+                    None => match shared.pool.lock().alloc(bytes) {
                         Ok(dev) => {
                             st.next_ptr += 1;
                             let p = SlatePtr(st.next_ptr);
@@ -815,45 +749,46 @@ fn session_loop(
                             kernel.name(),
                             kernel.grid().total_blocks(),
                         );
-                        match shared.admission.admit_launch(&gauge, est_ms, deadline_ms) {
-                            Err(e) => Response::Err(e.to_wire()),
-                            Ok(ticket) => {
-                                if stream == 0 {
-                                    // Default stream: in-order on the
-                                    // session thread.
-                                    let lease = session << 16;
-                                    let out = execute_kernel(
-                                        &shared, lease, kernel, task_size, pinned_solo,
-                                        deadline_ms,
-                                    );
-                                    shared.admission.complete_launch(
-                                        &gauge,
-                                        ticket,
-                                        out.is_ok(),
-                                    );
-                                    match out {
-                                        Ok(()) => continue,
-                                        Err(e) => Response::Err(e),
-                                    }
-                                } else {
-                                    let lane = lanes.entry(stream).or_insert_with(|| {
-                                        spawn_stream_lane(
-                                            shared.clone(),
-                                            (session << 16) | stream as u64,
-                                            stream_errors.clone(),
-                                            gauge.clone(),
-                                        )
-                                    });
-                                    let _ = lane.tx.send(LaneMsg::Job(StreamJob {
-                                        kernel,
-                                        task_size,
-                                        pinned_solo,
-                                        deadline_ms,
-                                        ticket,
-                                    }));
-                                    continue; // asynchronous: no reply
+                        let lease = (session << 16) | stream as u64;
+                        let cmds = shared.arb.feed(&[ArbEvent::LaunchRequested {
+                            session,
+                            lease,
+                            est_ms,
+                            deadline_ms,
+                        }]);
+                        if let Some(retry) = shed_retry(&cmds, session) {
+                            Response::Err(
+                                SlateError::Overloaded {
+                                    retry_after_ms: retry,
                                 }
+                                .to_wire(),
+                            )
+                        } else if stream == 0 {
+                            // Default stream: in-order on the session
+                            // thread.
+                            let out = execute_kernel(
+                                &shared, lease, kernel, task_size, pinned_solo,
+                                deadline_ms,
+                            );
+                            match out {
+                                Ok(()) => continue,
+                                Err(e) => Response::Err(e),
                             }
+                        } else {
+                            let lane = lanes.entry(stream).or_insert_with(|| {
+                                spawn_stream_lane(
+                                    shared.clone(),
+                                    lease,
+                                    stream_errors.clone(),
+                                )
+                            });
+                            let _ = lane.tx.send(LaneMsg::Job(StreamJob {
+                                kernel,
+                                task_size,
+                                pinned_solo,
+                                deadline_ms,
+                            }));
+                            continue; // asynchronous: no reply
                         }
                     }
                     Err(e) => Response::Err(e),
@@ -895,7 +830,8 @@ fn session_loop(
     // an injected ChannelDrop severed the pipe. Reap the session exactly
     // like a Disconnect: drain stream lanes, reclaim device memory, release
     // any arbiter residency (the surviving co-runner regrows to the full
-    // device) and the session's Hyper-Q lanes.
+    // device) and the session's Hyper-Q lanes. Lanes are joined first, so
+    // no launch of this session is in flight when the core sees the close.
     shutdown_lanes(&mut lanes);
     {
         let mut pool = shared.pool.lock();
@@ -903,16 +839,15 @@ fn session_loop(
             let _ = pool.free(dev);
         }
     }
-    shared
-        .arbiter
-        .release_matching(|lease| lease >> 16 == session);
+    shared.arb.feed(&[if clean_exit {
+        ArbEvent::SessionClosed { session }
+    } else {
+        ArbEvent::SessionSevered { session }
+    }]);
     shared
         .hyperq
         .lock()
         .retire_lanes(|_, stream| stream >> 16 == session as u32);
-    if !clean_exit {
-        shared.reaped_sessions.fetch_add(1, Ordering::Relaxed);
-    }
 }
 
 /// Applies an injected memcpy stall, if the plan has one armed.
@@ -986,11 +921,14 @@ impl slate_kernels::kernel::GpuKernel for HungKernel {
     }
 }
 
-/// Profiles, transforms and dispatches a prepared kernel under the
-/// workload-aware arbiter. `lease` identifies the (session, stream) queue.
-/// `deadline_ms` (or the daemon default) arms the watchdog for this
+/// Profiles, transforms and dispatches a prepared kernel under the shared
+/// arbitration core. `lease` identifies the (session, stream) queue.
+/// `deadline_ms` (or the daemon default) arms the core's watchdog at
 /// dispatch; past it the kernel is evicted and `SlateError::Timeout`
-/// returned.
+/// returned. Every admitted launch — including one that dies to an
+/// injected fault before dispatch — feeds a final
+/// [`ArbEvent::KernelFinished`], which is what balances the admission
+/// gauges.
 fn execute_kernel(
     shared: &Arc<DaemonShared>,
     lease: u64,
@@ -1017,6 +955,9 @@ fn execute_kernel(
         .fire(FaultSite::Launch, Some(kernel.name()))
     {
         Some(FaultKind::LaunchFault) => {
+            shared
+                .arb
+                .feed(&[ArbEvent::KernelFinished { lease, ok: false }]);
             return Err(SlateError::KernelFault(format!(
                 "injected device fault in '{}'",
                 kernel.name()
@@ -1043,7 +984,7 @@ fn execute_kernel(
         (p.class, p.sm_demand)
     };
 
-    // Transform and dispatch under the workload-aware arbiter.
+    // Transform, then wait for the core to grant an SM range.
     let transformed = TransformedKernel::new(kernel);
     let dispatcher = Dispatcher::new(
         shared.cfg.clone(),
@@ -1052,25 +993,27 @@ fn execute_kernel(
         SmRange::all(shared.cfg.num_sms),
     );
     let handle = dispatcher.handle();
+    let ready = ArbEvent::KernelReady {
+        session: lease >> 16,
+        lease,
+        class,
+        sm_demand: demand,
+        pinned_solo,
+        // The core arms the watchdog at dispatch (not while queued:
+        // waiting behind a long co-runner is not the kernel's fault).
+        deadline_ms: deadline_ms.or(shared.default_deadline_ms),
+    };
     let range = shared
-        .arbiter
-        .acquire(lease, class, demand, pinned_solo, handle.clone());
+        .arb
+        .wait_grant(lease, ready, handle.clone(), hang_token.clone());
     if range != SmRange::all(shared.cfg.num_sms) {
-        // Bind the first worker launch onto the acquired partition (the
+        // Bind the first worker launch onto the granted partition (the
         // raced retreat at worst costs one immediate relaunch).
         handle.resize(range);
     }
-    // Arm the watchdog for the execution (not the arbiter wait: queueing
-    // behind a long co-runner is not the kernel's fault).
     let started = Instant::now();
-    let ticket = deadline_ms
-        .or(shared.default_deadline_ms)
-        .map(|ms| shared.watchdog.register(ms, handle.clone(), hang_token.clone()));
     let out = dispatcher.run();
-    if let Some(ticket) = ticket {
-        shared.watchdog.deregister(ticket);
-    }
-    shared.arbiter.release(lease);
+    shared.arb.finish(lease, !out.evicted);
     *shared.launches.lock() += 1;
     if out.evicted {
         return Err(SlateError::Timeout {
@@ -1511,5 +1454,36 @@ mod tests {
         // The drain keeps progressing afterwards.
         client.disconnect().unwrap();
         daemon.join();
+    }
+
+    #[test]
+    fn recorded_daemon_run_replays_identically() {
+        let daemon = SlateDaemon::start_with_options(
+            DeviceConfig::tiny(4),
+            1 << 22,
+            DaemonOptions {
+                record_arbiter: true,
+                ..Default::default()
+            },
+        );
+        let client = SlateClient::new(daemon.connect("recorded").unwrap());
+        let n = 2_000usize;
+        let p = client.malloc((n * 4) as u64).unwrap();
+        client.upload_f32(p, &vec![1.0f32; n]).unwrap();
+        for _ in 0..2 {
+            client.launch_with(vec![p], 10, None, double_factory(n)).unwrap();
+        }
+        client.synchronize().unwrap();
+        client.disconnect().unwrap();
+        daemon.join();
+        assert_eq!(daemon.metrics().lock_recoveries, 0, "healthy run");
+        let log = daemon.arbiter_log().expect("recording was enabled");
+        assert!(
+            log.batches
+                .iter()
+                .any(|b| b.commands.iter().any(|c| matches!(c, Command::Dispatch { .. }))),
+            "the log must contain real dispatches"
+        );
+        crate::arbiter::replay::verify(&log).expect("daemon log replays identically");
     }
 }

@@ -21,10 +21,18 @@
 //! [`runtime`] (the Slate scheduler with co-running and dynamic resizing,
 //! implementing the common `Runtime` trait next to the CUDA and MPS
 //! baselines).
+//!
+//! Both layers share one brain: the [`arbiter`] module is a deterministic,
+//! I/O-free arbitration core (events in, commands out) behind which every
+//! corun/partition/resize/admission/starvation decision lives. The
+//! simulated [`runtime`] and the live [`daemon`] are thin drivers of it,
+//! which is what makes daemon scheduling decisions replayable
+//! ([`arbiter::replay`]).
 
 #![warn(missing_docs)]
 
 pub mod admission;
+pub mod arbiter;
 pub mod api;
 pub mod channel;
 pub mod classify;
@@ -40,10 +48,12 @@ pub mod queue;
 pub mod runtime;
 pub mod scanner;
 pub mod select;
+pub mod sync;
 pub mod transform;
 pub mod workers;
 
 pub use admission::{AdmissionLimits, AdmissionStats, DaemonMetrics};
+pub use arbiter::{ArbiterConfig, ArbiterCore};
 pub use api::SlateClient;
 pub use channel::SlatePtr;
 pub use classify::WorkloadClass;

@@ -109,6 +109,50 @@ mod tests {
     }
 
     #[test]
+    fn exhaustive_pairs_are_disjoint_covers_on_many_device_sizes() {
+        // Every demand pair up to twice the device size, on devices from
+        // the 2-SM minimum up: the split is always two non-empty,
+        // disjoint, contiguous ranges that exactly cover the device.
+        for n in [2u32, 3, 4, 5, 8, 16, 30, 64] {
+            let mut cfg = DeviceConfig::titan_xp();
+            cfg.num_sms = n;
+            for da in 0..=2 * n {
+                for db in 0..=2 * n {
+                    let p = partition(&cfg, da, db);
+                    assert!(!p.a.overlaps(&p.b), "n={n} da={da} db={db}: {p:?}");
+                    assert_eq!(p.a.len() + p.b.len(), n, "n={n} da={da} db={db}");
+                    assert_eq!(p.a.lo, 0, "n={n} da={da} db={db}");
+                    assert_eq!(p.a.hi + 1, p.b.lo, "n={n} da={da} db={db}");
+                    assert_eq!(p.b.hi, n - 1, "n={n} da={da} db={db}");
+                    assert!(
+                        !p.a.is_empty() && !p.b.is_empty(),
+                        "n={n} da={da} db={db}: a side starved"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn extreme_demands_clamp_rather_than_panic() {
+        // Far-overshooting and zero demands clamp into [1, n-1].
+        let p = partition(&cfg(), u32::MAX, u32::MAX);
+        assert_eq!(p.a.len() + p.b.len(), 30);
+        assert_eq!(p.a.len(), 15);
+        let p = partition(&cfg(), 0, u32::MAX);
+        assert_eq!(p.a.len(), 1, "zero demand clamps to one SM");
+        let p = partition(&cfg(), u32::MAX, 0);
+        assert_eq!(p.b.len(), 1);
+        // The 2-SM minimum device splits 1 + 1 whatever the demands.
+        let mut tiny = DeviceConfig::titan_xp();
+        tiny.num_sms = 2;
+        for (da, db) in [(0, 0), (1, 1), (2, 2), (0, u32::MAX), (7, 3)] {
+            let p = partition(&tiny, da, db);
+            assert_eq!((p.a.len(), p.b.len()), (1, 1), "da={da} db={db}");
+        }
+    }
+
+    #[test]
     fn degenerate_demands_still_leave_one_sm_each() {
         let p = partition(&cfg(), 0, 0);
         assert!(!p.a.is_empty() && !p.b.is_empty());

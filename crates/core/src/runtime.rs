@@ -19,10 +19,17 @@
 //! * non-complementary processes alternate solo at launch granularity;
 //! * client–daemon **communication** and one-time **injection/compilation**
 //!   costs are charged per the measured fractions of §V-D.
+//!
+//! All of those *decisions* live in the shared
+//! [`ArbiterCore`]; this module is a thin
+//! driver that translates engine events (transfer completions, slice
+//! drains) into arbiter [`ArbEvent`]s and executes the returned
+//! [`Command`]s against the simulation engine. The daemon drives the same
+//! core from wall-clock threads, so both frontends make identical
+//! scheduling choices for the same workload trace.
 
-use crate::partition::partition;
+use crate::arbiter::{ArbiterConfig, ArbiterCore, Command, Event as ArbEvent, EventLog};
 use crate::profile::ProfileTable;
-use crate::select::{select_partner_aged, PartnerCandidate, PartnerChoice};
 use slate_baselines::runtime::{AppResult, RunOutcome, Runtime};
 use slate_gpu_sim::device::{DeviceConfig, SmRange};
 use slate_gpu_sim::engine::{Dir, Engine, Event, SliceId, SliceSpec, TimerId, TransferId};
@@ -62,8 +69,8 @@ pub struct SlateOptions {
     pub autotune_task_size: bool,
     /// Starvation bound for the wait-aware selector, in simulated seconds.
     /// A process that has been ready longer than this refuses co-running
-    /// and is dispatched solo ahead of round-robin order as soon as the
-    /// device frees. `None` (the default) disables aging.
+    /// and is dispatched solo ahead of queue order as soon as the device
+    /// frees. `None` (the default) disables aging.
     pub starvation_bound_s: Option<f64>,
 }
 
@@ -79,6 +86,22 @@ impl Default for SlateOptions {
             use_hardware_exec: false,
             autotune_task_size: false,
             starvation_bound_s: None,
+        }
+    }
+}
+
+impl SlateOptions {
+    /// The arbiter configuration these options induce. The sim frontend
+    /// never sets admission limits — processes are workloads, not hostile
+    /// clients.
+    fn arbiter_config(&self) -> ArbiterConfig {
+        ArbiterConfig {
+            enable_corun: self.enable_corun,
+            enable_resize: self.enable_resize,
+            starvation_bound_us: self
+                .starvation_bound_s
+                .map(|s| (s * 1e6).round() as u64),
+            limits: Default::default(),
         }
     }
 }
@@ -105,6 +128,17 @@ impl SlateRuntime {
     pub fn options(&self) -> &SlateOptions {
         &self.opts
     }
+
+    /// Runs `apps` while recording every arbitration event batch, and
+    /// returns the outcome together with the recorded [`EventLog`]. The
+    /// log replays to the identical command sequence (see
+    /// [`crate::arbiter::replay`]).
+    pub fn run_recorded(&self, apps: &[AppSpec]) -> (RunOutcome, EventLog) {
+        let mut sim = Sim::new(self.cfg.clone(), self.opts.clone(), apps);
+        sim.arb.start_recording();
+        let (out, log) = sim.run();
+        (out, log.expect("recording was enabled"))
+    }
 }
 
 impl Runtime for SlateRuntime {
@@ -117,7 +151,7 @@ impl Runtime for SlateRuntime {
     }
 
     fn run(&self, apps: &[AppSpec]) -> RunOutcome {
-        Sim::new(self.cfg.clone(), self.opts.clone(), apps).run()
+        Sim::new(self.cfg.clone(), self.opts.clone(), apps).run().0
     }
 }
 
@@ -134,9 +168,6 @@ enum Phase {
 struct Proc {
     app: AppSpec,
     phase: Phase,
-    /// Simulated time at which the process last became `Ready` — feeds the
-    /// wait-aware selector and the starvation bound.
-    ready_since: f64,
     launches_done: u32,
     timer: Option<TimerId>,
     transfer: Option<TransferId>,
@@ -152,7 +183,8 @@ struct Proc {
     class: crate::classify::WorkloadClass,
 }
 
-/// A kernel currently resident on the device.
+/// A kernel currently resident on the device (execution mechanics; the
+/// scheduling view lives in the arbiter core).
 #[derive(Debug, Clone, Copy)]
 struct Resident {
     proc: usize,
@@ -166,8 +198,10 @@ struct Sim {
     engine: Engine,
     procs: Vec<Proc>,
     residents: Vec<Resident>,
-    rr: usize,
     trace: Trace,
+    /// The shared arbitration core; process index doubles as both the
+    /// session and lease id.
+    arb: ArbiterCore,
 }
 
 impl Sim {
@@ -201,7 +235,6 @@ impl Sim {
                 Proc {
                     app: app.clone(),
                     phase: Phase::Setup,
-                    ready_since: 0.0,
                     launches_done: 0,
                     timer: None,
                     transfer: None,
@@ -226,15 +259,79 @@ impl Sim {
             let session = opts.session_setup_s * p.app.fixed_cost_scale;
             p.timer = Some(engine.set_timer(p.app.host_setup_s + session + p.inject_s));
         }
+        let arb = ArbiterCore::new(cfg.clone(), opts.arbiter_config());
         Self {
             cfg,
             opts,
             engine,
             procs,
             residents: Vec::new(),
-            rr: 0,
             trace: Trace::new(),
+            arb,
         }
+    }
+
+    /// Engine time as the arbiter's logical microsecond tick.
+    fn now_us(&self) -> u64 {
+        (self.engine.now() * 1e6).round() as u64
+    }
+
+    /// The `KernelReady` event for process `i`'s next launch.
+    fn ready_event(&self, i: usize) -> ArbEvent {
+        let p = &self.procs[i];
+        ArbEvent::KernelReady {
+            session: i as u64,
+            lease: i as u64,
+            class: p.class,
+            sm_demand: p.sm_demand,
+            pinned_solo: p.app.pinned_solo,
+            deadline_ms: None,
+        }
+    }
+
+    /// Feeds a batch of events to the arbiter and executes the returned
+    /// commands, looping on any compensation events a command execution
+    /// produces (a resize that raced with completion reports the kernel
+    /// finished, which may trigger further scheduling).
+    fn feed(&mut self, events: Vec<ArbEvent>) {
+        let mut batch = events;
+        while !batch.is_empty() {
+            let cmds = self.arb.feed(self.now_us(), &batch);
+            batch = self.apply(cmds);
+        }
+    }
+
+    /// Executes arbiter commands against the engine; returns compensation
+    /// events for outcomes the core could not see yet.
+    fn apply(&mut self, cmds: Vec<Command>) -> Vec<ArbEvent> {
+        let mut compensation = Vec::new();
+        for cmd in cmds {
+            match cmd {
+                Command::Dispatch { lease, range } => self.launch(lease as usize, range),
+                Command::Resize { lease, range } => {
+                    let proc = lease as usize;
+                    let Some(idx) = self.residents.iter().position(|r| r.proc == proc) else {
+                        continue;
+                    };
+                    if !self.resize(idx, range) {
+                        // The slice drained during the retreat: tell the
+                        // core the launch finished (and, for a multi-launch
+                        // process, that the next one is ready).
+                        compensation.push(ArbEvent::KernelFinished { lease, ok: true });
+                        if self.procs[proc].phase == Phase::Ready {
+                            compensation.push(self.ready_event(proc));
+                        }
+                    }
+                }
+                // Informational in the sim: no watchdog deadlines are
+                // armed, sessions are processes, promotion is internal.
+                Command::PromoteStarved { .. }
+                | Command::Evict { .. }
+                | Command::Reap { .. }
+                | Command::RejectOverloaded { .. } => {}
+            }
+        }
+        compensation
     }
 
     /// Starts the next launch of `proc` on `range`. Charges the per-launch
@@ -361,7 +458,6 @@ impl Sim {
         p.launches_done += 1;
         if p.launches_done < p.app.launches {
             p.phase = Phase::Ready;
-            p.ready_since = now;
         } else {
             p.phase = Phase::D2h;
             let bytes = p.app.d2h_bytes;
@@ -370,116 +466,13 @@ impl Sim {
                     .add_transfer(bytes, Dir::D2H, proc as u64),
             );
             self.trace.record(
-                self.engine.now(),
+                now,
                 TraceKind::TransferStart {
                     tag: proc as u64,
                     h2d: false,
                     bytes,
                 },
             );
-        }
-    }
-
-    /// Ready processes in round-robin scan order.
-    fn ready_procs(&self) -> Vec<usize> {
-        let n = self.procs.len();
-        (0..n)
-            .map(|k| (self.rr + k) % n)
-            .filter(|&i| {
-                self.procs[i].phase == Phase::Ready
-                    && !self.residents.iter().any(|r| r.proc == i)
-            })
-            .collect()
-    }
-
-    /// The `ready` set as wait-aware selection candidates. `order` is the
-    /// process index — stable across the whole run, so equal waits always
-    /// break the same way regardless of round-robin cursor state.
-    fn partner_candidates(&self, ready: &[usize]) -> Vec<PartnerCandidate> {
-        let now = self.engine.now();
-        ready
-            .iter()
-            .map(|&i| PartnerCandidate {
-                class: self.procs[i].class,
-                waited_s: (now - self.procs[i].ready_since).max(0.0),
-                order: i as u64,
-            })
-            .collect()
-    }
-
-    /// Picks the process to take the empty device: the longest-starved
-    /// ready process if the aging bound is set and crossed (ties to the
-    /// lower index), otherwise the round-robin head.
-    fn next_solo(&self, ready: &[usize]) -> Option<usize> {
-        let &first = ready.first()?;
-        let Some(bound) = self.opts.starvation_bound_s else {
-            return Some(first);
-        };
-        let now = self.engine.now();
-        Some(
-            ready
-                .iter()
-                .copied()
-                .filter(|&i| now - self.procs[i].ready_since >= bound)
-                .max_by(|&a, &b| {
-                    (now - self.procs[a].ready_since)
-                        .total_cmp(&(now - self.procs[b].ready_since))
-                        .then_with(|| b.cmp(&a))
-                })
-                .unwrap_or(first),
-        )
-    }
-
-    /// The scheduling decision procedure (Fig. 4): fill the device with a
-    /// solo kernel, then try to admit a complementary partner.
-    fn schedule(&mut self) {
-        // Admit a solo kernel if the device is empty. Starved processes
-        // (past `starvation_bound_s`) jump the round-robin order.
-        if self.residents.is_empty() {
-            let Some(next) = self.next_solo(&self.ready_procs()) else {
-                return;
-            };
-            self.rr = (next + 1) % self.procs.len();
-            self.launch(next, SmRange::all(self.cfg.num_sms));
-        }
-        // With one resident, look for a complementary partner. Kernels
-        // pinned solo (optimized libraries) neither host nor join a corun.
-        if self.residents.len() == 1 && self.opts.enable_corun {
-            let active = self.residents[0].proc;
-            if self.procs[active].app.pinned_solo {
-                return;
-            }
-            let ready: Vec<usize> = self
-                .ready_procs()
-                .into_iter()
-                .filter(|&i| !self.procs[i].app.pinned_solo)
-                .collect();
-            if ready.is_empty() {
-                return;
-            }
-            let cands = self.partner_candidates(&ready);
-            if let PartnerChoice::Corun(k) =
-                select_partner_aged(self.procs[active].class, &cands, self.opts.starvation_bound_s)
-            {
-                let partner = ready[k];
-                let part = partition(
-                    &self.cfg,
-                    self.procs[active].sm_demand,
-                    self.procs[partner].sm_demand,
-                );
-                // Shrink the resident; if it raced to completion the device
-                // is now free and the partner will be admitted solo by a
-                // rescheduling pass.
-                if self.resize(0, part.a) {
-                    self.rr = (partner + 1) % self.procs.len();
-                    self.launch(partner, part.b);
-                } else {
-                    self.schedule();
-                }
-            }
-            // `PromoteSolo` and `NoPartner` both leave the resident alone:
-            // a starved process refuses co-running and instead takes the
-            // device solo (via `next_solo`) at the next drain.
         }
     }
 
@@ -508,66 +501,25 @@ impl Sim {
         self.residents.remove(idx);
         self.finish_launch(r.proc);
 
-        let proc_continues = self.procs[r.proc].phase == Phase::Ready;
-        if let Some(surv) = self.residents.first().copied() {
-            if proc_continues && self.residents.len() == 1 {
-                // Partner keeps running: relaunch the next launch of this
-                // process on its existing partition share.
-                self.procs[r.proc].phase = Phase::Ready;
-                self.launch(r.proc, r.range);
-                return;
-            }
-            // The process departed (or no partition held): the survivor
-            // grows to whatever the new schedule allows.
-            if self.residents.len() == 1 {
-                let ready: Vec<usize> = self
-                    .ready_procs()
-                    .into_iter()
-                    .filter(|&i| !self.procs[i].app.pinned_solo)
-                    .collect();
-                let choice = if self.opts.enable_corun && !self.procs[surv.proc].app.pinned_solo {
-                    let cands = self.partner_candidates(&ready);
-                    select_partner_aged(
-                        self.procs[surv.proc].class,
-                        &cands,
-                        self.opts.starvation_bound_s,
-                    )
-                } else {
-                    PartnerChoice::NoPartner
-                };
-                match choice {
-                    PartnerChoice::Corun(k) => {
-                        let partner = ready[k];
-                        let part = partition(
-                            &self.cfg,
-                            self.procs[surv.proc].sm_demand,
-                            self.procs[partner].sm_demand,
-                        );
-                        if self.resize(0, part.a) {
-                            self.rr = (partner + 1) % self.procs.len();
-                            self.launch(partner, part.b);
-                        } else {
-                            self.schedule();
-                        }
-                    }
-                    // A starved waiter refuses co-running; the survivor
-                    // keeps the device (and grows) until it drains, then
-                    // `next_solo` hands the device to the starved process.
-                    PartnerChoice::PromoteSolo(_) | PartnerChoice::NoPartner => {
-                        if self.opts.enable_resize {
-                            // Grow the survivor to the full device.
-                            self.resize(0, SmRange::all(self.cfg.num_sms));
-                        }
-                    }
-                }
-            }
-            return;
+        let mut events = vec![ArbEvent::KernelFinished {
+            lease: r.proc as u64,
+            ok: true,
+        }];
+        if self.procs[r.proc].phase == Phase::Ready {
+            // The process has more launches: ready again in the same batch,
+            // which lets the core resume it on its old partition in place.
+            events.push(self.ready_event(r.proc));
         }
-        // Device empty: normal scheduling (handles solo alternation).
-        self.schedule();
+        self.feed(events);
     }
 
-    fn run(mut self) -> RunOutcome {
+    fn run(mut self) -> (RunOutcome, Option<EventLog>) {
+        // Announce every process as a session up front (t = 0): processes
+        // are trusted workloads, so the sim applies no admission limits.
+        let opened: Vec<ArbEvent> = (0..self.procs.len())
+            .map(|i| ArbEvent::SessionOpened { session: i as u64 })
+            .collect();
+        self.feed(opened);
         while let Some((now, ev)) = self.engine.step() {
             match ev {
                 Event::Timer(tid) => {
@@ -603,12 +555,13 @@ impl Sim {
                     match self.procs[i].phase {
                         Phase::H2d => {
                             self.procs[i].phase = Phase::Ready;
-                            self.procs[i].ready_since = now;
-                            self.schedule();
+                            let ev = self.ready_event(i);
+                            self.feed(vec![ev]);
                         }
                         Phase::D2h => {
                             self.procs[i].phase = Phase::Done;
                             self.procs[i].end_s = now;
+                            self.feed(vec![ArbEvent::SessionClosed { session: i as u64 }]);
                         }
                         other => panic!("transfer completion in phase {other:?}"),
                     }
@@ -618,8 +571,11 @@ impl Sim {
             }
         }
         debug_assert!(self.procs.iter().all(|p| p.phase == Phase::Done));
+        debug_assert_eq!(self.arb.residents(), 0);
+        debug_assert_eq!(self.arb.waiting(), 0);
+        let log = self.arb.take_log();
         let makespan = self.procs.iter().map(|p| p.end_s).fold(0.0, f64::max);
-        RunOutcome {
+        let outcome = RunOutcome {
             runtime: "Slate".into(),
             trace: self.trace,
             apps: self
@@ -642,13 +598,15 @@ impl Sim {
                 })
                 .collect(),
             makespan_s: makespan,
-        }
+        };
+        (outcome, log)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::arbiter::replay;
     use slate_baselines::cuda::CudaRuntime;
     use slate_baselines::mps::MpsRuntime;
     use slate_kernels::workload::Benchmark;
@@ -864,5 +822,30 @@ mod tests {
         for r in &out.apps {
             assert!(r.end_s > 0.0 && r.kernel_busy_s > 0.0, "{:?}", r.bench);
         }
+    }
+
+    #[test]
+    fn recorded_run_is_replayable_and_deterministic() {
+        let slate = SlateRuntime::new(titan());
+        let apps = [
+            Benchmark::BS.app().scaled_down(20),
+            Benchmark::RG.app().scaled_down(20),
+        ];
+        let (out1, log1) = slate.run_recorded(&apps);
+        replay::verify(&log1).expect("sim event log replays identically");
+        assert!(
+            log1.batches
+                .iter()
+                .any(|b| b.commands.iter().any(|c| matches!(c, Command::Resize { .. }))),
+            "BS-RG must co-run, which requires at least one resize"
+        );
+        // The whole pipeline is deterministic: a second run produces the
+        // byte-identical transcript.
+        let (out2, log2) = slate.run_recorded(&apps);
+        assert_eq!(out1.makespan_s, out2.makespan_s);
+        assert_eq!(
+            replay::transcript(&log1.batches),
+            replay::transcript(&log2.batches)
+        );
     }
 }

@@ -6,7 +6,7 @@
 //! `blockIdx` from the flat scheduling index. To stay cheap at runtime it
 //! performs *one* div/mod per task and then increments the 2-D coordinate
 //! with a rollover, instead of dividing per block — the optimisation the
-//! paper credits for beating the transformation of Pai et al. [16].
+//! paper credits for beating the transformation of Pai et al. \[16\].
 //!
 //! The transformation is semantics-preserving by construction: executing
 //! every flat index exactly once, in any order and under any grouping,

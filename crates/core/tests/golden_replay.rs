@@ -1,0 +1,93 @@
+//! Golden replay of the arbitration core.
+//!
+//! A checked-in JSON recording of an arbitration run (`tests/data/`) must
+//! replay through `slate_core::arbiter::replay` to the byte-identical
+//! command transcript, release after release — any diff here is a
+//! behavioral change to the scheduler and must be deliberate. A fresh
+//! simulated run of the same workload must also reproduce the checked-in
+//! log exactly, proving the whole frontend-plus-core stack deterministic,
+//! not just the core.
+//!
+//! After an *intended* arbiter change, regenerate the fixtures with
+//! `cargo test -p slate-core --test golden_replay -- --ignored`.
+
+use slate_core::arbiter::{replay, Command, EventLog};
+use slate_core::runtime::SlateRuntime;
+use slate_gpu_sim::device::DeviceConfig;
+use slate_kernels::workload::Benchmark;
+
+const LOG_JSON: &str = include_str!("data/arbiter_log.json");
+const GOLDEN_TRANSCRIPT: &str = include_str!("data/arbiter_transcript.txt");
+
+/// The fixed workload behind the fixtures: a complementary pair (BS-RG
+/// co-runs, partitions, and resizes) plus a solo-policy third process, so
+/// the log exercises dispatch, co-run join, in-place continuation, and
+/// survivor regrow.
+fn record_fixture_run() -> EventLog {
+    let slate = SlateRuntime::new(DeviceConfig::titan_xp());
+    let apps = [
+        Benchmark::BS.app().scaled_down(30),
+        Benchmark::RG.app().scaled_down(30),
+        Benchmark::MM.app().scaled_down(30),
+    ];
+    let (_, log) = slate.run_recorded(&apps);
+    log
+}
+
+#[test]
+fn checked_in_log_replays_to_the_golden_transcript() {
+    let log: EventLog = serde_json::from_str(LOG_JSON).expect("fixture parses");
+    replay::verify(&log).expect("checked-in log replays to its own commands");
+    let transcript = replay::transcript(&replay::replay(&log));
+    assert_eq!(
+        transcript, GOLDEN_TRANSCRIPT,
+        "replay transcript diverged from the golden fixture"
+    );
+}
+
+#[test]
+fn fixture_log_contains_the_interesting_decisions() {
+    // Guards against the fixture silently degenerating into a trivial log.
+    let log: EventLog = serde_json::from_str(LOG_JSON).expect("fixture parses");
+    let commands = || log.batches.iter().flat_map(|b| b.commands.iter());
+    assert!(commands().any(|c| matches!(c, Command::Dispatch { .. })));
+    assert!(
+        commands().any(|c| matches!(c, Command::Resize { .. })),
+        "the fixture workload must exercise dynamic resizing"
+    );
+}
+
+#[test]
+fn live_sim_run_reproduces_the_checked_in_log() {
+    // The simulated frontend is deterministic end to end: running the
+    // fixture workload again yields the very same event log — same
+    // batches, same timestamps, same commands.
+    let log: EventLog = serde_json::from_str(LOG_JSON).expect("fixture parses");
+    let fresh = record_fixture_run();
+    assert_eq!(
+        replay::transcript(&replay::replay(&fresh)),
+        GOLDEN_TRANSCRIPT,
+        "a fresh run diverged from the golden transcript"
+    );
+    assert_eq!(fresh, log, "a fresh run diverged from the checked-in log");
+}
+
+#[test]
+fn log_survives_a_json_roundtrip() {
+    let log: EventLog = serde_json::from_str(LOG_JSON).expect("fixture parses");
+    let json = serde_json::to_string_pretty(&log).expect("log serializes");
+    let back: EventLog = serde_json::from_str(&json).expect("roundtrip parses");
+    assert_eq!(back, log);
+}
+
+#[test]
+#[ignore = "regenerates tests/data fixtures; run after an intended arbiter change"]
+fn regenerate_golden_fixtures() {
+    let log = record_fixture_run();
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/data");
+    std::fs::create_dir_all(dir).expect("fixture dir");
+    let json = serde_json::to_string_pretty(&log).expect("log serializes");
+    std::fs::write(format!("{dir}/arbiter_log.json"), json).expect("write log");
+    let transcript = replay::transcript(&replay::replay(&log));
+    std::fs::write(format!("{dir}/arbiter_transcript.txt"), transcript).expect("write transcript");
+}

@@ -5,7 +5,8 @@
 //! function: it has a launch geometry (grid and block), a calibrated
 //! performance profile for the simulator, and a *functional body* —
 //! [`GpuKernel::run_block`] — that performs one thread block's computation
-//! against [`GpuBuffer`] device memory. The functional body is what makes
+//! against [`GpuBuffer`](slate_gpu_sim::buffer::GpuBuffer) device memory.
+//! The functional body is what makes
 //! transformation-correctness testable: however Slate reorders, groups, or
 //! relaunches blocks, running every block coordinate exactly once must
 //! produce the same memory contents as the untransformed grid.
