@@ -1,0 +1,262 @@
+//! [`DispatcherBackend`]: arbiter command execution over real
+//! persistent-worker threads, via the dispatch kernel of
+//! [`crate::dispatch`].
+//!
+//! This is the execution substrate of the live
+//! [`SlateDaemon`](crate::daemon::SlateDaemon). A dispatched lease is a
+//! [`Dispatcher`] running on its own thread; resizes and evictions act on
+//! its [`DispatchHandle`] exactly as the daemon's arbiter frontend does —
+//! in fact the daemon and this backend share the [`LeaseTable`] that maps
+//! arbiter `Resize`/`Evict` commands onto dispatch handles (including the
+//! injected-hang token cancel on eviction).
+
+use super::{Backend, Completion, WorkSpec};
+use crate::arbiter::Command;
+use crate::dispatch::{DispatchHandle, Dispatcher};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use slate_gpu_sim::device::{DeviceConfig, SmRange};
+use slate_gpu_sim::fault::FaultToken;
+use std::collections::HashMap;
+use std::thread::JoinHandle;
+
+/// The execution-side state of in-flight dispatches: the handles the
+/// arbiter's `Resize`/`Evict` commands act on, plus the injected-hang
+/// token to cancel on eviction so cooperatively hung workers actually come
+/// back. Shared between the daemon's arbiter frontend and
+/// [`DispatcherBackend`] — one interpretation of execution commands
+/// against dispatch handles.
+#[derive(Debug, Default)]
+pub struct LeaseTable {
+    entries: HashMap<u64, LeaseEntry>,
+}
+
+#[derive(Debug)]
+struct LeaseEntry {
+    handle: DispatchHandle,
+    token: Option<FaultToken>,
+}
+
+impl LeaseTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers the dispatch handle (and optional hang token) of `lease`.
+    pub fn register(&mut self, lease: u64, handle: DispatchHandle, token: Option<FaultToken>) {
+        self.entries.insert(lease, LeaseEntry { handle, token });
+    }
+
+    /// Drops `lease`'s entry; returns whether it was present.
+    pub fn release(&mut self, lease: u64) -> bool {
+        self.entries.remove(&lease).is_some()
+    }
+
+    /// Whether `lease` is registered.
+    pub fn contains(&self, lease: u64) -> bool {
+        self.entries.contains_key(&lease)
+    }
+
+    /// Registered leases.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no lease is registered.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Absolute `slateIdx` progress of `lease`, if registered.
+    pub fn progress(&self, lease: u64) -> Option<u64> {
+        self.entries.get(&lease).map(|e| e.handle.progress())
+    }
+
+    /// Carries out an execution command against the registered handle:
+    /// `Resize` adjusts the SM range mid-flight, `Evict` stops the
+    /// dispatch and cancels any hang token. Returns whether a handle was
+    /// found and acted on; every other command is a no-op.
+    pub fn apply(&self, cmd: &Command) -> bool {
+        match cmd {
+            Command::Resize { lease, range } => match self.entries.get(lease) {
+                Some(e) => {
+                    e.handle.resize(*range);
+                    true
+                }
+                None => false,
+            },
+            Command::Evict { lease } => match self.entries.get(lease) {
+                Some(e) => {
+                    e.handle.evict();
+                    if let Some(t) = &e.token {
+                        t.cancel();
+                    }
+                    true
+                }
+                None => false,
+            },
+            _ => false,
+        }
+    }
+}
+
+/// Per-lease job state.
+struct Job {
+    /// Staged work, consumed by the dispatch.
+    spec: Option<WorkSpec>,
+    /// Carried progress of the staging (reported before any pull happens).
+    start: u64,
+    /// The last commanded SM range, once dispatched.
+    range: Option<SmRange>,
+    /// The dispatch thread, while running or unjoined.
+    thread: Option<JoinHandle<()>>,
+    /// Final `(progress, ok)` once the completion was polled.
+    finished: Option<(u64, bool)>,
+}
+
+/// The persistent-worker execution backend.
+pub struct DispatcherBackend {
+    device: DeviceConfig,
+    jobs: HashMap<u64, Job>,
+    leases: LeaseTable,
+    tx: Sender<Completion>,
+    rx: Receiver<Completion>,
+}
+
+impl DispatcherBackend {
+    /// A backend executing on `device` with real worker threads.
+    pub fn new(device: DeviceConfig) -> Self {
+        let (tx, rx) = unbounded();
+        Self {
+            device,
+            jobs: HashMap::new(),
+            leases: LeaseTable::new(),
+            tx,
+            rx,
+        }
+    }
+
+    /// Notes a completion that arrived on the channel.
+    fn note(&mut self, c: Completion) {
+        if let Some(job) = self.jobs.get_mut(&c.lease) {
+            job.finished = Some((c.progress, c.ok));
+            if let Some(t) = job.thread.take() {
+                let _ = t.join();
+            }
+        }
+        self.leases.release(c.lease);
+    }
+}
+
+impl Backend for DispatcherBackend {
+    fn name(&self) -> &'static str {
+        "dispatcher"
+    }
+
+    fn device(&self) -> &DeviceConfig {
+        &self.device
+    }
+
+    fn stage(&mut self, lease: u64, spec: WorkSpec) {
+        debug_assert!(
+            self.jobs
+                .get(&lease)
+                .is_none_or(|j| j.finished.is_some() || j.thread.is_none()),
+            "staging over an in-flight lease"
+        );
+        let start = spec.start;
+        self.jobs.insert(
+            lease,
+            Job {
+                spec: Some(spec),
+                start,
+                range: None,
+                thread: None,
+                finished: None,
+            },
+        );
+    }
+
+    fn apply(&mut self, cmd: &Command) {
+        match cmd {
+            Command::Dispatch { lease, range } => {
+                let Some(job) = self.jobs.get_mut(lease) else {
+                    return;
+                };
+                let Some(spec) = job.spec.take() else {
+                    return; // duplicate dispatch: already running or done
+                };
+                // Build the dispatcher directly on the commanded range: no
+                // initial-resize race, the first worker launch is confined.
+                let d = Dispatcher::resume(
+                    self.device.clone(),
+                    spec.kernel,
+                    spec.task_size,
+                    *range,
+                    spec.start,
+                );
+                self.leases.register(*lease, d.handle(), None);
+                job.range = Some(*range);
+                let tx = self.tx.clone();
+                let lease = *lease;
+                job.thread = Some(std::thread::spawn(move || {
+                    let out = d.run();
+                    let _ = tx.send(Completion {
+                        lease,
+                        progress: out.blocks,
+                        ok: !out.evicted,
+                    });
+                }));
+            }
+            Command::Resize { lease, range } => {
+                if self.leases.apply(cmd) {
+                    if let Some(job) = self.jobs.get_mut(lease) {
+                        job.range = Some(*range);
+                    }
+                }
+            }
+            Command::Evict { .. } => {
+                self.leases.apply(cmd);
+            }
+            Command::PromoteStarved { .. }
+            | Command::Reap { .. }
+            | Command::RejectOverloaded { .. } => {}
+        }
+    }
+
+    fn poll(&mut self) -> Option<Completion> {
+        match self.rx.try_recv() {
+            Ok(c) => {
+                self.note(c);
+                Some(c)
+            }
+            Err(_) => None,
+        }
+    }
+
+    fn advance(&mut self, millis: u64) {
+        std::thread::sleep(std::time::Duration::from_millis(millis));
+    }
+
+    fn progress(&self, lease: u64) -> u64 {
+        let Some(job) = self.jobs.get(&lease) else {
+            return 0;
+        };
+        if let Some((p, _)) = job.finished {
+            return p;
+        }
+        self.leases.progress(lease).unwrap_or(job.start)
+    }
+
+    fn held_range(&self, lease: u64) -> Option<SmRange> {
+        let job = self.jobs.get(&lease)?;
+        if job.finished.is_some() {
+            return None;
+        }
+        job.range
+    }
+
+    fn is_functional(&self) -> bool {
+        true
+    }
+}

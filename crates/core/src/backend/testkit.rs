@@ -1,0 +1,409 @@
+//! The backend conformance testkit: scripted scenarios every [`Backend`]
+//! implementation must pass, plus the differential runner that replays a
+//! recorded [`EventLog`] through two backends and compares transcripts.
+//!
+//! The scenarios pin the execution contract the arbiter relies on:
+//!
+//! * **undisturbed run** — a dispatch with no interference drains, reports
+//!   exactly one `ok` completion at `slateMax`;
+//! * **resize churn, exactly once** — across seeded random mid-flight
+//!   resizes, each user block still executes exactly once and exactly one
+//!   completion arrives;
+//! * **retreat preserves progress** — `slateIdx` progress is monotonic
+//!   across a retreat/relaunch, nothing is lost or re-done;
+//! * **relaunch after evict** — an eviction reports partial progress;
+//!   re-staging from that progress covers exactly the remaining blocks;
+//! * **drain reported exactly once** — no duplicate completions, and
+//!   commands on a finished lease are no-ops;
+//! * **SM confinement** — the backend holds exactly the commanded range
+//!   while resident.
+//!
+//! Functional backends ([`Backend::is_functional`]) additionally prove
+//! block coverage through kernel-visible side effects (a hit-count
+//! buffer); the simulation backend is held to the same accounting through
+//! its reported progress. A future CUDA backend passes this suite before
+//! it may slot in behind the daemon.
+
+use super::{Backend, Completion, WorkSpec};
+use crate::arbiter::{Command, Event as ArbEvent, EventLog};
+use crate::transform::TransformedKernel;
+use slate_gpu_sim::buffer::GpuBuffer;
+use slate_gpu_sim::device::SmRange;
+use slate_gpu_sim::perf::KernelPerf;
+use slate_kernels::grid::{BlockCoord, GridDim};
+use slate_kernels::kernel::GpuKernel;
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::sync::Arc;
+
+/// Generous drive bound: simulated milliseconds for the engine backend
+/// (free), wall milliseconds for threaded backends (only reached on a
+/// hang, i.e. a failing test).
+const DRIVE_MS: u64 = 120_000;
+
+/// A counting kernel for conformance runs: each executed block increments
+/// its own hit cell (coverage proof on functional backends) and optionally
+/// busy-waits `delay_us` so churn commands land mid-flight. The simulated
+/// perf cost mirrors the functional delay, so both backend families see
+/// comparably long-running kernels.
+struct ChurnCounter {
+    grid: GridDim,
+    hits: Arc<GpuBuffer>,
+    delay_us: u64,
+}
+
+impl GpuKernel for ChurnCounter {
+    fn name(&self) -> &str {
+        "conformance-counter"
+    }
+    fn grid(&self) -> GridDim {
+        self.grid
+    }
+    fn perf(&self) -> KernelPerf {
+        // ~1.5k cycles per microsecond of functional delay keeps the
+        // simulated duration in the same regime as the threaded one.
+        KernelPerf::synthetic(
+            "conformance-counter",
+            100.0 + self.delay_us as f64 * 1500.0,
+            8.0,
+        )
+    }
+    fn run_block(&self, b: BlockCoord) {
+        self.hits.fetch_add_u32(self.grid.flat_of(b) as usize, 1);
+        if self.delay_us > 0 {
+            std::thread::sleep(std::time::Duration::from_micros(self.delay_us));
+        }
+    }
+}
+
+/// A transformed counting kernel over a flat grid of `blocks`, returning
+/// the kernel and its hit-count buffer (one `u32` cell per block).
+pub fn counter_kernel(blocks: u32, delay_us: u64) -> (TransformedKernel, Arc<GpuBuffer>) {
+    let grid = GridDim::d1(blocks);
+    let hits = Arc::new(GpuBuffer::new(grid.total_blocks() as usize * 4));
+    (
+        TransformedKernel::new(Arc::new(ChurnCounter {
+            grid,
+            hits: hits.clone(),
+            delay_us,
+        })),
+        hits,
+    )
+}
+
+/// Asserts every one of `total` hit cells was incremented exactly once —
+/// the each-block-exactly-once property.
+pub fn assert_exactly_once(hits: &GpuBuffer, total: u64) {
+    for i in 0..total {
+        assert_eq!(hits.load_u32(i as usize), 1, "block {i} hit count");
+    }
+}
+
+fn xorshift(s: &mut u64) -> u64 {
+    let mut x = *s;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *s = x;
+    x
+}
+
+fn random_range(s: &mut u64, num_sms: u32) -> SmRange {
+    let lo = (xorshift(s) % num_sms as u64) as u32;
+    let hi = lo + (xorshift(s) % (num_sms - lo) as u64) as u32;
+    SmRange::new(lo, hi)
+}
+
+/// Scenario: an undisturbed dispatch drains and reports exactly one `ok`
+/// completion at `slateMax`.
+pub fn undisturbed_run(b: &mut dyn Backend) {
+    let n = b.device().num_sms;
+    let total: u32 = 400;
+    let (k, hits) = counter_kernel(total, 0);
+    b.stage(7, WorkSpec::new(k, 10));
+    b.apply(&Command::Dispatch {
+        lease: 7,
+        range: SmRange::all(n),
+    });
+    let cs = b.drive_until(7, DRIVE_MS);
+    assert_eq!(cs.len(), 1, "exactly one completion: {cs:?}");
+    let c = cs[0];
+    assert_eq!(c.lease, 7);
+    assert!(c.ok);
+    assert_eq!(c.progress, u64::from(total));
+    assert_eq!(b.progress(7), u64::from(total));
+    if b.is_functional() {
+        assert_exactly_once(&hits, u64::from(total));
+    }
+}
+
+/// Scenario: across seeded random mid-flight resizes, each block executes
+/// exactly once and exactly one completion arrives.
+pub fn resize_churn_exactly_once(b: &mut dyn Backend, seed: u64) {
+    let n = b.device().num_sms;
+    assert!(n >= 2, "conformance runs need a multi-SM device");
+    let total: u32 = 6_000;
+    let (k, hits) = counter_kernel(total, 10);
+    b.stage(1, WorkSpec::new(k, 5));
+    b.apply(&Command::Dispatch {
+        lease: 1,
+        range: SmRange::all(n),
+    });
+    let mut rng = seed | 1;
+    let mut completions: Vec<Completion> = Vec::new();
+    for _ in 0..8 {
+        b.advance(1);
+        while let Some(c) = b.poll() {
+            completions.push(c);
+        }
+        if !completions.is_empty() {
+            break;
+        }
+        let range = random_range(&mut rng, n);
+        b.apply(&Command::Resize { lease: 1, range });
+        // A `None` here means the lease drained during the churn.
+        if let Some(r) = b.held_range(1) {
+            assert_eq!(r, range, "resident lease confined to the commanded range");
+        }
+    }
+    if completions.is_empty() {
+        completions = b.drive_until(1, DRIVE_MS);
+    }
+    assert_eq!(completions.len(), 1, "exactly one completion: {completions:?}");
+    let c = completions[0];
+    assert_eq!(c.lease, 1);
+    assert!(c.ok, "churned run still drains");
+    assert_eq!(c.progress, u64::from(total), "no blocks lost or re-done");
+    assert_eq!(b.progress(1), u64::from(total));
+    assert_eq!(b.poll(), None, "no duplicate completion");
+    if b.is_functional() {
+        assert_exactly_once(&hits, u64::from(total));
+    }
+}
+
+/// Scenario: `slateIdx` progress is monotonic across a retreat/relaunch.
+pub fn retreat_preserves_progress(b: &mut dyn Backend) {
+    let n = b.device().num_sms;
+    let total: u32 = 8_000;
+    let (k, hits) = counter_kernel(total, 15);
+    b.stage(4, WorkSpec::new(k, 1));
+    b.apply(&Command::Dispatch {
+        lease: 4,
+        range: SmRange::all(n),
+    });
+    b.advance(2);
+    let p1 = b.progress(4);
+    b.apply(&Command::Resize {
+        lease: 4,
+        range: SmRange::new(0, (n - 1) / 2),
+    });
+    let p2 = b.progress(4);
+    assert!(p2 >= p1, "retreat must not lose progress: {p1} -> {p2}");
+    b.advance(1);
+    let p3 = b.progress(4);
+    assert!(p3 >= p2, "progress must stay monotonic: {p2} -> {p3}");
+    let cs = b.drive_until(4, DRIVE_MS);
+    let c = *cs.last().expect("run completes");
+    assert!(c.ok);
+    assert_eq!(c.progress, u64::from(total));
+    if b.is_functional() {
+        assert_exactly_once(&hits, u64::from(total));
+    }
+}
+
+/// Scenario: an eviction reports partial progress; re-staging from that
+/// progress covers exactly the remaining blocks — the union is each block
+/// exactly once.
+pub fn relaunch_after_evict(b: &mut dyn Backend) {
+    let n = b.device().num_sms;
+    let total: u32 = 12_000;
+    let (k, hits) = counter_kernel(total, 20);
+    b.stage(9, WorkSpec::new(k.clone(), 1));
+    b.apply(&Command::Dispatch {
+        lease: 9,
+        range: SmRange::all(n),
+    });
+    b.advance(2);
+    b.apply(&Command::Evict { lease: 9 });
+    let cs = b.drive_until(9, DRIVE_MS);
+    assert_eq!(cs.len(), 1, "exactly one completion: {cs:?}");
+    let c = cs[0];
+    assert!(c.progress <= u64::from(total));
+    if c.ok {
+        // The eviction raced with a drain that had already finished (only
+        // reachable under injected chaos delays); the staging is complete.
+        assert_eq!(c.progress, u64::from(total));
+    } else {
+        assert!(
+            c.progress < u64::from(total),
+            "evicted completion carries partial progress"
+        );
+        // Relaunch from the carried progress on a different range.
+        b.stage(9, WorkSpec::resuming(k, 1, c.progress));
+        b.apply(&Command::Dispatch {
+            lease: 9,
+            range: SmRange::new(0, (n - 1) / 2),
+        });
+        let cs = b.drive_until(9, DRIVE_MS);
+        assert_eq!(cs.len(), 1, "exactly one completion: {cs:?}");
+        let c2 = cs[0];
+        assert!(c2.ok, "relaunch drains");
+        assert_eq!(c2.progress, u64::from(total));
+    }
+    assert_eq!(b.progress(9), u64::from(total));
+    if b.is_functional() {
+        assert_exactly_once(&hits, u64::from(total));
+    }
+}
+
+/// Scenario: exactly one completion per staging, and commands naming a
+/// finished lease are no-ops.
+pub fn drain_reported_exactly_once(b: &mut dyn Backend) {
+    let n = b.device().num_sms;
+    let total: u32 = 400;
+    let (k, hits) = counter_kernel(total, 0);
+    b.stage(2, WorkSpec::new(k, 10));
+    b.apply(&Command::Dispatch {
+        lease: 2,
+        range: SmRange::all(n),
+    });
+    let cs = b.drive_until(2, DRIVE_MS);
+    assert_eq!(cs.len(), 1, "exactly one completion: {cs:?}");
+    assert!(cs[0].ok);
+    assert_eq!(b.poll(), None);
+    // Post-completion commands must change nothing.
+    b.apply(&Command::Resize {
+        lease: 2,
+        range: SmRange::new(0, 0),
+    });
+    b.apply(&Command::Evict { lease: 2 });
+    b.advance(2);
+    assert_eq!(b.poll(), None, "finished lease emits no further completions");
+    assert_eq!(b.progress(2), u64::from(total));
+    if b.is_functional() {
+        assert_exactly_once(&hits, u64::from(total));
+    }
+}
+
+/// Scenario: the backend holds exactly the commanded SM range while the
+/// lease is resident, through dispatch and resize.
+pub fn sm_confinement(b: &mut dyn Backend) {
+    let n = b.device().num_sms;
+    assert!(n >= 2, "conformance runs need a multi-SM device");
+    let total: u32 = 3_000;
+    let (k, hits) = counter_kernel(total, 10);
+    let first = SmRange::new(0, 0);
+    b.stage(3, WorkSpec::new(k, 5));
+    b.apply(&Command::Dispatch {
+        lease: 3,
+        range: first,
+    });
+    assert_eq!(b.held_range(3), Some(first), "dispatch binds the commanded range");
+    b.advance(1);
+    let second = SmRange::new(1, n - 1);
+    b.apply(&Command::Resize {
+        lease: 3,
+        range: second,
+    });
+    // A `None` here means the lease drained during the resize.
+    if let Some(r) = b.held_range(3) {
+        assert_eq!(r, second, "resize rebinds the commanded range");
+    }
+    let cs = b.drive_until(3, DRIVE_MS);
+    let c = *cs.last().expect("run completes");
+    assert!(c.ok);
+    assert_eq!(c.progress, u64::from(total));
+    assert_eq!(b.held_range(3), None, "finished lease holds no range");
+    if b.is_functional() {
+        assert_exactly_once(&hits, u64::from(total));
+    }
+}
+
+/// Runs the full conformance suite, building a fresh backend per scenario
+/// through `make`. Panics on the first violated property.
+pub fn run_conformance(make: &mut dyn FnMut() -> Box<dyn Backend>) {
+    undisturbed_run(make().as_mut());
+    for seed in [3, 0x5EED, 0xBEEF] {
+        resize_churn_exactly_once(make().as_mut(), seed);
+    }
+    retreat_preserves_progress(make().as_mut());
+    relaunch_after_evict(make().as_mut());
+    drain_reported_exactly_once(make().as_mut());
+    sm_confinement(make().as_mut());
+}
+
+/// The observable transcript of a replay: for every lease, the final
+/// `(progress, ok)` of each staging, in per-lease completion order.
+/// Keyed per lease (not globally ordered) because completion *arrival*
+/// order across unrelated leases is timing-dependent, while the per-lease
+/// sequence is part of the execution contract.
+pub type Transcript = BTreeMap<u64, Vec<(u64, bool)>>;
+
+/// Replays the command stream of a recorded [`EventLog`] against `b` and
+/// returns its observable transcript — the differential runner's half.
+///
+/// Dispatches in the log are fed deterministic counting kernels (the same
+/// per-(lease, nth-staging) grid for every backend, so two replays of the
+/// same log are comparable); `Resize`/`Evict` commands are applied as
+/// recorded. Before feeding a batch whose *events* contain a
+/// `KernelFinished` for an in-flight lease, the backend is driven until
+/// that lease's completion is observed, mirroring the causality of the
+/// recording. On functional backends the per-staging hit buffers are
+/// asserted to show each block exactly once before returning.
+pub fn replay_transcript(log: &EventLog, b: &mut dyn Backend) -> Transcript {
+    let mut transcript: Transcript = BTreeMap::new();
+    let mut stagings: HashMap<u64, u64> = HashMap::new();
+    let mut in_flight: HashSet<u64> = HashSet::new();
+    let mut buffers: Vec<(Arc<GpuBuffer>, u64)> = Vec::new();
+
+    fn note(t: &mut Transcript, in_flight: &mut HashSet<u64>, c: Completion) {
+        in_flight.remove(&c.lease);
+        t.entry(c.lease).or_default().push((c.progress, c.ok));
+    }
+
+    for batch in &log.batches {
+        for ev in &batch.events {
+            if let ArbEvent::KernelFinished { lease, .. } = ev {
+                if in_flight.contains(lease) {
+                    for c in b.drive_until(*lease, DRIVE_MS) {
+                        note(&mut transcript, &mut in_flight, c);
+                    }
+                }
+            }
+        }
+        for cmd in &batch.commands {
+            if let Command::Dispatch { lease, .. } = cmd {
+                if !in_flight.contains(lease) {
+                    let nth = stagings.entry(*lease).or_insert(0);
+                    let blocks = (60 + ((*lease * 37 + *nth * 17) % 5) * 12) as u32;
+                    *nth += 1;
+                    let (k, hits) = counter_kernel(blocks, 0);
+                    buffers.push((hits, u64::from(blocks)));
+                    b.stage(*lease, WorkSpec::new(k, 7));
+                    in_flight.insert(*lease);
+                }
+            }
+            b.apply(cmd);
+        }
+    }
+    // Drain stragglers (leases whose final drain fell past the last
+    // recorded batch), in deterministic lease order.
+    let mut rest: Vec<u64> = in_flight.iter().copied().collect();
+    rest.sort_unstable();
+    for lease in rest {
+        if in_flight.contains(&lease) {
+            for c in b.drive_until(lease, DRIVE_MS) {
+                note(&mut transcript, &mut in_flight, c);
+            }
+        }
+    }
+    assert!(
+        in_flight.is_empty(),
+        "replay left leases unfinished: {in_flight:?}"
+    );
+    if b.is_functional() {
+        for (hits, total) in &buffers {
+            assert_exactly_once(hits, *total);
+        }
+    }
+    transcript
+}

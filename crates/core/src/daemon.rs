@@ -79,6 +79,7 @@
 
 use crate::admission::{AdmissionLimits, AdmissionStats, DaemonMetrics};
 use crate::arbiter::{ArbiterConfig, ArbiterCore, Command, Event as ArbEvent, EventLog};
+use crate::backend::LeaseTable;
 use crate::channel::{LaunchCmd, Request, Response, SlatePtr};
 use crate::dispatch::{DispatchHandle, Dispatcher};
 use crate::error::SlateError;
@@ -98,21 +99,16 @@ use std::sync::{Arc, Weak};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-/// The execution-side state of an in-flight dispatch: the handle the
-/// arbiter's `Resize`/`Evict` commands act on, plus the injected-hang token
-/// to cancel on eviction so cooperatively hung workers actually come back.
-struct HandleEntry {
-    handle: DispatchHandle,
-    token: Option<FaultToken>,
-}
-
 /// Mutable state of the daemon's arbiter frontend, under one lock.
 struct ArbInner {
     core: ArbiterCore,
     /// Dispatch grants awaiting pickup by their `execute_kernel` thread.
     grants: HashMap<u64, SmRange>,
-    /// Dispatch handles of waiting/resident leases.
-    handles: HashMap<u64, HandleEntry>,
+    /// Dispatch handles of waiting/resident leases — the shared
+    /// backend-layer interpretation of `Resize`/`Evict` against dispatch
+    /// handles (including the injected-hang token cancel on eviction), the
+    /// same table [`crate::backend::DispatcherBackend`] executes with.
+    leases: LeaseTable,
 }
 
 /// The daemon's driver for the shared [`ArbiterCore`]: stamps events with
@@ -135,7 +131,7 @@ impl ArbFrontend {
             inner: Mutex::new(ArbInner {
                 core,
                 grants: HashMap::new(),
-                handles: HashMap::new(),
+                leases: LeaseTable::new(),
             }),
             granted: Condvar::new(),
         }
@@ -163,18 +159,8 @@ impl ArbFrontend {
                 Command::Dispatch { lease, range } => {
                     inner.grants.insert(*lease, *range);
                 }
-                Command::Resize { lease, range } => {
-                    if let Some(e) = inner.handles.get(lease) {
-                        e.handle.resize(*range);
-                    }
-                }
-                Command::Evict { lease } => {
-                    if let Some(e) = inner.handles.get(lease) {
-                        e.handle.evict();
-                        if let Some(t) = &e.token {
-                            t.cancel();
-                        }
-                    }
+                Command::Resize { .. } | Command::Evict { .. } => {
+                    inner.leases.apply(cmd);
                 }
                 // Rejections are returned to the feeding call site;
                 // promotion and reaping are informational here.
@@ -199,7 +185,7 @@ impl ArbFrontend {
         token: Option<FaultToken>,
     ) -> SmRange {
         let mut inner = self.inner.lock();
-        inner.handles.insert(lease, HandleEntry { handle, token });
+        inner.leases.register(lease, handle, token);
         self.feed_locked(&mut inner, std::slice::from_ref(&ready));
         loop {
             if let Some(range) = inner.grants.remove(&lease) {
@@ -214,7 +200,7 @@ impl ArbFrontend {
     /// waiter dispatch) in the same feed.
     fn finish(&self, lease: u64, ok: bool) {
         let mut inner = self.inner.lock();
-        inner.handles.remove(&lease);
+        inner.leases.release(lease);
         self.feed_locked(&mut inner, &[ArbEvent::KernelFinished { lease, ok }]);
     }
 }

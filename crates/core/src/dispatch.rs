@@ -82,7 +82,9 @@ pub struct DispatchOutcome {
     pub launches: u32,
     /// Per-launch worker statistics.
     pub runs: Vec<WorkerRunStats>,
-    /// Total blocks executed (= the grid size, unless evicted).
+    /// Absolute `slateIdx` progress at exit: the grid size unless evicted.
+    /// For a dispatch resumed from carried progress
+    /// ([`Dispatcher::resume`]) this includes the carried blocks.
     pub blocks: u64,
     /// Total queue pulls across all launches.
     pub queue_pulls: u64,
@@ -107,8 +109,23 @@ impl Dispatcher {
         task_size: u32,
         range: SmRange,
     ) -> Self {
+        Self::resume(device, kernel, task_size, range, 0)
+    }
+
+    /// Prepares a dispatch that resumes from `start` blocks of carried
+    /// progress — the relaunch path after an eviction. The task queue picks
+    /// up at the carried `slateIdx`, so blocks `[0, start)` are treated as
+    /// already executed and [`DispatchOutcome::blocks`] reports absolute
+    /// progress including them.
+    pub fn resume(
+        device: DeviceConfig,
+        kernel: TransformedKernel,
+        task_size: u32,
+        range: SmRange,
+        start: u64,
+    ) -> Self {
         let state = Arc::new(DispatchState {
-            queue: TaskQueue::new(kernel.slate_max(), task_size),
+            queue: TaskQueue::with_progress(start, kernel.slate_max(), task_size),
             range: Mutex::new(range),
             generation: AtomicU64::new(0),
             evicted: AtomicBool::new(false),
@@ -315,6 +332,131 @@ mod tests {
             out.blocks
         );
         assert!(out.runs.last().unwrap().retreated);
+    }
+
+    /// A counting kernel whose blocks take real wall time, so randomized
+    /// churn (resizes and evictions) lands mid-flight.
+    struct SlowCounter {
+        grid: GridDim,
+        hits: Arc<GpuBuffer>,
+        delay_us: u64,
+    }
+
+    impl GpuKernel for SlowCounter {
+        fn name(&self) -> &str {
+            "slow-counter"
+        }
+        fn grid(&self) -> GridDim {
+            self.grid
+        }
+        fn perf(&self) -> KernelPerf {
+            KernelPerf::synthetic("slow-counter", 100.0, 4.0)
+        }
+        fn run_block(&self, b: BlockCoord) {
+            self.hits.fetch_add_u32(self.grid.flat_of(b) as usize, 1);
+            std::thread::sleep(std::time::Duration::from_micros(self.delay_us));
+        }
+    }
+
+    fn xorshift(s: &mut u64) -> u64 {
+        let mut x = *s;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        *s = x;
+        x
+    }
+
+    fn rand_range(s: &mut u64, num_sms: u32) -> SmRange {
+        let lo = (xorshift(s) % num_sms as u64) as u32;
+        let hi = lo + (xorshift(s) % (num_sms - lo) as u64) as u32;
+        SmRange::new(lo, hi)
+    }
+
+    #[test]
+    fn resume_picks_up_carried_progress() {
+        // An evicted dispatch reports absolute partial progress; a fresh
+        // dispatcher resumed from it covers exactly the remainder.
+        let device = DeviceConfig::tiny(4);
+        let grid = GridDim::d2(60, 20); // 1200 blocks
+        let hits = Arc::new(GpuBuffer::new(grid.total_blocks() as usize * 4));
+        let k = TransformedKernel::new(Arc::new(SlowCounter {
+            grid,
+            hits: hits.clone(),
+            delay_us: 30,
+        }));
+        let d = Dispatcher::new(device.clone(), k.clone(), 1, SmRange::all(4));
+        let h = d.handle();
+        let evictor = std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(2));
+            h.evict();
+        });
+        let out = d.run();
+        evictor.join().unwrap();
+        assert!(out.evicted);
+        assert!(out.blocks < grid.total_blocks(), "evicted mid-flight");
+        // Relaunch from the carried slateIdx on a different range.
+        let d2 = Dispatcher::resume(device, k, 1, SmRange::new(0, 1), out.blocks);
+        let out2 = d2.run();
+        assert!(!out2.evicted);
+        assert_eq!(out2.blocks, grid.total_blocks(), "absolute progress");
+        assert_each_block_once(&hits, grid.total_blocks());
+    }
+
+    #[test]
+    fn randomized_churn_of_resizes_evictions_and_relaunches_covers_each_block_once() {
+        for seed in [3u64, 0x5EED, 0xBEEF, 0xC0FFEE] {
+            let device = DeviceConfig::tiny(4);
+            let grid = GridDim::d2(97, 13); // 1261 blocks
+            let hits = Arc::new(GpuBuffer::new(grid.total_blocks() as usize * 4));
+            let k = TransformedKernel::new(Arc::new(SlowCounter {
+                grid,
+                hits: hits.clone(),
+                delay_us: 15,
+            }));
+            let mut rng = seed | 1;
+            let mut start = 0u64;
+            let mut stagings = 0u32;
+            loop {
+                stagings += 1;
+                assert!(stagings <= 50, "churn failed to converge (seed {seed})");
+                let task = 1 + (xorshift(&mut rng) % 8) as u32;
+                let d = Dispatcher::resume(
+                    device.clone(),
+                    k.clone(),
+                    task,
+                    rand_range(&mut rng, 4),
+                    start,
+                );
+                let h = d.handle();
+                // Pre-draw the whole churn schedule so the thread needs no rng.
+                let resizes: Vec<SmRange> = (0..xorshift(&mut rng) % 4)
+                    .map(|_| rand_range(&mut rng, 4))
+                    .collect();
+                let evict = xorshift(&mut rng).is_multiple_of(2);
+                let churner = std::thread::spawn(move || {
+                    for r in resizes {
+                        std::thread::sleep(std::time::Duration::from_micros(300));
+                        h.resize(r);
+                    }
+                    if evict {
+                        std::thread::sleep(std::time::Duration::from_micros(400));
+                        h.evict();
+                    }
+                });
+                let out = d.run();
+                churner.join().unwrap();
+                assert!(out.blocks <= grid.total_blocks());
+                if out.evicted {
+                    // Relaunch the remainder from the absolute progress.
+                    start = out.blocks;
+                } else {
+                    assert_eq!(out.blocks, grid.total_blocks(), "seed {seed}");
+                    break;
+                }
+            }
+            assert_each_block_once(&hits, grid.total_blocks());
+        }
     }
 
     #[test]

@@ -34,6 +34,7 @@
 pub mod admission;
 pub mod arbiter;
 pub mod api;
+pub mod backend;
 pub mod channel;
 pub mod classify;
 pub mod daemon;

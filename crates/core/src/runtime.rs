@@ -29,10 +29,11 @@
 //! scheduling choices for the same workload trace.
 
 use crate::arbiter::{ArbiterConfig, ArbiterCore, Command, Event as ArbEvent, EventLog};
+use crate::backend::sim::{RelaunchPlan, ResizeOutcome, SimBackend};
 use crate::profile::ProfileTable;
 use slate_baselines::runtime::{AppResult, RunOutcome, Runtime};
 use slate_gpu_sim::device::{DeviceConfig, SmRange};
-use slate_gpu_sim::engine::{Dir, Engine, Event, SliceId, SliceSpec, TimerId, TransferId};
+use slate_gpu_sim::engine::{Dir, Event, SliceId, SliceSpec, TimerId, TransferId};
 use slate_gpu_sim::metrics::KernelMetrics;
 use slate_gpu_sim::model;
 use slate_gpu_sim::perf::ExecMode;
@@ -195,7 +196,10 @@ struct Resident {
 struct Sim {
     cfg: DeviceConfig,
     opts: SlateOptions,
-    engine: Engine,
+    /// The execution backend: owns the engine and carries out slice
+    /// launches and §IV-C retreat/relaunches; the sim keeps transfer,
+    /// timer and per-process bookkeeping on top.
+    backend: SimBackend,
     procs: Vec<Proc>,
     residents: Vec<Resident>,
     trace: Trace,
@@ -221,7 +225,7 @@ impl Sim {
     fn new(cfg: DeviceConfig, opts: SlateOptions, apps: &[AppSpec]) -> Self {
         assert!(!apps.is_empty(), "need at least one app");
         let mut table = ProfileTable::new();
-        let mut engine = Engine::new(cfg.clone());
+        let mut backend = SimBackend::new(cfg.clone());
         let mut procs: Vec<Proc> = apps
             .iter()
             .map(|app| {
@@ -257,13 +261,17 @@ impl Sim {
             // Setup covers host init, daemon session creation, and the
             // one-time injection + compilation of the kernel sources.
             let session = opts.session_setup_s * p.app.fixed_cost_scale;
-            p.timer = Some(engine.set_timer(p.app.host_setup_s + session + p.inject_s));
+            p.timer = Some(
+                backend
+                    .engine_mut()
+                    .set_timer(p.app.host_setup_s + session + p.inject_s),
+            );
         }
         let arb = ArbiterCore::new(cfg.clone(), opts.arbiter_config());
         Self {
             cfg,
             opts,
-            engine,
+            backend,
             procs,
             residents: Vec::new(),
             trace: Trace::new(),
@@ -273,7 +281,7 @@ impl Sim {
 
     /// Engine time as the arbiter's logical microsecond tick.
     fn now_us(&self) -> u64 {
-        (self.engine.now() * 1e6).round() as u64
+        (self.backend.engine().now() * 1e6).round() as u64
     }
 
     /// The `KernelReady` event for process `i`'s next launch.
@@ -349,8 +357,8 @@ impl Sim {
         );
         let comm = self.opts.comm_fraction * est;
         let id = self
-            .engine
-            .add_slice(SliceSpec {
+            .backend
+            .launch_slice(SliceSpec {
                 perf: p.app.perf.clone(),
                 sm_range: range,
                 blocks: p.app.blocks_per_launch,
@@ -360,7 +368,7 @@ impl Sim {
                 tag: proc as u64,
             })
             .expect("slate launch must be valid");
-        let now = self.engine.now();
+        let now = self.backend.engine().now();
         let p = &mut self.procs[proc];
         p.comm_s += comm;
         p.phase = Phase::Running;
@@ -389,8 +397,28 @@ impl Sim {
         if r.range == new_range {
             return true;
         }
-        let rep = self.engine.remove_slice(r.slice);
-        let now = self.engine.now();
+        // The retreat/relaunch itself is the backend's shared slice
+        // operation; batching and mode come from this process's launch
+        // configuration.
+        let plan = {
+            let p = &self.procs[r.proc];
+            RelaunchPlan {
+                perf: p.app.perf.clone(),
+                mode: if self.opts.use_hardware_exec {
+                    ExecMode::Hardware
+                } else {
+                    ExecMode::SlateWorkers {
+                        task_size: self.opts.force_task_size.unwrap_or(p.task_size),
+                    }
+                },
+                blocks_per_batch: (p.app.blocks_per_launch / p.app.batch as u64).max(1),
+            }
+        };
+        let outcome = self.backend.resize_slice(r.slice, new_range, &plan);
+        let now = self.backend.engine().now();
+        let rep = match &outcome {
+            ResizeOutcome::Completed(rep) | ResizeOutcome::Relaunched(rep, _) => rep,
+        };
         self.trace.record(
             now,
             TraceKind::Stop {
@@ -408,52 +436,34 @@ impl Sim {
         );
         let p = &mut self.procs[r.proc];
         p.kernel_busy_s += rep.active_s;
-        p.metrics.merge(&rep);
-        let remaining = rep.blocks_total.saturating_sub(rep.blocks_done);
-        if remaining == 0 {
-            // Raced with completion: fold into the normal completion path.
-            self.residents.remove(idx);
-            self.finish_launch(r.proc);
-            return false;
-        }
-        // The relaunch covers whatever is left of the batched launch.
-        let real_per_launch = (p.app.blocks_per_launch / p.app.batch as u64).max(1);
-        let batch = (remaining / real_per_launch).max(1) as u32;
-        let mode = if self.opts.use_hardware_exec {
-            ExecMode::Hardware
-        } else {
-            ExecMode::SlateWorkers {
-                task_size: self.opts.force_task_size.unwrap_or(p.task_size),
+        p.metrics.merge(rep);
+        match outcome {
+            ResizeOutcome::Completed(_) => {
+                // Raced with completion: fold into the normal completion path.
+                self.residents.remove(idx);
+                self.finish_launch(r.proc);
+                false
             }
-        };
-        let id = self
-            .engine
-            .add_slice(SliceSpec {
-                perf: p.app.perf.clone(),
-                sm_range: new_range,
-                blocks: remaining,
-                mode,
-                extra_lead_s: 0.0,
-                batch,
-                tag: r.proc as u64,
-            })
-            .expect("relaunch must be valid");
-        self.trace.record(
-            now,
-            TraceKind::Launch {
-                tag: r.proc as u64,
-                range: new_range,
-                blocks: remaining,
-            },
-        );
-        self.residents[idx].slice = id;
-        self.residents[idx].range = new_range;
-        true
+            ResizeOutcome::Relaunched(rep, id) => {
+                let remaining = rep.blocks_total.saturating_sub(rep.blocks_done);
+                self.trace.record(
+                    now,
+                    TraceKind::Launch {
+                        tag: r.proc as u64,
+                        range: new_range,
+                        blocks: remaining,
+                    },
+                );
+                self.residents[idx].slice = id;
+                self.residents[idx].range = new_range;
+                true
+            }
+        }
     }
 
     /// Bookkeeping when a launch of `proc` completes (drain or resize race).
     fn finish_launch(&mut self, proc: usize) {
-        let now = self.engine.now();
+        let now = self.backend.engine().now();
         let p = &mut self.procs[proc];
         p.launches_done += 1;
         if p.launches_done < p.app.launches {
@@ -462,7 +472,8 @@ impl Sim {
             p.phase = Phase::D2h;
             let bytes = p.app.d2h_bytes;
             p.transfer = Some(
-                self.engine
+                self.backend
+                    .engine_mut()
                     .add_transfer(bytes, Dir::D2H, proc as u64),
             );
             self.trace.record(
@@ -483,8 +494,8 @@ impl Sim {
             .position(|r| r.slice == sid)
             .expect("drained slice is resident");
         let r = self.residents[idx];
-        let rep = self.engine.remove_slice(sid);
-        let now = self.engine.now();
+        let rep = self.backend.drain_slice(sid);
+        let now = self.backend.engine().now();
         self.trace.record(
             now,
             TraceKind::Stop {
@@ -520,7 +531,7 @@ impl Sim {
             .map(|i| ArbEvent::SessionOpened { session: i as u64 })
             .collect();
         self.feed(opened);
-        while let Some((now, ev)) = self.engine.step() {
+        while let Some((now, ev)) = self.backend.engine_mut().step() {
             match ev {
                 Event::Timer(tid) => {
                     let i = self
@@ -538,11 +549,9 @@ impl Sim {
                             bytes: self.procs[i].app.h2d_bytes,
                         },
                     );
-                    self.procs[i].transfer = Some(self.engine.add_transfer(
-                        self.procs[i].app.h2d_bytes,
-                        Dir::H2D,
-                        i as u64,
-                    ));
+                    let bytes = self.procs[i].app.h2d_bytes;
+                    self.procs[i].transfer =
+                        Some(self.backend.engine_mut().add_transfer(bytes, Dir::H2D, i as u64));
                 }
                 Event::TransferDone(tid) => {
                     let i = self

@@ -73,6 +73,34 @@ fn live_sim_run_reproduces_the_checked_in_log() {
 }
 
 #[test]
+fn checked_in_log_drives_both_backends_to_identical_transcripts() {
+    // The recorded command stream is not just replayable through the
+    // arbiter — executed through the `Backend` seam, the simulation
+    // engine and the real persistent-worker dispatcher must produce the
+    // same observable transcript (per-lease staging completions, full
+    // block coverage). This pins the execution contract the refactor
+    // carved out against the checked-in fixture.
+    use slate_core::backend::{testkit, DispatcherBackend, SimBackend};
+
+    let log: EventLog = serde_json::from_str(LOG_JSON).expect("fixture parses");
+    let mut sim = SimBackend::new(log.device.clone());
+    let mut disp = DispatcherBackend::new(log.device.clone());
+    let a = testkit::replay_transcript(&log, &mut sim);
+    let b = testkit::replay_transcript(&log, &mut disp);
+    assert!(!a.is_empty(), "the fixture must contain dispatches");
+    assert_eq!(a, b, "sim and dispatcher transcripts diverged on the fixture");
+    // Every staging the fixture dispatched ran to a clean drain (the
+    // fixture contains no evictions), at full progress per staging.
+    for (lease, stagings) in &a {
+        assert!(!stagings.is_empty(), "lease {lease} never completed");
+        for (progress, ok) in stagings {
+            assert!(ok, "lease {lease} staging did not drain cleanly");
+            assert!(*progress > 0);
+        }
+    }
+}
+
+#[test]
 fn log_survives_a_json_roundtrip() {
     let log: EventLog = serde_json::from_str(LOG_JSON).expect("fixture parses");
     let json = serde_json::to_string_pretty(&log).expect("log serializes");

@@ -134,6 +134,54 @@ proptest! {
         }
     }
 
+    /// The remapped `blockIdx` the user body sees is a *bijection* onto
+    /// the original 2-D grid: executing the flat queue yields every
+    /// in-grid coordinate exactly once, and the reconstructed coordinate
+    /// of flat index `i` round-trips through `flat_of`/`coord_of`. This is
+    /// the semantics-preservation claim of the K(B,T) → K*(B*,T)
+    /// transformation (paper §III-A), stated as a property.
+    #[test]
+    fn transform_blockidx_is_a_bijection(gx in 1u32..180, gy in 1u32..50, task in 1u32..48) {
+        struct Probe {
+            grid: GridDim,
+            seen: std::sync::Mutex<Vec<BlockCoord>>,
+        }
+        impl GpuKernel for Probe {
+            fn name(&self) -> &str { "probe" }
+            fn grid(&self) -> GridDim { self.grid }
+            fn perf(&self) -> KernelPerf { KernelPerf::synthetic("probe", 1.0, 0.0) }
+            fn run_block(&self, b: BlockCoord) {
+                self.seen.lock().unwrap().push(b);
+            }
+        }
+        let grid = GridDim::d2(gx, gy);
+        let p = Arc::new(Probe { grid, seen: std::sync::Mutex::new(Vec::new()) });
+        let t = TransformedKernel::new(p.clone());
+        // The user body sees the original gridDim, untouched.
+        prop_assert_eq!(t.grid(), grid);
+        let q = TaskQueue::new(t.slate_max(), task);
+        while let Some(task) = q.pull() {
+            t.run_task(task);
+        }
+        let seen = p.seen.lock().unwrap();
+        // Surjective with the right cardinality: |seen| = |grid|, every
+        // coordinate in-grid, and the flat images tile [0, total) exactly
+        // — together, a bijection.
+        prop_assert_eq!(seen.len() as u64, grid.total_blocks());
+        let mut flats: Vec<u64> = Vec::with_capacity(seen.len());
+        for b in seen.iter() {
+            prop_assert!(b.x < grid.x && b.y < grid.y, "out-of-grid coord {:?}", b);
+            let flat = grid.flat_of(*b);
+            // coord_of inverts flat_of on every reconstructed coordinate.
+            prop_assert_eq!(grid.coord_of(flat), *b);
+            flats.push(flat);
+        }
+        flats.sort_unstable();
+        for (i, f) in flats.iter().enumerate() {
+            prop_assert_eq!(*f, i as u64, "flat image must tile the grid");
+        }
+    }
+
     /// The dispatch kernel completes every block exactly once under an
     /// arbitrary schedule of resizes to arbitrary ranges.
     #[test]

@@ -30,6 +30,10 @@ pub enum FaultSite {
     Memcpy,
     /// Any request arriving on a session's command pipe.
     Request,
+    /// An arbiter command about to be executed by a backend (used by the
+    /// chaos-testing command-stream perturbations; see
+    /// [`FaultPlan::command_chaos`]).
+    Command,
 }
 
 /// What failure to inject.
@@ -155,12 +159,41 @@ impl FaultPlan {
                 FaultSite::Memcpy => FaultKind::MemcpyStall {
                     millis: 1 + rng.below(20),
                 },
-                FaultSite::Request => FaultKind::ChannelDrop,
+                // `below(3)` above never yields the Command site, which
+                // keeps this generator byte-stable for existing seeds.
+                FaultSite::Request | FaultSite::Command => FaultKind::ChannelDrop,
             };
             plan = plan.with_rule(FaultRule {
                 site,
                 kernel: None,
                 nth: 1 + rng.below(8),
+                kind,
+            });
+        }
+        plan
+    }
+
+    /// Generates `faults` pseudo-random [`FaultSite::Command`] rules from
+    /// `seed` — the command-stream perturbation schedule consumed by the
+    /// chaos backend decorator. Deterministic per seed, and drawn from a
+    /// generator independent of [`FaultPlan::randomized`], so existing
+    /// randomized seeds keep producing identical plans.
+    pub fn command_chaos(seed: u64, faults: u32) -> Self {
+        let mut rng = SplitRng::new(seed.wrapping_mul(0x9e37_79b9).wrapping_add(1));
+        let mut plan = Self::new();
+        for _ in 0..faults {
+            let kind = match rng.below(4) {
+                0 => FaultKind::MemcpyStall {
+                    millis: 1 + rng.below(5),
+                },
+                1 => FaultKind::LaunchFault,
+                2 => FaultKind::KernelHang,
+                _ => FaultKind::ChannelDrop,
+            };
+            plan = plan.with_rule(FaultRule {
+                site: FaultSite::Command,
+                kernel: None,
+                nth: 1 + rng.below(6),
                 kind,
             });
         }

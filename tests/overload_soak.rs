@@ -455,18 +455,38 @@ fn churn_soak_under_tight_limits_stays_balanced_and_leak_free() {
     assert_eq!(m.arbiter_residents, 0);
 }
 
+/// Fault-plan seed for the chaos soak. Defaults to a fixed seed so a
+/// plain `--ignored` run is reproducible; the nightly CI job sweeps a
+/// matrix of seeds via `SLATE_CHAOS_SEED` (decimal or `0x`-prefixed hex).
+fn chaos_seed() -> u64 {
+    match std::env::var("SLATE_CHAOS_SEED") {
+        Ok(s) => {
+            let s = s.trim();
+            let parsed = match s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+                Some(hex) => u64::from_str_radix(hex, 16),
+                None => s.parse(),
+            };
+            parsed.unwrap_or_else(|_| panic!("SLATE_CHAOS_SEED is not a u64: {s:?}"))
+        }
+        Err(_) => 0xC0FFEE,
+    }
+}
+
 /// The long chaos variant: more workers, more iterations, and a seeded
 /// fault plan (hangs, launch faults, memcpy stalls, channel drops) on top
 /// of the tight limits. Run explicitly with
-/// `cargo test --release --test overload_soak -- --ignored`.
+/// `cargo test --release --test overload_soak -- --ignored`; override the
+/// seed with `SLATE_CHAOS_SEED` (the nightly job sweeps a seed matrix).
 #[test]
 #[ignore = "long soak; run explicitly (CI runs it with a timeout)"]
 fn chaos_soak_with_fault_injection_drains_clean() {
+    let seed = chaos_seed();
+    eprintln!("chaos soak: SLATE_CHAOS_SEED = {seed:#x}");
     let daemon = SlateDaemon::start_with_options(
         DeviceConfig::tiny(8),
         1 << 24,
         DaemonOptions {
-            fault_plan: FaultPlan::randomized(0xC0FFEE, 10),
+            fault_plan: FaultPlan::randomized(seed, 10),
             // Injected kernel hangs must not wedge the soak: the watchdog
             // evicts anything running longer than 150 ms.
             default_deadline_ms: Some(150),
