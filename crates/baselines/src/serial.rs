@@ -21,8 +21,8 @@ use slate_gpu_sim::device::{DeviceConfig, SmRange};
 use slate_gpu_sim::engine::{Dir, Engine, Event, SliceId, SliceSpec, TimerId, TransferId};
 use slate_gpu_sim::metrics::KernelMetrics;
 use slate_gpu_sim::model;
-use slate_gpu_sim::trace::{Trace, TraceKind};
 use slate_gpu_sim::perf::ExecMode;
+use slate_gpu_sim::trace::{Trace, TraceKind};
 use slate_kernels::workload::AppSpec;
 
 /// Overhead knobs distinguishing CUDA from MPS.
@@ -117,7 +117,9 @@ pub fn run_serialized(cfg: &DeviceConfig, ov: &SerialOverheads, apps: &[AppSpec]
                     last: &mut Option<usize>,
                     rr: &mut usize,
                     trace: &mut Trace| {
-        let active: Vec<usize> = (0..procs.len()).filter(|&j| procs[j].slice.is_some()).collect();
+        let active: Vec<usize> = (0..procs.len())
+            .filter(|&j| procs[j].slice.is_some())
+            .collect();
         match active.len() {
             0 => {}
             1 if ov.leftover_overlap && procs[active[0]].tail_fired => {}
@@ -125,7 +127,9 @@ pub fn run_serialized(cfg: &DeviceConfig, ov: &SerialOverheads, apps: &[AppSpec]
         }
         let n = procs.len();
         // Round-robin scan for a ready process, starting after the cursor.
-        let pick = (0..n).map(|k| (*rr + k) % n).find(|&i| procs[i].phase == Phase::Ready);
+        let pick = (0..n)
+            .map(|k| (*rr + k) % n)
+            .find(|&i| procs[i].phase == Phase::Ready);
         let Some(i) = pick else { return };
         let switching = last.is_some() && *last != Some(i);
         let contended = procs
@@ -181,8 +185,7 @@ pub fn run_serialized(cfg: &DeviceConfig, ov: &SerialOverheads, apps: &[AppSpec]
                 slate_gpu_sim::occupancy::blocks_per_sm(engine.device(), &p.app.perf) as u64;
             let workers = per_sm * engine.device().num_sms as u64;
             let real_blocks = (p.app.blocks_per_launch / p.app.batch as u64).max(1);
-            let tail_frac =
-                (workers as f64 / real_blocks as f64).min(1.0) / p.app.batch as f64;
+            let tail_frac = (workers as f64 / real_blocks as f64).min(1.0) / p.app.batch as f64;
             let tail_at = engine.now() + extra + est * (1.0 - tail_frac);
             procs[i].tail_fired = false;
             procs[i].tail_timer = Some(engine.set_timer(tail_at));
@@ -199,7 +202,13 @@ pub fn run_serialized(cfg: &DeviceConfig, ov: &SerialOverheads, apps: &[AppSpec]
                     // slots may be claimed by a waiting kernel.
                     procs[i].tail_timer = None;
                     procs[i].tail_fired = true;
-                    dispatch(&mut engine, &mut procs, &mut last_launched, &mut rr, &mut trace);
+                    dispatch(
+                        &mut engine,
+                        &mut procs,
+                        &mut last_launched,
+                        &mut rr,
+                        &mut trace,
+                    );
                     continue;
                 }
                 let i = procs
@@ -229,7 +238,13 @@ pub fn run_serialized(cfg: &DeviceConfig, ov: &SerialOverheads, apps: &[AppSpec]
                 match procs[i].phase {
                     Phase::H2d => {
                         procs[i].phase = Phase::Ready;
-                        dispatch(&mut engine, &mut procs, &mut last_launched, &mut rr, &mut trace);
+                        dispatch(
+                            &mut engine,
+                            &mut procs,
+                            &mut last_launched,
+                            &mut rr,
+                            &mut trace,
+                        );
                     }
                     Phase::D2h => {
                         procs[i].phase = Phase::Done;
@@ -276,7 +291,13 @@ pub fn run_serialized(cfg: &DeviceConfig, ov: &SerialOverheads, apps: &[AppSpec]
                     procs[i].transfer =
                         Some(engine.add_transfer(procs[i].app.d2h_bytes, Dir::D2H, i as u64));
                 }
-                dispatch(&mut engine, &mut procs, &mut last_launched, &mut rr, &mut trace);
+                dispatch(
+                    &mut engine,
+                    &mut procs,
+                    &mut last_launched,
+                    &mut rr,
+                    &mut trace,
+                );
             }
             Event::SliceStarted(_) => {}
         }
@@ -348,8 +369,10 @@ mod tests {
         let cfg = DeviceConfig::titan_xp();
         let a = Benchmark::BS.app().scaled_down(200);
         let b = Benchmark::TR.app().scaled_down(200);
-        let solo_a = run_serialized(&cfg, &overheads_free(), std::slice::from_ref(&a)).apps[0].kernel_busy_s;
-        let solo_b = run_serialized(&cfg, &overheads_free(), std::slice::from_ref(&b)).apps[0].kernel_busy_s;
+        let solo_a =
+            run_serialized(&cfg, &overheads_free(), std::slice::from_ref(&a)).apps[0].kernel_busy_s;
+        let solo_b =
+            run_serialized(&cfg, &overheads_free(), std::slice::from_ref(&b)).apps[0].kernel_busy_s;
         let pair = run_serialized(&cfg, &overheads_free(), &[a, b]);
         // Device work strictly serializes: makespan >= sum of kernel times.
         assert!(

@@ -25,7 +25,10 @@ fn bench(c: &mut Criterion) {
 
     let mut g = c.benchmark_group("fig7_pair_simulation");
     g.sample_size(20);
-    for (pa, pb) in [(Benchmark::BS, Benchmark::RG), (Benchmark::GS, Benchmark::GS)] {
+    for (pa, pb) in [
+        (Benchmark::BS, Benchmark::RG),
+        (Benchmark::GS, Benchmark::GS),
+    ] {
         let apps = [pa.app().scaled_down(16), pb.app().scaled_down(16)];
         for (label, rt) in runtimes {
             g.bench_with_input(

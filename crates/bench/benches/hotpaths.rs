@@ -1,0 +1,226 @@
+//! Scheduler hot-path benchmarks with a machine-readable report.
+//!
+//! Unlike the criterion targets, this bench uses a fixed-iteration
+//! harness (warmup, then best-of-5 timed runs) so its output is a single
+//! stable number per bench, and writes the [`slate_bench::Report`] JSON
+//! that CI's `bench_gate` compares against the committed
+//! `BENCH_baseline.json`. Covered paths, each fully deterministic:
+//!
+//! * `arbiter_feed` — [`ArbiterCore::feed`] batch throughput over a
+//!   scripted session lifecycle (the **hard-gated** metric: CI fails on a
+//!   >25% regression);
+//! * `partition` — the SM-demand split of paper §III-C;
+//! * `placement_route` — [`PlacementLayer::feed`] routing a session wave
+//!   across four devices;
+//! * `sim_backend_drain` — staging, dispatching and draining a kernel
+//!   through the simulation backend.
+//!
+//! Output: `-- --json <path>` or the `SLATE_BENCH_JSON` environment
+//! variable; a human-readable table always goes to stdout.
+
+use slate_bench::{BenchMeasurement, Report, REPORT_SCHEMA};
+use slate_core::arbiter::{ArbiterConfig, ArbiterCore, Command, Event};
+use slate_core::backend::{Backend, SimBackend, WorkSpec};
+use slate_core::classify::WorkloadClass;
+use slate_core::partition::partition;
+use slate_core::placement::{PlacementConfig, PlacementLayer, PlacementPolicy};
+use slate_core::transform::TransformedKernel;
+use slate_gpu_sim::device::{DeviceConfig, SmRange};
+use slate_gpu_sim::perf::KernelPerf;
+use slate_kernels::grid::{BlockCoord, GridDim};
+use slate_kernels::kernel::GpuKernel;
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Warmup fraction and measurement runs of the fixed harness.
+const RUNS: u32 = 5;
+
+fn measure(
+    name: &str,
+    gated: bool,
+    iters: u64,
+    items_per_iter: u64,
+    mut f: impl FnMut(),
+) -> BenchMeasurement {
+    for _ in 0..(iters / 10).max(1) {
+        f();
+    }
+    let mut best = f64::INFINITY;
+    for _ in 0..RUNS {
+        let t = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        best = best.min(t.elapsed().as_nanos() as f64 / iters as f64);
+    }
+    println!(
+        "{name:<20} {best:>12.1} ns/iter  ({:.2} Mitems/s)",
+        items_per_iter as f64 * 1e3 / best
+    );
+    BenchMeasurement {
+        name: name.to_string(),
+        gated,
+        iters,
+        ns_per_iter: best,
+        items_per_iter,
+    }
+}
+
+fn ready(session: u64, lease: u64, demand: u32) -> Event {
+    Event::KernelReady {
+        session,
+        lease,
+        class: if lease % 2 == 0 {
+            WorkloadClass::MM
+        } else {
+            WorkloadClass::LC
+        },
+        sm_demand: demand,
+        pinned_solo: false,
+        deadline_ms: None,
+    }
+}
+
+/// One scripted arbitration lifecycle: 2 sessions, 4 kernels with mixed
+/// classes (one co-run, one serialized pair), all finished and closed.
+/// 16 events through `feed` per iteration on a fresh core.
+fn arbiter_feed_iteration() {
+    let mut core = ArbiterCore::new(DeviceConfig::titan_xp(), ArbiterConfig::default());
+    let mut t = 0u64;
+    let mut feed = |core: &mut ArbiterCore, events: &[Event]| {
+        t += 100;
+        black_box(core.feed(t, events));
+    };
+    feed(
+        &mut core,
+        &[
+            Event::SessionOpened { session: 1 },
+            Event::SessionOpened { session: 2 },
+        ],
+    );
+    for (lease, demand) in [(0x10, 14u32), (0x21, 16), (0x12, 30), (0x23, 8)] {
+        let session = lease >> 4;
+        feed(
+            &mut core,
+            &[Event::LaunchRequested {
+                session,
+                lease,
+                est_ms: Some(5),
+                deadline_ms: None,
+            }],
+        );
+        feed(&mut core, &[ready(session, lease, demand)]);
+    }
+    feed(&mut core, &[Event::DeadlineTick]);
+    for lease in [0x10u64, 0x21, 0x12, 0x23] {
+        feed(&mut core, &[Event::KernelFinished { lease, ok: true }]);
+    }
+    feed(
+        &mut core,
+        &[
+            Event::SessionClosed { session: 1 },
+            Event::SessionClosed { session: 2 },
+        ],
+    );
+}
+
+/// A wave of 8 sessions (with one kernel each) routed across 4 devices.
+fn placement_route_iteration(policy: &PlacementPolicy) {
+    let mut layer = PlacementLayer::new(
+        vec![DeviceConfig::tiny(8); 4],
+        PlacementConfig {
+            policy: policy.clone(),
+            ..Default::default()
+        },
+    );
+    let mut t = 0u64;
+    for s in 1..=8u64 {
+        t += 50;
+        black_box(layer.feed(t, &[Event::SessionOpened { session: s }]));
+        black_box(layer.feed(t + 10, &[ready(s, s << 4, 8)]));
+    }
+    for s in 1..=8u64 {
+        t += 50;
+        black_box(layer.feed(
+            t,
+            &[Event::KernelFinished {
+                lease: s << 4,
+                ok: true,
+            }],
+        ));
+        black_box(layer.feed(t + 10, &[Event::SessionClosed { session: s }]));
+    }
+}
+
+struct Nop {
+    grid: GridDim,
+}
+impl GpuKernel for Nop {
+    fn name(&self) -> &str {
+        "nop"
+    }
+    fn grid(&self) -> GridDim {
+        self.grid
+    }
+    fn perf(&self) -> KernelPerf {
+        KernelPerf::synthetic("nop", 100.0, 0.0)
+    }
+    fn run_block(&self, b: BlockCoord) {
+        black_box(b);
+    }
+}
+
+/// Stage → dispatch → drain 10 000 simulated blocks on a fresh backend.
+fn sim_drain_iteration(kernel: &TransformedKernel) {
+    let mut be = SimBackend::new(DeviceConfig::tiny(4));
+    be.stage(1, WorkSpec::new(kernel.clone(), 10));
+    be.apply(&Command::Dispatch {
+        lease: 1,
+        range: SmRange::all(4),
+    });
+    let done = be.wait_completion(10_000).expect("nop kernel drains");
+    assert!(done.ok, "simulated drain completed");
+}
+
+fn main() {
+    let report = Report {
+        schema: REPORT_SCHEMA,
+        benches: vec![
+            measure("arbiter_feed", true, 2_000, 16, arbiter_feed_iteration),
+            measure("partition", false, 200_000, 3, || {
+                let cfg = DeviceConfig::titan_xp();
+                black_box(partition(&cfg, 14, 16));
+                black_box(partition(&cfg, 30, 8));
+                black_box(partition(&cfg, 22, 22));
+            }),
+            measure("placement_route", false, 1_000, 32, || {
+                placement_route_iteration(&PlacementPolicy::RoundRobin);
+                placement_route_iteration(&PlacementPolicy::LeastLoaded);
+            }),
+            {
+                let kernel = TransformedKernel::new(Arc::new(Nop {
+                    grid: GridDim::d1(10_000),
+                }));
+                measure("sim_backend_drain", false, 300, 10_000, move || {
+                    sim_drain_iteration(&kernel)
+                })
+            },
+        ],
+    };
+
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    let args: Vec<String> = std::env::args().collect();
+    let path = args
+        .iter()
+        .position(|a| a == "--json")
+        .and_then(|i| args.get(i + 1).cloned())
+        .or_else(|| std::env::var("SLATE_BENCH_JSON").ok());
+    match path {
+        Some(p) => {
+            std::fs::write(&p, &json).unwrap_or_else(|e| panic!("write {p}: {e}"));
+            println!("report written to {p}");
+        }
+        None => println!("{json}"),
+    }
+}

@@ -83,7 +83,12 @@ fn bench(c: &mut Criterion) {
     }));
     g.throughput(Throughput::Elements(1000));
     g.bench_function("run_task_1000_blocks", |b| {
-        b.iter(|| k.run_task(slate_core::queue::Task { start: 12_345, len: 1000 }));
+        b.iter(|| {
+            k.run_task(slate_core::queue::Task {
+                start: 12_345,
+                len: 1000,
+            })
+        });
     });
     g.finish();
 
@@ -101,7 +106,11 @@ fn bench(c: &mut Criterion) {
         b.iter(|| occupancy::blocks_per_sm(&cfg, &perf))
     });
     g.bench_function("bandwidth_allocate_8", |b| {
-        let demands: Vec<BwDemand> = (1..=8).map(|i| BwDemand { demand: i as f64 * 1e10 }).collect();
+        let demands: Vec<BwDemand> = (1..=8)
+            .map(|i| BwDemand {
+                demand: i as f64 * 1e10,
+            })
+            .collect();
         b.iter(|| allocate(480e9, &demands));
     });
     g.bench_function("engine_solo_run_100_events", |b| {

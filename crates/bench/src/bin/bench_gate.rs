@@ -1,0 +1,117 @@
+//! Perf-regression gate over two `hotpaths` reports.
+//!
+//! ```text
+//! bench_gate <baseline.json> <current.json> [--warn-pct 10] [--fail-pct 25]
+//! ```
+//!
+//! Compares each baseline bench against the current run by name:
+//!
+//! * any bench slower than `warn-pct` prints a warning (soft gate — CI
+//!   stays green so noisy runners don't block PRs);
+//! * a **gated** bench (`"gated": true` in the report — the arbiter feed
+//!   throughput) slower than `fail-pct` fails the run (exit 1);
+//! * a gated bench missing from the current report also fails: a deleted
+//!   measurement must not silently pass the gate.
+//!
+//! Warnings use the `::warning::` workflow-command syntax so they surface
+//! as annotations on the GitHub PR.
+
+use slate_bench::{Report, REPORT_SCHEMA};
+use std::process::ExitCode;
+
+fn load(path: &str) -> Report {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| panic!("read {path}: {e}"));
+    let report: Report =
+        serde_json::from_str(&text).unwrap_or_else(|e| panic!("parse {path}: {e}"));
+    assert_eq!(
+        report.schema, REPORT_SCHEMA,
+        "{path}: report schema {} but this gate expects {REPORT_SCHEMA}",
+        report.schema
+    );
+    report
+}
+
+fn pct_arg(args: &[String], flag: &str, default: f64) -> f64 {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(|v| {
+            v.parse::<f64>()
+                .unwrap_or_else(|e| panic!("{flag} {v}: {e}"))
+        })
+        .unwrap_or(default)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    // Positionals are whatever is left after dropping each `--flag` together
+    // with its value.
+    let mut positional: Vec<&String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a.starts_with("--") {
+            let _ = it.next();
+        } else {
+            positional.push(a);
+        }
+    }
+    let [baseline_path, current_path] = positional[..] else {
+        eprintln!(
+            "usage: bench_gate <baseline.json> <current.json> [--warn-pct 10] [--fail-pct 25]"
+        );
+        return ExitCode::from(2);
+    };
+    let warn_pct = pct_arg(&args, "--warn-pct", 10.0);
+    let fail_pct = pct_arg(&args, "--fail-pct", 25.0);
+    let baseline = load(baseline_path);
+    let current = load(current_path);
+
+    let mut failures = 0u32;
+    for base in &baseline.benches {
+        let Some(cur) = current.get(&base.name) else {
+            println!(
+                "::error::bench '{}' is in the baseline but missing from the current report",
+                base.name
+            );
+            failures += 1;
+            continue;
+        };
+        let delta_pct = (cur.ns_per_iter / base.ns_per_iter - 1.0) * 100.0;
+        let verdict = if base.gated && delta_pct > fail_pct {
+            failures += 1;
+            "FAIL"
+        } else if delta_pct > warn_pct {
+            println!(
+                "::warning::bench '{}' regressed {delta_pct:.1}% ({:.1} -> {:.1} ns/iter)",
+                base.name, base.ns_per_iter, cur.ns_per_iter
+            );
+            "warn"
+        } else {
+            "ok"
+        };
+        println!(
+            "{:<20} {:>12.1} -> {:>12.1} ns/iter  {delta_pct:>+7.1}%  [{verdict}]",
+            base.name, base.ns_per_iter, cur.ns_per_iter
+        );
+        if verdict == "FAIL" {
+            println!(
+                "::error::gated bench '{}' regressed {delta_pct:.1}% (fail threshold {fail_pct}%)",
+                base.name
+            );
+        }
+    }
+    for cur in &current.benches {
+        if baseline.get(&cur.name).is_none() {
+            println!(
+                "{:<20} (new bench, no baseline: {:.1} ns/iter)",
+                cur.name, cur.ns_per_iter
+            );
+        }
+    }
+    if failures > 0 {
+        println!("bench gate: {failures} hard failure(s)");
+        return ExitCode::FAILURE;
+    }
+    println!("bench gate: ok (warn > {warn_pct}%, fail > {fail_pct}% on gated benches)");
+    ExitCode::SUCCESS
+}

@@ -17,6 +17,7 @@
 //! surface: [`AdmissionStats`] and the aggregate [`DaemonMetrics`]
 //! snapshot future observability work builds on.
 
+use crate::placement::PlacementStats;
 use crate::queue::QueueStats;
 use serde::{Deserialize, Serialize};
 
@@ -87,6 +88,10 @@ pub struct DaemonMetrics {
     pub starvation_promotions: u64,
     /// Fault-plan rules that have fired (0 outside injection tests).
     pub faults_fired: usize,
+    /// Placement counters: fleet size, routed sessions, rebalances fired
+    /// and migrations completed. On a single-device daemon `devices` is 1
+    /// and the migration counters stay 0.
+    pub placement: PlacementStats,
     /// Poisoned-mutex recoveries across the daemon's shared state: each
     /// count is a lock some thread panicked under that a later locker
     /// recovered instead of cascading the panic.

@@ -105,10 +105,7 @@ impl RetryPolicy {
     /// attempts, retrying only while the error is transient. An
     /// [`SlateError::Overloaded`] rejection's `retry_after_ms` floors the
     /// sleep: the daemon knows its backlog better than the client does.
-    pub fn run<T>(
-        &self,
-        mut op: impl FnMut() -> Result<T, SlateError>,
-    ) -> Result<T, SlateError> {
+    pub fn run<T>(&self, mut op: impl FnMut() -> Result<T, SlateError>) -> Result<T, SlateError> {
         let mut retry = 0;
         let mut rng = self.jitter_seed.map(|s| s ^ 0x9e37_79b9_7f4a_7c15);
         let mut prev = self.base_delay;
@@ -118,12 +115,8 @@ impl RetryPolicy {
                 Err(e) if e.is_transient() && retry + 1 < self.max_attempts => {
                     let mut delay = match rng.as_mut() {
                         Some(state) => {
-                            let d = decorrelated_jitter(
-                                self.base_delay,
-                                prev,
-                                self.max_delay,
-                                state,
-                            );
+                            let d =
+                                decorrelated_jitter(self.base_delay, prev, self.max_delay, state);
                             prev = d;
                             d
                         }
@@ -301,19 +294,13 @@ impl SlateClient {
             .tx
             .send(req)
             .map_err(|_| SlateError::Disconnected)?;
-        self.conn
-            .rx
-            .recv()
-            .map_err(|_| SlateError::Disconnected)
+        self.conn.rx.recv().map_err(|_| SlateError::Disconnected)
     }
 
     /// Runs `op` under the configured retry policy, if any. Only applied
     /// to operations that are safe to re-issue: a transient rejection
     /// means the daemon did not perform them.
-    fn retrying<T>(
-        &self,
-        mut op: impl FnMut() -> Result<T, SlateError>,
-    ) -> Result<T, SlateError> {
+    fn retrying<T>(&self, mut op: impl FnMut() -> Result<T, SlateError>) -> Result<T, SlateError> {
         match &self.retry {
             Some(policy) => policy.run(&mut op),
             None => op(),
@@ -323,10 +310,7 @@ impl SlateClient {
     /// Runs `op` behind the circuit breaker (if installed) and under the
     /// retry policy (if configured): an open breaker fails fast without
     /// touching the daemon; the final outcome feeds the breaker.
-    fn guarded<T>(
-        &self,
-        op: impl FnMut() -> Result<T, SlateError>,
-    ) -> Result<T, SlateError> {
+    fn guarded<T>(&self, op: impl FnMut() -> Result<T, SlateError>) -> Result<T, SlateError> {
         if let Some(b) = &self.breaker {
             b.check()?;
         }
@@ -353,7 +337,8 @@ impl SlateClient {
         self.guarded(|| {
             // Bytes clones are refcount-only; re-sending is cheap.
             let data = data.clone();
-            self.call(Request::MemcpyH2D { ptr, offset, data })?.expect_ok()
+            self.call(Request::MemcpyH2D { ptr, offset, data })?
+                .expect_ok()
         })
     }
 
@@ -365,7 +350,12 @@ impl SlateClient {
 
     /// Copies device memory back to the host. `offset` must be
     /// word-aligned.
-    pub fn memcpy_d2h(&self, ptr: SlatePtr, offset: usize, len: usize) -> Result<Vec<u8>, SlateError> {
+    pub fn memcpy_d2h(
+        &self,
+        ptr: SlatePtr,
+        offset: usize,
+        len: usize,
+    ) -> Result<Vec<u8>, SlateError> {
         self.guarded(|| {
             Ok(self
                 .call(Request::MemcpyD2H { ptr, offset, len })?
@@ -438,7 +428,15 @@ impl SlateClient {
     where
         F: FnOnce(Vec<Arc<GpuBuffer>>) -> Arc<dyn GpuKernel> + Send + 'static,
     {
-        self.launch_inner(ptrs, task_size, None, false, stream, None, Box::new(factory))
+        self.launch_inner(
+            ptrs,
+            task_size,
+            None,
+            false,
+            stream,
+            None,
+            Box::new(factory),
+        )
     }
 
     /// Like [`SlateClient::launch_with`] but pins the kernel to solo
@@ -516,12 +514,7 @@ impl SlateClient {
         let mut first: Option<SlateError> = None;
         let mut failures: u64 = 0;
         loop {
-            match self
-                .conn
-                .rx
-                .recv()
-                .map_err(|_| SlateError::Disconnected)?
-            {
+            match self.conn.rx.recv().map_err(|_| SlateError::Disconnected)? {
                 Response::Ok => break,
                 Response::Err(e) => {
                     failures += 1;
@@ -681,7 +674,11 @@ mod tests {
             seen.insert(d.as_nanos());
             prev = d;
         }
-        assert!(seen.len() > 10, "jitter must actually vary, saw {}", seen.len());
+        assert!(
+            seen.len() > 10,
+            "jitter must actually vary, saw {}",
+            seen.len()
+        );
         // Deterministic for a fixed seed.
         let run = |seed: u64| {
             let mut st = seed;
@@ -807,11 +804,12 @@ mod tests {
             ..Default::default()
         };
         let daemon = SlateDaemon::start_with_options(DeviceConfig::tiny(2), 1 << 20, opts);
-        let c = SlateClient::new(daemon.connect("breaker").unwrap())
-            .with_circuit_breaker(BreakerConfig {
+        let c = SlateClient::new(daemon.connect("breaker").unwrap()).with_circuit_breaker(
+            BreakerConfig {
                 failure_threshold: 2,
                 cooldown: Duration::from_secs(60),
-            });
+            },
+        );
         assert!(c.malloc(64).is_err());
         assert!(c.malloc(64).is_err());
         assert_eq!(c.breaker_state(), Some(BreakerState::Open));

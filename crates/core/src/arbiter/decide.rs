@@ -45,7 +45,9 @@ impl ArbiterCore {
         loop {
             match self.residents.len() {
                 0 => {
-                    let Some(head) = self.head_waiter() else { break };
+                    let Some(head) = self.head_waiter() else {
+                        break;
+                    };
                     let starved = self
                         .config
                         .starvation_bound_us
@@ -118,7 +120,10 @@ impl ArbiterCore {
             self.deadlines
                 .insert(w.lease, self.now + ms.saturating_mul(1000));
         }
-        out.push(Command::Dispatch { lease: w.lease, range });
+        out.push(Command::Dispatch {
+            lease: w.lease,
+            range,
+        });
         self.residents.push(Resident {
             lease: w.lease,
             session: w.session,

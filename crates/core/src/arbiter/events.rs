@@ -182,13 +182,25 @@ impl fmt::Display for Event {
             Event::SessionOpened { session } => write!(f, "session-opened s{session}"),
             Event::SessionClosed { session } => write!(f, "session-closed s{session}"),
             Event::SessionSevered { session } => write!(f, "session-severed s{session}"),
-            Event::LaunchRequested { session, lease, est_ms, deadline_ms } => write!(
+            Event::LaunchRequested {
+                session,
+                lease,
+                est_ms,
+                deadline_ms,
+            } => write!(
                 f,
                 "launch-requested s{session} l{lease} est={} deadline={}",
                 opt(est_ms),
                 opt(deadline_ms)
             ),
-            Event::KernelReady { session, lease, class, sm_demand, pinned_solo, deadline_ms } => {
+            Event::KernelReady {
+                session,
+                lease,
+                class,
+                sm_demand,
+                pinned_solo,
+                deadline_ms,
+            } => {
                 write!(
                     f,
                     "kernel-ready s{session} l{lease} {class:?} demand={sm_demand} pinned={pinned_solo} deadline={}",
@@ -198,7 +210,12 @@ impl fmt::Display for Event {
             Event::KernelFinished { lease, ok } => {
                 write!(f, "kernel-finished l{lease} ok={ok}")
             }
-            Event::MallocRequested { session, used, capacity, bytes } => write!(
+            Event::MallocRequested {
+                session,
+                used,
+                capacity,
+                bytes,
+            } => write!(
                 f,
                 "malloc-requested s{session} used={used}/{capacity} bytes={bytes}"
             ),
@@ -219,7 +236,12 @@ impl fmt::Display for Command {
             Command::Resize { lease, range } => {
                 write!(f, "resize l{lease} sm[{}..{}]", range.lo, range.hi)
             }
-            Command::RejectOverloaded { session, lease, scope, retry_after_ms } => write!(
+            Command::RejectOverloaded {
+                session,
+                lease,
+                scope,
+                retry_after_ms,
+            } => write!(
                 f,
                 "reject s{session} l{} scope={scope:?} retry={retry_after_ms}ms",
                 opt(lease)

@@ -33,7 +33,7 @@ mod state;
 
 pub use events::{Command, Event, RejectScope, Tick};
 pub use replay::{EventLog, LoggedBatch};
-pub use state::{ArbiterCore, ArbiterConfig};
+pub use state::{ArbiterConfig, ArbiterCore};
 
 #[cfg(test)]
 mod tests {
@@ -66,7 +66,12 @@ mod tests {
     }
 
     fn launch(session: u64, lease: u64, est_ms: Option<u64>, deadline_ms: Option<u64>) -> Event {
-        Event::LaunchRequested { session, lease, est_ms, deadline_ms }
+        Event::LaunchRequested {
+            session,
+            lease,
+            est_ms,
+            deadline_ms,
+        }
     }
 
     fn full() -> SmRange {
@@ -77,7 +82,13 @@ mod tests {
     fn empty_device_dispatches_fifo_head_on_full_range() {
         let mut a = core();
         let out = a.feed(0, &[ready(1, 10, MM, 30)]);
-        assert_eq!(out, vec![Command::Dispatch { lease: 10, range: full() }]);
+        assert_eq!(
+            out,
+            vec![Command::Dispatch {
+                lease: 10,
+                range: full()
+            }]
+        );
         // A non-complementary second kernel waits.
         let out = a.feed(1, &[ready(1, 11, MM, 30)]);
         assert_eq!(out, vec![]);
@@ -85,7 +96,13 @@ mod tests {
         assert_eq!(a.waiting(), 1);
         // When the resident leaves, the waiter takes the whole device.
         let out = a.feed(2, &[fin(10)]);
-        assert_eq!(out, vec![Command::Dispatch { lease: 11, range: full() }]);
+        assert_eq!(
+            out,
+            vec![Command::Dispatch {
+                lease: 11,
+                range: full()
+            }]
+        );
     }
 
     #[test]
@@ -98,14 +115,26 @@ mod tests {
         assert_eq!(
             out,
             vec![
-                Command::Resize { lease: 1, range: SmRange::new(0, 15) },
-                Command::Dispatch { lease: 2, range: SmRange::new(16, 29) },
+                Command::Resize {
+                    lease: 1,
+                    range: SmRange::new(0, 15)
+                },
+                Command::Dispatch {
+                    lease: 2,
+                    range: SmRange::new(16, 29)
+                },
             ]
         );
         assert_eq!(a.residents(), 2);
         // The survivor regrows when its partner departs.
         let out = a.feed(2, &[fin(2)]);
-        assert_eq!(out, vec![Command::Resize { lease: 1, range: full() }]);
+        assert_eq!(
+            out,
+            vec![Command::Resize {
+                lease: 1,
+                range: full()
+            }]
+        );
     }
 
     #[test]
@@ -118,7 +147,10 @@ mod tests {
         let out = a.feed(2, &[fin(1), ready(1, 1, MM, 30)]);
         assert_eq!(
             out,
-            vec![Command::Dispatch { lease: 1, range: SmRange::new(0, 15) }]
+            vec![Command::Dispatch {
+                lease: 1,
+                range: SmRange::new(0, 15)
+            }]
         );
         assert_eq!(a.residents(), 2);
     }
@@ -133,7 +165,13 @@ mod tests {
         let out = a.feed(1, &[ready(2, 2, LC, 14)]);
         assert_eq!(out, vec![], "no join with corun disabled");
         let out = a.feed(2, &[fin(1)]);
-        assert_eq!(out, vec![Command::Dispatch { lease: 2, range: full() }]);
+        assert_eq!(
+            out,
+            vec![Command::Dispatch {
+                lease: 2,
+                range: full()
+            }]
+        );
     }
 
     #[test]
@@ -150,7 +188,13 @@ mod tests {
                 deadline_ms: None,
             }],
         );
-        assert_eq!(out, vec![Command::Dispatch { lease: 1, range: full() }]);
+        assert_eq!(
+            out,
+            vec![Command::Dispatch {
+                lease: 1,
+                range: full()
+            }]
+        );
         let out = a.feed(1, &[ready(2, 2, LC, 14)]);
         assert_eq!(out, vec![], "pinned resident accepts no partner");
     }
@@ -174,7 +218,10 @@ mod tests {
             out,
             vec![
                 Command::PromoteStarved { lease: 2 },
-                Command::Dispatch { lease: 2, range: full() },
+                Command::Dispatch {
+                    lease: 2,
+                    range: full()
+                },
             ]
         );
         assert_eq!(a.promotions(), 1);
@@ -196,7 +243,13 @@ mod tests {
                 deadline_ms: Some(5),
             }],
         );
-        assert_eq!(out, vec![Command::Dispatch { lease: 1, range: full() }]);
+        assert_eq!(
+            out,
+            vec![Command::Dispatch {
+                lease: 1,
+                range: full()
+            }]
+        );
         assert_eq!(a.feed(4_999, &[Event::DeadlineTick]), vec![]);
         let out = a.feed(5_000, &[Event::DeadlineTick]);
         assert_eq!(out, vec![Command::Evict { lease: 1 }]);
@@ -204,7 +257,13 @@ mod tests {
         // The deadline is disarmed: no double eviction while the retreat
         // is in flight.
         assert_eq!(a.feed(6_000, &[Event::DeadlineTick]), vec![]);
-        a.feed(6_100, &[Event::KernelFinished { lease: 1, ok: false }]);
+        a.feed(
+            6_100,
+            &[Event::KernelFinished {
+                lease: 1,
+                ok: false,
+            }],
+        );
         assert_eq!(a.residents(), 0);
     }
 
@@ -218,7 +277,10 @@ mod tests {
         let out = a.feed(3, &[fin(1)]);
         assert_eq!(
             out,
-            vec![Command::Dispatch { lease: 2, range: full() }],
+            vec![Command::Dispatch {
+                lease: 2,
+                range: full()
+            }],
             "queued work still drains solo"
         );
     }
@@ -226,7 +288,13 @@ mod tests {
     #[test]
     fn severed_session_is_reaped_and_partner_regrows() {
         let mut a = core();
-        a.feed(0, &[Event::SessionOpened { session: 1 }, Event::SessionOpened { session: 2 }]);
+        a.feed(
+            0,
+            &[
+                Event::SessionOpened { session: 1 },
+                Event::SessionOpened { session: 2 },
+            ],
+        );
         a.feed(1, &[ready(1, 1, MM, 30)]);
         a.feed(2, &[ready(2, 2, LC, 14)]);
         assert_eq!(a.residents(), 2);
@@ -235,7 +303,10 @@ mod tests {
             out,
             vec![
                 Command::Reap { session: 2 },
-                Command::Resize { lease: 1, range: full() },
+                Command::Resize {
+                    lease: 1,
+                    range: full()
+                },
             ]
         );
         assert_eq!(a.reaped(), 1);
@@ -245,14 +316,20 @@ mod tests {
     // ---- admission control (migrated from the old AdmissionController) ----
 
     fn limits(limits: AdmissionLimits) -> ArbiterConfig {
-        ArbiterConfig { limits, ..ArbiterConfig::default() }
+        ArbiterConfig {
+            limits,
+            ..ArbiterConfig::default()
+        }
     }
 
     fn reject_of(out: &[Command]) -> Option<(Option<u64>, RejectScope, u64)> {
         out.iter().find_map(|c| match c {
-            Command::RejectOverloaded { lease, scope, retry_after_ms, .. } => {
-                Some((*lease, *scope, *retry_after_ms))
-            }
+            Command::RejectOverloaded {
+                lease,
+                scope,
+                retry_after_ms,
+                ..
+            } => Some((*lease, *scope, *retry_after_ms)),
             _ => None,
         })
     }
@@ -303,11 +380,23 @@ mod tests {
             max_pending_global: Some(1),
             ..Default::default()
         }));
-        a.feed(0, &[Event::SessionOpened { session: 1 }, Event::SessionOpened { session: 2 }]);
+        a.feed(
+            0,
+            &[
+                Event::SessionOpened { session: 1 },
+                Event::SessionOpened { session: 2 },
+            ],
+        );
         assert!(reject_of(&a.feed(1, &[launch(1, 10, None, None)])).is_none());
         let out = a.feed(2, &[launch(2, 20, None, None)]);
         assert_eq!(reject_of(&out).map(|r| r.1), Some(RejectScope::Launch));
-        a.feed(3, &[Event::KernelFinished { lease: 10, ok: false }]);
+        a.feed(
+            3,
+            &[Event::KernelFinished {
+                lease: 10,
+                ok: false,
+            }],
+        );
         let s = a.admission_stats();
         assert_eq!(s.launches_failed, 1);
         assert_eq!(a.queue_stats().depth, 0);
@@ -341,14 +430,38 @@ mod tests {
         }));
         a.feed(0, &[Event::SessionOpened { session: 1 }]);
         // Capacity 1000, watermark 500.
-        let ok = a.feed(1, &[Event::MallocRequested { session: 1, used: 0, capacity: 1000, bytes: 400 }]);
+        let ok = a.feed(
+            1,
+            &[Event::MallocRequested {
+                session: 1,
+                used: 0,
+                capacity: 1000,
+                bytes: 400,
+            }],
+        );
         assert!(reject_of(&ok).is_none());
-        let out = a.feed(2, &[Event::MallocRequested { session: 1, used: 400, capacity: 1000, bytes: 200 }]);
+        let out = a.feed(
+            2,
+            &[Event::MallocRequested {
+                session: 1,
+                used: 400,
+                capacity: 1000,
+                bytes: 200,
+            }],
+        );
         assert_eq!(reject_of(&out).map(|r| r.1), Some(RejectScope::Malloc));
         assert_eq!(a.admission_stats().mallocs_shed, 1);
         // Without a watermark everything passes.
         let mut open = core();
-        let out = open.feed(0, &[Event::MallocRequested { session: 1, used: 999, capacity: 1000, bytes: 10_000 }]);
+        let out = open.feed(
+            0,
+            &[Event::MallocRequested {
+                session: 1,
+                used: 999,
+                capacity: 1000,
+                bytes: 10_000,
+            }],
+        );
         assert!(reject_of(&out).is_none());
     }
 
@@ -398,8 +511,20 @@ mod tests {
             ..ArbiterConfig::default()
         });
         a.start_recording();
-        a.feed(0, &[Event::SessionOpened { session: 1 }, Event::SessionOpened { session: 2 }]);
-        a.feed(10, &[launch(1, 1, Some(20), None), launch(2, 2, Some(5), Some(500))]);
+        a.feed(
+            0,
+            &[
+                Event::SessionOpened { session: 1 },
+                Event::SessionOpened { session: 2 },
+            ],
+        );
+        a.feed(
+            10,
+            &[
+                launch(1, 1, Some(20), None),
+                launch(2, 2, Some(5), Some(500)),
+            ],
+        );
         a.feed(20, &[ready(1, 1, MM, 30)]);
         a.feed(30, &[ready(2, 2, LC, 14)]);
         a.feed(1_000, &[Event::DeadlineTick]); // heartbeat no-op: not recorded

@@ -180,6 +180,14 @@ impl ArbiterCore {
         self.residents.len()
     }
 
+    /// Leases of the kernels currently holding SMs, in stable residency
+    /// order. The placement layer picks cross-device migration victims
+    /// from this list, so its order must be deterministic (it is: the
+    /// backing `Vec` mutates identically across replays).
+    pub fn resident_leases(&self) -> Vec<u64> {
+        self.residents.iter().map(|r| r.lease).collect()
+    }
+
     /// Ready kernels waiting for SMs.
     pub fn waiting(&self) -> usize {
         self.waiters.len()
@@ -285,10 +293,20 @@ impl ArbiterCore {
             Event::SessionOpened { session } => self.open_session(session, out),
             Event::SessionClosed { session } => self.end_session(session, false, out),
             Event::SessionSevered { session } => self.end_session(session, true, out),
-            Event::LaunchRequested { session, lease, est_ms, deadline_ms } => {
-                self.admit_launch(session, lease, est_ms, deadline_ms, out)
-            }
-            Event::KernelReady { session, lease, class, sm_demand, pinned_solo, deadline_ms } => {
+            Event::LaunchRequested {
+                session,
+                lease,
+                est_ms,
+                deadline_ms,
+            } => self.admit_launch(session, lease, est_ms, deadline_ms, out),
+            Event::KernelReady {
+                session,
+                lease,
+                class,
+                sm_demand,
+                pinned_solo,
+                deadline_ms,
+            } => {
                 self.lease_session.insert(lease, session);
                 let seq = self.next_seq;
                 self.next_seq += 1;
@@ -304,7 +322,12 @@ impl ArbiterCore {
                 });
             }
             Event::KernelFinished { lease, ok } => self.finish_launch(lease, ok),
-            Event::MallocRequested { session, used, capacity, bytes } => {
+            Event::MallocRequested {
+                session,
+                used,
+                capacity,
+                bytes,
+            } => {
                 if let Some(w) = self.config.limits.mem_watermark {
                     let limit = (w.clamp(0.0, 1.0) * capacity as f64) as u64;
                     if used.saturating_add(bytes) > limit {
@@ -338,8 +361,10 @@ impl ArbiterCore {
         }
         self.active_sessions += 1;
         self.sessions_admitted += 1;
-        self.sessions
-            .insert(session, LaunchGauge::new(self.config.limits.max_pending_per_session));
+        self.sessions.insert(
+            session,
+            LaunchGauge::new(self.config.limits.max_pending_per_session),
+        );
     }
 
     fn end_session(&mut self, session: u64, severed: bool, out: &mut Vec<Command>) {
@@ -388,8 +413,10 @@ impl ArbiterCore {
         if !self.sessions.contains_key(&session) {
             // Lazily admit sessions the frontend never announced, so the
             // core stays usable with partial event streams.
-            self.sessions
-                .insert(session, LaunchGauge::new(self.config.limits.max_pending_per_session));
+            self.sessions.insert(
+                session,
+                LaunchGauge::new(self.config.limits.max_pending_per_session),
+            );
         }
         if let Some(deadline) = deadline_ms {
             let queue_wait = self.pending_est_ms;

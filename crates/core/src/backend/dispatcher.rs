@@ -16,7 +16,7 @@ use crate::dispatch::{DispatchHandle, Dispatcher};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use slate_gpu_sim::device::{DeviceConfig, SmRange};
 use slate_gpu_sim::fault::FaultToken;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::thread::JoinHandle;
 
 /// The execution-side state of in-flight dispatches: the handles the
@@ -25,9 +25,12 @@ use std::thread::JoinHandle;
 /// back. Shared between the daemon's arbiter frontend and
 /// [`DispatcherBackend`] — one interpretation of execution commands
 /// against dispatch handles.
+///
+/// Ordered map by rule: any structure on the command/replay path must
+/// iterate deterministically, even if today's accesses are keyed lookups.
 #[derive(Debug, Default)]
 pub struct LeaseTable {
-    entries: HashMap<u64, LeaseEntry>,
+    entries: BTreeMap<u64, LeaseEntry>,
 }
 
 #[derive(Debug)]
@@ -117,7 +120,7 @@ struct Job {
 /// The persistent-worker execution backend.
 pub struct DispatcherBackend {
     device: DeviceConfig,
-    jobs: HashMap<u64, Job>,
+    jobs: BTreeMap<u64, Job>,
     leases: LeaseTable,
     tx: Sender<Completion>,
     rx: Receiver<Completion>,
@@ -129,7 +132,7 @@ impl DispatcherBackend {
         let (tx, rx) = unbounded();
         Self {
             device,
-            jobs: HashMap::new(),
+            jobs: BTreeMap::new(),
             leases: LeaseTable::new(),
             tx,
             rx,

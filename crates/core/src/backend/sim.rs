@@ -287,7 +287,9 @@ impl Backend for SimBackend {
         if millis == 0 {
             return;
         }
-        let tid = self.engine.set_timer(self.engine.now() + millis as f64 / 1e3);
+        let tid = self
+            .engine
+            .set_timer(self.engine.now() + millis as f64 / 1e3);
         loop {
             match self.engine.step() {
                 Some((_, Event::Timer(t))) if t == tid => break,
@@ -310,7 +312,9 @@ impl Backend for SimBackend {
     }
 
     fn held_range(&self, lease: u64) -> Option<SmRange> {
-        self.leases.get(&lease).and_then(|l| l.slice.map(|(_, r)| r))
+        self.leases
+            .get(&lease)
+            .and_then(|l| l.slice.map(|(_, r)| r))
     }
 
     fn is_functional(&self) -> bool {

@@ -168,7 +168,11 @@ pub fn resize_churn_exactly_once(b: &mut dyn Backend, seed: u64) {
     if completions.is_empty() {
         completions = b.drive_until(1, DRIVE_MS);
     }
-    assert_eq!(completions.len(), 1, "exactly one completion: {completions:?}");
+    assert_eq!(
+        completions.len(),
+        1,
+        "exactly one completion: {completions:?}"
+    );
     let c = completions[0];
     assert_eq!(c.lease, 1);
     assert!(c.ok, "churned run still drains");
@@ -277,7 +281,11 @@ pub fn drain_reported_exactly_once(b: &mut dyn Backend) {
     });
     b.apply(&Command::Evict { lease: 2 });
     b.advance(2);
-    assert_eq!(b.poll(), None, "finished lease emits no further completions");
+    assert_eq!(
+        b.poll(),
+        None,
+        "finished lease emits no further completions"
+    );
     assert_eq!(b.progress(2), u64::from(total));
     if b.is_functional() {
         assert_exactly_once(&hits, u64::from(total));
@@ -297,7 +305,11 @@ pub fn sm_confinement(b: &mut dyn Backend) {
         lease: 3,
         range: first,
     });
-    assert_eq!(b.held_range(3), Some(first), "dispatch binds the commanded range");
+    assert_eq!(
+        b.held_range(3),
+        Some(first),
+        "dispatch binds the commanded range"
+    );
     b.advance(1);
     let second = SmRange::new(1, n - 1);
     b.apply(&Command::Resize {

@@ -160,7 +160,9 @@ mod tests {
             SlateError::OutOfMemory { requested: 9 }
         );
         assert_eq!(
-            Response::Data(Bytes::from_static(b"xy")).expect_data().unwrap(),
+            Response::Data(Bytes::from_static(b"xy"))
+                .expect_data()
+                .unwrap(),
             Bytes::from_static(b"xy")
         );
         assert!(Response::Ok.expect_ok().is_ok());
@@ -168,9 +170,7 @@ mod tests {
 
     #[test]
     fn overload_replies_are_recognizable() {
-        let shed = Response::Err(
-            SlateError::Overloaded { retry_after_ms: 7 }.to_wire(),
-        );
+        let shed = Response::Err(SlateError::Overloaded { retry_after_ms: 7 }.to_wire());
         assert!(shed.is_overloaded());
         assert!(!Response::Ok.is_overloaded());
         assert!(!Response::Err("E_SHUTDOWN".into()).is_overloaded());

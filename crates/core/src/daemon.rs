@@ -18,7 +18,7 @@
 //! Every scheduling decision — co-run selection, SM partitioning, dynamic
 //! resizing, admission shedding, starvation promotion, watchdog eviction,
 //! session reaping — is made by the shared, deterministic
-//! [`ArbiterCore`]. The daemon is a thin
+//! [`ArbiterCore`](crate::arbiter::ArbiterCore). The daemon is a thin
 //! driver: wire requests and a 1 ms heartbeat become
 //! [`Event`](crate::arbiter::Event)s stamped with a monotonic logical
 //! clock, and the returned [`Command`]s are
@@ -29,6 +29,20 @@
 //! [`SlateRuntime`](crate::runtime::SlateRuntime) drives the very same
 //! core, so both frontends make identical decisions for identical event
 //! streams.
+//!
+//! # Multi-device placement
+//!
+//! With [`DaemonOptions::devices`] set, the daemon schedules over a fleet:
+//! one arbitration core per device behind the deterministic
+//! [`PlacementLayer`]. New sessions are
+//! routed by [`DaemonOptions::placement`] and stick to their device; with
+//! [`DaemonOptions::rebalance`] set, a sustained load imbalance migrates a
+//! resident kernel — an ordinary eviction on the source device followed by
+//! a resumed dispatch on the target at the carried `slateIdx` progress, so
+//! no user block executes twice. [`SlateDaemon::placement_stats`] (and
+//! [`DaemonMetrics::placement`]) count routed sessions, rebalances and
+//! completed migrations; a recorded multi-device run yields a
+//! [`PlacementLog`] that splits into ordinary per-device [`EventLog`]s.
 //!
 //! # Fault tolerance
 //!
@@ -78,12 +92,17 @@
 //!   deterministic tie-break.
 
 use crate::admission::{AdmissionLimits, AdmissionStats, DaemonMetrics};
-use crate::arbiter::{ArbiterConfig, ArbiterCore, Command, Event as ArbEvent, EventLog};
+use crate::arbiter::{ArbiterConfig, Command, Event as ArbEvent, EventLog};
 use crate::backend::LeaseTable;
 use crate::channel::{LaunchCmd, Request, Response, SlatePtr};
 use crate::dispatch::{DispatchHandle, Dispatcher};
 use crate::error::SlateError;
 use crate::injector::InjectionCache;
+use crate::placement::replay::PlacementLog;
+use crate::placement::{
+    PlacementConfig, PlacementLayer, PlacementPolicy, PlacementStats, RebalanceConfig,
+    RoutedCommand,
+};
 use crate::profile::ProfileTable;
 use crate::queue::QueueStats;
 use crate::sync::{Condvar, Mutex};
@@ -93,7 +112,7 @@ use slate_gpu_sim::buffer::{DeviceMemoryPool, DevicePtr, GpuBuffer};
 use slate_gpu_sim::device::{DeviceConfig, SmRange};
 use slate_gpu_sim::fault::{FaultKind, FaultPlan, FaultSite, FaultToken};
 use slate_gpu_sim::workqueue::HyperQ;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Weak};
 use std::thread::JoinHandle;
@@ -101,20 +120,29 @@ use std::time::{Duration, Instant};
 
 /// Mutable state of the daemon's arbiter frontend, under one lock.
 struct ArbInner {
-    core: ArbiterCore,
-    /// Dispatch grants awaiting pickup by their `execute_kernel` thread.
-    grants: HashMap<u64, SmRange>,
+    /// The device fleet's arbitration brain: one per-device
+    /// [`ArbiterCore`](crate::arbiter::ArbiterCore) behind the
+    /// deterministic routing of [`PlacementLayer`]. A single-device daemon
+    /// is the degenerate N=1 layer and behaves exactly as before.
+    layer: PlacementLayer,
+    /// Dispatch grants awaiting pickup by their `execute_kernel` thread:
+    /// lease → (device index, granted SM range). Ordered map so any
+    /// iteration over pending grants is deterministic.
+    grants: BTreeMap<u64, (usize, SmRange)>,
     /// Dispatch handles of waiting/resident leases — the shared
     /// backend-layer interpretation of `Resize`/`Evict` against dispatch
     /// handles (including the injected-hang token cancel on eviction), the
     /// same table [`crate::backend::DispatcherBackend`] executes with.
+    /// Leases are fleet-unique, so one table serves every device.
     leases: LeaseTable,
 }
 
-/// The daemon's driver for the shared [`ArbiterCore`]: stamps events with
-/// a monotonic microsecond clock, carries out the returned commands
-/// (resize and evict act on dispatch handles immediately; dispatch grants
-/// are parked for the waiting kernel thread), and wakes grant waiters.
+/// The daemon's driver for the placement layer over the shared per-device
+/// arbitration cores: stamps events with a monotonic microsecond clock,
+/// carries out the returned routed commands (resize and evict act on
+/// dispatch handles immediately; dispatch grants are parked for the
+/// waiting kernel thread together with their device), and wakes grant
+/// waiters.
 struct ArbFrontend {
     /// Epoch of the logical clock ([`crate::arbiter::Tick`]s are
     /// microseconds since this instant).
@@ -125,12 +153,12 @@ struct ArbFrontend {
 }
 
 impl ArbFrontend {
-    fn new(core: ArbiterCore) -> Self {
+    fn new(layer: PlacementLayer) -> Self {
         Self {
             epoch: Instant::now(),
             inner: Mutex::new(ArbInner {
-                core,
-                grants: HashMap::new(),
+                layer,
+                grants: BTreeMap::new(),
                 leases: LeaseTable::new(),
             }),
             granted: Condvar::new(),
@@ -141,8 +169,9 @@ impl ArbFrontend {
         self.epoch.elapsed().as_micros() as u64
     }
 
-    /// Feeds one batch to the core and carries out the returned commands.
-    fn feed(&self, events: &[ArbEvent]) -> Vec<Command> {
+    /// Feeds one batch to the placement layer and carries out the routed
+    /// commands.
+    fn feed(&self, events: &[ArbEvent]) -> Vec<RoutedCommand> {
         let mut inner = self.inner.lock();
         self.feed_locked(&mut inner, events)
     }
@@ -151,16 +180,16 @@ impl ArbFrontend {
         &self,
         inner: &mut crate::sync::MutexGuard<'_, ArbInner>,
         events: &[ArbEvent],
-    ) -> Vec<Command> {
+    ) -> Vec<RoutedCommand> {
         let now = self.now_us();
-        let cmds = inner.core.feed(now, events);
-        for cmd in &cmds {
-            match cmd {
+        let routed = inner.layer.feed(now, events);
+        for r in &routed {
+            match &r.command {
                 Command::Dispatch { lease, range } => {
-                    inner.grants.insert(*lease, *range);
+                    inner.grants.insert(*lease, (r.device, *range));
                 }
                 Command::Resize { .. } | Command::Evict { .. } => {
-                    inner.leases.apply(cmd);
+                    inner.leases.apply(&r.command);
                 }
                 // Rejections are returned to the feeding call site;
                 // promotion and reaping are informational here.
@@ -170,34 +199,52 @@ impl ArbFrontend {
             }
         }
         self.granted.notify_all();
-        cmds
+        routed
+    }
+
+    /// The device `lease` currently routes to (its session's device, or
+    /// the migration target after a rebalance eviction landed).
+    fn lease_device(&self, lease: u64) -> usize {
+        let inner = self.inner.lock();
+        inner
+            .layer
+            .device_of_lease(lease)
+            .or_else(|| inner.layer.device_of_session(lease >> 16))
+            .unwrap_or(0)
+    }
+
+    /// The in-flight migration target of `lease`, if a rebalance eviction
+    /// is pending for it. Must be read *before* feeding the eviction's
+    /// `KernelFinished` (which completes the migration and clears it).
+    fn migration_target(&self, lease: u64) -> Option<usize> {
+        self.inner.lock().layer.migration_target(lease)
     }
 
     /// Registers the kernel's dispatch handle, announces it ready, and
-    /// blocks until the core grants it an SM range. The wait is bounded
-    /// (the 1 ms heartbeat re-runs scheduling anyway), so a lost wakeup
-    /// during teardown cannot wedge the thread.
+    /// blocks until its device's core grants it an SM range. The wait is
+    /// bounded (the 1 ms heartbeat re-runs scheduling anyway), so a lost
+    /// wakeup during teardown cannot wedge the thread.
     fn wait_grant(
         &self,
         lease: u64,
         ready: ArbEvent,
         handle: DispatchHandle,
         token: Option<FaultToken>,
-    ) -> SmRange {
+    ) -> (usize, SmRange) {
         let mut inner = self.inner.lock();
         inner.leases.register(lease, handle, token);
         self.feed_locked(&mut inner, std::slice::from_ref(&ready));
         loop {
-            if let Some(range) = inner.grants.remove(&lease) {
-                return range;
+            if let Some(grant) = inner.grants.remove(&lease) {
+                return grant;
             }
             let _ = self.granted.wait_for(&mut inner, Duration::from_millis(5));
         }
     }
 
     /// Reports the dispatch finished (drained, faulted or evicted) and
-    /// drops its handle; the core re-schedules (survivor regrow, next
-    /// waiter dispatch) in the same feed.
+    /// drops its handle; the lease's core re-schedules (survivor regrow,
+    /// next waiter dispatch) in the same feed.
     fn finish(&self, lease: u64, ok: bool) {
         let mut inner = self.inner.lock();
         inner.leases.release(lease);
@@ -205,11 +252,11 @@ impl ArbFrontend {
     }
 }
 
-/// The retry hint if `cmds` shed the request just fed for `session`. Each
-/// daemon feed carries a single request event, so any rejection in the
-/// answer belongs to it.
-fn shed_retry(cmds: &[Command], session: u64) -> Option<u64> {
-    cmds.iter().find_map(|c| match c {
+/// The retry hint if `routed` shed the request just fed for `session`.
+/// Each daemon feed carries a single request event, so any rejection in
+/// the answer belongs to it.
+fn shed_retry(routed: &[RoutedCommand], session: u64) -> Option<u64> {
+    routed.iter().find_map(|r| match &r.command {
         Command::RejectOverloaded {
             session: s,
             retry_after_ms,
@@ -221,7 +268,11 @@ fn shed_retry(cmds: &[Command], session: u64) -> Option<u64> {
 
 /// Shared daemon state.
 struct DaemonShared {
+    /// The primary device (`devices[0]`): kernel profiling and the
+    /// injected-source pipeline are calibrated against it.
     cfg: DeviceConfig,
+    /// The full device fleet, in placement-layer index order.
+    devices: Vec<DeviceConfig>,
     pool: Mutex<DeviceMemoryPool>,
     injector: Mutex<InjectionCache>,
     profiles: Mutex<ProfileTable>,
@@ -260,8 +311,23 @@ pub struct DaemonOptions {
     pub starvation_bound_ms: Option<u64>,
     /// Record every arbitration event batch; [`SlateDaemon::arbiter_log`]
     /// returns the [`EventLog`], which replays to the identical command
-    /// sequence.
+    /// sequence, and [`SlateDaemon::placement_log`] the full multi-device
+    /// [`PlacementLog`].
     pub record_arbiter: bool,
+    /// The device fleet the daemon schedules over, one
+    /// [`ArbiterCore`](crate::arbiter::ArbiterCore) each behind the
+    /// placement layer. Empty (the default) means the single device passed
+    /// to [`SlateDaemon::start_with_options`], preserving the one-GPU
+    /// behaviour exactly.
+    pub devices: Vec<DeviceConfig>,
+    /// How new sessions are routed across [`DaemonOptions::devices`].
+    /// Irrelevant (but harmless) on a single device.
+    pub placement: PlacementPolicy,
+    /// Cross-device rebalancing thresholds; `None` (the default) never
+    /// migrates. A fired migration evicts the victim through the paper's
+    /// retreat flag and resumes it on the target device at its carried
+    /// `slateIdx` progress, so no user block runs twice.
+    pub rebalance: Option<RebalanceConfig>,
 }
 
 impl Default for DaemonOptions {
@@ -273,6 +339,9 @@ impl Default for DaemonOptions {
             admission: AdmissionLimits::default(),
             starvation_bound_ms: None,
             record_arbiter: false,
+            devices: Vec::new(),
+            placement: PlacementPolicy::default(),
+            rebalance: None,
         }
     }
 }
@@ -328,24 +397,34 @@ impl SlateDaemon {
         mem_capacity: u64,
         options: DaemonOptions,
     ) -> Arc<Self> {
-        let mut core = ArbiterCore::new(
-            cfg.clone(),
-            ArbiterConfig {
-                enable_corun: true,
-                enable_resize: true,
-                starvation_bound_us: options.starvation_bound_ms.map(|ms| ms * 1000),
-                limits: options.admission,
+        let devices = if options.devices.is_empty() {
+            vec![cfg]
+        } else {
+            options.devices.clone()
+        };
+        let mut layer = PlacementLayer::new(
+            devices.clone(),
+            PlacementConfig {
+                policy: options.placement.clone(),
+                arbiter: ArbiterConfig {
+                    enable_corun: true,
+                    enable_resize: true,
+                    starvation_bound_us: options.starvation_bound_ms.map(|ms| ms * 1000),
+                    limits: options.admission,
+                },
+                rebalance: options.rebalance.clone(),
             },
         );
         if options.record_arbiter {
-            core.start_recording();
+            layer.start_recording();
         }
         let shared = Arc::new(DaemonShared {
-            cfg,
+            cfg: devices[0].clone(),
+            devices,
             pool: Mutex::new(DeviceMemoryPool::new(mem_capacity)),
             injector: Mutex::new(InjectionCache::new()),
             profiles: Mutex::new(options.profiles),
-            arb: ArbFrontend::new(core),
+            arb: ArbFrontend::new(layer),
             launches: Mutex::new(0),
             hyperq: Mutex::new(HyperQ::with_default_connections()),
             faults: Mutex::new(options.fault_plan),
@@ -383,10 +462,7 @@ impl SlateDaemon {
             *n += 1;
             *n
         };
-        let cmds = self
-            .shared
-            .arb
-            .feed(&[ArbEvent::SessionOpened { session }]);
+        let cmds = self.shared.arb.feed(&[ArbEvent::SessionOpened { session }]);
         if let Some(retry) = shed_retry(&cmds, session) {
             return Err(SlateError::Overloaded {
                 retry_after_ms: retry,
@@ -464,19 +540,20 @@ impl SlateDaemon {
         self.shared.hyperq.lock().lanes()
     }
 
-    /// Kernels evicted by the watchdog since the daemon started.
+    /// Kernels evicted by the watchdog since the daemon started, across
+    /// every device.
     pub fn watchdog_evictions(&self) -> u64 {
-        self.shared.arb.inner.lock().core.evictions()
+        self.shared.arb.inner.lock().layer.evictions()
     }
 
     /// Sessions torn down because the client vanished without Disconnect.
     pub fn reaped_sessions(&self) -> u64 {
-        self.shared.arb.inner.lock().core.reaped()
+        self.shared.arb.inner.lock().layer.reaped()
     }
 
-    /// Kernels currently resident on the device (0, 1, or 2).
+    /// Kernels currently resident across every device (0–2 per device).
     pub fn arbiter_residents(&self) -> usize {
-        self.shared.arb.inner.lock().core.residents()
+        self.shared.arb.inner.lock().layer.residents()
     }
 
     /// Fault-plan rules that have fired so far (0 without injection).
@@ -485,27 +562,55 @@ impl SlateDaemon {
     }
 
     /// Snapshot of the daemon-wide launch queue: depth, high-water mark,
-    /// admitted and shed counts.
+    /// admitted and shed counts, summed across every device's core.
     pub fn queue_stats(&self) -> QueueStats {
-        self.shared.arb.inner.lock().core.queue_stats()
+        self.shared.arb.inner.lock().layer.queue_stats()
     }
 
     /// Snapshot of the admission counters (sessions, launches, deadline
-    /// rejections, memory sheds).
+    /// rejections, memory sheds), summed across every device's core.
     pub fn admission_stats(&self) -> AdmissionStats {
-        self.shared.arb.inner.lock().core.admission_stats()
+        self.shared.arb.inner.lock().layer.admission_stats()
     }
 
     /// Starved arbiter waiters promoted to solo dispatch (0 unless
     /// [`DaemonOptions::starvation_bound_ms`] is set).
     pub fn starvation_promotions(&self) -> u64 {
-        self.shared.arb.inner.lock().core.promotions()
+        self.shared.arb.inner.lock().layer.promotions()
     }
 
-    /// Takes the recorded arbitration [`EventLog`] (present only when the
-    /// daemon was started with [`DaemonOptions::record_arbiter`]).
+    /// Snapshot of the placement counters: fleet size, routed sessions,
+    /// rebalances fired and migrations completed.
+    pub fn placement_stats(&self) -> PlacementStats {
+        self.shared.arb.inner.lock().layer.stats()
+    }
+
+    /// Takes device 0's recorded arbitration [`EventLog`] (present only
+    /// when the daemon was started with
+    /// [`DaemonOptions::record_arbiter`]). On a single-device daemon this
+    /// is the complete record, exactly as before; multi-device runs use
+    /// [`SlateDaemon::placement_log`] (whose
+    /// [`split`](crate::placement::replay::split) recovers every
+    /// per-device log, this one included).
     pub fn arbiter_log(&self) -> Option<EventLog> {
-        self.shared.arb.inner.lock().core.take_log()
+        self.shared
+            .arb
+            .inner
+            .lock()
+            .layer
+            .take_core_logs()
+            .into_iter()
+            .next()
+            .flatten()
+    }
+
+    /// Takes the recorded multi-device [`PlacementLog`] (present only when
+    /// the daemon was started with [`DaemonOptions::record_arbiter`]). It
+    /// [`verify`](crate::placement::replay::verify)s against a fresh
+    /// replay and [`split`](crate::placement::replay::split)s into
+    /// ordinary per-device [`EventLog`]s.
+    pub fn placement_log(&self) -> Option<PlacementLog> {
+        self.shared.arb.inner.lock().layer.take_log()
     }
 
     /// One consistent-enough snapshot of everything the daemon reports:
@@ -534,6 +639,7 @@ impl SlateDaemon {
             reaped_sessions: self.reaped_sessions(),
             starvation_promotions: self.starvation_promotions(),
             faults_fired: self.faults_fired(),
+            placement: self.placement_stats(),
             lock_recoveries,
         }
     }
@@ -654,9 +760,7 @@ fn session_loop(
     while let Ok(req) = rx.recv() {
         // Injected channel drop: sever both pipes mid-request, as if the
         // client process died. The reap path below cleans up.
-        if let Some(FaultKind::ChannelDrop) =
-            shared.faults.lock().fire(FaultSite::Request, None)
-        {
+        if let Some(FaultKind::ChannelDrop) = shared.faults.lock().fire(FaultSite::Request, None) {
             break;
         }
         let resp = match req {
@@ -685,9 +789,9 @@ fn session_loop(
                             st.ptr_map.insert(p, dev);
                             Response::Ptr(p)
                         }
-                        Err(_) => Response::Err(
-                            SlateError::OutOfMemory { requested: bytes }.to_wire(),
-                        ),
+                        Err(_) => {
+                            Response::Err(SlateError::OutOfMemory { requested: bytes }.to_wire())
+                        }
                     },
                 }
             }
@@ -696,9 +800,7 @@ fn session_loop(
                     Ok(()) => Response::Ok,
                     Err(e) => Response::Err(SlateError::Other(e).to_wire()),
                 },
-                None => {
-                    Response::Err(SlateError::InvalidPointer { ptr: p.0 }.to_wire())
-                }
+                None => Response::Err(SlateError::InvalidPointer { ptr: p.0 }.to_wire()),
             },
             Request::MemcpyH2D { ptr, offset, data } => {
                 stall_if_injected(&shared);
@@ -731,10 +833,10 @@ fn session_loop(
                         // feasibility check against the estimated queue
                         // wait. Shed launches reply Overloaded, surfaced
                         // at the client's next synchronize.
-                        let est_ms = shared.profiles.lock().estimate_solo_ms(
-                            kernel.name(),
-                            kernel.grid().total_blocks(),
-                        );
+                        let est_ms = shared
+                            .profiles
+                            .lock()
+                            .estimate_solo_ms(kernel.name(), kernel.grid().total_blocks());
                         let lease = (session << 16) | stream as u64;
                         let cmds = shared.arb.feed(&[ArbEvent::LaunchRequested {
                             session,
@@ -753,7 +855,11 @@ fn session_loop(
                             // Default stream: in-order on the session
                             // thread.
                             let out = execute_kernel(
-                                &shared, lease, kernel, task_size, pinned_solo,
+                                &shared,
+                                lease,
+                                kernel,
+                                task_size,
+                                pinned_solo,
                                 deadline_ms,
                             );
                             match out {
@@ -762,11 +868,7 @@ fn session_loop(
                             }
                         } else {
                             let lane = lanes.entry(stream).or_insert_with(|| {
-                                spawn_stream_lane(
-                                    shared.clone(),
-                                    lease,
-                                    stream_errors.clone(),
-                                )
+                                spawn_stream_lane(shared.clone(), lease, stream_errors.clone())
                             });
                             let _ = lane.tx.send(LaneMsg::Job(StreamJob {
                                 kernel,
@@ -970,36 +1072,54 @@ fn execute_kernel(
         (p.class, p.sm_demand)
     };
 
-    // Transform, then wait for the core to grant an SM range.
+    // Transform, then wait for the lease's device core to grant an SM
+    // range. A rebalance migration evicts the run and loops back here:
+    // the lease's route now points at the target device, and the dispatch
+    // resumes from the carried absolute `slateIdx` progress, so no user
+    // block executes twice.
     let transformed = TransformedKernel::new(kernel);
-    let dispatcher = Dispatcher::new(
-        shared.cfg.clone(),
-        transformed,
-        task_size,
-        SmRange::all(shared.cfg.num_sms),
-    );
-    let handle = dispatcher.handle();
-    let ready = ArbEvent::KernelReady {
-        session: lease >> 16,
-        lease,
-        class,
-        sm_demand: demand,
-        pinned_solo,
-        // The core arms the watchdog at dispatch (not while queued:
-        // waiting behind a long co-runner is not the kernel's fault).
-        deadline_ms: deadline_ms.or(shared.default_deadline_ms),
-    };
-    let range = shared
-        .arb
-        .wait_grant(lease, ready, handle.clone(), hang_token.clone());
-    if range != SmRange::all(shared.cfg.num_sms) {
-        // Bind the first worker launch onto the granted partition (the
-        // raced retreat at worst costs one immediate relaunch).
-        handle.resize(range);
-    }
     let started = Instant::now();
-    let out = dispatcher.run();
-    shared.arb.finish(lease, !out.evicted);
+    let mut carried: u64 = 0;
+    let out = loop {
+        let device = &shared.devices[shared.arb.lease_device(lease)];
+        let dispatcher = Dispatcher::resume(
+            device.clone(),
+            transformed.clone(),
+            task_size,
+            SmRange::all(device.num_sms),
+            carried,
+        );
+        let handle = dispatcher.handle();
+        let ready = ArbEvent::KernelReady {
+            session: lease >> 16,
+            lease,
+            class,
+            sm_demand: demand,
+            pinned_solo,
+            // The core arms the watchdog at dispatch (not while queued:
+            // waiting behind a long co-runner is not the kernel's fault).
+            deadline_ms: deadline_ms.or(shared.default_deadline_ms),
+        };
+        let (granted_on, range) =
+            shared
+                .arb
+                .wait_grant(lease, ready, handle.clone(), hang_token.clone());
+        if range != SmRange::all(shared.devices[granted_on].num_sms) {
+            // Bind the first worker launch onto the granted partition (the
+            // raced retreat at worst costs one immediate relaunch).
+            handle.resize(range);
+        }
+        let out = dispatcher.run();
+        // A migration target must be read before KernelFinished lands:
+        // that feed completes the migration and flips the lease's route.
+        let migrated = out.evicted && shared.arb.migration_target(lease).is_some();
+        shared.arb.finish(lease, !out.evicted);
+        if migrated {
+            carried = out.blocks;
+            continue;
+        }
+        break out;
+    };
     *shared.launches.lock() += 1;
     if out.evicted {
         return Err(SlateError::Timeout {
@@ -1015,9 +1135,9 @@ fn execute_kernel(
 mod tests {
     use super::*;
     use crate::api::SlateClient;
+    use slate_gpu_sim::perf::KernelPerf;
     use slate_kernels::grid::{BlockCoord, GridDim};
     use slate_kernels::kernel::GpuKernel;
-    use slate_gpu_sim::perf::KernelPerf;
 
     /// out[i] = in[i] * 2 over a 1-D grid of 128-wide blocks.
     struct Double {
@@ -1158,13 +1278,18 @@ mod tests {
         // Bad pointer on a non-zero stream: prepare fails synchronously in
         // the session, so the error is queued ahead of the sync Ok.
         client
-            .launch_on_stream(7, vec![SlatePtr(0xbad)], 10, move |bufs| -> Arc<dyn GpuKernel> {
-                Arc::new(Double {
-                    n: 16,
-                    input: bufs[0].clone(),
-                    out: bufs[0].clone(),
-                })
-            })
+            .launch_on_stream(
+                7,
+                vec![SlatePtr(0xbad)],
+                10,
+                move |bufs| -> Arc<dyn GpuKernel> {
+                    Arc::new(Double {
+                        n: 16,
+                        input: bufs[0].clone(),
+                        out: bufs[0].clone(),
+                    })
+                },
+            )
             .unwrap();
         assert!(client.synchronize().is_err());
         // Session remains healthy.
@@ -1220,8 +1345,7 @@ mod tests {
         let path = dir.join("profiles.json");
         let n = 2_000usize;
         let run_once = |profiles| {
-            let daemon =
-                SlateDaemon::start_with_profiles(DeviceConfig::tiny(4), 1 << 22, profiles);
+            let daemon = SlateDaemon::start_with_profiles(DeviceConfig::tiny(4), 1 << 22, profiles);
             let client = SlateClient::new(daemon.connect("persist").unwrap());
             let input = client.malloc((n * 4) as u64).unwrap();
             let out = client.malloc((n * 4) as u64).unwrap();
@@ -1318,7 +1442,9 @@ mod tests {
         );
         let client = SlateClient::new(daemon.connect("faulty").unwrap());
         let p = client.malloc(1024).unwrap();
-        client.launch_with(vec![p], 10, None, double_factory(16)).unwrap();
+        client
+            .launch_with(vec![p], 10, None, double_factory(16))
+            .unwrap();
         let err = client.synchronize().unwrap_err();
         assert!(matches!(err, SlateError::KernelFault(_)), "{err}");
         assert_eq!(daemon.faults_fired(), 1);
@@ -1338,7 +1464,11 @@ mod tests {
                 .unwrap();
         }
         let err = client.synchronize().unwrap_err();
-        assert_eq!(err, SlateError::InvalidPointer { ptr: 0xbad1 }, "first error wins");
+        assert_eq!(
+            err,
+            SlateError::InvalidPointer { ptr: 0xbad1 },
+            "first error wins"
+        );
         assert_eq!(client.last_sync_failures(), 2);
         // A clean sync resets the count.
         client.synchronize().unwrap();
@@ -1443,6 +1573,141 @@ mod tests {
     }
 
     #[test]
+    fn multi_device_daemon_routes_sessions_and_records_placement() {
+        let daemon = SlateDaemon::start_with_options(
+            DeviceConfig::tiny(4),
+            1 << 22,
+            DaemonOptions {
+                devices: vec![DeviceConfig::tiny(4), DeviceConfig::tiny(4)],
+                record_arbiter: true,
+                ..Default::default()
+            },
+        );
+        let n = 2_000usize;
+        let clients: Vec<_> = (0..2)
+            .map(|i| SlateClient::new(daemon.connect(&format!("tenant-{i}")).unwrap()))
+            .collect();
+        for client in &clients {
+            let p = client.malloc((n * 4) as u64).unwrap();
+            client.upload_f32(p, &vec![1.0f32; n]).unwrap();
+            client
+                .launch_with(vec![p], 10, None, double_factory(n))
+                .unwrap();
+            client.synchronize().unwrap();
+            assert_eq!(client.download_f32(p, 1).unwrap(), vec![2.0]);
+        }
+        let stats = daemon.placement_stats();
+        assert_eq!(stats.devices, 2);
+        assert_eq!(stats.sessions_routed, 2, "both sessions were routed");
+        assert_eq!(daemon.metrics().placement, stats);
+        for client in clients {
+            client.disconnect().unwrap();
+        }
+        daemon.join();
+        // The recorded placement log verifies and splits into per-device
+        // logs; round-robin put one session (and its dispatch) on each.
+        let log = daemon.placement_log().expect("recording was enabled");
+        crate::placement::replay::verify(&log).expect("placement log replays identically");
+        let cores = crate::placement::replay::split(&log).expect("log splits per device");
+        assert_eq!(cores.len(), 2);
+        for (d, core_log) in cores.iter().enumerate() {
+            assert!(
+                core_log.batches.iter().any(|b| b
+                    .commands
+                    .iter()
+                    .any(|c| matches!(c, Command::Dispatch { .. }))),
+                "device {d} dispatched its session's kernel"
+            );
+            crate::arbiter::replay::verify(core_log)
+                .unwrap_or_else(|e| panic!("per-device log {d} replays: {e}"));
+        }
+    }
+
+    /// `Double` with a per-block stall, slow enough for the heartbeat-fed
+    /// rebalancer to migrate it mid-run.
+    struct SlowDouble {
+        n: usize,
+        buf: Arc<GpuBuffer>,
+    }
+    impl GpuKernel for SlowDouble {
+        fn name(&self) -> &str {
+            "slow-double"
+        }
+        fn grid(&self) -> GridDim {
+            GridDim::d1((self.n as u32).div_ceil(64).max(1))
+        }
+        fn perf(&self) -> KernelPerf {
+            KernelPerf::synthetic("slow-double", 500.0, 1024.0)
+        }
+        fn run_block(&self, b: BlockCoord) {
+            std::thread::sleep(Duration::from_micros(500));
+            let lo = b.x as usize * 64;
+            for i in lo..(lo + 64).min(self.n) {
+                self.buf.store_f32(i, self.buf.load_f32(i) * 2.0);
+            }
+        }
+    }
+
+    #[test]
+    fn multi_device_rebalance_migrates_a_running_kernel_exactly_once() {
+        // Both sessions pinned to device 0; device 1 idle. The weighted
+        // imbalance crosses the threshold as soon as both kernels are
+        // pending, the heartbeat fires a migration, and the victim resumes
+        // on device 1 from its carried progress. Every element must read
+        // exactly 2.0 afterwards: a re-executed block would leave 4.0.
+        let daemon = SlateDaemon::start_with_options(
+            DeviceConfig::tiny(4),
+            1 << 24,
+            DaemonOptions {
+                devices: vec![DeviceConfig::tiny(4), DeviceConfig::tiny(4)],
+                placement: PlacementPolicy::Affinity {
+                    pins: [(1u64, 0usize), (2, 0)].into_iter().collect(),
+                },
+                rebalance: Some(RebalanceConfig {
+                    high_ms: 15,
+                    low_ms: 5,
+                    cooldown_us: 0,
+                    seed: 9,
+                }),
+                ..Default::default()
+            },
+        );
+        let n = 4_096usize;
+        let clients: Vec<_> = (0..2)
+            .map(|i| SlateClient::new(daemon.connect(&format!("pinned-{i}")).unwrap()))
+            .collect();
+        let ptrs: Vec<_> = clients
+            .iter()
+            .map(|c| {
+                let p = c.malloc((n * 4) as u64).unwrap();
+                c.upload_f32(p, &vec![1.0f32; n]).unwrap();
+                c.launch_with(vec![p], 4, None, move |bufs| {
+                    Arc::new(SlowDouble {
+                        n,
+                        buf: bufs[0].clone(),
+                    }) as Arc<dyn GpuKernel>
+                })
+                .unwrap();
+                p
+            })
+            .collect();
+        for (client, &p) in clients.iter().zip(&ptrs) {
+            client.synchronize().unwrap();
+            let out = client.download_f32(p, n).unwrap();
+            for (i, &v) in out.iter().enumerate() {
+                assert_eq!(v, 2.0, "element {i}: every block exactly once");
+            }
+        }
+        let stats = daemon.placement_stats();
+        assert_eq!(stats.rebalances, 1, "the imbalance fired one migration");
+        assert_eq!(stats.migrations_completed, 1);
+        for client in clients {
+            client.disconnect().unwrap();
+        }
+        daemon.join();
+    }
+
+    #[test]
     fn recorded_daemon_run_replays_identically() {
         let daemon = SlateDaemon::start_with_options(
             DeviceConfig::tiny(4),
@@ -1457,7 +1722,9 @@ mod tests {
         let p = client.malloc((n * 4) as u64).unwrap();
         client.upload_f32(p, &vec![1.0f32; n]).unwrap();
         for _ in 0..2 {
-            client.launch_with(vec![p], 10, None, double_factory(n)).unwrap();
+            client
+                .launch_with(vec![p], 10, None, double_factory(n))
+                .unwrap();
         }
         client.synchronize().unwrap();
         client.disconnect().unwrap();
@@ -1465,9 +1732,10 @@ mod tests {
         assert_eq!(daemon.metrics().lock_recoveries, 0, "healthy run");
         let log = daemon.arbiter_log().expect("recording was enabled");
         assert!(
-            log.batches
+            log.batches.iter().any(|b| b
+                .commands
                 .iter()
-                .any(|b| b.commands.iter().any(|c| matches!(c, Command::Dispatch { .. }))),
+                .any(|c| matches!(c, Command::Dispatch { .. }))),
             "the log must contain real dispatches"
         );
         crate::arbiter::replay::verify(&log).expect("daemon log replays identically");

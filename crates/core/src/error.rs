@@ -110,9 +110,7 @@ impl SlateError {
                 return SlateError::Overloaded { retry_after_ms };
             }
         }
-        SlateError::Other(
-            s.strip_prefix("E_OTHER:").unwrap_or(s).to_string(),
-        )
+        SlateError::Other(s.strip_prefix("E_OTHER:").unwrap_or(s).to_string())
     }
 
     /// Whether retrying the same operation later could succeed: the daemon
@@ -123,9 +121,7 @@ impl SlateError {
     pub fn is_transient(&self) -> bool {
         matches!(
             self,
-            SlateError::Timeout { .. }
-                | SlateError::ShuttingDown
-                | SlateError::Overloaded { .. }
+            SlateError::Timeout { .. } | SlateError::ShuttingDown | SlateError::Overloaded { .. }
         )
     }
 

@@ -32,8 +32,8 @@
 #![warn(missing_docs)]
 
 pub mod admission;
-pub mod arbiter;
 pub mod api;
+pub mod arbiter;
 pub mod backend;
 pub mod channel;
 pub mod classify;
@@ -42,6 +42,7 @@ pub mod dispatch;
 pub mod error;
 pub mod injector;
 pub mod partition;
+pub mod placement;
 pub mod policy;
 pub mod pragma;
 pub mod profile;
@@ -54,12 +55,13 @@ pub mod transform;
 pub mod workers;
 
 pub use admission::{AdmissionLimits, AdmissionStats, DaemonMetrics};
-pub use arbiter::{ArbiterConfig, ArbiterCore};
 pub use api::SlateClient;
+pub use arbiter::{ArbiterConfig, ArbiterCore};
 pub use channel::SlatePtr;
 pub use classify::WorkloadClass;
-pub use error::SlateError;
 pub use daemon::SlateDaemon;
+pub use error::SlateError;
+pub use placement::{PlacementConfig, PlacementLayer, PlacementPolicy, RebalanceConfig};
 pub use policy::{should_corun, Verdict};
 pub use profile::{KernelProfile, ProfileTable};
 pub use runtime::{SlateOptions, SlateRuntime};

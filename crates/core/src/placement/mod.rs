@@ -1,0 +1,663 @@
+//! Multi-device placement: N per-device [`ArbiterCore`]s behind one
+//! deterministic routing layer.
+//!
+//! The paper's scope ends at one GPU; this module lifts the arbitration
+//! core past it. A [`PlacementLayer`] owns one `ArbiterCore` per
+//! [`DeviceConfig`] and splits a single frontend event stream into
+//! per-device streams:
+//!
+//! ```text
+//!                frontend events (one stream, logical µs)
+//!                               │
+//!                   PlacementLayer::feed(now, &[Event])
+//!           policy on SessionOpened · sticky session/lease routes
+//!           broadcast DeadlineTick/DrainBegan · migration retarget
+//!            │                  │                  │
+//!       ArbiterCore 0      ArbiterCore 1  …   ArbiterCore N-1
+//!            │                  │                  │
+//!            └──────────┬───────┴───────┬──────────┘
+//!                       ▼               ▼
+//!            RoutedCommand { device, command }   (+ synthesized
+//!                                   Evicts from the rebalancer)
+//! ```
+//!
+//! Three invariants make the layer as replayable as the cores beneath it:
+//!
+//! 1. **Sticky deterministic routing** — a session's device is chosen
+//!    once, by a pure [`PlacementPolicy`], and every later event of that
+//!    session (and of its leases) follows it. No wall clocks, no
+//!    unordered maps.
+//! 2. **Event-sourced migration** — a rebalance is an ordinary
+//!    [`Command::Evict`] synthesized by the layer plus a route change for
+//!    the lease: the frontend evicts (capturing absolute `slateIdx`
+//!    progress), feeds the `KernelFinished {ok: false}` back (routed to
+//!    the *source* core, which cleans up), then re-stages with
+//!    [`WorkSpec::resuming`](crate::backend::WorkSpec::resuming) and
+//!    re-feeds `KernelReady` — which now routes to the *target* core.
+//! 3. **Per-core recording** — the layer's own [`replay::PlacementLog`]
+//!    splits into N ordinary [`EventLog`]s
+//!    ([`replay::split`]) that verify byte-identically through the
+//!    existing single-device machinery.
+
+pub mod multi;
+pub mod policy;
+pub mod rebalance;
+pub mod replay;
+
+pub use multi::{MultiJob, MultiSim};
+pub use policy::PlacementPolicy;
+pub use rebalance::{Migration, RebalanceConfig};
+pub use replay::{PlacementBatch, PlacementLog};
+
+use crate::arbiter::{ArbiterConfig, ArbiterCore, Command, Event, EventLog, Tick};
+use rebalance::Rebalancer;
+use serde::{Deserialize, Serialize};
+use slate_gpu_sim::device::DeviceConfig;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Weight (estimated milliseconds) of one resident or waiting kernel in
+/// the device-load metric, matching the arbiter's fallback per-launch
+/// estimate for unprofiled work.
+const LOAD_WEIGHT_MS: u64 = 10;
+
+/// Static configuration of a [`PlacementLayer`]: the routing policy, the
+/// per-core arbiter configuration (shared by all devices), and the
+/// optional migration planner.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct PlacementConfig {
+    /// How new sessions choose a device.
+    pub policy: PlacementPolicy,
+    /// Configuration every per-device [`ArbiterCore`] runs under.
+    pub arbiter: ArbiterConfig,
+    /// Cross-device rebalancing; `None` disables migration entirely.
+    pub rebalance: Option<RebalanceConfig>,
+}
+
+/// A command tagged with the device whose backend must carry it out.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RoutedCommand {
+    /// Index into the layer's device list.
+    pub device: usize,
+    /// The command itself.
+    pub command: Command,
+}
+
+impl fmt::Display for RoutedCommand {
+    /// Stable rendering used by placement transcripts; changing it
+    /// invalidates checked-in goldens.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "d{} {}", self.device, self.command)
+    }
+}
+
+/// Counters the placement layer accumulates; scalar and `Copy` so the
+/// daemon can fold them into its metrics snapshot.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PlacementStats {
+    /// Devices behind the layer.
+    pub devices: usize,
+    /// Sessions routed to a device (policy consultations).
+    pub sessions_routed: u64,
+    /// Cross-device migrations fired by the rebalancer.
+    pub rebalances: u64,
+    /// Migrations whose eviction has landed and whose lease now routes
+    /// to the target device.
+    pub migrations_completed: u64,
+}
+
+/// N per-device arbitration cores behind one deterministic router. See
+/// the [module docs](self) for the invariants.
+#[derive(Debug)]
+pub struct PlacementLayer {
+    cores: Vec<ArbiterCore>,
+    config: PlacementConfig,
+    now: Tick,
+    /// Sticky session → device routes.
+    session_device: BTreeMap<u64, usize>,
+    /// Sticky lease → device routes (diverges from the session's device
+    /// after a migration).
+    lease_device: BTreeMap<u64, usize>,
+    /// Lease → owning session, for cleanup when the session ends.
+    lease_session: BTreeMap<u64, u64>,
+    /// In-flight migrations: lease → target device. Populated when the
+    /// rebalancer fires, drained when the eviction's `KernelFinished`
+    /// arrives.
+    migrating: BTreeMap<u64, usize>,
+    rr_next: usize,
+    rebalancer: Option<Rebalancer>,
+    sessions_routed: u64,
+    migrations_completed: u64,
+    record: Option<Vec<PlacementBatch>>,
+}
+
+impl PlacementLayer {
+    /// A fresh layer over `devices` (one core each) under `config`.
+    ///
+    /// # Panics
+    /// If `devices` is empty.
+    pub fn new(devices: Vec<DeviceConfig>, config: PlacementConfig) -> Self {
+        assert!(!devices.is_empty(), "placement needs at least one device");
+        let cores = devices
+            .into_iter()
+            .map(|d| ArbiterCore::new(d, config.arbiter.clone()))
+            .collect();
+        let rebalancer = config.rebalance.clone().map(Rebalancer::new);
+        Self {
+            cores,
+            config,
+            now: 0,
+            session_device: BTreeMap::new(),
+            lease_device: BTreeMap::new(),
+            lease_session: BTreeMap::new(),
+            migrating: BTreeMap::new(),
+            rr_next: 0,
+            rebalancer,
+            sessions_routed: 0,
+            migrations_completed: 0,
+            record: None,
+        }
+    }
+
+    /// Number of devices behind the layer.
+    pub fn devices(&self) -> usize {
+        self.cores.len()
+    }
+
+    /// The per-device core at `device`.
+    pub fn core(&self, device: usize) -> &ArbiterCore {
+        &self.cores[device]
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &PlacementConfig {
+        &self.config
+    }
+
+    /// The device `session` is routed to, if it has been routed.
+    pub fn device_of_session(&self, session: u64) -> Option<usize> {
+        self.session_device.get(&session).copied()
+    }
+
+    /// The device `lease` is routed to, if known. After a migration's
+    /// eviction lands this is the *target* device — frontends re-stage
+    /// the evicted kernel here.
+    pub fn device_of_lease(&self, lease: u64) -> Option<usize> {
+        self.lease_device.get(&lease).copied()
+    }
+
+    /// The migration target of `lease` while its eviction is still in
+    /// flight (`None` otherwise). Frontends use this to distinguish a
+    /// rebalance eviction (re-stage on the target) from a watchdog
+    /// eviction (drop).
+    pub fn migration_target(&self, lease: u64) -> Option<usize> {
+        self.migrating.get(&lease).copied()
+    }
+
+    /// The load metric of `device`: estimated pending milliseconds plus
+    /// a fixed per-kernel weight (`LOAD_WEIGHT_MS`) per resident or
+    /// waiting kernel. Used by the least-loaded policy and the
+    /// rebalancer's imbalance score.
+    pub fn device_load(&self, device: usize) -> u64 {
+        let core = &self.cores[device];
+        core.admission_stats().pending_est_ms
+            + LOAD_WEIGHT_MS * (core.residents() + core.waiting()) as u64
+    }
+
+    /// Per-device load vector (see [`PlacementLayer::device_load`]).
+    pub fn loads(&self) -> Vec<u64> {
+        (0..self.cores.len()).map(|i| self.device_load(i)).collect()
+    }
+
+    /// Kernels resident across every device.
+    pub fn residents(&self) -> usize {
+        self.cores.iter().map(|c| c.residents()).sum()
+    }
+
+    /// Watchdog evictions across every device.
+    pub fn evictions(&self) -> u64 {
+        self.cores.iter().map(|c| c.evictions()).sum()
+    }
+
+    /// Starvation promotions across every device.
+    pub fn promotions(&self) -> u64 {
+        self.cores.iter().map(|c| c.promotions()).sum()
+    }
+
+    /// Reaped sessions across every device.
+    pub fn reaped(&self) -> u64 {
+        self.cores.iter().map(|c| c.reaped()).sum()
+    }
+
+    /// Launch-queue snapshot summed across every device's core. `capacity`
+    /// is the per-core bound (the cores share one configuration), not a
+    /// fleet-wide sum.
+    pub fn queue_stats(&self) -> crate::queue::QueueStats {
+        let mut agg = crate::queue::QueueStats::default();
+        for core in &self.cores {
+            let s = core.queue_stats();
+            agg.depth += s.depth;
+            agg.high_water += s.high_water;
+            agg.admitted += s.admitted;
+            agg.shed += s.shed;
+            agg.capacity = s.capacity;
+        }
+        agg
+    }
+
+    /// Admission counters summed across every device's core.
+    pub fn admission_stats(&self) -> crate::admission::AdmissionStats {
+        let mut agg = crate::admission::AdmissionStats::default();
+        for core in &self.cores {
+            let s = core.admission_stats();
+            agg.active_sessions += s.active_sessions;
+            agg.sessions_admitted += s.sessions_admitted;
+            agg.sessions_rejected += s.sessions_rejected;
+            agg.launches_completed += s.launches_completed;
+            agg.launches_failed += s.launches_failed;
+            agg.deadline_rejections += s.deadline_rejections;
+            agg.mallocs_shed += s.mallocs_shed;
+            agg.pending_est_ms += s.pending_est_ms;
+        }
+        agg
+    }
+
+    /// Snapshot of the placement counters.
+    pub fn stats(&self) -> PlacementStats {
+        PlacementStats {
+            devices: self.cores.len(),
+            sessions_routed: self.sessions_routed,
+            rebalances: self.rebalancer.as_ref().map_or(0, |r| r.fired()),
+            migrations_completed: self.migrations_completed,
+        }
+    }
+
+    /// Starts recording: the layer's own routed batches *and* each
+    /// core's per-device [`EventLog`] (so one recorded run yields both
+    /// the placement log and its per-core split).
+    pub fn start_recording(&mut self) {
+        self.record = Some(Vec::new());
+        for core in &mut self.cores {
+            core.start_recording();
+        }
+    }
+
+    /// Takes the placement-level log (if recording was started).
+    pub fn take_log(&mut self) -> Option<PlacementLog> {
+        self.record.take().map(|batches| PlacementLog {
+            devices: self.cores.iter().map(|c| c.device().clone()).collect(),
+            config: self.config.clone(),
+            batches,
+        })
+    }
+
+    /// Takes each core's per-device log, in device order. Entries are
+    /// `None` for cores that were never recording.
+    pub fn take_core_logs(&mut self) -> Vec<Option<EventLog>> {
+        self.cores.iter_mut().map(|c| c.take_log()).collect()
+    }
+
+    fn session_counts(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.cores.len()];
+        for &d in self.session_device.values() {
+            counts[d] += 1;
+        }
+        counts
+    }
+
+    /// Routes `session` via the policy (first sight) or its sticky route.
+    fn device_of_or_assign(&mut self, session: u64) -> usize {
+        if let Some(&d) = self.session_device.get(&session) {
+            return d;
+        }
+        let loads = self.loads();
+        let counts = self.session_counts();
+        let (d, advanced_rr) = self
+            .config
+            .policy
+            .route(session, &loads, &counts, self.rr_next);
+        if advanced_rr {
+            self.rr_next += 1;
+        }
+        self.session_device.insert(session, d);
+        self.sessions_routed += 1;
+        d
+    }
+
+    /// Routes a lease-scoped event: the lease's sticky route if it has
+    /// one (it diverges from the session's after a migration), else the
+    /// session's.
+    fn device_for_lease(&mut self, session: u64, lease: u64) -> usize {
+        let d = match self.lease_device.get(&lease) {
+            Some(&d) => d,
+            None => {
+                let d = self.device_of_or_assign(session);
+                self.lease_device.insert(lease, d);
+                d
+            }
+        };
+        self.lease_session.insert(lease, session);
+        d
+    }
+
+    /// Feeds one batch of frontend events at logical time `now`, routing
+    /// each to its device's core, and returns every resulting command
+    /// tagged with its device — including any migration eviction the
+    /// rebalancer synthesized this batch. Commands come out in device
+    /// order (all of device 0's, then device 1's, …), each device's in
+    /// its core's emission order.
+    pub fn feed(&mut self, now: Tick, events: &[Event]) -> Vec<RoutedCommand> {
+        self.now = self.now.max(now);
+        let n = self.cores.len();
+        let mut sub: Vec<Vec<Event>> = vec![Vec::new(); n];
+        let mut finished: Vec<u64> = Vec::new();
+        let mut ended: Vec<u64> = Vec::new();
+        for ev in events {
+            match *ev {
+                Event::SessionOpened { session } => {
+                    let d = self.device_of_or_assign(session);
+                    sub[d].push(ev.clone());
+                }
+                Event::SessionClosed { session } | Event::SessionSevered { session } => {
+                    let d = self.session_device.get(&session).copied().unwrap_or(0);
+                    sub[d].push(ev.clone());
+                    ended.push(session);
+                }
+                Event::LaunchRequested { session, lease, .. }
+                | Event::KernelReady { session, lease, .. } => {
+                    let d = self.device_for_lease(session, lease);
+                    sub[d].push(ev.clone());
+                }
+                Event::KernelFinished { lease, .. } => {
+                    let d = self.lease_device.get(&lease).copied().unwrap_or(0);
+                    sub[d].push(ev.clone());
+                    finished.push(lease);
+                }
+                Event::MallocRequested { session, .. } => {
+                    let d = self.device_of_or_assign(session);
+                    sub[d].push(ev.clone());
+                }
+                Event::DeadlineTick | Event::DrainBegan => {
+                    for s in sub.iter_mut() {
+                        s.push(ev.clone());
+                    }
+                }
+            }
+        }
+        let mut out = Vec::new();
+        for (d, batch) in sub.iter().enumerate() {
+            if batch.is_empty() {
+                continue;
+            }
+            for command in self.cores[d].feed(self.now, batch) {
+                out.push(RoutedCommand { device: d, command });
+            }
+        }
+        // A landed eviction completes its migration: the lease's sticky
+        // route flips to the target, so the re-fed KernelReady lands there.
+        for lease in finished {
+            if let Some(dst) = self.migrating.remove(&lease) {
+                self.lease_device.insert(lease, dst);
+                self.migrations_completed += 1;
+            }
+        }
+        for session in ended {
+            self.session_device.remove(&session);
+            let leases: Vec<u64> = self
+                .lease_session
+                .iter()
+                .filter(|&(_, &s)| s == session)
+                .map(|(&l, _)| l)
+                .collect();
+            for l in leases {
+                self.lease_session.remove(&l);
+                self.lease_device.remove(&l);
+                self.migrating.remove(&l);
+            }
+        }
+        if let Some(cmd) = self.maybe_rebalance() {
+            out.push(cmd);
+        }
+        if let Some(batches) = &mut self.record {
+            let heartbeat_only = events.iter().all(|e| matches!(e, Event::DeadlineTick));
+            if !(heartbeat_only && out.is_empty()) {
+                batches.push(PlacementBatch {
+                    at: self.now,
+                    events: events.to_vec(),
+                    routed: out.clone(),
+                });
+            }
+        }
+        out
+    }
+
+    fn maybe_rebalance(&mut self) -> Option<RoutedCommand> {
+        // One migration in flight at a time: the load vector is stale
+        // until the eviction lands, so a second fire would double-move.
+        if self.rebalancer.is_none() || !self.migrating.is_empty() {
+            return None;
+        }
+        let loads = self.loads();
+        let now = self.now;
+        let cores = &self.cores;
+        let rb = self.rebalancer.as_mut().expect("checked above");
+        let m = rb.plan(now, &loads, |src| cores[src].resident_leases())?;
+        self.migrating.insert(m.lease, m.dst);
+        Some(RoutedCommand {
+            device: m.src,
+            command: Command::Evict { lease: m.lease },
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classify::WorkloadClass::*;
+
+    fn two_tiny() -> Vec<DeviceConfig> {
+        vec![DeviceConfig::tiny(8), DeviceConfig::tiny(8)]
+    }
+
+    fn layer(policy: PlacementPolicy) -> PlacementLayer {
+        PlacementLayer::new(
+            two_tiny(),
+            PlacementConfig {
+                policy,
+                ..Default::default()
+            },
+        )
+    }
+
+    fn ready(session: u64, lease: u64, demand: u32) -> Event {
+        Event::KernelReady {
+            session,
+            lease,
+            class: MM,
+            sm_demand: demand,
+            pinned_solo: false,
+            deadline_ms: None,
+        }
+    }
+
+    #[test]
+    fn round_robin_alternates_sessions_across_devices() {
+        let mut p = layer(PlacementPolicy::RoundRobin);
+        p.feed(
+            0,
+            &[
+                Event::SessionOpened { session: 1 },
+                Event::SessionOpened { session: 2 },
+                Event::SessionOpened { session: 3 },
+            ],
+        );
+        assert_eq!(p.device_of_session(1), Some(0));
+        assert_eq!(p.device_of_session(2), Some(1));
+        assert_eq!(p.device_of_session(3), Some(0));
+        assert_eq!(p.stats().sessions_routed, 3);
+    }
+
+    #[test]
+    fn lease_events_follow_the_session_and_dispatch_on_its_device() {
+        let mut p = layer(PlacementPolicy::RoundRobin);
+        p.feed(
+            0,
+            &[
+                Event::SessionOpened { session: 1 },
+                Event::SessionOpened { session: 2 },
+            ],
+        );
+        let out = p.feed(1, &[ready(1, 10, 8), ready(2, 20, 8)]);
+        assert_eq!(
+            out.iter()
+                .map(|r| (r.device, r.command.clone()))
+                .collect::<Vec<_>>(),
+            vec![
+                (
+                    0,
+                    Command::Dispatch {
+                        lease: 10,
+                        range: slate_gpu_sim::device::SmRange::all(8)
+                    }
+                ),
+                (
+                    1,
+                    Command::Dispatch {
+                        lease: 20,
+                        range: slate_gpu_sim::device::SmRange::all(8)
+                    }
+                ),
+            ]
+        );
+        assert_eq!(p.core(0).residents(), 1);
+        assert_eq!(p.core(1).residents(), 1);
+    }
+
+    #[test]
+    fn broadcast_events_reach_every_core() {
+        let mut p = layer(PlacementPolicy::RoundRobin);
+        p.feed(0, &[Event::DrainBegan]);
+        assert!(p.core(0).draining());
+        assert!(p.core(1).draining());
+    }
+
+    #[test]
+    fn least_loaded_routes_away_from_busy_device() {
+        let mut p = layer(PlacementPolicy::LeastLoaded);
+        // First session lands on device 0 and queues profiled work.
+        p.feed(0, &[Event::SessionOpened { session: 1 }]);
+        p.feed(
+            1,
+            &[Event::LaunchRequested {
+                session: 1,
+                lease: 10,
+                est_ms: Some(500),
+                deadline_ms: None,
+            }],
+        );
+        // The next session sees device 0 loaded and lands on device 1.
+        p.feed(2, &[Event::SessionOpened { session: 2 }]);
+        assert_eq!(p.device_of_session(2), Some(1));
+    }
+
+    #[test]
+    fn session_end_clears_routes() {
+        let mut p = layer(PlacementPolicy::RoundRobin);
+        p.feed(0, &[Event::SessionOpened { session: 1 }]);
+        p.feed(1, &[ready(1, 10, 8)]);
+        assert_eq!(p.device_of_lease(10), Some(0));
+        p.feed(2, &[Event::SessionClosed { session: 1 }]);
+        assert_eq!(p.device_of_session(1), None);
+        assert_eq!(p.device_of_lease(10), None);
+    }
+
+    #[test]
+    fn rebalance_evicts_on_source_and_reroutes_lease_to_target() {
+        let mut p = PlacementLayer::new(
+            two_tiny(),
+            PlacementConfig {
+                policy: PlacementPolicy::Affinity {
+                    pins: [(1u64, 0usize), (2, 0)].into_iter().collect(),
+                },
+                rebalance: Some(RebalanceConfig {
+                    high_ms: 20,
+                    low_ms: 5,
+                    cooldown_us: 0,
+                    seed: 1,
+                }),
+                ..Default::default()
+            },
+        );
+        // Everything pinned to device 0: one resident + one waiter piles
+        // 20 ms of weighted load against an idle device 1.
+        p.feed(
+            0,
+            &[
+                Event::SessionOpened { session: 1 },
+                Event::SessionOpened { session: 2 },
+            ],
+        );
+        let out = p.feed(1, &[ready(1, 10, 8), ready(2, 20, 8)]);
+        let evict = out
+            .iter()
+            .find(|r| matches!(r.command, Command::Evict { .. }))
+            .expect("imbalance fires a migration eviction");
+        assert_eq!(evict.device, 0, "eviction lands on the hot device");
+        let Command::Evict { lease } = evict.command else {
+            unreachable!()
+        };
+        assert_eq!(lease, 10, "the only resident is the victim");
+        assert_eq!(p.migration_target(10), Some(1));
+        assert_eq!(p.stats().rebalances, 1);
+        // The eviction lands: finished routes to the source core, then
+        // the lease's route flips to the target.
+        let out = p.feed(
+            2,
+            &[Event::KernelFinished {
+                lease: 10,
+                ok: false,
+            }],
+        );
+        assert_eq!(p.device_of_lease(10), Some(1));
+        assert_eq!(p.migration_target(10), None);
+        assert_eq!(p.stats().migrations_completed, 1);
+        // Source core dispatched its waiter onto the freed device.
+        assert!(out
+            .iter()
+            .any(|r| r.device == 0 && matches!(r.command, Command::Dispatch { lease: 20, .. })));
+        // Re-staged readiness dispatches on the target device.
+        let out = p.feed(3, &[ready(1, 10, 8)]);
+        assert!(out
+            .iter()
+            .any(|r| r.device == 1 && matches!(r.command, Command::Dispatch { lease: 10, .. })));
+    }
+
+    #[test]
+    fn single_device_layer_degenerates_to_the_bare_core() {
+        let mut p = PlacementLayer::new(vec![DeviceConfig::titan_xp()], PlacementConfig::default());
+        let mut bare = ArbiterCore::new(DeviceConfig::titan_xp(), ArbiterConfig::default());
+        let script: Vec<(Tick, Vec<Event>)> = vec![
+            (0, vec![Event::SessionOpened { session: 1 }]),
+            (1, vec![ready(1, 10, 30)]),
+            (2, vec![ready(1, 11, 14)]),
+            (
+                3,
+                vec![Event::KernelFinished {
+                    lease: 10,
+                    ok: true,
+                }],
+            ),
+            (4, vec![Event::DeadlineTick]),
+            (5, vec![Event::SessionClosed { session: 1 }]),
+        ];
+        for (at, events) in script {
+            let routed = p.feed(at, &events);
+            let direct = bare.feed(at, &events);
+            assert_eq!(routed.iter().map(|r| r.device).max().unwrap_or(0), 0);
+            assert_eq!(
+                routed.into_iter().map(|r| r.command).collect::<Vec<_>>(),
+                direct
+            );
+        }
+    }
+}

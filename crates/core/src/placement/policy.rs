@@ -1,0 +1,108 @@
+//! Deterministic device-choice policies for session admission.
+//!
+//! A policy answers one question: *which device does a new session land
+//! on?* It is consulted exactly once per session — on the first event
+//! that names it (normally [`Event::SessionOpened`](crate::arbiter::Event))
+//! — and the answer is sticky until the session ends. All policies are
+//! pure functions of placement-layer state that mutates identically
+//! across replays, so a recorded multi-device run routes the same way
+//! when replayed (see [`super::replay`]).
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// How new sessions are routed to devices.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub enum PlacementPolicy {
+    /// Sessions cycle through devices in index order. Ignores load; the
+    /// right default when sessions are statistically interchangeable.
+    #[default]
+    RoundRobin,
+    /// Each session lands on the device with the lowest current load
+    /// (ProfileTable-estimated pending milliseconds plus weighted
+    /// resident/waiter pressure; see
+    /// [`PlacementLayer::device_load`](super::PlacementLayer::device_load)).
+    /// Ties break toward the device hosting fewer sessions, then the
+    /// lowest index — so a burst of opens in one batch still spreads.
+    LeastLoaded,
+    /// Explicitly pinned sessions go to their pinned device (taken modulo
+    /// the device count, so a pin outlives a smaller deployment); unpinned
+    /// sessions fall back to round-robin.
+    Affinity {
+        /// session id → device index pins.
+        pins: BTreeMap<u64, usize>,
+    },
+}
+
+impl PlacementPolicy {
+    /// Routes `session` to a device. `loads[i]` is the current load of
+    /// device `i`, `sessions[i]` its current session count, and `rr_next`
+    /// the layer's round-robin cursor (advanced by the caller only when
+    /// the round-robin path was actually taken — the returned `bool`).
+    pub(super) fn route(
+        &self,
+        session: u64,
+        loads: &[u64],
+        sessions: &[usize],
+        rr_next: usize,
+    ) -> (usize, bool) {
+        let n = loads.len();
+        debug_assert!(n > 0, "placement over zero devices");
+        match self {
+            PlacementPolicy::RoundRobin => (rr_next % n, true),
+            PlacementPolicy::LeastLoaded => {
+                let mut best = 0usize;
+                for i in 1..n {
+                    let better = (loads[i], sessions[i], i) < (loads[best], sessions[best], best);
+                    if better {
+                        best = i;
+                    }
+                }
+                (best, false)
+            }
+            PlacementPolicy::Affinity { pins } => match pins.get(&session) {
+                Some(&d) => (d % n, false),
+                None => (rr_next % n, true),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_robin_cycles() {
+        let p = PlacementPolicy::RoundRobin;
+        let loads = [0, 0, 0];
+        let sessions = [0, 0, 0];
+        assert_eq!(p.route(1, &loads, &sessions, 0), (0, true));
+        assert_eq!(p.route(2, &loads, &sessions, 1), (1, true));
+        assert_eq!(p.route(3, &loads, &sessions, 2), (2, true));
+        assert_eq!(p.route(4, &loads, &sessions, 3), (0, true));
+    }
+
+    #[test]
+    fn least_loaded_prefers_low_load_then_fewer_sessions_then_index() {
+        let p = PlacementPolicy::LeastLoaded;
+        assert_eq!(p.route(1, &[50, 10, 30], &[0, 0, 0], 0), (1, false));
+        // Equal load: fewer sessions wins.
+        assert_eq!(p.route(1, &[10, 10], &[3, 1], 0), (1, false));
+        // Fully equal: lowest index wins.
+        assert_eq!(p.route(1, &[10, 10], &[2, 2], 0), (0, false));
+    }
+
+    #[test]
+    fn affinity_pins_and_falls_back() {
+        let pins = BTreeMap::from([(7u64, 1usize), (8, 5)]);
+        let p = PlacementPolicy::Affinity { pins };
+        let loads = [0, 0];
+        let sessions = [0, 0];
+        assert_eq!(p.route(7, &loads, &sessions, 0), (1, false));
+        // Pin beyond the device count wraps.
+        assert_eq!(p.route(8, &loads, &sessions, 0), (1, false));
+        // Unpinned falls back to round-robin.
+        assert_eq!(p.route(9, &loads, &sessions, 1), (1, true));
+    }
+}

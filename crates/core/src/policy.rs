@@ -36,7 +36,8 @@ use Verdict::{Corun, Solo};
 /// (L_C, M_C, H_C, M_M, H_M).
 pub const TABLE: [[Verdict; 5]; 5] = [
     // running \ candidate:  L_C    M_C    H_C    M_M    H_M
-    /* L_C */ [Corun, Corun, Solo, Corun, Corun],
+    /* L_C */
+    [Corun, Corun, Solo, Corun, Corun],
     /* M_C */ [Corun, Corun, Solo, Solo, Corun],
     /* H_C */ [Solo, Solo, Solo, Solo, Corun],
     /* M_M */ [Corun, Solo, Corun, Solo, Solo],
@@ -113,8 +114,14 @@ mod tests {
 
     #[test]
     fn aged_decision_forces_solo_for_starved_pairs() {
-        assert!(should_corun_aged(LC, MM, false), "fresh pairs follow Table I");
-        assert!(!should_corun_aged(LC, MM, true), "starvation overrides Corun");
+        assert!(
+            should_corun_aged(LC, MM, false),
+            "fresh pairs follow Table I"
+        );
+        assert!(
+            !should_corun_aged(LC, MM, true),
+            "starvation overrides Corun"
+        );
         assert!(!should_corun_aged(MM, MM, false), "Solo verdicts stay solo");
         assert!(!should_corun_aged(MM, MM, true));
     }

@@ -100,8 +100,8 @@ fn find_pragmas(src: &str) -> Result<Vec<(usize, Directive)>, String> {
         if let Some(rest) = trimmed.strip_prefix("#pragma") {
             let rest = rest.trim_start();
             if let Some(body) = rest.strip_prefix("slate") {
-                let d = parse_directive(body)
-                    .map_err(|e| format!("line `{}`: {e}", line.trim()))?;
+                let d =
+                    parse_directive(body).map_err(|e| format!("line `{}`: {e}", line.trim()))?;
                 out.push((offset + line.len(), d));
             }
         }
@@ -112,10 +112,7 @@ fn find_pragmas(src: &str) -> Result<Vec<(usize, Directive)>, String> {
 
 /// Statically injects a source according to its pragmas. Kernels without a
 /// preceding pragma get the default transform with `default_task_size`.
-pub fn inject_with_pragmas(
-    src: &str,
-    default_task_size: u32,
-) -> Result<Vec<PragmaKernel>, String> {
+pub fn inject_with_pragmas(src: &str, default_task_size: u32) -> Result<Vec<PragmaKernel>, String> {
     let pragmas = find_pragmas(src)?;
     let kernels = scan_kernels(src);
     let mut out = Vec::with_capacity(kernels.len());
@@ -129,7 +126,8 @@ pub fn inject_with_pragmas(
             .max()
             .unwrap_or(0);
         let directive = pragmas
-            .iter().rfind(|(pos, _)| *pos < k.name_span.start && *pos >= prev_kernel_end)
+            .iter()
+            .rfind(|(pos, _)| *pos < k.name_span.start && *pos >= prev_kernel_end)
             .map(|(_, d)| d.clone())
             .unwrap_or(Directive::Transform { task_size: None });
         let injected = match &directive {

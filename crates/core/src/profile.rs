@@ -13,7 +13,7 @@ use slate_gpu_sim::device::{DeviceConfig, SmRange};
 use slate_gpu_sim::engine::{Engine, Event, SliceSpec};
 use slate_gpu_sim::model;
 use slate_gpu_sim::perf::{ExecMode, KernelPerf};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::path::Path;
 
 /// Fraction of the full-device rate that defines the SM-demand knee.
@@ -71,8 +71,7 @@ pub fn autotune_task_size(cfg: &DeviceConfig, perf: &KernelPerf, blocks: u64) ->
     TASK_SIZE_CANDIDATES
         .into_iter()
         .min_by(|&a, &b| {
-            slate_solo_time(cfg, perf, blocks, a)
-                .total_cmp(&slate_solo_time(cfg, perf, blocks, b))
+            slate_solo_time(cfg, perf, blocks, a).total_cmp(&slate_solo_time(cfg, perf, blocks, b))
         })
         .expect("candidates are non-empty")
 }
@@ -115,9 +114,13 @@ pub fn profile_kernel(cfg: &DeviceConfig, perf: &KernelPerf, blocks: u64) -> Ker
 }
 
 /// The daemon's kernel profile table.
+///
+/// Keyed by an ordered map, not a hash map: profile estimates feed
+/// scheduling decisions (admission hints, placement load), so any
+/// iteration over the table — and the saved JSON — must be deterministic.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct ProfileTable {
-    entries: HashMap<String, KernelProfile>,
+    entries: BTreeMap<String, KernelProfile>,
 }
 
 impl ProfileTable {
@@ -247,12 +250,10 @@ mod tests {
         // grouped size (atomics dominate) — the paper's Fig. 5 story.
         let cfg = DeviceConfig::titan_xp();
         let bs = Benchmark::BS.app();
-        let bs_best =
-            autotune_task_size(&cfg, &bs.perf, bs.blocks_per_launch / bs.batch as u64);
+        let bs_best = autotune_task_size(&cfg, &bs.perf, bs.blocks_per_launch / bs.batch as u64);
         assert_eq!(bs_best, 1, "BS is imbalance-bound");
         let gs = Benchmark::GS.app();
-        let gs_best =
-            autotune_task_size(&cfg, &gs.perf, gs.blocks_per_launch / gs.batch as u64);
+        let gs_best = autotune_task_size(&cfg, &gs.perf, gs.blocks_per_launch / gs.batch as u64);
         assert!(gs_best >= 5, "GS is atomic-bound, got {gs_best}");
     }
 
@@ -262,8 +263,12 @@ mod tests {
         let app = Benchmark::BS.app();
         let mut t = ProfileTable::new();
         assert!(t.is_empty());
-        let first = t.get_or_profile(&cfg, &app.perf, app.blocks_per_launch).clone();
-        let second = t.get_or_profile(&cfg, &app.perf, app.blocks_per_launch).clone();
+        let first = t
+            .get_or_profile(&cfg, &app.perf, app.blocks_per_launch)
+            .clone();
+        let second = t
+            .get_or_profile(&cfg, &app.perf, app.blocks_per_launch)
+            .clone();
         assert_eq!(first, second);
         assert_eq!(t.len(), 1);
     }

@@ -30,7 +30,10 @@
 
 use crate::arbiter::{ArbiterConfig, ArbiterCore, Command, Event as ArbEvent, EventLog};
 use crate::backend::sim::{RelaunchPlan, ResizeOutcome, SimBackend};
+use crate::placement::multi::{JobOutcome, MultiJob, MultiSim};
+use crate::placement::{PlacementConfig, PlacementStats};
 use crate::profile::ProfileTable;
+use crate::transform::TransformedKernel;
 use slate_baselines::runtime::{AppResult, RunOutcome, Runtime};
 use slate_gpu_sim::device::{DeviceConfig, SmRange};
 use slate_gpu_sim::engine::{Dir, Event, SliceId, SliceSpec, TimerId, TransferId};
@@ -99,9 +102,7 @@ impl SlateOptions {
         ArbiterConfig {
             enable_corun: self.enable_corun,
             enable_resize: self.enable_resize,
-            starvation_bound_us: self
-                .starvation_bound_s
-                .map(|s| (s * 1e6).round() as u64),
+            starvation_bound_us: self.starvation_bound_s.map(|s| (s * 1e6).round() as u64),
             limits: Default::default(),
         }
     }
@@ -140,6 +141,100 @@ impl SlateRuntime {
         let (out, log) = sim.run();
         (out, log.expect("recording was enabled"))
     }
+
+    /// Runs `apps` across a fleet of `devices`, one [`SimBackend`] per
+    /// device behind a [`crate::placement::PlacementLayer`] — the
+    /// multi-device extension past the paper's single-GPU scope. Each app
+    /// becomes one session with one launch covering its per-launch grid;
+    /// profiling and classification use this runtime's configured device
+    /// as the reference, and the per-core arbiters run under the same
+    /// configuration [`SlateRuntime::run`] would use. `placement.arbiter`
+    /// is overridden accordingly.
+    pub fn run_placed(
+        &self,
+        devices: &[DeviceConfig],
+        apps: &[AppSpec],
+        placement: PlacementConfig,
+    ) -> PlacedOutcome {
+        assert!(!apps.is_empty(), "need at least one app");
+        let mut table = ProfileTable::new();
+        let config = PlacementConfig {
+            arbiter: self.opts.arbiter_config(),
+            ..placement
+        };
+        let mut fleet = MultiSim::new(devices.to_vec(), config);
+        for (i, app) in apps.iter().enumerate() {
+            let prof = table
+                .get_or_profile(&self.cfg, &app.perf, app.blocks_per_launch)
+                .clone();
+            let blocks = app.blocks_per_launch.min(u32::MAX as u64) as u32;
+            let kernel = TransformedKernel::new(std::sync::Arc::new(PerfOnlyKernel {
+                name: app.perf.name.clone(),
+                grid: slate_kernels::grid::GridDim::d1(blocks),
+                perf: app.perf.clone(),
+            }));
+            let task_size = if self.opts.autotune_task_size {
+                prof.best_task_size
+            } else {
+                self.opts.force_task_size.unwrap_or(app.task_size)
+            };
+            fleet.submit(MultiJob {
+                session: i as u64,
+                lease: i as u64,
+                kernel,
+                task_size,
+                class: prof.class,
+                sm_demand: prof.sm_demand,
+                est_ms: table.estimate_solo_ms(&app.perf.name, app.blocks_per_launch),
+            });
+        }
+        let drained = fleet.run(600_000);
+        let outcomes = (0..apps.len()).map(|i| fleet.outcome(i as u64)).collect();
+        PlacedOutcome {
+            drained,
+            outcomes,
+            stats: fleet.stats(),
+            migrations: fleet.migrations().to_vec(),
+        }
+    }
+}
+
+/// Result of a multi-device [`SlateRuntime::run_placed`] run.
+#[derive(Debug)]
+pub struct PlacedOutcome {
+    /// Whether every submitted app reached a terminal outcome within the
+    /// simulation bound.
+    pub drained: bool,
+    /// Per-app terminal outcome, in submission order (`None` only if the
+    /// run timed out with the app still in flight).
+    pub outcomes: Vec<Option<JobOutcome>>,
+    /// Placement counters (sessions routed, rebalances, migrations).
+    pub stats: PlacementStats,
+    /// Migration audit trail: `(lease, src, dst, progress)`.
+    pub migrations: Vec<(u64, usize, usize, u64)>,
+}
+
+/// A scheduling-only kernel stand-in: carries a launch grid and the
+/// app's calibrated perf profile, with a no-op functional body. The sim
+/// backends only consume the profile, so this is exactly what a placed
+/// simulation needs.
+struct PerfOnlyKernel {
+    name: String,
+    grid: slate_kernels::grid::GridDim,
+    perf: slate_gpu_sim::perf::KernelPerf,
+}
+
+impl slate_kernels::kernel::GpuKernel for PerfOnlyKernel {
+    fn name(&self) -> &str {
+        &self.name
+    }
+    fn grid(&self) -> slate_kernels::grid::GridDim {
+        self.grid
+    }
+    fn perf(&self) -> slate_gpu_sim::perf::KernelPerf {
+        self.perf.clone()
+    }
+    fn run_block(&self, _block: slate_kernels::grid::BlockCoord) {}
 }
 
 impl Runtime for SlateRuntime {
@@ -230,7 +325,9 @@ impl Sim {
             .iter()
             .map(|app| {
                 // First-run profiling and classification (offline per Table V).
-                let prof = table.get_or_profile(&cfg, &app.perf, app.blocks_per_launch).clone();
+                let prof = table
+                    .get_or_profile(&cfg, &app.perf, app.blocks_per_launch)
+                    .clone();
                 let task_size = if opts.autotune_task_size {
                     prof.best_task_size
                 } else {
@@ -550,8 +647,11 @@ impl Sim {
                         },
                     );
                     let bytes = self.procs[i].app.h2d_bytes;
-                    self.procs[i].transfer =
-                        Some(self.backend.engine_mut().add_transfer(bytes, Dir::H2D, i as u64));
+                    self.procs[i].transfer = Some(self.backend.engine_mut().add_transfer(
+                        bytes,
+                        Dir::H2D,
+                        i as u64,
+                    ));
                 }
                 Event::TransferDone(tid) => {
                     let i = self
@@ -560,7 +660,8 @@ impl Sim {
                         .position(|p| p.transfer == Some(tid))
                         .expect("unknown transfer");
                     self.procs[i].transfer = None;
-                    self.trace.record(now, TraceKind::TransferEnd { tag: i as u64 });
+                    self.trace
+                        .record(now, TraceKind::TransferEnd { tag: i as u64 });
                     match self.procs[i].phase {
                         Phase::H2d => {
                             self.procs[i].phase = Phase::Ready;
@@ -760,7 +861,11 @@ mod tests {
             corun.makespan_s,
             solo.makespan_s
         );
-        assert_eq!(solo.trace.resizes(0) + solo.trace.resizes(1), 0, "no resizes when solo-pinned");
+        assert_eq!(
+            solo.trace.resizes(0) + solo.trace.resizes(1),
+            0,
+            "no resizes when solo-pinned"
+        );
     }
 
     #[test]
@@ -834,6 +939,36 @@ mod tests {
     }
 
     #[test]
+    fn placed_run_spreads_apps_across_devices_and_drains() {
+        use crate::placement::multi::JobOutcome;
+        use crate::placement::PlacementConfig;
+        let slate = SlateRuntime::new(titan());
+        let apps = [
+            Benchmark::BS.app().scaled_down(50),
+            Benchmark::RG.app().scaled_down(50),
+            Benchmark::GS.app().scaled_down(50),
+            Benchmark::TR.app().scaled_down(50),
+        ];
+        let devices = [titan(), titan()];
+        let out = slate.run_placed(&devices, &apps, PlacementConfig::default());
+        assert!(out.drained, "placed fleet must drain");
+        let mut per_device = [0usize; 2];
+        for o in &out.outcomes {
+            match o {
+                Some(JobOutcome::Completed { device }) => per_device[*device] += 1,
+                other => panic!("every app must complete, got {other:?}"),
+            }
+        }
+        assert_eq!(per_device, [2, 2], "round robin spreads 4 apps 2+2");
+        assert_eq!(out.stats.sessions_routed, 4);
+        // Determinism: the same placed run routes identically.
+        let again = slate.run_placed(&devices, &apps, PlacementConfig::default());
+        for (a, b) in out.outcomes.iter().zip(&again.outcomes) {
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
     fn recorded_run_is_replayable_and_deterministic() {
         let slate = SlateRuntime::new(titan());
         let apps = [
@@ -843,9 +978,10 @@ mod tests {
         let (out1, log1) = slate.run_recorded(&apps);
         replay::verify(&log1).expect("sim event log replays identically");
         assert!(
-            log1.batches
+            log1.batches.iter().any(|b| b
+                .commands
                 .iter()
-                .any(|b| b.commands.iter().any(|c| matches!(c, Command::Resize { .. }))),
+                .any(|c| matches!(c, Command::Resize { .. }))),
             "BS-RG must co-run, which requires at least one resize"
         );
         // The whole pipeline is deterministic: a second run produces the

@@ -176,7 +176,11 @@ mod tests {
     }
 
     fn cand(class: WorkloadClass, waited_s: f64, order: u64) -> PartnerCandidate {
-        PartnerCandidate { class, waited_s, order }
+        PartnerCandidate {
+            class,
+            waited_s,
+            order,
+        }
     }
 
     #[test]
@@ -203,7 +207,10 @@ mod tests {
 
     #[test]
     fn select_partner_none_when_nothing_complementary() {
-        assert_eq!(select_partner(MM, &[cand(MM, 4.0, 0), cand(HM, 2.0, 1)]), None);
+        assert_eq!(
+            select_partner(MM, &[cand(MM, 4.0, 0), cand(HM, 2.0, 1)]),
+            None
+        );
         assert_eq!(select_partner(MM, &[]), None);
     }
 

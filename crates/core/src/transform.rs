@@ -111,7 +111,10 @@ mod tests {
             KernelPerf::synthetic("counter", 100.0, 4.0)
         }
         fn run_block(&self, b: BlockCoord) {
-            assert!(b.x < self.grid.x && b.y < self.grid.y, "out-of-grid block {b:?}");
+            assert!(
+                b.x < self.grid.x && b.y < self.grid.y,
+                "out-of-grid block {b:?}"
+            );
             self.hits.fetch_add_u32(self.grid.flat_of(b) as usize, 1);
         }
     }

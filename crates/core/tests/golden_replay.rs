@@ -88,7 +88,10 @@ fn checked_in_log_drives_both_backends_to_identical_transcripts() {
     let a = testkit::replay_transcript(&log, &mut sim);
     let b = testkit::replay_transcript(&log, &mut disp);
     assert!(!a.is_empty(), "the fixture must contain dispatches");
-    assert_eq!(a, b, "sim and dispatcher transcripts diverged on the fixture");
+    assert_eq!(
+        a, b,
+        "sim and dispatcher transcripts diverged on the fixture"
+    );
     // Every staging the fixture dispatched ran to a clean drain (the
     // fixture contains no evictions), at full progress per staging.
     for (lease, stagings) in &a {

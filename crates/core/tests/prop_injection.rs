@@ -11,11 +11,11 @@ use slate_core::scanner::scan_kernels;
 /// Generates a syntactically plausible kernel source.
 fn arb_kernel_source() -> impl Strategy<Value = String> {
     (
-        "[a-z_][a-z0-9_]{0,15}",                 // kernel name
+        "[a-z_][a-z0-9_]{0,15}",                            // kernel name
         prop::collection::vec("[a-z][a-z0-9_]{0,8}", 0..4), // param names
-        0usize..4,                                // blockIdx uses
-        0usize..3,                                // gridDim uses
-        any::<bool>(),                            // trailing comment
+        0usize..4,                                          // blockIdx uses
+        0usize..3,                                          // gridDim uses
+        any::<bool>(),                                      // trailing comment
     )
         .prop_map(|(name, params, bi, gd, comment)| {
             let params: Vec<String> = params
@@ -31,7 +31,11 @@ fn arb_kernel_source() -> impl Strategy<Value = String> {
                 body.push_str(&format!("int g{i} = gridDim.x * {i};\n"));
             }
             body.push_str("if (1) { int nested = threadIdx.x; }\n");
-            let tail = if comment { "// blockIdx in a comment\n" } else { "" };
+            let tail = if comment {
+                "// blockIdx in a comment\n"
+            } else {
+                ""
+            };
             format!(
                 "__global__ void {name}({}) {{\n{body}}}\n{tail}",
                 params.join(", ")

@@ -85,7 +85,7 @@ impl GpuBuffer {
     /// Copies host bytes into the buffer at a *word-aligned* byte offset
     /// (`offset % 4 == 0`). Trailing partial word is zero-padded.
     pub fn copy_from_host(&self, offset: usize, src: &[u8]) {
-        assert!(offset.is_multiple_of(4), "offset must be word-aligned");
+        assert!(offset % 4 == 0, "offset must be word-aligned");
         assert!(
             offset + src.len() <= self.words.len() * 4,
             "copy_from_host out of bounds: offset {offset} + {} > {}",
@@ -95,7 +95,10 @@ impl GpuBuffer {
         let mut w = offset / 4;
         let mut chunks = src.chunks_exact(4);
         for c in &mut chunks {
-            self.words[w].store(u32::from_le_bytes([c[0], c[1], c[2], c[3]]), Ordering::Relaxed);
+            self.words[w].store(
+                u32::from_le_bytes([c[0], c[1], c[2], c[3]]),
+                Ordering::Relaxed,
+            );
             w += 1;
         }
         let rem = chunks.remainder();
@@ -108,7 +111,7 @@ impl GpuBuffer {
 
     /// Copies buffer contents out to host bytes from a word-aligned offset.
     pub fn copy_to_host(&self, offset: usize, dst: &mut [u8]) {
-        assert!(offset.is_multiple_of(4), "offset must be word-aligned");
+        assert!(offset % 4 == 0, "offset must be word-aligned");
         assert!(
             offset + dst.len() <= self.words.len() * 4,
             "copy_to_host out of bounds"
@@ -174,7 +177,11 @@ impl DeviceMemoryPool {
     pub fn alloc(&mut self, bytes: u64) -> Result<DevicePtr, String> {
         // checked_add: an absurd request must be a clean OOM, not a wrap
         // past the capacity check (and a panic allocating the backing).
-        if self.used.checked_add(bytes).is_none_or(|n| n > self.capacity) {
+        if self
+            .used
+            .checked_add(bytes)
+            .is_none_or(|n| n > self.capacity)
+        {
             return Err(format!(
                 "out of device memory: {} used + {} requested > {} capacity",
                 self.used, bytes, self.capacity

@@ -160,7 +160,7 @@ impl DeviceConfig {
             clock_hz: 1.38e9,
             flops_per_cycle_per_sm: 128.0, // 64 FMA lanes x 2 flops
             dram_bw: 810.0e9,
-            per_sm_mem_bw: 54.0e9, // knee at ~15 SMs
+            per_sm_mem_bw: 54.0e9,  // knee at ~15 SMs
             dram_mix_penalty: 0.15, // HBM2 tolerates interleaving better
             l2_bytes: 6 * 1024 * 1024,
             pcie_bw: 12.0e9,

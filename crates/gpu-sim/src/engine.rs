@@ -191,14 +191,17 @@ impl Engine {
         }
         let per_sm = occupancy::blocks_per_sm(&self.cfg, &spec.perf);
         if per_sm == 0 {
-            return Err(format!("kernel {} cannot be launched (occupancy 0)", spec.perf.name));
+            return Err(format!(
+                "kernel {} cannot be launched (occupancy 0)",
+                spec.perf.name
+            ));
         }
         if !spec.extra_lead_s.is_finite() || spec.extra_lead_s < 0.0 {
             return Err("extra_lead_s must be finite and non-negative".into());
         }
         let sms = spec.sm_range.len() as u64;
-        let workers = (per_sm as u64 * sms)
-            .min(spec.perf.max_concurrent_blocks.unwrap_or(u64::MAX));
+        let workers =
+            (per_sm as u64 * sms).min(spec.perf.max_concurrent_blocks.unwrap_or(u64::MAX));
         let task_size = match spec.mode {
             ExecMode::Hardware => 1,
             ExecMode::SlateWorkers { task_size } => {
@@ -614,7 +617,9 @@ mod tests {
     fn solo_run(perf: KernelPerf, blocks: u64, mode: ExecMode) -> (f64, SliceReport) {
         let mut e = engine();
         let id = e.add_slice(spec(perf, blocks, mode)).unwrap();
-        let (t, ev) = e.run_until(|ev| matches!(ev, Event::SliceDrained(_))).unwrap();
+        let (t, ev) = e
+            .run_until(|ev| matches!(ev, Event::SliceDrained(_)))
+            .unwrap();
         assert_eq!(ev, Event::SliceDrained(id));
         (t, e.remove_slice(id))
     }
@@ -633,10 +638,7 @@ mod tests {
         let r = 30.0 * cfg.clock_hz / cycles; // full occupancy => util 1
         let imb = 1.0 + IMBALANCE_BETA * (8.0 * 30.0) / blocks as f64;
         let expect = blocks as f64 / (r / imb) + cfg.launch_latency_s;
-        assert!(
-            (t - expect).abs() / expect < 1e-9,
-            "t={t}, expect={expect}"
-        );
+        assert!((t - expect).abs() / expect < 1e-9, "t={t}, expect={expect}");
         assert!(rep.drained);
         assert_eq!(rep.blocks_done, blocks);
     }
@@ -662,7 +664,9 @@ mod tests {
         let mut s = spec(p, 20_000, ExecMode::Hardware);
         s.sm_range = SmRange::new(0, 3);
         let id = e.add_slice(s).unwrap();
-        let (t, _) = e.run_until(|ev| matches!(ev, Event::SliceDrained(_))).unwrap();
+        let (t, _) = e
+            .run_until(|ev| matches!(ev, Event::SliceDrained(_)))
+            .unwrap();
         let rep = e.remove_slice(id);
         let bw = rep.dram_bytes / rep.active_s;
         assert!(bw <= 4.0 * 54e9 * 1.01, "bw {bw:.3e}");
@@ -682,8 +686,12 @@ mod tests {
         let a = e.add_slice(s1).unwrap();
         let b = e.add_slice(s2).unwrap();
         // Both drain at the same moment (equal demands, proportional split).
-        let (t1, _ev1) = e.run_until(|ev| matches!(ev, Event::SliceDrained(_))).unwrap();
-        let (t2, _ev2) = e.run_until(|ev| matches!(ev, Event::SliceDrained(_))).unwrap();
+        let (t1, _ev1) = e
+            .run_until(|ev| matches!(ev, Event::SliceDrained(_)))
+            .unwrap();
+        let (t2, _ev2) = e
+            .run_until(|ev| matches!(ev, Event::SliceDrained(_)))
+            .unwrap();
         assert!((t2 - t1) / t2 < 1e-6, "t1={t1} t2={t2}");
         let ra = e.remove_slice(a);
         let rb = e.remove_slice(b);
@@ -708,7 +716,9 @@ mod tests {
         let (t_solo, _) = {
             let mut e = engine();
             let id = e.add_slice(half_comp.clone()).unwrap();
-            let (t, _) = e.run_until(|ev| matches!(ev, Event::SliceDrained(_))).unwrap();
+            let (t, _) = e
+                .run_until(|ev| matches!(ev, Event::SliceDrained(_)))
+                .unwrap();
             (t, e.remove_slice(id))
         };
 
@@ -742,7 +752,9 @@ mod tests {
         let run = |mode: ExecMode| {
             let mut e = Engine::new(cfg.clone());
             let id = e.add_slice(spec(p.clone(), blocks, mode)).unwrap();
-            let (t, _) = e.run_until(|ev| matches!(ev, Event::SliceDrained(_))).unwrap();
+            let (t, _) = e
+                .run_until(|ev| matches!(ev, Event::SliceDrained(_)))
+                .unwrap();
             (t, e.remove_slice(id))
         };
         let (t_hw, _) = run(ExecMode::Hardware);
@@ -769,14 +781,19 @@ mod tests {
             let mut s = spec(p.clone(), blocks, ExecMode::Hardware);
             s.sm_range = sms;
             let id = e.add_slice(s).unwrap();
-            let (t, _) = e.run_until(|ev| matches!(ev, Event::SliceDrained(_))).unwrap();
+            let (t, _) = e
+                .run_until(|ev| matches!(ev, Event::SliceDrained(_)))
+                .unwrap();
             let _ = e.remove_slice(id);
             t
         };
         let t30 = run_on(SmRange::all(30));
         let t4 = run_on(SmRange::new(0, 3));
         let t2 = run_on(SmRange::new(0, 1));
-        assert!((t30 - t4).abs() / t4 < 1e-9, "30 SMs no better than 4: {t30} vs {t4}");
+        assert!(
+            (t30 - t4).abs() / t4 < 1e-9,
+            "30 SMs no better than 4: {t30} vs {t4}"
+        );
         assert!(t2 > t4 * 1.8, "2 SMs roughly halves the rate: {t2} vs {t4}");
     }
 
@@ -788,7 +805,10 @@ mod tests {
         let blocks = 2_000_000u64;
         let (t1, _) = solo_run(p.clone(), blocks, ExecMode::SlateWorkers { task_size: 1 });
         let (t10, _) = solo_run(p, blocks, ExecMode::SlateWorkers { task_size: 10 });
-        assert!(t10 < t1, "task size 10 ({t10}) must beat task size 1 ({t1})");
+        assert!(
+            t10 < t1,
+            "task size 10 ({t10}) must beat task size 1 ({t1})"
+        );
     }
 
     #[test]
@@ -822,7 +842,9 @@ mod tests {
         let mut s2 = spec(p, remaining, ExecMode::SlateWorkers { task_size: 10 });
         s2.sm_range = SmRange::new(0, 9);
         let id2 = e.add_slice(s2).unwrap();
-        let (_, ev) = e.run_until(|ev| matches!(ev, Event::SliceDrained(_))).unwrap();
+        let (_, ev) = e
+            .run_until(|ev| matches!(ev, Event::SliceDrained(_)))
+            .unwrap();
         assert_eq!(ev, Event::SliceDrained(id2));
         let rep2 = e.remove_slice(id2);
         assert_eq!(rep.blocks_done + rep2.blocks_done, 100_000);
@@ -884,7 +906,9 @@ mod tests {
         let mut e = engine();
         let p = KernelPerf::synthetic("k", 1000.0, 0.0);
         let id = e.add_slice(spec(p, 0, ExecMode::Hardware)).unwrap();
-        let (_, ev) = e.run_until(|ev| matches!(ev, Event::SliceDrained(_))).unwrap();
+        let (_, ev) = e
+            .run_until(|ev| matches!(ev, Event::SliceDrained(_)))
+            .unwrap();
         assert_eq!(ev, Event::SliceDrained(id));
     }
 

@@ -72,6 +72,6 @@ pub mod prelude {
     pub use crate::engine::{Dir, Engine, Event, SliceId, SliceSpec, TimerId, TransferId};
     pub use crate::fault::{FaultKind, FaultPlan, FaultRule, FaultSite, FaultToken};
     pub use crate::metrics::{KernelMetrics, SliceReport};
-    pub use crate::trace::{Trace, TraceEvent, TraceKind};
     pub use crate::perf::{BlockOrder, ExecMode, KernelPerf};
+    pub use crate::trace::{Trace, TraceEvent, TraceKind};
 }

@@ -235,7 +235,10 @@ mod tests {
         agg.merge(&report());
         assert_eq!(agg.slices, 2);
         assert_eq!(agg.blocks_done, 200);
-        assert!((agg.gflops() - 10.0).abs() < 1e-9, "rates unchanged by merging equal slices");
+        assert!(
+            (agg.gflops() - 10.0).abs() < 1e-9,
+            "rates unchanged by merging equal slices"
+        );
         assert!((agg.ipc() - report().ipc()).abs() < 1e-12);
     }
 

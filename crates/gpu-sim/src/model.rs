@@ -160,7 +160,9 @@ mod tests {
                 tag: 0,
             })
             .unwrap();
-        let (t, _) = e.run_until(|ev| matches!(ev, Event::SliceDrained(_))).unwrap();
+        let (t, _) = e
+            .run_until(|ev| matches!(ev, Event::SliceDrained(_)))
+            .unwrap();
         let _ = e.remove_slice(id);
         let est = estimate_duration(&cfg(), &p, blocks, 30, ExecMode::Hardware);
         // Engine adds tail imbalance; for 2M blocks it is well under 1%.

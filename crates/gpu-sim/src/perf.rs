@@ -154,7 +154,10 @@ impl KernelPerf {
         for (label, v) in [
             ("insts_per_block", self.insts_per_block),
             ("flops_per_block", self.flops_per_block),
-            ("mem_request_bytes_per_block", self.mem_request_bytes_per_block),
+            (
+                "mem_request_bytes_per_block",
+                self.mem_request_bytes_per_block,
+            ),
             ("dram_bytes_inorder", self.dram_bytes_inorder),
             ("l2_footprint_bytes", self.l2_footprint_bytes),
             ("inject_insts_per_block", self.inject_insts_per_block),

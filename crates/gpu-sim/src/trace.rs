@@ -147,9 +147,7 @@ impl Trace {
         let t1 = self.events.last().map_or(0.0, |e| e.t);
         let span = (t1 - t0).max(1e-12);
         let mut grid = vec![vec![b'.'; width]; num_sms as usize];
-        for (c, row_time) in (0..width)
-            .map(|c| (c, t0 + (c as f64 + 0.5) / width as f64 * span))
-        {
+        for (c, row_time) in (0..width).map(|c| (c, t0 + (c as f64 + 0.5) / width as f64 * span)) {
             for (tag, range, start, end) in &intervals {
                 // Half-open [start, end): a hand-off at time t belongs to
                 // the successor.
@@ -159,7 +157,11 @@ impl Trace {
                 let glyph = b'A' + (tag % 26) as u8;
                 for sm in range.lo..=range.hi.min(num_sms - 1) {
                     let cell = &mut grid[sm as usize][c];
-                    *cell = if *cell == b'.' || *cell == glyph { glyph } else { b'#' };
+                    *cell = if *cell == b'.' || *cell == glyph {
+                        glyph
+                    } else {
+                        b'#'
+                    };
                 }
             }
         }

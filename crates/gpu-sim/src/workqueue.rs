@@ -99,17 +99,14 @@ impl HyperQ {
     /// Returns the number of lanes retired.
     pub fn retire_lanes(&mut self, mut pred: impl FnMut(u64, u32) -> bool) -> usize {
         let before = self.assignments.len();
-        self.assignments.retain(|&(ctx, stream), _| !pred(ctx, stream));
+        self.assignments
+            .retain(|&(ctx, stream), _| !pred(ctx, stream));
         before - self.assignments.len()
     }
 
     /// Concurrency verdict for launches from two (context, stream) lanes.
     /// Both lanes are assigned if not yet seen.
-    pub fn concurrency(
-        &mut self,
-        a: (u64, u32),
-        b: (u64, u32),
-    ) -> Concurrency {
+    pub fn concurrency(&mut self, a: (u64, u32), b: (u64, u32)) -> Concurrency {
         if a.0 != b.0 {
             return Concurrency::CrossContext;
         }

@@ -14,12 +14,12 @@ use slate_gpu_sim::perf::{BlockOrder, ExecMode, KernelPerf};
 
 fn arb_perf() -> impl Strategy<Value = KernelPerf> {
     (
-        64u32..=1024,      // threads per block (multiple of 32 below)
-        16u32..=64,        // regs per thread
-        0u32..=32 * 1024,  // smem
+        64u32..=1024,        // threads per block (multiple of 32 below)
+        16u32..=64,          // regs per thread
+        0u32..=32 * 1024,    // smem
         100.0..100_000.0f64, // compute cycles
-        0.0..200_000.0f64, // dram bytes in-order
-        1.0..3.0f64,       // scattered multiplier
+        0.0..200_000.0f64,   // dram bytes in-order
+        1.0..3.0f64,         // scattered multiplier
     )
         .prop_map(|(threads, regs, smem, cycles, dram, mult)| {
             let mut p = KernelPerf::synthetic("prop", cycles, dram * mult);

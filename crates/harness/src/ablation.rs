@@ -121,7 +121,9 @@ pub fn run(cfg: &DeviceConfig, scale: u32) -> (Vec<AblationRow>, Report) {
 
     let mut t = Table::new(
         "Gain over MPS by configuration (ANTT, MPS solo baselines)",
-        &["Config", "BS-RG", "GS-RG", "GS-GS", "MM-BS", "RG-TR", "mean"],
+        &[
+            "Config", "BS-RG", "GS-RG", "GS-GS", "MM-BS", "RG-TR", "mean",
+        ],
     );
     let mut rows = Vec::new();
     for (label, opts) in configs() {

@@ -85,7 +85,10 @@ pub fn run(cfg: &DeviceConfig, scale: u64) -> (Vec<Point>, Report) {
         "bandwidth grows ~linearly in the early region (4 SMs ≈ 4x 1 SM)",
         (p4 / p1 - 4.0).abs() < 0.4,
     );
-    report.check("saturation knee at 8-10 SMs (paper: 9)", (8..=10).contains(&knee));
+    report.check(
+        "saturation knee at 8-10 SMs (paper: 9)",
+        (8..=10).contains(&knee),
+    );
     report.check(
         "flat after the knee (30 SMs within 2% of peak)",
         (last - peak).abs() / peak < 0.02,

@@ -63,7 +63,10 @@ pub fn run(cfg: &DeviceConfig) -> (Vec<(Benchmark, Vec<f64>)>, Report) {
     for (b, times) in &all {
         let base = times[3]; // normalize to the default task size 10
         let mut chart = BarChart::new(
-            &format!("{}: kernel time by task size (relative to G=10)", b.abbrev()),
+            &format!(
+                "{}: kernel time by task size (relative to G=10)",
+                b.abbrev()
+            ),
             "x",
         );
         for (g, t) in TASK_SIZES.iter().zip(times) {
@@ -83,10 +86,7 @@ pub fn run(cfg: &DeviceConfig) -> (Vec<(Benchmark, Vec<f64>)>, Report) {
         "BS at task size 10 is a few percent worse than at 1 (imbalance)",
         bs[3] > bs[0] * 1.01 && bs[3] < bs[0] * 1.15,
     );
-    report.check(
-        "very large tasks (G=50) hurt BS further",
-        bs[5] > bs[3],
-    );
+    report.check("very large tasks (G=50) hurt BS further", bs[5] > bs[3]);
     report.check(
         "GS is roughly flat between 10 and 50 (within 10%)",
         (gs[5] / gs[3] - 1.0).abs() < 0.10,

@@ -48,7 +48,14 @@ pub fn run(cfg: &DeviceConfig, scale: u32) -> (Vec<Pairing>, Report) {
     );
     let mut t = Table::new(
         "Pairing ANTT normalized to CUDA solo",
-        &["Pair", "CUDA", "MPS", "Slate", "Slate vs MPS", "Slate vs CUDA"],
+        &[
+            "Pair",
+            "CUDA",
+            "MPS",
+            "Slate",
+            "Slate vs MPS",
+            "Slate vs CUDA",
+        ],
     );
 
     let mut pairings = Vec::new();
@@ -84,13 +91,11 @@ pub fn run(cfg: &DeviceConfig, scale: u32) -> (Vec<Pairing>, Report) {
     }
     report.charts.push(chart);
 
-    let mean = |f: &dyn Fn(&Pairing) -> f64| {
-        pairings.iter().map(f).sum::<f64>() / pairings.len() as f64
-    };
+    let mean =
+        |f: &dyn Fn(&Pairing) -> f64| pairings.iter().map(f).sum::<f64>() / pairings.len() as f64;
     let avg_vs_mps = mean(&|p| p.slate_vs_mps);
     let avg_vs_cuda = mean(&|p| p.slate_vs_cuda);
-    let avg_mps_vs_cuda =
-        mean(&|p| p.antt[0] / p.antt[1] - 1.0);
+    let avg_mps_vs_cuda = mean(&|p| p.antt[0] / p.antt[1] - 1.0);
     let find = |a: Benchmark, b: Benchmark| {
         pairings
             .iter()
@@ -112,7 +117,9 @@ pub fn run(cfg: &DeviceConfig, scale: u32) -> (Vec<Pairing>, Report) {
         "Slate beats or matches MPS on all pairings except possibly MM-BS",
         pairings
             .iter()
-            .filter(|p| p.pair != (Benchmark::BS, Benchmark::MM) && p.pair != (Benchmark::MM, Benchmark::BS))
+            .filter(|p| {
+                p.pair != (Benchmark::BS, Benchmark::MM) && p.pair != (Benchmark::MM, Benchmark::BS)
+            })
             .all(|p| p.slate_vs_mps > -0.005),
     );
     report.check(
@@ -144,8 +151,7 @@ pub fn run(cfg: &DeviceConfig, scale: u32) -> (Vec<Pairing>, Report) {
                 .iter()
                 .max_by(|x, y| x.slate_vs_mps.total_cmp(&y.slate_vs_mps))
                 .unwrap();
-            let best_is_rg =
-                best.pair.0 == Benchmark::RG || best.pair.1 == Benchmark::RG;
+            let best_is_rg = best.pair.0 == Benchmark::RG || best.pair.1 == Benchmark::RG;
             let rg_gs = find(Benchmark::GS, Benchmark::RG);
             best_is_rg && (0.20..0.50).contains(&rg_gs.slate_vs_mps)
         },
@@ -164,8 +170,7 @@ pub fn run(cfg: &DeviceConfig, scale: u32) -> (Vec<Pairing>, Report) {
                 (Benchmark::MM, Benchmark::MM),
             ];
             solo_set.contains(&worst.pair)
-                && (-0.04..0.04)
-                    .contains(&find(Benchmark::MM, Benchmark::BS).slate_vs_mps)
+                && (-0.04..0.04).contains(&find(Benchmark::MM, Benchmark::BS).slate_vs_mps)
         },
     );
     report.check(

@@ -47,7 +47,13 @@ pub fn run(cfg: &DeviceConfig, scale: u32) -> (Vec<OracleRow>, Report) {
     );
     let mut t = Table::new(
         "ANTT per pairing (lower is better)",
-        &["Pair", "Heuristic", "Oracle", "Oracle edge", "Choices differ"],
+        &[
+            "Pair",
+            "Heuristic",
+            "Oracle",
+            "Oracle edge",
+            "Choices differ",
+        ],
     );
 
     let mut rows = Vec::new();

@@ -115,12 +115,18 @@ impl BarChart {
             .fold(0.0f64, f64::max)
             .max(1e-12);
         let label_w = self.rows.iter().map(|(l, _)| l.len()).max().unwrap_or(0);
-        let mut s = format!("{}
-", self.title);
+        let mut s = format!(
+            "{}
+",
+            self.title
+        );
         for (label, v) in &self.rows {
             let n = ((v.abs() / max_mag) * width as f64).round() as usize;
-            let bar: String = std::iter::repeat_n(if *v >= 0.0 { '#' } else { '-' }, n.max(usize::from(v.abs() > 0.0)))
-                .collect();
+            let bar: String = std::iter::repeat_n(
+                if *v >= 0.0 { '#' } else { '-' },
+                n.max(usize::from(v.abs() > 0.0)),
+            )
+            .collect();
             s.push_str(&format!(
                 "{label:label_w$} |{bar:<width$} {v:+.1}{}
 ",
@@ -132,9 +138,12 @@ impl BarChart {
 
     /// Renders as a fenced code block for markdown.
     pub fn to_markdown(&self, width: usize) -> String {
-        format!("```text
+        format!(
+            "```text
 {}```
-", self.to_text(width))
+",
+            self.to_text(width)
+        )
     }
 }
 
@@ -307,7 +316,10 @@ mod tests {
         let lines: Vec<&str> = txt.lines().collect();
         assert!(lines[1].matches('#').count() == 40, "{txt}");
         assert!(lines[2].matches('#').count() == 20, "{txt}");
-        assert!(lines[3].contains('-') && lines[3].contains("-5.0%"), "{txt}");
+        assert!(
+            lines[3].contains('-') && lines[3].contains("-5.0%"),
+            "{txt}"
+        );
         let md = b.to_markdown(40);
         assert!(md.starts_with("```text") && md.ends_with("```\n"));
     }

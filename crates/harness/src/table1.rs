@@ -133,7 +133,9 @@ pub fn corun_times(
     let (t_first, ev) = e
         .run_until(|ev| matches!(ev, Event::SliceDrained(_)))
         .expect("first drain");
-    let Event::SliceDrained(first) = ev else { unreachable!() };
+    let Event::SliceDrained(first) = ev else {
+        unreachable!()
+    };
     let survivor: SliceId = if first == ida { idb } else { ida };
     let _ = e.remove_slice(first);
     // The survivor grows to the whole device (dispatch-kernel relaunch).
@@ -142,7 +144,12 @@ pub fn corun_times(
     let surv_perf = if first == ida { pb } else { pa };
     let _ = surv_rep;
     let regrown = e
-        .add_slice(mk(surv_perf, remaining.max(1), SmRange::all(cfg.num_sms), 2))
+        .add_slice(mk(
+            surv_perf,
+            remaining.max(1),
+            SmRange::all(cfg.num_sms),
+            2,
+        ))
         .unwrap();
     let (t_second, _) = e
         .run_until(|ev| matches!(ev, Event::SliceDrained(_)))
@@ -194,7 +201,11 @@ pub fn run(cfg: &DeviceConfig) -> (Vec<Cell>, Report) {
             let tb = solo_time(cfg, &pb, nb);
             let (ta2, tb2) = corun_times(cfg, &pa, &pb, na, nb);
             let profitable = corun_clearly_profitable(ta, tb, ta2, tb2);
-            let measured = if profitable { Verdict::Corun } else { Verdict::Solo };
+            let measured = if profitable {
+                Verdict::Corun
+            } else {
+                Verdict::Solo
+            };
             let published = (lookup(a, b), lookup(b, a));
             let cell_agree = published.0 == measured || published.1 == measured;
             agree += usize::from(cell_agree);
@@ -232,7 +243,10 @@ pub fn run(cfg: &DeviceConfig) -> (Vec<Cell>, Report) {
         "expected disagreements: L_C-H_C (our resize model makes hosting the \
          capped L_C kernel free) and the break-even M_C-M_C cell",
     );
-    report.check("measured agrees with the table on most cells (>= 11/15)", agree >= 11);
+    report.check(
+        "measured agrees with the table on most cells (>= 11/15)",
+        agree >= 11,
+    );
     report.check(
         "L_C co-runs profitably with M_M and H_M (the RG mechanism)",
         find(LC, MM).measured == Verdict::Corun && find(LC, HM).measured == Verdict::Corun,

@@ -60,7 +60,10 @@ pub fn run(cfg: &DeviceConfig) -> (Vec<Row>, Report) {
         ]);
         // Classification must reproduce exactly; figures within 15%.
         let class_ok = p.class == classify_measured(gf_ref, gb_ref);
-        report.check(&format!("{} classifies as in the paper", b.abbrev()), class_ok);
+        report.check(
+            &format!("{} classifies as in the paper", b.abbrev()),
+            class_ok,
+        );
         let gb_ok = (p.bandwidth_gbs - gb_ref).abs() / gb_ref < 0.15;
         report.check(
             &format!("{} bandwidth within 15% of paper", b.abbrev()),

@@ -92,7 +92,10 @@ pub fn run(cfg: &DeviceConfig, scale: u32) -> ((GsMetrics, GsMetrics), Report) {
         "memory throttle: substantial under CUDA (paper: 26.1%)",
         (15.0..35.0).contains(&c.stall_pct),
     );
-    report.check("memory throttle: eliminated under Slate (paper: 0%)", s.stall_pct < 2.0);
+    report.check(
+        "memory throttle: eliminated under Slate (paper: 0%)",
+        s.stall_pct < 2.0,
+    );
     report.check(
         "IPC improves and slightly exceeds the time reduction (injected instructions)",
         s.ipc / c.ipc > c.time_s / s.time_s - 0.02,

@@ -34,7 +34,11 @@ fn extract(out: &RunOutcome, cfg: &DeviceConfig) -> PairMetrics {
         .iter()
         .map(|a| a.kernel_start_s)
         .fold(f64::INFINITY, f64::min);
-    let end = out.apps.iter().map(|a| a.kernel_end_s).fold(0.0f64, f64::max);
+    let end = out
+        .apps
+        .iter()
+        .map(|a| a.kernel_end_s)
+        .fold(0.0f64, f64::max);
     let overlap_window = (end - start).max(1e-9);
     PairMetrics {
         throughput_gbs: req / overlap_window / 1e9,

@@ -62,7 +62,11 @@ pub fn run(cfg: &DeviceConfig, scale: u32) -> (Overheads, Report) {
     t.row(&[
         "Inside kernel exec".into(),
         "Atomic ops on the task queue".into(),
-        format!("{} pulls per launch (task size {})", f(pulls_per_launch, 0), app.task_size),
+        format!(
+            "{} pulls per launch (task size {})",
+            f(pulls_per_launch, 0),
+            app.task_size
+        ),
     ]);
     t.row(&[
         "Outside kernel exec".into(),

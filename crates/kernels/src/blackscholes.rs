@@ -91,7 +91,10 @@ impl BlackScholesKernel {
             ("call", &call),
             ("put", &put),
         ] {
-            assert!(b.len_words() >= n, "{label} buffer too small for {n} options");
+            assert!(
+                b.len_words() >= n,
+                "{label} buffer too small for {n} options"
+            );
         }
         Self {
             n,

@@ -102,7 +102,10 @@ impl GpuKernel for Fan2Kernel {
     fn grid(&self) -> GridDim {
         let rows = self.n - self.t - 1; // rows below the pivot
         let cols = self.n - self.t; // columns from the pivot right
-        GridDim::d2(cols.div_ceil(FAN2_TILE).max(1), rows.div_ceil(FAN2_TILE).max(1))
+        GridDim::d2(
+            cols.div_ceil(FAN2_TILE).max(1),
+            rows.div_ceil(FAN2_TILE).max(1),
+        )
     }
 
     fn perf(&self) -> KernelPerf {
@@ -327,7 +330,11 @@ mod tests {
         p.validate().unwrap();
         assert!(p.dram_bytes_scattered > p.dram_bytes_inorder * 1.3);
         assert!(p.l2_footprint_bytes > 1e6);
-        assert!(paper_blocks() > 10_000_000, "paper solve is big: {}", paper_blocks());
+        assert!(
+            paper_blocks() > 10_000_000,
+            "paper solve is big: {}",
+            paper_blocks()
+        );
     }
 
     #[test]

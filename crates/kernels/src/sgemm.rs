@@ -33,9 +33,16 @@ pub struct SgemmKernel {
 impl SgemmKernel {
     /// Binds the kernel to its matrices. Dimensions must be multiples of
     /// [`TILE`] (as the CUDA sample requires).
-    pub fn new(m: u32, n: u32, k: u32, a: Arc<GpuBuffer>, b: Arc<GpuBuffer>, c: Arc<GpuBuffer>) -> Self {
+    pub fn new(
+        m: u32,
+        n: u32,
+        k: u32,
+        a: Arc<GpuBuffer>,
+        b: Arc<GpuBuffer>,
+        c: Arc<GpuBuffer>,
+    ) -> Self {
         assert!(
-            m.is_multiple_of(TILE) && n.is_multiple_of(TILE) && k.is_multiple_of(TILE),
+            m % TILE == 0 && n % TILE == 0 && k % TILE == 0,
             "dimensions must be multiples of {TILE}"
         );
         assert!(a.len_words() >= (m * k) as usize);
@@ -146,8 +153,12 @@ mod tests {
 
     fn setup(m: u32, n: u32, k: u32) -> (SgemmKernel, Vec<f32>, Arc<GpuBuffer>) {
         let (mu, nu, ku) = (m as usize, n as usize, k as usize);
-        let a_host: Vec<f32> = (0..mu * ku).map(|i| ((i * 13) % 17) as f32 * 0.25 - 2.0).collect();
-        let b_host: Vec<f32> = (0..ku * nu).map(|i| ((i * 7) % 23) as f32 * 0.125 - 1.0).collect();
+        let a_host: Vec<f32> = (0..mu * ku)
+            .map(|i| ((i * 13) % 17) as f32 * 0.25 - 2.0)
+            .collect();
+        let b_host: Vec<f32> = (0..ku * nu)
+            .map(|i| ((i * 7) % 23) as f32 * 0.125 - 1.0)
+            .collect();
         let a = Arc::new(GpuBuffer::new(mu * ku * 4));
         let b = Arc::new(GpuBuffer::new(ku * nu * 4));
         let c = Arc::new(GpuBuffer::new(mu * nu * 4));
@@ -163,7 +174,10 @@ mod tests {
         run_reference(&kern);
         for (i, &e) in expect.iter().enumerate() {
             let got = c.load_f32(i);
-            assert!((got - e).abs() < 1e-2 * e.abs().max(1.0), "c[{i}] {got} vs {e}");
+            assert!(
+                (got - e).abs() < 1e-2 * e.abs().max(1.0),
+                "c[{i}] {got} vs {e}"
+            );
         }
     }
 

@@ -57,14 +57,22 @@ fn main() {
         client.upload_f32(d_in, &host).unwrap();
         client
             .launch_on_stream(s, vec![d_in, d_tmp], 10, move |bufs| {
-                Arc::new(TransposeKernel::new(rows, cols, bufs[0].clone(), bufs[1].clone()))
-                    as Arc<dyn GpuKernel>
+                Arc::new(TransposeKernel::new(
+                    rows,
+                    cols,
+                    bufs[0].clone(),
+                    bufs[1].clone(),
+                )) as Arc<dyn GpuKernel>
             })
             .unwrap();
         client
             .launch_on_stream(s, vec![d_tmp, d_out], 10, move |bufs| {
-                Arc::new(TransposeKernel::new(cols, rows, bufs[0].clone(), bufs[1].clone()))
-                    as Arc<dyn GpuKernel>
+                Arc::new(TransposeKernel::new(
+                    cols,
+                    rows,
+                    bufs[0].clone(),
+                    bufs[1].clone(),
+                )) as Arc<dyn GpuKernel>
             })
             .unwrap();
         inputs.push((s, host, d_out));
@@ -77,7 +85,13 @@ fn main() {
     let d_b = client.malloc((gn * 4) as u64).unwrap();
     let d_c = client.malloc((gn * 4) as u64).unwrap();
     let ident: Vec<f32> = (0..gn)
-        .map(|i| if i % (dim as usize + 1) == 0 { 1.0 } else { 0.0 })
+        .map(|i| {
+            if i % (dim as usize + 1) == 0 {
+                1.0
+            } else {
+                0.0
+            }
+        })
         .collect();
     let a_host: Vec<f32> = (0..gn).map(|i| (i % 97) as f32 * 0.5).collect();
     client.upload_f32(d_a, &a_host).unwrap();

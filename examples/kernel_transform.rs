@@ -14,10 +14,10 @@
 use slate_core::dispatch::Dispatcher;
 use slate_core::injector::inject_source;
 use slate_core::transform::TransformedKernel;
+use slate_gpu_sim::buffer::GpuBuffer;
 use slate_gpu_sim::device::{DeviceConfig, SmRange};
 use slate_kernels::kernel::run_reference;
 use slate_kernels::sgemm::SgemmKernel;
-use slate_gpu_sim::buffer::GpuBuffer;
 use std::sync::Arc;
 
 const USER_SOURCE: &str = r#"
@@ -52,10 +52,7 @@ fn main() {
             a.store_f32(i, ((i * 13) % 17) as f32 * 0.25 - 2.0);
             b.store_f32(i, ((i * 7) % 23) as f32 * 0.125 - 1.0);
         }
-        (
-            SgemmKernel::new(dim, dim, dim, a, b, c.clone()),
-            c,
-        )
+        (SgemmKernel::new(dim, dim, dim, a, b, c.clone()), c)
     };
 
     // Reference: untransformed grid order.
@@ -99,8 +96,16 @@ fn main() {
 
     // All three executions must agree bit-for-bit.
     for i in 0..n {
-        assert_eq!(c_slate.load_f32(i), c_ref.load_f32(i), "slate vs ref at {i}");
-        assert_eq!(c_resize.load_f32(i), c_ref.load_f32(i), "resize vs ref at {i}");
+        assert_eq!(
+            c_slate.load_f32(i),
+            c_ref.load_f32(i),
+            "slate vs ref at {i}"
+        );
+        assert_eq!(
+            c_resize.load_f32(i),
+            c_ref.load_f32(i),
+            "resize vs ref at {i}"
+        );
     }
     println!("\nall {n} output elements identical across reference, Slate, and resized Slate.");
 }

@@ -74,7 +74,9 @@ fn main() {
                 .unwrap();
         }
         client.synchronize().unwrap();
-        let out = client.download_f32(d_out, (n * DIMENSIONS as u64) as usize).unwrap();
+        let out = client
+            .download_f32(d_out, (n * DIMENSIONS as u64) as usize)
+            .unwrap();
         let table = direction_table();
         for dim in 0..DIMENSIONS {
             for i in [0u64, 1, n / 3, n - 1] {

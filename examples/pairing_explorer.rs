@@ -22,7 +22,9 @@ use slate_gpu_sim::device::DeviceConfig;
 use slate_kernels::workload::Benchmark;
 
 fn parse_bench(s: &str) -> Option<Benchmark> {
-    Benchmark::ALL.into_iter().find(|b| b.abbrev().eq_ignore_ascii_case(s))
+    Benchmark::ALL
+        .into_iter()
+        .find(|b| b.abbrev().eq_ignore_ascii_case(s))
 }
 
 fn main() {

@@ -64,19 +64,26 @@ fn main() {
         )
         .unwrap();
     client.synchronize().unwrap();
-    println!("kernel completed ({} launches served)", daemon.launches_served());
+    println!(
+        "kernel completed ({} launches served)",
+        daemon.launches_served()
+    );
 
     // cudaMemcpy D2H and host validation.
     let call = client.download_f32(d_call, n).unwrap();
     let put = client.download_f32(d_put, n).unwrap();
     let mut max_err = 0.0f32;
     for i in (0..n).step_by(997) {
-        let (c_ref, p_ref) =
-            black_scholes_ref(stock[i], strike[i], years[i], riskfree, volatility);
-        max_err = max_err.max((call[i] - c_ref).abs()).max((put[i] - p_ref).abs());
+        let (c_ref, p_ref) = black_scholes_ref(stock[i], strike[i], years[i], riskfree, volatility);
+        max_err = max_err
+            .max((call[i] - c_ref).abs())
+            .max((put[i] - p_ref).abs());
     }
     println!("max deviation from host reference: {max_err:.2e}");
-    assert!(max_err < 1e-5, "device results must match the host reference");
+    assert!(
+        max_err < 1e-5,
+        "device results must match the host reference"
+    );
 
     for p in [d_stock, d_strike, d_years, d_call, d_put] {
         client.free(p).unwrap();

@@ -23,7 +23,12 @@ struct AddKernel {
 impl AddKernel {
     fn new(n: usize, delta: f32, perf: KernelPerf, buf: Arc<GpuBuffer>) -> Self {
         assert!(buf.len_words() >= n);
-        Self { n, delta, perf, buf }
+        Self {
+            n,
+            delta,
+            perf,
+            buf,
+        }
     }
 }
 
@@ -125,9 +130,7 @@ fn conflicting_clients_serialize_correctly() {
         let handles: Vec<_> = (0..2)
             .map(|i| {
                 let d = daemon.clone();
-                s.spawn(move || {
-                    run_client(&d, &format!("hm-{i}"), hm_perf("hm_add"), 5, n, 1.0)
-                })
+                s.spawn(move || run_client(&d, &format!("hm-{i}"), hm_perf("hm_add"), 5, n, 1.0))
             })
             .collect();
         for h in handles {
@@ -154,9 +157,8 @@ fn many_clients_stress_the_arbiter() {
                 lc_perf("lc_add")
             };
             let delta = 1.0 + i as f32;
-            handles.push(s.spawn(move || {
-                run_client(&d, &format!("client-{i}"), perf, 4, n, delta)
-            }));
+            handles
+                .push(s.spawn(move || run_client(&d, &format!("client-{i}"), perf, 4, n, delta)));
         }
         for (i, h) in handles.into_iter().enumerate() {
             let out = h.join().unwrap();

@@ -166,15 +166,10 @@ fn daemon_launch_with_source_populates_injection_cache() {
     let sums = client.malloc(blocks * 4).unwrap();
     for rep in 0..3 {
         client
-            .launch_with(
-                vec![input, sums],
-                10,
-                Some(src.to_string()),
-                move |bufs| {
-                    Arc::new(StreamKernel::new(n, bufs[0].clone(), bufs[1].clone()))
-                        as Arc<dyn GpuKernel>
-                },
-            )
+            .launch_with(vec![input, sums], 10, Some(src.to_string()), move |bufs| {
+                Arc::new(StreamKernel::new(n, bufs[0].clone(), bufs[1].clone()))
+                    as Arc<dyn GpuKernel>
+            })
             .unwrap();
         let _ = rep;
     }

@@ -3,8 +3,7 @@
 
 use slate_gpu_sim::device::DeviceConfig;
 use slate_harness::{
-    ablation, fig1, fig5, fig6, fig7, oracle, portability, table1, table2, table3, table4,
-    table5,
+    ablation, fig1, fig5, fig6, fig7, oracle, portability, table1, table2, table3, table4, table5,
 };
 
 fn titan() -> DeviceConfig {

@@ -62,7 +62,13 @@ fn hm_perf(name: &str) -> KernelPerf {
     p
 }
 
-fn launch_add(client: &SlateClient, ptr: slate_core::channel::SlatePtr, n: usize, delta: f32, perf: KernelPerf) {
+fn launch_add(
+    client: &SlateClient,
+    ptr: slate_core::channel::SlatePtr,
+    n: usize,
+    delta: f32,
+    perf: KernelPerf,
+) {
     client
         .launch_with(vec![ptr], 5, None, move |bufs| {
             Arc::new(AddKernel {

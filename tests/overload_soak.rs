@@ -185,7 +185,11 @@ fn bounded_session_queue_sheds_newest_with_retry_hint() {
     assert_eq!(m.queue.admitted, 2);
     assert_eq!(m.queue.shed, 4);
     assert_eq!(m.queue.depth, 0, "drained after sync");
-    assert!(m.queue.high_water <= 2, "bound respected: {}", m.queue.high_water);
+    assert!(
+        m.queue.high_water <= 2,
+        "bound respected: {}",
+        m.queue.high_water
+    );
     assert_eq!(m.admission.launches_completed, 2);
     assert_eq!(m.admission.launches_failed, 0);
     assert_eq!(m.admission.pending_est_ms, 0);
@@ -311,7 +315,10 @@ fn starved_waiter_is_promoted_to_solo_dispatch() {
         "the starved pinned-solo waiter must be promoted, got {}",
         daemon.starvation_promotions()
     );
-    assert_eq!(daemon.metrics().starvation_promotions, daemon.starvation_promotions());
+    assert_eq!(
+        daemon.metrics().starvation_promotions,
+        daemon.starvation_promotions()
+    );
 
     a.free(pa).unwrap();
     b.free(pb).unwrap();

@@ -50,7 +50,11 @@ fn work_conservation_across_runtimes() {
     let oc = cuda.run(&apps);
     let os = slate.run(&apps);
     for (rc, rs) in oc.apps.iter().zip(os.apps.iter()) {
-        assert_eq!(rc.metrics.blocks_done, rs.metrics.blocks_done, "{:?}", rc.bench);
+        assert_eq!(
+            rc.metrics.blocks_done, rs.metrics.blocks_done,
+            "{:?}",
+            rc.bench
+        );
         let rel = (rc.metrics.flops - rs.metrics.flops).abs() / rc.metrics.flops.max(1.0);
         assert!(rel < 1e-6, "{:?}: flops differ by {rel}", rc.bench);
     }
@@ -144,10 +148,7 @@ fn slate_never_slower_than_cuda_by_much_solo() {
         let app = b.app().scaled_down(SCALE);
         let tc = cuda.run(std::slice::from_ref(&app)).apps[0].kernel_busy_s;
         let ts = slate.run(std::slice::from_ref(&app)).apps[0].kernel_busy_s;
-        assert!(
-            ts < tc * 1.10,
-            "{b:?}: slate kernel time {ts} vs cuda {tc}"
-        );
+        assert!(ts < tc * 1.10, "{b:?}: slate kernel time {ts} vs cuda {tc}");
     }
 }
 

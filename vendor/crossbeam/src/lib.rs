@@ -65,10 +65,7 @@ pub mod channel {
             senders: AtomicUsize::new(1),
             receivers: AtomicUsize::new(1),
         });
-        (
-            Sender { chan: chan.clone() },
-            Receiver { chan },
-        )
+        (Sender { chan: chan.clone() }, Receiver { chan })
     }
 
     impl<T> Sender<T> {
@@ -122,11 +119,7 @@ pub mod channel {
                 if self.chan.senders.load(Ordering::Acquire) == 0 {
                     return Err(RecvError);
                 }
-                q = self
-                    .chan
-                    .ready
-                    .wait(q)
-                    .unwrap_or_else(|e| e.into_inner());
+                q = self.chan.ready.wait(q).unwrap_or_else(|e| e.into_inner());
             }
         }
 
@@ -174,7 +167,11 @@ pub mod channel {
         }
 
         pub fn len(&self) -> usize {
-            self.chan.queue.lock().unwrap_or_else(|e| e.into_inner()).len()
+            self.chan
+                .queue
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .len()
         }
     }
 

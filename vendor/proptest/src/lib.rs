@@ -259,7 +259,10 @@ fn parse_pattern(pattern: &str) -> Vec<PatternAtom> {
                         i += 1;
                     }
                 }
-                assert!(i < chars.len(), "proptest stub: unterminated class in {pattern:?}");
+                assert!(
+                    i < chars.len(),
+                    "proptest stub: unterminated class in {pattern:?}"
+                );
                 i += 1; // ']'
                 Atom::Class(set)
             }
@@ -277,7 +280,10 @@ fn parse_pattern(pattern: &str) -> Vec<PatternAtom> {
             while i < chars.len() && chars[i] != '}' {
                 i += 1;
             }
-            assert!(i < chars.len(), "proptest stub: unterminated quantifier in {pattern:?}");
+            assert!(
+                i < chars.len(),
+                "proptest stub: unterminated quantifier in {pattern:?}"
+            );
             let spec: String = chars[start..i].iter().collect();
             i += 1; // '}'
             match spec.split_once(',') {
@@ -306,8 +312,8 @@ fn sample_dot(rng: &mut TestRng) -> char {
         0 => '\n',
         1 => '\t',
         2 => '"',
-        3 => '\u{e9}',     // é
-        4 => '\u{2192}',   // →
+        3 => '\u{e9}',   // é
+        4 => '\u{2192}', // →
         _ => (0x20 + rng.below(0x5f) as u32) as u8 as char,
     }
 }

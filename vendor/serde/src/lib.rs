@@ -95,9 +95,7 @@ pub fn field<T: Deserialize>(v: &JsonValue, name: &str) -> Result<T, JsonError> 
 /// Splits an externally tagged enum value `{"Variant": {...}}` (derive helper).
 pub fn variant(v: &JsonValue) -> Result<(&str, &JsonValue), JsonError> {
     match v {
-        JsonValue::Obj(entries) if entries.len() == 1 => {
-            Ok((entries[0].0.as_str(), &entries[0].1))
-        }
+        JsonValue::Obj(entries) if entries.len() == 1 => Ok((entries[0].0.as_str(), &entries[0].1)),
         other => Err(JsonError(format!(
             "expected single-key enum object, found {other:?}"
         ))),
@@ -257,6 +255,69 @@ impl<V: Deserialize> Deserialize for HashMap<String, V> {
             JsonValue::Obj(entries) => entries
                 .iter()
                 .map(|(k, fv)| Ok((k.clone(), V::deserialize_json(fv)?)))
+                .collect(),
+            other => Err(JsonError(format!("expected object, found {other:?}"))),
+        }
+    }
+}
+
+/// A type usable as a JSON object key (strings, plus integers rendered
+/// as decimal strings — the JSON convention for numeric map keys).
+pub trait JsonKey: Sized {
+    /// Renders the key as the JSON object-key string.
+    fn to_key(&self) -> String;
+    /// Parses the key back from the JSON object-key string.
+    fn from_key(s: &str) -> Result<Self, JsonError>;
+}
+
+impl JsonKey for String {
+    fn to_key(&self) -> String {
+        self.clone()
+    }
+    fn from_key(s: &str) -> Result<Self, JsonError> {
+        Ok(s.to_string())
+    }
+}
+
+macro_rules! impl_json_key_int {
+    ($($t:ty),*) => {$(
+        impl JsonKey for $t {
+            fn to_key(&self) -> String {
+                self.to_string()
+            }
+            fn from_key(s: &str) -> Result<Self, JsonError> {
+                s.parse().map_err(|e| {
+                    JsonError(format!("bad {} map key {s}: {e}", stringify!($t)))
+                })
+            }
+        }
+    )*};
+}
+
+impl_json_key_int!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize);
+
+impl<K: JsonKey + Ord, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
+    fn serialize_json(&self, out: &mut String) {
+        // BTreeMap iteration is already key-ordered, so serialized maps
+        // are deterministic without an extra sort.
+        out.push('{');
+        for (i, (k, v)) in self.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            ser_key(out, &k.to_key());
+            v.serialize_json(out);
+        }
+        out.push('}');
+    }
+}
+
+impl<K: JsonKey + Ord, V: Deserialize> Deserialize for std::collections::BTreeMap<K, V> {
+    fn deserialize_json(v: &JsonValue) -> Result<Self, JsonError> {
+        match v {
+            JsonValue::Obj(entries) => entries
+                .iter()
+                .map(|(k, fv)| Ok((K::from_key(k)?, V::deserialize_json(fv)?)))
                 .collect(),
             other => Err(JsonError(format!("expected object, found {other:?}"))),
         }

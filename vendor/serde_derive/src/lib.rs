@@ -19,8 +19,14 @@ struct Field {
 }
 
 enum Shape {
-    Struct { name: String, fields: Vec<Field> },
-    Enum { name: String, variants: Vec<Variant> },
+    Struct {
+        name: String,
+        fields: Vec<Field>,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
 }
 
 struct Variant {
@@ -145,9 +151,7 @@ fn parse_shape(input: TokenStream) -> Shape {
                         i += 1;
                     }
                     TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis => {
-                        panic!(
-                            "serde stub derive: tuple variant {name}::{vname} is not supported"
-                        );
+                        panic!("serde stub derive: tuple variant {name}::{vname} is not supported");
                     }
                     _ => {}
                 }
@@ -220,7 +224,8 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
         "impl serde::Serialize for {name} {{\n\
          fn serialize_json(&self, out: &mut String) {{\n{body}\n}}\n}}\n"
     );
-    imp.parse().expect("serde stub derive: generated impl parses")
+    imp.parse()
+        .expect("serde stub derive: generated impl parses")
 }
 
 #[proc_macro_derive(Deserialize)]
@@ -263,5 +268,6 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
         "impl serde::Deserialize for {name} {{\n\
          fn deserialize_json(v: &serde::JsonValue) -> Result<Self, serde::JsonError> {{\n{body}\n}}\n}}\n"
     );
-    imp.parse().expect("serde stub derive: generated impl parses")
+    imp.parse()
+        .expect("serde stub derive: generated impl parses")
 }
