@@ -7,13 +7,14 @@
 //! `BENCH_baseline.json`. Covered paths, each fully deterministic:
 //!
 //! * `arbiter_feed` — [`ArbiterCore::feed`] batch throughput over a
-//!   scripted session lifecycle (the **hard-gated** metric: CI fails on a
-//!   >25% regression);
+//!   scripted session lifecycle (**hard-gated**: CI fails on a >25%
+//!   regression);
 //! * `partition` — the SM-demand split of paper §III-C;
 //! * `placement_route` — [`PlacementLayer::feed`] routing a session wave
-//!   across four devices;
+//!   across four devices (**hard-gated**: the health-eligibility checks
+//!   added to routing must stay off the allocation-heavy path);
 //! * `sim_backend_drain` — staging, dispatching and draining a kernel
-//!   through the simulation backend.
+//!   through the simulation backend (**hard-gated**).
 //!
 //! Output: `-- --json <path>` or the `SLATE_BENCH_JSON` environment
 //! variable; a human-readable table always goes to stdout.
@@ -194,7 +195,7 @@ fn main() {
                 black_box(partition(&cfg, 30, 8));
                 black_box(partition(&cfg, 22, 22));
             }),
-            measure("placement_route", false, 1_000, 32, || {
+            measure("placement_route", true, 1_000, 32, || {
                 placement_route_iteration(&PlacementPolicy::RoundRobin);
                 placement_route_iteration(&PlacementPolicy::LeastLoaded);
             }),
@@ -202,7 +203,7 @@ fn main() {
                 let kernel = TransformedKernel::new(Arc::new(Nop {
                     grid: GridDim::d1(10_000),
                 }));
-                measure("sim_backend_drain", false, 300, 10_000, move || {
+                measure("sim_backend_drain", true, 300, 10_000, move || {
                     sim_drain_iteration(&kernel)
                 })
             },

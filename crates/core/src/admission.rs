@@ -41,6 +41,29 @@ pub struct AdmissionLimits {
     pub mem_watermark: Option<f64>,
 }
 
+/// Fleet-level admission bounds: per-device budgets that scale with the
+/// number of *healthy* devices, enforced by the placement layer before
+/// any per-device core sees the request. When a device fails or is
+/// quarantined the fleet's aggregate capacity shrinks with it, so
+/// shedding tightens automatically instead of piling load onto the
+/// survivors. The default is fully permissive, like [`AdmissionLimits`].
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct FleetAdmissionConfig {
+    /// Maximum routed sessions per healthy device; the fleet bound is
+    /// this times the current healthy-device count.
+    pub max_sessions_per_device: Option<usize>,
+    /// Maximum in-flight launches per healthy device; the fleet bound is
+    /// this times the current healthy-device count.
+    pub max_pending_per_device: Option<u64>,
+}
+
+impl FleetAdmissionConfig {
+    /// Whether any fleet bound is set.
+    pub fn is_active(&self) -> bool {
+        self.max_sessions_per_device.is_some() || self.max_pending_per_device.is_some()
+    }
+}
+
 /// Point-in-time snapshot of the admission counters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct AdmissionStats {

@@ -780,6 +780,21 @@ mod tests {
     }
 
     #[test]
+    fn breaker_counts_device_loss_like_overload() {
+        // A lost device shrinks fleet capacity the same way saturation
+        // does, so DeviceLost advances the breaker's failure streak
+        // exactly like Overloaded/Timeout.
+        let b = CircuitBreaker::new(BreakerConfig {
+            failure_threshold: 2,
+            cooldown: Duration::from_millis(50),
+        });
+        b.record::<()>(&Err(SlateError::DeviceLost { device: 1 }));
+        assert_eq!(b.state(), BreakerState::Closed, "below threshold");
+        b.record::<()>(&Err(SlateError::DeviceLost { device: 1 }));
+        assert_eq!(b.state(), BreakerState::Open);
+    }
+
+    #[test]
     fn breaker_ignores_non_overload_errors() {
         let b = CircuitBreaker::new(BreakerConfig {
             failure_threshold: 2,

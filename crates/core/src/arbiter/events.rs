@@ -96,6 +96,23 @@ pub enum Event {
     /// The frontend began shutting down: no new co-run pairings; resident
     /// and queued work drains.
     DrainBegan,
+    /// The named device went down. `hard` distinguishes an outright loss
+    /// (off the bus) from a degradation signal (stalling, flapping). The
+    /// placement layer turns this into a health transition and, when the
+    /// device leaves service, an evacuation; to a single core it is a
+    /// scheduling nudge like [`Event::DeadlineTick`].
+    DeviceDown {
+        /// Placement-layer device index.
+        device: u64,
+        /// `true` for a hard loss, `false` for a degradation.
+        hard: bool,
+    },
+    /// The named device came back. The placement layer starts its seeded
+    /// probation window before re-admitting it as a routing target.
+    DeviceUp {
+        /// Placement-layer device index.
+        device: u64,
+    },
 }
 
 /// Why a request was shed with [`Command::RejectOverloaded`].
@@ -221,6 +238,10 @@ impl fmt::Display for Event {
             ),
             Event::DeadlineTick => f.write_str("deadline-tick"),
             Event::DrainBegan => f.write_str("drain-began"),
+            Event::DeviceDown { device, hard } => {
+                write!(f, "device-down d{device} hard={hard}")
+            }
+            Event::DeviceUp { device } => write!(f, "device-up d{device}"),
         }
     }
 }

@@ -188,6 +188,14 @@ impl ArbiterCore {
         self.residents.iter().map(|r| r.lease).collect()
     }
 
+    /// Leases of the ready kernels still waiting for SMs, in arrival
+    /// order. Deterministic for the same reason as
+    /// [`ArbiterCore::resident_leases`]; evacuation moves these too, not
+    /// just residents.
+    pub fn waiting_leases(&self) -> Vec<u64> {
+        self.waiters.iter().map(|w| w.lease).collect()
+    }
+
     /// Ready kernels waiting for SMs.
     pub fn waiting(&self) -> usize {
         self.waiters.len()
@@ -343,6 +351,11 @@ impl ArbiterCore {
             }
             Event::DeadlineTick => {}
             Event::DrainBegan => self.draining = true,
+            // Health transitions are decided above the core, in the
+            // placement layer; to a single core they are scheduling
+            // nudges — recorded in its log, fresh decide() pass, no
+            // per-core state.
+            Event::DeviceDown { .. } | Event::DeviceUp { .. } => {}
         }
     }
 

@@ -10,14 +10,15 @@
 //! arbiter `Resize`/`Evict` commands onto dispatch handles (including the
 //! injected-hang token cancel on eviction).
 
-use super::{Backend, Completion, WorkSpec};
+use super::{Backend, Completion, DeviceFault, DeviceHealth, WorkSpec};
 use crate::arbiter::Command;
 use crate::dispatch::{DispatchHandle, Dispatcher};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use slate_gpu_sim::device::{DeviceConfig, SmRange};
-use slate_gpu_sim::fault::FaultToken;
-use std::collections::BTreeMap;
+use slate_gpu_sim::fault::{FaultKind, FaultPlan, FaultSite, FaultToken};
+use std::collections::{BTreeMap, BTreeSet};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 /// The execution-side state of in-flight dispatches: the handles the
 /// arbiter's `Resize`/`Evict` commands act on, plus the injected-hang
@@ -124,6 +125,19 @@ pub struct DispatcherBackend {
     leases: LeaseTable,
     tx: Sender<Completion>,
     rx: Receiver<Completion>,
+    /// Whether the device is lost (hard, or flapping until `down_until`).
+    lost: bool,
+    /// Flap recovery deadline; `None` while hard-lost.
+    down_until: Option<Instant>,
+    /// Degraded-probe deadline (the dispatcher runs on wall clock, so a
+    /// stall is a wall-clock window during which `health()` reports
+    /// [`DeviceHealth::Degraded`]).
+    degraded_until: Option<Instant>,
+    /// Leases evicted by a device loss: their worker completions are
+    /// rewritten as lost when they surface through [`Backend::poll`].
+    lost_leases: BTreeSet<u64>,
+    /// Seeded device-fault schedule, fired on each dispatch.
+    device_plan: Option<FaultPlan>,
 }
 
 impl DispatcherBackend {
@@ -136,6 +150,53 @@ impl DispatcherBackend {
             leases: LeaseTable::new(),
             tx,
             rx,
+            lost: false,
+            down_until: None,
+            degraded_until: None,
+            lost_leases: BTreeSet::new(),
+            device_plan: None,
+        }
+    }
+
+    /// Attaches a seeded device-fault schedule: every dispatch fires the
+    /// plan's [`FaultSite::Device`] rules.
+    pub fn with_device_faults(mut self, plan: FaultPlan) -> Self {
+        self.device_plan = Some(plan);
+        self
+    }
+
+    /// Health as of this instant: flap outages and degraded windows expire
+    /// on the wall clock without a state-mutating tick.
+    fn current_health(&self) -> DeviceHealth {
+        if self.lost && !self.down_until.is_some_and(|t| Instant::now() >= t) {
+            return DeviceHealth::Lost;
+        }
+        if self.degraded_until.is_some_and(|t| Instant::now() < t) {
+            return DeviceHealth::Degraded;
+        }
+        DeviceHealth::Healthy
+    }
+
+    /// Folds an expired flap outage back into the healthy state.
+    fn settle(&mut self) {
+        if self.lost && self.down_until.is_some_and(|t| Instant::now() >= t) {
+            self.lost = false;
+            self.down_until = None;
+        }
+    }
+
+    /// Evicts every in-flight dispatch as a device casualty; their worker
+    /// completions surface as lost through [`Backend::poll`].
+    fn lose_in_flight(&mut self) {
+        let in_flight: Vec<u64> = self
+            .jobs
+            .iter()
+            .filter(|(_, j)| j.thread.is_some() && j.finished.is_none())
+            .map(|(&lease, _)| lease)
+            .collect();
+        for lease in in_flight {
+            self.lost_leases.insert(lease);
+            self.leases.apply(&Command::Evict { lease });
         }
     }
 
@@ -183,12 +244,37 @@ impl Backend for DispatcherBackend {
     fn apply(&mut self, cmd: &Command) {
         match cmd {
             Command::Dispatch { lease, range } => {
+                self.settle();
+                // Each dispatch is one occurrence of the device fault
+                // site — the scheduled loss/stall/flap (if any) lands
+                // before the work does.
+                if let Some(plan) = self.device_plan.as_mut() {
+                    match plan.fire(FaultSite::Device, None) {
+                        Some(FaultKind::DeviceLoss) => {
+                            self.inject_device_fault(DeviceFault::Loss);
+                        }
+                        Some(FaultKind::DeviceStall { millis }) => {
+                            self.inject_device_fault(DeviceFault::Degraded { millis });
+                        }
+                        Some(FaultKind::DeviceFlap { down_ms }) => {
+                            self.inject_device_fault(DeviceFault::Flap { down_ms });
+                        }
+                        _ => {}
+                    }
+                }
+                let lost = self.current_health() == DeviceHealth::Lost;
                 let Some(job) = self.jobs.get_mut(lease) else {
                     return;
                 };
                 let Some(spec) = job.spec.take() else {
                     return; // duplicate dispatch: already running or done
                 };
+                if lost {
+                    // Dispatch into a dead device: lost on arrival, at
+                    // whatever progress the staging carried.
+                    let _ = self.tx.send(Completion::device_lost(*lease, spec.start));
+                    return;
+                }
                 // Build the dispatcher directly on the commanded range: no
                 // initial-resize race, the first worker launch is confined.
                 let d = Dispatcher::resume(
@@ -208,6 +294,7 @@ impl Backend for DispatcherBackend {
                         lease,
                         progress: out.blocks,
                         ok: !out.evicted,
+                        lost: false,
                     });
                 }));
             }
@@ -218,8 +305,19 @@ impl Backend for DispatcherBackend {
                     }
                 }
             }
-            Command::Evict { .. } => {
-                self.leases.apply(cmd);
+            Command::Evict { lease } => {
+                if !self.leases.apply(cmd) {
+                    // No in-flight handle: evicting a staged-but-parked
+                    // lease still consumes the staging and reports the
+                    // eviction at its carried progress, exactly as the
+                    // simulation backend does — mass evacuation must be
+                    // able to move waiters, not just residents.
+                    if let Some(job) = self.jobs.get_mut(lease) {
+                        if job.spec.take().is_some() {
+                            let _ = self.tx.send(Completion::evicted(*lease, job.start));
+                        }
+                    }
+                }
             }
             Command::PromoteStarved { .. }
             | Command::Reap { .. }
@@ -228,8 +326,15 @@ impl Backend for DispatcherBackend {
     }
 
     fn poll(&mut self) -> Option<Completion> {
+        self.settle();
         match self.rx.try_recv() {
-            Ok(c) => {
+            Ok(mut c) => {
+                if self.lost_leases.remove(&c.lease) {
+                    // The eviction was a device casualty, not a
+                    // scheduling decision.
+                    c.lost = true;
+                    c.ok = false;
+                }
                 self.note(c);
                 Some(c)
             }
@@ -260,6 +365,36 @@ impl Backend for DispatcherBackend {
     }
 
     fn is_functional(&self) -> bool {
+        true
+    }
+
+    fn health(&self) -> DeviceHealth {
+        self.current_health()
+    }
+
+    fn inject_device_fault(&mut self, fault: DeviceFault) -> bool {
+        match fault {
+            DeviceFault::Loss => {
+                self.lose_in_flight();
+                self.lost = true;
+                self.down_until = None;
+            }
+            DeviceFault::Degraded { millis } => {
+                if self.current_health() != DeviceHealth::Lost {
+                    self.degraded_until = Some(Instant::now() + Duration::from_millis(millis));
+                }
+            }
+            DeviceFault::Flap { down_ms } => {
+                self.lose_in_flight();
+                self.lost = true;
+                self.down_until = Some(Instant::now() + Duration::from_millis(down_ms.max(1)));
+            }
+            DeviceFault::Restore => {
+                self.lost = false;
+                self.down_until = None;
+                self.degraded_until = None;
+            }
+        }
         true
     }
 }

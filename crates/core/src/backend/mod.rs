@@ -98,6 +98,78 @@ pub struct Completion {
     /// `true` for a drain (all blocks executed), `false` for an eviction
     /// (progress is partial; re-stage with [`WorkSpec::resuming`]).
     pub ok: bool,
+    /// `true` when the lease ended because its *device* went down, not
+    /// because of a scheduling decision. Progress is still the absolute
+    /// `slateIdx` at the loss (blocks already executed are durable — the
+    /// queue-based transform means none re-run on resume). Lost
+    /// completions always carry `ok: false`.
+    pub lost: bool,
+}
+
+impl Completion {
+    /// A clean drain at full progress.
+    pub fn drained(lease: u64, progress: u64) -> Self {
+        Self {
+            lease,
+            progress,
+            ok: true,
+            lost: false,
+        }
+    }
+
+    /// A scheduled eviction at partial progress.
+    pub fn evicted(lease: u64, progress: u64) -> Self {
+        Self {
+            lease,
+            progress,
+            ok: false,
+            lost: false,
+        }
+    }
+
+    /// A device-loss casualty at partial progress.
+    pub fn device_lost(lease: u64, progress: u64) -> Self {
+        Self {
+            lease,
+            progress,
+            ok: false,
+            lost: true,
+        }
+    }
+}
+
+/// Instantaneous device health, as reported by [`Backend::health`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DeviceHealth {
+    /// Executing normally.
+    #[default]
+    Healthy,
+    /// Up, but stalled or slowed — work survives but lags.
+    Degraded,
+    /// Off the bus: in-flight leases surface as lost completions and new
+    /// dispatches fail immediately.
+    Lost,
+}
+
+/// A device-scoped fault injected through
+/// [`Backend::inject_device_fault`] (tests and chaos harnesses only).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeviceFault {
+    /// Hard loss: down until an explicit [`DeviceFault::Restore`].
+    Loss,
+    /// Stall for `millis` of backend time, then recover on its own.
+    Degraded {
+        /// Stall budget in milliseconds.
+        millis: u64,
+    },
+    /// Down for `down_ms` of backend time, then back up on its own.
+    Flap {
+        /// Outage length in milliseconds.
+        down_ms: u64,
+    },
+    /// Bring a lost device back up (staged work must be re-staged; the
+    /// device comes back empty).
+    Restore,
 }
 
 /// Executes arbiter commands against a device and reports what happened.
@@ -146,6 +218,18 @@ pub trait Backend {
     /// can verify per-block coverage through kernel-visible side effects).
     /// The simulation backend models timing only and returns `false`.
     fn is_functional(&self) -> bool;
+
+    /// Non-blocking health probe for the device this backend drives.
+    /// Backends without a device-fault model are always healthy.
+    fn health(&self) -> DeviceHealth {
+        DeviceHealth::Healthy
+    }
+
+    /// Injects a device-scoped fault (test/chaos harnesses). Returns
+    /// `false` if this backend has no device-fault model — the default.
+    fn inject_device_fault(&mut self, _fault: DeviceFault) -> bool {
+        false
+    }
 
     /// Polls and advances until any completion shows up, for at most
     /// `timeout_ms` backend milliseconds.

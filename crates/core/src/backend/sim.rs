@@ -11,10 +11,11 @@
 //! standalone trait path and the full scheduler exercise one
 //! implementation of the retreat mechanics.
 
-use super::{Backend, Completion, WorkSpec};
+use super::{Backend, Completion, DeviceFault, DeviceHealth, WorkSpec};
 use crate::arbiter::Command;
 use slate_gpu_sim::device::{DeviceConfig, SmRange};
 use slate_gpu_sim::engine::{Engine, Event, SliceId, SliceSpec};
+use slate_gpu_sim::fault::{FaultKind, FaultPlan, FaultSite};
 use slate_gpu_sim::metrics::SliceReport;
 use slate_gpu_sim::perf::{ExecMode, KernelPerf};
 use std::collections::{BTreeMap, VecDeque};
@@ -60,6 +61,17 @@ pub struct SimBackend {
     engine: Engine,
     leases: BTreeMap<u64, SimLease>,
     done: VecDeque<Completion>,
+    /// Current device health (the failure-domain model).
+    health: DeviceHealth,
+    /// Remaining outage, in ms of simulated time, for a flapping device.
+    /// Zero while hard-lost: only [`DeviceFault::Restore`] recovers that.
+    down_remaining_ms: u64,
+    /// Remaining stall budget, in ms, consumed before engine time passes
+    /// while degraded.
+    stall_remaining_ms: u64,
+    /// Seeded device-fault schedule; [`FaultSite::Device`] rules fire on
+    /// each dispatch.
+    device_plan: Option<FaultPlan>,
 }
 
 impl SimBackend {
@@ -69,6 +81,38 @@ impl SimBackend {
             engine: Engine::new(cfg),
             leases: BTreeMap::new(),
             done: VecDeque::new(),
+            health: DeviceHealth::Healthy,
+            down_remaining_ms: 0,
+            stall_remaining_ms: 0,
+            device_plan: None,
+        }
+    }
+
+    /// Attaches a seeded device-fault schedule: every dispatch fires the
+    /// plan's [`FaultSite::Device`] rules, injecting the scheduled loss,
+    /// stall or flap.
+    pub fn with_device_faults(mut self, plan: FaultPlan) -> Self {
+        self.device_plan = Some(plan);
+        self
+    }
+
+    /// Loses every in-flight lease to the device at its current progress.
+    fn lose_in_flight(&mut self) {
+        let casualties: Vec<u64> = self
+            .leases
+            .iter()
+            .filter(|(_, l)| l.slice.is_some())
+            .map(|(&lease, _)| lease)
+            .collect();
+        for lease in casualties {
+            let l = self.leases.get_mut(&lease).expect("present");
+            let (sid, _) = l.slice.take().expect("in flight");
+            let rep = self.engine.remove_slice(sid);
+            let l = self.leases.get_mut(&lease).expect("present");
+            l.executed += rep.blocks_done;
+            l.finished = true;
+            self.done
+                .push_back(Completion::device_lost(lease, l.start + l.executed));
         }
     }
 
@@ -140,11 +184,7 @@ impl SimBackend {
         l.finished = true;
         let progress = l.start + l.executed;
         debug_assert_eq!(progress, l.total, "drained lease must cover the grid");
-        self.done.push_back(Completion {
-            lease,
-            progress,
-            ok: true,
-        });
+        self.done.push_back(Completion::drained(lease, progress));
     }
 }
 
@@ -182,21 +222,43 @@ impl Backend for SimBackend {
     fn apply(&mut self, cmd: &Command) {
         match cmd {
             Command::Dispatch { lease, range } => {
+                // Each dispatch is one occurrence of the device fault
+                // site — the scheduled loss/stall/flap (if any) lands
+                // before the work does.
+                if let Some(plan) = self.device_plan.as_mut() {
+                    match plan.fire(FaultSite::Device, None) {
+                        Some(FaultKind::DeviceLoss) => {
+                            self.inject_device_fault(DeviceFault::Loss);
+                        }
+                        Some(FaultKind::DeviceStall { millis }) => {
+                            self.inject_device_fault(DeviceFault::Degraded { millis });
+                        }
+                        Some(FaultKind::DeviceFlap { down_ms }) => {
+                            self.inject_device_fault(DeviceFault::Flap { down_ms });
+                        }
+                        _ => {}
+                    }
+                }
                 let Some(l) = self.leases.get(lease) else {
                     return;
                 };
                 if l.finished || l.slice.is_some() {
                     return; // duplicate dispatch: already running or done
                 }
+                if self.health == DeviceHealth::Lost {
+                    // Dispatch into a dead device: the work is lost on
+                    // arrival, at whatever progress it carried.
+                    let l = self.leases.get_mut(lease).expect("present");
+                    l.finished = true;
+                    self.done
+                        .push_back(Completion::device_lost(*lease, l.start + l.executed));
+                    return;
+                }
                 let blocks = l.total - l.start;
                 if blocks == 0 {
                     let l = self.leases.get_mut(lease).expect("present");
                     l.finished = true;
-                    self.done.push_back(Completion {
-                        lease: *lease,
-                        progress: l.total,
-                        ok: true,
-                    });
+                    self.done.push_back(Completion::drained(*lease, l.total));
                     return;
                 }
                 let spec = SliceSpec {
@@ -239,11 +301,7 @@ impl Backend for SimBackend {
                         l.slice = None;
                         l.finished = true;
                         let progress = l.start + l.executed;
-                        self.done.push_back(Completion {
-                            lease: *lease,
-                            progress,
-                            ok: true,
-                        });
+                        self.done.push_back(Completion::drained(*lease, progress));
                     }
                     ResizeOutcome::Relaunched(rep, id) => {
                         l.executed += rep.blocks_done;
@@ -266,11 +324,8 @@ impl Backend for SimBackend {
                 }
                 let l = self.leases.get_mut(lease).expect("present");
                 l.finished = true;
-                self.done.push_back(Completion {
-                    lease: *lease,
-                    progress: l.start + l.executed,
-                    ok: false,
-                });
+                self.done
+                    .push_back(Completion::evicted(*lease, l.start + l.executed));
             }
             // Scheduling-internal commands have no execution-side effect.
             Command::PromoteStarved { .. }
@@ -283,9 +338,38 @@ impl Backend for SimBackend {
         self.done.pop_front()
     }
 
-    fn advance(&mut self, millis: u64) {
+    fn advance(&mut self, mut millis: u64) {
         if millis == 0 {
             return;
+        }
+        // An outage window (flap) passes before any device time: nothing
+        // runs while down, and the device comes back once it drains.
+        if self.health == DeviceHealth::Lost {
+            if self.down_remaining_ms == 0 {
+                return; // hard loss: time passes, the device stays dead
+            }
+            let waited = millis.min(self.down_remaining_ms);
+            self.down_remaining_ms -= waited;
+            millis -= waited;
+            if self.down_remaining_ms == 0 {
+                self.health = DeviceHealth::Healthy;
+            }
+            if millis == 0 {
+                return;
+            }
+        }
+        // A degraded device consumes its stall budget before engine time
+        // passes — work survives but makes no progress meanwhile.
+        if self.health == DeviceHealth::Degraded {
+            let stalled = millis.min(self.stall_remaining_ms);
+            self.stall_remaining_ms -= stalled;
+            millis -= stalled;
+            if self.stall_remaining_ms == 0 {
+                self.health = DeviceHealth::Healthy;
+            }
+            if millis == 0 {
+                return;
+            }
         }
         let tid = self
             .engine
@@ -319,6 +403,37 @@ impl Backend for SimBackend {
 
     fn is_functional(&self) -> bool {
         false
+    }
+
+    fn health(&self) -> DeviceHealth {
+        self.health
+    }
+
+    fn inject_device_fault(&mut self, fault: DeviceFault) -> bool {
+        match fault {
+            DeviceFault::Loss => {
+                self.lose_in_flight();
+                self.health = DeviceHealth::Lost;
+                self.down_remaining_ms = 0;
+            }
+            DeviceFault::Degraded { millis } => {
+                if self.health != DeviceHealth::Lost {
+                    self.health = DeviceHealth::Degraded;
+                    self.stall_remaining_ms += millis;
+                }
+            }
+            DeviceFault::Flap { down_ms } => {
+                self.lose_in_flight();
+                self.health = DeviceHealth::Lost;
+                self.down_remaining_ms = down_ms.max(1);
+            }
+            DeviceFault::Restore => {
+                self.health = DeviceHealth::Healthy;
+                self.down_remaining_ms = 0;
+                self.stall_remaining_ms = 0;
+            }
+        }
+        true
     }
 
     fn drive_until(&mut self, lease: u64, timeout_ms: u64) -> Vec<Completion> {

@@ -91,7 +91,7 @@
 //!   waiters are served longest-wait-first with arrival order as the
 //!   deterministic tie-break.
 
-use crate::admission::{AdmissionLimits, AdmissionStats, DaemonMetrics};
+use crate::admission::{AdmissionLimits, AdmissionStats, DaemonMetrics, FleetAdmissionConfig};
 use crate::arbiter::{ArbiterConfig, Command, Event as ArbEvent, EventLog};
 use crate::backend::LeaseTable;
 use crate::channel::{LaunchCmd, Request, Response, SlatePtr};
@@ -100,8 +100,8 @@ use crate::error::SlateError;
 use crate::injector::InjectionCache;
 use crate::placement::replay::PlacementLog;
 use crate::placement::{
-    PlacementConfig, PlacementLayer, PlacementPolicy, PlacementStats, RebalanceConfig,
-    RoutedCommand,
+    HealthConfig, HealthState, PlacementConfig, PlacementLayer, PlacementPolicy, PlacementStats,
+    RebalanceConfig, RoutedCommand,
 };
 use crate::profile::ProfileTable;
 use crate::queue::QueueStats;
@@ -220,6 +220,11 @@ impl ArbFrontend {
         self.inner.lock().layer.migration_target(lease)
     }
 
+    /// The placement layer's health state for `device`.
+    fn device_health(&self, device: usize) -> HealthState {
+        self.inner.lock().layer.health_of(device)
+    }
+
     /// Registers the kernel's dispatch handle, announces it ready, and
     /// blocks until its device's core grants it an SM range. The wait is
     /// bounded (the 1 ms heartbeat re-runs scheduling anyway), so a lost
@@ -328,6 +333,16 @@ pub struct DaemonOptions {
     /// retreat flag and resumes it on the target device at its carried
     /// `slateIdx` progress, so no user block runs twice.
     pub rebalance: Option<RebalanceConfig>,
+    /// Per-device health state machine: quarantine window after repeated
+    /// soft failures, seeded probation window before a recovered device
+    /// is re-admitted as a routing target. The default windows are
+    /// sensible for the simulator's logical-µs clock; tune them to the
+    /// deployment's real failure cadence.
+    pub health: HealthConfig,
+    /// Fleet-level admission: per-device budgets multiplied by the
+    /// *currently healthy* device count, so shedding tightens as the
+    /// fleet degrades. The default admits everything.
+    pub fleet: FleetAdmissionConfig,
 }
 
 impl Default for DaemonOptions {
@@ -342,6 +357,8 @@ impl Default for DaemonOptions {
             devices: Vec::new(),
             placement: PlacementPolicy::default(),
             rebalance: None,
+            health: HealthConfig::default(),
+            fleet: FleetAdmissionConfig::default(),
         }
     }
 }
@@ -413,6 +430,8 @@ impl SlateDaemon {
                     limits: options.admission,
                 },
                 rebalance: options.rebalance.clone(),
+                health: options.health.clone(),
+                fleet: options.fleet,
             },
         );
         if options.record_arbiter {
@@ -583,6 +602,31 @@ impl SlateDaemon {
     /// rebalances fired and migrations completed.
     pub fn placement_stats(&self) -> PlacementStats {
         self.shared.arb.inner.lock().layer.stats()
+    }
+
+    /// Declares `device` hard-down (operator action or an external health
+    /// probe). The placement layer marks it [`HealthState::Failed`],
+    /// evacuates every live lease to a healthy device, and excludes it
+    /// from routing until [`SlateDaemon::recover_device`].
+    pub fn fail_device(&self, device: usize) {
+        self.shared.arb.feed(&[ArbEvent::DeviceDown {
+            device: device as u64,
+            hard: true,
+        }]);
+    }
+
+    /// Declares `device` serviceable again. The device enters a seeded
+    /// probation window (it must stay quiet before taking traffic); a
+    /// flap during probation sends it back to quarantine.
+    pub fn recover_device(&self, device: usize) {
+        self.shared.arb.feed(&[ArbEvent::DeviceUp {
+            device: device as u64,
+        }]);
+    }
+
+    /// The placement layer's health verdict for `device`.
+    pub fn device_health(&self, device: usize) -> HealthState {
+        self.shared.arb.device_health(device)
     }
 
     /// Takes device 0's recorded arbitration [`EventLog`] (present only
@@ -1080,7 +1124,7 @@ fn execute_kernel(
     let transformed = TransformedKernel::new(kernel);
     let started = Instant::now();
     let mut carried: u64 = 0;
-    let out = loop {
+    let (out, ran_on) = loop {
         let device = &shared.devices[shared.arb.lease_device(lease)];
         let dispatcher = Dispatcher::resume(
             device.clone(),
@@ -1118,10 +1162,20 @@ fn execute_kernel(
             carried = out.blocks;
             continue;
         }
-        break out;
+        break (out, granted_on);
     };
     *shared.launches.lock() += 1;
     if out.evicted {
+        // An eviction with no migration target means the run is over. If
+        // the device it ran on dropped out of service (and the fleet had
+        // nowhere to evacuate it), report the lost device rather than a
+        // watchdog timeout so clients retry against a healed fleet.
+        if shared.arb.device_health(ran_on).out_of_service() {
+            return Err(SlateError::DeviceLost {
+                device: ran_on as u64,
+            }
+            .to_wire());
+        }
         return Err(SlateError::Timeout {
             elapsed_ms: started.elapsed().as_millis() as u64,
         }
@@ -1704,6 +1758,62 @@ mod tests {
         for client in clients {
             client.disconnect().unwrap();
         }
+        daemon.join();
+    }
+
+    #[test]
+    fn multi_device_daemon_evacuates_a_failed_device_mid_run() {
+        // One session pinned to device 0, running a kernel slow enough to
+        // still be on-device when the operator fails its domain. The
+        // evacuation must move the running lease to device 1 and resume it
+        // from carried progress: every element reads exactly 2.0 afterwards
+        // (a lost block would leave 1.0, a re-run block 4.0).
+        let daemon = SlateDaemon::start_with_options(
+            DeviceConfig::tiny(4),
+            1 << 24,
+            DaemonOptions {
+                devices: vec![DeviceConfig::tiny(4), DeviceConfig::tiny(4)],
+                placement: PlacementPolicy::Affinity {
+                    pins: [(1u64, 0usize)].into_iter().collect(),
+                },
+                ..Default::default()
+            },
+        );
+        let n = 16_384usize;
+        let client = SlateClient::new(daemon.connect("doomed-domain").unwrap());
+        let p = client.malloc((n * 4) as u64).unwrap();
+        client.upload_f32(p, &vec![1.0f32; n]).unwrap();
+        client
+            .launch_with(vec![p], 4, None, move |bufs| {
+                Arc::new(SlowDouble {
+                    n,
+                    buf: bufs[0].clone(),
+                }) as Arc<dyn GpuKernel>
+            })
+            .unwrap();
+        // Let the kernel get granted and run some blocks on device 0
+        // (the full grid needs tens of milliseconds), then pull the
+        // device out from under it.
+        std::thread::sleep(Duration::from_millis(10));
+        daemon.fail_device(0);
+        assert_eq!(daemon.device_health(0), HealthState::Failed);
+        client.synchronize().unwrap();
+        let out = client.download_f32(p, n).unwrap();
+        for (i, &v) in out.iter().enumerate() {
+            assert_eq!(v, 2.0, "element {i}: evacuated exactly once, not lost");
+        }
+        let stats = daemon.placement_stats();
+        assert!(stats.evacuations >= 1, "the failure evacuated its leases");
+        assert!(stats.migrations_completed >= 1);
+        assert_eq!(stats.devices_out, 1);
+        // Recovery is gated: the returning device sits out probation
+        // before it can take traffic again.
+        daemon.recover_device(0);
+        assert!(
+            matches!(daemon.device_health(0), HealthState::Probation { .. }),
+            "a recovered device is on probation, not immediately healthy"
+        );
+        client.disconnect().unwrap();
         daemon.join();
     }
 

@@ -48,6 +48,14 @@ pub enum SlateError {
         /// the current queue depth and pending-work estimates. Always ≥ 1.
         retry_after_ms: u64,
     },
+    /// The device the kernel was running on (or routed to) dropped out
+    /// of service (`cudaErrorDeviceUnavailable`) and the work could not
+    /// be resumed elsewhere. Transient: the fleet evacuates and the
+    /// failure domain heals, so a later retry lands on a serving device.
+    DeviceLost {
+        /// Placement-layer index of the lost device.
+        device: u64,
+    },
     /// Anything else, with the daemon's description.
     Other(String),
 }
@@ -68,6 +76,7 @@ impl SlateError {
             SlateError::Overloaded { retry_after_ms } => {
                 format!("E_OVERLOADED:{retry_after_ms}")
             }
+            SlateError::DeviceLost { device } => format!("E_DEVLOST:{device}"),
             SlateError::Other(m) => format!("E_OTHER:{m}"),
         }
     }
@@ -110,6 +119,11 @@ impl SlateError {
                 return SlateError::Overloaded { retry_after_ms };
             }
         }
+        if let Some(rest) = s.strip_prefix("E_DEVLOST:") {
+            if let Ok(device) = rest.parse() {
+                return SlateError::DeviceLost { device };
+            }
+        }
         SlateError::Other(s.strip_prefix("E_OTHER:").unwrap_or(s).to_string())
     }
 
@@ -121,17 +135,23 @@ impl SlateError {
     pub fn is_transient(&self) -> bool {
         matches!(
             self,
-            SlateError::Timeout { .. } | SlateError::ShuttingDown | SlateError::Overloaded { .. }
+            SlateError::Timeout { .. }
+                | SlateError::ShuttingDown
+                | SlateError::Overloaded { .. }
+                | SlateError::DeviceLost { .. }
         )
     }
 
-    /// Whether the error signals daemon saturation (an admission shed or a
-    /// watchdog eviction under load) — the conditions a client-side circuit
-    /// breaker counts toward opening.
+    /// Whether the error signals daemon saturation or shrinkage (an
+    /// admission shed, a watchdog eviction under load, or a lost device
+    /// taking fleet capacity with it) — the conditions a client-side
+    /// circuit breaker counts toward opening.
     pub fn is_overload(&self) -> bool {
         matches!(
             self,
-            SlateError::Overloaded { .. } | SlateError::Timeout { .. }
+            SlateError::Overloaded { .. }
+                | SlateError::Timeout { .. }
+                | SlateError::DeviceLost { .. }
         )
     }
 }
@@ -155,6 +175,9 @@ impl fmt::Display for SlateError {
             SlateError::ShuttingDown => write!(f, "daemon is shutting down"),
             SlateError::Overloaded { retry_after_ms } => {
                 write!(f, "daemon overloaded, retry after {retry_after_ms} ms")
+            }
+            SlateError::DeviceLost { device } => {
+                write!(f, "device {device} was lost while serving the request")
             }
             SlateError::Other(m) => write!(f, "{m}"),
         }
@@ -185,6 +208,7 @@ mod tests {
             SlateError::KernelFault("device fault at block 7".into()),
             SlateError::ShuttingDown,
             SlateError::Overloaded { retry_after_ms: 42 },
+            SlateError::DeviceLost { device: 2 },
             SlateError::Other("misc".into()),
         ];
         for e in cases {
@@ -197,6 +221,10 @@ mod tests {
         assert!(SlateError::Timeout { elapsed_ms: 10 }.is_transient());
         assert!(SlateError::ShuttingDown.is_transient());
         assert!(SlateError::Overloaded { retry_after_ms: 5 }.is_transient());
+        assert!(
+            SlateError::DeviceLost { device: 0 }.is_transient(),
+            "the fleet evacuates and heals; a retry lands on a serving device"
+        );
         assert!(!SlateError::Disconnected.is_transient());
         assert!(!SlateError::OutOfMemory { requested: 1 }.is_transient());
         assert!(!SlateError::InvalidPointer { ptr: 1 }.is_transient());
@@ -207,6 +235,10 @@ mod tests {
     fn overload_classification() {
         assert!(SlateError::Overloaded { retry_after_ms: 1 }.is_overload());
         assert!(SlateError::Timeout { elapsed_ms: 9 }.is_overload());
+        assert!(
+            SlateError::DeviceLost { device: 1 }.is_overload(),
+            "a lost device shrinks capacity; breakers count it like a shed"
+        );
         assert!(!SlateError::ShuttingDown.is_overload());
         assert!(!SlateError::Disconnected.is_overload());
         assert!(!SlateError::OutOfMemory { requested: 8 }.is_overload());
@@ -230,6 +262,10 @@ mod tests {
         assert_eq!(
             SlateError::from_wire("E_OVERLOADED:later"),
             SlateError::Other("E_OVERLOADED:later".into())
+        );
+        assert_eq!(
+            SlateError::from_wire("E_DEVLOST:gpu3"),
+            SlateError::Other("E_DEVLOST:gpu3".into())
         );
     }
 

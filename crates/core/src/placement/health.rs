@@ -1,0 +1,292 @@
+//! Per-device health: the failure-domain state machine behind the
+//! placement layer.
+//!
+//! Since PR 5 the unit of failure is a whole device, not just a kernel or
+//! a client: one wedged GPU strands every session routed to it. The
+//! placement layer therefore tracks one [`HealthState`] per device,
+//! driven by the arbiter-visible [`Event::DeviceDown`] /
+//! [`Event::DeviceUp`](crate::arbiter::Event::DeviceUp) events:
+//!
+//! ```text
+//!            soft down           soft down
+//!  Healthy ───────────▶ Degraded ───────────▶ Quarantined ──(timer)──▶ Probation
+//!     ▲                    │                      ▲    ▲                   │
+//!     │        up          │       hard down      │    │ soft down        │ (timer)
+//!     ├◀───────────────────┘          │           │    └───────────────── │
+//!     │                               ▼           │ up                    │
+//!     └◀───(probation expires)───  Failed ────────┘                       ▼
+//!                                                                      Healthy
+//! ```
+//!
+//! * a **hard** down (device off the bus) fails the device outright;
+//! * a **soft** down (stall, flap) degrades it first and quarantines it
+//!   on repetition — a single hiccup doesn't trigger an evacuation, a
+//!   recurring one does;
+//! * leaving service (entering `Quarantined` or `Failed`) triggers the
+//!   layer's evacuation of every live lease;
+//! * recovery is *gated*: a returning device sits out a seeded probation
+//!   window before it is re-admitted as a routing target, so a flapping
+//!   device cannot re-capture traffic between its failures.
+//!
+//! Every draw (probation length) comes from a seeded xorshift advanced in
+//! event order, so a recorded run replays its health transitions — and
+//! hence its evacuations and routing — byte-identically.
+
+use crate::arbiter::Tick;
+use serde::{Deserialize, Serialize};
+
+/// Knobs of the per-device health state machine. Serialized into every
+/// [`PlacementLog`](super::replay::PlacementLog) so replays transition
+/// under the recorded windows and seed.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HealthConfig {
+    /// Logical µs a quarantined device sits out before entering
+    /// probation.
+    pub quarantine_us: u64,
+    /// Shortest probation window, in logical µs.
+    pub probation_min_us: u64,
+    /// Longest probation window, in logical µs. The actual window is a
+    /// seeded draw in `[min, max]`.
+    pub probation_max_us: u64,
+    /// Seed of the probation-window xorshift (zero is remapped
+    /// internally).
+    pub seed: u64,
+}
+
+impl Default for HealthConfig {
+    fn default() -> Self {
+        Self {
+            quarantine_us: 10_000,
+            probation_min_us: 2_000,
+            probation_max_us: 8_000,
+            seed: 0x5EED_4EA1,
+        }
+    }
+}
+
+/// The health of one device, as the placement layer sees it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum HealthState {
+    /// In service, behaving.
+    #[default]
+    Healthy,
+    /// In service but signalled a soft failure; one more and it is
+    /// quarantined. Still a routing target.
+    Degraded,
+    /// Out of service until the timer expires; evacuated on entry.
+    Quarantined {
+        /// When the quarantine lifts (into probation).
+        until: Tick,
+    },
+    /// Hard-lost; only an explicit [`Event::DeviceUp`]
+    /// (crate::arbiter::Event::DeviceUp) recovers it. Evacuated on entry.
+    Failed,
+    /// Back up, but not yet trusted: no new routes until the seeded
+    /// window expires.
+    Probation {
+        /// When the device is re-admitted as a routing target.
+        until: Tick,
+    },
+}
+
+impl HealthState {
+    /// Whether the device is in service as a routing/migration target.
+    pub fn eligible(&self) -> bool {
+        matches!(self, HealthState::Healthy | HealthState::Degraded)
+    }
+
+    /// Whether live leases must be moved off the device (it just left,
+    /// or is out of, service).
+    pub fn out_of_service(&self) -> bool {
+        matches!(self, HealthState::Quarantined { .. } | HealthState::Failed)
+    }
+}
+
+/// The per-layer tracker: one [`HealthState`] per device plus the seeded
+/// probation rng.
+#[derive(Debug)]
+pub(super) struct HealthTracker {
+    config: HealthConfig,
+    states: Vec<HealthState>,
+    rng: u64,
+}
+
+impl HealthTracker {
+    pub(super) fn new(config: HealthConfig, devices: usize) -> Self {
+        // xorshift never leaves 0; fold the seed through a golden-ratio
+        // mix so seed 0 is as usable as any other.
+        let rng = (config.seed ^ 0x9E37_79B9_7F4A_7C15).max(1);
+        Self {
+            config,
+            states: vec![HealthState::Healthy; devices],
+            rng,
+        }
+    }
+
+    pub(super) fn state(&self, device: usize) -> HealthState {
+        self.states[device]
+    }
+
+    /// Per-device routing eligibility, in device order.
+    pub(super) fn eligibility(&self) -> Vec<bool> {
+        self.states.iter().map(|s| s.eligible()).collect()
+    }
+
+    /// Devices currently eligible as routing targets.
+    pub(super) fn eligible_count(&self) -> usize {
+        self.states.iter().filter(|s| s.eligible()).count()
+    }
+
+    fn draw_probation(&mut self, now: Tick) -> Tick {
+        let mut x = self.rng;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.rng = x;
+        let span = self
+            .config
+            .probation_max_us
+            .saturating_sub(self.config.probation_min_us)
+            .saturating_add(1);
+        now + self.config.probation_min_us + x % span
+    }
+
+    /// Applies a [`DeviceDown`](crate::arbiter::Event::DeviceDown) for
+    /// `device`. Returns `true` when the device just *left* service —
+    /// the layer must evacuate it.
+    pub(super) fn on_down(&mut self, device: usize, hard: bool, now: Tick) -> bool {
+        let was_in_service = !self.states[device].out_of_service();
+        let next = if hard {
+            HealthState::Failed
+        } else {
+            match self.states[device] {
+                HealthState::Healthy => HealthState::Degraded,
+                // Repetition (or a failure while still on probation)
+                // quarantines: the device is flapping, not hiccuping.
+                HealthState::Degraded | HealthState::Probation { .. } => {
+                    HealthState::Quarantined {
+                        until: now + self.config.quarantine_us,
+                    }
+                }
+                // Already out of service: a soft signal refreshes the
+                // quarantine clock, a Failed device stays failed.
+                HealthState::Quarantined { .. } => HealthState::Quarantined {
+                    until: now + self.config.quarantine_us,
+                },
+                HealthState::Failed => HealthState::Failed,
+            }
+        };
+        self.states[device] = next;
+        was_in_service && next.out_of_service()
+    }
+
+    /// Applies a [`DeviceUp`](crate::arbiter::Event::DeviceUp) for
+    /// `device`: out-of-service devices enter their seeded probation, a
+    /// degraded device is cleared.
+    pub(super) fn on_up(&mut self, device: usize, now: Tick) {
+        self.states[device] = match self.states[device] {
+            HealthState::Failed | HealthState::Quarantined { .. } => HealthState::Probation {
+                until: self.draw_probation(now),
+            },
+            HealthState::Degraded => HealthState::Healthy,
+            s @ (HealthState::Healthy | HealthState::Probation { .. }) => s,
+        };
+    }
+
+    /// Advances the timers: expired quarantines enter probation, expired
+    /// probations re-admit the device.
+    pub(super) fn tick(&mut self, now: Tick) {
+        for d in 0..self.states.len() {
+            self.states[d] = match self.states[d] {
+                HealthState::Quarantined { until } if now >= until => HealthState::Probation {
+                    until: self.draw_probation(now),
+                },
+                HealthState::Probation { until } if now >= until => HealthState::Healthy,
+                s => s,
+            };
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> HealthConfig {
+        HealthConfig {
+            quarantine_us: 100,
+            probation_min_us: 10,
+            probation_max_us: 20,
+            seed: 42,
+        }
+    }
+
+    #[test]
+    fn hard_down_fails_and_requires_up_plus_probation() {
+        let mut t = HealthTracker::new(cfg(), 2);
+        assert!(t.on_down(0, true, 5), "leaving service asks for evacuation");
+        assert_eq!(t.state(0), HealthState::Failed);
+        assert_eq!(t.eligibility(), vec![false, true]);
+        // Timers never resurrect a failed device.
+        t.tick(1_000_000);
+        assert_eq!(t.state(0), HealthState::Failed);
+        // Recovery goes through probation before re-admission.
+        t.on_up(0, 1_000_000);
+        let HealthState::Probation { until } = t.state(0) else {
+            panic!("recovered device must be on probation");
+        };
+        assert!((1_000_010..=1_000_020).contains(&until));
+        assert!(!t.state(0).eligible(), "probation is not yet eligible");
+        t.tick(until);
+        assert_eq!(t.state(0), HealthState::Healthy);
+    }
+
+    #[test]
+    fn soft_downs_escalate_healthy_degraded_quarantined() {
+        let mut t = HealthTracker::new(cfg(), 1);
+        assert!(!t.on_down(0, false, 0), "first hiccup only degrades");
+        assert_eq!(t.state(0), HealthState::Degraded);
+        assert!(t.state(0).eligible(), "degraded still serves");
+        assert!(t.on_down(0, false, 10), "repetition quarantines");
+        assert_eq!(t.state(0), HealthState::Quarantined { until: 110 });
+        // Quarantine expires into probation, probation into healthy.
+        t.tick(110);
+        assert!(matches!(t.state(0), HealthState::Probation { .. }));
+        t.tick(10_000);
+        assert_eq!(t.state(0), HealthState::Healthy);
+    }
+
+    #[test]
+    fn up_clears_degraded_and_flap_on_probation_requarantines() {
+        let mut t = HealthTracker::new(cfg(), 1);
+        t.on_down(0, false, 0);
+        t.on_up(0, 5);
+        assert_eq!(t.state(0), HealthState::Healthy);
+        // Fail hard, recover, then flap during probation: straight back
+        // into quarantine — no evacuation signal (nothing was re-routed
+        // there yet), but no re-admission either.
+        assert!(t.on_down(0, true, 10));
+        t.on_up(0, 20);
+        assert!(matches!(t.state(0), HealthState::Probation { .. }));
+        // A probation flap re-quarantines; the evacuation it requests is
+        // normally a no-op (the device was drained when it failed).
+        assert!(t.on_down(0, false, 25));
+        assert!(matches!(t.state(0), HealthState::Quarantined { .. }));
+    }
+
+    #[test]
+    fn probation_draws_are_seeded_and_deterministic() {
+        let draw = |seed: u64| {
+            let mut t = HealthTracker::new(HealthConfig { seed, ..cfg() }, 1);
+            t.on_down(0, true, 0);
+            t.on_up(0, 0);
+            match t.state(0) {
+                HealthState::Probation { until } => until,
+                s => panic!("expected probation, got {s:?}"),
+            }
+        };
+        assert_eq!(draw(7), draw(7), "same seed, same window");
+        let distinct: std::collections::BTreeSet<Tick> = (0..16).map(draw).collect();
+        assert!(distinct.len() > 1, "different seeds spread the window");
+    }
+}

@@ -39,17 +39,21 @@
 //!    ([`replay::split`]) that verify byte-identically through the
 //!    existing single-device machinery.
 
+pub mod health;
 pub mod multi;
 pub mod policy;
 pub mod rebalance;
 pub mod replay;
 
+pub use health::{HealthConfig, HealthState};
 pub use multi::{MultiJob, MultiSim};
 pub use policy::PlacementPolicy;
 pub use rebalance::{Migration, RebalanceConfig};
 pub use replay::{PlacementBatch, PlacementLog};
 
-use crate::arbiter::{ArbiterConfig, ArbiterCore, Command, Event, EventLog, Tick};
+use crate::admission::FleetAdmissionConfig;
+use crate::arbiter::{ArbiterConfig, ArbiterCore, Command, Event, EventLog, RejectScope, Tick};
+use health::HealthTracker;
 use rebalance::Rebalancer;
 use serde::{Deserialize, Serialize};
 use slate_gpu_sim::device::DeviceConfig;
@@ -72,6 +76,15 @@ pub struct PlacementConfig {
     pub arbiter: ArbiterConfig,
     /// Cross-device rebalancing; `None` disables migration entirely.
     pub rebalance: Option<RebalanceConfig>,
+    /// Per-device health state machine (quarantine and probation
+    /// windows, probation seed). `#[serde(default)]` keeps logs recorded
+    /// before the failure-domain layer deserializable.
+    #[serde(default)]
+    pub health: HealthConfig,
+    /// Fleet-level admission: per-device budgets scaled by the healthy
+    /// device count. The default admits everything.
+    #[serde(default)]
+    pub fleet: FleetAdmissionConfig,
 }
 
 /// A command tagged with the device whose backend must carry it out.
@@ -104,6 +117,13 @@ pub struct PlacementStats {
     /// Migrations whose eviction has landed and whose lease now routes
     /// to the target device.
     pub migrations_completed: u64,
+    /// Devices currently out of service (quarantined or failed).
+    pub devices_out: usize,
+    /// Leases force-migrated off a device that left service.
+    pub evacuations: u64,
+    /// Requests shed by fleet-level admission (aggregate healthy
+    /// capacity exhausted), as opposed to a single core's bounds.
+    pub fleet_sheds: u64,
 }
 
 /// N per-device arbitration cores behind one deterministic router. See
@@ -126,8 +146,11 @@ pub struct PlacementLayer {
     migrating: BTreeMap<u64, usize>,
     rr_next: usize,
     rebalancer: Option<Rebalancer>,
+    health: HealthTracker,
     sessions_routed: u64,
     migrations_completed: u64,
+    evacuations: u64,
+    fleet_sheds: u64,
     record: Option<Vec<PlacementBatch>>,
 }
 
@@ -138,11 +161,12 @@ impl PlacementLayer {
     /// If `devices` is empty.
     pub fn new(devices: Vec<DeviceConfig>, config: PlacementConfig) -> Self {
         assert!(!devices.is_empty(), "placement needs at least one device");
-        let cores = devices
+        let cores: Vec<ArbiterCore> = devices
             .into_iter()
             .map(|d| ArbiterCore::new(d, config.arbiter.clone()))
             .collect();
         let rebalancer = config.rebalance.clone().map(Rebalancer::new);
+        let health = HealthTracker::new(config.health.clone(), cores.len());
         Self {
             cores,
             config,
@@ -153,8 +177,11 @@ impl PlacementLayer {
             migrating: BTreeMap::new(),
             rr_next: 0,
             rebalancer,
+            health,
             sessions_routed: 0,
             migrations_completed: 0,
+            evacuations: 0,
+            fleet_sheds: 0,
             record: None,
         }
     }
@@ -192,6 +219,16 @@ impl PlacementLayer {
     /// eviction (drop).
     pub fn migration_target(&self, lease: u64) -> Option<usize> {
         self.migrating.get(&lease).copied()
+    }
+
+    /// The health state of `device`, as of the last fed batch.
+    pub fn health_of(&self, device: usize) -> HealthState {
+        self.health.state(device)
+    }
+
+    /// Devices currently in service as routing targets.
+    pub fn eligible_devices(&self) -> usize {
+        self.health.eligible_count()
     }
 
     /// The load metric of `device`: estimated pending milliseconds plus
@@ -269,6 +306,11 @@ impl PlacementLayer {
             sessions_routed: self.sessions_routed,
             rebalances: self.rebalancer.as_ref().map_or(0, |r| r.fired()),
             migrations_completed: self.migrations_completed,
+            devices_out: (0..self.cores.len())
+                .filter(|&d| self.health.state(d).out_of_service())
+                .count(),
+            evacuations: self.evacuations,
+            fleet_sheds: self.fleet_sheds,
         }
     }
 
@@ -305,6 +347,35 @@ impl PlacementLayer {
         counts
     }
 
+    /// Routing eligibility mask, falling back to every device when the
+    /// whole fleet is out of service (work then queues on its sticky
+    /// device until something recovers, rather than having nowhere to
+    /// go).
+    fn routable(&self) -> Vec<bool> {
+        let mask = self.health.eligibility();
+        if mask.iter().any(|&e| e) {
+            mask
+        } else {
+            vec![true; mask.len()]
+        }
+    }
+
+    /// The least-loaded device in `mask`, breaking ties toward the
+    /// lowest index. `None` when the mask is empty.
+    fn least_loaded_in(&self, mask: &[bool], exclude: Option<usize>) -> Option<usize> {
+        let loads = self.loads();
+        let mut best: Option<usize> = None;
+        for d in 0..self.cores.len() {
+            if !mask[d] || Some(d) == exclude {
+                continue;
+            }
+            if best.map_or(true, |b| loads[d] < loads[b]) {
+                best = Some(d);
+            }
+        }
+        best
+    }
+
     /// Routes `session` via the policy (first sight) or its sticky route.
     fn device_of_or_assign(&mut self, session: u64) -> usize {
         if let Some(&d) = self.session_device.get(&session) {
@@ -312,12 +383,15 @@ impl PlacementLayer {
         }
         let loads = self.loads();
         let counts = self.session_counts();
-        let (d, advanced_rr) = self
-            .config
-            .policy
-            .route(session, &loads, &counts, self.rr_next);
+        let eligible = self.routable();
+        let (d, advanced_rr) =
+            self.config
+                .policy
+                .route(session, &loads, &counts, self.rr_next, &eligible);
         if advanced_rr {
-            self.rr_next += 1;
+            // Equivalent to the pre-health `rr_next + 1` while every
+            // device is eligible; skips ineligible devices otherwise.
+            self.rr_next = d + 1;
         }
         self.session_device.insert(session, d);
         self.sessions_routed += 1;
@@ -326,12 +400,20 @@ impl PlacementLayer {
 
     /// Routes a lease-scoped event: the lease's sticky route if it has
     /// one (it diverges from the session's after a migration), else the
-    /// session's.
+    /// session's. A session stuck to an out-of-service device sends its
+    /// *new* leases to the least-loaded in-service one instead — the
+    /// session route stays sticky for when the device returns, but no
+    /// fresh work lands on a dead device.
     fn device_for_lease(&mut self, session: u64, lease: u64) -> usize {
         let d = match self.lease_device.get(&lease) {
             Some(&d) => d,
             None => {
-                let d = self.device_of_or_assign(session);
+                let mut d = self.device_of_or_assign(session);
+                if self.health.state(d).out_of_service() {
+                    if let Some(alt) = self.least_loaded_in(&self.health.eligibility(), None) {
+                        d = alt;
+                    }
+                }
                 self.lease_device.insert(lease, d);
                 d
             }
@@ -348,13 +430,23 @@ impl PlacementLayer {
     /// its core's emission order.
     pub fn feed(&mut self, now: Tick, events: &[Event]) -> Vec<RoutedCommand> {
         self.now = self.now.max(now);
+        // Expire health timers first: a device whose quarantine or
+        // probation lapsed by this batch's timestamp is (in)eligible for
+        // everything the batch routes.
+        self.health.tick(self.now);
         let n = self.cores.len();
         let mut sub: Vec<Vec<Event>> = vec![Vec::new(); n];
         let mut finished: Vec<u64> = Vec::new();
         let mut ended: Vec<u64> = Vec::new();
+        let mut sheds: Vec<RoutedCommand> = Vec::new();
+        let mut evacuate: Vec<usize> = Vec::new();
         for ev in events {
             match *ev {
                 Event::SessionOpened { session } => {
+                    if let Some(cmd) = self.fleet_shed_session(session) {
+                        sheds.push(cmd);
+                        continue;
+                    }
                     let d = self.device_of_or_assign(session);
                     sub[d].push(ev.clone());
                 }
@@ -363,8 +455,15 @@ impl PlacementLayer {
                     sub[d].push(ev.clone());
                     ended.push(session);
                 }
-                Event::LaunchRequested { session, lease, .. }
-                | Event::KernelReady { session, lease, .. } => {
+                Event::LaunchRequested { session, lease, .. } => {
+                    if let Some(cmd) = self.fleet_shed_launch(session, lease) {
+                        sheds.push(cmd);
+                        continue;
+                    }
+                    let d = self.device_for_lease(session, lease);
+                    sub[d].push(ev.clone());
+                }
+                Event::KernelReady { session, lease, .. } => {
                     let d = self.device_for_lease(session, lease);
                     sub[d].push(ev.clone());
                 }
@@ -382,6 +481,25 @@ impl PlacementLayer {
                         s.push(ev.clone());
                     }
                 }
+                Event::DeviceDown { device, hard } => {
+                    let d = device as usize;
+                    if d < n {
+                        // The event still reaches the device's core (a
+                        // scheduling nudge); the health transition is the
+                        // layer's.
+                        sub[d].push(ev.clone());
+                        if self.health.on_down(d, hard, self.now) {
+                            evacuate.push(d);
+                        }
+                    }
+                }
+                Event::DeviceUp { device } => {
+                    let d = device as usize;
+                    if d < n {
+                        sub[d].push(ev.clone());
+                        self.health.on_up(d, self.now);
+                    }
+                }
             }
         }
         let mut out = Vec::new();
@@ -393,6 +511,7 @@ impl PlacementLayer {
                 out.push(RoutedCommand { device: d, command });
             }
         }
+        out.extend(sheds);
         // A landed eviction completes its migration: the lease's sticky
         // route flips to the target, so the re-fed KernelReady lands there.
         for lease in finished {
@@ -414,6 +533,12 @@ impl PlacementLayer {
                 self.lease_device.remove(&l);
                 self.migrating.remove(&l);
             }
+        }
+        // Evacuations run after the cores were fed, so work that became
+        // resident or queued in this very batch is still moved off the
+        // failed domain.
+        for d in evacuate {
+            self.evacuate_device(d, &mut out);
         }
         if let Some(cmd) = self.maybe_rebalance() {
             out.push(cmd);
@@ -438,16 +563,133 @@ impl PlacementLayer {
             return None;
         }
         let loads = self.loads();
+        let eligible = self.health.eligibility();
         let now = self.now;
         let cores = &self.cores;
         let rb = self.rebalancer.as_mut().expect("checked above");
-        let m = rb.plan(now, &loads, |src| cores[src].resident_leases())?;
+        let m = rb.plan(now, &loads, &eligible, |src| cores[src].resident_leases())?;
         self.migrating.insert(m.lease, m.dst);
         Some(RoutedCommand {
             device: m.src,
             command: Command::Evict { lease: m.lease },
         })
     }
+
+    /// Sheds a connecting session when the fleet's session budget —
+    /// `max_sessions_per_device ×` the in-service device count — is
+    /// exhausted. The rejection is steered toward the least-loaded
+    /// in-service device so the retry hint names where capacity frees
+    /// first.
+    fn fleet_shed_session(&mut self, session: u64) -> Option<RoutedCommand> {
+        if self.session_device.contains_key(&session) {
+            return None; // already admitted and routed
+        }
+        let per = self.config.fleet.max_sessions_per_device?;
+        let budget = per.saturating_mul(self.health.eligible_count());
+        if self.session_device.len() < budget {
+            return None;
+        }
+        Some(self.fleet_reject(session, None, RejectScope::Session))
+    }
+
+    /// Sheds a launch when the fleet's pending budget —
+    /// `max_pending_per_device ×` the in-service device count — is
+    /// exhausted. Re-staged migration work re-enters as `KernelReady`,
+    /// never `LaunchRequested`, so evacuations are exempt by
+    /// construction.
+    fn fleet_shed_launch(&mut self, session: u64, lease: u64) -> Option<RoutedCommand> {
+        let per = self.config.fleet.max_pending_per_device?;
+        let budget = per.saturating_mul(self.health.eligible_count() as u64);
+        let pending: u64 = self.cores.iter().map(|c| c.queue_stats().depth).sum();
+        if pending < budget {
+            return None;
+        }
+        Some(self.fleet_reject(session, Some(lease), RejectScope::Launch))
+    }
+
+    fn fleet_reject(
+        &mut self,
+        session: u64,
+        lease: Option<u64>,
+        scope: RejectScope,
+    ) -> RoutedCommand {
+        let eligible = self.health.eligibility();
+        let device = self.least_loaded_in(&eligible, None).unwrap_or(0);
+        let retry_after_ms = if eligible.iter().any(|&e| e) {
+            self.device_load(device).max(1)
+        } else {
+            // Whole fleet out of service: hint the quarantine horizon.
+            (self.config.health.quarantine_us / 1000).max(1)
+        };
+        self.fleet_sheds += 1;
+        RoutedCommand {
+            device,
+            command: Command::RejectOverloaded {
+                session,
+                lease,
+                scope,
+                retry_after_ms,
+            },
+        }
+    }
+
+    /// Mass-migrates every live lease (resident or waiting) off `src`,
+    /// which just left service: one layer-synthesized [`Command::Evict`]
+    /// per lease, each registered in `migrating` with a least-loaded
+    /// in-service target, exactly like a rebalance migration. In-flight
+    /// migrations *aimed at* `src` are retargeted too. With no in-service
+    /// target the leases stay put and queue until a device recovers.
+    fn evacuate_device(&mut self, src: usize, out: &mut Vec<RoutedCommand>) {
+        let eligible = self.health.eligibility();
+        let mut loads = self.loads();
+        // Retarget migrations whose destination just died.
+        let aimed: Vec<u64> = self
+            .migrating
+            .iter()
+            .filter(|&(_, &d)| d == src)
+            .map(|(&l, _)| l)
+            .collect();
+        for lease in aimed {
+            if let Some(dst) = pick_target(&eligible, &loads, src) {
+                loads[dst] += LOAD_WEIGHT_MS;
+                self.migrating.insert(lease, dst);
+            }
+        }
+        let mut victims = self.cores[src].resident_leases();
+        victims.extend(self.cores[src].waiting_leases());
+        victims.sort_unstable();
+        victims.dedup();
+        for lease in victims {
+            if self.migrating.contains_key(&lease) {
+                continue; // already on its way out (rebalance in flight)
+            }
+            let Some(dst) = pick_target(&eligible, &loads, src) else {
+                return;
+            };
+            loads[dst] += LOAD_WEIGHT_MS;
+            self.migrating.insert(lease, dst);
+            self.evacuations += 1;
+            out.push(RoutedCommand {
+                device: src,
+                command: Command::Evict { lease },
+            });
+        }
+    }
+}
+
+/// The least-loaded eligible device other than `src`; `None` when no
+/// such device exists.
+fn pick_target(eligible: &[bool], loads: &[u64], src: usize) -> Option<usize> {
+    let mut best: Option<usize> = None;
+    for d in 0..eligible.len() {
+        if d == src || !eligible[d] {
+            continue;
+        }
+        if best.map_or(true, |b| loads[d] < loads[b]) {
+            best = Some(d);
+        }
+    }
+    best
 }
 
 #[cfg(test)]

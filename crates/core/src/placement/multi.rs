@@ -17,7 +17,7 @@
 
 use super::{PlacementConfig, PlacementLayer, PlacementStats, RoutedCommand};
 use crate::arbiter::{Command, Event, RejectScope};
-use crate::backend::{Backend, Completion, SimBackend, WorkSpec};
+use crate::backend::{Backend, Completion, DeviceFault, DeviceHealth, SimBackend, WorkSpec};
 use crate::classify::WorkloadClass;
 use crate::transform::TransformedKernel;
 use slate_gpu_sim::device::DeviceConfig;
@@ -70,6 +70,9 @@ pub struct MultiSim {
     outcomes: BTreeMap<u64, JobOutcome>,
     /// Migration audit trail: (lease, src, dst, progress carried).
     migrations: Vec<(u64, usize, usize, u64)>,
+    /// Last health each backend reported; edges become
+    /// `DeviceDown`/`DeviceUp` events for the layer.
+    seen_health: Vec<DeviceHealth>,
     now_ms: u64,
 }
 
@@ -90,6 +93,7 @@ impl MultiSim {
     /// If `backends` is empty.
     pub fn with_backends(backends: Vec<Box<dyn Backend>>, config: PlacementConfig) -> Self {
         let devices: Vec<DeviceConfig> = backends.iter().map(|b| b.device().clone()).collect();
+        let seen_health = vec![DeviceHealth::Healthy; backends.len()];
         Self {
             layer: PlacementLayer::new(devices, config),
             backends,
@@ -97,6 +101,7 @@ impl MultiSim {
             session_open: BTreeMap::new(),
             outcomes: BTreeMap::new(),
             migrations: Vec::new(),
+            seen_health,
             now_ms: 0,
         }
     }
@@ -250,14 +255,69 @@ impl MultiSim {
         }
     }
 
-    /// Advances the fleet one millisecond: backend time passes, fresh
-    /// completions are absorbed, and a heartbeat tick gives every core a
-    /// scheduling pass (watchdogs, starvation aging, rebalance checks).
+    /// Hard-fails `device`: its backend drops off the bus (in-flight
+    /// work surfaces as `lost` completions at its carried progress), the
+    /// layer marks it [`HealthState::Failed`](super::HealthState) and
+    /// evacuates every live lease to in-service devices. Work resumes at
+    /// its absolute `slateIdx` — no user block is lost or re-run.
+    pub fn fail_device(&mut self, device: usize) {
+        self.backends[device].inject_device_fault(DeviceFault::Loss);
+        self.sync_health();
+    }
+
+    /// Brings a failed/degraded `device` back. The layer answers with a
+    /// seeded probation window before it becomes a routing target again.
+    pub fn recover_device(&mut self, device: usize) {
+        self.backends[device].inject_device_fault(DeviceFault::Restore);
+        self.sync_health();
+    }
+
+    /// Injects `fault` into `device`'s backend and propagates any health
+    /// edge to the placement layer immediately.
+    pub fn inject_device_fault(&mut self, device: usize, fault: DeviceFault) -> bool {
+        let hit = self.backends[device].inject_device_fault(fault);
+        self.sync_health();
+        hit
+    }
+
+    /// Turns backend health *edges* into arbiter-visible
+    /// `DeviceDown`/`DeviceUp` events. Runs every tick (and after an
+    /// explicit injection), so the layer's health machine — and hence
+    /// evacuation — reacts before the next completion is polled: the
+    /// evacuation's migration targets must be registered by the time the
+    /// lost completions come out of `poll()`.
+    fn sync_health(&mut self) {
+        for d in 0..self.backends.len() {
+            let h = self.backends[d].health();
+            if h == self.seen_health[d] {
+                continue;
+            }
+            self.seen_health[d] = h;
+            let ev = match h {
+                DeviceHealth::Lost => Event::DeviceDown {
+                    device: d as u64,
+                    hard: true,
+                },
+                DeviceHealth::Degraded => Event::DeviceDown {
+                    device: d as u64,
+                    hard: false,
+                },
+                DeviceHealth::Healthy => Event::DeviceUp { device: d as u64 },
+            };
+            self.feed(&[ev]);
+        }
+    }
+
+    /// Advances the fleet one millisecond: backend time passes, health
+    /// edges surface, fresh completions are absorbed, and a heartbeat
+    /// tick gives every core a scheduling pass (watchdogs, starvation
+    /// aging, rebalance checks).
     pub fn tick(&mut self) {
         self.now_ms += 1;
         for b in &mut self.backends {
             b.advance(1);
         }
+        self.sync_health();
         loop {
             let mut progressed = false;
             for d in 0..self.backends.len() {
@@ -297,7 +357,7 @@ mod tests {
     use super::*;
     use crate::backend::testkit::{assert_exactly_once, counter_kernel};
     use crate::classify::WorkloadClass::*;
-    use crate::placement::{PlacementPolicy, RebalanceConfig};
+    use crate::placement::{HealthState, PlacementPolicy, RebalanceConfig};
 
     fn job(
         session: u64,
@@ -446,5 +506,85 @@ mod tests {
             fleet.outcome(lease),
             Some(JobOutcome::Completed { .. })
         ));
+    }
+
+    #[test]
+    fn killing_one_of_three_functional_devices_loses_and_duplicates_nothing() {
+        use crate::backend::DispatcherBackend;
+        let mut fleet = MultiSim::with_backends(
+            (0..3)
+                .map(|_| {
+                    Box::new(DispatcherBackend::new(DeviceConfig::tiny(4))) as Box<dyn Backend>
+                })
+                .collect(),
+            PlacementConfig::default(),
+        );
+        let total: u32 = 400;
+        let mut buffers = Vec::new();
+        for s in 1..=3u64 {
+            let (kernel, hits) = counter_kernel(total, 30);
+            buffers.push(hits);
+            assert!(fleet.submit(MultiJob {
+                session: s,
+                lease: s,
+                kernel,
+                task_size: 4,
+                class: MM,
+                sm_demand: 4,
+                est_ms: Some(20),
+            }));
+        }
+        // Round robin spread one job per device; let them get mid-flight.
+        for _ in 0..4 {
+            fleet.tick();
+        }
+        fleet.fail_device(0);
+        assert_eq!(fleet.layer().health_of(0), HealthState::Failed);
+        assert_eq!(fleet.stats().devices_out, 1);
+        assert!(fleet.run(120_000), "survivors must absorb the dead device");
+        // The acceptance bar: zero user blocks lost, zero duplicated —
+        // every hit buffer shows each block executed exactly once across
+        // the fleet, including the job evacuated off device 0.
+        for hits in &buffers {
+            assert_exactly_once(hits, total as u64);
+        }
+        assert!(fleet.stats().evacuations >= 1, "device 0's job moved");
+        let Some(JobOutcome::Completed { device }) = fleet.outcome(1) else {
+            panic!("evacuated job must complete, got {:?}", fleet.outcome(1));
+        };
+        assert_ne!(device, 0, "it cannot have completed on the dead device");
+        assert!(fleet
+            .migrations()
+            .iter()
+            .any(|&(lease, src, dst, _)| lease == 1 && src == 0 && dst != 0));
+    }
+
+    #[test]
+    fn recovered_device_passes_probation_before_taking_traffic() {
+        let mut fleet = MultiSim::new(
+            vec![DeviceConfig::tiny(8), DeviceConfig::tiny(8)],
+            PlacementConfig::default(),
+        );
+        let (j1, _) = job(1, 1, 2_000, MM);
+        assert!(fleet.submit(j1));
+        assert_eq!(fleet.layer().device_of_lease(1), Some(0));
+        fleet.fail_device(0);
+        assert!(fleet.run(120_000), "job must finish on the survivor");
+        assert_eq!(fleet.outcome(1), Some(JobOutcome::Completed { device: 1 }));
+        assert_eq!(fleet.layer().eligible_devices(), 1);
+        // Recovery is gated: up is not immediately eligible…
+        fleet.recover_device(0);
+        assert!(matches!(
+            fleet.layer().health_of(0),
+            HealthState::Probation { .. }
+        ));
+        assert_eq!(fleet.layer().eligible_devices(), 1);
+        // …until the seeded probation window passes (default ≤ 8 ms of
+        // logical time; heartbeats advance the layer clock).
+        for _ in 0..12 {
+            fleet.tick();
+        }
+        assert_eq!(fleet.layer().health_of(0), HealthState::Healthy);
+        assert_eq!(fleet.layer().eligible_devices(), 2);
     }
 }

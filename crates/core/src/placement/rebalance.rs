@@ -103,27 +103,36 @@ impl Rebalancer {
 
     /// Plans at most one migration for the current load vector.
     /// `victims(src)` lists the evictable resident leases of device
-    /// `src`, in stable order. Returns `None` while disarmed, cooling
-    /// down, balanced, or when the hottest device has nothing resident
-    /// to move.
+    /// `src`, in stable order; `eligible[i]` whether device `i` is in
+    /// service as a migration *target* (the source may be unhealthy —
+    /// that is exactly when moving work off it matters). Returns `None`
+    /// while disarmed, cooling down, balanced, when the hottest device
+    /// has nothing resident to move, or when no eligible destination
+    /// exists.
     pub(super) fn plan(
         &mut self,
         now: Tick,
         loads: &[u64],
+        eligible: &[bool],
         victims: impl Fn(usize) -> Vec<u64>,
     ) -> Option<Migration> {
         if loads.len() < 2 {
             return None;
         }
-        let (mut src, mut dst) = (0usize, 0usize);
+        let mut src = 0usize;
+        let mut dst: Option<usize> = None;
         for (i, &l) in loads.iter().enumerate() {
             if l > loads[src] {
                 src = i;
             }
-            if l < loads[dst] {
-                dst = i;
+            // Only in-service devices may receive migrated work: a
+            // quarantined device at zero load is an attractive-looking
+            // target precisely because it is broken.
+            if eligible[i] && dst.map_or(true, |b| l < loads[b]) {
+                dst = Some(i);
             }
         }
+        let dst = dst?;
         let score = loads[src] - loads[dst];
         if !self.armed {
             if score <= self.config.low_ms {
@@ -159,22 +168,29 @@ mod tests {
         }
     }
 
+    const ALL2: [bool; 2] = [true, true];
+
     #[test]
     fn fires_above_high_and_rearms_below_low() {
         let mut r = Rebalancer::new(cfg());
         let victims = |src: usize| if src == 0 { vec![10, 11] } else { vec![] };
         assert!(
-            r.plan(0, &[50, 0], victims).is_none(),
+            r.plan(0, &[50, 0], &ALL2, victims).is_none(),
             "below high: no fire"
         );
-        let m = r.plan(10, &[150, 0], victims).expect("above high fires");
+        let m = r
+            .plan(10, &[150, 0], &ALL2, victims)
+            .expect("above high fires");
         assert_eq!((m.src, m.dst), (0, 1));
         assert!([10, 11].contains(&m.lease));
         // Disarmed: an even worse score does not fire again…
-        assert!(r.plan(5_000, &[500, 0], victims).is_none());
+        assert!(r.plan(5_000, &[500, 0], &ALL2, victims).is_none());
         // …until the score dips below low once.
-        assert!(r.plan(6_000, &[10, 0], victims).is_none());
-        assert!(r.plan(7_000, &[150, 0], victims).is_some(), "re-armed");
+        assert!(r.plan(6_000, &[10, 0], &ALL2, victims).is_none());
+        assert!(
+            r.plan(7_000, &[150, 0], &ALL2, victims).is_some(),
+            "re-armed"
+        );
         assert_eq!(r.fired(), 2);
     }
 
@@ -182,28 +198,50 @@ mod tests {
     fn cooldown_blocks_back_to_back_fires() {
         let mut r = Rebalancer::new(cfg());
         let victims = |_| vec![1];
-        assert!(r.plan(0, &[200, 0], victims).is_some());
+        assert!(r.plan(0, &[200, 0], &ALL2, victims).is_some());
         // Re-arm via a balanced interval inside the cooldown window.
-        assert!(r.plan(100, &[0, 0], victims).is_none());
+        assert!(r.plan(100, &[0, 0], &ALL2, victims).is_none());
         assert!(
-            r.plan(500, &[200, 0], victims).is_none(),
+            r.plan(500, &[200, 0], &ALL2, victims).is_none(),
             "armed but still cooling down"
         );
-        assert!(r.plan(1_500, &[200, 0], victims).is_some());
+        assert!(r.plan(1_500, &[200, 0], &ALL2, victims).is_some());
     }
 
     #[test]
     fn no_victims_means_no_migration() {
         let mut r = Rebalancer::new(cfg());
-        assert!(r.plan(0, &[500, 0], |_| vec![]).is_none());
+        assert!(r.plan(0, &[500, 0], &ALL2, |_| vec![]).is_none());
         assert_eq!(r.fired(), 0);
+    }
+
+    #[test]
+    fn unhealthy_devices_are_never_migration_targets() {
+        // Without the eligibility guard this plan would fire: device 1
+        // sits at zero load *because it is quarantined*, which makes it
+        // the coldest — and worst — destination in the fleet.
+        let mut r = Rebalancer::new(cfg());
+        let victims = |_| vec![1, 2];
+        assert!(
+            r.plan(0, &[500, 0], &[true, false], victims).is_none(),
+            "the only cold device is out of service"
+        );
+        assert_eq!(r.fired(), 0);
+        // Three devices, middle one down: migration lands on the
+        // healthy cold device, not the quarantined colder one.
+        let m = r
+            .plan(0, &[500, 0, 30], &[true, false, true], victims)
+            .expect("a healthy destination exists");
+        assert_eq!((m.src, m.dst), (0, 2));
     }
 
     #[test]
     fn seed_determines_victim_deterministically() {
         let pick = |seed: u64| {
             let mut r = Rebalancer::new(RebalanceConfig { seed, ..cfg() });
-            r.plan(0, &[500, 0], |_| vec![1, 2, 3, 4, 5]).unwrap().lease
+            r.plan(0, &[500, 0], &ALL2, |_| vec![1, 2, 3, 4, 5])
+                .unwrap()
+                .lease
         };
         assert_eq!(pick(7), pick(7), "same seed, same victim");
         let distinct: std::collections::BTreeSet<u64> = (0..16).map(pick).collect();

@@ -46,6 +46,33 @@ fn chaos_wrapped_dispatcher_backend_passes_conformance() {
 }
 
 #[test]
+fn device_chaos_wrapped_sim_backend_passes_conformance() {
+    // Seeded device outages (losses, stalls, flaps) fire mid-scenario;
+    // the decorator recovers each one inline, so every execution property
+    // must still hold.
+    for seed in [0xA11CE, 0xB0B, 42] {
+        testkit::run_conformance(&mut || {
+            Box::new(ChaosBackend::new(
+                SimBackend::new(device()),
+                FaultPlan::device_chaos(seed, 6),
+            ))
+        });
+    }
+}
+
+#[test]
+fn device_chaos_wrapped_dispatcher_backend_passes_conformance() {
+    for seed in [0xA11CE, 0xB0B, 42] {
+        testkit::run_conformance(&mut || {
+            Box::new(ChaosBackend::new(
+                DispatcherBackend::new(device()),
+                FaultPlan::device_chaos(seed, 6),
+            ))
+        });
+    }
+}
+
+#[test]
 fn chaos_perturbations_actually_fire() {
     // The chaos suite only means something if the perturbations trigger:
     // run the churn scenario (9+ commands) against a dense plan and check

@@ -19,6 +19,13 @@
 //!    into per-device `EventLog`s that verify through the single-device
 //!    replay machinery, and is reproduced exactly by a fresh run of the
 //!    fixture script.
+//! 4. **Failure domains** — killing one device of a live fleet
+//!    mid-churn loses no user block and duplicates none (hit buffers),
+//!    the recording of the failure run replays byte-identically, and a
+//!    second golden fixture (`tests/data/placement_failure_log.json`)
+//!    pins the evacuation + probation re-admission decision sequence. A
+//!    seeded soak (honoring `SLATE_CHAOS_SEED`) rolls losses and stalls
+//!    across the fleet for CI to re-seed nightly.
 //!
 //! After an *intended* placement change, regenerate the fixtures with
 //! `cargo test -p slate-core --test placement_conformance -- --ignored`.
@@ -27,7 +34,7 @@ use proptest::prelude::*;
 use proptest::test_runner::TestCaseError;
 use slate_core::arbiter::{replay as core_replay, Command, Event, Tick};
 use slate_core::backend::testkit::{assert_exactly_once, counter_kernel};
-use slate_core::backend::DispatcherBackend;
+use slate_core::backend::{DeviceFault, DispatcherBackend};
 use slate_core::classify::WorkloadClass;
 use slate_core::placement::replay::{self as placement_replay, PlacementLog};
 use slate_core::placement::{
@@ -38,6 +45,8 @@ use std::collections::BTreeMap;
 
 const LOG_JSON: &str = include_str!("data/placement_log.json");
 const GOLDEN_TRANSCRIPT: &str = include_str!("data/placement_transcript.txt");
+const FAILURE_LOG_JSON: &str = include_str!("data/placement_failure_log.json");
+const FAILURE_TRANSCRIPT: &str = include_str!("data/placement_failure_transcript.txt");
 
 /// The policies under test. Affinity pins odd sessions to the last
 /// device so both the pinned and the round-robin fallback paths run.
@@ -312,6 +321,185 @@ fn rebalance_preserves_exactly_once_across_device_counts() {
     }
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Killing one device of a live functional fleet mid-churn loses no
+    /// user block and duplicates none: every job still completes exactly
+    /// once (kernel-visible hit buffers), and the recording of the whole
+    /// run — failure, evacuation and all — replays byte-identically and
+    /// splits into per-core logs that verify.
+    #[test]
+    fn killing_one_device_mid_churn_keeps_exactly_once(devices in 2usize..=3,
+                                                       victim_pick in 0usize..16,
+                                                       kill_at in 1u64..4) {
+        let victim = victim_pick % devices;
+        let mut fleet = MultiSim::with_backends(
+            (0..devices)
+                .map(|_| {
+                    Box::new(DispatcherBackend::new(DeviceConfig::tiny(4)))
+                        as Box<dyn slate_core::backend::Backend>
+                })
+                .collect(),
+            PlacementConfig::default(),
+        );
+        fleet.layer_mut().start_recording();
+        let total: u32 = 400;
+        let mut buffers = Vec::new();
+        for session in 0..devices as u64 {
+            let (kernel, hits) = counter_kernel(total, 30);
+            prop_assert!(fleet.submit(MultiJob {
+                session,
+                lease: session,
+                kernel,
+                task_size: 4,
+                class: WorkloadClass::MM,
+                sm_demand: 4,
+                est_ms: Some(20),
+            }));
+            buffers.push(hits);
+        }
+        for _ in 0..kill_at {
+            fleet.tick();
+        }
+        fleet.fail_device(victim);
+        prop_assert!(fleet.run(120_000), "a fleet with a dead device must still drain");
+        for (lease, hits) in buffers.iter().enumerate() {
+            assert_exactly_once(hits, total as u64);
+            match fleet.outcome(lease as u64) {
+                Some(slate_core::placement::multi::JobOutcome::Completed { device }) => {
+                    prop_assert!(device < devices);
+                }
+                other => {
+                    return Err(TestCaseError::fail(format!("lease {lease} ended {other:?}")));
+                }
+            }
+        }
+        let log = fleet.layer_mut().take_log().expect("recording was on");
+        placement_replay::verify(&log).map_err(|e| TestCaseError::fail(e.to_string()))?;
+        let cores = placement_replay::split(&log)
+            .map_err(|e| TestCaseError::fail(e.to_string()))?;
+        for (i, core_log) in cores.iter().enumerate() {
+            core_replay::verify(core_log)
+                .map_err(|e| TestCaseError::fail(format!("core {i}: {e}")))?;
+        }
+    }
+}
+
+/// Seeded device-failure soak: waves of functional jobs churn through a
+/// three-device fleet while a seeded schedule of hard losses, recoveries
+/// and stalls rolls across it — at most one device hard-down at a time,
+/// so the fleet always has somewhere to evacuate. Honors
+/// `SLATE_CHAOS_SEED` (decimal or `0x`-prefixed hex) so CI can soak
+/// fresh seeds nightly; defaults to a fixed seed locally.
+#[test]
+fn seeded_device_failure_soak_keeps_exactly_once() {
+    let seed = std::env::var("SLATE_CHAOS_SEED")
+        .ok()
+        .and_then(|s| {
+            let s = s.trim().to_string();
+            match s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+                Some(hex) => u64::from_str_radix(hex, 16).ok(),
+                None => s.parse().ok(),
+            }
+        })
+        .unwrap_or(0xC0FFEE);
+    let devices = 3usize;
+    let mut fleet = MultiSim::with_backends(
+        (0..devices)
+            .map(|_| {
+                Box::new(DispatcherBackend::new(DeviceConfig::tiny(4)))
+                    as Box<dyn slate_core::backend::Backend>
+            })
+            .collect(),
+        PlacementConfig::default(),
+    );
+    fleet.layer_mut().start_recording();
+    let mut s = seed | 1;
+    let mut rng = move || {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        s
+    };
+    let total: u32 = 240;
+    let mut buffers = Vec::new();
+    let mut down: Option<usize> = None;
+    for wave in 0..3u64 {
+        for j in 0..3u64 {
+            let lease = wave * 3 + j;
+            let (kernel, hits) = counter_kernel(total, 20);
+            assert!(
+                fleet.submit(MultiJob {
+                    session: lease,
+                    lease,
+                    kernel,
+                    task_size: 4,
+                    class: WorkloadClass::MM,
+                    sm_demand: 4,
+                    est_ms: Some(10),
+                }),
+                "seed {seed:#x}: wave {wave} job {j} must be admitted"
+            );
+            buffers.push(hits);
+        }
+        // A few seeded strikes per wave. Only the `down` slot may be
+        // hard-lost; stalls merely degrade (still a routing target), so
+        // an eligible evacuation destination always exists.
+        for _ in 0..4 {
+            fleet.tick();
+            match (rng() % 4, down) {
+                (0, None) => {
+                    let d = (rng() as usize) % devices;
+                    fleet.fail_device(d);
+                    down = Some(d);
+                }
+                (1, Some(d)) => {
+                    fleet.recover_device(d);
+                    down = None;
+                }
+                (2, _) => {
+                    let d = (rng() as usize) % devices;
+                    if down != Some(d) {
+                        fleet.inject_device_fault(
+                            d,
+                            DeviceFault::Degraded {
+                                millis: 1 + rng() % 4,
+                            },
+                        );
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    if let Some(d) = down {
+        fleet.recover_device(d);
+    }
+    assert!(
+        fleet.run(120_000),
+        "seed {seed:#x}: soaked fleet must drain"
+    );
+    for (lease, hits) in buffers.iter().enumerate() {
+        assert_exactly_once(hits, total as u64);
+        match fleet.outcome(lease as u64) {
+            Some(slate_core::placement::multi::JobOutcome::Completed { device }) => {
+                assert!(device < devices, "seed {seed:#x}: completed off-fleet");
+            }
+            other => panic!("seed {seed:#x}: lease {lease} ended {other:?}"),
+        }
+    }
+    let log = fleet.layer_mut().take_log().expect("recording was on");
+    placement_replay::verify(&log)
+        .unwrap_or_else(|e| panic!("seed {seed:#x}: soak log replays: {e}"));
+    let cores = placement_replay::split(&log)
+        .unwrap_or_else(|e| panic!("seed {seed:#x}: soak log splits: {e}"));
+    for (i, core_log) in cores.iter().enumerate() {
+        core_replay::verify(core_log)
+            .unwrap_or_else(|e| panic!("seed {seed:#x}: core {i} verifies: {e}"));
+    }
+}
+
 /// The fixed workload behind the golden fixture: three devices under the
 /// affinity policy with everything pinned to device 0, so the recording
 /// exercises dispatch, queueing, the rebalancer's migration eviction, the
@@ -388,6 +576,179 @@ fn record_fixture_run() -> PlacementLog {
         ],
     );
     layer.take_log().expect("recording was on")
+}
+
+/// The fixed workload behind the device-failure golden fixture: three
+/// devices round-robin, one session per device, then device 0 hard-fails
+/// mid-flight. The recording pins the whole failure-domain decision
+/// sequence: the evacuation's synthesized `Evict`, the route flip on its
+/// `KernelFinished`, the re-staged dispatch on the target, the seeded
+/// probation after `DeviceUp`, and the re-admission of the healed device
+/// as a routing target once probation expires.
+fn record_failure_fixture_run() -> PlacementLog {
+    let mut layer = PlacementLayer::new(
+        vec![
+            DeviceConfig::tiny(8),
+            DeviceConfig::tiny(8),
+            DeviceConfig::tiny(8),
+        ],
+        PlacementConfig::default(),
+    );
+    layer.start_recording();
+    layer.feed(
+        0,
+        &[
+            Event::SessionOpened { session: 1 },
+            Event::SessionOpened { session: 2 },
+            Event::SessionOpened { session: 3 },
+        ],
+    );
+    layer.feed(10, &[ready(1, 10, 8), ready(2, 20, 8), ready(3, 30, 8)]);
+    // Device 0 drops off the bus: health goes Failed, and the layer
+    // synthesizes the evacuation eviction for its resident lease.
+    layer.feed(
+        20,
+        &[Event::DeviceDown {
+            device: 0,
+            hard: true,
+        }],
+    );
+    // The eviction lands; the migration completes and the route flips.
+    layer.feed(
+        30,
+        &[Event::KernelFinished {
+            lease: 10,
+            ok: false,
+        }],
+    );
+    // Re-staged readiness dispatches on the evacuation target.
+    layer.feed(40, &[ready(1, 10, 8)]);
+    // The device comes back — into seeded probation, not service.
+    layer.feed(50, &[Event::DeviceUp { device: 0 }]);
+    layer.feed(
+        60,
+        &[Event::KernelFinished {
+            lease: 20,
+            ok: true,
+        }],
+    );
+    layer.feed(
+        70,
+        &[Event::KernelFinished {
+            lease: 30,
+            ok: true,
+        }],
+    );
+    layer.feed(
+        80,
+        &[Event::KernelFinished {
+            lease: 10,
+            ok: true,
+        }],
+    );
+    layer.feed(
+        90,
+        &[
+            Event::SessionClosed { session: 1 },
+            Event::SessionClosed { session: 2 },
+            Event::SessionClosed { session: 3 },
+        ],
+    );
+    // Far past the probation window: the healed device takes traffic
+    // again (round robin wraps back to device 0).
+    layer.feed(20_000, &[Event::SessionOpened { session: 4 }]);
+    layer.feed(20_010, &[ready(4, 40, 8)]);
+    layer.feed(
+        20_020,
+        &[Event::KernelFinished {
+            lease: 40,
+            ok: true,
+        }],
+    );
+    layer.feed(20_030, &[Event::SessionClosed { session: 4 }]);
+    layer.take_log().expect("recording was on")
+}
+
+#[test]
+fn checked_in_failure_log_replays_to_the_golden_transcript() {
+    let log: PlacementLog = serde_json::from_str(FAILURE_LOG_JSON).expect("fixture parses");
+    placement_replay::verify(&log).expect("checked-in failure log replays to its own routing");
+    let transcript = placement_replay::transcript(&placement_replay::replay(&log));
+    assert_eq!(
+        transcript, FAILURE_TRANSCRIPT,
+        "failure replay transcript diverged from the golden fixture"
+    );
+}
+
+#[test]
+fn failure_fixture_contains_the_interesting_decisions() {
+    let log: PlacementLog = serde_json::from_str(FAILURE_LOG_JSON).expect("fixture parses");
+    let events = || log.batches.iter().flat_map(|b| b.events.iter());
+    assert!(
+        events().any(|e| matches!(e, Event::DeviceDown { hard: true, .. })),
+        "the fixture must record a hard device loss"
+    );
+    assert!(
+        events().any(|e| matches!(e, Event::DeviceUp { .. })),
+        "the fixture must record the device's return"
+    );
+    let routed = || log.batches.iter().flat_map(|b| b.routed.iter());
+    assert!(
+        routed().any(|r| r.device == 0 && matches!(r.command, Command::Evict { .. })),
+        "the failure must synthesize an evacuation eviction on the dead device"
+    );
+    // After the failure (t=20), the evacuated lease dispatches off
+    // device 0; after probation expires (t=20_000), device 0 serves again.
+    let late_dispatches: Vec<(u64, usize)> = log
+        .batches
+        .iter()
+        .flat_map(|b| b.routed.iter().map(move |r| (b.at, r)))
+        .filter(|(_, r)| matches!(r.command, Command::Dispatch { .. }))
+        .map(|(at, r)| (at, r.device))
+        .collect();
+    assert!(
+        late_dispatches
+            .iter()
+            .any(|&(at, d)| (20..20_000).contains(&at) && d != 0),
+        "the evacuated kernel must re-dispatch off the dead device: {late_dispatches:?}"
+    );
+    assert!(
+        late_dispatches.iter().any(|&(at, d)| at >= 20_000 && d == 0),
+        "the healed device must take traffic after probation: {late_dispatches:?}"
+    );
+}
+
+#[test]
+fn live_run_reproduces_the_checked_in_failure_log() {
+    let log: PlacementLog = serde_json::from_str(FAILURE_LOG_JSON).expect("fixture parses");
+    let fresh = record_failure_fixture_run();
+    assert_eq!(
+        placement_replay::transcript(&placement_replay::replay(&fresh)),
+        FAILURE_TRANSCRIPT,
+        "a fresh failure run diverged from the golden transcript"
+    );
+    assert_eq!(fresh, log, "a fresh failure run diverged from the checked-in log");
+}
+
+#[test]
+fn checked_in_failure_log_splits_into_per_core_logs_that_verify() {
+    let log: PlacementLog = serde_json::from_str(FAILURE_LOG_JSON).expect("fixture parses");
+    let cores = placement_replay::split(&log).expect("split succeeds");
+    assert_eq!(cores.len(), log.devices.len());
+    for (i, core_log) in cores.iter().enumerate() {
+        core_replay::verify(core_log)
+            .unwrap_or_else(|e| panic!("per-core failure log {i} must verify: {e}"));
+    }
+    // The dead device's split log still records the `DeviceDown` that
+    // killed it — a single core sees its own failure domain's history.
+    assert!(
+        cores[0]
+            .batches
+            .iter()
+            .flat_map(|b| b.events.iter())
+            .any(|e| matches!(e, Event::DeviceDown { hard: true, .. })),
+        "device 0's split log must carry its own DeviceDown"
+    );
 }
 
 #[test]
@@ -517,12 +878,16 @@ fn profile_table_save_bytes_are_insertion_order_independent() {
 #[test]
 #[ignore = "regenerates tests/data fixtures; run after an intended placement change"]
 fn regenerate_placement_fixtures() {
-    let log = record_fixture_run();
     let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/data");
     std::fs::create_dir_all(dir).expect("fixture dir");
-    let json = serde_json::to_string_pretty(&log).expect("log serializes");
-    std::fs::write(format!("{dir}/placement_log.json"), json).expect("write log");
-    let transcript = placement_replay::transcript(&placement_replay::replay(&log));
-    std::fs::write(format!("{dir}/placement_transcript.txt"), transcript)
-        .expect("write transcript");
+    for (log, name) in [
+        (record_fixture_run(), "placement"),
+        (record_failure_fixture_run(), "placement_failure"),
+    ] {
+        let json = serde_json::to_string_pretty(&log).expect("log serializes");
+        std::fs::write(format!("{dir}/{name}_log.json"), json).expect("write log");
+        let transcript = placement_replay::transcript(&placement_replay::replay(&log));
+        std::fs::write(format!("{dir}/{name}_transcript.txt"), transcript)
+            .expect("write transcript");
+    }
 }

@@ -34,6 +34,10 @@ pub enum FaultSite {
     /// chaos-testing command-stream perturbations; see
     /// [`FaultPlan::command_chaos`]).
     Command,
+    /// The device itself, as a failure domain: a whole accelerator is
+    /// lost, degraded, or flapping. Fired by backends on dispatch (see
+    /// [`FaultPlan::device_chaos`]).
+    Device,
 }
 
 /// What failure to inject.
@@ -52,6 +56,22 @@ pub enum FaultKind {
     /// The daemon-side channel to the client is severed, as if the client
     /// process died mid-request.
     ChannelDrop,
+    /// The whole device drops off the bus and stays down: every in-flight
+    /// lease is lost and later dispatches fail immediately until an
+    /// explicit restore.
+    DeviceLoss,
+    /// The device wedges for the given span of simulated time — work
+    /// survives but makes no progress while the stall budget drains.
+    DeviceStall {
+        /// Stall length in milliseconds of simulated device time.
+        millis: u64,
+    },
+    /// The device drops, then comes back on its own after `down_ms` of
+    /// simulated time (a flapping link or a driver reset).
+    DeviceFlap {
+        /// How long the device stays down, in milliseconds.
+        down_ms: u64,
+    },
 }
 
 /// One armed fault: `kind` fires at the `nth` occurrence (1-based) of
@@ -137,6 +157,38 @@ impl FaultPlan {
         })
     }
 
+    /// Convenience: hard-lose the device at its `nth` dispatch.
+    pub fn kill_device(self, nth: u64) -> Self {
+        self.with_rule(FaultRule {
+            site: FaultSite::Device,
+            kernel: None,
+            nth,
+            kind: FaultKind::DeviceLoss,
+        })
+    }
+
+    /// Convenience: stall the device for `millis` ms at its `nth`
+    /// dispatch.
+    pub fn degrade_device(self, nth: u64, millis: u64) -> Self {
+        self.with_rule(FaultRule {
+            site: FaultSite::Device,
+            kernel: None,
+            nth,
+            kind: FaultKind::DeviceStall { millis },
+        })
+    }
+
+    /// Convenience: flap the device (down for `down_ms`, then back) at
+    /// its `nth` dispatch.
+    pub fn flap_device(self, nth: u64, down_ms: u64) -> Self {
+        self.with_rule(FaultRule {
+            site: FaultSite::Device,
+            kernel: None,
+            nth,
+            kind: FaultKind::DeviceFlap { down_ms },
+        })
+    }
+
     /// Generates `faults` pseudo-random rules from `seed`. The same seed
     /// always yields the same plan — replay a failing run by reusing it.
     pub fn randomized(seed: u64, faults: u32) -> Self {
@@ -159,9 +211,12 @@ impl FaultPlan {
                 FaultSite::Memcpy => FaultKind::MemcpyStall {
                     millis: 1 + rng.below(20),
                 },
-                // `below(3)` above never yields the Command site, which
-                // keeps this generator byte-stable for existing seeds.
-                FaultSite::Request | FaultSite::Command => FaultKind::ChannelDrop,
+                // `below(3)` above never yields the Command or Device
+                // sites, which keeps this generator byte-stable for
+                // existing seeds.
+                FaultSite::Request | FaultSite::Command | FaultSite::Device => {
+                    FaultKind::ChannelDrop
+                }
             };
             plan = plan.with_rule(FaultRule {
                 site,
@@ -192,6 +247,35 @@ impl FaultPlan {
             };
             plan = plan.with_rule(FaultRule {
                 site: FaultSite::Command,
+                kernel: None,
+                nth: 1 + rng.below(6),
+                kind,
+            });
+        }
+        plan
+    }
+
+    /// Generates `faults` pseudo-random [`FaultSite::Device`] rules from
+    /// `seed` — the device-failure schedule (losses, stalls, flaps)
+    /// consumed by device-health-aware backends. Deterministic per seed,
+    /// and drawn from a generator independent of both
+    /// [`FaultPlan::randomized`] and [`FaultPlan::command_chaos`], so
+    /// existing seeds for those keep producing identical plans.
+    pub fn device_chaos(seed: u64, faults: u32) -> Self {
+        let mut rng = SplitRng::new(seed.wrapping_mul(0x85eb_ca6b).wrapping_add(3));
+        let mut plan = Self::new();
+        for _ in 0..faults {
+            let kind = match rng.below(3) {
+                0 => FaultKind::DeviceLoss,
+                1 => FaultKind::DeviceStall {
+                    millis: 1 + rng.below(10),
+                },
+                _ => FaultKind::DeviceFlap {
+                    down_ms: 1 + rng.below(10),
+                },
+            };
+            plan = plan.with_rule(FaultRule {
+                site: FaultSite::Device,
                 kernel: None,
                 nth: 1 + rng.below(6),
                 kind,
@@ -393,6 +477,41 @@ mod tests {
         assert_eq!(a.len(), 8);
         let c = FaultPlan::randomized(43, 8);
         assert_ne!(a.rules(), c.rules(), "different seeds, different plans");
+    }
+
+    #[test]
+    fn device_chaos_is_deterministic_and_device_scoped() {
+        let a = FaultPlan::device_chaos(7, 6);
+        let b = FaultPlan::device_chaos(7, 6);
+        assert_eq!(a.rules(), b.rules());
+        assert_eq!(a.len(), 6);
+        assert!(a.rules().iter().all(|r| r.site == FaultSite::Device));
+        assert!(a.rules().iter().all(|r| matches!(
+            r.kind,
+            FaultKind::DeviceLoss | FaultKind::DeviceStall { .. } | FaultKind::DeviceFlap { .. }
+        )));
+        let c = FaultPlan::device_chaos(8, 6);
+        assert_ne!(a.rules(), c.rules(), "different seeds, different plans");
+    }
+
+    #[test]
+    fn device_builders_fire_at_the_device_site() {
+        let mut plan = FaultPlan::new()
+            .kill_device(2)
+            .degrade_device(1, 4)
+            .flap_device(3, 7);
+        assert_eq!(
+            plan.fire(FaultSite::Device, None),
+            Some(FaultKind::DeviceStall { millis: 4 })
+        );
+        assert_eq!(plan.fire(FaultSite::Device, None), Some(FaultKind::DeviceLoss));
+        assert_eq!(
+            plan.fire(FaultSite::Device, None),
+            Some(FaultKind::DeviceFlap { down_ms: 7 })
+        );
+        // Other sites never advance device counters.
+        assert_eq!(plan.fire(FaultSite::Launch, Some("k")), None);
+        assert_eq!(plan.fired(), 3);
     }
 
     #[test]

@@ -92,6 +92,26 @@ pub fn field<T: Deserialize>(v: &JsonValue, name: &str) -> Result<T, JsonError> 
     }
 }
 
+/// Looks up `name` like [`field`], but a *missing* field deserializes
+/// as `T::default()` (derive helper for `#[serde(default)]` — the
+/// forward-compat escape hatch that lets configs grow fields without
+/// invalidating previously recorded JSON). A present-but-malformed
+/// field is still an error.
+pub fn field_or_default<T: Deserialize + Default>(
+    v: &JsonValue,
+    name: &str,
+) -> Result<T, JsonError> {
+    match v {
+        JsonValue::Obj(entries) => match entries.iter().find(|(k, _)| k == name) {
+            Some((_, fv)) => T::deserialize_json(fv),
+            None => Ok(T::default()),
+        },
+        other => Err(JsonError(format!(
+            "expected object with field {name}, found {other:?}"
+        ))),
+    }
+}
+
 /// Splits an externally tagged enum value `{"Variant": {...}}` (derive helper).
 pub fn variant(v: &JsonValue) -> Result<(&str, &JsonValue), JsonError> {
     match v {

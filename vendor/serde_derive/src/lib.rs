@@ -16,6 +16,11 @@ use proc_macro::{Delimiter, TokenStream, TokenTree};
 
 struct Field {
     name: String,
+    /// `#[serde(default)]`: on deserialization a missing field falls
+    /// back to `Default::default()` instead of erroring. This is the
+    /// one serde field attribute the workspace uses — it is what keeps
+    /// old recorded logs deserializable when a config grows a field.
+    default: bool,
 }
 
 enum Shape {
@@ -49,6 +54,40 @@ fn skip_attrs(toks: &[TokenTree], mut i: usize) -> usize {
     i
 }
 
+/// Like [`skip_attrs`], but also reports whether one of the skipped
+/// attributes was `#[serde(default)]` (in any position within a
+/// `#[serde(...)]` list).
+fn scan_field_attrs(toks: &[TokenTree], mut i: usize) -> (usize, bool) {
+    let mut default = false;
+    while i + 1 < toks.len() {
+        let is_pound = matches!(&toks[i], TokenTree::Punct(p) if p.as_char() == '#');
+        let bracket = match &toks[i + 1] {
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Bracket => Some(g),
+            _ => None,
+        };
+        let Some(g) = bracket.filter(|_| is_pound) else {
+            break;
+        };
+        let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+        if inner.len() == 2
+            && matches!(&inner[0], TokenTree::Ident(id) if id.to_string() == "serde")
+        {
+            if let TokenTree::Group(args) = &inner[1] {
+                let has_default = args.delimiter() == Delimiter::Parenthesis
+                    && args
+                        .stream()
+                        .into_iter()
+                        .any(|t| matches!(&t, TokenTree::Ident(id) if id.to_string() == "default"));
+                if has_default {
+                    default = true;
+                }
+            }
+        }
+        i += 2;
+    }
+    (i, default)
+}
+
 /// Skips a visibility qualifier (`pub`, `pub(crate)`, ...) at the cursor.
 fn skip_vis(toks: &[TokenTree], mut i: usize) -> usize {
     if matches!(&toks[i], TokenTree::Ident(id) if id.to_string() == "pub") {
@@ -70,7 +109,8 @@ fn parse_named_fields(body: &proc_macro::Group) -> Vec<Field> {
     let mut fields = Vec::new();
     let mut i = 0;
     while i < toks.len() {
-        i = skip_attrs(&toks, i);
+        let (after_attrs, default) = scan_field_attrs(&toks, i);
+        i = after_attrs;
         if i >= toks.len() {
             break;
         }
@@ -98,7 +138,7 @@ fn parse_named_fields(body: &proc_macro::Group) -> Vec<Field> {
             }
             i += 1;
         }
-        fields.push(Field { name });
+        fields.push(Field { name, default });
     }
     fields
 }
@@ -187,7 +227,7 @@ fn emit_struct_body(out: &mut String, path: &str, fields: &[Field]) {
     out.push_str("out.push('}');\n");
 }
 
-#[proc_macro_derive(Serialize)]
+#[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
     let shape = parse_shape(input);
     let mut body = String::new();
@@ -228,14 +268,15 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
         .expect("serde stub derive: generated impl parses")
 }
 
-#[proc_macro_derive(Deserialize)]
+#[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     let shape = parse_shape(input);
     let (name, body) = match &shape {
         Shape::Struct { name, fields } => {
             let mut b = String::from("Ok(Self {\n");
             for f in fields {
-                b.push_str(&format!("{0}: serde::field(v, \"{0}\")?,\n", f.name));
+                let getter = if f.default { "field_or_default" } else { "field" };
+                b.push_str(&format!("{0}: serde::{getter}(v, \"{0}\")?,\n", f.name));
             }
             b.push_str("})\n");
             (name.clone(), b)
@@ -254,7 +295,11 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
                 let fields = vr.fields.as_ref().unwrap();
                 b.push_str(&format!("\"{vn}\" => Ok({name}::{vn} {{\n", vn = vr.name));
                 for f in fields {
-                    b.push_str(&format!("{0}: serde::field(_inner, \"{0}\")?,\n", f.name));
+                    let getter = if f.default { "field_or_default" } else { "field" };
+                    b.push_str(&format!(
+                        "{0}: serde::{getter}(_inner, \"{0}\")?,\n",
+                        f.name
+                    ));
                 }
                 b.push_str("}),\n");
             }
