@@ -14,7 +14,11 @@
 //!   across four devices (**hard-gated**: the health-eligibility checks
 //!   added to routing must stay off the allocation-heavy path);
 //! * `sim_backend_drain` — staging, dispatching and draining a kernel
-//!   through the simulation backend (**hard-gated**).
+//!   through the simulation backend (**hard-gated**);
+//! * `wal_append` — durability WAL appends (metadata records and routed
+//!   placement batches) on an open segment;
+//! * `recover_replay` — rebuilding daemon state from a durability
+//!   directory (snapshot load + full WAL suffix replay).
 //!
 //! Output: `-- --json <path>` or the `SLATE_BENCH_JSON` environment
 //! variable; a human-readable table always goes to stdout.
@@ -23,9 +27,11 @@ use slate_bench::{BenchMeasurement, Report, REPORT_SCHEMA};
 use slate_core::arbiter::{ArbiterConfig, ArbiterCore, Command, Event};
 use slate_core::backend::{Backend, SimBackend, WorkSpec};
 use slate_core::classify::WorkloadClass;
+use slate_core::durability::{recover_dir, Durability, DurableMeta, WalRecord};
 use slate_core::partition::partition;
-use slate_core::placement::{PlacementConfig, PlacementLayer, PlacementPolicy};
+use slate_core::placement::{PlacementBatch, PlacementConfig, PlacementLayer, PlacementPolicy};
 use slate_core::transform::TransformedKernel;
+use slate_core::DurabilityOptions;
 use slate_gpu_sim::device::{DeviceConfig, SmRange};
 use slate_gpu_sim::perf::KernelPerf;
 use slate_kernels::grid::{BlockCoord, GridDim};
@@ -184,6 +190,64 @@ fn sim_drain_iteration(kernel: &TransformedKernel) {
     assert!(done.ok, "simulated drain completed");
 }
 
+/// Builds a durability directory holding `sessions` full session
+/// lifecycles as placement batches in a single segment (the genesis
+/// snapshot anchors it), plus a pair of alloc/free metadata records per
+/// session. Returns the number of batches appended.
+fn build_wal_dir(dir: &std::path::Path, sessions: u64) -> u64 {
+    let _ = std::fs::remove_dir_all(dir);
+    let mut layer = PlacementLayer::new(vec![DeviceConfig::tiny(4); 2], PlacementConfig::default());
+    let dur = Durability::start(
+        DurabilityOptions {
+            dir: dir.to_path_buf(),
+            snapshot_every: u64::MAX, // keep everything in segment 0
+            keep_all: true,
+        },
+        0,
+        0,
+        &layer.snapshot(),
+        DurableMeta::default(),
+    )
+    .expect("start durability");
+    let mut t = 0u64;
+    let mut batches = 0u64;
+    for s in 1..=sessions {
+        for events in [
+            vec![Event::SessionOpened { session: s }],
+            vec![ready(s, s << 4, 4)],
+            vec![Event::KernelFinished {
+                lease: s << 4,
+                ok: true,
+            }],
+            vec![Event::SessionClosed { session: s }],
+        ] {
+            t += 50;
+            let routed = layer.feed(t, &events);
+            dur.append_batch(
+                &PlacementBatch {
+                    at: t,
+                    events,
+                    routed,
+                },
+                || layer.snapshot(),
+            );
+            batches += 1;
+        }
+        dur.append_meta(&WalRecord::Alloc {
+            session: s,
+            slate_ptr: s,
+            device_ptr: s,
+            bytes: 4096,
+        });
+        dur.append_meta(&WalRecord::Free {
+            session: s,
+            slate_ptr: s,
+        });
+    }
+    dur.freeze();
+    batches
+}
+
 fn main() {
     let report = Report {
         schema: REPORT_SCHEMA,
@@ -206,6 +270,60 @@ fn main() {
                 measure("sim_backend_drain", true, 300, 10_000, move || {
                     sim_drain_iteration(&kernel)
                 })
+            },
+            {
+                // 8 metadata appends + 8 batch appends per iteration on a
+                // live segment (snapshot cadence high enough that rotation
+                // stays off the measured path).
+                let dir = std::env::temp_dir()
+                    .join(format!("slate-bench-walappend-{}", std::process::id()));
+                let _ = std::fs::remove_dir_all(&dir);
+                let layer =
+                    PlacementLayer::new(vec![DeviceConfig::tiny(4); 2], PlacementConfig::default());
+                let snap = layer.snapshot();
+                let dur = Durability::start(
+                    DurabilityOptions {
+                        dir: dir.clone(),
+                        snapshot_every: 1 << 20,
+                        keep_all: false,
+                    },
+                    0,
+                    0,
+                    &snap,
+                    DurableMeta::default(),
+                )
+                .expect("start durability");
+                let batch = PlacementBatch {
+                    at: 1,
+                    events: vec![ready(1, 0x10, 4)],
+                    routed: Vec::new(),
+                };
+                let m = measure("wal_append", false, 2_000, 16, move || {
+                    for i in 0..8u64 {
+                        dur.append_meta(&WalRecord::Alloc {
+                            session: 1,
+                            slate_ptr: i,
+                            device_ptr: i,
+                            bytes: 256,
+                        });
+                    }
+                    for _ in 0..8 {
+                        dur.append_batch(&batch, || snap.clone());
+                    }
+                });
+                let _ = std::fs::remove_dir_all(&dir);
+                m
+            },
+            {
+                let dir = std::env::temp_dir()
+                    .join(format!("slate-bench-recover-{}", std::process::id()));
+                let batches = build_wal_dir(&dir, 64);
+                let scan_dir = dir.clone();
+                let m = measure("recover_replay", false, 100, batches, move || {
+                    black_box(recover_dir(&scan_dir).expect("recover"));
+                });
+                let _ = std::fs::remove_dir_all(&dir);
+                m
             },
         ],
     };

@@ -15,14 +15,51 @@
 //! | `cudaDeviceSynchronize` | [`SlateClient::synchronize`] |
 
 use crate::channel::{KernelFactory, LaunchCmd, Request, Response, SlatePtr};
-use crate::daemon::Connection;
+use crate::daemon::{Connection, ResumeToken, SlateDaemon};
 use crate::error::SlateError;
 use bytes::Bytes;
 use slate_gpu_sim::buffer::GpuBuffer;
 use slate_kernels::kernel::GpuKernel;
-use std::cell::Cell;
+use std::cell::{Cell, RefCell};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// A kernel factory that can be invoked more than once — the requirement
+/// for a launch to be crash-replayable: if the daemon dies before
+/// acknowledging the work, the client resubmits the launch (same id)
+/// after [`SlateDaemon::resume`], and the daemon rebuilds the kernel.
+pub type ReplayFactory =
+    Arc<dyn Fn(Vec<Arc<GpuBuffer>>) -> Arc<dyn GpuKernel> + Send + Sync + 'static>;
+
+/// One unacknowledged replayable launch, kept client-side until a
+/// `synchronize` confirms it and resubmitted verbatim (same launch id)
+/// after a crash resumption.
+struct ReplayLaunch {
+    launch_id: u64,
+    ptrs: Vec<SlatePtr>,
+    factory: ReplayFactory,
+    task_size: u32,
+    source: Option<String>,
+    pinned_solo: bool,
+    stream: u32,
+    deadline_ms: Option<u64>,
+}
+
+impl ReplayLaunch {
+    fn to_cmd(&self) -> LaunchCmd {
+        let f = self.factory.clone();
+        LaunchCmd {
+            launch_id: self.launch_id,
+            ptrs: self.ptrs.clone(),
+            factory: Box::new(move |bufs| f(bufs)),
+            task_size: self.task_size,
+            source: self.source.clone(),
+            pinned_solo: self.pinned_solo,
+            stream: self.stream,
+            deadline_ms: self.deadline_ms,
+        }
+    }
+}
 
 /// Draws the next decorrelated-jitter backoff: uniformly random in
 /// `[base, 3 * prev]`, clamped to `[base, cap]`. Unlike full jitter this
@@ -242,24 +279,36 @@ impl CircuitBreaker {
 /// A client connection to the Slate daemon, wrapping the command pipe with
 /// the CUDA-like API surface.
 pub struct SlateClient {
-    conn: Connection,
-    pending_launches: std::cell::Cell<u64>,
+    conn: RefCell<Connection>,
+    pending_launches: Cell<u64>,
+    /// Next client-assigned launch id; monotonic for the session's
+    /// lifetime, across crash resumptions.
+    next_launch_id: Cell<u64>,
+    /// Replayable launches not yet confirmed by a `synchronize`,
+    /// resubmitted (same ids) after a crash resumption.
+    pending_replay: RefCell<Vec<ReplayLaunch>>,
+    /// Daemon to resume against when the connection dies mid-call (set by
+    /// [`SlateClient::install_reattach`]).
+    reattach_to: RefCell<Option<Arc<SlateDaemon>>>,
     retry: Option<RetryPolicy>,
     breaker: Option<CircuitBreaker>,
     /// Errors surfaced by the most recent `synchronize` (first one is
     /// returned; the rest are counted here).
-    last_sync_failures: std::cell::Cell<u64>,
+    last_sync_failures: Cell<u64>,
 }
 
 impl SlateClient {
     /// Wraps a daemon connection.
     pub fn new(conn: Connection) -> Self {
         Self {
-            conn,
-            pending_launches: std::cell::Cell::new(0),
+            next_launch_id: Cell::new(conn.launch_floor),
+            conn: RefCell::new(conn),
+            pending_launches: Cell::new(0),
+            pending_replay: RefCell::new(Vec::new()),
+            reattach_to: RefCell::new(None),
             retry: None,
             breaker: None,
-            last_sync_failures: std::cell::Cell::new(0),
+            last_sync_failures: Cell::new(0),
         }
     }
 
@@ -286,15 +335,74 @@ impl SlateClient {
 
     /// The daemon-assigned session id.
     pub fn session(&self) -> u64 {
-        self.conn.session
+        self.conn.borrow().session
     }
 
-    fn call(&self, req: Request) -> Result<Response, SlateError> {
-        self.conn
-            .tx
-            .send(req)
-            .map_err(|_| SlateError::Disconnected)?;
-        self.conn.rx.recv().map_err(|_| SlateError::Disconnected)
+    /// The token that reattaches this session after a daemon crash:
+    /// redeem it with [`SlateDaemon::resume`] (or let
+    /// [`SlateClient::install_reattach`] do so automatically) once the
+    /// daemon has been recovered from its durable log.
+    pub fn resume_token(&self) -> ResumeToken {
+        let conn = self.conn.borrow();
+        ResumeToken {
+            epoch: conn.epoch,
+            session: conn.session,
+        }
+    }
+
+    /// Arms transparent crash reattachment: when a call finds the
+    /// connection dead, the client redeems its resume token against
+    /// `daemon` (the *recovered* instance — hand the client the new
+    /// `Arc` after [`SlateDaemon::recover`]), resubmits every
+    /// unconfirmed replayable launch under its original id (the daemon
+    /// deduplicates ones whose work survived), and retries the call once.
+    pub fn install_reattach(&self, daemon: &Arc<SlateDaemon>) {
+        *self.reattach_to.borrow_mut() = Some(daemon.clone());
+    }
+
+    /// Redeems the resume token against the installed daemon, swaps the
+    /// connection, and resubmits unconfirmed replayable launches.
+    fn reattach(&self) -> Result<(), SlateError> {
+        let daemon = self
+            .reattach_to
+            .borrow()
+            .clone()
+            .ok_or(SlateError::Disconnected)?;
+        let fresh = daemon.resume(self.resume_token())?;
+        self.next_launch_id
+            .set(self.next_launch_id.get().max(fresh.launch_floor));
+        *self.conn.borrow_mut() = fresh;
+        let conn = self.conn.borrow();
+        for r in self.pending_replay.borrow().iter() {
+            conn.tx
+                .send(Request::Launch(r.to_cmd()))
+                .map_err(|_| SlateError::Disconnected)?;
+        }
+        Ok(())
+    }
+
+    /// Runs `op` against the live connection; on [`SlateError::Disconnected`]
+    /// with reattachment installed, resumes the session and retries once.
+    fn with_reattach<T>(
+        &self,
+        op: impl Fn(&Connection) -> Result<T, SlateError>,
+    ) -> Result<T, SlateError> {
+        let first = op(&self.conn.borrow());
+        match first {
+            Err(SlateError::Disconnected) if self.reattach_to.borrow().is_some() => {
+                self.reattach()?;
+                let conn = self.conn.borrow();
+                op(&conn)
+            }
+            out => out,
+        }
+    }
+
+    fn call(&self, req: impl Fn() -> Request) -> Result<Response, SlateError> {
+        self.with_reattach(|conn| {
+            conn.tx.send(req()).map_err(|_| SlateError::Disconnected)?;
+            conn.rx.recv().map_err(|_| SlateError::Disconnected)
+        })
     }
 
     /// Runs `op` under the configured retry policy, if any. Only applied
@@ -323,12 +431,12 @@ impl SlateClient {
 
     /// Allocates `bytes` bytes of device memory (`cudaMalloc`).
     pub fn malloc(&self, bytes: u64) -> Result<SlatePtr, SlateError> {
-        self.guarded(|| self.call(Request::Malloc(bytes))?.expect_ptr())
+        self.guarded(|| self.call(|| Request::Malloc(bytes))?.expect_ptr())
     }
 
     /// Frees a device allocation (`cudaFree`).
     pub fn free(&self, ptr: SlatePtr) -> Result<(), SlateError> {
-        self.guarded(|| self.call(Request::Free(ptr))?.expect_ok())
+        self.guarded(|| self.call(|| Request::Free(ptr))?.expect_ok())
     }
 
     /// Copies host bytes into device memory through a shared buffer.
@@ -336,9 +444,12 @@ impl SlateClient {
     pub fn memcpy_h2d(&self, ptr: SlatePtr, offset: usize, data: Bytes) -> Result<(), SlateError> {
         self.guarded(|| {
             // Bytes clones are refcount-only; re-sending is cheap.
-            let data = data.clone();
-            self.call(Request::MemcpyH2D { ptr, offset, data })?
-                .expect_ok()
+            self.call(|| Request::MemcpyH2D {
+                ptr,
+                offset,
+                data: data.clone(),
+            })?
+            .expect_ok()
         })
     }
 
@@ -358,7 +469,7 @@ impl SlateClient {
     ) -> Result<Vec<u8>, SlateError> {
         self.guarded(|| {
             Ok(self
-                .call(Request::MemcpyD2H { ptr, offset, len })?
+                .call(|| Request::MemcpyD2H { ptr, offset, len })?
                 .expect_data()?
                 .to_vec())
         })
@@ -386,7 +497,49 @@ impl SlateClient {
     where
         F: FnOnce(Vec<Arc<GpuBuffer>>) -> Arc<dyn GpuKernel> + Send + 'static,
     {
-        self.launch_inner(ptrs, task_size, source, false, 0, None, Box::new(factory))
+        self.launch_inner(
+            ptrs,
+            task_size,
+            source,
+            false,
+            0,
+            None,
+            Box::new(factory),
+            None,
+        )
+    }
+
+    /// Like [`SlateClient::launch_with`] but with a *re-invocable*
+    /// factory, which makes the launch crash-replayable: it is held
+    /// client-side until a [`SlateClient::synchronize`] confirms it, and
+    /// if the daemon dies before that, a reattached client (see
+    /// [`SlateClient::install_reattach`]) resubmits it under its original
+    /// launch id — the daemon deduplicates ids whose work survived the
+    /// crash, so the kernel runs exactly once either way. `FnOnce`-based
+    /// launches ([`SlateClient::launch_with`] and friends) cannot be
+    /// resubmitted and are lost if the daemon crashes before running them.
+    pub fn launch_replayable<F>(
+        &self,
+        ptrs: Vec<SlatePtr>,
+        task_size: u32,
+        source: Option<String>,
+        factory: F,
+    ) -> Result<(), SlateError>
+    where
+        F: Fn(Vec<Arc<GpuBuffer>>) -> Arc<dyn GpuKernel> + Send + Sync + 'static,
+    {
+        let replay: ReplayFactory = Arc::new(factory);
+        let f = replay.clone();
+        self.launch_inner(
+            ptrs,
+            task_size,
+            source,
+            false,
+            0,
+            None,
+            Box::new(move |bufs| f(bufs)),
+            Some(replay),
+        )
     }
 
     /// Like [`SlateClient::launch_with`] but arms the daemon's watchdog
@@ -412,6 +565,7 @@ impl SlateClient {
             0,
             Some(deadline_ms),
             Box::new(factory),
+            None,
         )
     }
 
@@ -436,6 +590,7 @@ impl SlateClient {
             stream,
             None,
             Box::new(factory),
+            None,
         )
     }
 
@@ -452,7 +607,16 @@ impl SlateClient {
     where
         F: FnOnce(Vec<Arc<GpuBuffer>>) -> Arc<dyn GpuKernel> + Send + 'static,
     {
-        self.launch_inner(ptrs, task_size, source, true, 0, None, Box::new(factory))
+        self.launch_inner(
+            ptrs,
+            task_size,
+            source,
+            true,
+            0,
+            None,
+            Box::new(factory),
+            None,
+        )
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -465,6 +629,7 @@ impl SlateClient {
         stream: u32,
         deadline_ms: Option<u64>,
         factory: KernelFactory,
+        replay: Option<ReplayFactory>,
     ) -> Result<(), SlateError> {
         // Launches are asynchronous (no reply to feed back), but an open
         // breaker still fails them fast instead of piling work onto a
@@ -472,7 +637,23 @@ impl SlateClient {
         if let Some(b) = &self.breaker {
             b.check()?;
         }
+        let launch_id = self.next_launch_id.get();
+        self.next_launch_id.set(launch_id + 1);
+        let replayable = replay.is_some();
+        if let Some(f) = replay {
+            self.pending_replay.borrow_mut().push(ReplayLaunch {
+                launch_id,
+                ptrs: ptrs.clone(),
+                factory: f,
+                task_size,
+                source: source.clone(),
+                pinned_solo,
+                stream,
+                deadline_ms,
+            });
+        }
         let cmd = LaunchCmd {
+            launch_id,
             ptrs,
             factory,
             task_size,
@@ -481,10 +662,23 @@ impl SlateClient {
             stream,
             deadline_ms,
         };
-        self.conn
+        let sent = self
+            .conn
+            .borrow()
             .tx
             .send(Request::Launch(cmd))
-            .map_err(|_| SlateError::Disconnected)?;
+            .map_err(|_| SlateError::Disconnected);
+        if sent.is_err() {
+            if replayable && self.reattach_to.borrow().is_some() {
+                // reattach() resubmits every pending replayable launch,
+                // including the one recorded above.
+                self.reattach()?;
+            } else {
+                // A consumed FnOnce factory cannot be resent; surface the
+                // severed connection instead of silently dropping work.
+                sent?;
+            }
+        }
         self.pending_launches.set(self.pending_launches.get() + 1);
         Ok(())
     }
@@ -506,31 +700,38 @@ impl SlateClient {
     fn synchronize_inner(&self) -> Result<(), SlateError> {
         // The session thread serves requests in order, so one round trip
         // fences all prior launches. Failed launches reply with their error
-        // ahead of the sync's Ok.
-        self.conn
-            .tx
-            .send(Request::Sync)
-            .map_err(|_| SlateError::Disconnected)?;
-        let mut first: Option<SlateError> = None;
-        let mut failures: u64 = 0;
-        loop {
-            match self.conn.rx.recv().map_err(|_| SlateError::Disconnected)? {
-                Response::Ok => break,
-                Response::Err(e) => {
-                    failures += 1;
-                    if first.is_none() {
-                        first = Some(SlateError::from_wire(&e));
+        // ahead of the sync's Ok. A mid-sync daemon crash severs the pipe;
+        // with reattachment installed the session is resumed, unconfirmed
+        // replayable launches resubmitted, and the fence reissued.
+        let (first, failures) = self.with_reattach(|conn| {
+            conn.tx
+                .send(Request::Sync)
+                .map_err(|_| SlateError::Disconnected)?;
+            let mut first: Option<SlateError> = None;
+            let mut failures: u64 = 0;
+            loop {
+                match conn.rx.recv().map_err(|_| SlateError::Disconnected)? {
+                    Response::Ok => break,
+                    Response::Err(e) => {
+                        failures += 1;
+                        if first.is_none() {
+                            first = Some(SlateError::from_wire(&e));
+                        }
+                    }
+                    other => {
+                        return Err(SlateError::Other(format!(
+                            "unexpected sync response {other:?}"
+                        )))
                     }
                 }
-                other => {
-                    return Err(SlateError::Other(format!(
-                        "unexpected sync response {other:?}"
-                    )))
-                }
             }
-        }
+            Ok((first, failures))
+        })?;
         self.pending_launches.set(0);
         self.last_sync_failures.set(failures);
+        // The fence acknowledged every prior launch (success or error):
+        // nothing is left to replay after a future crash.
+        self.pending_replay.borrow_mut().clear();
         match first {
             None => Ok(()),
             Some(e) => Err(e),
@@ -556,7 +757,7 @@ impl SlateClient {
         } else {
             None
         };
-        let bye = self.call(Request::Disconnect)?.expect_ok();
+        let bye = self.call(|| Request::Disconnect)?.expect_ok();
         match pending {
             Some(e) => Err(e),
             None => bye,
@@ -573,6 +774,19 @@ pub fn connect_with_retry(
     policy: RetryPolicy,
 ) -> Result<SlateClient, SlateError> {
     policy.run(|| daemon.connect(user).map(SlateClient::new))
+}
+
+/// Redeems a [`ResumeToken`] against a recovered `daemon` under `policy`,
+/// retrying transient rejections (e.g. the daemon still draining its
+/// adoption backlog behind [`SlateError::ShuttingDown`] during a rolling
+/// restart). [`SlateError::ResumeRejected`] is permanent and fails fast:
+/// a refused token never becomes valid.
+pub fn resume_with_retry(
+    daemon: &Arc<SlateDaemon>,
+    token: ResumeToken,
+    policy: RetryPolicy,
+) -> Result<SlateClient, SlateError> {
+    policy.run(|| daemon.resume(token).map(SlateClient::new))
 }
 
 #[cfg(test)]

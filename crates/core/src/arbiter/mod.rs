@@ -33,7 +33,7 @@ mod state;
 
 pub use events::{Command, Event, RejectScope, Tick};
 pub use replay::{EventLog, LoggedBatch};
-pub use state::{ArbiterConfig, ArbiterCore};
+pub use state::{ArbiterConfig, ArbiterCore, CoreSnapshot};
 
 #[cfg(test)]
 mod tests {

@@ -50,9 +50,10 @@ impl Default for ArbiterConfig {
     }
 }
 
-/// A kernel currently holding SMs.
-#[derive(Debug, Clone)]
-pub(super) struct Resident {
+/// A kernel currently holding SMs. Serializable so durable daemon
+/// snapshots can persist residency exactly.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub(crate) struct Resident {
     pub(super) lease: u64,
     #[allow(dead_code)]
     pub(super) session: u64,
@@ -64,9 +65,10 @@ pub(super) struct Resident {
     pub(super) range: SmRange,
 }
 
-/// A ready kernel waiting for SMs.
-#[derive(Debug, Clone)]
-pub(super) struct Waiter {
+/// A ready kernel waiting for SMs. Serializable for the same reason as
+/// [`Resident`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub(crate) struct Waiter {
     pub(super) lease: u64,
     pub(super) session: u64,
     pub(super) class: WorkloadClass,
@@ -77,6 +79,42 @@ pub(super) struct Waiter {
     pub(super) since: Tick,
     /// Stable arrival order; the deterministic tie-break everywhere.
     pub(super) seq: u64,
+}
+
+/// The complete serializable state of one [`ArbiterCore`] — every field
+/// that influences a future decision, in snapshot form. Gauges are
+/// captured as [`QueueStats`] and the per-lease FIFOs as plain `Vec`s
+/// (the vendored serde subset has no `VecDeque` impl); the recording
+/// buffer is deliberately absent — a restored core starts a fresh log.
+///
+/// The crash-consistency invariant: `ArbiterCore::from_snapshot(c.snapshot())`
+/// must behave byte-identically to `c` for every subsequent event batch.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CoreSnapshot {
+    pub(crate) device: DeviceConfig,
+    pub(crate) config: ArbiterConfig,
+    pub(crate) now: Tick,
+    pub(crate) next_seq: u64,
+    pub(crate) draining: bool,
+    pub(crate) residents: Vec<Resident>,
+    pub(crate) waiters: Vec<Waiter>,
+    pub(crate) last_range: BTreeMap<u64, SmRange>,
+    pub(crate) deadlines: BTreeMap<u64, Tick>,
+    pub(crate) sessions: BTreeMap<u64, QueueStats>,
+    pub(crate) lease_session: BTreeMap<u64, u64>,
+    pub(crate) pending: BTreeMap<u64, Vec<u64>>,
+    pub(crate) global: QueueStats,
+    pub(crate) active_sessions: usize,
+    pub(crate) sessions_admitted: u64,
+    pub(crate) sessions_rejected: u64,
+    pub(crate) launches_completed: u64,
+    pub(crate) launches_failed: u64,
+    pub(crate) deadline_rejections: u64,
+    pub(crate) mallocs_shed: u64,
+    pub(crate) pending_est_ms: u64,
+    pub(crate) promotions: u64,
+    pub(crate) evictions: u64,
+    pub(crate) reaped: u64,
 }
 
 /// The deterministic, I/O-free arbitration core shared by the simulated
@@ -237,6 +275,81 @@ impl ArbiterCore {
             deadline_rejections: self.deadline_rejections,
             mallocs_shed: self.mallocs_shed,
             pending_est_ms: self.pending_est_ms,
+        }
+    }
+
+    /// Captures the core's complete decision state for a durable
+    /// snapshot. The recording buffer is not captured.
+    pub(crate) fn snapshot(&self) -> CoreSnapshot {
+        CoreSnapshot {
+            device: self.device.clone(),
+            config: self.config.clone(),
+            now: self.now,
+            next_seq: self.next_seq,
+            draining: self.draining,
+            residents: self.residents.clone(),
+            waiters: self.waiters.clone(),
+            last_range: self.last_range.clone(),
+            deadlines: self.deadlines.clone(),
+            sessions: self.sessions.iter().map(|(&s, g)| (s, g.stats())).collect(),
+            lease_session: self.lease_session.clone(),
+            pending: self
+                .pending
+                .iter()
+                .map(|(&l, q)| (l, q.iter().copied().collect()))
+                .collect(),
+            global: self.global.stats(),
+            active_sessions: self.active_sessions,
+            sessions_admitted: self.sessions_admitted,
+            sessions_rejected: self.sessions_rejected,
+            launches_completed: self.launches_completed,
+            launches_failed: self.launches_failed,
+            deadline_rejections: self.deadline_rejections,
+            mallocs_shed: self.mallocs_shed,
+            pending_est_ms: self.pending_est_ms,
+            promotions: self.promotions,
+            evictions: self.evictions,
+            reaped: self.reaped,
+        }
+    }
+
+    /// Rebuilds a core from a [`CoreSnapshot`]; the exact inverse of
+    /// [`ArbiterCore::snapshot`] (recording off).
+    pub(crate) fn from_snapshot(snap: CoreSnapshot) -> Self {
+        Self {
+            device: snap.device,
+            config: snap.config,
+            now: snap.now,
+            next_seq: snap.next_seq,
+            draining: snap.draining,
+            residents: snap.residents,
+            waiters: snap.waiters,
+            last_range: snap.last_range,
+            deadlines: snap.deadlines,
+            sessions: snap
+                .sessions
+                .into_iter()
+                .map(|(s, st)| (s, LaunchGauge::from_stats(st)))
+                .collect(),
+            lease_session: snap.lease_session,
+            pending: snap
+                .pending
+                .into_iter()
+                .map(|(l, v)| (l, v.into_iter().collect()))
+                .collect(),
+            global: LaunchGauge::from_stats(snap.global),
+            active_sessions: snap.active_sessions,
+            sessions_admitted: snap.sessions_admitted,
+            sessions_rejected: snap.sessions_rejected,
+            launches_completed: snap.launches_completed,
+            launches_failed: snap.launches_failed,
+            deadline_rejections: snap.deadline_rejections,
+            mallocs_shed: snap.mallocs_shed,
+            pending_est_ms: snap.pending_est_ms,
+            promotions: snap.promotions,
+            evictions: snap.evictions,
+            reaped: snap.reaped,
+            record: None,
         }
     }
 

@@ -71,6 +71,12 @@ impl LeaseTable {
         self.entries.is_empty()
     }
 
+    /// The registered leases, in ascending order. Crash handling walks
+    /// this to evict every in-flight dispatch before the scene capture.
+    pub fn leases(&self) -> Vec<u64> {
+        self.entries.keys().copied().collect()
+    }
+
     /// Absolute `slateIdx` progress of `lease`, if registered.
     pub fn progress(&self, lease: u64) -> Option<u64> {
         self.entries.get(&lease).map(|e| e.handle.progress())
@@ -168,7 +174,7 @@ impl DispatcherBackend {
     /// Health as of this instant: flap outages and degraded windows expire
     /// on the wall clock without a state-mutating tick.
     fn current_health(&self) -> DeviceHealth {
-        if self.lost && !self.down_until.is_some_and(|t| Instant::now() >= t) {
+        if self.lost && self.down_until.is_none_or(|t| Instant::now() < t) {
             return DeviceHealth::Lost;
         }
         if self.degraded_until.is_some_and(|t| Instant::now() < t) {

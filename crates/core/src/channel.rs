@@ -36,6 +36,12 @@ pub type KernelFactory =
 
 /// A kernel launch command.
 pub struct LaunchCmd {
+    /// Client-assigned launch id, unique and monotonic per session. The
+    /// daemon logs it with the admission and completion records, which is
+    /// what lets a resumed client blindly resubmit unacknowledged
+    /// launches: ids the daemon has already completed (or adopted from a
+    /// crash scene) are deduplicated server-side instead of re-executed.
+    pub launch_id: u64,
     /// Device allocations the kernel binds, in factory order.
     pub ptrs: Vec<SlatePtr>,
     /// Kernel constructor, invoked daemon-side after pointer resolution.

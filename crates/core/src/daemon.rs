@@ -96,9 +96,10 @@ use crate::arbiter::{ArbiterConfig, Command, Event as ArbEvent, EventLog};
 use crate::backend::LeaseTable;
 use crate::channel::{LaunchCmd, Request, Response, SlatePtr};
 use crate::dispatch::{DispatchHandle, Dispatcher};
+use crate::durability::{recover_dir, Durability, DurabilityOptions, DurableMeta, WalRecord};
 use crate::error::SlateError;
 use crate::injector::InjectionCache;
-use crate::placement::replay::PlacementLog;
+use crate::placement::replay::{PlacementBatch, PlacementLog};
 use crate::placement::{
     HealthConfig, HealthState, PlacementConfig, PlacementLayer, PlacementPolicy, PlacementStats,
     RebalanceConfig, RoutedCommand,
@@ -107,12 +108,13 @@ use crate::profile::ProfileTable;
 use crate::queue::QueueStats;
 use crate::sync::{Condvar, Mutex};
 use crate::transform::TransformedKernel;
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use serde::{Deserialize, Serialize};
 use slate_gpu_sim::buffer::{DeviceMemoryPool, DevicePtr, GpuBuffer};
 use slate_gpu_sim::device::{DeviceConfig, SmRange};
 use slate_gpu_sim::fault::{FaultKind, FaultPlan, FaultSite, FaultToken};
 use slate_gpu_sim::workqueue::HyperQ;
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Weak};
 use std::thread::JoinHandle;
@@ -145,44 +147,100 @@ struct ArbInner {
 /// waiters.
 struct ArbFrontend {
     /// Epoch of the logical clock ([`crate::arbiter::Tick`]s are
-    /// microseconds since this instant).
+    /// microseconds since this instant, offset by `base_us`).
     epoch: Instant,
+    /// Logical-clock offset: a recovered daemon resumes the crashed
+    /// incarnation's clock instead of restarting at zero, so the WAL's
+    /// tick stream stays monotonic across epochs.
+    base_us: u64,
     inner: Mutex<ArbInner>,
     /// Signalled after every feed; `wait_grant` blocks on it.
     granted: Condvar,
+    /// Raised by [`SlateDaemon::crash`] *under the arbiter lock*: every
+    /// later feed becomes a no-op (`fed == false`), which is what keeps
+    /// the WAL and the in-memory core in lockstep at the kill point.
+    crashed: AtomicBool,
+    /// Write-ahead log sink; every non-heartbeat fed batch is appended
+    /// while the arbiter lock is held, so the log's batch order is the
+    /// feed order.
+    durability: Option<Arc<Durability>>,
+}
+
+/// Outcome of [`ArbFrontend::wait_grant`]: either a granted SM range, or
+/// the daemon crashed while the kernel was queued.
+enum GrantWait {
+    /// Granted (device index, SM range).
+    Granted(usize, SmRange),
+    /// The daemon crashed. `ready_fed` tells whether this kernel's
+    /// [`ArbEvent::KernelReady`] made it into the core (and the WAL)
+    /// before the kill — adoption must feed a clearing `KernelFinished`
+    /// exactly when it did.
+    Crashed { ready_fed: bool },
 }
 
 impl ArbFrontend {
-    fn new(layer: PlacementLayer) -> Self {
+    fn new(layer: PlacementLayer, base_us: u64, durability: Option<Arc<Durability>>) -> Self {
         Self {
             epoch: Instant::now(),
+            base_us,
             inner: Mutex::new(ArbInner {
                 layer,
                 grants: BTreeMap::new(),
                 leases: LeaseTable::new(),
             }),
             granted: Condvar::new(),
+            crashed: AtomicBool::new(false),
+            durability,
         }
     }
 
     fn now_us(&self) -> u64 {
-        self.epoch.elapsed().as_micros() as u64
+        self.base_us + self.epoch.elapsed().as_micros() as u64
+    }
+
+    fn crashed(&self) -> bool {
+        self.crashed.load(Ordering::SeqCst)
     }
 
     /// Feeds one batch to the placement layer and carries out the routed
-    /// commands.
+    /// commands. After a crash this is a no-op returning no commands.
     fn feed(&self, events: &[ArbEvent]) -> Vec<RoutedCommand> {
         let mut inner = self.inner.lock();
-        self.feed_locked(&mut inner, events)
+        self.feed_locked(&mut inner, events).0
     }
 
+    /// Feeds under the already-held lock. Returns the routed commands and
+    /// whether the batch was actually fed (`false` after a crash — the
+    /// caller must treat the event as never having happened).
     fn feed_locked(
         &self,
         inner: &mut crate::sync::MutexGuard<'_, ArbInner>,
         events: &[ArbEvent],
-    ) -> Vec<RoutedCommand> {
+    ) -> (Vec<RoutedCommand>, bool) {
+        if self.crashed() {
+            // Crashed under this same lock: nothing fed after the kill
+            // point may touch the core or the (frozen) WAL.
+            return (Vec::new(), false);
+        }
         let now = self.now_us();
         let routed = inner.layer.feed(now, events);
+        if let Some(d) = &self.durability {
+            // Heartbeat filter (same rule as the in-memory recorder): an
+            // all-tick batch that routed nothing changes no state and
+            // would swamp the log.
+            let heartbeat_only = events.iter().all(|e| matches!(e, ArbEvent::DeadlineTick));
+            if !(heartbeat_only && routed.is_empty()) {
+                let layer = &inner.layer;
+                let batch = PlacementBatch {
+                    // The layer clamps time monotonic; record the clamped
+                    // tick so replay feeds exactly what the core saw.
+                    at: layer.now(),
+                    events: events.to_vec(),
+                    routed: routed.clone(),
+                };
+                d.append_batch(&batch, || layer.snapshot());
+            }
+        }
         for r in &routed {
             match &r.command {
                 Command::Dispatch { lease, range } => {
@@ -199,7 +257,7 @@ impl ArbFrontend {
             }
         }
         self.granted.notify_all();
-        routed
+        (routed, true)
     }
 
     /// The device `lease` currently routes to (its session's device, or
@@ -228,20 +286,29 @@ impl ArbFrontend {
     /// Registers the kernel's dispatch handle, announces it ready, and
     /// blocks until its device's core grants it an SM range. The wait is
     /// bounded (the 1 ms heartbeat re-runs scheduling anyway), so a lost
-    /// wakeup during teardown cannot wedge the thread.
+    /// wakeup during teardown cannot wedge the thread; a crash unblocks
+    /// every waiter with [`GrantWait::Crashed`].
     fn wait_grant(
         &self,
         lease: u64,
         ready: ArbEvent,
         handle: DispatchHandle,
         token: Option<FaultToken>,
-    ) -> (usize, SmRange) {
+    ) -> GrantWait {
         let mut inner = self.inner.lock();
         inner.leases.register(lease, handle, token);
-        self.feed_locked(&mut inner, std::slice::from_ref(&ready));
+        let (_, fed) = self.feed_locked(&mut inner, std::slice::from_ref(&ready));
+        if !fed {
+            inner.leases.release(lease);
+            return GrantWait::Crashed { ready_fed: false };
+        }
         loop {
-            if let Some(grant) = inner.grants.remove(&lease) {
-                return grant;
+            if let Some((device, range)) = inner.grants.remove(&lease) {
+                return GrantWait::Granted(device, range);
+            }
+            if self.crashed() {
+                inner.leases.release(lease);
+                return GrantWait::Crashed { ready_fed: true };
             }
             let _ = self.granted.wait_for(&mut inner, Duration::from_millis(5));
         }
@@ -249,11 +316,14 @@ impl ArbFrontend {
 
     /// Reports the dispatch finished (drained, faulted or evicted) and
     /// drops its handle; the lease's core re-schedules (survivor regrow,
-    /// next waiter dispatch) in the same feed.
-    fn finish(&self, lease: u64, ok: bool) {
+    /// next waiter dispatch) in the same feed. Returns whether the finish
+    /// actually landed — `false` means the daemon crashed first and the
+    /// launch must be parked for adoption instead.
+    fn finish(&self, lease: u64, ok: bool) -> bool {
         let mut inner = self.inner.lock();
         inner.leases.release(lease);
-        self.feed_locked(&mut inner, &[ArbEvent::KernelFinished { lease, ok }]);
+        let (_, fed) = self.feed_locked(&mut inner, &[ArbEvent::KernelFinished { lease, ok }]);
+        fed
     }
 }
 
@@ -269,6 +339,55 @@ fn shed_retry(routed: &[RoutedCommand], session: u64) -> Option<u64> {
         } if *s == session => Some(*retry_after_ms),
         _ => None,
     })
+}
+
+/// One launch that was in flight (queued, granted, or running) when the
+/// daemon crashed. Captured into the [`CrashScene`] and re-executed —
+/// from its carried `slateIdx` progress — by the recovered daemon's
+/// adoption pass, so no user block runs twice and none is lost.
+struct CrashInflight {
+    session: u64,
+    lease: u64,
+    launch_id: u64,
+    kernel: Arc<dyn slate_kernels::kernel::GpuKernel>,
+    task_size: u32,
+    pinned_solo: bool,
+    deadline_ms: Option<u64>,
+    /// Blocks already executed (absolute `slateIdx` progress); adoption
+    /// resumes the dispatch from here.
+    progress: u64,
+    /// Whether this launch's `KernelReady` reached the core (and the WAL)
+    /// before the kill. At most the head job of a lease can be ready.
+    ready: bool,
+}
+
+/// Everything that survives a [`SlateDaemon::crash`] in memory: the device
+/// memory pool (device memory outlives a daemon process restart) and the
+/// launches that were in flight. Hand it to [`SlateDaemon::recover`]
+/// together with the durability directory to resurrect the fleet.
+pub struct CrashScene {
+    pool: DeviceMemoryPool,
+    inflight: Vec<CrashInflight>,
+}
+
+impl CrashScene {
+    /// Number of launches that were in flight at the kill point.
+    pub fn inflight_launches(&self) -> usize {
+        self.inflight.len()
+    }
+}
+
+/// An epoch-tagged resumption credential: everything a client needs to
+/// reattach its session to a recovered daemon. Minted by
+/// [`crate::api::SlateClient::resume_token`]; redeemed by
+/// [`SlateDaemon::resume`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ResumeToken {
+    /// Recovery epoch of the incarnation the client was connected to.
+    /// Resumption is only valid into a *later* epoch.
+    pub epoch: u64,
+    /// The session to re-adopt.
+    pub session: u64,
 }
 
 /// Shared daemon state.
@@ -295,6 +414,27 @@ struct DaemonShared {
     /// Live session count + condvar for the shutdown drain.
     active_sessions: Mutex<usize>,
     session_drained: Condvar,
+    /// Write-ahead log + snapshot sink (None: the daemon is ephemeral).
+    /// The same handle the arbiter frontend appends batches through.
+    durability: Option<Arc<Durability>>,
+    /// Launches deposited by their executing threads when a crash cut
+    /// them off; drained into the [`CrashScene`] after session threads
+    /// joined.
+    crash_inflight: Mutex<Vec<CrashInflight>>,
+    /// Per-session adoption threads of a recovered daemon, joined by the
+    /// session's resumed thread (or [`SlateDaemon::join`]) before any new
+    /// request runs — adopted and fresh work never interleave on a lease.
+    adoptions: Mutex<BTreeMap<u64, JoinHandle<()>>>,
+    /// Errors adopted launches hit (watchdog timeouts etc.), surfaced at
+    /// the resumed client's next synchronize.
+    adoption_errors: Mutex<BTreeMap<u64, Vec<String>>>,
+    /// Sessions already resumed in this incarnation; a token is good for
+    /// one reattach.
+    resumed: Mutex<BTreeSet<u64>>,
+    /// Launch ids adopted from the crash scene, per session: replayed
+    /// client launches dedupe against these (and against WAL-completed
+    /// ids), which is what makes resubmission idempotent.
+    adopted_ids: Mutex<BTreeMap<u64, BTreeSet<u64>>>,
 }
 
 /// Construction-time daemon configuration beyond device geometry.
@@ -343,6 +483,13 @@ pub struct DaemonOptions {
     /// *currently healthy* device count, so shedding tightens as the
     /// fleet degrades. The default admits everything.
     pub fleet: FleetAdmissionConfig,
+    /// Crash consistency: with a [`DurabilityOptions`] set, every
+    /// placement batch and session mutation is written ahead to a
+    /// checksummed WAL under its directory, snapshotted every
+    /// [`DurabilityOptions::snapshot_every`] batches, and
+    /// [`SlateDaemon::recover`] can rebuild the daemon after a kill.
+    /// `None` (the default) keeps the daemon fully in-memory.
+    pub durability: Option<DurabilityOptions>,
 }
 
 impl Default for DaemonOptions {
@@ -359,6 +506,7 @@ impl Default for DaemonOptions {
             rebalance: None,
             health: HealthConfig::default(),
             fleet: FleetAdmissionConfig::default(),
+            durability: None,
         }
     }
 }
@@ -376,6 +524,16 @@ pub struct SlateDaemon {
 pub struct Connection {
     /// Session id assigned by the daemon.
     pub session: u64,
+    /// Recovery epoch of the daemon incarnation that minted this
+    /// connection (0 for a non-durable daemon). Carried into
+    /// [`ResumeToken`]s so resumption is only honoured across a restart.
+    pub epoch: u64,
+    /// Smallest launch id a client of this connection may assign: 0 for a
+    /// fresh session; one past the highest id the WAL has seen for a
+    /// resumed one, so a client built fresh over a resumed connection
+    /// never collides with (and gets silently deduplicated against) its
+    /// predecessor's ids.
+    pub launch_floor: u64,
     /// Command pipe, client-to-daemon.
     pub tx: Sender<Request>,
     /// Response pipe, daemon-to-client.
@@ -434,6 +592,12 @@ impl SlateDaemon {
                 fleet: options.fleet,
             },
         );
+        // The genesis anchor (snapshot 0 of segment 0) captures the
+        // pristine fleet, so the full WAL replays from a fresh layer.
+        let durability = options.durability.map(|opts| {
+            Durability::start(opts, 0, 0, &layer.snapshot(), DurableMeta::default())
+                .expect("initialize durability directory")
+        });
         if options.record_arbiter {
             layer.start_recording();
         }
@@ -443,7 +607,7 @@ impl SlateDaemon {
             pool: Mutex::new(DeviceMemoryPool::new(mem_capacity)),
             injector: Mutex::new(InjectionCache::new()),
             profiles: Mutex::new(options.profiles),
-            arb: ArbFrontend::new(layer),
+            arb: ArbFrontend::new(layer, 0, durability.clone()),
             launches: Mutex::new(0),
             hyperq: Mutex::new(HyperQ::with_default_connections()),
             faults: Mutex::new(options.fault_plan),
@@ -451,6 +615,12 @@ impl SlateDaemon {
             shutting_down: AtomicBool::new(false),
             active_sessions: Mutex::new(0),
             session_drained: Condvar::new(),
+            durability,
+            crash_inflight: Mutex::new(Vec::new()),
+            adoptions: Mutex::new(BTreeMap::new()),
+            adoption_errors: Mutex::new(BTreeMap::new()),
+            resumed: Mutex::new(BTreeSet::new()),
+            adopted_ids: Mutex::new(BTreeMap::new()),
         });
         spawn_heartbeat(Arc::downgrade(&shared));
         Arc::new(Self {
@@ -481,11 +651,28 @@ impl SlateDaemon {
             *n += 1;
             *n
         };
-        let cmds = self.shared.arb.feed(&[ArbEvent::SessionOpened { session }]);
-        if let Some(retry) = shed_retry(&cmds, session) {
-            return Err(SlateError::Overloaded {
-                retry_after_ms: retry,
-            });
+        {
+            // Admission feed and the durable session record land under one
+            // arbiter lock: a crash can separate neither from the other.
+            let mut inner = self.shared.arb.inner.lock();
+            let (cmds, fed) = self
+                .shared
+                .arb
+                .feed_locked(&mut inner, &[ArbEvent::SessionOpened { session }]);
+            if !fed {
+                return Err(SlateError::ShuttingDown);
+            }
+            if let Some(retry) = shed_retry(&cmds, session) {
+                return Err(SlateError::Overloaded {
+                    retry_after_ms: retry,
+                });
+            }
+            if let Some(d) = &self.shared.durability {
+                d.append_meta(&WalRecord::SessionMeta {
+                    session,
+                    user: user.to_string(),
+                });
+            }
         }
         let (tx_req, rx_req) = unbounded::<Request>();
         let (tx_resp, rx_resp) = unbounded::<Response>();
@@ -495,7 +682,8 @@ impl SlateDaemon {
         let handle = std::thread::Builder::new()
             .name(format!("slate-session-{session}"))
             .spawn(move || {
-                session_loop(shared.clone(), session, user, rx_req, tx_resp);
+                let st = SessionState::fresh(session);
+                session_loop(shared.clone(), session, user, rx_req, tx_resp, st);
                 let mut active = shared.active_sessions.lock();
                 *active -= 1;
                 shared.session_drained.notify_all();
@@ -504,9 +692,24 @@ impl SlateDaemon {
         self.sessions.lock().push(handle);
         Ok(Connection {
             session,
+            epoch: self.epoch(),
+            launch_floor: 0,
             tx: tx_req,
             rx: rx_resp,
         })
+    }
+
+    /// The daemon's recovery epoch: 0 at first start, incremented by every
+    /// [`SlateDaemon::recover`]. Non-durable daemons are always epoch 0.
+    pub fn epoch(&self) -> u64 {
+        self.shared.durability.as_ref().map_or(0, |d| d.epoch())
+    }
+
+    /// WAL append failures swallowed so far (durable daemons only; the
+    /// daemon keeps serving on a sick disk, trading durability for
+    /// availability, but the count is observable).
+    pub fn wal_io_errors(&self) -> u64 {
+        self.shared.durability.as_ref().map_or(0, |d| d.io_errors())
     }
 
     /// Begins a graceful shutdown: new connections are refused with
@@ -688,11 +891,264 @@ impl SlateDaemon {
         }
     }
 
-    /// Waits for all session threads to finish (after clients disconnect).
+    /// Waits for all session threads to finish (after clients disconnect),
+    /// and for any still-running adoption pass of a recovered daemon.
     pub fn join(&self) {
         let handles: Vec<_> = std::mem::take(&mut *self.sessions.lock());
         for h in handles {
             let _ = h.join();
+        }
+        let adoptions: Vec<_> = std::mem::take(&mut *self.shared.adoptions.lock())
+            .into_values()
+            .collect();
+        for h in adoptions {
+            let _ = h.join();
+        }
+    }
+
+    /// Kills the daemon at an arbitrary instant, as a `SIGKILL` would:
+    /// no drain, no goodbye to clients, no final WAL flush beyond what
+    /// already hit the disk. Under the arbiter lock the crash flag is
+    /// raised and the WAL frozen — the kill point is one well-defined
+    /// cut through the event stream. Session threads are then joined
+    /// (each exits at its next request boundary; running kernels are
+    /// evicted through the retreat flag and deposit their carried
+    /// progress), and everything that survives a process death in the
+    /// real deployment — device memory, in-flight work — is returned as
+    /// the [`CrashScene`] for [`SlateDaemon::recover`].
+    pub fn crash(&self) -> CrashScene {
+        {
+            let inner = self.shared.arb.inner.lock();
+            self.shared.arb.crashed.store(true, Ordering::SeqCst);
+            self.shared.shutting_down.store(true, Ordering::Release);
+            if let Some(d) = &self.shared.durability {
+                d.freeze();
+            }
+            // Evict every in-flight dispatch: workers observe the retreat
+            // flag at their next block boundary and the run() calls return
+            // with carried progress.
+            for lease in inner.leases.leases() {
+                inner.leases.apply(&Command::Evict { lease });
+            }
+            self.shared.arb.granted.notify_all();
+        }
+        self.join();
+        let inflight = std::mem::take(&mut *self.shared.crash_inflight.lock());
+        let pool = std::mem::replace(&mut *self.shared.pool.lock(), DeviceMemoryPool::new(0));
+        CrashScene { pool, inflight }
+    }
+
+    /// Resurrects a crashed daemon from its durability directory plus the
+    /// in-memory [`CrashScene`]. State is rebuilt from the newest readable
+    /// snapshot and the WAL suffix (torn tails are truncated, corruption
+    /// reported — never panicked on); the epoch is bumped, a fresh WAL
+    /// segment with a new anchor snapshot is opened, and every in-flight
+    /// launch from the scene is re-adopted at its carried progress on a
+    /// per-session adoption thread. Crashed clients reattach with
+    /// [`SlateDaemon::resume`].
+    ///
+    /// Of `options`, the scheduling fields (`devices`, `placement`,
+    /// `admission`, ...) are ignored — the fleet and its configuration
+    /// come from the recovered snapshot; `profiles`, `fault_plan`,
+    /// `default_deadline_ms`, `record_arbiter` and `durability` apply.
+    /// `options.durability` must point at the crashed daemon's directory.
+    pub fn recover(scene: CrashScene, options: DaemonOptions) -> Result<Arc<Self>, SlateError> {
+        let dur_opts = options.durability.ok_or_else(|| {
+            SlateError::Other("recover requires DaemonOptions::durability".into())
+        })?;
+        let rec = recover_dir(&dur_opts.dir)
+            .map_err(|e| SlateError::Other(format!("recovery failed: {e}")))?;
+        let mut layer = rec.layer;
+        let epoch = rec.epoch + 1;
+        // Resume the logical clock past the crashed incarnation's last
+        // tick so the stitched WAL stays monotonic.
+        let base_us = layer.now() + 1;
+        let anchor = layer.snapshot();
+        let devices = anchor.devices();
+        let durability = Durability::start(
+            dur_opts,
+            rec.last_segment + 1,
+            epoch,
+            &anchor,
+            rec.meta.clone(),
+        )
+        .map_err(|e| SlateError::Other(format!("reopen durability: {e}")))?;
+        durability.append_meta(&WalRecord::Epoch { epoch });
+        if options.record_arbiter {
+            layer.start_recording();
+        }
+        let shared = Arc::new(DaemonShared {
+            cfg: devices[0].clone(),
+            devices,
+            pool: Mutex::new(scene.pool),
+            injector: Mutex::new(InjectionCache::new()),
+            profiles: Mutex::new(options.profiles),
+            arb: ArbFrontend::new(layer, base_us, Some(durability.clone())),
+            launches: Mutex::new(0),
+            hyperq: Mutex::new(HyperQ::with_default_connections()),
+            faults: Mutex::new(options.fault_plan),
+            default_deadline_ms: options.default_deadline_ms,
+            shutting_down: AtomicBool::new(false),
+            active_sessions: Mutex::new(0),
+            session_drained: Condvar::new(),
+            durability: Some(durability),
+            crash_inflight: Mutex::new(Vec::new()),
+            adoptions: Mutex::new(BTreeMap::new()),
+            adoption_errors: Mutex::new(BTreeMap::new()),
+            resumed: Mutex::new(BTreeSet::new()),
+            adopted_ids: Mutex::new(BTreeMap::new()),
+        });
+        spawn_heartbeat(Arc::downgrade(&shared));
+        let daemon = Arc::new(Self {
+            shared,
+            next_session: Mutex::new(rec.meta.next_session.max(1) - 1),
+            sessions: Mutex::new(Vec::new()),
+        });
+        daemon.adopt(scene.inflight);
+        Ok(daemon)
+    }
+
+    /// Spawns one adoption thread per crashed session, re-executing its
+    /// in-flight launches in their original order from their carried
+    /// progress.
+    fn adopt(self: &Arc<Self>, inflight: Vec<CrashInflight>) {
+        let mut by_session: BTreeMap<u64, Vec<CrashInflight>> = BTreeMap::new();
+        for job in inflight {
+            self.shared
+                .adopted_ids
+                .lock()
+                .entry(job.session)
+                .or_default()
+                .insert(job.launch_id);
+            by_session.entry(job.session).or_default().push(job);
+        }
+        for (session, jobs) in by_session {
+            let shared = self.shared.clone();
+            let handle = std::thread::Builder::new()
+                .name(format!("slate-adopt-{session}"))
+                .spawn(move || adopt_session(&shared, session, jobs))
+                .expect("spawn adoption thread");
+            self.shared.adoptions.lock().insert(session, handle);
+        }
+    }
+
+    /// Reattaches a crashed client's session. The token must come from an
+    /// earlier epoch of this durability lineage, name a session the WAL
+    /// says is still open, and not have been redeemed already — otherwise
+    /// [`SlateError::ResumeRejected`]. The returned [`Connection`] serves
+    /// the same session id: the pointer map is restored from durable
+    /// metadata, the pointer watermark never regresses, and launch ids the
+    /// WAL has seen (completed or adopted) are deduplicated server-side,
+    /// so the client may blindly resubmit everything unacknowledged.
+    pub fn resume(self: &Arc<Self>, token: ResumeToken) -> Result<Connection, SlateError> {
+        let Some(durability) = &self.shared.durability else {
+            return Err(SlateError::ResumeRejected(
+                "daemon is not durable".to_string(),
+            ));
+        };
+        if self.shared.shutting_down.load(Ordering::Acquire) {
+            return Err(SlateError::ShuttingDown);
+        }
+        let epoch = durability.epoch();
+        if token.epoch >= epoch {
+            return Err(SlateError::ResumeRejected(format!(
+                "token epoch {} is not from an earlier incarnation (current epoch {epoch})",
+                token.epoch
+            )));
+        }
+        let meta = durability.meta();
+        let Some(smeta) = meta.sessions.get(&token.session) else {
+            return Err(SlateError::ResumeRejected(format!(
+                "session {} is unknown to the log",
+                token.session
+            )));
+        };
+        if !smeta.open {
+            return Err(SlateError::ResumeRejected(format!(
+                "session {} was closed before the crash",
+                token.session
+            )));
+        }
+        if !self.shared.resumed.lock().insert(token.session) {
+            return Err(SlateError::ResumeRejected(format!(
+                "session {} was already resumed",
+                token.session
+            )));
+        }
+        let session = token.session;
+        let launch_floor = smeta
+            .admitted
+            .keys()
+            .chain(smeta.done.keys())
+            .max()
+            .map_or(0, |m| m + 1);
+        let st = SessionState::restore(session, smeta, &self.shared);
+        let user = smeta.user.clone();
+        let (tx_req, rx_req) = unbounded::<Request>();
+        let (tx_resp, rx_resp) = unbounded::<Response>();
+        let shared = self.shared.clone();
+        *self.shared.active_sessions.lock() += 1;
+        let handle = std::thread::Builder::new()
+            .name(format!("slate-session-{session}"))
+            .spawn(move || {
+                session_loop(shared.clone(), session, user, rx_req, tx_resp, st);
+                let mut active = shared.active_sessions.lock();
+                *active -= 1;
+                shared.session_drained.notify_all();
+            })
+            .expect("spawn session thread");
+        self.sessions.lock().push(handle);
+        Ok(Connection {
+            session,
+            epoch,
+            launch_floor,
+            tx: tx_req,
+            rx: rx_resp,
+        })
+    }
+}
+
+/// Re-executes one crashed session's in-flight launches, in order, from
+/// their carried progress. Grouped by lease: if the lease's head launch
+/// had announced `KernelReady` before the kill, the recovered core still
+/// holds that residency/waiter entry — a clearing `KernelFinished` is fed
+/// exactly once before the re-runs, mirroring the eviction the crash
+/// implied.
+fn adopt_session(shared: &Arc<DaemonShared>, session: u64, jobs: Vec<CrashInflight>) {
+    let mut order: Vec<u64> = Vec::new();
+    let mut by_lease: BTreeMap<u64, Vec<CrashInflight>> = BTreeMap::new();
+    for job in jobs {
+        if !by_lease.contains_key(&job.lease) {
+            order.push(job.lease);
+        }
+        by_lease.entry(job.lease).or_default().push(job);
+    }
+    for lease in order {
+        let jobs = by_lease.remove(&lease).unwrap_or_default();
+        if jobs.first().is_some_and(|j| j.ready) {
+            shared
+                .arb
+                .feed(&[ArbEvent::KernelFinished { lease, ok: false }]);
+        }
+        for job in jobs {
+            let out = execute_kernel(
+                shared,
+                job.lease,
+                job.launch_id,
+                job.kernel,
+                job.task_size,
+                job.pinned_solo,
+                job.deadline_ms,
+                job.progress,
+            );
+            if let Err(e) = out {
+                shared
+                    .adoption_errors
+                    .lock()
+                    .entry(session)
+                    .or_default()
+                    .push(e);
+            }
         }
     }
 }
@@ -716,10 +1172,56 @@ fn spawn_heartbeat(shared: Weak<DaemonShared>) {
         .expect("spawn heartbeat thread");
 }
 
-/// Per-session state: the pointer-mapping hash table of §IV-A1.
+/// Per-session state: the pointer-mapping hash table of §IV-A1, plus the
+/// crash-resumption bookkeeping (launch-id dedupe, resumed flag).
 struct SessionState {
     ptr_map: HashMap<SlatePtr, DevicePtr>,
     next_ptr: u64,
+    /// Launch ids whose work is already done (per the WAL) or adopted
+    /// from the crash scene: a resumed client's blind resubmission of
+    /// these is acknowledged without re-execution.
+    dedupe: BTreeSet<u64>,
+    /// Whether this session reattached after a crash; its thread joins
+    /// the session's adoption pass before serving anything.
+    resumed: bool,
+}
+
+impl SessionState {
+    fn fresh(session: u64) -> Self {
+        Self {
+            ptr_map: HashMap::new(),
+            next_ptr: session << 32,
+            dedupe: BTreeSet::new(),
+            resumed: false,
+        }
+    }
+
+    /// Rebuilds the state of a crashed session from its durable metadata:
+    /// the pointer map is restored entry for entry (device memory
+    /// survived in the [`CrashScene`] pool), the pointer watermark never
+    /// regresses below any pointer ever handed out, and the dedupe set is
+    /// completed-ids ∪ adopted-ids.
+    fn restore(
+        session: u64,
+        meta: &crate::durability::SessionMeta,
+        shared: &Arc<DaemonShared>,
+    ) -> Self {
+        let ptr_map = meta
+            .allocs
+            .iter()
+            .map(|(&p, a)| (SlatePtr(p), DevicePtr(a.device_ptr)))
+            .collect();
+        let mut dedupe: BTreeSet<u64> = meta.done.keys().copied().collect();
+        if let Some(adopted) = shared.adopted_ids.lock().get(&session) {
+            dedupe.extend(adopted.iter().copied());
+        }
+        Self {
+            ptr_map,
+            next_ptr: meta.next_ptr.max((session << 32) + 1) - 1,
+            dedupe,
+            resumed: true,
+        }
+    }
 }
 
 /// A launch job forwarded to a stream worker thread. Admission already
@@ -727,6 +1229,7 @@ struct SessionState {
 /// `execute_kernel` completes it by feeding
 /// [`ArbEvent::KernelFinished`].
 struct StreamJob {
+    launch_id: u64,
     kernel: Arc<dyn slate_kernels::kernel::GpuKernel>,
     task_size: u32,
     pinned_solo: bool,
@@ -762,10 +1265,12 @@ fn spawn_stream_lane(
                     let out = execute_kernel(
                         &shared,
                         lease,
+                        job.launch_id,
                         job.kernel,
                         job.task_size,
                         job.pinned_solo,
                         job.deadline_ms,
+                        0,
                     );
                     if let Err(e) = out {
                         errors.lock().push(e);
@@ -786,11 +1291,8 @@ fn session_loop(
     user: String,
     rx: Receiver<Request>,
     tx: Sender<Response>,
+    mut st: SessionState,
 ) {
-    let mut st = SessionState {
-        ptr_map: HashMap::new(),
-        next_ptr: session << 32,
-    };
     let mut lanes: HashMap<u32, StreamLane> = HashMap::new();
     let stream_errors: Arc<Mutex<Vec<String>>> = Arc::new(Mutex::new(Vec::new()));
     let shutdown_lanes = |lanes: &mut HashMap<u32, StreamLane>| {
@@ -799,9 +1301,45 @@ fn session_loop(
             let _ = lane.handle.join();
         }
     };
+    if st.resumed {
+        // Adopted launches finish before any new request runs, so adopted
+        // and replayed work never interleave on a lease; their errors
+        // surface at the client's next synchronize like any stream error.
+        let handle = shared.adoptions.lock().remove(&session);
+        if let Some(h) = handle {
+            let _ = h.join();
+        }
+        let errs = shared
+            .adoption_errors
+            .lock()
+            .remove(&session)
+            .unwrap_or_default();
+        stream_errors.lock().extend(errs);
+    }
     // Whether the client said goodbye; anything else is a reap.
     let mut clean_exit = false;
-    while let Ok(req) = rx.recv() {
+    // Whether the daemon crashed under us: exit silently, preserving all
+    // state for recovery (no frees, no close event, no farewell).
+    let mut crashed_exit = false;
+    loop {
+        // Bounded recv so a crash can't leave this thread parked forever
+        // on a quiet client.
+        let req = match rx.recv_timeout(Duration::from_millis(5)) {
+            Ok(req) => req,
+            Err(RecvTimeoutError::Timeout) => {
+                if shared.arb.crashed() {
+                    crashed_exit = true;
+                    break;
+                }
+                continue;
+            }
+            Err(RecvTimeoutError::Disconnected) => break,
+        };
+        if shared.arb.crashed() {
+            // The kill point precedes this request: it never happened.
+            crashed_exit = true;
+            break;
+        }
         // Injected channel drop: sever both pipes mid-request, as if the
         // client process died. The reap path below cleans up.
         if let Some(FaultKind::ChannelDrop) = shared.faults.lock().fire(FaultSite::Request, None) {
@@ -831,6 +1369,14 @@ fn session_loop(
                             st.next_ptr += 1;
                             let p = SlatePtr(st.next_ptr);
                             st.ptr_map.insert(p, dev);
+                            if let Some(d) = &shared.durability {
+                                d.append_meta(&WalRecord::Alloc {
+                                    session,
+                                    slate_ptr: p.0,
+                                    device_ptr: dev.0,
+                                    bytes,
+                                });
+                            }
                             Response::Ptr(p)
                         }
                         Err(_) => {
@@ -840,10 +1386,22 @@ fn session_loop(
                 }
             }
             Request::Free(p) => match st.ptr_map.remove(&p) {
-                Some(dev) => match shared.pool.lock().free(dev) {
-                    Ok(()) => Response::Ok,
-                    Err(e) => Response::Err(SlateError::Other(e).to_wire()),
-                },
+                Some(dev) => {
+                    // Log the free *before* releasing the backing store: a
+                    // crash in between leaks pool bytes (harmless), while
+                    // the opposite order would resurrect a dangling
+                    // pointer into a resumed session's map.
+                    if let Some(d) = &shared.durability {
+                        d.append_meta(&WalRecord::Free {
+                            session,
+                            slate_ptr: p.0,
+                        });
+                    }
+                    match shared.pool.lock().free(dev) {
+                        Ok(()) => Response::Ok,
+                        Err(e) => Response::Err(SlateError::Other(e).to_wire()),
+                    }
+                }
                 None => Response::Err(SlateError::InvalidPointer { ptr: p.0 }.to_wire()),
             },
             Request::MemcpyH2D { ptr, offset, data } => {
@@ -870,6 +1428,13 @@ fn session_loop(
             Request::Launch(cmd) => {
                 let stream = cmd.stream;
                 let deadline_ms = cmd.deadline_ms;
+                let launch_id = cmd.launch_id;
+                if st.dedupe.contains(&launch_id) {
+                    // A resumed client's blind resubmission of work that
+                    // already completed (per the WAL) or was adopted from
+                    // the crash scene: idempotent, nothing to do.
+                    continue;
+                }
                 match prepare_launch(&shared, &user, &st, cmd) {
                     Ok((kernel, task_size, pinned_solo)) => {
                         // Admission: bounded pending-launch queues (per
@@ -882,12 +1447,24 @@ fn session_loop(
                             .lock()
                             .estimate_solo_ms(kernel.name(), kernel.grid().total_blocks());
                         let lease = (session << 16) | stream as u64;
-                        let cmds = shared.arb.feed(&[ArbEvent::LaunchRequested {
-                            session,
-                            lease,
-                            est_ms,
-                            deadline_ms,
-                        }]);
+                        let (cmds, fed) = {
+                            let mut inner = shared.arb.inner.lock();
+                            shared.arb.feed_locked(
+                                &mut inner,
+                                &[ArbEvent::LaunchRequested {
+                                    session,
+                                    lease,
+                                    est_ms,
+                                    deadline_ms,
+                                }],
+                            )
+                        };
+                        if !fed {
+                            // Crashed before admission: the launch never
+                            // happened; the resumed client will resubmit.
+                            crashed_exit = true;
+                            break;
+                        }
                         if let Some(retry) = shed_retry(&cmds, session) {
                             Response::Err(
                                 SlateError::Overloaded {
@@ -895,32 +1472,44 @@ fn session_loop(
                                 }
                                 .to_wire(),
                             )
-                        } else if stream == 0 {
-                            // Default stream: in-order on the session
-                            // thread.
-                            let out = execute_kernel(
-                                &shared,
-                                lease,
-                                kernel,
-                                task_size,
-                                pinned_solo,
-                                deadline_ms,
-                            );
-                            match out {
-                                Ok(()) => continue,
-                                Err(e) => Response::Err(e),
-                            }
                         } else {
-                            let lane = lanes.entry(stream).or_insert_with(|| {
-                                spawn_stream_lane(shared.clone(), lease, stream_errors.clone())
-                            });
-                            let _ = lane.tx.send(LaneMsg::Job(StreamJob {
-                                kernel,
-                                task_size,
-                                pinned_solo,
-                                deadline_ms,
-                            }));
-                            continue; // asynchronous: no reply
+                            if let Some(d) = &shared.durability {
+                                d.append_meta(&WalRecord::LaunchAdmitted {
+                                    session,
+                                    launch_id,
+                                    lease,
+                                });
+                            }
+                            if stream == 0 {
+                                // Default stream: in-order on the session
+                                // thread.
+                                let out = execute_kernel(
+                                    &shared,
+                                    lease,
+                                    launch_id,
+                                    kernel,
+                                    task_size,
+                                    pinned_solo,
+                                    deadline_ms,
+                                    0,
+                                );
+                                match out {
+                                    Ok(()) => continue,
+                                    Err(e) => Response::Err(e),
+                                }
+                            } else {
+                                let lane = lanes.entry(stream).or_insert_with(|| {
+                                    spawn_stream_lane(shared.clone(), lease, stream_errors.clone())
+                                });
+                                let _ = lane.tx.send(LaneMsg::Job(StreamJob {
+                                    launch_id,
+                                    kernel,
+                                    task_size,
+                                    pinned_solo,
+                                    deadline_ms,
+                                }));
+                                continue; // asynchronous: no reply
+                            }
                         }
                     }
                     Err(e) => Response::Err(e),
@@ -957,6 +1546,16 @@ fn session_loop(
             break;
         }
     }
+    // Lanes are joined on every exit path: on a crash their queued jobs
+    // drain through `execute_kernel`, which deposits each one into the
+    // crash scene (in order) instead of running it.
+    shutdown_lanes(&mut lanes);
+    if crashed_exit || shared.arb.crashed() {
+        // Crashed: the session is *not* over — its memory, its arbiter
+        // residency (as recorded in the WAL) and its in-flight launches
+        // all carry over to the recovered daemon. Touch nothing.
+        return;
+    }
     // Either a clean Disconnect (cleanup already ran, the drains below are
     // no-ops) or the client vanished — process died, dropped its sender, or
     // an injected ChannelDrop severed the pipe. Reap the session exactly
@@ -964,7 +1563,6 @@ fn session_loop(
     // any arbiter residency (the surviving co-runner regrows to the full
     // device) and the session's Hyper-Q lanes. Lanes are joined first, so
     // no launch of this session is in flight when the core sees the close.
-    shutdown_lanes(&mut lanes);
     {
         let mut pool = shared.pool.lock();
         for (_, dev) in st.ptr_map.drain() {
@@ -976,6 +1574,9 @@ fn session_loop(
     } else {
         ArbEvent::SessionSevered { session }
     }]);
+    if let Some(d) = &shared.durability {
+        d.append_meta(&WalRecord::SessionClosed { session });
+    }
     shared
         .hyperq
         .lock()
@@ -1061,14 +1662,42 @@ impl slate_kernels::kernel::GpuKernel for HungKernel {
 /// injected fault before dispatch — feeds a final
 /// [`ArbEvent::KernelFinished`], which is what balances the admission
 /// gauges.
+///
+/// `start_from` is the absolute `slateIdx` progress to resume at: 0 for a
+/// fresh launch, the carried progress for a crash-adopted one. If the
+/// daemon crashes at any point of this call the launch is deposited into
+/// the crash scene at its current progress and `Ok` returned — the
+/// recovered daemon's adoption pass owns it from there, and the WAL-level
+/// `LaunchDone` record is written *before* the completion is fed to the
+/// core, so a kill between the two re-drains zero blocks rather than
+/// re-executing any.
+#[allow(clippy::too_many_arguments)]
 fn execute_kernel(
     shared: &Arc<DaemonShared>,
     lease: u64,
+    launch_id: u64,
     kernel: Arc<dyn slate_kernels::kernel::GpuKernel>,
     task_size: u32,
     pinned_solo: bool,
     deadline_ms: Option<u64>,
+    start_from: u64,
 ) -> Result<(), String> {
+    let session = lease >> 16;
+    // The untransformed kernel, as deposited for adoption on a crash.
+    let original = kernel.clone();
+    let deposit = |progress: u64, ready: bool| {
+        shared.crash_inflight.lock().push(CrashInflight {
+            session,
+            lease,
+            launch_id,
+            kernel: original.clone(),
+            task_size,
+            pinned_solo,
+            deadline_ms,
+            progress,
+            ready,
+        });
+    };
     // All sessions share the daemon's single device context; each
     // (session, stream) lane gets a Hyper-Q connection on it.
     const SERVER_CONTEXT: u64 = 0;
@@ -1123,7 +1752,7 @@ fn execute_kernel(
     // block executes twice.
     let transformed = TransformedKernel::new(kernel);
     let started = Instant::now();
-    let mut carried: u64 = 0;
+    let mut carried: u64 = start_from;
     let (out, ran_on) = loop {
         let device = &shared.devices[shared.arb.lease_device(lease)];
         let dispatcher = Dispatcher::resume(
@@ -1145,19 +1774,48 @@ fn execute_kernel(
             deadline_ms: deadline_ms.or(shared.default_deadline_ms),
         };
         let (granted_on, range) =
-            shared
+            match shared
                 .arb
-                .wait_grant(lease, ready, handle.clone(), hang_token.clone());
+                .wait_grant(lease, ready, handle.clone(), hang_token.clone())
+            {
+                GrantWait::Granted(device, range) => (device, range),
+                GrantWait::Crashed { ready_fed } => {
+                    deposit(carried, ready_fed);
+                    return Ok(());
+                }
+            };
         if range != SmRange::all(shared.devices[granted_on].num_sms) {
             // Bind the first worker launch onto the granted partition (the
             // raced retreat at worst costs one immediate relaunch).
             handle.resize(range);
         }
         let out = dispatcher.run();
+        if shared.arb.crashed() {
+            // The eviction that ended this run was the crash's blanket
+            // eviction, not a scheduling decision: park at the carried
+            // progress.
+            deposit(out.blocks, true);
+            return Ok(());
+        }
         // A migration target must be read before KernelFinished lands:
         // that feed completes the migration and flips the lease's route.
         let migrated = out.evicted && shared.arb.migration_target(lease).is_some();
-        shared.arb.finish(lease, !out.evicted);
+        if !out.evicted {
+            // Durable point of no return: once `LaunchDone` is on disk the
+            // launch will never re-execute, even if the completion feed
+            // below loses the race against a crash.
+            if let Some(d) = &shared.durability {
+                d.append_meta(&WalRecord::LaunchDone { session, launch_id });
+            }
+        }
+        let fed = shared.arb.finish(lease, !out.evicted);
+        if !fed {
+            // Crash landed between the run and its completion feed: the
+            // adoption re-run resumes at full progress and drains zero
+            // blocks, closing the launch in the recovered core.
+            deposit(out.blocks, true);
+            return Ok(());
+        }
         if migrated {
             carried = out.blocks;
             continue;

@@ -1,0 +1,397 @@
+//! Crash consistency for the daemon: durable WAL + snapshot/restore.
+//!
+//! The daemon's arbitration state is already event-sourced — every
+//! decision is a pure function of the fed event batches — so durability
+//! is exactly: persist the batches ([`wal`]), checkpoint the folded state
+//! periodically so recovery replays only a suffix ([`snapshot`]), and
+//! rebuild + re-adopt after a crash ([`recover`]). Layout on disk:
+//!
+//! ```text
+//! <dir>/snap-00000000.json   pristine genesis anchor (written at start)
+//! <dir>/wal-00000000.log     segment 0: one frame per fed batch + meta
+//! <dir>/snap-00000001.json   cadence checkpoint, anchors segment 1
+//! <dir>/wal-00000001.log     …
+//! ```
+//!
+//! Snapshot `k` captures state as of the *start* of segment `k`; recovery
+//! loads the newest readable snapshot and replays segments `≥ k`.
+//! Compaction deletes everything below the newest snapshot — superseded
+//! segments and snapshots alike.
+//!
+//! **Fsync policy.** Appends go straight to the file descriptor
+//! (crash-of-the-process can lose nothing acknowledged); `sync_all` runs
+//! at rotation, snapshot and freeze points (power-failure windows bounded
+//! by the snapshot cadence). I/O errors during appends are counted and
+//! surfaced via [`Durability::io_errors`] rather than propagated — an
+//! arbitration decision that already happened cannot be un-made by a full
+//! disk, and the counter lets operators alarm on it.
+
+pub mod recover;
+pub mod snapshot;
+pub mod wal;
+
+pub use recover::{full_log, recover_dir, Recovered};
+pub use snapshot::{AllocMeta, DurableMeta, DurableSnapshot, SessionMeta, SNAPSHOT_FORMAT};
+pub use wal::{WalIssue, WalRecord, WalScan};
+
+use crate::placement::PlacementSnapshot;
+use parking_lot::Mutex;
+use snapshot::write_snapshot;
+use std::io;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use wal::SegmentWriter;
+
+/// Knobs of the durability subsystem (see
+/// [`DaemonOptions::durability`](crate::daemon::DaemonOptions)).
+#[derive(Debug, Clone)]
+pub struct DurabilityOptions {
+    /// Directory holding WAL segments and snapshots. Created if absent.
+    pub dir: PathBuf,
+    /// Batches appended to a segment before the layer is re-snapshotted
+    /// and the log rotated. Smaller = faster recovery, more checkpoint
+    /// I/O.
+    pub snapshot_every: u64,
+    /// Keep superseded segments and snapshots instead of compacting them
+    /// away. The full-history placement log ([`full_log`]) stays
+    /// verifiable from genesis; used by the crash harness, debuggers and
+    /// anyone auditing a recovery.
+    pub keep_all: bool,
+}
+
+impl DurabilityOptions {
+    /// Durability under `dir` with the default cadence.
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        Self {
+            dir: dir.into(),
+            snapshot_every: 64,
+            keep_all: false,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct DurInner {
+    writer: Option<SegmentWriter>,
+    segment: u64,
+    batches_since_snap: u64,
+    meta: DurableMeta,
+    frozen: bool,
+}
+
+/// The live durability runtime: one open WAL segment, the mirrored
+/// session metadata, and the snapshot cadence counter. Shared by the
+/// daemon's arbiter frontend (batch appends) and its session threads
+/// (metadata appends).
+#[derive(Debug)]
+pub struct Durability {
+    options: DurabilityOptions,
+    epoch: u64,
+    inner: Mutex<DurInner>,
+    io_errors: AtomicU64,
+}
+
+impl Durability {
+    /// Starts durability at `segment` in `epoch`: writes the anchoring
+    /// snapshot of `placement` + `meta`, then opens the segment for
+    /// appending. Fresh daemons start at segment 0, epoch 0 (the pristine
+    /// genesis anchor); recovered daemons start one segment past the
+    /// crashed log, one epoch up.
+    pub fn start(
+        options: DurabilityOptions,
+        segment: u64,
+        epoch: u64,
+        placement: &PlacementSnapshot,
+        meta: DurableMeta,
+    ) -> io::Result<Arc<Self>> {
+        std::fs::create_dir_all(&options.dir)?;
+        write_snapshot(
+            &options.dir,
+            segment,
+            &DurableSnapshot {
+                format: SNAPSHOT_FORMAT,
+                epoch,
+                segment,
+                placement: placement.clone(),
+                meta: meta.clone(),
+            },
+        )?;
+        let writer = SegmentWriter::create(&options.dir, segment)?;
+        Ok(Arc::new(Self {
+            options,
+            epoch,
+            inner: Mutex::new(DurInner {
+                writer: Some(writer),
+                segment,
+                batches_since_snap: 0,
+                meta,
+                frozen: false,
+            }),
+            io_errors: AtomicU64::new(0),
+        }))
+    }
+
+    /// The recovery epoch this incarnation runs in.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The durability directory.
+    pub fn dir(&self) -> &std::path::Path {
+        &self.options.dir
+    }
+
+    /// Append I/O failures since start. Nonzero means the WAL has a gap:
+    /// recovery from this log may miss state, and operators should treat
+    /// the disk as suspect.
+    pub fn io_errors(&self) -> u64 {
+        self.io_errors.load(Ordering::Relaxed)
+    }
+
+    /// A clone of the mirrored session metadata.
+    pub fn meta(&self) -> DurableMeta {
+        self.inner.lock().meta.clone()
+    }
+
+    fn note_io<T>(&self, r: io::Result<T>) -> Option<T> {
+        match r {
+            Ok(v) => Some(v),
+            Err(_) => {
+                self.io_errors.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Appends a metadata record (session/alloc/launch bookkeeping) and
+    /// folds it into the mirror.
+    pub fn append_meta(&self, record: &WalRecord) {
+        let mut inner = self.inner.lock();
+        if inner.frozen {
+            return;
+        }
+        inner.meta.apply(record);
+        let r = inner.writer.as_mut().map(|w| w.append(record));
+        drop(inner);
+        if let Some(r) = r {
+            self.note_io(r);
+        }
+    }
+
+    /// Appends one fed placement batch; on cadence, rotates the segment
+    /// and writes a checkpoint of `placement_snap()` (called under the
+    /// same lock the batch was produced under, so the snapshot anchors
+    /// exactly the batches appended so far).
+    pub fn append_batch(
+        &self,
+        batch: &crate::placement::PlacementBatch,
+        placement_snap: impl FnOnce() -> PlacementSnapshot,
+    ) {
+        let mut inner = self.inner.lock();
+        if inner.frozen {
+            return;
+        }
+        let record = WalRecord::Batch {
+            batch: batch.clone(),
+        };
+        if let Some(w) = inner.writer.as_mut() {
+            if w.append(&record).is_err() {
+                self.io_errors.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        inner.batches_since_snap += 1;
+        if inner.batches_since_snap < self.options.snapshot_every {
+            return;
+        }
+        // Rotate first, then anchor the new segment with the checkpoint:
+        // a crash between the two leaves the previous snapshot + a full
+        // replay of the (closed) old segment — nothing lost.
+        inner.batches_since_snap = 0;
+        if let Some(w) = inner.writer.as_mut() {
+            let _ = w.sync();
+        }
+        inner.segment += 1;
+        let seg = inner.segment;
+        match SegmentWriter::create(&self.options.dir, seg) {
+            Ok(w) => inner.writer = Some(w),
+            Err(_) => {
+                self.io_errors.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+        }
+        let snap = DurableSnapshot {
+            format: SNAPSHOT_FORMAT,
+            epoch: self.epoch,
+            segment: seg,
+            placement: placement_snap(),
+            meta: inner.meta.clone(),
+        };
+        if write_snapshot(&self.options.dir, seg, &snap).is_err() {
+            self.io_errors.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        drop(inner);
+        if !self.options.keep_all {
+            self.compact();
+        }
+    }
+
+    /// Deletes segments and snapshots superseded by the newest snapshot.
+    /// No-op under `keep_all`. Best-effort: removal failures are counted,
+    /// not fatal — stale files only cost disk.
+    pub fn compact(&self) {
+        if self.options.keep_all {
+            return;
+        }
+        let newest = {
+            let inner = self.inner.lock();
+            inner.segment
+        };
+        let dir = &self.options.dir;
+        for (k, path) in wal::list_segments(dir).unwrap_or_default() {
+            if k < newest && self.note_io(std::fs::remove_file(path)).is_none() {
+                return;
+            }
+        }
+        for (k, path) in wal::list_snapshots(dir).unwrap_or_default() {
+            if k < newest && self.note_io(std::fs::remove_file(path)).is_none() {
+                return;
+            }
+        }
+    }
+
+    /// Stops all appends (used at shutdown and at the crash point of the
+    /// kill harness) after syncing what was written. Idempotent.
+    pub fn freeze(&self) {
+        let mut inner = self.inner.lock();
+        if inner.frozen {
+            return;
+        }
+        inner.frozen = true;
+        let r = inner.writer.as_mut().map(|w| w.sync());
+        drop(inner);
+        if let Some(r) = r {
+            self.note_io(r);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::placement::{PlacementConfig, PlacementLayer};
+    use slate_gpu_sim::device::DeviceConfig;
+    use std::path::Path;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "slate-dur-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+        dir
+    }
+
+    fn count(dir: &Path) -> (usize, usize) {
+        (
+            wal::list_segments(dir).unwrap().len(),
+            wal::list_snapshots(dir).unwrap().len(),
+        )
+    }
+
+    #[test]
+    fn cadence_rotates_snapshots_and_compacts() {
+        let dir = tmpdir("cadence");
+        let mut layer =
+            PlacementLayer::new(vec![DeviceConfig::tiny(8)], PlacementConfig::default());
+        let mut options = DurabilityOptions::new(&dir);
+        options.snapshot_every = 2;
+        let d = Durability::start(options, 0, 0, &layer.snapshot(), DurableMeta::default())
+            .expect("start");
+        for i in 0..5u64 {
+            let events = vec![crate::arbiter::Event::SessionOpened { session: i + 1 }];
+            let routed = layer.feed(i * 10, &events);
+            d.append_batch(
+                &crate::placement::PlacementBatch {
+                    at: i * 10,
+                    events,
+                    routed,
+                },
+                || layer.snapshot(),
+            );
+        }
+        // 5 batches at cadence 2: rotated after 2 and 4; compaction keeps
+        // only the newest segment + snapshot pair.
+        let (segs, snaps) = count(&dir);
+        assert_eq!((segs, snaps), (1, 1), "compaction retired the rest");
+        let rec = recover_dir(&dir).expect("recover");
+        assert!(rec.issues.is_empty());
+        assert_eq!(rec.last_segment, 2);
+        assert_eq!(
+            serde_json::to_string(&rec.layer.snapshot()).unwrap(),
+            serde_json::to_string(&layer.snapshot()).unwrap(),
+            "recovered layer matches the live one"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn keep_all_retains_full_history_for_the_genesis_log() {
+        let dir = tmpdir("keepall");
+        let mut layer =
+            PlacementLayer::new(vec![DeviceConfig::tiny(8)], PlacementConfig::default());
+        let mut options = DurabilityOptions::new(&dir);
+        options.snapshot_every = 2;
+        options.keep_all = true;
+        let d = Durability::start(options, 0, 0, &layer.snapshot(), DurableMeta::default())
+            .expect("start");
+        for i in 0..5u64 {
+            let events = vec![crate::arbiter::Event::SessionOpened { session: i + 1 }];
+            let routed = layer.feed(i * 10, &events);
+            d.append_batch(
+                &crate::placement::PlacementBatch {
+                    at: i * 10,
+                    events,
+                    routed,
+                },
+                || layer.snapshot(),
+            );
+        }
+        d.freeze();
+        let (segs, snaps) = count(&dir);
+        assert_eq!((segs, snaps), (3, 3), "nothing compacted");
+        let log = full_log(&dir).expect("full log");
+        assert_eq!(log.batches.len(), 5);
+        crate::placement::replay::verify(&log).expect("full history verifies from genesis");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn frozen_durability_drops_appends() {
+        let dir = tmpdir("frozen");
+        let layer = PlacementLayer::new(vec![DeviceConfig::tiny(8)], PlacementConfig::default());
+        let d = Durability::start(
+            DurabilityOptions::new(&dir),
+            0,
+            0,
+            &layer.snapshot(),
+            DurableMeta::default(),
+        )
+        .expect("start");
+        d.freeze();
+        d.freeze(); // idempotent
+        d.append_meta(&WalRecord::SessionMeta {
+            session: 9,
+            user: "late".into(),
+        });
+        assert!(
+            d.meta().sessions.is_empty(),
+            "append after freeze is a no-op"
+        );
+        let rec = recover_dir(&dir).expect("recover");
+        assert!(rec.meta.sessions.is_empty());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -56,6 +56,11 @@ pub enum SlateError {
         /// Placement-layer index of the lost device.
         device: u64,
     },
+    /// A session-resumption token was refused: wrong epoch, unknown or
+    /// closed session, already redeemed, or the daemon keeps no durable
+    /// state. The session cannot be reattached; the client must
+    /// reconnect fresh.
+    ResumeRejected(String),
     /// Anything else, with the daemon's description.
     Other(String),
 }
@@ -77,6 +82,7 @@ impl SlateError {
                 format!("E_OVERLOADED:{retry_after_ms}")
             }
             SlateError::DeviceLost { device } => format!("E_DEVLOST:{device}"),
+            SlateError::ResumeRejected(m) => format!("E_RESUME:{m}"),
             SlateError::Other(m) => format!("E_OTHER:{m}"),
         }
     }
@@ -123,6 +129,9 @@ impl SlateError {
             if let Ok(device) = rest.parse() {
                 return SlateError::DeviceLost { device };
             }
+        }
+        if let Some(rest) = s.strip_prefix("E_RESUME:") {
+            return SlateError::ResumeRejected(rest.to_string());
         }
         SlateError::Other(s.strip_prefix("E_OTHER:").unwrap_or(s).to_string())
     }
@@ -179,6 +188,7 @@ impl fmt::Display for SlateError {
             SlateError::DeviceLost { device } => {
                 write!(f, "device {device} was lost while serving the request")
             }
+            SlateError::ResumeRejected(m) => write!(f, "session resumption rejected: {m}"),
             SlateError::Other(m) => write!(f, "{m}"),
         }
     }
@@ -209,6 +219,7 @@ mod tests {
             SlateError::ShuttingDown,
             SlateError::Overloaded { retry_after_ms: 42 },
             SlateError::DeviceLost { device: 2 },
+            SlateError::ResumeRejected("stale epoch".into()),
             SlateError::Other("misc".into()),
         ];
         for e in cases {
@@ -226,6 +237,11 @@ mod tests {
             "the fleet evacuates and heals; a retry lands on a serving device"
         );
         assert!(!SlateError::Disconnected.is_transient());
+        assert!(
+            !SlateError::ResumeRejected("no".into()).is_transient(),
+            "a refused token never becomes valid; reconnect instead"
+        );
+        assert!(!SlateError::ResumeRejected("no".into()).is_overload());
         assert!(!SlateError::OutOfMemory { requested: 1 }.is_transient());
         assert!(!SlateError::InvalidPointer { ptr: 1 }.is_transient());
         assert!(!SlateError::KernelFault("x".into()).is_transient());

@@ -39,6 +39,7 @@ pub mod channel;
 pub mod classify;
 pub mod daemon;
 pub mod dispatch;
+pub mod durability;
 pub mod error;
 pub mod injector;
 pub mod partition;
@@ -59,7 +60,8 @@ pub use api::SlateClient;
 pub use arbiter::{ArbiterConfig, ArbiterCore};
 pub use channel::SlatePtr;
 pub use classify::WorkloadClass;
-pub use daemon::SlateDaemon;
+pub use daemon::{ResumeToken, SlateDaemon};
+pub use durability::DurabilityOptions;
 pub use error::SlateError;
 pub use placement::{PlacementConfig, PlacementLayer, PlacementPolicy, RebalanceConfig};
 pub use policy::{should_corun, Verdict};

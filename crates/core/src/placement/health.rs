@@ -4,7 +4,8 @@
 //! Since PR 5 the unit of failure is a whole device, not just a kernel or
 //! a client: one wedged GPU strands every session routed to it. The
 //! placement layer therefore tracks one [`HealthState`] per device,
-//! driven by the arbiter-visible [`Event::DeviceDown`] /
+//! driven by the arbiter-visible
+//! [`Event::DeviceDown`](crate::arbiter::Event::DeviceDown) /
 //! [`Event::DeviceUp`](crate::arbiter::Event::DeviceUp) events:
 //!
 //! ```text
@@ -65,7 +66,10 @@ impl Default for HealthConfig {
 }
 
 /// The health of one device, as the placement layer sees it.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+///
+/// Serializable so durable daemon snapshots can persist the fleet's health
+/// and recovery restores it exactly (timers and all).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub enum HealthState {
     /// In service, behaving.
     #[default]
@@ -78,8 +82,9 @@ pub enum HealthState {
         /// When the quarantine lifts (into probation).
         until: Tick,
     },
-    /// Hard-lost; only an explicit [`Event::DeviceUp`]
-    /// (crate::arbiter::Event::DeviceUp) recovers it. Evacuated on entry.
+    /// Hard-lost; only an explicit
+    /// [`Event::DeviceUp`](crate::arbiter::Event::DeviceUp) recovers it.
+    /// Evacuated on entry.
     Failed,
     /// Back up, but not yet trusted: no new routes until the seeded
     /// window expires.
@@ -102,6 +107,15 @@ impl HealthState {
     }
 }
 
+/// Serializable state of a `HealthTracker`: the per-device states plus
+/// the live probation-rng word. The config is not repeated here — it is
+/// already persisted inside the layer's `PlacementConfig`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HealthSnapshot {
+    pub(crate) states: Vec<HealthState>,
+    pub(crate) rng: u64,
+}
+
 /// The per-layer tracker: one [`HealthState`] per device plus the seeded
 /// probation rng.
 #[derive(Debug)]
@@ -112,6 +126,23 @@ pub(super) struct HealthTracker {
 }
 
 impl HealthTracker {
+    /// Captures the tracker for a durable snapshot.
+    pub(super) fn snapshot(&self) -> HealthSnapshot {
+        HealthSnapshot {
+            states: self.states.clone(),
+            rng: self.rng,
+        }
+    }
+
+    /// Rebuilds a tracker from a snapshot, resuming the rng mid-stream.
+    pub(super) fn restore(config: HealthConfig, snap: HealthSnapshot) -> Self {
+        Self {
+            config,
+            states: snap.states,
+            rng: snap.rng.max(1),
+        }
+    }
+
     pub(super) fn new(config: HealthConfig, devices: usize) -> Self {
         // xorshift never leaves 0; fold the seed through a golden-ratio
         // mix so seed 0 is as usable as any other.
@@ -163,11 +194,9 @@ impl HealthTracker {
                 HealthState::Healthy => HealthState::Degraded,
                 // Repetition (or a failure while still on probation)
                 // quarantines: the device is flapping, not hiccuping.
-                HealthState::Degraded | HealthState::Probation { .. } => {
-                    HealthState::Quarantined {
-                        until: now + self.config.quarantine_us,
-                    }
-                }
+                HealthState::Degraded | HealthState::Probation { .. } => HealthState::Quarantined {
+                    until: now + self.config.quarantine_us,
+                },
                 // Already out of service: a soft signal refreshes the
                 // quarantine clock, a Failed device stays failed.
                 HealthState::Quarantined { .. } => HealthState::Quarantined {

@@ -52,9 +52,11 @@ pub use rebalance::{Migration, RebalanceConfig};
 pub use replay::{PlacementBatch, PlacementLog};
 
 use crate::admission::FleetAdmissionConfig;
-use crate::arbiter::{ArbiterConfig, ArbiterCore, Command, Event, EventLog, RejectScope, Tick};
-use health::HealthTracker;
-use rebalance::Rebalancer;
+use crate::arbiter::{
+    ArbiterConfig, ArbiterCore, Command, CoreSnapshot, Event, EventLog, RejectScope, Tick,
+};
+use health::{HealthSnapshot, HealthTracker};
+use rebalance::{Rebalancer, RebalancerSnapshot};
 use serde::{Deserialize, Serialize};
 use slate_gpu_sim::device::DeviceConfig;
 use std::collections::BTreeMap;
@@ -126,6 +128,46 @@ pub struct PlacementStats {
     pub fleet_sheds: u64,
 }
 
+/// The complete serializable state of a [`PlacementLayer`], captured by
+/// [`PlacementLayer::snapshot`] and rebuilt by
+/// [`PlacementLayer::from_snapshot`].
+///
+/// The crash-consistency invariant: a layer restored from a snapshot must
+/// behave byte-identically to the layer that produced it — same routes,
+/// same rng words, same health timers, same counters — so a recovered
+/// daemon's replayed suffix lands on exactly the state the crashed daemon
+/// had. Recording state is deliberately *not* captured: recovery decides
+/// afresh whether to record.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PlacementSnapshot {
+    pub(crate) config: PlacementConfig,
+    pub(crate) now: Tick,
+    pub(crate) cores: Vec<CoreSnapshot>,
+    pub(crate) session_device: BTreeMap<u64, usize>,
+    pub(crate) lease_device: BTreeMap<u64, usize>,
+    pub(crate) lease_session: BTreeMap<u64, u64>,
+    pub(crate) migrating: BTreeMap<u64, usize>,
+    pub(crate) rr_next: usize,
+    pub(crate) rebalancer: Option<RebalancerSnapshot>,
+    pub(crate) health: HealthSnapshot,
+    pub(crate) sessions_routed: u64,
+    pub(crate) migrations_completed: u64,
+    pub(crate) evacuations: u64,
+    pub(crate) fleet_sheds: u64,
+}
+
+impl PlacementSnapshot {
+    /// The device list the snapshotted layer ran over, in device order.
+    pub fn devices(&self) -> Vec<DeviceConfig> {
+        self.cores.iter().map(|c| c.device.clone()).collect()
+    }
+
+    /// The configuration the snapshotted layer ran under.
+    pub fn config(&self) -> &PlacementConfig {
+        &self.config
+    }
+}
+
 /// N per-device arbitration cores behind one deterministic router. See
 /// the [module docs](self) for the invariants.
 #[derive(Debug)]
@@ -184,6 +226,66 @@ impl PlacementLayer {
             fleet_sheds: 0,
             record: None,
         }
+    }
+
+    /// Rebuilds a layer from a durable snapshot. The result behaves
+    /// byte-identically to the layer that produced the snapshot; recording
+    /// is off until [`PlacementLayer::start_recording`] is called again.
+    pub fn from_snapshot(snap: PlacementSnapshot) -> Self {
+        let cores: Vec<ArbiterCore> = snap
+            .cores
+            .into_iter()
+            .map(ArbiterCore::from_snapshot)
+            .collect();
+        let rebalancer = match (snap.config.rebalance.clone(), snap.rebalancer) {
+            (Some(config), Some(s)) => Some(Rebalancer::restore(config, s)),
+            (Some(config), None) => Some(Rebalancer::new(config)),
+            (None, _) => None,
+        };
+        let health = HealthTracker::restore(snap.config.health.clone(), snap.health);
+        Self {
+            cores,
+            config: snap.config,
+            now: snap.now,
+            session_device: snap.session_device,
+            lease_device: snap.lease_device,
+            lease_session: snap.lease_session,
+            migrating: snap.migrating,
+            rr_next: snap.rr_next,
+            rebalancer,
+            health,
+            sessions_routed: snap.sessions_routed,
+            migrations_completed: snap.migrations_completed,
+            evacuations: snap.evacuations,
+            fleet_sheds: snap.fleet_sheds,
+            record: None,
+        }
+    }
+
+    /// Captures the layer's complete state for a durable snapshot (see
+    /// [`PlacementSnapshot`] for the invariant).
+    pub fn snapshot(&self) -> PlacementSnapshot {
+        PlacementSnapshot {
+            config: self.config.clone(),
+            now: self.now,
+            cores: self.cores.iter().map(|c| c.snapshot()).collect(),
+            session_device: self.session_device.clone(),
+            lease_device: self.lease_device.clone(),
+            lease_session: self.lease_session.clone(),
+            migrating: self.migrating.clone(),
+            rr_next: self.rr_next,
+            rebalancer: self.rebalancer.as_ref().map(|r| r.snapshot()),
+            health: self.health.snapshot(),
+            sessions_routed: self.sessions_routed,
+            migrations_completed: self.migrations_completed,
+            evacuations: self.evacuations,
+            fleet_sheds: self.fleet_sheds,
+        }
+    }
+
+    /// The layer's logical clock: the timestamp of the latest fed batch.
+    pub fn now(&self) -> Tick {
+        self.now
     }
 
     /// Number of devices behind the layer.
@@ -369,7 +471,7 @@ impl PlacementLayer {
             if !mask[d] || Some(d) == exclude {
                 continue;
             }
-            if best.map_or(true, |b| loads[d] < loads[b]) {
+            if best.is_none_or(|b| loads[d] < loads[b]) {
                 best = Some(d);
             }
         }
@@ -685,7 +787,7 @@ fn pick_target(eligible: &[bool], loads: &[u64], src: usize) -> Option<usize> {
         if d == src || !eligible[d] {
             continue;
         }
-        if best.map_or(true, |b| loads[d] < loads[b]) {
+        if best.is_none_or(|b| loads[d] < loads[b]) {
             best = Some(d);
         }
     }

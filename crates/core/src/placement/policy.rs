@@ -63,9 +63,8 @@ impl PlacementPolicy {
                     if !eligible[i] {
                         continue;
                     }
-                    let better = best.map_or(true, |b| {
-                        (loads[i], sessions[i], i) < (loads[b], sessions[b], b)
-                    });
+                    let better = best
+                        .is_none_or(|b| (loads[i], sessions[i], i) < (loads[b], sessions[b], b));
                     if better {
                         best = Some(i);
                     }

@@ -63,6 +63,17 @@ pub struct Migration {
     pub lease: u64,
 }
 
+/// Serializable state of a `Rebalancer`: hysteresis arm, cooldown clock,
+/// the live rng word and the fired counter. The config is not repeated —
+/// it is persisted inside the layer's `PlacementConfig`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RebalancerSnapshot {
+    pub(crate) armed: bool,
+    pub(crate) cooldown_until: Tick,
+    pub(crate) rng: u64,
+    pub(crate) fired: u64,
+}
+
 /// The stateful planner: hysteresis arm, cooldown clock and victim rng.
 #[derive(Debug)]
 pub(super) struct Rebalancer {
@@ -74,6 +85,27 @@ pub(super) struct Rebalancer {
 }
 
 impl Rebalancer {
+    /// Captures the planner for a durable snapshot.
+    pub(super) fn snapshot(&self) -> RebalancerSnapshot {
+        RebalancerSnapshot {
+            armed: self.armed,
+            cooldown_until: self.cooldown_until,
+            rng: self.rng,
+            fired: self.fired,
+        }
+    }
+
+    /// Rebuilds a planner from a snapshot, resuming the rng mid-stream.
+    pub(super) fn restore(config: RebalanceConfig, snap: RebalancerSnapshot) -> Self {
+        Self {
+            config,
+            armed: snap.armed,
+            cooldown_until: snap.cooldown_until,
+            rng: snap.rng.max(1),
+            fired: snap.fired,
+        }
+    }
+
     pub(super) fn new(config: RebalanceConfig) -> Self {
         // xorshift never leaves 0; fold the seed through a golden-ratio
         // mix so seed 0 is as usable as any other.
@@ -128,7 +160,7 @@ impl Rebalancer {
             // Only in-service devices may receive migrated work: a
             // quarantined device at zero load is an attractive-looking
             // target precisely because it is broken.
-            if eligible[i] && dst.map_or(true, |b| l < loads[b]) {
+            if eligible[i] && dst.is_none_or(|b| l < loads[b]) {
                 dst = Some(i);
             }
         }

@@ -19,6 +19,7 @@
 //! [`QueueStats`] snapshot reports depth, high-water mark and shed/admit
 //! counters for observability.
 
+use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 /// A group of consecutive user blocks pulled from the queue.
@@ -126,7 +127,10 @@ impl TaskQueue {
 }
 
 /// Point-in-time snapshot of a bounded launch queue ([`LaunchGauge`]).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+///
+/// Serializable so daemon snapshots can persist gauge state and restore it
+/// after a crash via [`LaunchGauge::from_stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub struct QueueStats {
     /// Launches currently admitted and not yet completed.
     pub depth: u64,
@@ -167,6 +171,19 @@ impl LaunchGauge {
             high_water: AtomicU64::new(0),
             admitted: AtomicU64::new(0),
             shed: AtomicU64::new(0),
+        }
+    }
+
+    /// Rebuilds a gauge from a [`QueueStats`] snapshot — the inverse of
+    /// [`LaunchGauge::stats`], used when a crashed daemon's accounting is
+    /// restored from a durable snapshot.
+    pub fn from_stats(stats: QueueStats) -> Self {
+        Self {
+            capacity: stats.capacity,
+            depth: AtomicU64::new(stats.depth),
+            high_water: AtomicU64::new(stats.high_water),
+            admitted: AtomicU64::new(stats.admitted),
+            shed: AtomicU64::new(stats.shed),
         }
     }
 

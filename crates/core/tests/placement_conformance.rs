@@ -713,7 +713,9 @@ fn failure_fixture_contains_the_interesting_decisions() {
         "the evacuated kernel must re-dispatch off the dead device: {late_dispatches:?}"
     );
     assert!(
-        late_dispatches.iter().any(|&(at, d)| at >= 20_000 && d == 0),
+        late_dispatches
+            .iter()
+            .any(|&(at, d)| at >= 20_000 && d == 0),
         "the healed device must take traffic after probation: {late_dispatches:?}"
     );
 }
@@ -727,7 +729,10 @@ fn live_run_reproduces_the_checked_in_failure_log() {
         FAILURE_TRANSCRIPT,
         "a fresh failure run diverged from the golden transcript"
     );
-    assert_eq!(fresh, log, "a fresh failure run diverged from the checked-in log");
+    assert_eq!(
+        fresh, log,
+        "a fresh failure run diverged from the checked-in log"
+    );
 }
 
 #[test]

@@ -504,7 +504,10 @@ mod tests {
             plan.fire(FaultSite::Device, None),
             Some(FaultKind::DeviceStall { millis: 4 })
         );
-        assert_eq!(plan.fire(FaultSite::Device, None), Some(FaultKind::DeviceLoss));
+        assert_eq!(
+            plan.fire(FaultSite::Device, None),
+            Some(FaultKind::DeviceLoss)
+        );
         assert_eq!(
             plan.fire(FaultSite::Device, None),
             Some(FaultKind::DeviceFlap { down_ms: 7 })

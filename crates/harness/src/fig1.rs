@@ -76,23 +76,32 @@ pub fn run(cfg: &DeviceConfig, scale: u64) -> (Vec<Point>, Report) {
         .find(|p| p.bandwidth_gbs >= 0.99 * peak)
         .map(|p| p.sms)
         .unwrap_or(cfg.num_sms);
-    let p1 = points[0].bandwidth_gbs;
-    let p4 = points[3].bandwidth_gbs;
-    let last = points.last().unwrap().bandwidth_gbs;
-
     report.note(format!("peak {peak:.1} GB/s reached at {knee} SMs"));
-    report.check(
-        "bandwidth grows ~linearly in the early region (4 SMs ≈ 4x 1 SM)",
-        (p4 / p1 - 4.0).abs() < 0.4,
-    );
-    report.check(
-        "saturation knee at 8-10 SMs (paper: 9)",
-        (8..=10).contains(&knee),
-    );
-    report.check(
-        "flat after the knee (30 SMs within 2% of peak)",
-        (last - peak).abs() / peak < 0.02,
-    );
+    // A sweep over a tiny device (fewer than 4 SMs) can't support the
+    // shape checks; report that as a failed check instead of panicking.
+    match (points.first(), points.get(3), points.last()) {
+        (Some(first), Some(fourth), Some(last)) => {
+            let p1 = first.bandwidth_gbs;
+            let p4 = fourth.bandwidth_gbs;
+            let last = last.bandwidth_gbs;
+            report.check(
+                "bandwidth grows ~linearly in the early region (4 SMs ≈ 4x 1 SM)",
+                (p4 / p1 - 4.0).abs() < 0.4,
+            );
+            report.check(
+                "saturation knee at 8-10 SMs (paper: 9)",
+                (8..=10).contains(&knee),
+            );
+            report.check(
+                "flat after the knee (30 SMs within 2% of peak)",
+                (last - peak).abs() / peak < 0.02,
+            );
+        }
+        _ => report.check(
+            "sweep produced at least 4 points (device has ≥4 SMs)",
+            false,
+        ),
+    }
     (points, report)
 }
 

@@ -7,7 +7,8 @@
 //! * `proptest! { #![proptest_config(..)] #[test] fn f(x in strat) {..} }`
 //! * strategies: integer/float ranges, tuples (2..=6), `prop::collection::vec`,
 //!   regex-lite string patterns (`".{0,400}"`, `"[a-z_][a-z0-9_]{0,15}"`),
-//!   `any::<bool>()`, and `.prop_map`
+//!   `any::<bool>()` and `any` over the unsigned integers, `Just`,
+//!   `prop_oneof!`, and `.prop_map`
 //! * `prop_assert!` / `prop_assert_eq!`, bodies may `return Ok(())`
 
 pub mod test_runner {
@@ -208,6 +209,83 @@ impl Strategy for Any<bool> {
     fn sample(&self, rng: &mut TestRng) -> bool {
         rng.below(2) == 1
     }
+}
+
+macro_rules! impl_any_uint {
+    ($($t:ty),+) => {$(
+        impl Strategy for Any<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                // Bias toward small values half the time: uniform u64s are
+                // astronomically large almost always, which starves the
+                // "interesting" low end (0, 1, collisions between samples).
+                if rng.below(2) == 0 {
+                    rng.below(16) as $t
+                } else {
+                    rng.next_u64() as $t
+                }
+            }
+        }
+    )+};
+}
+
+impl_any_uint!(u8, u16, u32, u64, usize);
+
+/// Strategy that always yields a clone of one value (real proptest's
+/// `Just`).
+#[derive(Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// One arm of a [`Union`]: a boxed sampling function.
+pub type UnionArm<T> = Box<dyn Fn(&mut TestRng) -> T>;
+
+/// Uniform choice between heterogeneous strategies with one value type —
+/// the engine behind [`prop_oneof!`]. Unlike real proptest, all arms are
+/// equally weighted.
+pub struct Union<T> {
+    options: Vec<UnionArm<T>>,
+}
+
+impl<T> Union<T> {
+    pub fn new(options: Vec<UnionArm<T>>) -> Self {
+        assert!(!options.is_empty(), "empty prop_oneof!");
+        Self { options }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        let pick = rng.below(self.options.len() as u64) as usize;
+        (self.options[pick])(rng)
+    }
+}
+
+/// Picks one of the listed strategies per sample, uniformly (the real
+/// macro's `weight => strategy` arms are not supported).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {{
+        let mut __options: ::std::vec::Vec<
+            ::std::boxed::Box<dyn Fn(&mut $crate::test_runner::TestRng) -> _>,
+        > = ::std::vec::Vec::new();
+        $({
+            let __s = $strat;
+            __options.push(::std::boxed::Box::new(
+                move |rng: &mut $crate::test_runner::TestRng| {
+                    $crate::Strategy::sample(&__s, rng)
+                },
+            ));
+        })+
+        $crate::Union::new(__options)
+    }};
 }
 
 // ---------------------------------------------------------------------------
@@ -412,8 +490,8 @@ pub mod prop {
 }
 
 pub mod prelude {
-    pub use crate::{any, prop, prop_assert, prop_assert_eq, proptest};
-    pub use crate::{ProptestConfig, Strategy};
+    pub use crate::{any, prop, prop_assert, prop_assert_eq, prop_oneof, proptest};
+    pub use crate::{Just, ProptestConfig, Strategy};
 }
 
 #[macro_export]

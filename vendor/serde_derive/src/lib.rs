@@ -275,7 +275,11 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
         Shape::Struct { name, fields } => {
             let mut b = String::from("Ok(Self {\n");
             for f in fields {
-                let getter = if f.default { "field_or_default" } else { "field" };
+                let getter = if f.default {
+                    "field_or_default"
+                } else {
+                    "field"
+                };
                 b.push_str(&format!("{0}: serde::{getter}(v, \"{0}\")?,\n", f.name));
             }
             b.push_str("})\n");
@@ -295,7 +299,11 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
                 let fields = vr.fields.as_ref().unwrap();
                 b.push_str(&format!("\"{vn}\" => Ok({name}::{vn} {{\n", vn = vr.name));
                 for f in fields {
-                    let getter = if f.default { "field_or_default" } else { "field" };
+                    let getter = if f.default {
+                        "field_or_default"
+                    } else {
+                        "field"
+                    };
                     b.push_str(&format!(
                         "{0}: serde::{getter}(_inner, \"{0}\")?,\n",
                         f.name
