@@ -298,7 +298,7 @@ fn main() {
                     events: vec![ready(1, 0x10, 4)],
                     routed: Vec::new(),
                 };
-                let m = measure("wal_append", false, 2_000, 16, move || {
+                let m = measure("wal_append", true, 2_000, 16, move || {
                     for i in 0..8u64 {
                         dur.append_meta(&WalRecord::Alloc {
                             session: 1,
@@ -319,7 +319,7 @@ fn main() {
                     .join(format!("slate-bench-recover-{}", std::process::id()));
                 let batches = build_wal_dir(&dir, 64);
                 let scan_dir = dir.clone();
-                let m = measure("recover_replay", false, 100, batches, move || {
+                let m = measure("recover_replay", true, 100, batches, move || {
                     black_box(recover_dir(&scan_dir).expect("recover"));
                 });
                 let _ = std::fs::remove_dir_all(&dir);

@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! bench_gate <baseline.json> <current.json> [--warn-pct 10] [--fail-pct 25]
+//!            [--summary <path>]
 //! ```
 //!
 //! Compares each baseline bench against the current run by name:
@@ -14,7 +15,10 @@
 //!   measurement must not silently pass the gate.
 //!
 //! Warnings use the `::warning::` workflow-command syntax so they surface
-//! as annotations on the GitHub PR.
+//! as annotations on the GitHub PR. With `--summary <path>` the gate
+//! also *appends* a baseline-vs-current markdown delta table to `path` —
+//! CI points it at `$GITHUB_STEP_SUMMARY` so every run shows its numbers
+//! on the workflow page without digging through logs.
 
 use slate_bench::{Report, REPORT_SCHEMA};
 use std::process::ExitCode;
@@ -42,6 +46,17 @@ fn pct_arg(args: &[String], flag: &str, default: f64) -> f64 {
         .unwrap_or(default)
 }
 
+fn str_arg<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+/// One comparison row: name, gated, baseline ns/iter, `Some((current
+/// ns/iter, delta %))` or `None` when the bench vanished, and a verdict.
+type Row = (String, bool, f64, Option<(f64, f64)>, &'static str);
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     // Positionals are whatever is left after dropping each `--flag` together
@@ -57,15 +72,18 @@ fn main() -> ExitCode {
     }
     let [baseline_path, current_path] = positional[..] else {
         eprintln!(
-            "usage: bench_gate <baseline.json> <current.json> [--warn-pct 10] [--fail-pct 25]"
+            "usage: bench_gate <baseline.json> <current.json> \
+             [--warn-pct 10] [--fail-pct 25] [--summary <path>]"
         );
         return ExitCode::from(2);
     };
     let warn_pct = pct_arg(&args, "--warn-pct", 10.0);
     let fail_pct = pct_arg(&args, "--fail-pct", 25.0);
+    let summary_path = str_arg(&args, "--summary");
     let baseline = load(baseline_path);
     let current = load(current_path);
 
+    let mut rows: Vec<Row> = Vec::new();
     let mut failures = 0u32;
     for base in &baseline.benches {
         let Some(cur) = current.get(&base.name) else {
@@ -74,6 +92,13 @@ fn main() -> ExitCode {
                 base.name
             );
             failures += 1;
+            rows.push((
+                base.name.clone(),
+                base.gated,
+                base.ns_per_iter,
+                None,
+                "MISSING",
+            ));
             continue;
         };
         let delta_pct = (cur.ns_per_iter / base.ns_per_iter - 1.0) * 100.0;
@@ -99,6 +124,13 @@ fn main() -> ExitCode {
                 base.name
             );
         }
+        rows.push((
+            base.name.clone(),
+            base.gated,
+            base.ns_per_iter,
+            Some((cur.ns_per_iter, delta_pct)),
+            verdict,
+        ));
     }
     for cur in &current.benches {
         if baseline.get(&cur.name).is_none() {
@@ -106,12 +138,79 @@ fn main() -> ExitCode {
                 "{:<20} (new bench, no baseline: {:.1} ns/iter)",
                 cur.name, cur.ns_per_iter
             );
+            rows.push((
+                cur.name.clone(),
+                cur.gated,
+                f64::NAN,
+                Some((cur.ns_per_iter, f64::NAN)),
+                "new",
+            ));
         }
     }
+
+    if let Some(path) = summary_path {
+        let md = render_summary(&rows, warn_pct, fail_pct, failures);
+        // Append, not truncate: $GITHUB_STEP_SUMMARY may already hold
+        // output from earlier steps of the job.
+        use std::io::Write as _;
+        std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+            .and_then(|mut f| f.write_all(md.as_bytes()))
+            .unwrap_or_else(|e| panic!("write summary {path}: {e}"));
+    }
+
     if failures > 0 {
         println!("bench gate: {failures} hard failure(s)");
         return ExitCode::FAILURE;
     }
     println!("bench gate: ok (warn > {warn_pct}%, fail > {fail_pct}% on gated benches)");
     ExitCode::SUCCESS
+}
+
+/// The markdown delta table appended to the GitHub step summary.
+fn render_summary(rows: &[Row], warn_pct: f64, fail_pct: f64, failures: u32) -> String {
+    use std::fmt::Write as _;
+    let mut md = String::new();
+    let _ = writeln!(md, "### Bench gate: baseline vs current\n");
+    let _ = writeln!(
+        md,
+        "| bench | gated | baseline ns/iter | current ns/iter | delta | verdict |"
+    );
+    let _ = writeln!(md, "|---|---|---:|---:|---:|---|");
+    for (name, gated, base_ns, cur, verdict) in rows {
+        let gate = if *gated { "yes" } else { "" };
+        let icon = match *verdict {
+            "ok" => "✅ ok",
+            "warn" => "⚠️ warn",
+            "new" => "🆕 new",
+            _ => "❌ fail",
+        };
+        match cur {
+            Some((cur_ns, _)) if base_ns.is_nan() => {
+                let _ = writeln!(md, "| `{name}` | {gate} | — | {cur_ns:.1} | — | {icon} |");
+            }
+            Some((cur_ns, delta)) => {
+                let _ = writeln!(
+                    md,
+                    "| `{name}` | {gate} | {base_ns:.1} | {cur_ns:.1} | {delta:+.1}% | {icon} |"
+                );
+            }
+            None => {
+                let _ = writeln!(md, "| `{name}` | {gate} | {base_ns:.1} | — | — | {icon} |");
+            }
+        }
+    }
+    let _ = writeln!(
+        md,
+        "\nThresholds: warn > {warn_pct}%, fail > {fail_pct}% on gated benches. \
+         {}\n",
+        if failures > 0 {
+            format!("**{failures} hard failure(s).**")
+        } else {
+            "Gate passed.".to_string()
+        }
+    );
+    md
 }

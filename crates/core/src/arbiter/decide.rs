@@ -86,18 +86,19 @@ impl ArbiterCore {
     /// Evicts every resident past its armed deadline. The resident stays
     /// in the set — the frontend feeds `KernelFinished {ok: false}` once
     /// the retreat actually lands — but the deadline is disarmed so the
-    /// eviction fires exactly once.
+    /// eviction fires exactly once. The armed list is sorted by external
+    /// lease id, so `Evict`s come out in ascending lease order — the same
+    /// order the pre-interning ordered-map scan produced.
     fn scan_deadlines(&mut self, out: &mut Vec<Command>) {
-        let due: Vec<u64> = self
-            .deadlines
-            .iter()
-            .filter(|&(_, &t)| self.now >= t)
-            .map(|(&lease, _)| lease)
-            .collect();
-        for lease in due {
-            self.deadlines.remove(&lease);
-            self.evictions += 1;
-            out.push(Command::Evict { lease });
+        let mut i = 0;
+        while i < self.armed.len() {
+            if self.now >= self.armed[i].1 {
+                let (lease, _) = self.armed.remove(i);
+                self.evictions += 1;
+                out.push(Command::Evict { lease });
+            } else {
+                i += 1;
+            }
         }
     }
 
@@ -117,8 +118,7 @@ impl ArbiterCore {
     fn dispatch(&mut self, widx: usize, range: SmRange, pin: bool, out: &mut Vec<Command>) {
         let w = self.waiters.remove(widx);
         if let Some(ms) = w.deadline_ms {
-            self.deadlines
-                .insert(w.lease, self.now + ms.saturating_mul(1000));
+            self.arm_deadline(w.lease, self.now + ms.saturating_mul(1000));
         }
         out.push(Command::Dispatch {
             lease: w.lease,
@@ -153,10 +153,12 @@ impl ArbiterCore {
             return false;
         };
         let now = self.now;
+        let leases = &self.leases;
+        let last_range = &self.last_range;
         let hit = self.waiters.iter().position(|w| {
             w.since == now
                 && !w.pinned
-                && self.last_range.get(&w.lease) == Some(&free)
+                && leases.get(w.lease).and_then(|s| last_range[s as usize]) == Some(free)
                 && should_corun(r_class, w.class)
         });
         let Some(widx) = hit else { return false };
@@ -185,8 +187,12 @@ impl ArbiterCore {
                 return false;
             }
         }
-        let mut cands = Vec::new();
-        let mut idxs = Vec::new();
+        // Candidate buffers are core-owned scratch: taken for the pass,
+        // returned before any exit so their capacity is reused next time.
+        let mut cands = std::mem::take(&mut self.scratch_cands);
+        let mut idxs = std::mem::take(&mut self.scratch_idxs);
+        cands.clear();
+        idxs.clear();
         for (i, w) in self.waiters.iter().enumerate() {
             if w.pinned {
                 continue;
@@ -198,10 +204,12 @@ impl ArbiterCore {
             });
             idxs.push(i);
         }
-        let Some(ci) = select_partner(r_class, &cands) else {
+        let chosen = select_partner(r_class, &cands).map(|ci| idxs[ci]);
+        self.scratch_cands = cands;
+        self.scratch_idxs = idxs;
+        let Some(widx) = chosen else {
             return false;
         };
-        let widx = idxs[ci];
         let part = partition(&self.device, r_demand, self.waiters[widx].sm_demand);
         if part.a != r_range {
             // The shrink happens regardless of `enable_resize`: that

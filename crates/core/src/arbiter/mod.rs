@@ -26,12 +26,14 @@
 //! golden-transcript machinery built on that guarantee.
 
 pub mod events;
+pub mod idtable;
 pub mod replay;
 
 mod decide;
 mod state;
 
 pub use events::{Command, Event, RejectScope, Tick};
+pub use idtable::IdTable;
 pub use replay::{EventLog, LoggedBatch};
 pub use state::{ArbiterConfig, ArbiterCore, CoreSnapshot};
 

@@ -1,16 +1,24 @@
 //! The arbitration core's state machine: configuration, per-event state
 //! updates, and the counters both frontends report from.
 //!
-//! Everything here is deterministic and I/O-free. The only collections are
-//! `Vec`s and `BTreeMap`s — never a `HashMap` — so that iteration order,
-//! and therefore emitted command order, is identical across runs; this is
-//! what makes the golden replay test byte-stable.
+//! Everything here is deterministic and I/O-free. Decision-path state is
+//! held in dense slot tables indexed by interned ids (see [`super::idtable`])
+//! plus plain `Vec`s — never a `HashMap` whose iteration order could leak
+//! into output. Wherever iteration order *does* reach the command stream,
+//! the core orders by external id explicitly (the armed-deadline list is
+//! kept sorted by lease id), which is what keeps the golden replay test
+//! byte-stable across both runs and internal-representation changes.
+//! That is the dense-slot rule of `DESIGN.md` §17: slot numbers are an
+//! implementation detail and must never order anything a transcript,
+//! command stream, or snapshot can observe.
 
 use super::events::{Command, Event, RejectScope, Tick};
+use super::idtable::IdTable;
 use super::replay::{EventLog, LoggedBatch};
 use crate::admission::{AdmissionLimits, AdmissionStats};
 use crate::classify::WorkloadClass;
 use crate::queue::{LaunchGauge, QueueStats};
+use crate::select::PartnerCandidate;
 use serde::{Deserialize, Serialize};
 use slate_gpu_sim::device::{DeviceConfig, SmRange};
 use std::collections::{BTreeMap, VecDeque};
@@ -87,6 +95,12 @@ pub(crate) struct Waiter {
 /// (the vendored serde subset has no `VecDeque` impl); the recording
 /// buffer is deliberately absent — a restored core starts a fresh log.
 ///
+/// The snapshot speaks *external* ids in ordered maps — the dense slot
+/// tables behind [`ArbiterCore`] are an in-memory representation only,
+/// converted at this boundary. That keeps the serialized shape identical
+/// to the pre-interning format (old snapshots restore unchanged) and
+/// keeps slot numbering out of anything durable.
+///
 /// The crash-consistency invariant: `ArbiterCore::from_snapshot(c.snapshot())`
 /// must behave byte-identically to `c` for every subsequent event batch.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -126,6 +140,11 @@ pub struct CoreSnapshot {
 /// starvation aging, admission shedding and watchdog eviction — lives
 /// behind [`ArbiterCore::feed`]; the frontends only translate events in
 /// and commands out.
+///
+/// Per-session and per-lease state is slot-indexed through two
+/// [`IdTable`] interners; steady-state feeding performs no heap
+/// allocation (slot tables, FIFOs and scratch buffers all reuse their
+/// high-water capacity).
 #[derive(Debug)]
 pub struct ArbiterCore {
     pub(super) device: DeviceConfig,
@@ -136,18 +155,27 @@ pub struct ArbiterCore {
     pub(super) draining: bool,
     pub(super) residents: Vec<Resident>,
     pub(super) waiters: Vec<Waiter>,
+    /// Lease interner: one live slot per lease the core still tracks
+    /// (released when the owning session ends).
+    pub(super) leases: IdTable,
+    /// Session interner, parallel to `gauges`.
+    session_ids: IdTable,
     /// Last SM range each lease held when it finished — the in-place
     /// continuation hint (a re-ready kernel resumes its old partition
-    /// without a resize).
-    pub(super) last_range: BTreeMap<u64, SmRange>,
-    /// Armed watchdog deadlines: lease → eviction tick.
-    pub(super) deadlines: BTreeMap<u64, Tick>,
-    /// Per-session pending-launch gauges.
-    sessions: BTreeMap<u64, LaunchGauge>,
-    lease_session: BTreeMap<u64, u64>,
-    /// Per-lease FIFO of admitted solo-time estimates; popped as the
-    /// lease's launches finish.
-    pending: BTreeMap<u64, VecDeque<u64>>,
+    /// without a resize). Indexed by lease slot.
+    pub(super) last_range: Vec<Option<SmRange>>,
+    /// Armed watchdog deadlines as `(external lease id, eviction tick)`,
+    /// kept sorted by lease id — the scan emits `Evict`s in ascending
+    /// lease order, exactly as the old ordered-map iteration did.
+    pub(super) armed: Vec<(u64, Tick)>,
+    /// Per-session pending-launch gauges, indexed by session slot.
+    gauges: Vec<LaunchGauge>,
+    /// Owning session of each lease (external id), indexed by lease slot.
+    lease_session: Vec<u64>,
+    /// Per-lease FIFO of admitted solo-time estimates, indexed by lease
+    /// slot; popped as the lease's launches finish. FIFOs are reused
+    /// across slot generations — an empty FIFO is "no pending entry".
+    pending: Vec<VecDeque<u64>>,
     /// Daemon-wide pending-launch gauge.
     global: LaunchGauge,
     active_sessions: usize,
@@ -162,6 +190,11 @@ pub struct ArbiterCore {
     pub(super) promotions: u64,
     pub(super) evictions: u64,
     reaped: u64,
+    /// Reused by the session-end sweep (external lease ids).
+    scratch_ids: Vec<u64>,
+    /// Reused by the co-run partner selection each decide pass.
+    pub(super) scratch_cands: Vec<PartnerCandidate>,
+    pub(super) scratch_idxs: Vec<usize>,
     record: Option<Vec<LoggedBatch>>,
 }
 
@@ -169,19 +202,28 @@ impl ArbiterCore {
     /// A fresh core arbitrating `device` under `config`.
     pub fn new(device: DeviceConfig, config: ArbiterConfig) -> Self {
         let global = LaunchGauge::new(config.limits.max_pending_global);
+        // Pre-size the dense tables for a typical concurrent population:
+        // one up-front allocation per table instead of a doubling ladder
+        // on the first wave of sessions (a fresh core's first feeds stay
+        // off the allocator's hot path too, not just steady state).
+        const LEASES: usize = 16;
+        const SESSIONS: usize = 8;
         Self {
             device,
             config,
             now: 0,
             next_seq: 0,
             draining: false,
-            residents: Vec::new(),
-            waiters: Vec::new(),
-            last_range: BTreeMap::new(),
-            deadlines: BTreeMap::new(),
-            sessions: BTreeMap::new(),
-            lease_session: BTreeMap::new(),
-            pending: BTreeMap::new(),
+            residents: Vec::with_capacity(4),
+            waiters: Vec::with_capacity(8),
+            leases: IdTable::with_capacity(LEASES),
+            session_ids: IdTable::with_capacity(SESSIONS),
+            last_range: Vec::with_capacity(LEASES),
+            // Lazy: only deadline-bearing workloads ever arm a timer.
+            armed: Vec::new(),
+            gauges: Vec::with_capacity(SESSIONS),
+            lease_session: Vec::with_capacity(LEASES),
+            pending: Vec::with_capacity(SESSIONS),
             global,
             active_sessions: 0,
             sessions_admitted: 0,
@@ -194,6 +236,9 @@ impl ArbiterCore {
             promotions: 0,
             evictions: 0,
             reaped: 0,
+            scratch_ids: Vec::with_capacity(8),
+            scratch_cands: Vec::with_capacity(8),
+            scratch_idxs: Vec::with_capacity(8),
             record: None,
         }
     }
@@ -279,7 +324,9 @@ impl ArbiterCore {
     }
 
     /// Captures the core's complete decision state for a durable
-    /// snapshot. The recording buffer is not captured.
+    /// snapshot. The recording buffer is not captured. Slot tables are
+    /// converted back to external-id ordered maps here — snapshots never
+    /// see slot numbers.
     pub(crate) fn snapshot(&self) -> CoreSnapshot {
         CoreSnapshot {
             device: self.device.clone(),
@@ -289,14 +336,27 @@ impl ArbiterCore {
             draining: self.draining,
             residents: self.residents.clone(),
             waiters: self.waiters.clone(),
-            last_range: self.last_range.clone(),
-            deadlines: self.deadlines.clone(),
-            sessions: self.sessions.iter().map(|(&s, g)| (s, g.stats())).collect(),
-            lease_session: self.lease_session.clone(),
-            pending: self
-                .pending
+            last_range: self
+                .leases
                 .iter()
-                .map(|(&l, q)| (l, q.iter().copied().collect()))
+                .filter_map(|(s, ext)| self.last_range[s as usize].map(|r| (ext, r)))
+                .collect(),
+            deadlines: self.armed.iter().copied().collect(),
+            sessions: self
+                .session_ids
+                .iter()
+                .map(|(s, ext)| (ext, self.gauges[s as usize].stats()))
+                .collect(),
+            lease_session: self
+                .leases
+                .iter()
+                .map(|(s, ext)| (ext, self.lease_session[s as usize]))
+                .collect(),
+            pending: self
+                .leases
+                .iter()
+                .filter(|&(s, _)| !self.pending[s as usize].is_empty())
+                .map(|(s, ext)| (ext, self.pending[s as usize].iter().copied().collect()))
                 .collect(),
             global: self.global.stats(),
             active_sessions: self.active_sessions,
@@ -313,44 +373,51 @@ impl ArbiterCore {
         }
     }
 
-    /// Rebuilds a core from a [`CoreSnapshot`]; the exact inverse of
-    /// [`ArbiterCore::snapshot`] (recording off).
+    /// Rebuilds a core from a [`CoreSnapshot`]; the behavioral inverse of
+    /// [`ArbiterCore::snapshot`] (recording off). Ids are re-interned in
+    /// ascending external order, which may permute slot numbers relative
+    /// to the snapshotted core — behaviorally invisible, because no
+    /// decision depends on slot numbering (the dense-slot rule).
     pub(crate) fn from_snapshot(snap: CoreSnapshot) -> Self {
-        Self {
-            device: snap.device,
-            config: snap.config,
-            now: snap.now,
-            next_seq: snap.next_seq,
-            draining: snap.draining,
-            residents: snap.residents,
-            waiters: snap.waiters,
-            last_range: snap.last_range,
-            deadlines: snap.deadlines,
-            sessions: snap
-                .sessions
-                .into_iter()
-                .map(|(s, st)| (s, LaunchGauge::from_stats(st)))
-                .collect(),
-            lease_session: snap.lease_session,
-            pending: snap
-                .pending
-                .into_iter()
-                .map(|(l, v)| (l, v.into_iter().collect()))
-                .collect(),
-            global: LaunchGauge::from_stats(snap.global),
-            active_sessions: snap.active_sessions,
-            sessions_admitted: snap.sessions_admitted,
-            sessions_rejected: snap.sessions_rejected,
-            launches_completed: snap.launches_completed,
-            launches_failed: snap.launches_failed,
-            deadline_rejections: snap.deadline_rejections,
-            mallocs_shed: snap.mallocs_shed,
-            pending_est_ms: snap.pending_est_ms,
-            promotions: snap.promotions,
-            evictions: snap.evictions,
-            reaped: snap.reaped,
-            record: None,
+        let mut core = ArbiterCore::new(snap.device, snap.config);
+        core.now = snap.now;
+        core.next_seq = snap.next_seq;
+        core.draining = snap.draining;
+        core.residents = snap.residents;
+        core.waiters = snap.waiters;
+        for (session, st) in snap.sessions {
+            let slot = core.session_slot(session);
+            core.gauges[slot] = LaunchGauge::from_stats(st);
         }
+        // `lease_session` is the authoritative live-lease set; the other
+        // maps are per-lease attributes of it.
+        for (lease, session) in snap.lease_session {
+            core.lease_slot(lease, session);
+        }
+        for (lease, range) in snap.last_range {
+            if let Some(slot) = core.leases.get(lease) {
+                core.last_range[slot as usize] = Some(range);
+            }
+        }
+        core.armed = snap.deadlines.into_iter().collect();
+        for (lease, fifo) in snap.pending {
+            if let Some(slot) = core.leases.get(lease) {
+                core.pending[slot as usize] = fifo.into_iter().collect();
+            }
+        }
+        core.global = LaunchGauge::from_stats(snap.global);
+        core.active_sessions = snap.active_sessions;
+        core.sessions_admitted = snap.sessions_admitted;
+        core.sessions_rejected = snap.sessions_rejected;
+        core.launches_completed = snap.launches_completed;
+        core.launches_failed = snap.launches_failed;
+        core.deadline_rejections = snap.deadline_rejections;
+        core.mallocs_shed = snap.mallocs_shed;
+        core.pending_est_ms = snap.pending_est_ms;
+        core.promotions = snap.promotions;
+        core.evictions = snap.evictions;
+        core.reaped = snap.reaped;
+        core
     }
 
     /// Starts recording fed batches for later [`super::replay`]. Batches
@@ -376,12 +443,21 @@ impl ArbiterCore {
     /// clamped monotonic; decisions are made once, after the whole batch
     /// is absorbed.
     pub fn feed(&mut self, now: Tick, events: &[Event]) -> Vec<Command> {
-        self.now = self.now.max(now);
         let mut out = Vec::new();
+        self.feed_into(now, events, &mut out);
+        out
+    }
+
+    /// Allocation-free variant of [`ArbiterCore::feed`]: clears `out` and
+    /// fills it with this batch's commands, reusing its capacity. The
+    /// hot-path entry point for callers that own a reusable batch buffer.
+    pub fn feed_into(&mut self, now: Tick, events: &[Event], out: &mut Vec<Command>) {
+        out.clear();
+        self.now = self.now.max(now);
         for ev in events {
-            self.intake(ev, &mut out);
+            self.intake(ev, out);
         }
-        self.decide(&mut out);
+        self.decide(out);
         if let Some(batches) = &mut self.record {
             let heartbeat_only = events.iter().all(|e| matches!(e, Event::DeadlineTick));
             if !(heartbeat_only && out.is_empty()) {
@@ -392,7 +468,6 @@ impl ArbiterCore {
                 });
             }
         }
-        out
     }
 
     /// The retry hint for a shed request: the estimated pending work if
@@ -406,6 +481,51 @@ impl ArbiterCore {
                 .depth()
                 .saturating_mul(DEFAULT_LAUNCH_EST_MS)
                 .max(1)
+        }
+    }
+
+    /// Interns `session` and sizes the gauge table to its slot. The gauge
+    /// itself is the caller's to (re)initialize.
+    fn session_slot(&mut self, session: u64) -> usize {
+        let (slot, _) = self.session_ids.intern(session);
+        let slot = slot as usize;
+        if slot >= self.gauges.len() {
+            self.gauges.resize_with(slot + 1, || LaunchGauge::new(None));
+        }
+        slot
+    }
+
+    /// Interns `lease` owned by `session` and sizes the per-lease tables
+    /// to its slot, resetting slot state on fresh (possibly reused) slots.
+    fn lease_slot(&mut self, lease: u64, session: u64) -> usize {
+        let (slot, fresh) = self.leases.intern(lease);
+        let slot = slot as usize;
+        if slot >= self.lease_session.len() {
+            self.lease_session.resize(slot + 1, 0);
+            self.last_range.resize(slot + 1, None);
+            self.pending.resize_with(slot + 1, VecDeque::new);
+        }
+        if fresh {
+            self.last_range[slot] = None;
+            debug_assert!(self.pending[slot].is_empty(), "released slot kept a FIFO");
+        }
+        self.lease_session[slot] = session;
+        slot
+    }
+
+    /// Arms (or re-arms) the watchdog deadline of `lease`, keeping the
+    /// armed list sorted by external lease id.
+    pub(super) fn arm_deadline(&mut self, lease: u64, at: Tick) {
+        match self.armed.binary_search_by_key(&lease, |&(l, _)| l) {
+            Ok(i) => self.armed[i].1 = at,
+            Err(i) => self.armed.insert(i, (lease, at)),
+        }
+    }
+
+    /// Disarms the watchdog deadline of `lease`, if armed.
+    fn disarm_deadline(&mut self, lease: u64) {
+        if let Ok(i) = self.armed.binary_search_by_key(&lease, |&(l, _)| l) {
+            self.armed.remove(i);
         }
     }
 
@@ -428,7 +548,7 @@ impl ArbiterCore {
                 pinned_solo,
                 deadline_ms,
             } => {
-                self.lease_session.insert(lease, session);
+                self.lease_slot(lease, session);
                 let seq = self.next_seq;
                 self.next_seq += 1;
                 self.waiters.push(Waiter {
@@ -487,14 +607,13 @@ impl ArbiterCore {
         }
         self.active_sessions += 1;
         self.sessions_admitted += 1;
-        self.sessions.insert(
-            session,
-            LaunchGauge::new(self.config.limits.max_pending_per_session),
-        );
+        let limit = self.config.limits.max_pending_per_session;
+        let slot = self.session_slot(session);
+        self.gauges[slot] = LaunchGauge::new(limit);
     }
 
     fn end_session(&mut self, session: u64, severed: bool, out: &mut Vec<Command>) {
-        if self.sessions.remove(&session).is_none() {
+        if self.session_ids.release(session).is_none() {
             // Never admitted (the connect was shed): nothing to clean up.
             return;
         }
@@ -504,24 +623,27 @@ impl ArbiterCore {
         // leases behind — drain them so the global gauge stays balanced.
         self.residents.retain(|r| r.session != session);
         self.waiters.retain(|w| w.session != session);
-        let leases: Vec<u64> = self
-            .lease_session
-            .iter()
-            .filter(|&(_, &s)| s == session)
-            .map(|(&l, _)| l)
-            .collect();
-        for lease in leases {
-            self.lease_session.remove(&lease);
-            self.last_range.remove(&lease);
-            self.deadlines.remove(&lease);
-            if let Some(mut fifo) = self.pending.remove(&lease) {
-                while let Some(est) = fifo.pop_front() {
-                    self.pending_est_ms = self.pending_est_ms.saturating_sub(est);
-                    self.global.pop();
-                    self.launches_failed += 1;
-                }
+        let mut sweep = std::mem::take(&mut self.scratch_ids);
+        sweep.clear();
+        sweep.extend(
+            self.leases
+                .iter()
+                .filter(|&(slot, _)| self.lease_session[slot as usize] == session)
+                .map(|(_, ext)| ext),
+        );
+        // Per-lease cleanup commutes (the counters are sums), so slot
+        // order here is fine — nothing below emits a command.
+        for &lease in &sweep {
+            let slot = self.leases.release(lease).expect("swept lease is live") as usize;
+            self.last_range[slot] = None;
+            self.disarm_deadline(lease);
+            while let Some(est) = self.pending[slot].pop_front() {
+                self.pending_est_ms = self.pending_est_ms.saturating_sub(est);
+                self.global.pop();
+                self.launches_failed += 1;
             }
         }
+        self.scratch_ids = sweep;
         if severed {
             self.reaped += 1;
             out.push(Command::Reap { session });
@@ -536,21 +658,24 @@ impl ArbiterCore {
         deadline_ms: Option<u64>,
         out: &mut Vec<Command>,
     ) {
-        if !self.sessions.contains_key(&session) {
-            // Lazily admit sessions the frontend never announced, so the
-            // core stays usable with partial event streams.
-            self.sessions.insert(
-                session,
-                LaunchGauge::new(self.config.limits.max_pending_per_session),
-            );
-        }
+        let sslot = match self.session_ids.get(session) {
+            Some(s) => s as usize,
+            None => {
+                // Lazily admit sessions the frontend never announced, so
+                // the core stays usable with partial event streams.
+                let limit = self.config.limits.max_pending_per_session;
+                let slot = self.session_slot(session);
+                self.gauges[slot] = LaunchGauge::new(limit);
+                slot
+            }
+        };
         if let Some(deadline) = deadline_ms {
             let queue_wait = self.pending_est_ms;
             if queue_wait > deadline {
                 // The kernel could only ever be evicted; shed it now
                 // instead of wasting device time the queue needs.
                 self.deadline_rejections += 1;
-                self.sessions[&session].record_shed();
+                self.gauges[sslot].record_shed();
                 self.global.record_shed();
                 out.push(Command::RejectOverloaded {
                     session,
@@ -561,7 +686,7 @@ impl ArbiterCore {
                 return;
             }
         }
-        if !self.sessions[&session].try_push() {
+        if !self.gauges[sslot].try_push() {
             self.global.record_shed();
             out.push(Command::RejectOverloaded {
                 session,
@@ -572,7 +697,7 @@ impl ArbiterCore {
             return;
         }
         if !self.global.try_push() {
-            self.sessions[&session].cancel();
+            self.gauges[sslot].cancel();
             out.push(Command::RejectOverloaded {
                 session,
                 lease: Some(lease),
@@ -583,34 +708,33 @@ impl ArbiterCore {
         }
         let est = est_ms.unwrap_or(0);
         self.pending_est_ms += est;
-        self.pending.entry(lease).or_default().push_back(est);
-        self.lease_session.insert(lease, session);
+        let lslot = self.lease_slot(lease, session);
+        self.pending[lslot].push_back(est);
     }
 
     fn finish_launch(&mut self, lease: u64, ok: bool) {
         if let Some(pos) = self.residents.iter().position(|r| r.lease == lease) {
             let r = self.residents.remove(pos);
-            self.last_range.insert(lease, r.range);
+            if let Some(slot) = self.leases.get(lease) {
+                self.last_range[slot as usize] = Some(r.range);
+            }
         }
-        self.deadlines.remove(&lease);
+        self.disarm_deadline(lease);
         self.waiters.retain(|w| w.lease != lease);
-        if let Some(fifo) = self.pending.get_mut(&lease) {
-            if let Some(est) = fifo.pop_front() {
+        if let Some(slot) = self.leases.get(lease) {
+            let slot = slot as usize;
+            if let Some(est) = self.pending[slot].pop_front() {
                 self.pending_est_ms = self.pending_est_ms.saturating_sub(est);
                 self.global.pop();
-                if let Some(s) = self.lease_session.get(&lease) {
-                    if let Some(g) = self.sessions.get(s) {
-                        g.pop();
-                    }
+                let session = self.lease_session[slot];
+                if let Some(ss) = self.session_ids.get(session) {
+                    self.gauges[ss as usize].pop();
                 }
                 if ok {
                     self.launches_completed += 1;
                 } else {
                     self.launches_failed += 1;
                 }
-            }
-            if self.pending[&lease].is_empty() {
-                self.pending.remove(&lease);
             }
         }
     }

@@ -29,6 +29,11 @@ use std::time::{Duration, Instant};
 ///
 /// Ordered map by rule: any structure on the command/replay path must
 /// iterate deterministically, even if today's accesses are keyed lookups.
+/// (Dense-slot rule, `DESIGN.md` §17: decision-path tables inside the
+/// arbitration core use interned `IdTable` slots instead — but there,
+/// any slot iteration whose order can reach output sorts by external id
+/// first. This table is keyed-lookup-only and off the per-event hot
+/// path, so the ordered map stays.)
 #[derive(Debug, Default)]
 pub struct LeaseTable {
     entries: BTreeMap<u64, LeaseEntry>,

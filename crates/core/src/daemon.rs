@@ -98,6 +98,7 @@ use crate::channel::{LaunchCmd, Request, Response, SlatePtr};
 use crate::dispatch::{DispatchHandle, Dispatcher};
 use crate::durability::{recover_dir, Durability, DurabilityOptions, DurableMeta, WalRecord};
 use crate::error::SlateError;
+use crate::feed::{ring as feed_ring, EventBatch, RingConsumer, RingProducer};
 use crate::injector::InjectionCache;
 use crate::placement::replay::{PlacementBatch, PlacementLog};
 use crate::placement::{
@@ -129,7 +130,11 @@ struct ArbInner {
     layer: PlacementLayer,
     /// Dispatch grants awaiting pickup by their `execute_kernel` thread:
     /// lease → (device index, granted SM range). Ordered map so any
-    /// iteration over pending grants is deterministic.
+    /// iteration over pending grants is deterministic. (Dense-slot rule,
+    /// `DESIGN.md` §17: an ordered map off the per-event hot path stays a
+    /// map; only decision-path tables moved to interned `IdTable` slots,
+    /// and any slot iteration that reaches output must sort by external
+    /// id first.)
     grants: BTreeMap<u64, (usize, SmRange)>,
     /// Dispatch handles of waiting/resident leases — the shared
     /// backend-layer interpretation of `Resize`/`Evict` against dispatch
@@ -139,13 +144,72 @@ struct ArbInner {
     leases: LeaseTable,
 }
 
-/// The daemon's driver for the placement layer over the shared per-device
-/// arbitration cores: stamps events with a monotonic microsecond clock,
-/// carries out the returned routed commands (resize and evict act on
-/// dispatch handles immediately; dispatch grants are parked for the
-/// waiting kernel thread together with their device), and wakes grant
-/// waiters.
-struct ArbFrontend {
+/// How many submissions the arbiter feed ring holds before producers
+/// back-pressure (waiters spin-yield; heartbeat ticks are dropped).
+/// Power of two; see `DESIGN.md` §17 for the sizing rationale.
+const FEED_RING_CAPACITY: usize = 128;
+
+/// One pooled submission to the arbiter consumer thread: a reusable
+/// [`EventBatch`] plus the reply fields the consumer fills in. Cells
+/// travel producer → ring → consumer → pool inside `Arc`s, so a
+/// steady-state submission moves pointers and reuses buffers — it never
+/// touches the allocator.
+struct FeedCell {
+    state: Mutex<CellState>,
+    /// Signalled by the consumer when the cell's phase turns `Done`.
+    done: Condvar,
+}
+
+impl FeedCell {
+    fn new() -> Self {
+        Self {
+            state: Mutex::new(CellState {
+                batch: EventBatch::new(),
+                meta: None,
+                session: None,
+                detached: false,
+                fed: false,
+                retry_after_ms: None,
+                phase: CellPhase::Done,
+            }),
+            done: Condvar::new(),
+        }
+    }
+}
+
+struct CellState {
+    /// Events in, routed commands out.
+    batch: EventBatch<RoutedCommand>,
+    /// Durable record to append right after the batch, under the same
+    /// arbiter lock — unless the batch was shed or unfed. Carried by
+    /// `connect` (the session-meta record must not be separable from its
+    /// admission feed by a crash).
+    meta: Option<WalRecord>,
+    /// Session whose shed rejection the submitter wants surfaced as a
+    /// retry hint.
+    session: Option<u64>,
+    /// Fire-and-forget (heartbeat): nobody waits; the consumer recycles
+    /// the cell itself.
+    detached: bool,
+    /// Whether the batch reached the core — `false` after a crash; the
+    /// caller must treat the events as never having happened.
+    fed: bool,
+    /// Retry hint when this batch's request was shed.
+    retry_after_ms: Option<u64>,
+    phase: CellPhase,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum CellPhase {
+    /// In the ring, awaiting the consumer.
+    Queued,
+    /// Consumed; reply fields are valid.
+    Done,
+}
+
+/// State shared between the submitting threads and the arbiter consumer
+/// thread.
+struct ArbShared {
     /// Epoch of the logical clock ([`crate::arbiter::Tick`]s are
     /// microseconds since this instant, offset by `base_us`).
     epoch: Instant,
@@ -160,10 +224,156 @@ struct ArbFrontend {
     /// later feed becomes a no-op (`fed == false`), which is what keeps
     /// the WAL and the in-memory core in lockstep at the kill point.
     crashed: AtomicBool,
+    /// Raised by [`ArbFrontend::drop`]; the consumer drains the ring and
+    /// exits.
+    stop: AtomicBool,
     /// Write-ahead log sink; every non-heartbeat fed batch is appended
     /// while the arbiter lock is held, so the log's batch order is the
     /// feed order.
     durability: Option<Arc<Durability>>,
+}
+
+impl ArbShared {
+    fn now_us(&self) -> u64 {
+        self.base_us + self.epoch.elapsed().as_micros() as u64
+    }
+
+    /// Consumes one cell: feeds its batch to the placement layer, appends
+    /// to the WAL, carries out the routed commands, and completes or
+    /// recycles the cell. This is the only place the arbiter lock is held
+    /// across layer work — producers only pin it long enough to read.
+    fn consume(&self, cell: &Arc<FeedCell>, pool: &Mutex<Vec<Arc<FeedCell>>>) {
+        let mut st = cell.state.lock();
+        {
+            let mut inner = self.inner.lock();
+            if self.crashed.load(Ordering::SeqCst) {
+                // Crashed under this same lock: nothing consumed after
+                // the kill point may touch the core or the (frozen) WAL.
+                st.fed = false;
+                st.retry_after_ms = None;
+                st.meta = None;
+                st.batch.replies.clear();
+            } else {
+                let now = self.now_us();
+                let EventBatch { events, replies } = &mut st.batch;
+                inner.layer.feed_into(now, events, replies);
+                if let Some(d) = &self.durability {
+                    // Heartbeat filter (same rule as the in-memory
+                    // recorder): an all-tick batch that routed nothing
+                    // changes no state and would swamp the log.
+                    let heartbeat_only = events.iter().all(|e| matches!(e, ArbEvent::DeadlineTick));
+                    if !(heartbeat_only && replies.is_empty()) {
+                        let layer = &inner.layer;
+                        let batch = PlacementBatch {
+                            // The layer clamps time monotonic; record the
+                            // clamped tick so replay feeds exactly what
+                            // the core saw.
+                            at: layer.now(),
+                            events: events.clone(),
+                            routed: replies.clone(),
+                        };
+                        d.append_batch(&batch, || layer.snapshot());
+                    }
+                }
+                st.fed = true;
+                st.retry_after_ms = st.session.and_then(|s| shed_retry(&st.batch.replies, s));
+                if let Some(meta) = st.meta.take() {
+                    // The shed case returns Overloaded to the client: the
+                    // session never existed, so no durable record of it.
+                    if st.retry_after_ms.is_none() {
+                        if let Some(d) = &self.durability {
+                            d.append_meta(&meta);
+                        }
+                    }
+                }
+                for r in &st.batch.replies {
+                    match &r.command {
+                        Command::Dispatch { lease, range } => {
+                            inner.grants.insert(*lease, (r.device, *range));
+                        }
+                        Command::Resize { .. } | Command::Evict { .. } => {
+                            inner.leases.apply(&r.command);
+                        }
+                        // Rejections are surfaced via `retry_after_ms`;
+                        // promotion and reaping are informational here.
+                        Command::PromoteStarved { .. }
+                        | Command::Reap { .. }
+                        | Command::RejectOverloaded { .. } => {}
+                    }
+                }
+            }
+            self.granted.notify_all();
+        }
+        st.phase = CellPhase::Done;
+        if st.detached {
+            st.batch.clear();
+            drop(st);
+            pool.lock().push(cell.clone());
+        } else {
+            drop(st);
+            cell.done.notify_all();
+        }
+    }
+}
+
+/// The arbiter consumer loop: drains the submit ring, parking briefly
+/// when idle (producers unpark it on push, so the latency of a submit is
+/// a wakeup, not a poll interval).
+fn run_consumer(
+    sh: Arc<ArbShared>,
+    mut rx: RingConsumer<Arc<FeedCell>>,
+    pool: Arc<Mutex<Vec<Arc<FeedCell>>>>,
+) {
+    loop {
+        let mut drained = false;
+        while let Some(cell) = rx.pop() {
+            drained = true;
+            sh.consume(&cell, &pool);
+        }
+        if sh.stop.load(Ordering::Acquire) && rx.is_empty() {
+            // Shutdown drain: the flag is only raised once no producer
+            // can push, so an empty ring here means exactly-once — every
+            // submitted batch was consumed, none will arrive later.
+            break;
+        }
+        if !drained {
+            std::thread::park_timeout(Duration::from_micros(200));
+        }
+    }
+}
+
+/// The daemon's driver for the placement layer over the shared per-device
+/// arbitration cores. Submitting threads fill pooled [`FeedCell`]s and
+/// hand them to a dedicated consumer thread over a bounded lock-free
+/// SPSC ring ([`crate::feed::ring`]); the consumer stamps each batch
+/// with the monotonic microsecond clock, feeds the layer, appends to the
+/// WAL, carries out the routed commands (resize and evict act on
+/// dispatch handles immediately; dispatch grants are parked for the
+/// waiting kernel thread together with their device), and wakes grant
+/// waiters. Steady state, a submission allocates nothing — cells and
+/// their buffers are reused at their high-water size.
+struct ArbFrontend {
+    sh: Arc<ArbShared>,
+    /// Producer endpoint of the submit ring. The mutex serializes the
+    /// many submitting threads into the single logical producer the ring
+    /// requires; it is held only for the push itself.
+    submit: Mutex<RingProducer<Arc<FeedCell>>>,
+    /// Recycled cells, buffers warm.
+    pool: Arc<Mutex<Vec<Arc<FeedCell>>>>,
+    /// The consumer thread, joined on drop.
+    consumer: Mutex<Option<JoinHandle<()>>>,
+    /// Unpark handle for the consumer.
+    consumer_thread: std::thread::Thread,
+}
+
+impl Drop for ArbFrontend {
+    fn drop(&mut self) {
+        self.sh.stop.store(true, Ordering::Release);
+        self.consumer_thread.unpark();
+        if let Some(h) = self.consumer.lock().take() {
+            let _ = h.join();
+        }
+    }
 }
 
 /// Outcome of [`ArbFrontend::wait_grant`]: either a granted SM range, or
@@ -180,7 +390,7 @@ enum GrantWait {
 
 impl ArbFrontend {
     fn new(layer: PlacementLayer, base_us: u64, durability: Option<Arc<Durability>>) -> Self {
-        Self {
+        let sh = Arc::new(ArbShared {
             epoch: Instant::now(),
             base_us,
             inner: Mutex::new(ArbInner {
@@ -190,80 +400,138 @@ impl ArbFrontend {
             }),
             granted: Condvar::new(),
             crashed: AtomicBool::new(false),
+            stop: AtomicBool::new(false),
             durability,
+        });
+        let (tx, rx) = feed_ring::<Arc<FeedCell>>(FEED_RING_CAPACITY);
+        let pool = Arc::new(Mutex::new(Vec::new()));
+        let consumer = {
+            let sh = sh.clone();
+            let pool = pool.clone();
+            std::thread::Builder::new()
+                .name("slate-arbiter".to_string())
+                .spawn(move || run_consumer(sh, rx, pool))
+                .expect("spawn arbiter consumer thread")
+        };
+        let consumer_thread = consumer.thread().clone();
+        Self {
+            sh,
+            submit: Mutex::new(tx),
+            pool,
+            consumer: Mutex::new(Some(consumer)),
+            consumer_thread,
         }
-    }
-
-    fn now_us(&self) -> u64 {
-        self.base_us + self.epoch.elapsed().as_micros() as u64
     }
 
     fn crashed(&self) -> bool {
-        self.crashed.load(Ordering::SeqCst)
+        self.sh.crashed.load(Ordering::SeqCst)
+    }
+
+    /// A warm cell from the pool (a fresh one only while the pool is
+    /// still growing to the working-set size).
+    fn checkout(&self) -> Arc<FeedCell> {
+        self.pool
+            .lock()
+            .pop()
+            .unwrap_or_else(|| Arc::new(FeedCell::new()))
+    }
+
+    /// Pushes `cell` into the submit ring, spinning through full-ring
+    /// backpressure (the consumer is unparked first, so the wait is one
+    /// drain away), then wakes the consumer.
+    fn push(&self, cell: Arc<FeedCell>) {
+        let mut tx = self.submit.lock();
+        let mut item = cell;
+        loop {
+            match tx.push(item) {
+                Ok(()) => break,
+                Err(back) => {
+                    item = back;
+                    self.consumer_thread.unpark();
+                    std::thread::yield_now();
+                }
+            }
+        }
+        drop(tx);
+        self.consumer_thread.unpark();
+    }
+
+    /// Submits one batch and blocks until the consumer has fed it.
+    /// Returns whether it was fed (`false` after a crash — the caller
+    /// must treat the events as never having happened) and, when
+    /// `session` is given, the retry hint if that session's request was
+    /// shed. `meta` is appended to the WAL atomically with the batch,
+    /// unless the batch was shed or unfed.
+    fn submit(
+        &self,
+        events: &[ArbEvent],
+        session: Option<u64>,
+        meta: Option<WalRecord>,
+    ) -> (bool, Option<u64>) {
+        let cell = self.checkout();
+        {
+            let mut st = cell.state.lock();
+            st.batch.clear();
+            st.batch.events.extend_from_slice(events);
+            st.session = session;
+            st.meta = meta;
+            st.detached = false;
+            st.fed = false;
+            st.retry_after_ms = None;
+            st.phase = CellPhase::Queued;
+        }
+        self.push(cell.clone());
+        let mut st = cell.state.lock();
+        while st.phase != CellPhase::Done {
+            cell.done.wait(&mut st);
+        }
+        let out = (st.fed, st.retry_after_ms);
+        st.batch.clear();
+        st.meta = None;
+        drop(st);
+        self.pool.lock().push(cell);
+        out
     }
 
     /// Feeds one batch to the placement layer and carries out the routed
-    /// commands. After a crash this is a no-op returning no commands.
-    fn feed(&self, events: &[ArbEvent]) -> Vec<RoutedCommand> {
-        let mut inner = self.inner.lock();
-        self.feed_locked(&mut inner, events).0
+    /// commands, ignoring the outcome. After a crash this is a no-op.
+    fn feed(&self, events: &[ArbEvent]) {
+        let _ = self.submit(events, None, None);
     }
 
-    /// Feeds under the already-held lock. Returns the routed commands and
-    /// whether the batch was actually fed (`false` after a crash — the
-    /// caller must treat the event as never having happened).
-    fn feed_locked(
-        &self,
-        inner: &mut crate::sync::MutexGuard<'_, ArbInner>,
-        events: &[ArbEvent],
-    ) -> (Vec<RoutedCommand>, bool) {
-        if self.crashed() {
-            // Crashed under this same lock: nothing fed after the kill
-            // point may touch the core or the (frozen) WAL.
-            return (Vec::new(), false);
+    /// Fire-and-forget heartbeat tick. When the ring is full the tick is
+    /// dropped — the next one is a millisecond away, and real work is
+    /// already queued to run the scheduling pass anyway.
+    fn tick(&self) {
+        let cell = self.checkout();
+        {
+            let mut st = cell.state.lock();
+            st.batch.clear();
+            st.batch.events.push(ArbEvent::DeadlineTick);
+            st.session = None;
+            st.meta = None;
+            st.detached = true;
+            st.fed = false;
+            st.retry_after_ms = None;
+            st.phase = CellPhase::Queued;
         }
-        let now = self.now_us();
-        let routed = inner.layer.feed(now, events);
-        if let Some(d) = &self.durability {
-            // Heartbeat filter (same rule as the in-memory recorder): an
-            // all-tick batch that routed nothing changes no state and
-            // would swamp the log.
-            let heartbeat_only = events.iter().all(|e| matches!(e, ArbEvent::DeadlineTick));
-            if !(heartbeat_only && routed.is_empty()) {
-                let layer = &inner.layer;
-                let batch = PlacementBatch {
-                    // The layer clamps time monotonic; record the clamped
-                    // tick so replay feeds exactly what the core saw.
-                    at: layer.now(),
-                    events: events.to_vec(),
-                    routed: routed.clone(),
-                };
-                d.append_batch(&batch, || layer.snapshot());
+        let mut tx = self.submit.lock();
+        match tx.push(cell.clone()) {
+            Ok(()) => {
+                drop(tx);
+                self.consumer_thread.unpark();
+            }
+            Err(_) => {
+                drop(tx);
+                self.pool.lock().push(cell);
             }
         }
-        for r in &routed {
-            match &r.command {
-                Command::Dispatch { lease, range } => {
-                    inner.grants.insert(*lease, (r.device, *range));
-                }
-                Command::Resize { .. } | Command::Evict { .. } => {
-                    inner.leases.apply(&r.command);
-                }
-                // Rejections are returned to the feeding call site;
-                // promotion and reaping are informational here.
-                Command::PromoteStarved { .. }
-                | Command::Reap { .. }
-                | Command::RejectOverloaded { .. } => {}
-            }
-        }
-        self.granted.notify_all();
-        (routed, true)
     }
 
     /// The device `lease` currently routes to (its session's device, or
     /// the migration target after a rebalance eviction landed).
     fn lease_device(&self, lease: u64) -> usize {
-        let inner = self.inner.lock();
+        let inner = self.sh.inner.lock();
         inner
             .layer
             .device_of_lease(lease)
@@ -275,19 +543,21 @@ impl ArbFrontend {
     /// is pending for it. Must be read *before* feeding the eviction's
     /// `KernelFinished` (which completes the migration and clears it).
     fn migration_target(&self, lease: u64) -> Option<usize> {
-        self.inner.lock().layer.migration_target(lease)
+        self.sh.inner.lock().layer.migration_target(lease)
     }
 
     /// The placement layer's health state for `device`.
     fn device_health(&self, device: usize) -> HealthState {
-        self.inner.lock().layer.health_of(device)
+        self.sh.inner.lock().layer.health_of(device)
     }
 
     /// Registers the kernel's dispatch handle, announces it ready, and
-    /// blocks until its device's core grants it an SM range. The wait is
-    /// bounded (the 1 ms heartbeat re-runs scheduling anyway), so a lost
-    /// wakeup during teardown cannot wedge the thread; a crash unblocks
-    /// every waiter with [`GrantWait::Crashed`].
+    /// blocks until its device's core grants it an SM range. The handle
+    /// is registered before the ready event is submitted, so the consumer
+    /// always finds it when the grant's commands need applying. The wait
+    /// is bounded (the 1 ms heartbeat re-runs scheduling anyway), so a
+    /// lost wakeup during teardown cannot wedge the thread; a crash
+    /// unblocks every waiter with [`GrantWait::Crashed`].
     fn wait_grant(
         &self,
         lease: u64,
@@ -295,13 +565,13 @@ impl ArbFrontend {
         handle: DispatchHandle,
         token: Option<FaultToken>,
     ) -> GrantWait {
-        let mut inner = self.inner.lock();
-        inner.leases.register(lease, handle, token);
-        let (_, fed) = self.feed_locked(&mut inner, std::slice::from_ref(&ready));
+        self.sh.inner.lock().leases.register(lease, handle, token);
+        let (fed, _) = self.submit(std::slice::from_ref(&ready), None, None);
         if !fed {
-            inner.leases.release(lease);
+            self.sh.inner.lock().leases.release(lease);
             return GrantWait::Crashed { ready_fed: false };
         }
+        let mut inner = self.sh.inner.lock();
         loop {
             if let Some((device, range)) = inner.grants.remove(&lease) {
                 return GrantWait::Granted(device, range);
@@ -310,7 +580,10 @@ impl ArbFrontend {
                 inner.leases.release(lease);
                 return GrantWait::Crashed { ready_fed: true };
             }
-            let _ = self.granted.wait_for(&mut inner, Duration::from_millis(5));
+            let _ = self
+                .sh
+                .granted
+                .wait_for(&mut inner, Duration::from_millis(5));
         }
     }
 
@@ -320,9 +593,8 @@ impl ArbFrontend {
     /// actually landed — `false` means the daemon crashed first and the
     /// launch must be parked for adoption instead.
     fn finish(&self, lease: u64, ok: bool) -> bool {
-        let mut inner = self.inner.lock();
-        inner.leases.release(lease);
-        let (_, fed) = self.feed_locked(&mut inner, &[ArbEvent::KernelFinished { lease, ok }]);
+        self.sh.inner.lock().leases.release(lease);
+        let (fed, _) = self.submit(&[ArbEvent::KernelFinished { lease, ok }], None, None);
         fed
     }
 }
@@ -652,25 +924,28 @@ impl SlateDaemon {
             *n
         };
         {
-            // Admission feed and the durable session record land under one
-            // arbiter lock: a crash can separate neither from the other.
-            let mut inner = self.shared.arb.inner.lock();
-            let (cmds, fed) = self
+            // The durable session record rides in the submission itself:
+            // the consumer appends it right after the admission batch,
+            // under one arbiter lock, so a crash can separate neither
+            // from the other (and a shed admission records nothing).
+            let meta = self
                 .shared
-                .arb
-                .feed_locked(&mut inner, &[ArbEvent::SessionOpened { session }]);
+                .durability
+                .as_ref()
+                .map(|_| WalRecord::SessionMeta {
+                    session,
+                    user: user.to_string(),
+                });
+            let (fed, retry) =
+                self.shared
+                    .arb
+                    .submit(&[ArbEvent::SessionOpened { session }], Some(session), meta);
             if !fed {
                 return Err(SlateError::ShuttingDown);
             }
-            if let Some(retry) = shed_retry(&cmds, session) {
+            if let Some(retry) = retry {
                 return Err(SlateError::Overloaded {
                     retry_after_ms: retry,
-                });
-            }
-            if let Some(d) = &self.shared.durability {
-                d.append_meta(&WalRecord::SessionMeta {
-                    session,
-                    user: user.to_string(),
                 });
             }
         }
@@ -765,17 +1040,17 @@ impl SlateDaemon {
     /// Kernels evicted by the watchdog since the daemon started, across
     /// every device.
     pub fn watchdog_evictions(&self) -> u64 {
-        self.shared.arb.inner.lock().layer.evictions()
+        self.shared.arb.sh.inner.lock().layer.evictions()
     }
 
     /// Sessions torn down because the client vanished without Disconnect.
     pub fn reaped_sessions(&self) -> u64 {
-        self.shared.arb.inner.lock().layer.reaped()
+        self.shared.arb.sh.inner.lock().layer.reaped()
     }
 
     /// Kernels currently resident across every device (0–2 per device).
     pub fn arbiter_residents(&self) -> usize {
-        self.shared.arb.inner.lock().layer.residents()
+        self.shared.arb.sh.inner.lock().layer.residents()
     }
 
     /// Fault-plan rules that have fired so far (0 without injection).
@@ -786,25 +1061,25 @@ impl SlateDaemon {
     /// Snapshot of the daemon-wide launch queue: depth, high-water mark,
     /// admitted and shed counts, summed across every device's core.
     pub fn queue_stats(&self) -> QueueStats {
-        self.shared.arb.inner.lock().layer.queue_stats()
+        self.shared.arb.sh.inner.lock().layer.queue_stats()
     }
 
     /// Snapshot of the admission counters (sessions, launches, deadline
     /// rejections, memory sheds), summed across every device's core.
     pub fn admission_stats(&self) -> AdmissionStats {
-        self.shared.arb.inner.lock().layer.admission_stats()
+        self.shared.arb.sh.inner.lock().layer.admission_stats()
     }
 
     /// Starved arbiter waiters promoted to solo dispatch (0 unless
     /// [`DaemonOptions::starvation_bound_ms`] is set).
     pub fn starvation_promotions(&self) -> u64 {
-        self.shared.arb.inner.lock().layer.promotions()
+        self.shared.arb.sh.inner.lock().layer.promotions()
     }
 
     /// Snapshot of the placement counters: fleet size, routed sessions,
     /// rebalances fired and migrations completed.
     pub fn placement_stats(&self) -> PlacementStats {
-        self.shared.arb.inner.lock().layer.stats()
+        self.shared.arb.sh.inner.lock().layer.stats()
     }
 
     /// Declares `device` hard-down (operator action or an external health
@@ -842,6 +1117,7 @@ impl SlateDaemon {
     pub fn arbiter_log(&self) -> Option<EventLog> {
         self.shared
             .arb
+            .sh
             .inner
             .lock()
             .layer
@@ -857,7 +1133,7 @@ impl SlateDaemon {
     /// replay and [`split`](crate::placement::replay::split)s into
     /// ordinary per-device [`EventLog`]s.
     pub fn placement_log(&self) -> Option<PlacementLog> {
-        self.shared.arb.inner.lock().layer.take_log()
+        self.shared.arb.sh.inner.lock().layer.take_log()
     }
 
     /// One consistent-enough snapshot of everything the daemon reports:
@@ -872,7 +1148,7 @@ impl SlateDaemon {
             + sh.hyperq.recoveries()
             + sh.faults.recoveries()
             + sh.active_sessions.recoveries()
-            + sh.arb.inner.recoveries()
+            + sh.arb.sh.inner.recoveries()
             + self.next_session.recoveries()
             + self.sessions.recoveries();
         DaemonMetrics {
@@ -918,8 +1194,8 @@ impl SlateDaemon {
     /// the [`CrashScene`] for [`SlateDaemon::recover`].
     pub fn crash(&self) -> CrashScene {
         {
-            let inner = self.shared.arb.inner.lock();
-            self.shared.arb.crashed.store(true, Ordering::SeqCst);
+            let inner = self.shared.arb.sh.inner.lock();
+            self.shared.arb.sh.crashed.store(true, Ordering::SeqCst);
             self.shared.shutting_down.store(true, Ordering::Release);
             if let Some(d) = &self.shared.durability {
                 d.freeze();
@@ -930,7 +1206,7 @@ impl SlateDaemon {
             for lease in inner.leases.leases() {
                 inner.leases.apply(&Command::Evict { lease });
             }
-            self.shared.arb.granted.notify_all();
+            self.shared.arb.sh.granted.notify_all();
         }
         self.join();
         let inflight = std::mem::take(&mut *self.shared.crash_inflight.lock());
@@ -1164,7 +1440,9 @@ fn spawn_heartbeat(shared: Weak<DaemonShared>) {
             std::thread::sleep(Duration::from_millis(1));
             match shared.upgrade() {
                 Some(sh) => {
-                    sh.arb.feed(&[ArbEvent::DeadlineTick]);
+                    // Fire-and-forget: a dropped tick (full ring) is
+                    // made up by the next one a millisecond later.
+                    sh.arb.tick();
                 }
                 None => break,
             }
@@ -1351,13 +1629,17 @@ fn session_loop(
                     let pool = shared.pool.lock();
                     (pool.used(), pool.capacity())
                 };
-                let cmds = shared.arb.feed(&[ArbEvent::MallocRequested {
-                    session,
-                    used,
-                    capacity,
-                    bytes,
-                }]);
-                match shed_retry(&cmds, session) {
+                let (_, retry) = shared.arb.submit(
+                    &[ArbEvent::MallocRequested {
+                        session,
+                        used,
+                        capacity,
+                        bytes,
+                    }],
+                    Some(session),
+                    None,
+                );
+                match retry {
                     Some(retry) => Response::Err(
                         SlateError::Overloaded {
                             retry_after_ms: retry,
@@ -1447,25 +1729,23 @@ fn session_loop(
                             .lock()
                             .estimate_solo_ms(kernel.name(), kernel.grid().total_blocks());
                         let lease = (session << 16) | stream as u64;
-                        let (cmds, fed) = {
-                            let mut inner = shared.arb.inner.lock();
-                            shared.arb.feed_locked(
-                                &mut inner,
-                                &[ArbEvent::LaunchRequested {
-                                    session,
-                                    lease,
-                                    est_ms,
-                                    deadline_ms,
-                                }],
-                            )
-                        };
+                        let (fed, retry) = shared.arb.submit(
+                            &[ArbEvent::LaunchRequested {
+                                session,
+                                lease,
+                                est_ms,
+                                deadline_ms,
+                            }],
+                            Some(session),
+                            None,
+                        );
                         if !fed {
                             // Crashed before admission: the launch never
                             // happened; the resumed client will resubmit.
                             crashed_exit = true;
                             break;
                         }
-                        if let Some(retry) = shed_retry(&cmds, session) {
+                        if let Some(retry) = retry {
                             Response::Err(
                                 SlateError::Overloaded {
                                     retry_after_ms: retry,

@@ -41,6 +41,7 @@ pub mod daemon;
 pub mod dispatch;
 pub mod durability;
 pub mod error;
+pub mod feed;
 pub mod injector;
 pub mod partition;
 pub mod placement;

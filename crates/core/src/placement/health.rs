@@ -163,6 +163,13 @@ impl HealthTracker {
         self.states.iter().map(|s| s.eligible()).collect()
     }
 
+    /// Allocation-free [`HealthTracker::eligibility`]: clears `buf` and
+    /// fills it in device order, reusing its capacity.
+    pub(super) fn fill_eligibility(&self, buf: &mut Vec<bool>) {
+        buf.clear();
+        buf.extend(self.states.iter().map(|s| s.eligible()));
+    }
+
     /// Devices currently eligible as routing targets.
     pub(super) fn eligible_count(&self) -> usize {
         self.states.iter().filter(|s| s.eligible()).count()

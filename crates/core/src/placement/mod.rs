@@ -26,7 +26,10 @@
 //! 1. **Sticky deterministic routing** — a session's device is chosen
 //!    once, by a pure [`PlacementPolicy`], and every later event of that
 //!    session (and of its leases) follows it. No wall clocks, no
-//!    unordered maps.
+//!    unordered maps; session and lease routes live in dense slot tables
+//!    behind [`IdTable`] interners, and any slot iteration whose order
+//!    could reach the output sorts by external id first (the dense-slot
+//!    rule — see `DESIGN.md` §17).
 //! 2. **Event-sourced migration** — a rebalance is an ordinary
 //!    [`Command::Evict`] synthesized by the layer plus a route change for
 //!    the lease: the frontend evicts (capturing absolute `slateIdx`
@@ -53,7 +56,7 @@ pub use replay::{PlacementBatch, PlacementLog};
 
 use crate::admission::FleetAdmissionConfig;
 use crate::arbiter::{
-    ArbiterConfig, ArbiterCore, Command, CoreSnapshot, Event, EventLog, RejectScope, Tick,
+    ArbiterConfig, ArbiterCore, Command, CoreSnapshot, Event, EventLog, IdTable, RejectScope, Tick,
 };
 use health::{HealthSnapshot, HealthTracker};
 use rebalance::{Rebalancer, RebalancerSnapshot};
@@ -137,7 +140,8 @@ pub struct PlacementStats {
 /// same rng words, same health timers, same counters — so a recovered
 /// daemon's replayed suffix lands on exactly the state the crashed daemon
 /// had. Recording state is deliberately *not* captured: recovery decides
-/// afresh whether to record.
+/// afresh whether to record. Like [`CoreSnapshot`], routes are serialized
+/// as external-id ordered maps — slot numbers never reach disk.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct PlacementSnapshot {
     pub(crate) config: PlacementConfig,
@@ -170,22 +174,35 @@ impl PlacementSnapshot {
 
 /// N per-device arbitration cores behind one deterministic router. See
 /// the [module docs](self) for the invariants.
+///
+/// Sessions and leases are interned into dense slots; routing is a slot
+/// lookup, and all per-feed working sets (per-device event split, load
+/// vectors, eligibility masks, command buffers) are layer-owned scratch
+/// that reuses its high-water capacity — a steady-state
+/// [`PlacementLayer::feed_into`] call does not touch the allocator.
 #[derive(Debug)]
 pub struct PlacementLayer {
     cores: Vec<ArbiterCore>,
     config: PlacementConfig,
     now: Tick,
-    /// Sticky session → device routes.
-    session_device: BTreeMap<u64, usize>,
-    /// Sticky lease → device routes (diverges from the session's device
-    /// after a migration).
-    lease_device: BTreeMap<u64, usize>,
+    /// Session interner; parallel to `session_device`.
+    sessions: IdTable,
+    /// Sticky session → device routes, by session slot.
+    session_device: Vec<usize>,
+    /// Lease interner; parallel to the three per-lease tables below.
+    leases: IdTable,
+    /// Sticky lease → device routes (diverge from the session's device
+    /// after a migration), by lease slot.
+    lease_device: Vec<Option<usize>>,
     /// Lease → owning session, for cleanup when the session ends.
-    lease_session: BTreeMap<u64, u64>,
-    /// In-flight migrations: lease → target device. Populated when the
-    /// rebalancer fires, drained when the eviction's `KernelFinished`
-    /// arrives.
-    migrating: BTreeMap<u64, usize>,
+    lease_session: Vec<Option<u64>>,
+    /// In-flight migrations: lease slot → target device. Populated when
+    /// the rebalancer fires, drained when the eviction's
+    /// `KernelFinished` arrives.
+    migrating: Vec<Option<usize>>,
+    /// Live `Some` entries in `migrating`; gates the rebalancer without
+    /// scanning the slot table.
+    migrating_count: usize,
     rr_next: usize,
     rebalancer: Option<Rebalancer>,
     health: HealthTracker,
@@ -193,6 +210,17 @@ pub struct PlacementLayer {
     migrations_completed: u64,
     evacuations: u64,
     fleet_sheds: u64,
+    // Per-feed scratch, reused across batches (see struct docs).
+    sub: Vec<Vec<Event>>,
+    finished: Vec<u64>,
+    ended: Vec<u64>,
+    sheds: Vec<RoutedCommand>,
+    evac: Vec<usize>,
+    core_out: Vec<Command>,
+    loads_buf: Vec<u64>,
+    counts_buf: Vec<usize>,
+    eligible_buf: Vec<bool>,
+    sweep: Vec<u64>,
     record: Option<Vec<PlacementBatch>>,
 }
 
@@ -209,14 +237,23 @@ impl PlacementLayer {
             .collect();
         let rebalancer = config.rebalance.clone().map(Rebalancer::new);
         let health = HealthTracker::new(config.health.clone(), cores.len());
+        let n = cores.len();
+        // Pre-size the routing tables and scratch for a typical fleet
+        // wave: one up-front allocation each instead of a doubling
+        // ladder during the first batches (see `DESIGN.md` §17).
+        const SESSIONS: usize = 16;
+        const LEASES: usize = 16;
         Self {
             cores,
             config,
             now: 0,
-            session_device: BTreeMap::new(),
-            lease_device: BTreeMap::new(),
-            lease_session: BTreeMap::new(),
-            migrating: BTreeMap::new(),
+            sessions: IdTable::with_capacity(SESSIONS),
+            session_device: Vec::with_capacity(SESSIONS),
+            leases: IdTable::with_capacity(LEASES),
+            lease_device: Vec::with_capacity(LEASES),
+            lease_session: Vec::with_capacity(LEASES),
+            migrating: Vec::with_capacity(LEASES),
+            migrating_count: 0,
             rr_next: 0,
             rebalancer,
             health,
@@ -224,13 +261,27 @@ impl PlacementLayer {
             migrations_completed: 0,
             evacuations: 0,
             fleet_sheds: 0,
+            sub: std::iter::repeat_with(|| Vec::with_capacity(4))
+                .take(n)
+                .collect(),
+            finished: Vec::with_capacity(4),
+            ended: Vec::with_capacity(4),
+            sheds: Vec::with_capacity(4),
+            evac: Vec::with_capacity(4),
+            core_out: Vec::with_capacity(8),
+            loads_buf: Vec::with_capacity(n),
+            counts_buf: Vec::with_capacity(n),
+            eligible_buf: Vec::with_capacity(n),
+            sweep: Vec::with_capacity(8),
             record: None,
         }
     }
 
     /// Rebuilds a layer from a durable snapshot. The result behaves
-    /// byte-identically to the layer that produced the snapshot; recording
-    /// is off until [`PlacementLayer::start_recording`] is called again.
+    /// byte-identically to the layer that produced the snapshot — ids are
+    /// re-interned in ascending external order, which may renumber slots,
+    /// but no decision depends on slot numbering. Recording is off until
+    /// [`PlacementLayer::start_recording`] is called again.
     pub fn from_snapshot(snap: PlacementSnapshot) -> Self {
         let cores: Vec<ArbiterCore> = snap
             .cores
@@ -243,14 +294,18 @@ impl PlacementLayer {
             (None, _) => None,
         };
         let health = HealthTracker::restore(snap.config.health.clone(), snap.health);
-        Self {
+        let n = cores.len();
+        let mut layer = Self {
             cores,
             config: snap.config,
             now: snap.now,
-            session_device: snap.session_device,
-            lease_device: snap.lease_device,
-            lease_session: snap.lease_session,
-            migrating: snap.migrating,
+            sessions: IdTable::new(),
+            session_device: Vec::new(),
+            leases: IdTable::new(),
+            lease_device: Vec::new(),
+            lease_session: Vec::new(),
+            migrating: Vec::new(),
+            migrating_count: 0,
             rr_next: snap.rr_next,
             rebalancer,
             health,
@@ -258,8 +313,38 @@ impl PlacementLayer {
             migrations_completed: snap.migrations_completed,
             evacuations: snap.evacuations,
             fleet_sheds: snap.fleet_sheds,
+            sub: std::iter::repeat_with(Vec::new).take(n).collect(),
+            finished: Vec::new(),
+            ended: Vec::new(),
+            sheds: Vec::new(),
+            evac: Vec::new(),
+            core_out: Vec::new(),
+            loads_buf: Vec::new(),
+            counts_buf: Vec::new(),
+            eligible_buf: Vec::new(),
+            sweep: Vec::new(),
             record: None,
+        };
+        for (session, d) in snap.session_device {
+            let slot = layer.session_slot(session);
+            layer.session_device[slot] = d;
         }
+        for (lease, session) in snap.lease_session {
+            let slot = layer.lease_slot(lease);
+            layer.lease_session[slot] = Some(session);
+        }
+        for (lease, d) in snap.lease_device {
+            let slot = layer.lease_slot(lease);
+            layer.lease_device[slot] = Some(d);
+        }
+        for (lease, d) in snap.migrating {
+            let slot = layer.lease_slot(lease);
+            if layer.migrating[slot].is_none() {
+                layer.migrating_count += 1;
+            }
+            layer.migrating[slot] = Some(d);
+        }
+        layer
     }
 
     /// Captures the layer's complete state for a durable snapshot (see
@@ -269,10 +354,26 @@ impl PlacementLayer {
             config: self.config.clone(),
             now: self.now,
             cores: self.cores.iter().map(|c| c.snapshot()).collect(),
-            session_device: self.session_device.clone(),
-            lease_device: self.lease_device.clone(),
-            lease_session: self.lease_session.clone(),
-            migrating: self.migrating.clone(),
+            session_device: self
+                .sessions
+                .iter()
+                .map(|(s, ext)| (ext, self.session_device[s as usize]))
+                .collect(),
+            lease_device: self
+                .leases
+                .iter()
+                .filter_map(|(s, ext)| self.lease_device[s as usize].map(|d| (ext, d)))
+                .collect(),
+            lease_session: self
+                .leases
+                .iter()
+                .filter_map(|(s, ext)| self.lease_session[s as usize].map(|o| (ext, o)))
+                .collect(),
+            migrating: self
+                .leases
+                .iter()
+                .filter_map(|(s, ext)| self.migrating[s as usize].map(|d| (ext, d)))
+                .collect(),
             rr_next: self.rr_next,
             rebalancer: self.rebalancer.as_ref().map(|r| r.snapshot()),
             health: self.health.snapshot(),
@@ -305,14 +406,18 @@ impl PlacementLayer {
 
     /// The device `session` is routed to, if it has been routed.
     pub fn device_of_session(&self, session: u64) -> Option<usize> {
-        self.session_device.get(&session).copied()
+        self.sessions
+            .get(session)
+            .map(|s| self.session_device[s as usize])
     }
 
     /// The device `lease` is routed to, if known. After a migration's
     /// eviction lands this is the *target* device — frontends re-stage
     /// the evicted kernel here.
     pub fn device_of_lease(&self, lease: u64) -> Option<usize> {
-        self.lease_device.get(&lease).copied()
+        self.leases
+            .get(lease)
+            .and_then(|s| self.lease_device[s as usize])
     }
 
     /// The migration target of `lease` while its eviction is still in
@@ -320,7 +425,9 @@ impl PlacementLayer {
     /// rebalance eviction (re-stage on the target) from a watchdog
     /// eviction (drop).
     pub fn migration_target(&self, lease: u64) -> Option<usize> {
-        self.migrating.get(&lease).copied()
+        self.leases
+            .get(lease)
+            .and_then(|s| self.migrating[s as usize])
     }
 
     /// The health state of `device`, as of the last fed batch.
@@ -345,7 +452,14 @@ impl PlacementLayer {
 
     /// Per-device load vector (see [`PlacementLayer::device_load`]).
     pub fn loads(&self) -> Vec<u64> {
-        (0..self.cores.len()).map(|i| self.device_load(i)).collect()
+        let mut loads = Vec::new();
+        self.fill_loads(&mut loads);
+        loads
+    }
+
+    fn fill_loads(&self, buf: &mut Vec<u64>) {
+        buf.clear();
+        buf.extend((0..self.cores.len()).map(|i| self.device_load(i)));
     }
 
     /// Kernels resident across every device.
@@ -441,24 +555,53 @@ impl PlacementLayer {
         self.cores.iter_mut().map(|c| c.take_log()).collect()
     }
 
-    fn session_counts(&self) -> Vec<usize> {
-        let mut counts = vec![0usize; self.cores.len()];
-        for &d in self.session_device.values() {
-            counts[d] += 1;
+    /// Interns `session` and sizes the route table to its slot.
+    fn session_slot(&mut self, session: u64) -> usize {
+        let (slot, _) = self.sessions.intern(session);
+        let slot = slot as usize;
+        if slot >= self.session_device.len() {
+            self.session_device.resize(slot + 1, 0);
         }
-        counts
+        slot
+    }
+
+    /// Interns `lease` and sizes the per-lease tables to its slot,
+    /// clearing slot state on fresh (possibly reused) slots.
+    fn lease_slot(&mut self, lease: u64) -> usize {
+        let (slot, fresh) = self.leases.intern(lease);
+        let slot = slot as usize;
+        if slot >= self.lease_device.len() {
+            self.lease_device.resize(slot + 1, None);
+            self.lease_session.resize(slot + 1, None);
+            self.migrating.resize(slot + 1, None);
+        }
+        if fresh {
+            self.lease_device[slot] = None;
+            self.lease_session[slot] = None;
+            debug_assert!(
+                self.migrating[slot].is_none(),
+                "released slot kept a target"
+            );
+        }
+        slot
+    }
+
+    fn fill_session_counts(&self, buf: &mut Vec<usize>) {
+        buf.clear();
+        buf.resize(self.cores.len(), 0);
+        for (slot, _) in self.sessions.iter() {
+            buf[self.session_device[slot as usize]] += 1;
+        }
     }
 
     /// Routing eligibility mask, falling back to every device when the
     /// whole fleet is out of service (work then queues on its sticky
     /// device until something recovers, rather than having nowhere to
     /// go).
-    fn routable(&self) -> Vec<bool> {
-        let mask = self.health.eligibility();
-        if mask.iter().any(|&e| e) {
-            mask
-        } else {
-            vec![true; mask.len()]
+    fn fill_routable(&self, buf: &mut Vec<bool>) {
+        self.health.fill_eligibility(buf);
+        if !buf.iter().any(|&e| e) {
+            buf.iter_mut().for_each(|e| *e = true);
         }
     }
 
@@ -480,22 +623,29 @@ impl PlacementLayer {
 
     /// Routes `session` via the policy (first sight) or its sticky route.
     fn device_of_or_assign(&mut self, session: u64) -> usize {
-        if let Some(&d) = self.session_device.get(&session) {
-            return d;
+        if let Some(slot) = self.sessions.get(session) {
+            return self.session_device[slot as usize];
         }
-        let loads = self.loads();
-        let counts = self.session_counts();
-        let eligible = self.routable();
+        let mut loads = std::mem::take(&mut self.loads_buf);
+        let mut counts = std::mem::take(&mut self.counts_buf);
+        let mut eligible = std::mem::take(&mut self.eligible_buf);
+        self.fill_loads(&mut loads);
+        self.fill_session_counts(&mut counts);
+        self.fill_routable(&mut eligible);
         let (d, advanced_rr) =
             self.config
                 .policy
                 .route(session, &loads, &counts, self.rr_next, &eligible);
+        self.loads_buf = loads;
+        self.counts_buf = counts;
+        self.eligible_buf = eligible;
         if advanced_rr {
             // Equivalent to the pre-health `rr_next + 1` while every
             // device is eligible; skips ineligible devices otherwise.
             self.rr_next = d + 1;
         }
-        self.session_device.insert(session, d);
+        let slot = self.session_slot(session);
+        self.session_device[slot] = d;
         self.sessions_routed += 1;
         d
     }
@@ -507,8 +657,12 @@ impl PlacementLayer {
     /// session route stays sticky for when the device returns, but no
     /// fresh work lands on a dead device.
     fn device_for_lease(&mut self, session: u64, lease: u64) -> usize {
-        let d = match self.lease_device.get(&lease) {
-            Some(&d) => d,
+        let routed = self
+            .leases
+            .get(lease)
+            .and_then(|s| self.lease_device[s as usize]);
+        let d = match routed {
+            Some(d) => d,
             None => {
                 let mut d = self.device_of_or_assign(session);
                 if self.health.state(d).out_of_service() {
@@ -516,11 +670,13 @@ impl PlacementLayer {
                         d = alt;
                     }
                 }
-                self.lease_device.insert(lease, d);
+                let slot = self.lease_slot(lease);
+                self.lease_device[slot] = Some(d);
                 d
             }
         };
-        self.lease_session.insert(lease, session);
+        let slot = self.lease_slot(lease);
+        self.lease_session[slot] = Some(session);
         d
     }
 
@@ -531,17 +687,34 @@ impl PlacementLayer {
     /// order (all of device 0's, then device 1's, …), each device's in
     /// its core's emission order.
     pub fn feed(&mut self, now: Tick, events: &[Event]) -> Vec<RoutedCommand> {
+        let mut out = Vec::new();
+        self.feed_into(now, events, &mut out);
+        out
+    }
+
+    /// Allocation-free variant of [`PlacementLayer::feed`]: clears `out`
+    /// and fills it with this batch's routed commands, reusing its
+    /// capacity and the layer's own scratch. The hot-path entry point.
+    pub fn feed_into(&mut self, now: Tick, events: &[Event], out: &mut Vec<RoutedCommand>) {
+        out.clear();
         self.now = self.now.max(now);
         // Expire health timers first: a device whose quarantine or
         // probation lapsed by this batch's timestamp is (in)eligible for
         // everything the batch routes.
         self.health.tick(self.now);
         let n = self.cores.len();
-        let mut sub: Vec<Vec<Event>> = vec![Vec::new(); n];
-        let mut finished: Vec<u64> = Vec::new();
-        let mut ended: Vec<u64> = Vec::new();
-        let mut sheds: Vec<RoutedCommand> = Vec::new();
-        let mut evacuate: Vec<usize> = Vec::new();
+        let mut sub = std::mem::take(&mut self.sub);
+        for s in sub.iter_mut() {
+            s.clear();
+        }
+        let mut finished = std::mem::take(&mut self.finished);
+        let mut ended = std::mem::take(&mut self.ended);
+        let mut sheds = std::mem::take(&mut self.sheds);
+        let mut evacuate = std::mem::take(&mut self.evac);
+        finished.clear();
+        ended.clear();
+        sheds.clear();
+        evacuate.clear();
         for ev in events {
             match *ev {
                 Event::SessionOpened { session } => {
@@ -553,7 +726,7 @@ impl PlacementLayer {
                     sub[d].push(ev.clone());
                 }
                 Event::SessionClosed { session } | Event::SessionSevered { session } => {
-                    let d = self.session_device.get(&session).copied().unwrap_or(0);
+                    let d = self.device_of_session(session).unwrap_or(0);
                     sub[d].push(ev.clone());
                     ended.push(session);
                 }
@@ -570,7 +743,7 @@ impl PlacementLayer {
                     sub[d].push(ev.clone());
                 }
                 Event::KernelFinished { lease, .. } => {
-                    let d = self.lease_device.get(&lease).copied().unwrap_or(0);
+                    let d = self.device_of_lease(lease).unwrap_or(0);
                     sub[d].push(ev.clone());
                     finished.push(lease);
                 }
@@ -604,47 +777,64 @@ impl PlacementLayer {
                 }
             }
         }
-        let mut out = Vec::new();
+        let mut core_out = std::mem::take(&mut self.core_out);
         for (d, batch) in sub.iter().enumerate() {
             if batch.is_empty() {
                 continue;
             }
-            for command in self.cores[d].feed(self.now, batch) {
+            self.cores[d].feed_into(self.now, batch, &mut core_out);
+            for command in core_out.drain(..) {
                 out.push(RoutedCommand { device: d, command });
             }
         }
-        out.extend(sheds);
+        self.core_out = core_out;
+        out.append(&mut sheds);
         // A landed eviction completes its migration: the lease's sticky
         // route flips to the target, so the re-fed KernelReady lands there.
-        for lease in finished {
-            if let Some(dst) = self.migrating.remove(&lease) {
-                self.lease_device.insert(lease, dst);
-                self.migrations_completed += 1;
+        for lease in finished.drain(..) {
+            if let Some(slot) = self.leases.get(lease) {
+                let slot = slot as usize;
+                if let Some(dst) = self.migrating[slot].take() {
+                    self.migrating_count -= 1;
+                    self.lease_device[slot] = Some(dst);
+                    self.migrations_completed += 1;
+                }
             }
         }
-        for session in ended {
-            self.session_device.remove(&session);
-            let leases: Vec<u64> = self
-                .lease_session
-                .iter()
-                .filter(|&(_, &s)| s == session)
-                .map(|(&l, _)| l)
-                .collect();
-            for l in leases {
-                self.lease_session.remove(&l);
-                self.lease_device.remove(&l);
-                self.migrating.remove(&l);
+        for session in ended.drain(..) {
+            self.sessions.release(session);
+            let mut sweep = std::mem::take(&mut self.sweep);
+            sweep.clear();
+            sweep.extend(
+                self.leases
+                    .iter()
+                    .filter(|&(slot, _)| self.lease_session[slot as usize] == Some(session))
+                    .map(|(_, ext)| ext),
+            );
+            for &lease in &sweep {
+                let slot = self.leases.release(lease).expect("swept lease is live") as usize;
+                self.lease_session[slot] = None;
+                self.lease_device[slot] = None;
+                if self.migrating[slot].take().is_some() {
+                    self.migrating_count -= 1;
+                }
             }
+            self.sweep = sweep;
         }
         // Evacuations run after the cores were fed, so work that became
         // resident or queued in this very batch is still moved off the
         // failed domain.
-        for d in evacuate {
-            self.evacuate_device(d, &mut out);
+        for d in evacuate.drain(..) {
+            self.evacuate_device(d, out);
         }
         if let Some(cmd) = self.maybe_rebalance() {
             out.push(cmd);
         }
+        self.sub = sub;
+        self.finished = finished;
+        self.ended = ended;
+        self.sheds = sheds;
+        self.evac = evacuate;
         if let Some(batches) = &mut self.record {
             let heartbeat_only = events.iter().all(|e| matches!(e, Event::DeadlineTick));
             if !(heartbeat_only && out.is_empty()) {
@@ -655,22 +845,30 @@ impl PlacementLayer {
                 });
             }
         }
-        out
     }
 
     fn maybe_rebalance(&mut self) -> Option<RoutedCommand> {
         // One migration in flight at a time: the load vector is stale
         // until the eviction lands, so a second fire would double-move.
-        if self.rebalancer.is_none() || !self.migrating.is_empty() {
+        if self.rebalancer.is_none() || self.migrating_count != 0 {
             return None;
         }
-        let loads = self.loads();
-        let eligible = self.health.eligibility();
+        let mut loads = std::mem::take(&mut self.loads_buf);
+        let mut eligible = std::mem::take(&mut self.eligible_buf);
+        self.fill_loads(&mut loads);
+        self.health.fill_eligibility(&mut eligible);
         let now = self.now;
         let cores = &self.cores;
         let rb = self.rebalancer.as_mut().expect("checked above");
-        let m = rb.plan(now, &loads, &eligible, |src| cores[src].resident_leases())?;
-        self.migrating.insert(m.lease, m.dst);
+        let m = rb.plan(now, &loads, &eligible, |src| cores[src].resident_leases());
+        self.loads_buf = loads;
+        self.eligible_buf = eligible;
+        let m = m?;
+        let slot = self.lease_slot(m.lease);
+        if self.migrating[slot].is_none() {
+            self.migrating_count += 1;
+        }
+        self.migrating[slot] = Some(m.dst);
         Some(RoutedCommand {
             device: m.src,
             command: Command::Evict { lease: m.lease },
@@ -683,12 +881,12 @@ impl PlacementLayer {
     /// in-service device so the retry hint names where capacity frees
     /// first.
     fn fleet_shed_session(&mut self, session: u64) -> Option<RoutedCommand> {
-        if self.session_device.contains_key(&session) {
+        if self.sessions.contains(session) {
             return None; // already admitted and routed
         }
         let per = self.config.fleet.max_sessions_per_device?;
         let budget = per.saturating_mul(self.health.eligible_count());
-        if self.session_device.len() < budget {
+        if self.sessions.len() < budget {
             return None;
         }
         Some(self.fleet_reject(session, None, RejectScope::Session))
@@ -744,17 +942,22 @@ impl PlacementLayer {
     fn evacuate_device(&mut self, src: usize, out: &mut Vec<RoutedCommand>) {
         let eligible = self.health.eligibility();
         let mut loads = self.loads();
-        // Retarget migrations whose destination just died.
-        let aimed: Vec<u64> = self
-            .migrating
+        // Retarget migrations whose destination just died. Each retarget
+        // feeds back into `loads`, so iteration order is part of the
+        // replayed decision: sort by external lease id, matching the
+        // ordered-map scan this used to be (the dense-slot rule).
+        let mut aimed: Vec<u64> = self
+            .leases
             .iter()
-            .filter(|&(_, &d)| d == src)
-            .map(|(&l, _)| l)
+            .filter(|&(slot, _)| self.migrating[slot as usize] == Some(src))
+            .map(|(_, ext)| ext)
             .collect();
+        aimed.sort_unstable();
         for lease in aimed {
             if let Some(dst) = pick_target(&eligible, &loads, src) {
                 loads[dst] += LOAD_WEIGHT_MS;
-                self.migrating.insert(lease, dst);
+                let slot = self.lease_slot(lease);
+                self.migrating[slot] = Some(dst);
             }
         }
         let mut victims = self.cores[src].resident_leases();
@@ -762,14 +965,22 @@ impl PlacementLayer {
         victims.sort_unstable();
         victims.dedup();
         for lease in victims {
-            if self.migrating.contains_key(&lease) {
+            let already = self
+                .leases
+                .get(lease)
+                .is_some_and(|s| self.migrating[s as usize].is_some());
+            if already {
                 continue; // already on its way out (rebalance in flight)
             }
             let Some(dst) = pick_target(&eligible, &loads, src) else {
                 return;
             };
             loads[dst] += LOAD_WEIGHT_MS;
-            self.migrating.insert(lease, dst);
+            let slot = self.lease_slot(lease);
+            if self.migrating[slot].is_none() {
+                self.migrating_count += 1;
+            }
+            self.migrating[slot] = Some(dst);
             self.evacuations += 1;
             out.push(RoutedCommand {
                 device: src,

@@ -73,6 +73,9 @@ pub struct MultiSim {
     /// Last health each backend reported; edges become
     /// `DeviceDown`/`DeviceUp` events for the layer.
     seen_health: Vec<DeviceHealth>,
+    /// Reusable routed-command buffer for [`MultiSim::feed`] — the
+    /// fleet's feed path allocates nothing once warmed.
+    routed_scratch: Vec<RoutedCommand>,
     now_ms: u64,
 }
 
@@ -102,6 +105,7 @@ impl MultiSim {
             outcomes: BTreeMap::new(),
             migrations: Vec::new(),
             seen_health,
+            routed_scratch: Vec::new(),
             now_ms: 0,
         }
     }
@@ -140,13 +144,17 @@ impl MultiSim {
         self.now_ms * 1_000
     }
 
-    /// Feeds `events` and carries out every routed command.
-    fn feed(&mut self, events: &[Event]) -> Vec<RoutedCommand> {
-        let routed = self.layer.feed(self.now_us(), events);
+    /// Feeds `events` and carries out every routed command. The routed
+    /// batch stays readable in `self.routed_scratch` (and is returned by
+    /// reference) until the next feed reuses the buffer.
+    fn feed(&mut self, events: &[Event]) -> &[RoutedCommand] {
+        let mut routed = std::mem::take(&mut self.routed_scratch);
+        self.layer.feed_into(self.now_us(), events, &mut routed);
         for r in &routed {
             self.backends[r.device].apply(&r.command);
         }
-        routed
+        self.routed_scratch = routed;
+        &self.routed_scratch
     }
 
     /// Submits a job: opens its session on first sight, runs it through

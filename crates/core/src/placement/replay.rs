@@ -58,19 +58,69 @@ pub fn replay(log: &PlacementLog) -> Vec<PlacementBatch> {
         .collect()
 }
 
-/// Replays `log` and checks the produced routed commands against the
-/// logged ones, reporting the first divergence.
-pub fn verify(log: &PlacementLog) -> Result<(), String> {
-    let replayed = replay(log);
-    for (i, (want, got)) in log.batches.iter().zip(&replayed).enumerate() {
-        if want.routed != got.routed {
+/// Incremental replay verification for placement logs: batches are
+/// pushed one at a time against a fresh layer and checked as they
+/// arrive, holding one reusable routed-command buffer rather than a full
+/// second copy of the log. The multi-device analogue of
+/// [`crate::arbiter::replay::StreamVerifier`].
+pub struct StreamVerifier {
+    layer: PlacementLayer,
+    scratch: Vec<RoutedCommand>,
+    batches: usize,
+}
+
+impl StreamVerifier {
+    /// A verifier replaying against a fresh layer over `devices` under
+    /// `config` — the same starting state [`replay`] uses.
+    pub fn new(devices: Vec<DeviceConfig>, config: PlacementConfig) -> Self {
+        Self {
+            layer: PlacementLayer::new(devices, config),
+            scratch: Vec::new(),
+            batches: 0,
+        }
+    }
+
+    /// A verifier for `log`'s devices and configuration.
+    pub fn for_log(log: &PlacementLog) -> Self {
+        Self::new(log.devices.clone(), log.config.clone())
+    }
+
+    /// Replays one recorded batch and checks the routed commands it
+    /// produces against the logged ones.
+    pub fn push(&mut self, batch: &PlacementBatch) -> Result<(), String> {
+        let i = self.batches;
+        self.batches += 1;
+        self.layer
+            .feed_into(batch.at, &batch.events, &mut self.scratch);
+        if self.scratch != batch.routed {
             return Err(format!(
                 "placement batch {i} (at {}) diverged:\n  logged:\n{}  replayed:\n{}",
-                want.at,
-                render(&want.routed),
-                render(&got.routed),
+                batch.at,
+                render(&batch.routed),
+                render(&self.scratch),
             ));
         }
+        Ok(())
+    }
+
+    /// Batches verified so far.
+    pub fn batches(&self) -> usize {
+        self.batches
+    }
+
+    /// The replayed layer, positioned after every pushed batch.
+    pub fn into_layer(self) -> PlacementLayer {
+        self.layer
+    }
+}
+
+/// Replays `log` and checks the produced routed commands against the
+/// logged ones, reporting the first divergence. Streaming: memory is
+/// bounded by the largest single batch (see [`StreamVerifier`]).
+pub fn verify(log: &PlacementLog) -> Result<(), String> {
+    let mut v = StreamVerifier::for_log(log);
+    for b in &log.batches {
+        v.push(b)?;
     }
     Ok(())
 }
@@ -110,8 +160,9 @@ pub fn transcript(batches: &[PlacementBatch]) -> String {
 pub fn split(log: &PlacementLog) -> Result<Vec<EventLog>, String> {
     let mut layer = PlacementLayer::new(log.devices.clone(), log.config.clone());
     layer.start_recording();
+    let mut routed = Vec::new();
     for (i, b) in log.batches.iter().enumerate() {
-        let routed = layer.feed(b.at, &b.events);
+        layer.feed_into(b.at, &b.events, &mut routed);
         if routed != b.routed {
             return Err(format!(
                 "placement batch {i} (at {}) diverged during split:\n  logged:\n{}  replayed:\n{}",

@@ -30,6 +30,7 @@
 
 use crate::arbiter::{ArbiterConfig, ArbiterCore, Command, Event as ArbEvent, EventLog};
 use crate::backend::sim::{RelaunchPlan, ResizeOutcome, SimBackend};
+use crate::feed::EventBatch;
 use crate::placement::multi::{JobOutcome, MultiJob, MultiSim};
 use crate::placement::{PlacementConfig, PlacementStats};
 use crate::profile::ProfileTable;
@@ -301,6 +302,9 @@ struct Sim {
     /// The shared arbitration core; process index doubles as both the
     /// session and lease id.
     arb: ArbiterCore,
+    /// Reusable feed batch (events in, commands out) driving `arb`; the
+    /// same batch type the daemon pools (see [`crate::feed`]).
+    feed_scratch: EventBatch<Command>,
 }
 
 impl Sim {
@@ -373,6 +377,7 @@ impl Sim {
             residents: Vec::new(),
             trace: Trace::new(),
             arb,
+            feed_scratch: EventBatch::new(),
         }
     }
 
@@ -397,21 +402,30 @@ impl Sim {
     /// Feeds a batch of events to the arbiter and executes the returned
     /// commands, looping on any compensation events a command execution
     /// produces (a resize that raced with completion reports the kernel
-    /// finished, which may trigger further scheduling).
-    fn feed(&mut self, events: Vec<ArbEvent>) {
-        let mut batch = events;
-        while !batch.is_empty() {
-            let cmds = self.arb.feed(self.now_us(), &batch);
-            batch = self.apply(cmds);
+    /// finished, which may trigger further scheduling). The loop drives
+    /// one runtime-owned [`EventBatch`] — events in, commands out,
+    /// compensation events written straight back into the event buffer —
+    /// so repeated feeds reuse the same capacity instead of allocating
+    /// per round.
+    fn feed(&mut self, events: &[ArbEvent]) {
+        let mut batch = std::mem::take(&mut self.feed_scratch);
+        batch.clear();
+        batch.events.extend_from_slice(events);
+        while !batch.events.is_empty() {
+            let now = self.now_us();
+            self.arb.feed_into(now, &batch.events, &mut batch.replies);
+            batch.events.clear();
+            let EventBatch { events, replies } = &mut batch;
+            self.apply_into(replies, events);
         }
+        self.feed_scratch = batch;
     }
 
-    /// Executes arbiter commands against the engine; returns compensation
-    /// events for outcomes the core could not see yet.
-    fn apply(&mut self, cmds: Vec<Command>) -> Vec<ArbEvent> {
-        let mut compensation = Vec::new();
+    /// Executes arbiter commands against the engine, appending
+    /// compensation events for outcomes the core could not see yet.
+    fn apply_into(&mut self, cmds: &[Command], compensation: &mut Vec<ArbEvent>) {
         for cmd in cmds {
-            match cmd {
+            match *cmd {
                 Command::Dispatch { lease, range } => self.launch(lease as usize, range),
                 Command::Resize { lease, range } => {
                     let proc = lease as usize;
@@ -436,7 +450,6 @@ impl Sim {
                 | Command::RejectOverloaded { .. } => {}
             }
         }
-        compensation
     }
 
     /// Starts the next launch of `proc` on `range`. Charges the per-launch
@@ -618,7 +631,7 @@ impl Sim {
             // which lets the core resume it on its old partition in place.
             events.push(self.ready_event(r.proc));
         }
-        self.feed(events);
+        self.feed(&events);
     }
 
     fn run(mut self) -> (RunOutcome, Option<EventLog>) {
@@ -627,7 +640,7 @@ impl Sim {
         let opened: Vec<ArbEvent> = (0..self.procs.len())
             .map(|i| ArbEvent::SessionOpened { session: i as u64 })
             .collect();
-        self.feed(opened);
+        self.feed(&opened);
         while let Some((now, ev)) = self.backend.engine_mut().step() {
             match ev {
                 Event::Timer(tid) => {
@@ -666,12 +679,12 @@ impl Sim {
                         Phase::H2d => {
                             self.procs[i].phase = Phase::Ready;
                             let ev = self.ready_event(i);
-                            self.feed(vec![ev]);
+                            self.feed(&[ev]);
                         }
                         Phase::D2h => {
                             self.procs[i].phase = Phase::Done;
                             self.procs[i].end_s = now;
-                            self.feed(vec![ArbEvent::SessionClosed { session: i as u64 }]);
+                            self.feed(&[ArbEvent::SessionClosed { session: i as u64 }]);
                         }
                         other => panic!("transfer completion in phase {other:?}"),
                     }
