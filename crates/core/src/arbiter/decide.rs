@@ -10,10 +10,17 @@
 //!    and whose previous partition is exactly the free complement resumes
 //!    there without resizing the resident (the common case for a sliced
 //!    kernel between slices).
-//! 4. **Co-run join** (§III-B/C) — Table-I partner selection over the
+//! 4. **SLO preemption** — with `preempt_bound_us` set, a latency-critical
+//!    waiter displaces a lone best-effort resident: [`partition`] splits
+//!    the device, the resident retreats to its share (`Resize`), the
+//!    arrival dispatches on the rest. An SLO override of Table I — the
+//!    pair co-runs even where the policy says solo — announced by
+//!    [`Command::Preempt`]. Starved waiters outrank it (§9 aging), so
+//!    best-effort work still ages to promotion under a decode flood.
+//! 5. **Co-run join** (§III-B/C) — Table-I partner selection over the
 //!    waiters, then [`partition`] splits the device and the resident is
 //!    resized to its share.
-//! 5. **Regrow** (§III-D) — a lone resident on a partial partition takes
+//! 6. **Regrow** (§III-D) — a lone resident on a partial partition takes
 //!    the whole device back.
 
 use super::events::Command;
@@ -22,6 +29,7 @@ use crate::partition::partition;
 use crate::policy::should_corun;
 use crate::select::{select_partner, PartnerCandidate};
 use slate_gpu_sim::device::SmRange;
+use slate_kernels::workload::SloClass;
 
 /// The free part of a split device: `range`'s complement within `full`,
 /// when the complement is itself contiguous.
@@ -63,6 +71,9 @@ impl ArbiterCore {
                     self.dispatch(head, full, starved, out);
                 }
                 1 => {
+                    if self.preempt_for_latency_critical(out) {
+                        continue;
+                    }
                     if self.continue_in_place(full, out) {
                         continue;
                     }
@@ -105,12 +116,40 @@ impl ArbiterCore {
     /// FIFO head: the waiter that became ready earliest, ties broken by
     /// arrival order. This is also the longest-waiting (most starved)
     /// waiter, since `since` is nondecreasing in `seq`.
+    ///
+    /// With SLO priority enabled, latency-critical waiters outrank
+    /// best-effort ones (oldest-first within the class) — unless some
+    /// waiter has already starved past the aging bound, in which case
+    /// strict FIFO applies so best-effort work cannot be priority-starved
+    /// indefinitely.
     fn head_waiter(&self) -> Option<usize> {
+        if self.config.preempt_bound_us.is_some() && !self.any_waiter_starved() {
+            let lc = self
+                .waiters
+                .iter()
+                .enumerate()
+                .filter(|(_, w)| w.slo == SloClass::LatencyCritical)
+                .min_by_key(|(_, w)| (w.since, w.seq))
+                .map(|(i, _)| i);
+            if lc.is_some() {
+                return lc;
+            }
+        }
         self.waiters
             .iter()
             .enumerate()
             .min_by_key(|(_, w)| (w.since, w.seq))
             .map(|(i, _)| i)
+    }
+
+    /// Whether any waiter (pinned included) has aged past the starvation
+    /// bound. Starvation outranks SLO priority everywhere: the aging
+    /// machinery is the anti-starvation credit best-effort work holds
+    /// against a latency-critical flood.
+    fn any_waiter_starved(&self) -> bool {
+        self.config
+            .starvation_bound_us
+            .is_some_and(|b| self.waiters.iter().any(|w| self.now - w.since >= b))
     }
 
     /// Removes waiter `widx`, dispatches it on `range`, and arms its
@@ -131,7 +170,59 @@ impl ArbiterCore {
             sm_demand: w.sm_demand,
             pinned: w.pinned || pin,
             range,
+            slo: w.slo,
         });
+    }
+
+    /// Rule 4 (SLO preemption): a non-pinned latency-critical waiter
+    /// displaces a lone, non-pinned best-effort resident. The device is
+    /// partitioned by SM demand exactly as a co-run join would, the
+    /// resident retreats to its share via the resize path, and the
+    /// arrival dispatches on the remainder — regardless of what Table I
+    /// says about the pair (the SLO override; `enable_corun` ablates only
+    /// policy-driven pairings, not SLO-driven ones). Refused while
+    /// draining and whenever any waiter has starved past the aging bound:
+    /// a preemption must never push starved best-effort work further
+    /// back.
+    fn preempt_for_latency_critical(&mut self, out: &mut Vec<Command>) -> bool {
+        if self.config.preempt_bound_us.is_none() || self.draining {
+            return false;
+        }
+        let (r_slo, r_pinned, r_demand, r_range, r_lease) = {
+            let r = &self.residents[0];
+            (r.slo, r.pinned, r.sm_demand, r.range, r.lease)
+        };
+        if r_pinned || r_slo == SloClass::LatencyCritical {
+            return false;
+        }
+        if self.any_waiter_starved() {
+            return false;
+        }
+        let Some(widx) = self
+            .waiters
+            .iter()
+            .enumerate()
+            .filter(|(_, w)| !w.pinned && w.slo == SloClass::LatencyCritical)
+            .min_by_key(|(_, w)| (w.since, w.seq))
+            .map(|(i, _)| i)
+        else {
+            return false;
+        };
+        self.preemptions += 1;
+        out.push(Command::Preempt { lease: r_lease });
+        let part = partition(&self.device, r_demand, self.waiters[widx].sm_demand);
+        if part.a != r_range {
+            // Like the co-run shrink, the retreat happens regardless of
+            // `enable_resize` — that switch ablates only the survivor
+            // regrow.
+            self.residents[0].range = part.a;
+            out.push(Command::Resize {
+                lease: r_lease,
+                range: part.a,
+            });
+        }
+        self.dispatch(widx, part.b, false, out);
+        true
     }
 
     /// Rule 3: a waiter that became ready *this batch* and whose previous

@@ -11,6 +11,7 @@
 use crate::classify::WorkloadClass;
 use serde::{Deserialize, Serialize};
 use slate_gpu_sim::device::SmRange;
+use slate_kernels::workload::SloClass;
 use std::fmt;
 
 /// Logical time in microseconds. The simulator derives it from engine
@@ -113,6 +114,17 @@ pub enum Event {
         /// Placement-layer device index.
         device: u64,
     },
+    /// The named session declared its service-level objective class.
+    /// Frontends feed this immediately before the session's
+    /// [`Event::SessionOpened`] (and again on recovery replay); sessions
+    /// that never declare default to [`SloClass::BestEffort`], so
+    /// best-effort traffic emits no extra events.
+    SloArrival {
+        /// The declaring session.
+        session: u64,
+        /// Its SLO class.
+        class: SloClass,
+    },
 }
 
 /// Why a request was shed with [`Command::RejectOverloaded`].
@@ -182,6 +194,14 @@ pub enum Command {
         /// The reaped session.
         session: u64,
     },
+    /// A latency-critical arrival is displacing the named best-effort
+    /// resident (informational, like [`Command::PromoteStarved`]; the
+    /// [`Command::Resize`] retreating the resident and the
+    /// [`Command::Dispatch`] for the arrival follow in the same batch).
+    Preempt {
+        /// The displaced best-effort resident's lease.
+        lease: u64,
+    },
 }
 
 fn opt(v: &Option<u64>) -> String {
@@ -242,6 +262,9 @@ impl fmt::Display for Event {
                 write!(f, "device-down d{device} hard={hard}")
             }
             Event::DeviceUp { device } => write!(f, "device-up d{device}"),
+            Event::SloArrival { session, class } => {
+                write!(f, "slo-arrival s{session} class={class}")
+            }
         }
     }
 }
@@ -270,6 +293,7 @@ impl fmt::Display for Command {
             Command::PromoteStarved { lease } => write!(f, "promote-starved l{lease}"),
             Command::Evict { lease } => write!(f, "evict l{lease}"),
             Command::Reap { session } => write!(f, "reap s{session}"),
+            Command::Preempt { lease } => write!(f, "preempt l{lease}"),
         }
     }
 }

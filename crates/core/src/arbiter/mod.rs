@@ -500,6 +500,117 @@ mod tests {
         assert_eq!(a.queue_stats().depth, 0);
     }
 
+    // ---- SLO preemption ----
+
+    use slate_kernels::workload::SloClass;
+
+    fn slo(session: u64, class: SloClass) -> Event {
+        Event::SloArrival { session, class }
+    }
+
+    fn preempting() -> ArbiterCore {
+        core_with(ArbiterConfig {
+            preempt_bound_us: Some(1_000),
+            ..ArbiterConfig::default()
+        })
+    }
+
+    #[test]
+    fn latency_critical_arrival_preempts_best_effort_resident() {
+        let mut a = preempting();
+        // HC x HM never co-runs under the symmetric Table I closure, so
+        // without preemption the arrival would wait out the resident.
+        a.feed(0, &[ready(1, 1, HC, 30)]);
+        let out = a.feed(
+            5,
+            &[slo(2, SloClass::LatencyCritical), ready(2, 2, HM, 9)],
+        );
+        assert_eq!(out[0], Command::Preempt { lease: 1 });
+        assert!(
+            matches!(out[1], Command::Resize { lease: 1, .. }),
+            "the resident retreats: {out:?}"
+        );
+        assert!(
+            matches!(out[2], Command::Dispatch { lease: 2, .. }),
+            "the arrival lands in the same batch: {out:?}"
+        );
+        assert_eq!(a.residents(), 2);
+        assert_eq!(a.preemptions(), 1);
+        // The survivor regrows when the arrival departs.
+        let out = a.feed(10, &[fin(2), Event::SessionClosed { session: 2 }]);
+        assert_eq!(
+            out,
+            vec![Command::Resize {
+                lease: 1,
+                range: full()
+            }]
+        );
+    }
+
+    #[test]
+    fn preemption_requires_the_bound_and_spares_critical_residents() {
+        // Without the bound the same trace just queues the arrival.
+        let mut a = core();
+        a.feed(0, &[ready(1, 1, HC, 30)]);
+        let out = a.feed(
+            5,
+            &[slo(2, SloClass::LatencyCritical), ready(2, 2, HM, 9)],
+        );
+        assert_eq!(out, vec![], "no preemption without a bound");
+        assert_eq!(a.waiting(), 1);
+
+        // A latency-critical resident is never displaced by a peer.
+        let mut a = preempting();
+        a.feed(0, &[slo(1, SloClass::LatencyCritical), ready(1, 1, HC, 30)]);
+        let out = a.feed(
+            5,
+            &[slo(2, SloClass::LatencyCritical), ready(2, 2, HM, 9)],
+        );
+        assert_eq!(out, vec![], "critical residents are not preempted");
+        assert_eq!(a.preemptions(), 0);
+    }
+
+    #[test]
+    fn starved_best_effort_waiter_blocks_preemption() {
+        // Aging outranks SLO: once any waiter is past the starvation
+        // bound, the next free device goes to the queue head, and no
+        // preemption jumps the arrival past it.
+        let mut a = core_with(ArbiterConfig {
+            preempt_bound_us: Some(1_000),
+            starvation_bound_us: Some(10_000),
+            ..ArbiterConfig::default()
+        });
+        a.feed(0, &[ready(1, 1, HC, 30)]);
+        a.feed(1, &[ready(2, 2, HC, 30)]); // best-effort, queued
+        let out = a.feed(
+            20_000,
+            &[slo(3, SloClass::LatencyCritical), ready(3, 3, HM, 9)],
+        );
+        assert_eq!(out, vec![], "a starved queue freezes preemption");
+        // When the device frees, the starved best-effort head dispatches
+        // ahead of the latency-critical arrival.
+        let out = a.feed(20_001, &[fin(1), Event::SessionClosed { session: 1 }]);
+        assert_eq!(out[0], Command::PromoteStarved { lease: 2 });
+        assert!(matches!(out[1], Command::Dispatch { lease: 2, .. }));
+    }
+
+    #[test]
+    fn critical_class_survives_snapshot_roundtrip() {
+        let mut a = preempting();
+        a.feed(0, &[slo(7, SloClass::LatencyCritical)]);
+        a.feed(1, &[ready(1, 1, HC, 30)]);
+        let snap = a.snapshot();
+        let json = serde_json::to_string(&snap).expect("snapshot serializes");
+        let back: CoreSnapshot = serde_json::from_str(&json).expect("snapshot deserializes");
+        let mut b = ArbiterCore::from_snapshot(back);
+        assert_eq!(b.session_slo(7), SloClass::LatencyCritical);
+        assert_eq!(b.session_slo(1), SloClass::BestEffort);
+        // The restored core still preempts for the declared session.
+        let out = b.feed(5, &[ready(7, 9, HM, 9)]);
+        assert_eq!(out[0], Command::Preempt { lease: 1 });
+        assert_eq!(b.preemptions(), a.preemptions() + 1);
+    }
+
     // ---- recording and replay ----
 
     #[test]

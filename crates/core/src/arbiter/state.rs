@@ -21,6 +21,7 @@ use crate::queue::{LaunchGauge, QueueStats};
 use crate::select::PartnerCandidate;
 use serde::{Deserialize, Serialize};
 use slate_gpu_sim::device::{DeviceConfig, SmRange};
+use slate_kernels::workload::SloClass;
 use std::collections::{BTreeMap, VecDeque};
 
 /// Fallback per-launch estimate (milliseconds) used for retry hints when
@@ -42,6 +43,16 @@ pub struct ArbiterConfig {
     /// refuses co-run pairings device-wide and is promoted to a solo
     /// dispatch. `None` disables aging.
     pub starvation_bound_us: Option<u64>,
+    /// SLO preemption bound in logical microseconds: when set, a
+    /// latency-critical arrival behind a best-effort resident forces a
+    /// partition split via the retreat/resize path, and the frontends
+    /// contract to land the preemption within this many ticks of the
+    /// arrival (the core itself reacts in the same decide pass — the
+    /// bound is the acceptance ceiling tests assert against). `None`
+    /// disables SLO priority entirely; absent in logs recorded before
+    /// the SLO dimension existed.
+    #[serde(default)]
+    pub preempt_bound_us: Option<u64>,
     /// Admission-control bounds (sessions, pending launches, memory
     /// watermark). Fully permissive by default.
     pub limits: AdmissionLimits,
@@ -53,6 +64,7 @@ impl Default for ArbiterConfig {
             enable_corun: true,
             enable_resize: true,
             starvation_bound_us: None,
+            preempt_bound_us: None,
             limits: AdmissionLimits::default(),
         }
     }
@@ -71,6 +83,10 @@ pub(crate) struct Resident {
     /// starvation promotions).
     pub(super) pinned: bool,
     pub(super) range: SmRange,
+    /// The owning session's SLO class at dispatch time; best-effort
+    /// residents are the preemption victims.
+    #[serde(default)]
+    pub(super) slo: SloClass,
 }
 
 /// A ready kernel waiting for SMs. Serializable for the same reason as
@@ -87,6 +103,10 @@ pub(crate) struct Waiter {
     pub(super) since: Tick,
     /// Stable arrival order; the deterministic tie-break everywhere.
     pub(super) seq: u64,
+    /// The owning session's SLO class at ready time; latency-critical
+    /// waiters get dispatch priority and may trigger a preemption.
+    #[serde(default)]
+    pub(super) slo: SloClass,
 }
 
 /// The complete serializable state of one [`ArbiterCore`] — every field
@@ -129,6 +149,14 @@ pub struct CoreSnapshot {
     pub(crate) promotions: u64,
     pub(crate) evictions: u64,
     pub(crate) reaped: u64,
+    /// Declared SLO classes by external session id; only non-default
+    /// (latency-critical) entries are stored, so pre-SLO snapshots — and
+    /// snapshots of purely best-effort populations — are byte-identical
+    /// to the old format.
+    #[serde(default)]
+    pub(crate) slo: BTreeMap<u64, SloClass>,
+    #[serde(default)]
+    pub(crate) preemptions: u64,
 }
 
 /// The deterministic, I/O-free arbitration core shared by the simulated
@@ -189,7 +217,15 @@ pub struct ArbiterCore {
     pending_est_ms: u64,
     pub(super) promotions: u64,
     pub(super) evictions: u64,
+    pub(super) preemptions: u64,
     reaped: u64,
+    /// Declared SLO class per session, indexed by session slot; reset to
+    /// best-effort when a slot is (re)interned.
+    slo: Vec<SloClass>,
+    /// Whether the session passed admission, indexed by session slot. A
+    /// session interned by a bare [`Event::SloArrival`] (declared but
+    /// never opened) must not decrement `active_sessions` on close.
+    opened: Vec<bool>,
     /// Reused by the session-end sweep (external lease ids).
     scratch_ids: Vec<u64>,
     /// Reused by the co-run partner selection each decide pass.
@@ -222,6 +258,7 @@ impl ArbiterCore {
             // Lazy: only deadline-bearing workloads ever arm a timer.
             armed: Vec::new(),
             gauges: Vec::with_capacity(SESSIONS),
+            opened: Vec::with_capacity(SESSIONS),
             lease_session: Vec::with_capacity(LEASES),
             pending: Vec::with_capacity(SESSIONS),
             global,
@@ -235,7 +272,9 @@ impl ArbiterCore {
             pending_est_ms: 0,
             promotions: 0,
             evictions: 0,
+            preemptions: 0,
             reaped: 0,
+            slo: Vec::with_capacity(SESSIONS),
             scratch_ids: Vec::with_capacity(8),
             scratch_cands: Vec::with_capacity(8),
             scratch_idxs: Vec::with_capacity(8),
@@ -297,6 +336,32 @@ impl ArbiterCore {
     /// Starved waiters promoted to solo dispatch.
     pub fn promotions(&self) -> u64 {
         self.promotions
+    }
+
+    /// Best-effort residents displaced by latency-critical arrivals.
+    pub fn preemptions(&self) -> u64 {
+        self.preemptions
+    }
+
+    /// The declared SLO class of `session` (best-effort when the session
+    /// never declared one, or is unknown).
+    pub fn session_slo(&self, session: u64) -> SloClass {
+        self.session_ids
+            .get(session)
+            .map(|slot| self.slo[slot as usize])
+            .unwrap_or_default()
+    }
+
+    /// SMs not granted to any resident right now. The placement layer's
+    /// SLO-aware tie-break routes latency-critical sessions toward the
+    /// device with the most free SMs.
+    pub fn free_sms(&self) -> u32 {
+        let used: u32 = self
+            .residents
+            .iter()
+            .map(|r| r.range.hi - r.range.lo + 1)
+            .sum();
+        self.device.num_sms.saturating_sub(used)
     }
 
     /// Severed sessions cleaned up ([`Command::Reap`]s emitted).
@@ -370,6 +435,13 @@ impl ArbiterCore {
             promotions: self.promotions,
             evictions: self.evictions,
             reaped: self.reaped,
+            slo: self
+                .session_ids
+                .iter()
+                .filter(|&(slot, _)| self.slo[slot as usize] != SloClass::BestEffort)
+                .map(|(slot, ext)| (ext, self.slo[slot as usize]))
+                .collect(),
+            preemptions: self.preemptions,
         }
     }
 
@@ -388,6 +460,14 @@ impl ArbiterCore {
         for (session, st) in snap.sessions {
             let slot = core.session_slot(session);
             core.gauges[slot] = LaunchGauge::from_stats(st);
+            // Declare-then-open is atomic within a batch and snapshots
+            // are cut between batches, so every snapshotted session was
+            // admitted.
+            core.opened[slot] = true;
+        }
+        for (session, class) in snap.slo {
+            let slot = core.session_slot(session);
+            core.slo[slot] = class;
         }
         // `lease_session` is the authoritative live-lease set; the other
         // maps are per-lease attributes of it.
@@ -416,6 +496,7 @@ impl ArbiterCore {
         core.pending_est_ms = snap.pending_est_ms;
         core.promotions = snap.promotions;
         core.evictions = snap.evictions;
+        core.preemptions = snap.preemptions;
         core.reaped = snap.reaped;
         core
     }
@@ -487,10 +568,21 @@ impl ArbiterCore {
     /// Interns `session` and sizes the gauge table to its slot. The gauge
     /// itself is the caller's to (re)initialize.
     fn session_slot(&mut self, session: u64) -> usize {
-        let (slot, _) = self.session_ids.intern(session);
+        let (slot, fresh) = self.session_ids.intern(session);
         let slot = slot as usize;
         if slot >= self.gauges.len() {
             self.gauges.resize_with(slot + 1, || LaunchGauge::new(None));
+            self.slo.resize(slot + 1, SloClass::BestEffort);
+            self.opened.resize(slot + 1, false);
+        }
+        if fresh {
+            // A reused slot must not leak the previous occupant's state:
+            // SLO class reverts to the default and the gauge to a neutral
+            // one (callers that admit the session re-initialize it with
+            // the configured limit).
+            self.slo[slot] = SloClass::BestEffort;
+            self.gauges[slot] = LaunchGauge::new(None);
+            self.opened[slot] = false;
         }
         slot
     }
@@ -549,6 +641,7 @@ impl ArbiterCore {
                 deadline_ms,
             } => {
                 self.lease_slot(lease, session);
+                let slo = self.session_slo(session);
                 let seq = self.next_seq;
                 self.next_seq += 1;
                 self.waiters.push(Waiter {
@@ -560,6 +653,7 @@ impl ArbiterCore {
                     deadline_ms,
                     since: self.now,
                     seq,
+                    slo,
                 });
             }
             Event::KernelFinished { lease, ok } => self.finish_launch(lease, ok),
@@ -589,6 +683,10 @@ impl ArbiterCore {
             // nudges — recorded in its log, fresh decide() pass, no
             // per-core state.
             Event::DeviceDown { .. } | Event::DeviceUp { .. } => {}
+            Event::SloArrival { session, class } => {
+                let slot = self.session_slot(session);
+                self.slo[slot] = class;
+            }
         }
     }
 
@@ -596,6 +694,10 @@ impl ArbiterCore {
         if let Some(max) = self.config.limits.max_sessions {
             if self.active_sessions >= max {
                 self.sessions_rejected += 1;
+                // A shed connect leaves no state behind — including a slot
+                // the session's SLO declaration may have interned ahead of
+                // the open.
+                self.session_ids.release(session);
                 out.push(Command::RejectOverloaded {
                     session,
                     lease: None,
@@ -610,14 +712,17 @@ impl ArbiterCore {
         let limit = self.config.limits.max_pending_per_session;
         let slot = self.session_slot(session);
         self.gauges[slot] = LaunchGauge::new(limit);
+        self.opened[slot] = true;
     }
 
     fn end_session(&mut self, session: u64, severed: bool, out: &mut Vec<Command>) {
-        if self.session_ids.release(session).is_none() {
+        let Some(slot) = self.session_ids.release(session) else {
             // Never admitted (the connect was shed): nothing to clean up.
             return;
+        };
+        if std::mem::take(&mut self.opened[slot as usize]) {
+            self.active_sessions -= 1;
         }
-        self.active_sessions -= 1;
         // Defensive sweep: a well-behaved frontend finishes every launch
         // before closing the session, but a severed client can leave
         // leases behind — drain them so the global gauge stays balanced.

@@ -331,6 +331,7 @@ impl Backend for DispatcherBackend {
                 }
             }
             Command::PromoteStarved { .. }
+            | Command::Preempt { .. }
             | Command::Reap { .. }
             | Command::RejectOverloaded { .. } => {}
         }

@@ -329,6 +329,7 @@ impl Backend for SimBackend {
             }
             // Scheduling-internal commands have no execution-side effect.
             Command::PromoteStarved { .. }
+            | Command::Preempt { .. }
             | Command::Reap { .. }
             | Command::RejectOverloaded { .. } => {}
         }

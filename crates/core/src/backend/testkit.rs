@@ -263,6 +263,55 @@ pub fn relaunch_after_evict(b: &mut dyn Backend) {
     }
 }
 
+/// Scenario: the arbiter's SLO preemption sequence — an informational
+/// [`Command::Preempt`], the retreat [`Command::Resize`], and the
+/// latency-critical [`Command::Dispatch`] on the vacated SMs — leaves the
+/// retreated best-effort lease relaunching from its carried `slateIdx`
+/// exactly once while the arrival runs beside it.
+pub fn preempt_then_resume(b: &mut dyn Backend) {
+    let n = b.device().num_sms;
+    assert!(n >= 2, "conformance runs need a multi-SM device");
+    let total: u32 = 9_000;
+    let (be, be_hits) = counter_kernel(total, 15);
+    b.stage(5, WorkSpec::new(be, 1));
+    b.apply(&Command::Dispatch {
+        lease: 5,
+        range: SmRange::all(n),
+    });
+    b.advance(2);
+    let p1 = b.progress(5);
+    // The informational preempt marker must not disturb the lease...
+    b.apply(&Command::Preempt { lease: 5 });
+    assert!(b.progress(5) >= p1, "preempt marker is informational");
+    // ...the paired retreat carries its progress onto the shrunk range...
+    let split = (n - 1) / 2;
+    b.apply(&Command::Resize {
+        lease: 5,
+        range: SmRange::new(0, split),
+    });
+    assert!(b.progress(5) >= p1, "retreat must not lose progress");
+    // ...and the latency-critical arrival dispatches on the vacated SMs.
+    let lc_total: u32 = 600;
+    let (lc, lc_hits) = counter_kernel(lc_total, 5);
+    b.stage(6, WorkSpec::new(lc, 1));
+    b.apply(&Command::Dispatch {
+        lease: 6,
+        range: SmRange::new(split + 1, n - 1),
+    });
+    let cs = b.drive_until(6, DRIVE_MS);
+    let c = *cs.last().expect("arrival completes");
+    assert!(c.ok, "the arrival drains on the vacated SMs");
+    assert_eq!(c.progress, u64::from(lc_total));
+    let cs = b.drive_until(5, DRIVE_MS);
+    let c = *cs.last().expect("retreated run completes");
+    assert!(c.ok, "the retreated lease still drains");
+    assert_eq!(c.progress, u64::from(total), "no blocks lost or re-done");
+    if b.is_functional() {
+        assert_exactly_once(&be_hits, u64::from(total));
+        assert_exactly_once(&lc_hits, u64::from(lc_total));
+    }
+}
+
 /// Scenario: exactly one completion per staging, and commands naming a
 /// finished lease are no-ops.
 pub fn drain_reported_exactly_once(b: &mut dyn Backend) {
@@ -410,6 +459,7 @@ pub fn run_conformance(make: &mut dyn FnMut() -> Box<dyn Backend>) {
     }
     retreat_preserves_progress(make().as_mut());
     relaunch_after_evict(make().as_mut());
+    preempt_then_resume(make().as_mut());
     drain_reported_exactly_once(make().as_mut());
     sm_confinement(make().as_mut());
     device_loss_recovery_exactly_once(make().as_mut());

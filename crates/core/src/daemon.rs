@@ -101,6 +101,7 @@ use crate::error::SlateError;
 use crate::feed::{ring as feed_ring, EventBatch, RingConsumer, RingProducer};
 use crate::injector::InjectionCache;
 use crate::placement::replay::{PlacementBatch, PlacementLog};
+use slate_kernels::workload::SloClass;
 use crate::placement::{
     HealthConfig, HealthState, PlacementConfig, PlacementLayer, PlacementPolicy, PlacementStats,
     RebalanceConfig, RoutedCommand,
@@ -295,8 +296,11 @@ impl ArbShared {
                             inner.leases.apply(&r.command);
                         }
                         // Rejections are surfaced via `retry_after_ms`;
-                        // promotion and reaping are informational here.
+                        // promotion, preemption and reaping are
+                        // informational here (the paired Resize/Dispatch
+                        // in the same batch carry the state changes).
                         Command::PromoteStarved { .. }
+                        | Command::Preempt { .. }
                         | Command::Reap { .. }
                         | Command::RejectOverloaded { .. } => {}
                     }
@@ -726,6 +730,11 @@ pub struct DaemonOptions {
     /// counted in [`SlateDaemon::starvation_promotions`]. `None` disables
     /// aging.
     pub starvation_bound_ms: Option<u64>,
+    /// SLO preemption bound, in milliseconds: a latency-critical arrival
+    /// (declared via [`SlateDaemon::connect_with_slo`]) displaces a
+    /// best-effort resident through the retreat/resize path within this
+    /// logical-time bound. `None` (the default) disables preemption.
+    pub preempt_bound_ms: Option<u64>,
     /// Record every arbitration event batch; [`SlateDaemon::arbiter_log`]
     /// returns the [`EventLog`], which replays to the identical command
     /// sequence, and [`SlateDaemon::placement_log`] the full multi-device
@@ -772,6 +781,7 @@ impl Default for DaemonOptions {
             default_deadline_ms: None,
             admission: AdmissionLimits::default(),
             starvation_bound_ms: None,
+            preempt_bound_ms: None,
             record_arbiter: false,
             devices: Vec::new(),
             placement: PlacementPolicy::default(),
@@ -857,6 +867,7 @@ impl SlateDaemon {
                     enable_corun: true,
                     enable_resize: true,
                     starvation_bound_us: options.starvation_bound_ms.map(|ms| ms * 1000),
+                    preempt_bound_us: options.preempt_bound_ms.map(|ms| ms * 1000),
                     limits: options.admission,
                 },
                 rebalance: options.rebalance.clone(),
@@ -915,6 +926,19 @@ impl SlateDaemon {
     /// and shed with [`SlateError::Overloaded`] at the
     /// [`AdmissionLimits::max_sessions`] bound.
     pub fn connect(self: &Arc<Self>, user: &str) -> Result<Connection, SlateError> {
+        self.connect_with_slo(user, SloClass::BestEffort)
+    }
+
+    /// [`SlateDaemon::connect`] with a declared SLO class. A
+    /// latency-critical session's arrivals displace best-effort residents
+    /// (when [`DaemonOptions::preempt_bound_ms`] is set); the class is
+    /// durable — it survives crash/recovery with the session record — and
+    /// follows the session's work across migrations.
+    pub fn connect_with_slo(
+        self: &Arc<Self>,
+        user: &str,
+        slo: SloClass,
+    ) -> Result<Connection, SlateError> {
         if self.shared.shutting_down.load(Ordering::Acquire) {
             return Err(SlateError::ShuttingDown);
         }
@@ -935,11 +959,19 @@ impl SlateDaemon {
                 .map(|_| WalRecord::SessionMeta {
                     session,
                     user: user.to_string(),
+                    slo,
                 });
-            let (fed, retry) =
-                self.shared
-                    .arb
-                    .submit(&[ArbEvent::SessionOpened { session }], Some(session), meta);
+            // Best-effort sessions (the default) emit no declaration, so
+            // pre-SLO event streams are unchanged.
+            let mut events = Vec::with_capacity(2);
+            if slo != SloClass::BestEffort {
+                events.push(ArbEvent::SloArrival {
+                    session,
+                    class: slo,
+                });
+            }
+            events.push(ArbEvent::SessionOpened { session });
+            let (fed, retry) = self.shared.arb.submit(&events, Some(session), meta);
             if !fed {
                 return Err(SlateError::ShuttingDown);
             }
@@ -1074,6 +1106,12 @@ impl SlateDaemon {
     /// [`DaemonOptions::starvation_bound_ms`] is set).
     pub fn starvation_promotions(&self) -> u64 {
         self.shared.arb.sh.inner.lock().layer.promotions()
+    }
+
+    /// Best-effort residents displaced by latency-critical arrivals
+    /// (0 unless [`DaemonOptions::preempt_bound_ms`] is set).
+    pub fn slo_preemptions(&self) -> u64 {
+        self.shared.arb.sh.inner.lock().layer.preemptions()
     }
 
     /// Snapshot of the placement counters: fleet size, routed sessions,

@@ -385,6 +385,7 @@ mod tests {
         d.append_meta(&WalRecord::SessionMeta {
             session: 9,
             user: "late".into(),
+            slo: Default::default(),
         });
         assert!(
             d.meta().sessions.is_empty(),

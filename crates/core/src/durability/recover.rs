@@ -250,6 +250,7 @@ mod tests {
         w.append(&WalRecord::SessionMeta {
             session: 1,
             user: "alice".into(),
+            slo: Default::default(),
         })
         .expect("append");
         w.sync().expect("sync");

@@ -15,6 +15,7 @@
 
 use super::wal::WalRecord;
 use crate::placement::PlacementSnapshot;
+use slate_kernels::workload::SloClass;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fs;
@@ -40,6 +41,11 @@ pub struct AllocMeta {
 pub struct SessionMeta {
     /// The connecting user (re-admission accounting).
     pub user: String,
+    /// The session's declared SLO class; recovery re-declares it ahead
+    /// of the resumed session's replayed work. `#[serde(default)]` (best
+    /// effort) keeps pre-SLO snapshots readable.
+    #[serde(default)]
+    pub slo: SloClass,
     /// Whether the session is still open (closed sessions linger only
     /// until the next compaction-time sweep).
     pub open: bool,
@@ -73,9 +79,10 @@ impl DurableMeta {
     pub fn apply(&mut self, record: &WalRecord) {
         match record {
             WalRecord::Batch { .. } | WalRecord::Epoch { .. } => {}
-            WalRecord::SessionMeta { session, user } => {
+            WalRecord::SessionMeta { session, user, slo } => {
                 let s = self.sessions.entry(*session).or_default();
                 s.user = user.clone();
+                s.slo = *slo;
                 s.open = true;
                 s.next_ptr = s.next_ptr.max(*session << 32);
                 self.next_session = self.next_session.max(*session + 1);
@@ -182,6 +189,7 @@ mod tests {
         m.apply(&WalRecord::SessionMeta {
             session: 3,
             user: "alice".into(),
+            slo: SloClass::LatencyCritical,
         });
         assert_eq!(m.next_session, 4);
         assert_eq!(m.sessions[&3].next_ptr, 3u64 << 32);

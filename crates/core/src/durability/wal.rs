@@ -20,6 +20,7 @@
 
 use crate::placement::PlacementBatch;
 use serde::{Deserialize, Serialize};
+use slate_kernels::workload::SloClass;
 use std::fs;
 use std::io::{self, Write};
 use std::path::{Path, PathBuf};
@@ -79,6 +80,10 @@ pub enum WalRecord {
         session: u64,
         /// The connecting user, for re-admission accounting.
         user: String,
+        /// The session's declared SLO class. `#[serde(default)]` (best
+        /// effort) keeps pre-SLO WALs replayable.
+        #[serde(default)]
+        slo: SloClass,
     },
     /// The session disconnected cleanly.
     SessionClosed {
@@ -336,6 +341,7 @@ mod tests {
         WalRecord::SessionMeta {
             session,
             user: format!("u{session}"),
+            slo: SloClass::BestEffort,
         }
     }
 

@@ -62,6 +62,7 @@ use health::{HealthSnapshot, HealthTracker};
 use rebalance::{Rebalancer, RebalancerSnapshot};
 use serde::{Deserialize, Serialize};
 use slate_gpu_sim::device::DeviceConfig;
+use slate_kernels::workload::SloClass;
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -148,6 +149,11 @@ pub struct PlacementSnapshot {
     pub(crate) now: Tick,
     pub(crate) cores: Vec<CoreSnapshot>,
     pub(crate) session_device: BTreeMap<u64, usize>,
+    /// Declared SLO classes, only non-default entries (absent sessions
+    /// are best-effort); `#[serde(default)]` keeps pre-SLO snapshots
+    /// readable.
+    #[serde(default)]
+    pub(crate) slo: BTreeMap<u64, SloClass>,
     pub(crate) lease_device: BTreeMap<u64, usize>,
     pub(crate) lease_session: BTreeMap<u64, u64>,
     pub(crate) migrating: BTreeMap<u64, usize>,
@@ -189,6 +195,8 @@ pub struct PlacementLayer {
     sessions: IdTable,
     /// Sticky session → device routes, by session slot.
     session_device: Vec<usize>,
+    /// Declared SLO classes, by session slot (default best-effort).
+    session_slo: Vec<SloClass>,
     /// Lease interner; parallel to the three per-lease tables below.
     leases: IdTable,
     /// Sticky lease → device routes (diverge from the session's device
@@ -249,6 +257,7 @@ impl PlacementLayer {
             now: 0,
             sessions: IdTable::with_capacity(SESSIONS),
             session_device: Vec::with_capacity(SESSIONS),
+            session_slo: Vec::with_capacity(SESSIONS),
             leases: IdTable::with_capacity(LEASES),
             lease_device: Vec::with_capacity(LEASES),
             lease_session: Vec::with_capacity(LEASES),
@@ -301,6 +310,7 @@ impl PlacementLayer {
             now: snap.now,
             sessions: IdTable::new(),
             session_device: Vec::new(),
+            session_slo: Vec::new(),
             leases: IdTable::new(),
             lease_device: Vec::new(),
             lease_session: Vec::new(),
@@ -328,6 +338,10 @@ impl PlacementLayer {
         for (session, d) in snap.session_device {
             let slot = layer.session_slot(session);
             layer.session_device[slot] = d;
+        }
+        for (session, class) in snap.slo {
+            let slot = layer.session_slot(session);
+            layer.session_slo[slot] = class;
         }
         for (lease, session) in snap.lease_session {
             let slot = layer.lease_slot(lease);
@@ -358,6 +372,12 @@ impl PlacementLayer {
                 .sessions
                 .iter()
                 .map(|(s, ext)| (ext, self.session_device[s as usize]))
+                .collect(),
+            slo: self
+                .sessions
+                .iter()
+                .filter(|&(s, _)| self.session_slo[s as usize] != SloClass::BestEffort)
+                .map(|(s, ext)| (ext, self.session_slo[s as usize]))
                 .collect(),
             lease_device: self
                 .leases
@@ -477,6 +497,11 @@ impl PlacementLayer {
         self.cores.iter().map(|c| c.promotions()).sum()
     }
 
+    /// SLO preemptions fired across every device.
+    pub fn preemptions(&self) -> u64 {
+        self.cores.iter().map(|c| c.preemptions()).sum()
+    }
+
     /// Reaped sessions across every device.
     pub fn reaped(&self) -> u64 {
         self.cores.iter().map(|c| c.reaped()).sum()
@@ -555,12 +580,17 @@ impl PlacementLayer {
         self.cores.iter_mut().map(|c| c.take_log()).collect()
     }
 
-    /// Interns `session` and sizes the route table to its slot.
+    /// Interns `session` and sizes the route tables to its slot, clearing
+    /// any stale SLO class on fresh (possibly reused) slots.
     fn session_slot(&mut self, session: u64) -> usize {
-        let (slot, _) = self.sessions.intern(session);
+        let (slot, fresh) = self.sessions.intern(session);
         let slot = slot as usize;
         if slot >= self.session_device.len() {
             self.session_device.resize(slot + 1, 0);
+            self.session_slo.resize(slot + 1, SloClass::BestEffort);
+        }
+        if fresh {
+            self.session_slo[slot] = SloClass::BestEffort;
         }
         slot
     }
@@ -648,6 +678,40 @@ impl PlacementLayer {
         self.session_device[slot] = d;
         self.sessions_routed += 1;
         d
+    }
+
+    /// Routes a session declared with an SLO class. Latency-critical
+    /// sessions override the configured policy with an SLO-aware
+    /// tie-break: the eligible device with the most free SMs (so the
+    /// arrival dispatches — or preempts the thinnest resident — fastest),
+    /// ties broken toward lower load, then lower index. Best-effort
+    /// declarations fall back to the plain policy route. Sticky like
+    /// [`PlacementLayer::device_of_or_assign`].
+    fn device_of_or_assign_slo(&mut self, session: u64, class: SloClass) -> usize {
+        if class != SloClass::LatencyCritical {
+            return self.device_of_or_assign(session);
+        }
+        if let Some(slot) = self.sessions.get(session) {
+            return self.session_device[slot as usize];
+        }
+        let mut eligible = std::mem::take(&mut self.eligible_buf);
+        self.fill_routable(&mut eligible);
+        let loads = self.loads();
+        let mut best = 0usize;
+        for d in 1..self.cores.len() {
+            if !eligible[d] {
+                continue;
+            }
+            let (fd, fb) = (self.cores[d].free_sms(), self.cores[best].free_sms());
+            if !eligible[best] || fd > fb || (fd == fb && loads[d] < loads[best]) {
+                best = d;
+            }
+        }
+        self.eligible_buf = eligible;
+        let slot = self.session_slot(session);
+        self.session_device[slot] = best;
+        self.sessions_routed += 1;
+        best
     }
 
     /// Routes a lease-scoped event: the lease's sticky route if it has
@@ -740,6 +804,18 @@ impl PlacementLayer {
                 }
                 Event::KernelReady { session, lease, .. } => {
                     let d = self.device_for_lease(session, lease);
+                    // A migrated or evacuated lease re-enters here on a
+                    // device whose core may never have seen the session's
+                    // declaration: re-declare ahead of the ready event so
+                    // the SLO class survives the move.
+                    if let Some(slot) = self.sessions.get(session) {
+                        let class = self.session_slo[slot as usize];
+                        if class != SloClass::BestEffort
+                            && self.cores[d].session_slo(session) != class
+                        {
+                            sub[d].push(Event::SloArrival { session, class });
+                        }
+                    }
                     sub[d].push(ev.clone());
                 }
                 Event::KernelFinished { lease, .. } => {
@@ -774,6 +850,19 @@ impl PlacementLayer {
                         sub[d].push(ev.clone());
                         self.health.on_up(d, self.now);
                     }
+                }
+                Event::SloArrival { session, class } => {
+                    // A declaration the fleet would shed is dropped, not
+                    // routed: routing interns the session, which would
+                    // bypass the admission guard on the paired
+                    // `SessionOpened` (the event that owns the reject).
+                    if self.fleet_would_shed_session(session) {
+                        continue;
+                    }
+                    let d = self.device_of_or_assign_slo(session, class);
+                    let slot = self.session_slot(session);
+                    self.session_slo[slot] = class;
+                    sub[d].push(ev.clone());
                 }
             }
         }
@@ -880,6 +969,23 @@ impl PlacementLayer {
     /// exhausted. The rejection is steered toward the least-loaded
     /// in-service device so the retry hint names where capacity frees
     /// first.
+    /// Whether [`PlacementLayer::fleet_shed_session`] would shed this
+    /// session, without emitting the reject or counting the shed. The
+    /// [`Event::SloArrival`] arm uses it: routing an over-budget session
+    /// on its declaration would intern it and bypass the guard on the
+    /// paired [`Event::SessionOpened`], which is the event that owns the
+    /// reject.
+    fn fleet_would_shed_session(&self, session: u64) -> bool {
+        if self.sessions.contains(session) {
+            return false;
+        }
+        let Some(per) = self.config.fleet.max_sessions_per_device else {
+            return false;
+        };
+        let budget = per.saturating_mul(self.health.eligible_count());
+        self.sessions.len() >= budget
+    }
+
     fn fleet_shed_session(&mut self, session: u64) -> Option<RoutedCommand> {
         if self.sessions.contains(session) {
             return None; // already admitted and routed

@@ -42,7 +42,7 @@ use slate_gpu_sim::metrics::KernelMetrics;
 use slate_gpu_sim::model;
 use slate_gpu_sim::perf::ExecMode;
 use slate_gpu_sim::trace::{Trace, TraceKind};
-use slate_kernels::workload::AppSpec;
+use slate_kernels::workload::{AppSpec, SloClass};
 
 /// Tunable costs and feature switches (ablations flip the `enable_*`
 /// flags; the defaults reproduce the paper's configuration).
@@ -77,6 +77,12 @@ pub struct SlateOptions {
     /// and is dispatched solo ahead of queue order as soon as the device
     /// frees. `None` (the default) disables aging.
     pub starvation_bound_s: Option<f64>,
+    /// SLO preemption bound, in simulated seconds. With it set, a
+    /// latency-critical arrival (an [`AppSpec`] whose
+    /// [`slo`](AppSpec::slo) is [`SloClass::LatencyCritical`]) displaces a
+    /// best-effort resident through the retreat/resize path within this
+    /// bound. `None` (the default) disables preemption.
+    pub preempt_bound_s: Option<f64>,
 }
 
 impl Default for SlateOptions {
@@ -91,6 +97,7 @@ impl Default for SlateOptions {
             use_hardware_exec: false,
             autotune_task_size: false,
             starvation_bound_s: None,
+            preempt_bound_s: None,
         }
     }
 }
@@ -104,6 +111,7 @@ impl SlateOptions {
             enable_corun: self.enable_corun,
             enable_resize: self.enable_resize,
             starvation_bound_us: self.starvation_bound_s.map(|s| (s * 1e6).round() as u64),
+            preempt_bound_us: self.preempt_bound_s.map(|s| (s * 1e6).round() as u64),
             limits: Default::default(),
         }
     }
@@ -443,8 +451,10 @@ impl Sim {
                     }
                 }
                 // Informational in the sim: no watchdog deadlines are
-                // armed, sessions are processes, promotion is internal.
+                // armed, sessions are processes, promotion and preemption
+                // are internal (the paired Resize/Dispatch do the work).
                 Command::PromoteStarved { .. }
+                | Command::Preempt { .. }
                 | Command::Evict { .. }
                 | Command::Reap { .. }
                 | Command::RejectOverloaded { .. } => {}
@@ -637,8 +647,22 @@ impl Sim {
     fn run(mut self) -> (RunOutcome, Option<EventLog>) {
         // Announce every process as a session up front (t = 0): processes
         // are trusted workloads, so the sim applies no admission limits.
-        let opened: Vec<ArbEvent> = (0..self.procs.len())
-            .map(|i| ArbEvent::SessionOpened { session: i as u64 })
+        // Latency-critical processes declare their class immediately
+        // before opening; best-effort ones (the default) emit no extra
+        // event, keeping pre-SLO transcripts byte-identical.
+        let opened: Vec<ArbEvent> = self
+            .procs
+            .iter()
+            .enumerate()
+            .flat_map(|(i, p)| {
+                let declare = (p.app.slo != SloClass::BestEffort).then_some(ArbEvent::SloArrival {
+                    session: i as u64,
+                    class: p.app.slo,
+                });
+                declare
+                    .into_iter()
+                    .chain(std::iter::once(ArbEvent::SessionOpened { session: i as u64 }))
+            })
             .collect();
         self.feed(&opened);
         while let Some((now, ev)) = self.backend.engine_mut().step() {

@@ -11,13 +11,15 @@
 //! After an *intended* arbiter change, regenerate the fixtures with
 //! `cargo test -p slate-core --test golden_replay -- --ignored`.
 
-use slate_core::arbiter::{replay, Command, EventLog};
-use slate_core::runtime::SlateRuntime;
+use slate_core::arbiter::{replay, Command, Event, EventLog};
+use slate_core::runtime::{SlateOptions, SlateRuntime};
 use slate_gpu_sim::device::DeviceConfig;
-use slate_kernels::workload::Benchmark;
+use slate_kernels::workload::{llm_trace, Benchmark, LlmTraceCfg};
 
 const LOG_JSON: &str = include_str!("data/arbiter_log.json");
 const GOLDEN_TRANSCRIPT: &str = include_str!("data/arbiter_transcript.txt");
+const SLO_LOG_JSON: &str = include_str!("data/slo_log.json");
+const SLO_GOLDEN_TRANSCRIPT: &str = include_str!("data/slo_transcript.txt");
 
 /// The fixed workload behind the fixtures: a complementary pair (BS-RG
 /// co-runs, partitions, and resizes) plus a solo-policy third process, so
@@ -31,6 +33,26 @@ fn record_fixture_run() -> EventLog {
         Benchmark::MM.app().scaled_down(30),
     ];
     let (_, log) = slate.run_recorded(&apps);
+    log
+}
+
+/// The fixed workload behind the mixed-SLO fixtures: a small scaled LLM
+/// serving trace — best-effort prefill under bursts of latency-critical
+/// decode — run with preemption enabled, so the log pins the
+/// `SloArrival` → `Preempt`/`Resize`/`Dispatch` decision sequence.
+fn record_slo_fixture_run() -> EventLog {
+    let slate = SlateRuntime::with_options(
+        DeviceConfig::titan_xp(),
+        SlateOptions {
+            preempt_bound_s: Some(0.02),
+            ..SlateOptions::default()
+        },
+    );
+    let mut cfg = LlmTraceCfg::paper(0x510);
+    cfg.scale = 30;
+    cfg.decode_sessions = 6;
+    cfg.decode_launches = 2;
+    let (_, log) = slate.run_recorded(&llm_trace(&cfg));
     log
 }
 
@@ -111,6 +133,80 @@ fn log_survives_a_json_roundtrip() {
     assert_eq!(back, log);
 }
 
+// ---- mixed-SLO fixture ----
+
+#[test]
+fn checked_in_slo_log_replays_to_the_golden_transcript() {
+    let log: EventLog = serde_json::from_str(SLO_LOG_JSON).expect("fixture parses");
+    replay::verify(&log).expect("checked-in slo log replays to its own commands");
+    let transcript = replay::transcript(&replay::replay(&log));
+    assert_eq!(
+        transcript, SLO_GOLDEN_TRANSCRIPT,
+        "slo replay transcript diverged from the golden fixture"
+    );
+}
+
+#[test]
+fn slo_fixture_log_contains_the_interesting_decisions() {
+    // Guards against the fixture silently degenerating: it must declare
+    // SLO classes and actually preempt for them.
+    let log: EventLog = serde_json::from_str(SLO_LOG_JSON).expect("fixture parses");
+    assert!(
+        log.config.preempt_bound_us.is_some(),
+        "the fixture must run with preemption enabled"
+    );
+    assert!(log
+        .batches
+        .iter()
+        .flat_map(|b| b.events.iter())
+        .any(|e| matches!(e, Event::SloArrival { .. })));
+    let commands = || log.batches.iter().flat_map(|b| b.commands.iter());
+    assert!(
+        commands().any(|c| matches!(c, Command::Preempt { .. })),
+        "the fixture workload must exercise priority preemption"
+    );
+    assert!(commands().any(|c| matches!(c, Command::Resize { .. })));
+}
+
+#[test]
+fn live_sim_run_reproduces_the_checked_in_slo_log() {
+    let log: EventLog = serde_json::from_str(SLO_LOG_JSON).expect("fixture parses");
+    let fresh = record_slo_fixture_run();
+    assert_eq!(
+        replay::transcript(&replay::replay(&fresh)),
+        SLO_GOLDEN_TRANSCRIPT,
+        "a fresh mixed-SLO run diverged from the golden transcript"
+    );
+    assert_eq!(fresh, log, "a fresh mixed-SLO run diverged from the checked-in log");
+}
+
+#[test]
+fn checked_in_slo_log_drives_both_backends_to_identical_transcripts() {
+    // The preemption command stream — retreat, resize, relaunch — executes
+    // identically through the simulation engine and the persistent-worker
+    // dispatcher.
+    use slate_core::backend::{testkit, DispatcherBackend, SimBackend};
+
+    let log: EventLog = serde_json::from_str(SLO_LOG_JSON).expect("fixture parses");
+    let mut sim = SimBackend::new(log.device.clone());
+    let mut disp = DispatcherBackend::new(log.device.clone());
+    let a = testkit::replay_transcript(&log, &mut sim);
+    let b = testkit::replay_transcript(&log, &mut disp);
+    assert!(!a.is_empty(), "the slo fixture must contain dispatches");
+    assert_eq!(
+        a, b,
+        "sim and dispatcher transcripts diverged on the slo fixture"
+    );
+}
+
+#[test]
+fn slo_log_survives_a_json_roundtrip() {
+    let log: EventLog = serde_json::from_str(SLO_LOG_JSON).expect("fixture parses");
+    let json = serde_json::to_string_pretty(&log).expect("log serializes");
+    let back: EventLog = serde_json::from_str(&json).expect("roundtrip parses");
+    assert_eq!(back, log);
+}
+
 #[test]
 #[ignore = "regenerates tests/data fixtures; run after an intended arbiter change"]
 fn regenerate_golden_fixtures() {
@@ -121,4 +217,16 @@ fn regenerate_golden_fixtures() {
     std::fs::write(format!("{dir}/arbiter_log.json"), json).expect("write log");
     let transcript = replay::transcript(&replay::replay(&log));
     std::fs::write(format!("{dir}/arbiter_transcript.txt"), transcript).expect("write transcript");
+}
+
+#[test]
+#[ignore = "regenerates tests/data fixtures; run after an intended arbiter change"]
+fn regenerate_slo_fixtures() {
+    let log = record_slo_fixture_run();
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/data");
+    std::fs::create_dir_all(dir).expect("fixture dir");
+    let json = serde_json::to_string_pretty(&log).expect("log serializes");
+    std::fs::write(format!("{dir}/slo_log.json"), json).expect("write log");
+    let transcript = replay::transcript(&replay::replay(&log));
+    std::fs::write(format!("{dir}/slo_transcript.txt"), transcript).expect("write transcript");
 }

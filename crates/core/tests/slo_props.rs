@@ -1,0 +1,241 @@
+//! Property tests for the SLO preemption bound.
+//!
+//! Across seeds and arrival mixes, every latency-critical arrival must be
+//! dispatched — directly, or by preempting a best-effort resident — within
+//! `preempt_bound_us` logical ticks, and the whole arbitration must be
+//! deterministic: feeding the identical event sequence twice yields
+//! byte-identical transcripts.
+//!
+//! The generated mixes keep the bound *provable*: best-effort kernels are
+//! long (far past the bound — only preemption can clear them in time) and
+//! run one at a time, while latency-critical service times are short
+//! enough that even a full queue of them drains inside the bound. Any
+//! missed or late preemption therefore shows up as a hard violation, not
+//! as noise.
+
+use proptest::prelude::*;
+use slate_core::arbiter::replay::transcript;
+use slate_core::arbiter::{ArbiterConfig, ArbiterCore, Command, Event, EventLog};
+use slate_core::WorkloadClass;
+use slate_gpu_sim::device::DeviceConfig;
+use slate_kernels::workload::SloClass;
+use std::collections::BTreeMap;
+
+/// The bound under test, logical µs.
+const BOUND_US: u64 = 50_000;
+
+/// Seeded xorshift64, the workspace's PRNG idiom.
+fn xorshift64(s: &mut u64) -> u64 {
+    *s ^= *s << 13;
+    *s ^= *s >> 7;
+    *s ^= *s << 17;
+    *s
+}
+
+/// One generated latency-critical arrival.
+#[derive(Debug, Clone)]
+struct LcArrival {
+    at: u64,
+    /// Service time, µs — short by construction.
+    dur: u64,
+}
+
+/// A generated mix: one best-effort session looping long kernels under a
+/// burst of latency-critical arrivals.
+#[derive(Debug, Clone)]
+struct Mix {
+    /// Best-effort kernel duration, µs — far past the bound.
+    be_dur: u64,
+    lc: Vec<LcArrival>,
+}
+
+fn gen_mix(seed: u64) -> Mix {
+    let mut s = seed | 1;
+    let n_lc = 2 + (xorshift64(&mut s) % 5) as usize; // 2..=6
+    let mut lc = Vec::with_capacity(n_lc);
+    for _ in 0..n_lc {
+        lc.push(LcArrival {
+            at: 1_000 + xorshift64(&mut s) % 200_000,
+            dur: 1_000 + xorshift64(&mut s) % 4_000,
+        });
+    }
+    lc.sort_by_key(|a| a.at);
+    Mix {
+        be_dur: 150_000 + xorshift64(&mut s) % 100_000,
+        lc,
+    }
+}
+
+/// Drives the mix through a core: the best-effort session (id 0, leases
+/// 100, 101, ...) launches a fresh long kernel the moment the previous one
+/// drains; each latency-critical session (ids 1.., leases 1..) arrives at
+/// its seeded tick. Kernel durations are charged from *dispatch*, so a
+/// preempted best-effort kernel simply finishes late (the retreat's lost
+/// progress is the backend's concern, not the arbiter's). Returns the
+/// recorded log.
+fn drive(mix: &Mix) -> EventLog {
+    let mut core = ArbiterCore::new(
+        DeviceConfig::tiny(8),
+        ArbiterConfig {
+            preempt_bound_us: Some(BOUND_US),
+            ..ArbiterConfig::default()
+        },
+    );
+    core.start_recording();
+
+    // (tick, events) queue, processed in tick order. Finishes computed on
+    // the fly from dispatch commands.
+    let mut pending: BTreeMap<u64, Vec<Event>> = BTreeMap::new();
+    let mut dur_of: BTreeMap<u64, u64> = BTreeMap::new(); // lease -> dur
+    let mut be_lease = 100u64;
+    pending.entry(0).or_default().extend([
+        Event::SloArrival {
+            session: 0,
+            class: SloClass::BestEffort,
+        },
+        Event::SessionOpened { session: 0 },
+        Event::KernelReady {
+            session: 0,
+            lease: be_lease,
+            class: WorkloadClass::MM,
+            sm_demand: 8,
+            pinned_solo: false,
+            deadline_ms: None,
+        },
+    ]);
+    dur_of.insert(be_lease, mix.be_dur);
+    for (i, a) in mix.lc.iter().enumerate() {
+        let session = 1 + i as u64;
+        let lease = 1 + i as u64;
+        pending.entry(a.at).or_default().extend([
+            Event::SloArrival {
+                session,
+                class: SloClass::LatencyCritical,
+            },
+            Event::SessionOpened { session },
+            Event::KernelReady {
+                session,
+                lease,
+                class: WorkloadClass::HM,
+                sm_demand: 4,
+                pinned_solo: false,
+                deadline_ms: None,
+            },
+        ]);
+        dur_of.insert(lease, a.dur);
+    }
+
+    let mut lc_dispatched = 0usize;
+    let mut guard = 0;
+    while let Some((&at, _)) = pending.iter().next() {
+        guard += 1;
+        assert!(guard < 10_000, "runaway event loop");
+        let events = pending.remove(&at).unwrap();
+        for c in core.feed(at, &events) {
+            if let Command::Dispatch { lease, .. } = c {
+                let fin = at + dur_of[&lease];
+                pending
+                    .entry(fin)
+                    .or_default()
+                    .push(Event::KernelFinished { lease, ok: true });
+                if lease < 100 {
+                    lc_dispatched += 1;
+                } else if lc_dispatched < mix.lc.len() {
+                    // The best-effort loop relaunches the moment it drains
+                    // — until every latency-critical arrival has been
+                    // served, which bounds the run.
+                    be_lease += 1;
+                    dur_of.insert(be_lease, mix.be_dur);
+                    pending.entry(fin).or_default().push(Event::KernelReady {
+                        session: 0,
+                        lease: be_lease,
+                        class: WorkloadClass::MM,
+                        sm_demand: 8,
+                        pinned_solo: false,
+                        deadline_ms: None,
+                    });
+                }
+            }
+        }
+    }
+    core.take_log().expect("recording was started")
+}
+
+/// Tick of the batch that dispatched `lease` (directly or behind a
+/// preemption), if any.
+fn dispatch_tick(log: &EventLog, lease: u64) -> Option<u64> {
+    for b in &log.batches {
+        for c in &b.commands {
+            if matches!(c, Command::Dispatch { lease: l, .. } if *l == lease) {
+                return Some(b.at);
+            }
+        }
+    }
+    None
+}
+
+/// Tick at which `lease`'s `KernelReady` was fed.
+fn ready_tick(log: &EventLog, lease: u64) -> Option<u64> {
+    for b in &log.batches {
+        for e in &b.events {
+            if matches!(e, Event::KernelReady { lease: l, .. } if *l == lease) {
+                return Some(b.at);
+            }
+        }
+    }
+    None
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every latency-critical arrival is served within the bound, whatever
+    /// the seed: the best-effort kernel is several times longer than the
+    /// bound, so only the preemption path can make this hold.
+    #[test]
+    fn latency_critical_arrivals_are_served_within_the_bound(seed in any::<u64>()) {
+        let mix = gen_mix(seed);
+        let log = drive(&mix);
+        for (i, _) in mix.lc.iter().enumerate() {
+            let lease = 1 + i as u64;
+            let ready = ready_tick(&log, lease)
+                .expect("every generated arrival reaches the core");
+            let dispatched = dispatch_tick(&log, lease).unwrap_or_else(|| {
+                panic!("lc lease {lease} (seed {seed:#x}) was never dispatched:\n{}",
+                       transcript(&log.batches))
+            });
+            prop_assert!(
+                dispatched - ready <= BOUND_US,
+                "lc lease {} waited {} µs (bound {}), seed {:#x}",
+                lease, dispatched - ready, BOUND_US, seed
+            );
+        }
+    }
+
+    /// Double-run determinism: identical seeds produce byte-identical
+    /// transcripts — the property the golden fixtures and crash-recovery
+    /// replay both lean on.
+    #[test]
+    fn double_runs_are_byte_identical(seed in any::<u64>()) {
+        let a = drive(&gen_mix(seed));
+        let b = drive(&gen_mix(seed));
+        prop_assert_eq!(transcript(&a.batches), transcript(&b.batches));
+    }
+}
+
+/// The preemption path itself (not just fast dispatch) is exercised:
+/// across a fixed seed range, some run preempts.
+#[test]
+fn the_mixes_exercise_preemption() {
+    let mut preempts = 0usize;
+    for seed in 0..16u64 {
+        let log = drive(&gen_mix(0xC0FFEE ^ (seed << 8)));
+        preempts += log
+            .batches
+            .iter()
+            .flat_map(|b| &b.commands)
+            .filter(|c| matches!(c, Command::Preempt { .. }))
+            .count();
+    }
+    assert!(preempts > 0, "no mix ever hit the preemption path");
+}

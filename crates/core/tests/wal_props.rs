@@ -12,6 +12,7 @@ use slate_core::arbiter::Event;
 use slate_core::durability::wal::{encode_frame, scan, FRAME_HEADER_LEN};
 use slate_core::durability::{WalIssue, WalRecord};
 use slate_core::placement::replay::PlacementBatch;
+use slate_kernels::workload::SloClass;
 
 /// A placement event with no payload dependencies on scheduler state —
 /// enough shape diversity to exercise the JSON codec.
@@ -36,8 +37,17 @@ fn arb_event() -> impl Strategy<Value = Event> {
 
 fn arb_record() -> impl Strategy<Value = WalRecord> {
     prop_oneof![
-        ("[a-z0-9 ]{0,16}", any::<u64>())
-            .prop_map(|(user, session)| WalRecord::SessionMeta { session, user }),
+        ("[a-z0-9 ]{0,16}", any::<u64>(), any::<bool>()).prop_map(|(user, session, lc)| {
+            WalRecord::SessionMeta {
+                session,
+                user,
+                slo: if lc {
+                    SloClass::LatencyCritical
+                } else {
+                    SloClass::BestEffort
+                },
+            }
+        }),
         any::<u64>().prop_map(|session| WalRecord::SessionClosed { session }),
         (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()).prop_map(
             |(session, slate_ptr, device_ptr, bytes)| WalRecord::Alloc {

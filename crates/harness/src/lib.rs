@@ -13,6 +13,7 @@ pub mod fig1;
 pub mod fig5;
 pub mod fig6;
 pub mod fig7;
+pub mod llm;
 pub mod oracle;
 pub mod portability;
 pub mod report;

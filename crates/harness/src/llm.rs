@@ -1,0 +1,364 @@
+//! LLM serving under mixed SLOs — the tail-latency headline experiment.
+//!
+//! Replays the seeded open-loop serving trace ([`llm_trace`]) — best-effort
+//! prefill loops under bursts of latency-critical decode sessions — through
+//! [`SlateRuntime`] twice: once with priority preemption enabled
+//! (`preempt_bound_s`) and once without. With preemption off, a decode
+//! burst that lands behind a ~46 ms prefill launch waits for the full
+//! launch boundary; with it on, the arbiter retreats the best-effort
+//! resident immediately, so decode tail latency collapses while prefill
+//! throughput is preserved by work conservation plus §9 aging.
+
+use crate::report::{f, Report, Table};
+use slate_baselines::Runtime;
+use slate_core::arbiter::{Command, Event, EventLog};
+use slate_core::{SlateOptions, SlateRuntime};
+use slate_gpu_sim::device::DeviceConfig;
+use slate_kernels::workload::{llm_trace, Benchmark, LlmTraceCfg, SloClass};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Preemption bound the experiment runs under: the arbiter must dispatch a
+/// latency-critical arrival or emit the displacing `Preempt` within this
+/// many logical microseconds.
+pub const PREEMPT_BOUND_US: u64 = 20_000;
+
+/// Nearest-rank percentile of latencies (`q` in 0..=1). Empty input → 0.
+pub fn percentile_us(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = (q * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+/// Latency distribution summary in logical microseconds.
+#[derive(Debug, Clone, Default)]
+pub struct LatencyStats {
+    /// Sample count.
+    pub n: usize,
+    /// Median.
+    pub p50_us: u64,
+    /// 95th percentile.
+    pub p95_us: u64,
+    /// 99th percentile.
+    pub p99_us: u64,
+    /// Worst sample.
+    pub max_us: u64,
+}
+
+impl LatencyStats {
+    /// Summarises a latency sample set.
+    pub fn of(mut samples: Vec<u64>) -> Self {
+        samples.sort_unstable();
+        LatencyStats {
+            n: samples.len(),
+            p50_us: percentile_us(&samples, 0.50),
+            p95_us: percentile_us(&samples, 0.95),
+            p99_us: percentile_us(&samples, 0.99),
+            max_us: samples.last().copied().unwrap_or(0),
+        }
+    }
+}
+
+/// Sessions declared latency-critical in a recorded run.
+pub fn critical_sessions(log: &EventLog) -> BTreeSet<u64> {
+    let mut crit = BTreeSet::new();
+    for b in &log.batches {
+        for e in &b.events {
+            if let Event::SloArrival { session, class } = e {
+                if *class == SloClass::LatencyCritical {
+                    crit.insert(*session);
+                }
+            }
+        }
+    }
+    crit
+}
+
+/// Per-launch decode latencies (ready → drained, logical µs) of the
+/// latency-critical sessions in a recorded run. The runtime assigns lease
+/// ids equal to session ids, and each session keeps at most one launch in
+/// flight, so a lease→ready-tick map pairs every `KernelFinished {ok}`
+/// with its `KernelReady`.
+pub fn decode_latencies(log: &EventLog) -> Vec<u64> {
+    let crit = critical_sessions(log);
+    let mut pending: BTreeMap<u64, u64> = BTreeMap::new();
+    let mut lat = Vec::new();
+    for b in &log.batches {
+        for e in &b.events {
+            match e {
+                Event::KernelReady { session, lease, .. } if crit.contains(session) => {
+                    pending.insert(*lease, b.at);
+                }
+                Event::KernelFinished { lease, ok: true } => {
+                    if let Some(ready) = pending.remove(lease) {
+                        lat.push(b.at - ready);
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    lat
+}
+
+/// Preemption latencies (logical µs from the preemptor's `KernelReady` to
+/// the batch that emitted its displacing `Preempt`+`Dispatch`). The core
+/// processes a batch's events before deciding, so a same-batch preemption
+/// observes latency zero.
+pub fn preempt_latencies(log: &EventLog) -> Vec<u64> {
+    let mut ready_at: BTreeMap<u64, u64> = BTreeMap::new();
+    let mut lat = Vec::new();
+    for b in &log.batches {
+        for e in &b.events {
+            if let Event::KernelReady { lease, .. } = e {
+                ready_at.insert(*lease, b.at);
+            }
+        }
+        let mut preempting = false;
+        for c in &b.commands {
+            match c {
+                Command::Preempt { .. } => preempting = true,
+                Command::Dispatch { lease, .. } if preempting => {
+                    preempting = false;
+                    if let Some(ready) = ready_at.get(lease) {
+                        lat.push(b.at - ready);
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    lat
+}
+
+/// Everything the experiment measured.
+#[derive(Debug, Clone)]
+pub struct LlmResults {
+    /// Decode launch latency with preemption enabled.
+    pub decode_on: LatencyStats,
+    /// Decode launch latency with preemption disabled.
+    pub decode_off: LatencyStats,
+    /// Preemption latency (arrival → displacing command) in the enabled run.
+    pub preempt: LatencyStats,
+    /// Preemptions the enabled run performed.
+    pub preemptions: usize,
+    /// The bound the enabled run was configured with.
+    pub preempt_bound_us: u64,
+    /// ANTT of the enabled run against solo baselines.
+    pub antt_on: f64,
+    /// ANTT of the disabled run against solo baselines.
+    pub antt_off: f64,
+    /// Makespan of the enabled run, seconds.
+    pub makespan_on_s: f64,
+    /// Makespan of the disabled run, seconds.
+    pub makespan_off_s: f64,
+    /// Apps that finished in the enabled run (best-effort no-starvation).
+    pub completed_on: usize,
+    /// Total apps in the trace.
+    pub apps: usize,
+}
+
+impl LlmResults {
+    /// One-line machine-readable summary for the CI bench artifact. The
+    /// headline metric is `p99_decode_under_load_us`.
+    pub fn summary_json(&self) -> String {
+        format!(
+            "{{\"p99_decode_under_load_us\":{},\"p95_decode_under_load_us\":{},\
+             \"p50_decode_under_load_us\":{},\"p99_decode_no_preempt_us\":{},\
+             \"preempt_max_us\":{},\"preempt_bound_us\":{},\"preemptions\":{},\
+             \"antt_on\":{:.4},\"antt_off\":{:.4}}}",
+            self.decode_on.p99_us,
+            self.decode_on.p95_us,
+            self.decode_on.p50_us,
+            self.decode_off.p99_us,
+            self.preempt.max_us,
+            self.preempt_bound_us,
+            self.preemptions,
+            self.antt_on,
+            self.antt_off,
+        )
+    }
+}
+
+/// Solo app time of one app body (zero arrival offset), for ANTT.
+fn solo_time(cfg: &DeviceConfig, app: &slate_kernels::workload::AppSpec) -> f64 {
+    let mut solo = app.clone();
+    solo.host_setup_s = 0.0;
+    let out = SlateRuntime::new(cfg.clone()).run(std::slice::from_ref(&solo));
+    out.apps[0].app_time_s
+}
+
+/// Runs the mixed-SLO serving trace with preemption on and off; `scale`
+/// shrinks the prefill loops the way the other experiments do.
+pub fn run(cfg: &DeviceConfig, scale: u32) -> (LlmResults, Report) {
+    run_seeded(cfg, scale, 0xC0FFEE)
+}
+
+/// [`run`] with an explicit arrival-jitter seed — the nightly soak sweeps
+/// a seed matrix through this (`SLATE_CHAOS_SEED`); the checks must hold
+/// for every seed.
+pub fn run_seeded(cfg: &DeviceConfig, scale: u32, seed: u64) -> (LlmResults, Report) {
+    let mut trace_cfg = LlmTraceCfg::paper(seed);
+    trace_cfg.scale = scale.max(1);
+    if scale > 1 {
+        // Fewer bursts at test scale; the burst shape itself is preserved.
+        trace_cfg.decode_sessions = (trace_cfg.decode_sessions / scale).max(8);
+    }
+    let apps = llm_trace(&trace_cfg);
+
+    let on = SlateRuntime::with_options(
+        cfg.clone(),
+        SlateOptions {
+            preempt_bound_s: Some(PREEMPT_BOUND_US as f64 / 1e6),
+            ..SlateOptions::default()
+        },
+    );
+    let off = SlateRuntime::new(cfg.clone());
+    let (out_on, log_on) = on.run_recorded(&apps);
+    let (out_off, log_off) = off.run_recorded(&apps);
+
+    // ANTT solo baselines: one solo run per app kind, shared across clones.
+    let pf_solo = solo_time(cfg, &apps[0]);
+    let dc_solo = solo_time(cfg, &apps[apps.len() - 1]);
+    let solos: Vec<f64> = apps
+        .iter()
+        .map(|a| if a.bench == Benchmark::PF { pf_solo } else { dc_solo })
+        .collect();
+
+    let preempt = LatencyStats::of(preempt_latencies(&log_on));
+    let results = LlmResults {
+        decode_on: LatencyStats::of(decode_latencies(&log_on)),
+        decode_off: LatencyStats::of(decode_latencies(&log_off)),
+        preemptions: preempt.n,
+        preempt,
+        preempt_bound_us: PREEMPT_BOUND_US,
+        antt_on: out_on.antt(&solos),
+        antt_off: out_off.antt(&solos),
+        makespan_on_s: out_on.makespan_s,
+        makespan_off_s: out_off.makespan_s,
+        completed_on: out_on.apps.iter().filter(|a| a.end_s > 0.0).count(),
+        apps: apps.len(),
+    };
+
+    let mut report = Report::new(
+        "llm",
+        "LLM serving: decode tail latency under SLO-aware preemption",
+        "Priority preemption of best-effort prefill bounds latency-critical \
+         decode arrivals: p99 decode latency drops well below the \
+         no-preemption baseline while every preemption lands within the \
+         configured bound and prefill still completes.",
+    );
+
+    let mut t = Table::new(
+        "Decode launch latency (ready -> drained), logical time",
+        &["Mode", "n", "p50 (ms)", "p95 (ms)", "p99 (ms)", "max (ms)"],
+    );
+    for (label, s) in [("preempt on", &results.decode_on), ("preempt off", &results.decode_off)] {
+        t.row(&[
+            label.into(),
+            s.n.to_string(),
+            f(s.p50_us as f64 / 1e3, 2),
+            f(s.p95_us as f64 / 1e3, 2),
+            f(s.p99_us as f64 / 1e3, 2),
+            f(s.max_us as f64 / 1e3, 2),
+        ]);
+    }
+    report.tables.push(t);
+
+    let mut p = Table::new(
+        "Preemption latency (arrival -> displacing command)",
+        &["Preemptions", "p50 (µs)", "p99 (µs)", "max (µs)", "bound (µs)"],
+    );
+    p.row(&[
+        results.preemptions.to_string(),
+        results.preempt.p50_us.to_string(),
+        results.preempt.p99_us.to_string(),
+        results.preempt.max_us.to_string(),
+        results.preempt_bound_us.to_string(),
+    ]);
+    report.tables.push(p);
+
+    let mut a = Table::new(
+        "Throughput cost of preemption",
+        &["Mode", "ANTT", "Makespan (s)"],
+    );
+    a.row(&["preempt on".into(), f(results.antt_on, 2), f(results.makespan_on_s, 2)]);
+    a.row(&["preempt off".into(), f(results.antt_off, 2), f(results.makespan_off_s, 2)]);
+    report.tables.push(a);
+
+    report.check(
+        "preemption fired under load",
+        results.preemptions > 0,
+    );
+    report.check(
+        "p99 decode latency strictly below the no-preemption baseline",
+        results.decode_on.p99_us < results.decode_off.p99_us,
+    );
+    report.check(
+        "every preemption landed within the bound",
+        results.preempt.max_us <= results.preempt_bound_us,
+    );
+    report.check(
+        "all sessions (incl. best-effort prefill) completed",
+        results.completed_on == results.apps,
+    );
+    report.note(format!(
+        "p99 decode: {:.2} ms with preemption vs {:.2} ms without \
+         ({} decode launches, {} preemptions, bound {} µs).",
+        results.decode_on.p99_us as f64 / 1e3,
+        results.decode_off.p99_us as f64 / 1e3,
+        results.decode_on.n,
+        results.preemptions,
+        results.preempt_bound_us,
+    ));
+
+    (results, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn llm_reproduces() {
+        let cfg = DeviceConfig::titan_xp();
+        let (results, report) = run(&cfg, 10);
+        for c in &report.checks {
+            assert!(c.pass, "failed check: {}", c.desc);
+        }
+        assert!(results.preemptions > 0);
+        let json = results.summary_json();
+        assert!(json.contains("p99_decode_under_load_us"));
+    }
+
+    #[test]
+    fn latency_extraction_is_deterministic() {
+        let cfg = DeviceConfig::titan_xp();
+        let mut tc = LlmTraceCfg::paper(7);
+        tc.scale = 10;
+        tc.decode_sessions = 8;
+        let apps = llm_trace(&tc);
+        let rt = || {
+            SlateRuntime::with_options(
+                cfg.clone(),
+                SlateOptions {
+                    preempt_bound_s: Some(0.02),
+                    ..SlateOptions::default()
+                },
+            )
+        };
+        let (_, log1) = rt().run_recorded(&apps);
+        let (_, log2) = rt().run_recorded(&apps);
+        assert_eq!(decode_latencies(&log1), decode_latencies(&log2));
+        assert_eq!(preempt_latencies(&log1), preempt_latencies(&log2));
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let v = vec![1, 2, 3, 4, 5, 6, 7, 8, 9, 10];
+        assert_eq!(percentile_us(&v, 0.50), 5);
+        assert_eq!(percentile_us(&v, 0.99), 10);
+        assert_eq!(percentile_us(&[], 0.99), 0);
+    }
+}

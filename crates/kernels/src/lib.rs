@@ -19,14 +19,23 @@
 //! | QuasiRandom (RG) | CUDA samples | Low | Low | 4.2 | 71.6 |
 //! | Transpose (TR) | CUDA samples | Low | High | 0.0 | 568.6 |
 //!
-//! plus the `stream` read benchmark behind Fig. 1.
+//! plus the `stream` read benchmark behind Fig. 1, and the LLM serving
+//! workload family (`prefill`/`decode` with an [`workload::SloClass`] per
+//! session) used by the SLO-aware scheduling experiments:
+//!
+//! | Benchmark | Compute | Memory | GFLOP/s | GB/s |
+//! |-----------|---------|--------|---------|------|
+//! | LlmPrefill (PF) | High | Low | 1500 | 94 |
+//! | LlmDecode (DC) | Med | High | 250 | 535 |
 
 #![warn(missing_docs)]
 
 pub mod blackscholes;
+pub mod decode;
 pub mod gaussian;
 pub mod grid;
 pub mod kernel;
+pub mod prefill;
 pub mod quasirandom;
 pub mod sgemm;
 pub mod stream;
@@ -35,4 +44,4 @@ pub mod workload;
 
 pub use grid::{BlockCoord, GridDim};
 pub use kernel::{run_parallel, run_reference, GpuKernel, KernelHandle};
-pub use workload::{AppSpec, Benchmark, Intensity};
+pub use workload::{llm_trace, AppSpec, Benchmark, Intensity, LlmTraceCfg, SloClass};

@@ -7,9 +7,33 @@
 //! output transfer. All three runtimes (CUDA, MPS, Slate) consume the same
 //! [`AppSpec`]s.
 
-use crate::{blackscholes, gaussian, quasirandom, sgemm, transpose};
+use crate::{blackscholes, decode, gaussian, prefill, quasirandom, sgemm, transpose};
 use serde::{Deserialize, Serialize};
 use slate_gpu_sim::perf::KernelPerf;
+
+/// Service-level objective class of a session, the scheduling dimension
+/// the LLM serving workload family introduces: latency-critical work
+/// (decode steps a user is waiting on) may preempt best-effort work
+/// (prefill, batch jobs) within the arbiter's preemption bound.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SloClass {
+    /// Tail-latency-sensitive: dispatched ahead of best-effort work, may
+    /// trigger a bounded preemption of a best-effort resident.
+    LatencyCritical,
+    /// Throughput-oriented: yields to latency-critical arrivals but still
+    /// ages to promotion under the starvation bound.
+    #[default]
+    BestEffort,
+}
+
+impl std::fmt::Display for SloClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            SloClass::LatencyCritical => "latency-critical",
+            SloClass::BestEffort => "best-effort",
+        })
+    }
+}
 
 /// Workload intensity level, as used by Table II's profile labels.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
@@ -45,6 +69,14 @@ pub enum Benchmark {
     RG,
     /// Transpose (TR) — Low compute / High memory.
     TR,
+    /// LLM prefill (PF) — High compute / Low memory. Not part of the
+    /// paper's Table II suite (`ALL`): the throughput half of the LLM
+    /// serving family.
+    PF,
+    /// LLM decode (DC) — Med compute / High memory. Not part of the
+    /// paper's Table II suite (`ALL`): the latency-critical half of the
+    /// LLM serving family.
+    DC,
 }
 
 impl Benchmark {
@@ -65,6 +97,8 @@ impl Benchmark {
             Benchmark::MM => "MM",
             Benchmark::RG => "RG",
             Benchmark::TR => "TR",
+            Benchmark::PF => "PF",
+            Benchmark::DC => "DC",
         }
     }
 
@@ -76,6 +110,8 @@ impl Benchmark {
             Benchmark::MM => "SGEMM",
             Benchmark::RG => "QuasiRandomGenerator",
             Benchmark::TR => "Transpose",
+            Benchmark::PF => "LlmPrefill",
+            Benchmark::DC => "LlmDecode",
         }
     }
 
@@ -87,6 +123,8 @@ impl Benchmark {
             Benchmark::MM => (Intensity::High, Intensity::Med),
             Benchmark::RG => (Intensity::Low, Intensity::Low),
             Benchmark::TR => (Intensity::Low, Intensity::High),
+            Benchmark::PF => (Intensity::High, Intensity::Low),
+            Benchmark::DC => (Intensity::Med, Intensity::High),
         }
     }
 
@@ -99,6 +137,10 @@ impl Benchmark {
             Benchmark::MM => (1525.0, 403.5),
             Benchmark::RG => (4.2, 71.6),
             Benchmark::TR => (0.0, 568.6),
+            // PF/DC are not Table II rows; these are the calibration
+            // targets of their simulated profiles.
+            Benchmark::PF => (1500.0, 94.0),
+            Benchmark::DC => (250.0, 535.0),
         }
     }
 
@@ -110,6 +152,8 @@ impl Benchmark {
             Benchmark::MM => sgemm::paper_perf(),
             Benchmark::RG => quasirandom::paper_perf(),
             Benchmark::TR => transpose::paper_perf(),
+            Benchmark::PF => prefill::paper_perf(),
+            Benchmark::DC => decode::paper_perf(),
         }
     }
 
@@ -133,6 +177,7 @@ impl Benchmark {
                 kernel_sources: 1,
                 fixed_cost_scale: 1.0,
                 pinned_solo: false,
+                slo: SloClass::BestEffort,
             },
             // Gaussian: 112 solves of a 2048x2048 system; each solve is
             // 2*(n-1) = 4094 real launches dominated by Fan2 blocks.
@@ -150,6 +195,7 @@ impl Benchmark {
                 kernel_sources: 2,
                 fixed_cost_scale: 1.0,
                 pinned_solo: false,
+                slo: SloClass::BestEffort,
             },
             // SGEMM: 2048^3, ~11 ms per launch; 2660 real launches batched.
             Benchmark::MM => AppSpec {
@@ -166,6 +212,7 @@ impl Benchmark {
                 kernel_sources: 1,
                 fixed_cost_scale: 1.0,
                 pinned_solo: false,
+                slo: SloClass::BestEffort,
             },
             // QuasiRandom: 40M points per launch across 3 dimensions;
             // 13450 real launches batched 10x.
@@ -183,6 +230,7 @@ impl Benchmark {
                 kernel_sources: 1,
                 fixed_cost_scale: 1.0,
                 pinned_solo: false,
+                slo: SloClass::BestEffort,
             },
             // Transpose: 16384^2 floats, ~3.8 ms per launch; 7940 real
             // launches batched 8x.
@@ -200,6 +248,43 @@ impl Benchmark {
                 kernel_sources: 1,
                 fixed_cost_scale: 1.0,
                 pinned_solo: false,
+                slo: SloClass::BestEffort,
+            },
+            // LLM prefill: ~46 ms attention-score launches, one per layer
+            // batch; a ~30 s best-effort throughput loop.
+            Benchmark::PF => AppSpec {
+                bench: *self,
+                perf: self.perf(),
+                launches: 660,
+                blocks_per_launch: prefill::paper_blocks(),
+                batch: 1,
+                real_launches: 660,
+                task_size: 10,
+                h2d_bytes: 2 * 4096 * 2048 * 4,
+                d2h_bytes: 4096 * 4096 * 4,
+                host_setup_s: 1.5,
+                kernel_sources: 1,
+                fixed_cost_scale: 1.0,
+                pinned_solo: false,
+                slo: SloClass::BestEffort,
+            },
+            // LLM decode: ~0.5 ms batched token steps, 8 real steps per
+            // simulated launch; latency-critical by definition.
+            Benchmark::DC => AppSpec {
+                bench: *self,
+                perf: self.perf(),
+                launches: 2000,
+                blocks_per_launch: decode::paper_blocks() * 8,
+                batch: 8,
+                real_launches: 16_000,
+                task_size: 10,
+                h2d_bytes: 50_000_000,
+                d2h_bytes: 50_000_000,
+                host_setup_s: 0.5,
+                kernel_sources: 1,
+                fixed_cost_scale: 1.0,
+                pinned_solo: false,
+                slo: SloClass::LatencyCritical,
             },
         }
     }
@@ -254,6 +339,11 @@ pub struct AppSpec {
     /// and never co-schedule (paper §IV-A1 future work; `#pragma slate
     /// solo`).
     pub pinned_solo: bool,
+    /// Service-level objective class of the session running this app.
+    /// Defaults to best-effort; absent in logs recorded before the SLO
+    /// dimension existed.
+    #[serde(default)]
+    pub slo: SloClass,
 }
 
 impl AppSpec {
@@ -275,6 +365,87 @@ impl AppSpec {
         s.fixed_cost_scale /= factor as f64;
         s
     }
+}
+
+/// Parameters of the seeded open-loop LLM serving trace: bursts of
+/// latency-critical decode sessions arriving over a background of
+/// best-effort prefill loops. Everything is derived from `seed` by a
+/// xorshift generator, so the same config always yields the same trace.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LlmTraceCfg {
+    /// PRNG seed for arrival jitter.
+    pub seed: u64,
+    /// Best-effort prefill sessions running throughout the trace.
+    pub prefill_sessions: u32,
+    /// Latency-critical decode sessions arriving in bursts.
+    pub decode_sessions: u32,
+    /// Decode arrivals per burst.
+    pub burst: u32,
+    /// Gap between the starts of consecutive bursts, seconds.
+    pub inter_burst_s: f64,
+    /// Maximum in-burst arrival jitter, seconds.
+    pub jitter_s: f64,
+    /// Simulated decode launches (token-step groups) per decode session.
+    pub decode_launches: u32,
+    /// `scaled_down` factor applied to the app bodies.
+    pub scale: u32,
+}
+
+impl LlmTraceCfg {
+    /// A paper-scale serving mix: two prefill loops, decode bursts of four
+    /// every 200 ms.
+    pub fn paper(seed: u64) -> Self {
+        Self {
+            seed,
+            prefill_sessions: 2,
+            decode_sessions: 24,
+            burst: 4,
+            inter_burst_s: 0.2,
+            jitter_s: 0.01,
+            decode_launches: 3,
+            scale: 1,
+        }
+    }
+}
+
+/// Deterministic xorshift64 step, the workspace's seeded-PRNG idiom.
+fn xorshift64(s: &mut u64) -> u64 {
+    *s ^= *s << 13;
+    *s ^= *s >> 7;
+    *s ^= *s << 17;
+    *s
+}
+
+/// Builds the open-loop mixed-SLO trace: prefill sessions first (arriving
+/// near t=0, staggered), then decode sessions in arrival order. Arrival
+/// offsets ride on `host_setup_s`, which is exactly the pre-start delay the
+/// runtimes model before a session opens.
+pub fn llm_trace(cfg: &LlmTraceCfg) -> Vec<AppSpec> {
+    let mut rng = cfg.seed | 1;
+    let mut apps = Vec::with_capacity((cfg.prefill_sessions + cfg.decode_sessions) as usize);
+    for i in 0..cfg.prefill_sessions {
+        let mut app = Benchmark::PF.app().scaled_down(cfg.scale);
+        // Stagger prefill starts slightly so their launch boundaries don't
+        // stay phase-locked.
+        app.host_setup_s = 0.05 * i as f64;
+        app.slo = SloClass::BestEffort;
+        apps.push(app);
+    }
+    for i in 0..cfg.decode_sessions {
+        let mut app = Benchmark::DC.app().scaled_down(cfg.scale);
+        let burst_idx = (i / cfg.burst.max(1)) as f64;
+        let jitter = if cfg.jitter_s > 0.0 {
+            (xorshift64(&mut rng) % 1_000_000) as f64 / 1e6 * cfg.jitter_s
+        } else {
+            0.0
+        };
+        app.host_setup_s = burst_idx * cfg.inter_burst_s + jitter;
+        app.launches = cfg.decode_launches.max(1);
+        app.real_launches = app.launches as u64 * app.batch as u64;
+        app.slo = SloClass::LatencyCritical;
+        apps.push(app);
+    }
+    apps
 }
 
 #[cfg(test)]
@@ -340,5 +511,57 @@ mod tests {
         let s = app.scaled_down(100);
         assert!(s.launches >= 1 && s.launches < app.launches);
         assert!(s.total_blocks() < app.total_blocks());
+    }
+
+    #[test]
+    fn llm_family_is_outside_the_table2_suite() {
+        assert!(!Benchmark::ALL.contains(&Benchmark::PF));
+        assert!(!Benchmark::ALL.contains(&Benchmark::DC));
+        Benchmark::PF.perf().validate().unwrap();
+        Benchmark::DC.perf().validate().unwrap();
+        assert_eq!(Benchmark::PF.app().slo, SloClass::BestEffort);
+        assert_eq!(Benchmark::DC.app().slo, SloClass::LatencyCritical);
+    }
+
+    #[test]
+    fn slo_class_defaults_to_best_effort() {
+        assert_eq!(SloClass::default(), SloClass::BestEffort);
+        for b in Benchmark::ALL {
+            assert_eq!(b.app().slo, SloClass::BestEffort);
+        }
+    }
+
+    #[test]
+    fn llm_trace_is_deterministic_and_bursty() {
+        let cfg = LlmTraceCfg::paper(0xC0FFEE);
+        let a = llm_trace(&cfg);
+        let b = llm_trace(&cfg);
+        assert_eq!(a.len(), b.len());
+        assert_eq!(
+            a.len(),
+            (cfg.prefill_sessions + cfg.decode_sessions) as usize
+        );
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.host_setup_s, y.host_setup_s, "same seed, same trace");
+        }
+        let decodes: Vec<&AppSpec> = a.iter().filter(|s| s.bench == Benchmark::DC).collect();
+        assert_eq!(decodes.len(), cfg.decode_sessions as usize);
+        assert!(decodes.iter().all(|d| d.slo == SloClass::LatencyCritical));
+        // Arrivals within one burst are close; across bursts they are
+        // separated by roughly the inter-burst gap.
+        let first_burst = &decodes[..cfg.burst as usize];
+        for d in first_burst {
+            assert!(d.host_setup_s <= cfg.jitter_s);
+        }
+        assert!(decodes[cfg.burst as usize].host_setup_s >= cfg.inter_burst_s);
+        // A different seed moves the jitter.
+        let other = llm_trace(&LlmTraceCfg {
+            seed: 0x5EED,
+            ..cfg.clone()
+        });
+        assert!(a
+            .iter()
+            .zip(&other)
+            .any(|(x, y)| x.host_setup_s != y.host_setup_s));
     }
 }

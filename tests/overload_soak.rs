@@ -295,7 +295,13 @@ fn starved_waiter_is_promoted_to_solo_dispatch() {
     let b = SlateClient::new(daemon.connect("waiter").unwrap());
     let pb = b.malloc((n * 4) as u64).unwrap();
     b.upload_f32(pb, &vec![0.0f32; n]).unwrap();
-    launch_slow_solo(&b, pb, n, 5, k_perf("age-solo-waiter")).unwrap();
+    // Three queued solo launches, each bumping every slot by one: the
+    // buffer is a hit counter, so a launch lost in the promotion (or run
+    // twice through it) is observable as bytes, not just as a counter.
+    const WAITER_LAUNCHES: usize = 3;
+    for _ in 0..WAITER_LAUNCHES {
+        launch_slow_solo(&b, pb, n, 5, k_perf("age-solo-waiter")).unwrap();
+    }
     // Once the waiter has starved, a corunnable latecomer must not be
     // paired with the resident over its head: aging blocks fresh joins.
     std::thread::sleep(Duration::from_millis(20));
@@ -305,7 +311,13 @@ fn starved_waiter_is_promoted_to_solo_dispatch() {
     launch_slow(&c, 1, pc, n, 5, k_perf("age-latecomer")).unwrap();
 
     b.synchronize().unwrap();
-    assert_eq!(b.download_f32(pb, n).unwrap(), vec![1.0f32; n]);
+    // Every queued launch of the promoted session completed end to end,
+    // exactly once each: each slot counted every launch.
+    assert_eq!(
+        b.download_f32(pb, n).unwrap(),
+        vec![WAITER_LAUNCHES as f32; n],
+        "the promoted session's queued launches must all complete exactly once"
+    );
     c.synchronize().unwrap();
     assert_eq!(c.download_f32(pc, n).unwrap(), vec![1.0f32; n]);
     a.synchronize().unwrap();
