@@ -18,12 +18,19 @@
 //! * `wal_append` — durability WAL appends (metadata records and routed
 //!   placement batches) on an open segment;
 //! * `recover_replay` — rebuilding daemon state from a durability
-//!   directory (snapshot load + full WAL suffix replay).
+//!   directory (snapshot load + full WAL suffix replay);
+//! * `trace_export` — converting a recorded event log into Perfetto
+//!   trace JSON (replay verification + track/lane assembly + emission;
+//!   ungated while the conversion cost is established);
+//! * `tuner_replay_variant` — one counterfactual replay of a recorded
+//!   log under a non-recorded config, the autotuner's unit of work
+//!   (ungated initially).
 //!
 //! Output: `-- --json <path>` or the `SLATE_BENCH_JSON` environment
 //! variable; a human-readable table always goes to stdout.
 
 use slate_bench::{BenchMeasurement, Report, REPORT_SCHEMA};
+use slate_core::arbiter::replay::{replay_under, EventLog};
 use slate_core::arbiter::{ArbiterConfig, ArbiterCore, Command, Event};
 use slate_core::backend::{Backend, SimBackend, WorkSpec};
 use slate_core::classify::WorkloadClass;
@@ -248,6 +255,38 @@ fn build_wal_dir(dir: &std::path::Path, sessions: u64) -> u64 {
     batches
 }
 
+/// Records one deterministic arbitration run — `sessions` sessions, four
+/// kernels each with mixed classes and interleaved finishes — and returns
+/// the event log the trace exporter and autotuner consume.
+fn record_event_log(sessions: u64) -> EventLog {
+    let mut core = ArbiterCore::new(
+        DeviceConfig::titan_xp(),
+        ArbiterConfig {
+            starvation_bound_us: Some(50_000),
+            preempt_bound_us: Some(20_000),
+            ..ArbiterConfig::default()
+        },
+    );
+    core.start_recording();
+    let mut t = 0u64;
+    for s in 1..=sessions {
+        t += 100;
+        core.feed(t, &[Event::SessionOpened { session: s }]);
+        for k in 0..4u64 {
+            let lease = (s << 4) | k;
+            t += 700;
+            core.feed(t, &[ready(s, lease, 6 + ((lease * 7) % 24) as u32)]);
+            t += 2_300;
+            core.feed(t, &[Event::KernelFinished { lease, ok: true }]);
+        }
+        t += 100;
+        core.feed(t, &[Event::DeadlineTick]);
+        t += 100;
+        core.feed(t, &[Event::SessionClosed { session: s }]);
+    }
+    core.take_log().expect("recording was enabled")
+}
+
 fn main() {
     let report = Report {
         schema: REPORT_SCHEMA,
@@ -324,6 +363,31 @@ fn main() {
                 });
                 let _ = std::fs::remove_dir_all(&dir);
                 m
+            },
+            {
+                let log = record_event_log(16);
+                let batches = log.batches.len() as u64;
+                measure("trace_export", false, 200, batches, move || {
+                    black_box(
+                        slate_core::trace::trace_event_log(&log)
+                            .expect("recorded log exports")
+                            .to_json(),
+                    );
+                })
+            },
+            {
+                let log = record_event_log(16);
+                let batches = log.batches.len() as u64;
+                // A config the log was NOT recorded under, so the replay
+                // takes the counterfactual (non-verifying) path the tuner
+                // exercises for every grid variant.
+                let variant = ArbiterConfig {
+                    preempt_bound_us: None,
+                    ..log.config.clone()
+                };
+                measure("tuner_replay_variant", false, 500, batches, move || {
+                    black_box(replay_under(&log, variant.clone()));
+                })
             },
         ],
     };

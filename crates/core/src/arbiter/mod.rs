@@ -521,10 +521,7 @@ mod tests {
         // HC x HM never co-runs under the symmetric Table I closure, so
         // without preemption the arrival would wait out the resident.
         a.feed(0, &[ready(1, 1, HC, 30)]);
-        let out = a.feed(
-            5,
-            &[slo(2, SloClass::LatencyCritical), ready(2, 2, HM, 9)],
-        );
+        let out = a.feed(5, &[slo(2, SloClass::LatencyCritical), ready(2, 2, HM, 9)]);
         assert_eq!(out[0], Command::Preempt { lease: 1 });
         assert!(
             matches!(out[1], Command::Resize { lease: 1, .. }),
@@ -552,20 +549,14 @@ mod tests {
         // Without the bound the same trace just queues the arrival.
         let mut a = core();
         a.feed(0, &[ready(1, 1, HC, 30)]);
-        let out = a.feed(
-            5,
-            &[slo(2, SloClass::LatencyCritical), ready(2, 2, HM, 9)],
-        );
+        let out = a.feed(5, &[slo(2, SloClass::LatencyCritical), ready(2, 2, HM, 9)]);
         assert_eq!(out, vec![], "no preemption without a bound");
         assert_eq!(a.waiting(), 1);
 
         // A latency-critical resident is never displaced by a peer.
         let mut a = preempting();
         a.feed(0, &[slo(1, SloClass::LatencyCritical), ready(1, 1, HC, 30)]);
-        let out = a.feed(
-            5,
-            &[slo(2, SloClass::LatencyCritical), ready(2, 2, HM, 9)],
-        );
+        let out = a.feed(5, &[slo(2, SloClass::LatencyCritical), ready(2, 2, HM, 9)]);
         assert_eq!(out, vec![], "critical residents are not preempted");
         assert_eq!(a.preemptions(), 0);
     }

@@ -53,6 +53,32 @@ pub fn replay(log: &EventLog) -> Vec<LoggedBatch> {
         .collect()
 }
 
+/// Replays `log`'s *events* through a fresh core running `config` instead
+/// of the recorded configuration, returning the batches the counterfactual
+/// core produced.
+///
+/// This is open-loop what-if replay, the primitive behind the offline
+/// autotuner ([`crate::trace::tune`]): the event stream — arrivals, ready
+/// kernels, finish times — is held fixed while the policy knobs vary, so
+/// every variant sees *identical* inputs and differences in the command
+/// stream are attributable to the configuration alone. The events are not
+/// re-simulated (a kernel still finishes when the recording says it did,
+/// even if the variant dispatched it elsewhere or not at all); the core
+/// tolerates finish/resize references to leases it never dispatched, so
+/// any configuration replays cleanly. With `config == log.config` this is
+/// exactly [`replay`].
+pub fn replay_under(log: &EventLog, config: ArbiterConfig) -> Vec<LoggedBatch> {
+    let mut core = ArbiterCore::new(log.device.clone(), config);
+    log.batches
+        .iter()
+        .map(|b| LoggedBatch {
+            at: b.at,
+            events: b.events.clone(),
+            commands: core.feed(b.at, &b.events),
+        })
+        .collect()
+}
+
 /// Incremental replay verification: recorded batches are pushed one at a
 /// time against a fresh core and checked as they arrive.
 ///

@@ -101,7 +101,6 @@ use crate::error::SlateError;
 use crate::feed::{ring as feed_ring, EventBatch, RingConsumer, RingProducer};
 use crate::injector::InjectionCache;
 use crate::placement::replay::{PlacementBatch, PlacementLog};
-use slate_kernels::workload::SloClass;
 use crate::placement::{
     HealthConfig, HealthState, PlacementConfig, PlacementLayer, PlacementPolicy, PlacementStats,
     RebalanceConfig, RoutedCommand,
@@ -116,6 +115,7 @@ use slate_gpu_sim::buffer::{DeviceMemoryPool, DevicePtr, GpuBuffer};
 use slate_gpu_sim::device::{DeviceConfig, SmRange};
 use slate_gpu_sim::fault::{FaultKind, FaultPlan, FaultSite, FaultToken};
 use slate_gpu_sim::workqueue::HyperQ;
+use slate_kernels::workload::SloClass;
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Weak};
@@ -693,6 +693,8 @@ struct DaemonShared {
     /// Write-ahead log + snapshot sink (None: the daemon is ephemeral).
     /// The same handle the arbiter frontend appends batches through.
     durability: Option<Arc<Durability>>,
+    /// Perfetto trace destination for the shutdown hook (None: no trace).
+    trace_path: Option<std::path::PathBuf>,
     /// Launches deposited by their executing threads when a crash cut
     /// them off; drained into the [`CrashScene`] after session threads
     /// joined.
@@ -771,6 +773,13 @@ pub struct DaemonOptions {
     /// [`SlateDaemon::recover`] can rebuild the daemon after a kill.
     /// `None` (the default) keeps the daemon fully in-memory.
     pub durability: Option<DurabilityOptions>,
+    /// Write a Perfetto trace of the recorded run to this path when
+    /// [`SlateDaemon::shutdown`] completes its drain (implies
+    /// [`DaemonOptions::record_arbiter`]). Best-effort: a write failure
+    /// never blocks the shutdown; call [`SlateDaemon::write_trace`]
+    /// directly to observe the error. `None` (the default) emits
+    /// nothing.
+    pub trace_path: Option<std::path::PathBuf>,
 }
 
 impl Default for DaemonOptions {
@@ -789,6 +798,7 @@ impl Default for DaemonOptions {
             health: HealthConfig::default(),
             fleet: FleetAdmissionConfig::default(),
             durability: None,
+            trace_path: None,
         }
     }
 }
@@ -881,7 +891,7 @@ impl SlateDaemon {
             Durability::start(opts, 0, 0, &layer.snapshot(), DurableMeta::default())
                 .expect("initialize durability directory")
         });
-        if options.record_arbiter {
+        if options.record_arbiter || options.trace_path.is_some() {
             layer.start_recording();
         }
         let shared = Arc::new(DaemonShared {
@@ -899,6 +909,7 @@ impl SlateDaemon {
             active_sessions: Mutex::new(0),
             session_drained: Condvar::new(),
             durability,
+            trace_path: options.trace_path,
             crash_inflight: Mutex::new(Vec::new()),
             adoptions: Mutex::new(BTreeMap::new()),
             adoption_errors: Mutex::new(BTreeMap::new()),
@@ -1029,18 +1040,50 @@ impl SlateDaemon {
         self.shared.shutting_down.store(true, Ordering::Release);
         self.shared.arb.feed(&[ArbEvent::DrainBegan]);
         let deadline = Instant::now() + drain_deadline;
-        let mut active = self.shared.active_sessions.lock();
-        while *active > 0 {
-            if self
-                .shared
-                .session_drained
-                .wait_until(&mut active, deadline)
-                .timed_out()
-            {
-                return *active == 0;
+        let drained = {
+            let mut active = self.shared.active_sessions.lock();
+            loop {
+                if *active == 0 {
+                    break true;
+                }
+                if self
+                    .shared
+                    .session_drained
+                    .wait_until(&mut active, deadline)
+                    .timed_out()
+                {
+                    break *active == 0;
+                }
             }
+        };
+        // Best-effort shutdown trace: everything decision-relevant is in
+        // the recording by now (the drain only waits on session threads),
+        // and a full disk must not turn a clean drain into a hang.
+        if let Some(path) = self.shared.trace_path.clone() {
+            let _ = self.write_trace(&path);
         }
-        true
+        drained
+    }
+
+    /// Exports the recorded run as a Perfetto trace to `path` — the
+    /// explicit form of the [`DaemonOptions::trace_path`] shutdown hook.
+    /// The recording is snapshotted, not consumed: [`SlateDaemon::
+    /// arbiter_log`] / [`SlateDaemon::placement_log`] still work
+    /// afterwards, and the daemon keeps recording. Errors when the
+    /// daemon was started without recording enabled.
+    pub fn write_trace(&self, path: &std::path::Path) -> Result<(), String> {
+        let log = self
+            .shared
+            .arb
+            .sh
+            .inner
+            .lock()
+            .layer
+            .log_snapshot()
+            .ok_or_else(|| {
+                "daemon was not recording (set record_arbiter or trace_path)".to_string()
+            })?;
+        crate::trace::export::export_placement_log_to_file(&log, path)
     }
 
     /// Whether [`SlateDaemon::shutdown`] has been called.
@@ -1288,7 +1331,7 @@ impl SlateDaemon {
         )
         .map_err(|e| SlateError::Other(format!("reopen durability: {e}")))?;
         durability.append_meta(&WalRecord::Epoch { epoch });
-        if options.record_arbiter {
+        if options.record_arbiter || options.trace_path.is_some() {
             layer.start_recording();
         }
         let shared = Arc::new(DaemonShared {
@@ -1306,6 +1349,7 @@ impl SlateDaemon {
             active_sessions: Mutex::new(0),
             session_drained: Condvar::new(),
             durability: Some(durability),
+            trace_path: options.trace_path,
             crash_inflight: Mutex::new(Vec::new()),
             adoptions: Mutex::new(BTreeMap::new()),
             adoption_errors: Mutex::new(BTreeMap::new()),

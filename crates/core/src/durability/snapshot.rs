@@ -15,8 +15,8 @@
 
 use super::wal::WalRecord;
 use crate::placement::PlacementSnapshot;
-use slate_kernels::workload::SloClass;
 use serde::{Deserialize, Serialize};
+use slate_kernels::workload::SloClass;
 use std::collections::BTreeMap;
 use std::fs;
 use std::io;

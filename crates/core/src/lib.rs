@@ -53,6 +53,7 @@ pub mod runtime;
 pub mod scanner;
 pub mod select;
 pub mod sync;
+pub mod trace;
 pub mod transform;
 pub mod workers;
 
@@ -68,3 +69,4 @@ pub use placement::{PlacementConfig, PlacementLayer, PlacementPolicy, RebalanceC
 pub use policy::{should_corun, Verdict};
 pub use profile::{KernelProfile, ProfileTable};
 pub use runtime::{SlateOptions, SlateRuntime};
+pub use trace::{Trace, TraceSchema};

@@ -565,6 +565,18 @@ impl PlacementLayer {
         }
     }
 
+    /// Clones the placement-level log accumulated so far *without*
+    /// ending the recording — the daemon's shutdown trace hook reads
+    /// the history this way, leaving [`PlacementLayer::take_log`]
+    /// consumers (log download, post-mortem dumps) intact.
+    pub fn log_snapshot(&self) -> Option<PlacementLog> {
+        self.record.as_ref().map(|batches| PlacementLog {
+            devices: self.cores.iter().map(|c| c.device().clone()).collect(),
+            config: self.config.clone(),
+            batches: batches.clone(),
+        })
+    }
+
     /// Takes the placement-level log (if recording was started).
     pub fn take_log(&mut self) -> Option<PlacementLog> {
         self.record.take().map(|batches| PlacementLog {

@@ -58,6 +58,26 @@ pub fn replay(log: &PlacementLog) -> Vec<PlacementBatch> {
         .collect()
 }
 
+/// Replays `log`'s *events* through a fresh layer running `config`
+/// instead of the recorded configuration — the multi-device analogue of
+/// [`crate::arbiter::replay::replay_under`], and the placement tuner's
+/// primitive. Open-loop: the event stream (arrivals, finishes, device
+/// failures) is held fixed while routing/arbiter/rebalance knobs vary,
+/// so differences in the routed command stream are attributable to the
+/// configuration alone. With `config == log.config` this is exactly
+/// [`replay`].
+pub fn replay_under(log: &PlacementLog, config: PlacementConfig) -> Vec<PlacementBatch> {
+    let mut layer = PlacementLayer::new(log.devices.clone(), config);
+    log.batches
+        .iter()
+        .map(|b| PlacementBatch {
+            at: b.at,
+            events: b.events.clone(),
+            routed: layer.feed(b.at, &b.events),
+        })
+        .collect()
+}
+
 /// Incremental replay verification for placement logs: batches are
 /// pushed one at a time against a fresh layer and checked as they
 /// arrive, holding one reusable routed-command buffer rather than a full

@@ -151,6 +151,21 @@ impl SlateRuntime {
         (out, log.expect("recording was enabled"))
     }
 
+    /// [`SlateRuntime::run_recorded`], plus a Perfetto trace of the run
+    /// written to `path` ([`crate::trace`]): the runtime-side analogue of
+    /// the daemon's [`crate::daemon::DaemonOptions::trace_path`] shutdown
+    /// hook. Returns the outcome and log alongside any export error so a
+    /// failed trace write never discards the run.
+    pub fn run_traced(
+        &self,
+        apps: &[AppSpec],
+        path: &std::path::Path,
+    ) -> (RunOutcome, EventLog, Result<(), String>) {
+        let (out, log) = self.run_recorded(apps);
+        let written = crate::trace::export::export_event_log_to_file(&log, path);
+        (out, log, written)
+    }
+
     /// Runs `apps` across a fleet of `devices`, one [`SimBackend`] per
     /// device behind a [`crate::placement::PlacementLayer`] — the
     /// multi-device extension past the paper's single-GPU scope. Each app
@@ -661,7 +676,9 @@ impl Sim {
                 });
                 declare
                     .into_iter()
-                    .chain(std::iter::once(ArbEvent::SessionOpened { session: i as u64 }))
+                    .chain(std::iter::once(ArbEvent::SessionOpened {
+                        session: i as u64,
+                    }))
             })
             .collect();
         self.feed(&opened);

@@ -177,7 +177,10 @@ fn live_sim_run_reproduces_the_checked_in_slo_log() {
         SLO_GOLDEN_TRANSCRIPT,
         "a fresh mixed-SLO run diverged from the golden transcript"
     );
-    assert_eq!(fresh, log, "a fresh mixed-SLO run diverged from the checked-in log");
+    assert_eq!(
+        fresh, log,
+        "a fresh mixed-SLO run diverged from the checked-in log"
+    );
 }
 
 #[test]

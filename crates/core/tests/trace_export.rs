@@ -1,0 +1,232 @@
+//! Trace export and autotuner invariants (DESIGN.md §19).
+//!
+//! The golden fixtures double as trace fixtures: the committed SLO and
+//! placement logs must export to schema-valid Perfetto JSON — the same
+//! conversion CI runs before uploading the `trace-<sha>` artifact —
+//! without regenerating a byte of the fixtures themselves. On top of
+//! that: export is deterministic (fresh recording ⇒ same bytes as its
+//! JSON-roundtripped log), every lease slice is well-nested per track
+//! (proptest over generated arbitration scripts, enforced by the same
+//! validator CI uses), and the tuner is exact — identical report bytes
+//! regardless of thread count, with the recorded baseline never beaten
+//! by itself.
+
+use proptest::prelude::*;
+use slate_core::arbiter::replay::{self, replay_under, EventLog};
+use slate_core::arbiter::{ArbiterConfig, ArbiterCore, Event};
+use slate_core::placement::replay::PlacementLog;
+use slate_core::runtime::{SlateOptions, SlateRuntime};
+use slate_core::trace::{trace_event_log, trace_placement_log, tune, validate, TraceSchema};
+use slate_core::WorkloadClass;
+use slate_gpu_sim::device::DeviceConfig;
+use slate_kernels::workload::{llm_trace, LlmTraceCfg, SloClass};
+
+const SLO_LOG_JSON: &str = include_str!("data/slo_log.json");
+const PLACEMENT_LOG_JSON: &str = include_str!("data/placement_log.json");
+const SCHEMA_JSON: &str = include_str!("data/trace_schema.json");
+
+fn ci_schema() -> TraceSchema {
+    TraceSchema::from_json(SCHEMA_JSON).expect("checked-in schema parses")
+}
+
+#[test]
+fn golden_slo_trace_is_schema_valid() {
+    let log: EventLog = serde_json::from_str(SLO_LOG_JSON).expect("fixture parses");
+    let trace = trace_event_log(&log).expect("golden log replays and exports");
+    let stats = validate::validate(&trace.to_json(), &ci_schema())
+        .expect("golden SLO trace satisfies the CI schema");
+    assert!(stats.slices > 0 && stats.counters > 0);
+}
+
+#[test]
+fn golden_placement_trace_is_schema_valid() {
+    let log: PlacementLog = serde_json::from_str(PLACEMENT_LOG_JSON).expect("fixture parses");
+    let trace = trace_placement_log(&log).expect("golden placement log replays and exports");
+    let stats = validate::validate(&trace.to_json(), &ci_schema())
+        .expect("golden placement trace satisfies the CI schema");
+    assert!(stats.processes >= 2, "placement fixture spans devices");
+}
+
+/// A fresh recording and its serialize→deserialize roundtrip must export
+/// byte-identical traces: the trace is a pure function of the log, with
+/// no dependence on in-memory identity, map order, or wall-clock.
+#[test]
+fn fresh_recording_and_roundtripped_log_export_identically() {
+    let slate = SlateRuntime::with_options(
+        DeviceConfig::titan_xp(),
+        SlateOptions {
+            preempt_bound_s: Some(0.02),
+            ..SlateOptions::default()
+        },
+    );
+    let mut cfg = LlmTraceCfg::paper(0xACE);
+    cfg.scale = 30;
+    cfg.decode_sessions = 4;
+    cfg.decode_launches = 2;
+    let (_, log) = slate.run_recorded(&llm_trace(&cfg));
+
+    let fresh = trace_event_log(&log).expect("fresh log exports").to_json();
+    let json = serde_json::to_string(&log).expect("log serializes");
+    let reloaded: EventLog = serde_json::from_str(&json).expect("log reloads");
+    let replayed = trace_event_log(&reloaded)
+        .expect("roundtripped log exports")
+        .to_json();
+    assert_eq!(fresh, replayed, "trace must be a pure function of the log");
+    // And twice over the same log, trivially.
+    assert_eq!(fresh, trace_event_log(&log).expect("re-export").to_json());
+    validate::validate(&fresh, &TraceSchema::default()).expect("fresh trace validates");
+}
+
+/// A tampered log (commands edited after recording) must refuse to
+/// export rather than render a picture the scheduler never produced.
+#[test]
+fn diverged_log_refuses_to_export() {
+    let log: EventLog = serde_json::from_str(SLO_LOG_JSON).expect("fixture parses");
+    let mut tampered = log.clone();
+    for b in tampered.batches.iter_mut().rev() {
+        if !b.commands.is_empty() {
+            b.commands.pop();
+            break;
+        }
+    }
+    let err = trace_event_log(&tampered).expect_err("tampered log must not export");
+    assert!(err.contains("diverged"), "unexpected error: {err}");
+}
+
+#[test]
+fn replay_under_recorded_config_reproduces_the_log() {
+    let log: EventLog = serde_json::from_str(SLO_LOG_JSON).expect("fixture parses");
+    let counter = replay_under(&log, log.config.clone());
+    let exact = replay::replay(&log);
+    assert_eq!(counter, exact, "replay_under(recorded config) == replay");
+}
+
+#[test]
+fn tuner_is_deterministic_and_baseline_is_never_beaten_by_itself() {
+    let log: EventLog = serde_json::from_str(SLO_LOG_JSON).expect("fixture parses");
+    let grid = tune::default_grid(&log.config);
+    assert!(grid.len() >= 8, "smoke grid must have >= 8 variants");
+    let serial = tune::tune(&log, &grid, false);
+    let parallel = tune::tune(&log, &grid, true);
+    assert_eq!(
+        serial.to_json(),
+        parallel.to_json(),
+        "tuner report bytes must not depend on thread scheduling"
+    );
+    assert_eq!(serial.to_markdown(), parallel.to_markdown());
+    assert!(serial.best_not_worse_than_baseline());
+    assert!(
+        serial.rows.iter().any(|r| r.baseline),
+        "baseline is in the grid"
+    );
+}
+
+#[test]
+fn placement_tuner_is_deterministic() {
+    let log: PlacementLog = serde_json::from_str(PLACEMENT_LOG_JSON).expect("fixture parses");
+    let grid = tune::default_placement_grid(&log.config);
+    assert!(grid.len() >= 8);
+    let serial = tune::tune_placement(&log, &grid, false);
+    let parallel = tune::tune_placement(&log, &grid, true);
+    assert_eq!(serial.to_json(), parallel.to_json());
+    assert!(serial.best_not_worse_than_baseline());
+}
+
+/// Seeded xorshift64, the workspace's PRNG idiom.
+fn xorshift64(s: &mut u64) -> u64 {
+    *s ^= *s << 13;
+    *s ^= *s >> 7;
+    *s ^= *s << 17;
+    *s
+}
+
+/// Generates a semi-coherent arbitration script from a seed: sessions
+/// open and declare SLOs, kernels become ready (several in flight per
+/// session, exercising the exporter's lane packing), and finishes retire
+/// outstanding leases in varying order.
+fn scripted_log(seed: u64, ops: usize) -> EventLog {
+    let mut core = ArbiterCore::new(
+        DeviceConfig::titan_xp(),
+        ArbiterConfig {
+            starvation_bound_us: Some(50_000),
+            preempt_bound_us: Some(20_000),
+            ..ArbiterConfig::default()
+        },
+    );
+    core.start_recording();
+    let mut s = seed | 1;
+    let mut now = 0u64;
+    let mut next_lease = 1u64;
+    let mut outstanding: Vec<u64> = Vec::new();
+    let classes = [
+        WorkloadClass::LC,
+        WorkloadClass::MC,
+        WorkloadClass::HC,
+        WorkloadClass::MM,
+        WorkloadClass::HM,
+    ];
+    for session in 0..4u64 {
+        let mut batch = Vec::new();
+        if session % 2 == 0 {
+            batch.push(Event::SloArrival {
+                session,
+                class: SloClass::LatencyCritical,
+            });
+        }
+        batch.push(Event::SessionOpened { session });
+        core.feed(now, &batch);
+        now += 1;
+    }
+    for _ in 0..ops {
+        now += 1 + xorshift64(&mut s) % 5_000;
+        let event = match xorshift64(&mut s) % 4 {
+            0 | 1 => {
+                let lease = next_lease;
+                next_lease += 1;
+                outstanding.push(lease);
+                Event::KernelReady {
+                    session: xorshift64(&mut s) % 4,
+                    lease,
+                    class: classes[(xorshift64(&mut s) % 5) as usize],
+                    sm_demand: 1 + (xorshift64(&mut s) % 30) as u32,
+                    pinned_solo: false,
+                    deadline_ms: None,
+                }
+            }
+            2 if !outstanding.is_empty() => {
+                let i = (xorshift64(&mut s) as usize) % outstanding.len();
+                let lease = outstanding.swap_remove(i);
+                Event::KernelFinished { lease, ok: true }
+            }
+            _ => Event::DeadlineTick,
+        };
+        core.feed(now, &[event]);
+    }
+    // Retire what's left so most episodes close inside the log.
+    for lease in outstanding {
+        now += 1_000;
+        core.feed(now, &[Event::KernelFinished { lease, ok: true }]);
+    }
+    core.take_log().expect("recording was enabled")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every exported trace — across seeds and script lengths — passes
+    /// the structural validator: monotonic timestamps, and every lease
+    /// slice well-nested on its track (begin ≤ end, no overlap; the
+    /// validator rejects any slice starting before its track's previous
+    /// slice ended).
+    #[test]
+    fn exported_lease_slices_are_well_nested(seed in any::<u64>(), ops in 10usize..80) {
+        let log = scripted_log(seed, ops);
+        let trace = trace_event_log(&log).expect("scripted log exports");
+        let json = trace.to_json();
+        let stats = validate::validate(&json, &TraceSchema::default())
+            .expect("exported trace validates");
+        prop_assert!(stats.slices > 0, "script produced no lease slices");
+        // Determinism across exports, for every generated script.
+        prop_assert_eq!(json, trace_event_log(&log).expect("re-export").to_json());
+    }
+}

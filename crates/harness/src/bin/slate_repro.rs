@@ -5,8 +5,14 @@
 //! slate-repro all                 # every experiment, full scale
 //! slate-repro fig7 --scale 4      # one experiment, reduced repetitions
 //! slate-repro all --md EXPERIMENTS.md
+//! slate-repro trace slo_log.json -o trace.json   # log -> Perfetto trace
+//! slate-repro tune slo_log.json --md tune.md     # offline config search
 //! ```
 
+use serde::Deserialize;
+use slate_core::arbiter::replay::EventLog;
+use slate_core::placement::replay::PlacementLog;
+use slate_core::trace::{export, tune, validate, TraceSchema};
 use slate_gpu_sim::device::DeviceConfig;
 use slate_harness::report::Report;
 use slate_harness::{
@@ -32,10 +38,171 @@ const EXPERIMENTS: [&str; 13] = [
 
 fn usage() -> ! {
     eprintln!(
-        "usage: slate-repro <all|{}> [--scale N] [--md PATH] [--json PATH] [--summary PATH]",
+        "usage: slate-repro <all|{}> [--scale N] [--md PATH] [--json PATH] [--summary PATH]\n\
+         \x20      slate-repro trace <log.json> [-o PATH] [--schema PATH]\n\
+         \x20      slate-repro tune <log.json> [--grid SPEC] [--json PATH] [--md PATH] \
+         [--serial] [--assert-improves]",
         EXPERIMENTS.join("|")
     );
     std::process::exit(2);
+}
+
+/// A recorded log, whichever layer recorded it: single-device logs carry
+/// a top-level `device`, placement logs a `devices` list.
+enum AnyLog {
+    Arbiter(EventLog),
+    Placement(PlacementLog),
+}
+
+fn load_log(path: &str) -> Result<AnyLog, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    let value = serde::parse(&text).map_err(|e| format!("{path}: not valid JSON: {e:?}"))?;
+    let keys: Vec<&str> = match &value {
+        serde::JsonValue::Obj(fields) => fields.iter().map(|(k, _)| k.as_str()).collect(),
+        _ => return Err(format!("{path}: expected a JSON object")),
+    };
+    if keys.contains(&"devices") {
+        PlacementLog::deserialize_json(&value)
+            .map(AnyLog::Placement)
+            .map_err(|e| format!("{path}: not a placement log: {e:?}"))
+    } else if keys.contains(&"device") {
+        EventLog::deserialize_json(&value)
+            .map(AnyLog::Arbiter)
+            .map_err(|e| format!("{path}: not an arbiter log: {e:?}"))
+    } else {
+        Err(format!(
+            "{path}: neither an arbiter log (`device`) nor a placement log (`devices`)"
+        ))
+    }
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("slate-repro: {msg}");
+    std::process::exit(1);
+}
+
+/// `slate-repro trace <log> [-o out] [--schema schema.json]`: convert a
+/// recorded log to Perfetto JSON (re-deriving commands via replay),
+/// validate the emitted bytes, write them out.
+fn cmd_trace(args: &[String]) -> ! {
+    let mut log_path: Option<&str> = None;
+    let mut out = "trace.json".to_string();
+    let mut schema = TraceSchema::default();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "-o" | "--out" => out = it.next().cloned().unwrap_or_else(|| usage()),
+            "--schema" => {
+                let p = it.next().unwrap_or_else(|| usage());
+                let text =
+                    std::fs::read_to_string(p).unwrap_or_else(|e| fail(&format!("read {p}: {e}")));
+                schema = TraceSchema::from_json(&text).unwrap_or_else(|e| fail(&e));
+            }
+            other if log_path.is_none() && !other.starts_with('-') => log_path = Some(a),
+            _ => usage(),
+        }
+    }
+    let log_path = log_path.unwrap_or_else(|| usage());
+    let trace = match load_log(log_path).unwrap_or_else(|e| fail(&e)) {
+        AnyLog::Arbiter(log) => export::trace_event_log(&log),
+        AnyLog::Placement(log) => export::trace_placement_log(&log),
+    }
+    .unwrap_or_else(|e| fail(&e));
+    let json = trace.to_json();
+    let stats = validate::validate(&json, &schema)
+        .unwrap_or_else(|e| fail(&format!("emitted trace failed validation: {e}")));
+    std::fs::write(&out, &json).unwrap_or_else(|e| fail(&format!("write {out}: {e}")));
+    println!("trace: {stats}");
+    println!("wrote {out} ({} bytes)", json.len());
+    std::process::exit(0);
+}
+
+/// `slate-repro tune <log> [--grid SPEC] ...`: replay the log under a
+/// config grid, rank variants on command-derived tail metrics, report.
+fn cmd_tune(args: &[String]) -> ! {
+    let mut log_path: Option<&str> = None;
+    let mut grid_spec: Option<String> = None;
+    let mut json_path: Option<String> = None;
+    let mut md_path: Option<String> = None;
+    let mut parallel = true;
+    let mut assert_improves = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--grid" => {
+                let spec = it.next().cloned().unwrap_or_else(|| usage());
+                if spec != "default" {
+                    grid_spec = Some(spec);
+                }
+            }
+            "--json" => json_path = Some(it.next().cloned().unwrap_or_else(|| usage())),
+            "--md" => md_path = Some(it.next().cloned().unwrap_or_else(|| usage())),
+            "--serial" => parallel = false,
+            "--assert-improves" => assert_improves = true,
+            other if log_path.is_none() && !other.starts_with('-') => log_path = Some(a),
+            _ => usage(),
+        }
+    }
+    let log_path = log_path.unwrap_or_else(|| usage());
+    let report = match load_log(log_path).unwrap_or_else(|e| fail(&e)) {
+        AnyLog::Arbiter(log) => {
+            let grid = match &grid_spec {
+                Some(spec) => tune::parse_grid(spec, &log.config).unwrap_or_else(|e| fail(&e)),
+                None => tune::default_grid(&log.config),
+            };
+            println!(
+                "tune: {} batches, {} variants ({})",
+                log.batches.len(),
+                grid.len(),
+                if parallel { "parallel" } else { "serial" }
+            );
+            tune::tune(&log, &grid, parallel)
+        }
+        AnyLog::Placement(log) => {
+            let grid = match &grid_spec {
+                Some(spec) => tune::parse_grid(spec, &log.config.arbiter)
+                    .unwrap_or_else(|e| fail(&e))
+                    .into_iter()
+                    .map(|v| {
+                        let mut config = log.config.clone();
+                        config.arbiter = v.config;
+                        tune::PlacementVariant {
+                            name: v.name,
+                            config,
+                        }
+                    })
+                    .collect(),
+                None => tune::default_placement_grid(&log.config),
+            };
+            println!(
+                "tune: {} placement batches, {} variants ({})",
+                log.batches.len(),
+                grid.len(),
+                if parallel { "parallel" } else { "serial" }
+            );
+            tune::tune_placement(&log, &grid, parallel)
+        }
+    };
+    print!("{}", report.to_markdown());
+    println!(
+        "best: {} (baseline: {})",
+        report.best().name,
+        report.baseline().name
+    );
+    if let Some(path) = &json_path {
+        std::fs::write(path, report.to_json())
+            .unwrap_or_else(|e| fail(&format!("write {path}: {e}")));
+        println!("wrote {path}");
+    }
+    if let Some(path) = &md_path {
+        std::fs::write(path, report.to_markdown())
+            .unwrap_or_else(|e| fail(&format!("write {path}: {e}")));
+        println!("wrote {path}");
+    }
+    if assert_improves && !report.best_not_worse_than_baseline() {
+        fail("best variant scored worse than the recorded baseline");
+    }
+    std::process::exit(0);
 }
 
 fn run_one(id: &str, cfg: &DeviceConfig, scale: u32) -> Report {
@@ -64,6 +231,11 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
         usage();
+    }
+    match args[0].as_str() {
+        "trace" => cmd_trace(&args[1..]),
+        "tune" => cmd_tune(&args[1..]),
+        _ => {}
     }
     let mut scale: u32 = 1;
     let mut md_path: Option<String> = None;

@@ -11,125 +11,41 @@
 
 use crate::report::{f, Report, Table};
 use slate_baselines::Runtime;
-use slate_core::arbiter::{Command, Event, EventLog};
+use slate_core::arbiter::EventLog;
 use slate_core::{SlateOptions, SlateRuntime};
 use slate_gpu_sim::device::DeviceConfig;
-use slate_kernels::workload::{llm_trace, Benchmark, LlmTraceCfg, SloClass};
-use std::collections::{BTreeMap, BTreeSet};
+use slate_kernels::workload::{llm_trace, Benchmark, LlmTraceCfg};
+use std::collections::BTreeSet;
 
 /// Preemption bound the experiment runs under: the arbiter must dispatch a
 /// latency-critical arrival or emit the displacing `Preempt` within this
 /// many logical microseconds.
 pub const PREEMPT_BOUND_US: u64 = 20_000;
 
-/// Nearest-rank percentile of latencies (`q` in 0..=1). Empty input → 0.
-pub fn percentile_us(sorted: &[u64], q: f64) -> u64 {
-    if sorted.is_empty() {
-        return 0;
-    }
-    let rank = (q * sorted.len() as f64).ceil() as usize;
-    sorted[rank.clamp(1, sorted.len()) - 1]
-}
+pub use slate_core::trace::metrics::{percentile_us, LatencyStats};
 
-/// Latency distribution summary in logical microseconds.
-#[derive(Debug, Clone, Default)]
-pub struct LatencyStats {
-    /// Sample count.
-    pub n: usize,
-    /// Median.
-    pub p50_us: u64,
-    /// 95th percentile.
-    pub p95_us: u64,
-    /// 99th percentile.
-    pub p99_us: u64,
-    /// Worst sample.
-    pub max_us: u64,
-}
-
-impl LatencyStats {
-    /// Summarises a latency sample set.
-    pub fn of(mut samples: Vec<u64>) -> Self {
-        samples.sort_unstable();
-        LatencyStats {
-            n: samples.len(),
-            p50_us: percentile_us(&samples, 0.50),
-            p95_us: percentile_us(&samples, 0.95),
-            p99_us: percentile_us(&samples, 0.99),
-            max_us: samples.last().copied().unwrap_or(0),
-        }
-    }
-}
-
-/// Sessions declared latency-critical in a recorded run.
+/// Sessions declared latency-critical in a recorded run. Delegates to
+/// [`slate_core::trace::metrics`], where the extraction moved so the
+/// offline autotuner scores replays with the exact same code.
 pub fn critical_sessions(log: &EventLog) -> BTreeSet<u64> {
-    let mut crit = BTreeSet::new();
-    for b in &log.batches {
-        for e in &b.events {
-            if let Event::SloArrival { session, class } = e {
-                if *class == SloClass::LatencyCritical {
-                    crit.insert(*session);
-                }
-            }
-        }
-    }
-    crit
+    slate_core::trace::metrics::critical_sessions(&log.batches)
 }
 
 /// Per-launch decode latencies (ready → drained, logical µs) of the
 /// latency-critical sessions in a recorded run. The runtime assigns lease
 /// ids equal to session ids, and each session keeps at most one launch in
 /// flight, so a lease→ready-tick map pairs every `KernelFinished {ok}`
-/// with its `KernelReady`.
+/// with its `KernelReady`. Delegates to [`slate_core::trace::metrics`].
 pub fn decode_latencies(log: &EventLog) -> Vec<u64> {
-    let crit = critical_sessions(log);
-    let mut pending: BTreeMap<u64, u64> = BTreeMap::new();
-    let mut lat = Vec::new();
-    for b in &log.batches {
-        for e in &b.events {
-            match e {
-                Event::KernelReady { session, lease, .. } if crit.contains(session) => {
-                    pending.insert(*lease, b.at);
-                }
-                Event::KernelFinished { lease, ok: true } => {
-                    if let Some(ready) = pending.remove(lease) {
-                        lat.push(b.at - ready);
-                    }
-                }
-                _ => {}
-            }
-        }
-    }
-    lat
+    slate_core::trace::metrics::decode_latencies(&log.batches)
 }
 
 /// Preemption latencies (logical µs from the preemptor's `KernelReady` to
 /// the batch that emitted its displacing `Preempt`+`Dispatch`). The core
 /// processes a batch's events before deciding, so a same-batch preemption
-/// observes latency zero.
+/// observes latency zero. Delegates to [`slate_core::trace::metrics`].
 pub fn preempt_latencies(log: &EventLog) -> Vec<u64> {
-    let mut ready_at: BTreeMap<u64, u64> = BTreeMap::new();
-    let mut lat = Vec::new();
-    for b in &log.batches {
-        for e in &b.events {
-            if let Event::KernelReady { lease, .. } = e {
-                ready_at.insert(*lease, b.at);
-            }
-        }
-        let mut preempting = false;
-        for c in &b.commands {
-            match c {
-                Command::Preempt { .. } => preempting = true,
-                Command::Dispatch { lease, .. } if preempting => {
-                    preempting = false;
-                    if let Some(ready) = ready_at.get(lease) {
-                        lat.push(b.at - ready);
-                    }
-                }
-                _ => {}
-            }
-        }
-    }
-    lat
+    slate_core::trace::metrics::preempt_latencies(&log.batches)
 }
 
 /// Everything the experiment measured.
@@ -223,7 +139,13 @@ pub fn run_seeded(cfg: &DeviceConfig, scale: u32, seed: u64) -> (LlmResults, Rep
     let dc_solo = solo_time(cfg, &apps[apps.len() - 1]);
     let solos: Vec<f64> = apps
         .iter()
-        .map(|a| if a.bench == Benchmark::PF { pf_solo } else { dc_solo })
+        .map(|a| {
+            if a.bench == Benchmark::PF {
+                pf_solo
+            } else {
+                dc_solo
+            }
+        })
         .collect();
 
     let preempt = LatencyStats::of(preempt_latencies(&log_on));
@@ -254,7 +176,10 @@ pub fn run_seeded(cfg: &DeviceConfig, scale: u32, seed: u64) -> (LlmResults, Rep
         "Decode launch latency (ready -> drained), logical time",
         &["Mode", "n", "p50 (ms)", "p95 (ms)", "p99 (ms)", "max (ms)"],
     );
-    for (label, s) in [("preempt on", &results.decode_on), ("preempt off", &results.decode_off)] {
+    for (label, s) in [
+        ("preempt on", &results.decode_on),
+        ("preempt off", &results.decode_off),
+    ] {
         t.row(&[
             label.into(),
             s.n.to_string(),
@@ -268,7 +193,13 @@ pub fn run_seeded(cfg: &DeviceConfig, scale: u32, seed: u64) -> (LlmResults, Rep
 
     let mut p = Table::new(
         "Preemption latency (arrival -> displacing command)",
-        &["Preemptions", "p50 (µs)", "p99 (µs)", "max (µs)", "bound (µs)"],
+        &[
+            "Preemptions",
+            "p50 (µs)",
+            "p99 (µs)",
+            "max (µs)",
+            "bound (µs)",
+        ],
     );
     p.row(&[
         results.preemptions.to_string(),
@@ -283,14 +214,19 @@ pub fn run_seeded(cfg: &DeviceConfig, scale: u32, seed: u64) -> (LlmResults, Rep
         "Throughput cost of preemption",
         &["Mode", "ANTT", "Makespan (s)"],
     );
-    a.row(&["preempt on".into(), f(results.antt_on, 2), f(results.makespan_on_s, 2)]);
-    a.row(&["preempt off".into(), f(results.antt_off, 2), f(results.makespan_off_s, 2)]);
+    a.row(&[
+        "preempt on".into(),
+        f(results.antt_on, 2),
+        f(results.makespan_on_s, 2),
+    ]);
+    a.row(&[
+        "preempt off".into(),
+        f(results.antt_off, 2),
+        f(results.makespan_off_s, 2),
+    ]);
     report.tables.push(a);
 
-    report.check(
-        "preemption fired under load",
-        results.preemptions > 0,
-    );
+    report.check("preemption fired under load", results.preemptions > 0);
     report.check(
         "p99 decode latency strictly below the no-preemption baseline",
         results.decode_on.p99_us < results.decode_off.p99_us,

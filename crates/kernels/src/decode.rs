@@ -135,7 +135,9 @@ mod tests {
     fn setup(ctx: u32, dim: u32, batch: u32) -> (DecodeKernel, Vec<f32>, Arc<GpuBuffer>) {
         let (c, d, b) = (ctx as usize, dim as usize, batch as usize);
         let w_host: Vec<f32> = (0..b * c).map(|i| ((i * 7) % 11) as f32 * 0.1).collect();
-        let v_host: Vec<f32> = (0..c * d).map(|i| ((i * 3) % 29) as f32 * 0.5 - 7.0).collect();
+        let v_host: Vec<f32> = (0..c * d)
+            .map(|i| ((i * 3) % 29) as f32 * 0.5 - 7.0)
+            .collect();
         let w = Arc::new(GpuBuffer::new(b * c * 4));
         let v = Arc::new(GpuBuffer::new(c * d * 4));
         let out = Arc::new(GpuBuffer::new(b * d * 4));

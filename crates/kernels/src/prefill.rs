@@ -134,8 +134,12 @@ mod tests {
 
     fn setup(seq: u32, dim: u32) -> (PrefillKernel, Vec<f32>, Arc<GpuBuffer>) {
         let (s, d) = (seq as usize, dim as usize);
-        let q_host: Vec<f32> = (0..s * d).map(|i| ((i * 11) % 19) as f32 * 0.5 - 4.0).collect();
-        let k_host: Vec<f32> = (0..s * d).map(|i| ((i * 5) % 13) as f32 * 0.25 - 1.0).collect();
+        let q_host: Vec<f32> = (0..s * d)
+            .map(|i| ((i * 11) % 19) as f32 * 0.5 - 4.0)
+            .collect();
+        let k_host: Vec<f32> = (0..s * d)
+            .map(|i| ((i * 5) % 13) as f32 * 0.25 - 1.0)
+            .collect();
         let q = Arc::new(GpuBuffer::new(s * d * 4));
         let k = Arc::new(GpuBuffer::new(s * d * 4));
         let scores = Arc::new(GpuBuffer::new(s * s * 4));

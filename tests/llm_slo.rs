@@ -59,7 +59,11 @@ fn preemption_bounds_decode_tail_latency_under_load() {
         results.preempt.max_us,
         results.preempt_bound_us
     );
-    assert!(report.all_pass(), "harness shape checks: {:?}", report.checks);
+    assert!(
+        report.all_pass(),
+        "harness shape checks: {:?}",
+        report.checks
+    );
 }
 
 #[test]
@@ -148,11 +152,8 @@ fn wait_for(what: &str, mut cond: impl FnMut() -> bool) {
 #[test]
 fn slo_class_survives_crash_recovery() {
     let dir = tmpdir("crash");
-    let daemon = SlateDaemon::start_with_options(
-        DeviceConfig::tiny(8),
-        1 << 24,
-        durable_slo_opts(&dir),
-    );
+    let daemon =
+        SlateDaemon::start_with_options(DeviceConfig::tiny(8), 1 << 24, durable_slo_opts(&dir));
     let bulk = SlateClient::new(daemon.connect("bulk").unwrap());
     let decoder = SlateClient::new(
         daemon
@@ -245,10 +246,7 @@ fn ready(session: u64, lease: u64, demand: u32) -> Event {
 fn slo_class_survives_migration() {
     let mut config = PlacementConfig::default();
     config.arbiter.preempt_bound_us = Some(50_000);
-    let mut layer = PlacementLayer::new(
-        vec![DeviceConfig::tiny(8), DeviceConfig::tiny(8)],
-        config,
-    );
+    let mut layer = PlacementLayer::new(vec![DeviceConfig::tiny(8), DeviceConfig::tiny(8)], config);
     // Best-effort session 1 fills device 0.
     layer.feed(0, &[Event::SessionOpened { session: 1 }]);
     layer.feed(10, &[ready(1, 10, 8)]);
@@ -269,8 +267,20 @@ fn slo_class_survives_migration() {
 
     // Device 1 drops off the bus: the layer synthesizes the evacuation
     // eviction; the eviction lands and the route flips to device 0.
-    layer.feed(40, &[Event::DeviceDown { device: 1, hard: true }]);
-    layer.feed(50, &[Event::KernelFinished { lease: 20, ok: false }]);
+    layer.feed(
+        40,
+        &[Event::DeviceDown {
+            device: 1,
+            hard: true,
+        }],
+    );
+    layer.feed(
+        50,
+        &[Event::KernelFinished {
+            lease: 20,
+            ok: false,
+        }],
+    );
 
     // The re-staged readiness arrives on device 0, which has never seen
     // session 2's declaration. The layer re-declares it, so the core
@@ -292,8 +302,8 @@ fn slo_class_survives_migration() {
         "the migrated arrival must preempt the best-effort resident: {cmds:?}"
     );
     assert!(
-        cmds.iter().any(|c| c.device == 0
-            && matches!(c.command, Command::Dispatch { lease: 20, .. })),
+        cmds.iter()
+            .any(|c| c.device == 0 && matches!(c.command, Command::Dispatch { lease: 20, .. })),
         "the migrated arrival must dispatch on the target: {cmds:?}"
     );
     assert_eq!(layer.preemptions(), 1);
@@ -303,9 +313,7 @@ fn slo_class_survives_migration() {
 /// best-effort: the trace generator owns the SLO wiring end to end.
 #[test]
 fn trace_generator_assigns_slo_classes() {
-    let apps = slate_kernels::workload::llm_trace(
-        &slate_kernels::workload::LlmTraceCfg::paper(1),
-    );
+    let apps = slate_kernels::workload::llm_trace(&slate_kernels::workload::LlmTraceCfg::paper(1));
     assert!(apps
         .iter()
         .filter(|a| a.bench == Benchmark::PF)
